@@ -1,0 +1,25 @@
+// Fig. 10: effect of the number of tasks m (synthetic).
+// Paper sweep: 2K, 3.5K, 5K, 6.5K, 8K.
+#include "common/bench_util.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.reps = 2;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (int m : {2000, 3500, 5000, 6500, 8000}) {
+    gen::SyntheticParams params =
+        bench::ScaledSynthetic(gen::SyntheticParams{}, config.scale);
+    params.seed = config.seed;
+    params.num_tasks = bench::ScaleCount(m, config.scale);
+    points.push_back({std::to_string(m / 1000) + "K" +
+                          (m % 1000 != 0 ? ".5" : ""),
+                      bench::SyntheticFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 10: number of tasks m (synthetic)", "m",
+                     std::move(points), config);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 11: effect of the number of workers n (synthetic).
+// Paper sweep: 3K, 4K, 5K, 6K, 7K.
+#include "common/bench_util.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.reps = 2;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (int n : {3000, 4000, 5000, 6000, 7000}) {
+    gen::SyntheticParams params =
+        bench::ScaledSynthetic(gen::SyntheticParams{}, config.scale);
+    params.seed = config.seed;
+    params.num_workers = bench::ScaleCount(n, config.scale);
+    points.push_back({std::to_string(n / 1000) + "K", bench::SyntheticFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 11: number of workers n (synthetic)", "n",
+                     std::move(points), config);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 12 (Appendix C): max moving distance range [d-,d+] (synthetic).
+// Paper sweep: [1,2], [2,3], [3,4], [4,5], [5,6] (x 0.1).
+#include "common/bench_util.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.reps = 2;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (auto [lo, hi] : {std::pair{1.0, 2.0}, {2.0, 3.0}, {3.0, 4.0},
+                        {4.0, 5.0}, {5.0, 6.0}}) {
+    gen::SyntheticParams params =
+        bench::ScaledSynthetic(gen::SyntheticParams{}, config.scale);
+    params.seed = config.seed;
+    params.max_distance = {lo * 0.1, hi * 0.1};
+    char label[32];
+    std::snprintf(label, sizeof(label), "[%.0f,%.0f]", lo, hi);
+    points.push_back({label, bench::SyntheticFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 12: max moving distance [d-,d+]*0.1 (synthetic)",
+                     "[d-,d+]", std::move(points), config);
+  return 0;
+}

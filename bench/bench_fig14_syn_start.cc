@@ -1,0 +1,24 @@
+// Fig. 14 (Appendix C): start timestamp range [st-,st+] (synthetic).
+// Paper sweep: [0,65], [0,70], [0,75], [0,80], [0,85].
+#include "common/bench_util.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.reps = 2;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (double hi : {65.0, 70.0, 75.0, 80.0, 85.0}) {
+    gen::SyntheticParams params =
+        bench::ScaledSynthetic(gen::SyntheticParams{}, config.scale);
+    params.seed = config.seed;
+    params.start_time = {0.0, hi};
+    points.push_back({"[0," + std::to_string(static_cast<int>(hi)) + "]",
+                      bench::SyntheticFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 14: start timestamp [st-,st+] (synthetic)",
+                     "[st-,st+]", std::move(points), config);
+  return 0;
+}

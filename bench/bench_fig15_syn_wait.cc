@@ -1,0 +1,26 @@
+// Fig. 15 (Appendix C): waiting time range [wt-,wt+] (synthetic).
+// Paper sweep: [8,13], [9,14], [10,15], [11,16], [12,17].
+#include "common/bench_util.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.reps = 2;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (auto [lo, hi] : {std::pair{8.0, 13.0}, {9.0, 14.0}, {10.0, 15.0},
+                        {11.0, 16.0}, {12.0, 17.0}}) {
+    gen::SyntheticParams params =
+        bench::ScaledSynthetic(gen::SyntheticParams{}, config.scale);
+    params.seed = config.seed;
+    params.wait_time = {lo, hi};
+    char label[32];
+    std::snprintf(label, sizeof(label), "[%.0f,%.0f]", lo, hi);
+    points.push_back({label, bench::SyntheticFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 15: waiting time [wt-,wt+] (synthetic)",
+                     "[wt-,wt+]", std::move(points), config);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 2: effect of the DASC_Game termination threshold.
+// The paper sweeps the utility-updating-ratio threshold 0 -> 10% on the real
+// data and observes score dropping sharply past 5%. Our best-response loop
+// converges in 2-4 rounds per batch, so the knee sits at a higher threshold;
+// the sweep is extended to 50% to expose the same score/time trade-off on
+// both workload families (see EXPERIMENTS.md E1).
+#include <cstdio>
+#include <iostream>
+
+#include "algo/game.h"
+#include "common/bench_util.h"
+#include "gen/meetup.h"
+#include "gen/synthetic.h"
+#include "sim/metrics.h"
+#include "util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.batch_interval = 1.0;
+  const bench::BenchConfig config =
+      bench::ParseBenchArgs(argc, argv, defaults);
+
+  gen::MeetupParams meetup_params =
+      bench::ScaledMeetup(gen::MeetupParams{}, config.scale);
+  meetup_params.seed = config.seed;
+  auto meetup = gen::GenerateMeetup(meetup_params);
+  DASC_CHECK(meetup.ok()) << meetup.status().ToString();
+  gen::SyntheticParams synthetic_params =
+      bench::ScaledSynthetic(gen::SyntheticParams{}, config.scale);
+  synthetic_params.seed = config.seed;
+  auto synthetic = gen::GenerateSynthetic(synthetic_params);
+  DASC_CHECK(synthetic.ok()) << synthetic.status().ToString();
+
+  sim::SimulatorOptions meetup_options;
+  meetup_options.batch_interval = config.batch_interval;
+  sim::SimulatorOptions synthetic_options;
+  synthetic_options.batch_interval = 5.0;
+
+  util::TablePrinter table("Fig. 2: DASC_Game termination threshold");
+  table.AddRow({"threshold", "score (real)", "time ms (real)",
+                "score (syn)", "time ms (syn)"});
+  for (double threshold : {0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50}) {
+    double meetup_score = 0, meetup_ms = 0, syn_score = 0, syn_ms = 0;
+    for (int rep = 0; rep < config.reps; ++rep) {
+      algo::GameOptions game_options;
+      game_options.threshold = threshold;
+      game_options.seed = config.seed + 1000 * rep + 1;
+      algo::GameAllocator g1(game_options), g2(game_options);
+      const sim::RunStats real_stats =
+          sim::MeasureSimulation(*meetup, meetup_options, g1);
+      const sim::RunStats syn_stats =
+          sim::MeasureSimulation(*synthetic, synthetic_options, g2);
+      meetup_score += real_stats.score;
+      meetup_ms += real_stats.millis;
+      syn_score += syn_stats.score;
+      syn_ms += syn_stats.millis;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f%%", threshold * 100.0);
+    table.AddRow({label,
+                  util::TablePrinter::Num(meetup_score / config.reps, 1),
+                  util::TablePrinter::Num(meetup_ms / config.reps, 1),
+                  util::TablePrinter::Num(syn_score / config.reps, 1),
+                  util::TablePrinter::Num(syn_ms / config.reps, 1)});
+  }
+  std::printf("# Fig. 2  (scale=%g seed=%llu reps=%d interval=%g)\n",
+              config.scale, static_cast<unsigned long long>(config.seed),
+              config.reps, config.batch_interval);
+  if (config.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 3: effect of the maximum moving distance range [d-,d+] (real data).
+// Paper sweep: [2,2.5], [2.5,3], [3,3.5], [3.5,4], [4,4.5] (x 0.01 degrees).
+#include "common/bench_util.h"
+#include "gen/meetup.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.batch_interval = 1.0;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (auto [lo, hi] : {std::pair{2.0, 2.5}, {2.5, 3.0}, {3.0, 3.5},
+                        {3.5, 4.0}, {4.0, 4.5}}) {
+    gen::MeetupParams params =
+        bench::ScaledMeetup(gen::MeetupParams{}, config.scale);
+    params.seed = config.seed;
+    params.max_distance = {lo * 0.01, hi * 0.01};
+    char label[32];
+    std::snprintf(label, sizeof(label), "[%.1f,%.1f]", lo, hi);
+    points.push_back({label, bench::MeetupFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 3: max moving distance [d-,d+]*0.01 (real)",
+                     "[d-,d+]", std::move(points), config);
+  return 0;
+}

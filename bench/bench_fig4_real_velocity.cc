@@ -1,0 +1,26 @@
+// Fig. 4: effect of the velocity range [v-,v+] (real data).
+// Paper sweep: [0.1,0.5], [0.5,1], [1,1.5], [1.5,2], [2,2.5] (x 0.01).
+#include "common/bench_util.h"
+#include "gen/meetup.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.batch_interval = 1.0;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (auto [lo, hi] : {std::pair{0.1, 0.5}, {0.5, 1.0}, {1.0, 1.5},
+                        {1.5, 2.0}, {2.0, 2.5}}) {
+    gen::MeetupParams params =
+        bench::ScaledMeetup(gen::MeetupParams{}, config.scale);
+    params.seed = config.seed;
+    params.velocity = {lo * 0.01, hi * 0.01};
+    char label[32];
+    std::snprintf(label, sizeof(label), "[%.1f,%.1f]", lo, hi);
+    points.push_back({label, bench::MeetupFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 4: velocity [v-,v+]*0.01 (real)", "[v-,v+]",
+                     std::move(points), config);
+  return 0;
+}

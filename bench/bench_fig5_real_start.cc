@@ -1,0 +1,24 @@
+// Fig. 5: effect of the start timestamp range [st-,st+] (real data).
+// Paper sweep: [0,150], [0,175], [0,200], [0,225], [0,250].
+#include "common/bench_util.h"
+#include "gen/meetup.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.batch_interval = 1.0;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (double hi : {150.0, 175.0, 200.0, 225.0, 250.0}) {
+    gen::MeetupParams params =
+        bench::ScaledMeetup(gen::MeetupParams{}, config.scale);
+    params.seed = config.seed;
+    params.start_time = {0.0, hi};
+    points.push_back({"[0," + std::to_string(static_cast<int>(hi)) + "]",
+                      bench::MeetupFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 5: start timestamp [st-,st+] (real)", "[st-,st+]",
+                     std::move(points), config);
+  return 0;
+}

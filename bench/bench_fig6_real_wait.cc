@@ -1,0 +1,26 @@
+// Fig. 6: effect of the waiting time range [wt-,wt+] (real data).
+// Paper sweep: [1,3], [2,4], [3,5], [4,6], [5,7].
+#include "common/bench_util.h"
+#include "gen/meetup.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.batch_interval = 1.0;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (auto [lo, hi] : {std::pair{1.0, 3.0}, {2.0, 4.0}, {3.0, 5.0},
+                        {4.0, 6.0}, {5.0, 7.0}}) {
+    gen::MeetupParams params =
+        bench::ScaledMeetup(gen::MeetupParams{}, config.scale);
+    params.seed = config.seed;
+    params.wait_time = {lo, hi};
+    char label[32];
+    std::snprintf(label, sizeof(label), "[%.0f,%.0f]", lo, hi);
+    points.push_back({label, bench::MeetupFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 6: waiting time [wt-,wt+] (real)", "[wt-,wt+]",
+                     std::move(points), config);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fig. 7: effect of the dependency set size range |D| (synthetic).
+// Paper sweep: [0,50], [0,60], [0,70], [0,80], [0,90].
+#include "common/bench_util.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.reps = 2;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (int hi : {50, 60, 70, 80, 90}) {
+    gen::SyntheticParams params =
+        bench::ScaledSynthetic(gen::SyntheticParams{}, config.scale);
+    params.seed = config.seed;
+    params.dependency_size = {0, hi};
+    points.push_back({"[0," + std::to_string(hi) + "]",
+                      bench::SyntheticFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 7: dependency size range |D| (synthetic)", "|D|",
+                     std::move(points), config);
+  return 0;
+}

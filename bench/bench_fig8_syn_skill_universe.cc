@@ -1,0 +1,23 @@
+// Fig. 8: effect of the skill universe size r (synthetic).
+// Paper sweep: 1100, 1300, 1500, 1700, 1900.
+#include "common/bench_util.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.reps = 2;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (int r : {1100, 1300, 1500, 1700, 1900}) {
+    gen::SyntheticParams params =
+        bench::ScaledSynthetic(gen::SyntheticParams{}, config.scale);
+    params.seed = config.seed;
+    params.num_skills = r;
+    points.push_back({std::to_string(r), bench::SyntheticFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 8: skill universe size r (synthetic)", "r",
+                     std::move(points), config);
+  return 0;
+}

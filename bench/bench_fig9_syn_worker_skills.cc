@@ -1,0 +1,24 @@
+// Fig. 9: effect of each worker's skill set size range [sp-,sp+] (synthetic).
+// Paper sweep: [1,5], [1,10], [1,15], [1,20], [1,25].
+#include "common/bench_util.h"
+#include "gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace dasc;
+  bench::BenchConfig defaults;
+  defaults.scale = 1.0;
+  defaults.reps = 2;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv, defaults);
+  std::vector<bench::SweepPoint> points;
+  for (int hi : {5, 10, 15, 20, 25}) {
+    gen::SyntheticParams params =
+        bench::ScaledSynthetic(gen::SyntheticParams{}, config.scale);
+    params.seed = config.seed;
+    params.worker_skills = {1, hi};
+    points.push_back({"[1," + std::to_string(hi) + "]",
+                      bench::SyntheticFactory(params)});
+  }
+  bench::RunSimSweep("Fig. 9: worker skill set size [sp-,sp+] (synthetic)",
+                     "|WS|", std::move(points), config);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks (google-benchmark) for the substrate libraries: Hungarian
+// assignment, Hopcroft-Karp matching, grid-index radius queries, dependency
+// closure construction, one full greedy batch, and one game best-response
+// batch. These quantify the building blocks behind the per-figure harnesses.
+#include <benchmark/benchmark.h>
+
+#include "algo/game.h"
+#include "algo/greedy.h"
+#include "core/batch.h"
+#include "gen/synthetic.h"
+#include "geo/grid_index.h"
+#include "graph/dag.h"
+#include "matching/hopcroft_karp.h"
+#include "matching/hungarian.h"
+#include "util/rng.h"
+
+namespace dasc {
+namespace {
+
+void BM_Hungarian(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(7);
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+  for (auto& row : cost) {
+    for (auto& c : row) c = rng.UniformDouble(0, 100);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::SolveAssignment(cost));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Hungarian)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(11);
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int k = 0; k < 8; ++k) {
+      edges.emplace_back(u, static_cast<int>(rng.UniformInt(0, n - 1)));
+    }
+  }
+  for (auto _ : state) {
+    matching::HopcroftKarp hk(n, n);
+    for (const auto& [u, v] : edges) hk.AddEdge(u, v);
+    benchmark::DoNotOptimize(hk.MaxMatching());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_HopcroftKarp)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(13);
+  std::vector<geo::Point> points(static_cast<size_t>(n));
+  for (auto& p : points) {
+    p = {rng.UniformDouble(0, 1), rng.UniformDouble(0, 1)};
+  }
+  geo::GridIndex index(points);
+  std::vector<int32_t> hits;
+  for (auto _ : state) {
+    hits.clear();
+    index.QueryRadius({rng.UniformDouble(0, 1), rng.UniformDouble(0, 1)},
+                      0.05, &hits);
+    benchmark::DoNotOptimize(hits.size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GridIndexQuery)->RangeMultiplier(8)->Range(1000, 64000);
+
+void BM_DagClosure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(17);
+  for (auto _ : state) {
+    state.PauseTiming();
+    graph::Dag dag(n);
+    for (int u = 1; u < n; ++u) {
+      for (int k = 0; k < 3; ++k) {
+        dag.AddDependency(u, static_cast<graph::NodeId>(
+                                 rng.UniformInt(std::max(0, u - 50), u - 1)));
+      }
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(dag.TransitiveClosure());
+  }
+}
+BENCHMARK(BM_DagClosure)->RangeMultiplier(4)->Range(256, 4096);
+
+// A single batch of the dynamic platform at Table V defaults (reduced size).
+core::Instance MakeBatchInstance(int scale) {
+  gen::SyntheticParams params;
+  params.num_workers = 200 * scale;
+  params.num_tasks = 200 * scale;
+  params.num_skills = 60 * scale;
+  params.dependency_size = {0, 8};
+  params.worker_skills = {1, 5};
+  params.start_time = {0.0, 0.0};
+  params.wait_time = {10.0, 15.0};
+  auto instance = gen::GenerateSynthetic(params);
+  DASC_CHECK(instance.ok());
+  return std::move(*instance);
+}
+
+void BM_GreedyBatch(benchmark::State& state) {
+  const core::Instance instance =
+      MakeBatchInstance(static_cast<int>(state.range(0)));
+  const core::BatchProblem problem = core::BatchProblem::AllAt(instance, 0.0);
+  for (auto _ : state) {
+    algo::GreedyAllocator greedy;
+    benchmark::DoNotOptimize(greedy.Allocate(problem));
+  }
+}
+BENCHMARK(BM_GreedyBatch)->RangeMultiplier(2)->Range(1, 4);
+
+void BM_GameBatch(benchmark::State& state) {
+  const core::Instance instance =
+      MakeBatchInstance(static_cast<int>(state.range(0)));
+  const core::BatchProblem problem = core::BatchProblem::AllAt(instance, 0.0);
+  for (auto _ : state) {
+    algo::GameOptions options;
+    options.threshold = 0.05;
+    algo::GameAllocator game(options);
+    benchmark::DoNotOptimize(game.Allocate(problem));
+  }
+}
+BENCHMARK(BM_GameBatch)->RangeMultiplier(2)->Range(1, 4);
+
+void BM_BuildCandidates(benchmark::State& state) {
+  const core::Instance instance =
+      MakeBatchInstance(static_cast<int>(state.range(0)));
+  const core::BatchProblem problem = core::BatchProblem::AllAt(instance, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildCandidates(problem));
+  }
+}
+BENCHMARK(BM_BuildCandidates)->RangeMultiplier(2)->Range(1, 4);
+
+}  // namespace
+}  // namespace dasc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,154 @@
+#include "common/bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "algo/registry.h"
+#include "sim/metrics.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+namespace dasc::bench {
+
+BenchConfig ParseBenchArgs(int argc, char** argv, BenchConfig defaults) {
+  BenchConfig config = defaults;
+  util::FlagParser parser;
+  int64_t seed = static_cast<int64_t>(config.seed);
+  int64_t reps = config.reps;
+  parser.AddDouble("scale", &config.scale, "workload size multiplier");
+  parser.AddInt("seed", &seed, "base RNG seed");
+  parser.AddString("algos", &config.algos, "comma-separated allocator names");
+  parser.AddInt("reps", &reps, "repetitions averaged per cell");
+  parser.AddDouble("interval", &config.batch_interval,
+                   "platform batch interval");
+  parser.AddBool("csv", &config.csv, "emit CSV instead of aligned tables");
+  const util::Status status = parser.Parse(argc, argv);
+  config.seed = static_cast<uint64_t>(seed);
+  config.reps = static_cast<int>(reps);
+  if (!status.ok() || !parser.positional().empty() || config.scale <= 0.0 ||
+      config.reps < 1 || config.batch_interval <= 0.0) {
+    std::fprintf(stderr, "%s\nusage: %s [flags]\n%sknown algorithms:",
+                 status.ToString().c_str(), argv[0],
+                 parser.HelpText().c_str());
+    for (const auto& name : algo::KnownAllocatorNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+  return config;
+}
+
+int ScaleCount(int count, double scale) {
+  return std::max(1, static_cast<int>(std::lround(count * scale)));
+}
+
+gen::SyntheticParams ScaledSynthetic(gen::SyntheticParams params,
+                                     double scale) {
+  params.num_workers = ScaleCount(params.num_workers, scale);
+  params.num_tasks = ScaleCount(params.num_tasks, scale);
+  return params;
+}
+
+gen::MeetupParams ScaledMeetup(gen::MeetupParams params, double scale) {
+  params.num_workers = ScaleCount(params.num_workers, scale);
+  params.num_tasks = ScaleCount(params.num_tasks, scale);
+  params.num_groups = ScaleCount(params.num_groups, scale);
+  return params;
+}
+
+InstanceFactory SyntheticFactory(gen::SyntheticParams params) {
+  return [params](uint64_t seed) {
+    gen::SyntheticParams p = params;
+    p.seed = seed;
+    return gen::GenerateSynthetic(p);
+  };
+}
+
+InstanceFactory MeetupFactory(gen::MeetupParams params) {
+  return [params](uint64_t seed) {
+    gen::MeetupParams p = params;
+    p.seed = seed;
+    return gen::GenerateMeetup(p);
+  };
+}
+
+void RunSimSweep(const std::string& title, const std::string& x_name,
+                 std::vector<SweepPoint> points, const BenchConfig& config) {
+  auto allocators_or = algo::CreateAllocators(config.algos, config.seed);
+  if (!allocators_or.ok()) {
+    std::fprintf(stderr, "%s\n", allocators_or.status().ToString().c_str());
+    std::exit(2);
+  }
+  // Collect the display header once (allocator instances are re-created per
+  // cell so stateful RNGs do not leak across cells).
+  std::vector<std::string> names;
+  {
+    std::stringstream stream(config.algos);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      if (!token.empty()) names.push_back(token);
+    }
+  }
+
+  sim::SimulatorOptions options;
+  options.batch_interval = config.batch_interval;
+
+  util::TablePrinter score_table(title + " - score");
+  util::TablePrinter time_table(title + " - running time (ms)");
+  std::vector<std::string> header = {x_name};
+  for (const auto& name : names) {
+    auto allocator = algo::CreateAllocator(name, config.seed);
+    header.push_back(std::string((*allocator)->name()));
+  }
+  score_table.AddRow(header);
+  time_table.AddRow(header);
+
+  for (const SweepPoint& point : points) {
+    std::vector<double> score_sum(names.size(), 0.0);
+    std::vector<double> millis_sum(names.size(), 0.0);
+    for (int rep = 0; rep < config.reps; ++rep) {
+      auto instance = point.make(config.seed + static_cast<uint64_t>(rep));
+      DASC_CHECK(instance.ok()) << instance.status().ToString();
+      for (size_t a = 0; a < names.size(); ++a) {
+        auto allocator =
+            algo::CreateAllocator(names[a], config.seed + 1000 * rep + 1);
+        DASC_CHECK(allocator.ok());
+        const sim::RunStats stats =
+            sim::MeasureSimulation(*instance, options, **allocator);
+        score_sum[a] += stats.score;
+        millis_sum[a] += stats.millis;
+      }
+    }
+    std::vector<std::string> score_row = {point.label};
+    std::vector<std::string> time_row = {point.label};
+    for (size_t a = 0; a < names.size(); ++a) {
+      score_row.push_back(
+          util::TablePrinter::Num(score_sum[a] / config.reps, 1));
+      time_row.push_back(
+          util::TablePrinter::Num(millis_sum[a] / config.reps, 1));
+    }
+    score_table.AddRow(std::move(score_row));
+    time_table.AddRow(std::move(time_row));
+  }
+
+  std::printf("# %s  (scale=%g seed=%llu reps=%d interval=%g)\n", title.c_str(),
+              config.scale, static_cast<unsigned long long>(config.seed),
+              config.reps, config.batch_interval);
+  if (config.csv) {
+    score_table.PrintCsv(std::cout);
+    std::printf("\n");
+    time_table.PrintCsv(std::cout);
+  } else {
+    score_table.Print(std::cout);
+    std::printf("\n");
+    time_table.Print(std::cout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace dasc::bench

@@ -1,0 +1,73 @@
+// Shared harness for the per-figure/per-table benchmark binaries.
+//
+// Every binary regenerates one table or figure of the paper's evaluation:
+// it sweeps one workload parameter, runs the requested algorithms through
+// the full dynamic simulation, and prints a `score` table and a `time (ms)`
+// table whose rows/series match the paper's plots.
+//
+// Common flags (all binaries):
+//   --scale=F     workload size multiplier (default per binary; 1 = paper)
+//   --seed=N      base RNG seed
+//   --algos=a,b   comma list from algo::KnownAllocatorNames()
+//   --reps=N      repetitions averaged per cell (different seeds)
+//   --interval=F  batch interval of the simulated platform
+//   --csv         emit CSV instead of aligned tables
+#ifndef DASC_BENCH_COMMON_BENCH_UTIL_H_
+#define DASC_BENCH_COMMON_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "gen/meetup.h"
+#include "gen/params.h"
+#include "gen/synthetic.h"
+#include "sim/simulator.h"
+
+namespace dasc::bench {
+
+struct BenchConfig {
+  double scale = 0.2;
+  uint64_t seed = 42;
+  std::string algos = "greedy,game,game5,gg,closest,random";
+  int reps = 1;
+  double batch_interval = 5.0;
+  bool csv = false;
+};
+
+// Parses the common flags over `defaults`; prints usage and exits on bad
+// input or --help.
+BenchConfig ParseBenchArgs(int argc, char** argv, BenchConfig defaults);
+
+// max(1, round(count * scale)).
+int ScaleCount(int count, double scale);
+
+// Applies --scale to the workload sizes of a parameterization.
+gen::SyntheticParams ScaledSynthetic(gen::SyntheticParams params, double scale);
+gen::MeetupParams ScaledMeetup(gen::MeetupParams params, double scale);
+
+// Builds the workload of one sweep point for one repetition seed.
+using InstanceFactory =
+    std::function<util::Result<core::Instance>(uint64_t seed)>;
+
+// One sweep point: x-axis label + the workload factory for it.
+struct SweepPoint {
+  std::string label;
+  InstanceFactory make;
+};
+
+// Factories that re-seed a fixed parameterization per repetition.
+InstanceFactory SyntheticFactory(gen::SyntheticParams params);
+InstanceFactory MeetupFactory(gen::MeetupParams params);
+
+// Runs every configured algorithm over every sweep point through the full
+// simulation — regenerating the workload per repetition (seed, seed+1, ...)
+// and averaging — and prints the paper-style score and time tables.
+void RunSimSweep(const std::string& title, const std::string& x_name,
+                 std::vector<SweepPoint> points, const BenchConfig& config);
+
+}  // namespace dasc::bench
+
+#endif  // DASC_BENCH_COMMON_BENCH_UTIL_H_

@@ -1,0 +1,119 @@
+// House repair: the paper's motivating scenario as a dynamic simulation.
+//
+// A requester posts a house-repair job as dependent subtasks (pipes before
+// painting, painting before cleaning, ...) while other small jobs keep
+// arriving. Multi-skilled workers come and go; the platform allocates every
+// batch. Compares DASC_Greedy against the dependency-oblivious Closest
+// baseline over the whole timeline.
+//
+//   ./house_repair
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algo/baselines.h"
+#include "algo/greedy.h"
+#include "core/instance.h"
+#include "sim/simulator.h"
+
+namespace {
+
+constexpr dasc::core::SkillId kPlumbing = 0;
+constexpr dasc::core::SkillId kElectrics = 1;
+constexpr dasc::core::SkillId kPainting = 2;
+constexpr dasc::core::SkillId kCleaning = 3;
+constexpr dasc::core::SkillId kCarpentry = 4;
+constexpr int kNumSkills = 5;
+
+struct TaskSpec {
+  const char* label;
+  double x, y;
+  dasc::core::SkillId skill;
+  std::vector<dasc::core::TaskId> deps;
+  double start, wait;
+};
+
+}  // namespace
+
+int main() {
+  using dasc::core::Task;
+  using dasc::core::Worker;
+
+  // The house sits at (5, 5); errands are scattered around town.
+  const std::vector<TaskSpec> specs = {
+      {"install pipes", 5.0, 5.0, kPlumbing, {}, 0.0, 40.0},        // 0
+      {"wire sockets", 5.1, 5.0, kElectrics, {}, 0.0, 40.0},        // 1
+      {"paint walls", 5.0, 5.1, kPainting, {0, 1}, 0.0, 60.0},      // 2
+      {"fit cabinets", 5.1, 5.1, kCarpentry, {2}, 0.0, 80.0},       // 3
+      {"final cleaning", 5.0, 5.2, kCleaning, {2, 3}, 0.0, 90.0},   // 4
+      {"fix cafe sink", 2.0, 8.0, kPlumbing, {}, 5.0, 30.0},        // 5
+      {"paint fence", 8.0, 2.0, kPainting, {}, 10.0, 40.0},         // 6
+      {"deep-clean office", 1.0, 1.0, kCleaning, {}, 15.0, 50.0},   // 7
+  };
+
+  std::vector<Task> tasks;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const TaskSpec& s = specs[i];
+    Task t;
+    t.id = static_cast<dasc::core::TaskId>(i);
+    t.location = {s.x, s.y};
+    t.start_time = s.start;
+    t.wait_time = s.wait;
+    t.required_skill = s.skill;
+    t.dependencies = s.deps;
+    tasks.push_back(std::move(t));
+  }
+
+  auto make_worker = [](int id, double x, double y,
+                        std::vector<dasc::core::SkillId> skills, double start,
+                        double wait) {
+    Worker w;
+    w.id = id;
+    w.location = {x, y};
+    w.start_time = start;
+    w.wait_time = wait;
+    w.velocity = 0.8;
+    w.max_distance = 15.0;
+    w.skills = std::move(skills);
+    return w;
+  };
+  const std::vector<Worker> workers = {
+      make_worker(0, 4.0, 4.0, {kPlumbing, kPainting}, 0.0, 60.0),
+      make_worker(1, 6.0, 6.0, {kElectrics, kCarpentry}, 0.0, 60.0),
+      make_worker(2, 3.0, 7.0, {kPainting, kCleaning}, 5.0, 70.0),
+      make_worker(3, 7.0, 3.0, {kPlumbing, kCleaning}, 10.0, 70.0),
+  };
+
+  auto instance =
+      dasc::core::Instance::Create(workers, tasks, kNumSkills);
+  DASC_CHECK(instance.ok()) << instance.status().ToString();
+
+  dasc::sim::SimulatorOptions options;
+  options.batch_interval = 5.0;
+  options.service_time = 2.0;  // some minutes of actual work on site
+
+  std::printf("House repair scenario: %d workers, %zu tasks "
+              "(5-task dependency chain + 3 independent errands)\n\n",
+              instance->num_workers(), specs.size());
+
+  dasc::algo::GreedyAllocator greedy;
+  dasc::algo::ClosestAllocator closest;
+  for (dasc::core::Allocator* allocator :
+       std::initializer_list<dasc::core::Allocator*>{&greedy, &closest}) {
+    dasc::sim::Simulator simulator(*instance, options);
+    const dasc::sim::SimulationResult result = simulator.Run(*allocator);
+    std::printf("%-8s finished %d/%zu tasks over %d batches "
+                "(last completion at t=%.1f)\n",
+                std::string(allocator->name()).c_str(), result.score,
+                specs.size(), result.batches, result.last_completion_time);
+    std::printf("         per-batch valid assignments:");
+    for (int s : result.per_batch_scores) std::printf(" %d", s);
+    std::printf("\n\n");
+  }
+
+  std::printf(
+      "Greedy sequences the repair chain across batches (pipes & wiring\n"
+      "first, then painting, then cabinets and cleaning) while Closest\n"
+      "keeps grabbing nearby-but-blocked subtasks and loses them.\n");
+  return 0;
+}

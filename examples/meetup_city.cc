@@ -1,0 +1,58 @@
+// City-scale scenario: the Meetup-like Hong Kong workload end to end.
+//
+// Generates the paper's real-data-shaped workload (event-based social
+// network, Zipf tag skew, group-structured dependencies), then compares all
+// allocation policies over the full dynamic timeline.
+//
+//   ./meetup_city [workers] [tasks]
+#include <cstdio>
+#include <cstdlib>
+
+#include "algo/registry.h"
+#include "gen/meetup.h"
+#include "sim/metrics.h"
+
+int main(int argc, char** argv) {
+  dasc::gen::MeetupParams params;
+  // Default to a brisk quarter-scale city so the example runs in seconds.
+  params.num_workers = 880;
+  params.num_tasks = 320;
+  params.num_groups = 24;
+  if (argc > 1) params.num_workers = std::atoi(argv[1]);
+  if (argc > 2) params.num_tasks = std::atoi(argv[2]);
+
+  auto instance = dasc::gen::GenerateMeetup(params);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Meetup-like Hong Kong workload: %d workers, %d tasks, "
+              "%d groups, %d skills\n\n",
+              instance->num_workers(), instance->num_tasks(),
+              params.num_groups, params.num_skills);
+
+  // The batch interval must sit well below task waiting times (3-5 here);
+  // see ablation F in EXPERIMENTS.md.
+  dasc::sim::SimulatorOptions options;
+  options.batch_interval = 1.0;
+
+  std::printf("%-9s %8s %11s %14s %14s %12s\n", "method", "score",
+              "time (ms)", "p95 batch(ms)", "max batch(ms)", "latency");
+  for (const char* name :
+       {"greedy", "game", "game5", "gg", "closest", "random"}) {
+    auto allocator = dasc::algo::CreateAllocator(name, /*seed=*/7);
+    DASC_CHECK(allocator.ok());
+    const dasc::sim::RunStats stats =
+        dasc::sim::MeasureSimulation(*instance, options, **allocator);
+    std::printf("%-9s %8d %11.2f %14.3f %14.3f %12.2f\n",
+                stats.algorithm.c_str(), stats.score, stats.millis,
+                stats.p95_batch_ms, stats.max_batch_ms,
+                stats.mean_assignment_latency);
+  }
+  std::printf(
+      "\nThe four dependency-aware methods clear far more of the task-group\n"
+      "chains than the two baselines, at higher (Game*) or lower (Greedy)\n"
+      "running time - the trade-off of the paper's Section V.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: the paper's Example 1 end-to-end through the public API.
+//
+// Builds the 3-worker / 5-task instance of Figure 1 / Tables I-II, runs every
+// allocator on the single batch, and prints the assignments. Shows why
+// dependency-oblivious allocation ("Closest") finishes only 1 task while the
+// dependency-aware methods finish 3.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "algo/registry.h"
+#include "core/assignment.h"
+#include "core/batch.h"
+#include "core/instance.h"
+
+namespace {
+
+dasc::core::Instance BuildExample1() {
+  using dasc::core::Task;
+  using dasc::core::Worker;
+  // Skills: ψ1=0, ψ2=1, ψ3=2, ψ4=3. Every worker is fast and far-ranging,
+  // as in the example ("maximum moving distance ... large enough").
+  auto worker = [](int id, double x, double y,
+                   std::vector<dasc::core::SkillId> skills) {
+    Worker w;
+    w.id = id;
+    w.location = {x, y};
+    w.start_time = 0.0;
+    w.wait_time = 1e6;
+    w.velocity = 1e3;
+    w.max_distance = 1e6;
+    w.skills = std::move(skills);
+    return w;
+  };
+  auto task = [](int id, double x, double y, dasc::core::SkillId skill,
+                 std::vector<dasc::core::TaskId> deps) {
+    Task t;
+    t.id = id;
+    t.location = {x, y};
+    t.start_time = 0.0;
+    t.wait_time = 1e6;
+    t.required_skill = skill;
+    t.dependencies = std::move(deps);
+    return t;
+  };
+  auto instance = dasc::core::Instance::Create(
+      {
+          worker(0, 2, 1, {0, 1}),     // w1: {ψ1, ψ2}
+          worker(1, 3, 3, {3}),        // w2: {ψ4}
+          worker(2, 5, 3, {0, 1, 2}),  // w3: {ψ1, ψ2, ψ3}
+      },
+      {
+          task(0, 4, 1, 0, {}),      // t1
+          task(1, 2, 2, 1, {0}),     // t2 <- t1
+          task(2, 5, 2, 2, {0, 1}),  // t3 <- t1, t2
+          task(3, 3, 4, 3, {}),      // t4
+          task(4, 1, 2, 2, {3}),     // t5 <- t4
+      },
+      /*num_skills=*/4);
+  DASC_CHECK(instance.ok()) << instance.status().ToString();
+  return std::move(*instance);
+}
+
+}  // namespace
+
+int main() {
+  const dasc::core::Instance instance = BuildExample1();
+  const dasc::core::BatchProblem problem =
+      dasc::core::BatchProblem::AllAt(instance, /*now=*/0.0);
+
+  std::printf("DA-SC quickstart: paper Example 1 (%d workers, %d tasks)\n\n",
+              instance.num_workers(), instance.num_tasks());
+  std::printf("%-15s %-7s %s\n", "method", "score", "valid pairs (worker->task)");
+
+  for (const std::string& name : dasc::algo::KnownAllocatorNames()) {
+    auto allocator = dasc::algo::CreateAllocator(name, /*seed=*/1);
+    DASC_CHECK(allocator.ok());
+    const dasc::core::Assignment raw = (*allocator)->Allocate(problem);
+    const dasc::core::Assignment valid = ValidPairs(problem, raw);
+    std::string pairs;
+    for (const auto& [w, t] : valid.pairs()) {
+      pairs += "w" + std::to_string(w + 1) + "->t" + std::to_string(t + 1) + " ";
+    }
+    std::printf("%-15s %-7d %s\n",
+                std::string((*allocator)->name()).c_str(), valid.size(),
+                pairs.c_str());
+  }
+  std::printf(
+      "\nDependency-aware methods assign 3 pairs; Closest wastes workers on\n"
+      "t2/t3 whose dependencies were never assigned (Figure 1(b) vs 1(c)).\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// The paper's two dependency-oblivious baselines (Section V-B).
+#ifndef DASC_ALGO_BASELINES_H_
+#define DASC_ALGO_BASELINES_H_
+
+#include "core/allocator.h"
+#include "util/rng.h"
+
+namespace dasc::algo {
+
+// "Closest": every worker (in id order) grabs the nearest feasible task that
+// is still unassigned, ignoring dependencies. Pairs whose dependencies end up
+// unmet are invalid and do not score.
+class ClosestAllocator : public core::Allocator {
+ public:
+  std::string_view name() const override { return "Closest"; }
+  core::Assignment Allocate(const core::BatchProblem& problem) override;
+};
+
+// "Random": every worker grabs a uniformly random feasible unassigned task,
+// ignoring dependencies.
+class RandomAllocator : public core::Allocator {
+ public:
+  explicit RandomAllocator(uint64_t seed = 42) : rng_(seed) {}
+
+  std::string_view name() const override { return "Random"; }
+  core::Assignment Allocate(const core::BatchProblem& problem) override;
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace dasc::algo
+
+#endif  // DASC_ALGO_BASELINES_H_

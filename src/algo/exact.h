@@ -1,0 +1,48 @@
+// Exact solver: the paper's DFS Algorithm (Section V-B) with an optional
+// admissible branch-and-bound prune and a wall-clock budget.
+//
+// Each level of the search tree is a worker; its children are the feasible
+// tasks the worker can take (plus "skip"). The objective of a leaf is the
+// valid (dependency-closed) pair count. Exponential — only for small-scale
+// ground truth (Table VI).
+#ifndef DASC_ALGO_EXACT_H_
+#define DASC_ALGO_EXACT_H_
+
+#include "core/allocator.h"
+
+namespace dasc::algo {
+
+struct ExactOptions {
+  // Prune branches whose optimistic bound (pairs so far + remaining workers)
+  // cannot beat the incumbent. Keeping the paper's plain exhaustive DFS is
+  // possible with prune = false.
+  bool prune = true;
+  // Seed the incumbent with a DASC_Greedy solution before searching. Only
+  // affects speed (and guarantees DFS >= Greedy even under a time limit).
+  bool warm_start = true;
+  // Stop after this many seconds and return the incumbent (0 = no limit).
+  double time_limit_seconds = 0.0;
+};
+
+class ExactAllocator : public core::Allocator {
+ public:
+  explicit ExactAllocator(ExactOptions options = {});
+
+  std::string_view name() const override { return "DFS"; }
+  core::Assignment Allocate(const core::BatchProblem& problem) override;
+
+  // True iff the last Allocate() exhausted the search space (i.e., the result
+  // is provably optimal rather than a time-limited incumbent).
+  bool last_run_complete() const { return last_run_complete_; }
+  // Nodes expanded by the last Allocate().
+  int64_t last_nodes() const { return last_nodes_; }
+
+ private:
+  ExactOptions options_;
+  bool last_run_complete_ = false;
+  int64_t last_nodes_ = 0;
+};
+
+}  // namespace dasc::algo
+
+#endif  // DASC_ALGO_EXACT_H_

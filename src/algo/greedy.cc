@@ -1,0 +1,294 @@
+#include "algo/greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/auction.h"
+#include "matching/hopcroft_karp.h"
+#include "matching/hungarian.h"
+#include "util/logging.h"
+
+namespace dasc::algo {
+
+namespace {
+
+using core::BatchProblem;
+using core::Instance;
+using core::TaskId;
+
+// One associative task set tc_r = {r} ∪ (unmet deps of r).
+struct AssocSet {
+  TaskId root = core::kInvalidId;
+  std::vector<TaskId> members;  // built once; filter by `assigned` lazily
+  int remaining = 0;            // members not yet assigned this batch
+  int fail_size = -1;           // `remaining` at the last failed match, or -1
+  bool dead = false;            // permanently unservable in this batch
+};
+
+// Result of one matching attempt for an associative set.
+struct MatchAttempt {
+  bool feasible = false;
+  double cost = 0.0;
+  // Parallel arrays: task -> worker index (into problem.workers).
+  std::vector<TaskId> tasks;
+  std::vector<int> workers;
+};
+
+class GreedyRun {
+ public:
+  GreedyRun(const BatchProblem& problem, const GreedyOptions& options)
+      : problem_(problem),
+        instance_(*problem.instance),
+        options_(options),
+        candidates_(core::BuildCandidates(problem)) {}
+
+  core::Assignment Run();
+
+  int iterations() const { return iterations_; }
+  int64_t match_attempts() const { return match_attempts_; }
+
+ private:
+  void BuildAssocSets();
+  MatchAttempt TryMatch(const AssocSet& set) const;
+  void Commit(const MatchAttempt& attempt, core::Assignment* out);
+
+  int iterations_ = 0;
+  mutable int64_t match_attempts_ = 0;
+
+  const BatchProblem& problem_;
+  const Instance& instance_;
+  GreedyOptions options_;
+  core::CandidateSets candidates_;
+
+  std::vector<AssocSet> sets_;
+  // For each task id, indices into sets_ whose member list contains it.
+  std::unordered_map<TaskId, std::vector<int>> containing_sets_;
+  std::vector<uint8_t> assigned_;          // per task id, assigned this batch
+  std::vector<uint8_t> worker_available_;  // per index into problem_.workers
+};
+
+void GreedyRun::BuildAssocSets() {
+  std::vector<uint8_t> open(static_cast<size_t>(instance_.num_tasks()), 0);
+  for (TaskId t : problem_.open_tasks) open[static_cast<size_t>(t)] = 1;
+
+  sets_.reserve(problem_.open_tasks.size());
+  for (TaskId root : problem_.open_tasks) {
+    AssocSet set;
+    set.root = root;
+    set.members.push_back(root);
+    bool servable = true;
+    for (TaskId f : instance_.DepClosure(root)) {
+      if (problem_.TaskAssignedBefore(f)) continue;  // dependency credit
+      if (!problem_.in_batch_dependency_credit) {
+        // Completion-based mode: only previously-satisfied dependencies
+        // count; the root must wait for a later batch.
+        servable = false;
+        break;
+      }
+      if (!open[static_cast<size_t>(f)]) {
+        // A dependency is neither satisfied nor open (expired or not yet
+        // arrived): the root cannot be legally assigned this batch.
+        servable = false;
+        break;
+      }
+      set.members.push_back(f);
+    }
+    if (!servable) continue;
+    // A member with no feasible worker at all blocks the set permanently
+    // (candidate sets only shrink during the run).
+    for (TaskId m : set.members) {
+      if (candidates_.task_workers[static_cast<size_t>(m)].empty()) {
+        servable = false;
+        break;
+      }
+    }
+    if (!servable) continue;
+    set.remaining = static_cast<int>(set.members.size());
+    const int index = static_cast<int>(sets_.size());
+    for (TaskId m : set.members) containing_sets_[m].push_back(index);
+    sets_.push_back(std::move(set));
+  }
+}
+
+MatchAttempt GreedyRun::TryMatch(const AssocSet& set) const {
+  ++match_attempts_;
+  MatchAttempt attempt;
+  // Live members and the union of their available candidate workers.
+  std::vector<TaskId> tasks;
+  tasks.reserve(static_cast<size_t>(set.remaining));
+  std::vector<int> columns;  // worker indices
+  std::unordered_map<int, int> column_of;
+  for (TaskId m : set.members) {
+    if (assigned_[static_cast<size_t>(m)]) continue;
+    tasks.push_back(m);
+    for (int wi : candidates_.task_workers[static_cast<size_t>(m)]) {
+      if (!worker_available_[static_cast<size_t>(wi)]) continue;
+      if (column_of.emplace(wi, static_cast<int>(columns.size())).second) {
+        columns.push_back(wi);
+      }
+    }
+  }
+  if (tasks.empty() || tasks.size() > columns.size()) return attempt;
+
+  if (options_.backend == GreedyOptions::MatchingBackend::kHopcroftKarp) {
+    matching::HopcroftKarp hk(static_cast<int>(tasks.size()),
+                              static_cast<int>(columns.size()));
+    for (size_t r = 0; r < tasks.size(); ++r) {
+      for (int wi : candidates_.task_workers[static_cast<size_t>(tasks[r])]) {
+        if (!worker_available_[static_cast<size_t>(wi)]) continue;
+        hk.AddEdge(static_cast<int>(r), column_of.at(wi));
+      }
+    }
+    if (hk.MaxMatching() != static_cast<int>(tasks.size())) return attempt;
+    attempt.feasible = true;
+    attempt.tasks = tasks;
+    attempt.workers.resize(tasks.size());
+    for (size_t r = 0; r < tasks.size(); ++r) {
+      attempt.workers[r] =
+          columns[static_cast<size_t>(hk.MatchOfLeft(static_cast<int>(r)))];
+    }
+    return attempt;
+  }
+
+  // Cost-aware backends: minimize total travel time among feasible
+  // matchings (exactly with Hungarian, within rows*epsilon with the
+  // auction).
+  std::vector<std::vector<double>> cost(
+      tasks.size(),
+      std::vector<double>(columns.size(), matching::kInfeasible));
+  for (size_t r = 0; r < tasks.size(); ++r) {
+    const TaskId m = tasks[r];
+    for (int wi : candidates_.task_workers[static_cast<size_t>(m)]) {
+      if (!worker_available_[static_cast<size_t>(wi)]) continue;
+      const core::WorkerState& state = problem_.workers[static_cast<size_t>(wi)];
+      const double dist = core::ServeDistance(instance_, state, m, problem_.params);
+      const double travel_time = dist / instance_.worker(state.id).velocity;
+      cost[r][static_cast<size_t>(column_of.at(wi))] = travel_time;
+    }
+  }
+  matching::HungarianResult result;
+  if (options_.backend == GreedyOptions::MatchingBackend::kAuction) {
+    matching::AuctionOptions auction_options;
+    auction_options.epsilon = options_.auction_epsilon;
+    result = matching::AuctionAssignment(cost, auction_options);
+  } else {
+    result = matching::SolveAssignment(cost);
+  }
+  if (!result.feasible) return attempt;
+  attempt.feasible = true;
+  attempt.cost = result.cost;
+  attempt.tasks = tasks;
+  attempt.workers.resize(tasks.size());
+  for (size_t r = 0; r < tasks.size(); ++r) {
+    attempt.workers[r] = columns[static_cast<size_t>(result.row_to_col[r])];
+  }
+  return attempt;
+}
+
+void GreedyRun::Commit(const MatchAttempt& attempt, core::Assignment* out) {
+  for (size_t r = 0; r < attempt.tasks.size(); ++r) {
+    const TaskId m = attempt.tasks[r];
+    const int wi = attempt.workers[r];
+    out->Add(problem_.workers[static_cast<size_t>(wi)].id, m);
+    DASC_CHECK(!assigned_[static_cast<size_t>(m)]);
+    DASC_CHECK(worker_available_[static_cast<size_t>(wi)]);
+    assigned_[static_cast<size_t>(m)] = 1;
+    worker_available_[static_cast<size_t>(wi)] = 0;
+    auto it = containing_sets_.find(m);
+    if (it != containing_sets_.end()) {
+      for (int si : it->second) {
+        AssocSet& set = sets_[static_cast<size_t>(si)];
+        if (!set.dead) --set.remaining;
+      }
+    }
+  }
+}
+
+core::Assignment GreedyRun::Run() {
+  core::Assignment out;
+  assigned_.assign(static_cast<size_t>(instance_.num_tasks()), 0);
+  worker_available_.assign(problem_.workers.size(), 1);
+  BuildAssocSets();
+
+  // Iteration of Algorithm 1: evaluate associative sets in decreasing order
+  // of current size, commit the first (cheapest under Hungarian ties) size
+  // class with a feasible matching. A set that failed at size k can only
+  // become feasible again after it shrinks (worker pools only shrink), which
+  // fail_size tracks.
+  while (true) {
+    // Order live sets by size descending.
+    std::vector<int> order;
+    order.reserve(sets_.size());
+    for (size_t i = 0; i < sets_.size(); ++i) {
+      const AssocSet& set = sets_[i];
+      if (set.dead || set.remaining <= 0) continue;
+      if (assigned_[static_cast<size_t>(set.root)]) {
+        // Root got assigned as a dependency of another set; the set is done.
+        continue;
+      }
+      order.push_back(static_cast<int>(i));
+    }
+    if (order.empty()) break;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const int ra = sets_[static_cast<size_t>(a)].remaining;
+      const int rb = sets_[static_cast<size_t>(b)].remaining;
+      if (ra != rb) return ra > rb;
+      return sets_[static_cast<size_t>(a)].root <
+             sets_[static_cast<size_t>(b)].root;
+    });
+
+    bool committed = false;
+    size_t i = 0;
+    while (i < order.size()) {
+      const int size_class = sets_[static_cast<size_t>(order[i])].remaining;
+      // Evaluate the whole size class, pick the cheapest feasible attempt.
+      MatchAttempt best;
+      double best_cost = std::numeric_limits<double>::infinity();
+      size_t j = i;
+      for (; j < order.size() &&
+             sets_[static_cast<size_t>(order[j])].remaining == size_class;
+           ++j) {
+        AssocSet& set = sets_[static_cast<size_t>(order[j])];
+        if (set.fail_size == set.remaining) continue;  // known infeasible
+        MatchAttempt attempt = TryMatch(set);
+        if (!attempt.feasible) {
+          set.fail_size = set.remaining;
+          continue;
+        }
+        if (!best.feasible || attempt.cost < best_cost) {
+          best = std::move(attempt);
+          best_cost = best.cost;
+        }
+        if (options_.backend == GreedyOptions::MatchingBackend::kHopcroftKarp) {
+          break;  // no cost tie-breaking: first feasible wins
+        }
+      }
+      if (best.feasible) {
+        Commit(best, &out);
+        ++iterations_;
+        committed = true;
+        break;
+      }
+      i = j;
+    }
+    if (!committed) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+GreedyAllocator::GreedyAllocator(GreedyOptions options) : options_(options) {}
+
+core::Assignment GreedyAllocator::Allocate(const core::BatchProblem& problem) {
+  DASC_CHECK(problem.instance != nullptr);
+  GreedyRun run(problem, options_);
+  core::Assignment assignment = run.Run();
+  last_iterations_ = run.iterations();
+  last_match_attempts_ = run.match_attempts();
+  return assignment;
+}
+
+}  // namespace dasc::algo

@@ -1,0 +1,31 @@
+// Additional allocation policies beyond the paper's four:
+//  * MaxMatchingAllocator — the strongest dependency-oblivious policy: a
+//    maximum bipartite matching over all feasible pairs (upper envelope of
+//    Closest/Random); shows that ignoring dependencies loses even with
+//    per-batch-optimal pairing.
+//  * UrgencyAllocator — cheap dependency-aware list scheduling: repeatedly
+//    assigns the ready task with the most open dependents (ties: earliest
+//    expiry) to its nearest available feasible worker. A middle ground
+//    between the baselines and DASC_Greedy.
+#ifndef DASC_ALGO_HEURISTICS_H_
+#define DASC_ALGO_HEURISTICS_H_
+
+#include "core/allocator.h"
+
+namespace dasc::algo {
+
+class MaxMatchingAllocator : public core::Allocator {
+ public:
+  std::string_view name() const override { return "MaxMatch"; }
+  core::Assignment Allocate(const core::BatchProblem& problem) override;
+};
+
+class UrgencyAllocator : public core::Allocator {
+ public:
+  std::string_view name() const override { return "Urgency"; }
+  core::Assignment Allocate(const core::BatchProblem& problem) override;
+};
+
+}  // namespace dasc::algo
+
+#endif  // DASC_ALGO_HEURISTICS_H_

@@ -1,0 +1,62 @@
+// Local-search post-optimization of batch assignments.
+//
+// Two move families over a (worker -> task) assignment:
+//  * relocate: move a worker to a free feasible task when that strictly
+//    increases the valid (dependency-closed) score — evaluated with the same
+//    incremental marginal-value counters as the game allocator;
+//  * swap: exchange two workers' tasks when both directions are feasible and
+//    total travel time strictly drops (score-neutral cost polish).
+// Hill-climbs to a local optimum (or a pass budget). Wrapping any allocator
+// with LocalSearchAllocator yields its "+LS" variant.
+#ifndef DASC_ALGO_LOCAL_SEARCH_H_
+#define DASC_ALGO_LOCAL_SEARCH_H_
+
+#include <memory>
+#include <string>
+
+#include "core/allocator.h"
+
+namespace dasc::algo {
+
+struct LocalSearchOptions {
+  // Full sweeps over all workers per batch; 0 disables relocation.
+  int max_relocate_passes = 8;
+  // Full sweeps of pairwise swaps; 0 disables the cost polish.
+  int max_swap_passes = 2;
+};
+
+struct LocalSearchStats {
+  int relocations = 0;
+  int swaps = 0;
+  int score_gain = 0;
+  double travel_saved = 0.0;
+};
+
+// Improves `assignment` in place for the given batch; returns move stats.
+// The input must satisfy the exclusive constraint (one task per worker and
+// vice versa); pairs may be dependency-invalid (they are improvement fuel).
+LocalSearchStats ImproveAssignment(const core::BatchProblem& problem,
+                                   const LocalSearchOptions& options,
+                                   core::Assignment* assignment);
+
+// Decorator: runs `inner`, then local search.
+class LocalSearchAllocator : public core::Allocator {
+ public:
+  LocalSearchAllocator(std::unique_ptr<core::Allocator> inner,
+                       LocalSearchOptions options = {});
+
+  std::string_view name() const override { return name_; }
+  core::Assignment Allocate(const core::BatchProblem& problem) override;
+
+  const LocalSearchStats& last_stats() const { return last_stats_; }
+
+ private:
+  std::unique_ptr<core::Allocator> inner_;
+  LocalSearchOptions options_;
+  std::string name_;
+  LocalSearchStats last_stats_;
+};
+
+}  // namespace dasc::algo
+
+#endif  // DASC_ALGO_LOCAL_SEARCH_H_

@@ -1,0 +1,39 @@
+// Name-based allocator factory used by benches, examples, and tests.
+#ifndef DASC_ALGO_REGISTRY_H_
+#define DASC_ALGO_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocator.h"
+#include "util/status.h"
+
+namespace dasc::algo {
+
+// Recognized names (case-sensitive):
+//   "greedy"   DASC_Greedy (Hungarian backend)
+//   "greedy-hk" DASC_Greedy (Hopcroft-Karp backend)
+//   "greedy-auction" DASC_Greedy (Bertsekas auction backend)
+//   "greedy-ls" DASC_Greedy followed by local-search improvement
+//   "game"     DASC_Game, strict termination
+//   "game5"    DASC_Game, 5% utility-updating-ratio threshold
+//   "gg"       DASC_Game initialized by DASC_Greedy (G-G)
+//   "closest"  nearest-feasible-task baseline
+//   "random"   random-feasible-task baseline
+//   "maxmatch" maximum-bipartite-matching baseline (dependency-oblivious)
+//   "urgency"  dependency-aware list-scheduling heuristic
+//   "dfs"      exact DFS (small instances only; 60 s default budget)
+util::Result<std::unique_ptr<core::Allocator>> CreateAllocator(
+    const std::string& name, uint64_t seed = 42);
+
+// Splits a comma-separated list ("greedy,game5,closest") into allocators.
+util::Result<std::vector<std::unique_ptr<core::Allocator>>> CreateAllocators(
+    const std::string& names, uint64_t seed = 42);
+
+// All recognized names, for help text.
+std::vector<std::string> KnownAllocatorNames();
+
+}  // namespace dasc::algo
+
+#endif  // DASC_ALGO_REGISTRY_H_

@@ -1,0 +1,29 @@
+// Allocator interface: one batch in, one assignment out.
+#ifndef DASC_CORE_ALLOCATOR_H_
+#define DASC_CORE_ALLOCATOR_H_
+
+#include <string_view>
+
+#include "core/assignment.h"
+#include "core/batch.h"
+
+namespace dasc::core {
+
+// A batch allocation policy. Implementations may be stateful (e.g., carry an
+// RNG); the platform calls Allocate once per batch. The returned assignment
+// may contain dependency-violating pairs (the paper's baselines do); the
+// platform commits ValidPairs() of it, and scores |ValidPairs()|.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  // Short stable name used in experiment tables ("Greedy", "Game-5%", ...).
+  virtual std::string_view name() const = 0;
+
+  // Computes the batch assignment.
+  virtual Assignment Allocate(const BatchProblem& problem) = 0;
+};
+
+}  // namespace dasc::core
+
+#endif  // DASC_CORE_ALLOCATOR_H_

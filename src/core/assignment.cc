@@ -1,0 +1,136 @@
+#include "core/assignment.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace dasc::core {
+
+namespace {
+
+// Deduplicates pairs so that each worker and each task appears at most once
+// (first occurrence wins), returning kept indices.
+std::vector<size_t> ExclusivePairIndices(const Assignment& assignment) {
+  std::unordered_set<WorkerId> used_workers;
+  std::unordered_set<TaskId> used_tasks;
+  std::vector<size_t> kept;
+  const auto& pairs = assignment.pairs();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [w, t] = pairs[i];
+    if (used_workers.contains(w) || used_tasks.contains(t)) continue;
+    used_workers.insert(w);
+    used_tasks.insert(t);
+    kept.push_back(i);
+  }
+  return kept;
+}
+
+}  // namespace
+
+SplitAssignment SplitPairs(const BatchProblem& problem,
+                           const Assignment& assignment) {
+  DASC_CHECK(problem.instance != nullptr);
+  const Instance& instance = *problem.instance;
+  const auto kept = ExclusivePairIndices(assignment);
+
+  // Tasks assigned within this batch (after exclusivity dedup).
+  std::vector<uint8_t> in_batch(static_cast<size_t>(instance.num_tasks()), 0);
+  if (problem.in_batch_dependency_credit) {
+    for (size_t i : kept) {
+      in_batch[static_cast<size_t>(assignment.pairs()[i].second)] = 1;
+    }
+  }
+
+  // Because closures are transitive, a single pass suffices: if every task in
+  // closure(t) is assigned (before or in-batch), then each of those tasks
+  // also has its own closure assigned (closure(f) subset of closure(t)).
+  SplitAssignment split;
+  for (size_t i : kept) {
+    const auto& [w, t] = assignment.pairs()[i];
+    bool deps_met = true;
+    for (TaskId f : instance.DepClosure(t)) {
+      if (!problem.TaskAssignedBefore(f) && !in_batch[static_cast<size_t>(f)]) {
+        deps_met = false;
+        break;
+      }
+    }
+    if (deps_met) {
+      split.valid.Add(w, t);
+    } else {
+      split.invalid.Add(w, t);
+    }
+  }
+  return split;
+}
+
+Assignment ValidPairs(const BatchProblem& problem,
+                      const Assignment& assignment) {
+  return SplitPairs(problem, assignment).valid;
+}
+
+int ValidScore(const BatchProblem& problem, const Assignment& assignment) {
+  return ValidPairs(problem, assignment).size();
+}
+
+util::Status ValidateAssignment(const BatchProblem& problem,
+                                const Assignment& assignment) {
+  DASC_CHECK(problem.instance != nullptr);
+  const Instance& instance = *problem.instance;
+
+  // Index the batch's worker states; allocators may only assign workers that
+  // are part of the batch.
+  std::unordered_map<WorkerId, const WorkerState*> states;
+  for (const WorkerState& s : problem.workers) states[s.id] = &s;
+  std::vector<uint8_t> open(static_cast<size_t>(instance.num_tasks()), 0);
+  for (TaskId t : problem.open_tasks) open[static_cast<size_t>(t)] = 1;
+
+  std::unordered_set<WorkerId> used_workers;
+  std::unordered_set<TaskId> used_tasks;
+  std::vector<uint8_t> in_batch(static_cast<size_t>(instance.num_tasks()), 0);
+  if (problem.in_batch_dependency_credit) {
+    for (const auto& [w, t] : assignment.pairs()) {
+      in_batch[static_cast<size_t>(t)] = 1;
+    }
+  }
+
+  for (const auto& [w, t] : assignment.pairs()) {
+    auto it = states.find(w);
+    if (it == states.end()) {
+      return util::Status::FailedPrecondition(
+          "worker " + std::to_string(w) + " is not part of this batch");
+    }
+    if (t < 0 || t >= instance.num_tasks() || !open[static_cast<size_t>(t)]) {
+      return util::Status::FailedPrecondition(
+          "task " + std::to_string(t) + " is not open in this batch");
+    }
+    // Exclusive constraint.
+    if (!used_workers.insert(w).second) {
+      return util::Status::FailedPrecondition(
+          "worker " + std::to_string(w) + " assigned to multiple tasks");
+    }
+    if (!used_tasks.insert(t).second) {
+      return util::Status::FailedPrecondition(
+          "task " + std::to_string(t) + " assigned to multiple workers");
+    }
+    // Skill + deadline constraints.
+    if (!CanServe(instance, *it->second, t, problem.now, problem.params)) {
+      return util::Status::FailedPrecondition(
+          "pair (" + std::to_string(w) + ", " + std::to_string(t) +
+          ") violates skill/deadline/distance feasibility");
+    }
+    // Dependency constraint.
+    for (TaskId f : instance.DepClosure(t)) {
+      if (!problem.TaskAssignedBefore(f) &&
+          !in_batch[static_cast<size_t>(f)]) {
+        return util::Status::FailedPrecondition(
+            "task " + std::to_string(t) + " misses dependency " +
+            std::to_string(f));
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace dasc::core

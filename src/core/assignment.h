@@ -1,0 +1,63 @@
+// Worker-task assignments, validity filtering (the dependency-closed subset
+// whose size is the paper's objective Sum(M)), and full constraint audits.
+#ifndef DASC_CORE_ASSIGNMENT_H_
+#define DASC_CORE_ASSIGNMENT_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/batch.h"
+#include "util/status.h"
+
+namespace dasc::core {
+
+// An ordered set of (worker, task) pairs produced by an allocator for one
+// batch. Baselines may emit pairs that violate the dependency constraint;
+// ValidPairs() extracts the subset that counts.
+class Assignment {
+ public:
+  Assignment() = default;
+
+  void Add(WorkerId worker, TaskId task) { pairs_.emplace_back(worker, task); }
+
+  const std::vector<std::pair<WorkerId, TaskId>>& pairs() const {
+    return pairs_;
+  }
+  int size() const { return static_cast<int>(pairs_.size()); }
+  bool empty() const { return pairs_.empty(); }
+
+ private:
+  std::vector<std::pair<WorkerId, TaskId>> pairs_;
+};
+
+// Returns the subset of `assignment` whose pairs satisfy the dependency
+// constraint given the batch context: a pair (w, t) is kept iff every task
+// in the transitive dependency closure of t is either assigned in an earlier
+// batch or assigned (to some worker) within `assignment` itself. Exclusivity
+// is also enforced (first pair wins for a duplicated worker or task).
+Assignment ValidPairs(const BatchProblem& problem,
+                      const Assignment& assignment);
+
+// Like ValidPairs but also returns the exclusivity-deduplicated pairs whose
+// dependency constraint is NOT met. These are the assignments the paper's
+// baselines waste: the worker is dispatched but cannot conduct the task
+// ("assigned workers need to wait until the dependencies ... are satisfied").
+struct SplitAssignment {
+  Assignment valid;
+  Assignment invalid;
+};
+SplitAssignment SplitPairs(const BatchProblem& problem,
+                           const Assignment& assignment);
+
+// |ValidPairs(...)| — the batch contribution to the paper's Sum(M).
+int ValidScore(const BatchProblem& problem, const Assignment& assignment);
+
+// Audits all four DA-SC constraints (skill, deadline, exclusive, dependency)
+// for `assignment` in the batch context. Used by tests and by the simulator
+// in debug builds; returns the first violation found.
+util::Status ValidateAssignment(const BatchProblem& problem,
+                                const Assignment& assignment);
+
+}  // namespace dasc::core
+
+#endif  // DASC_CORE_ASSIGNMENT_H_

@@ -1,0 +1,80 @@
+#include "core/batch.h"
+
+#include <algorithm>
+
+#include "geo/grid_index.h"
+#include "util/logging.h"
+
+namespace dasc::core {
+
+BatchProblem BatchProblem::AllAt(const Instance& instance, double now) {
+  BatchProblem problem;
+  problem.instance = &instance;
+  problem.now = now;
+  problem.workers.reserve(static_cast<size_t>(instance.num_workers()));
+  for (const Worker& w : instance.workers()) {
+    problem.workers.push_back(WorkerState::Initial(w));
+  }
+  problem.open_tasks.resize(static_cast<size_t>(instance.num_tasks()));
+  for (int t = 0; t < instance.num_tasks(); ++t) {
+    problem.open_tasks[static_cast<size_t>(t)] = t;
+  }
+  problem.assigned_before.assign(static_cast<size_t>(instance.num_tasks()), 0);
+  return problem;
+}
+
+CandidateSets BuildCandidates(const BatchProblem& problem) {
+  DASC_CHECK(problem.instance != nullptr);
+  const Instance& instance = *problem.instance;
+  CandidateSets sets;
+  sets.worker_tasks.resize(problem.workers.size());
+  sets.task_workers.resize(static_cast<size_t>(instance.num_tasks()));
+
+  const bool use_grid =
+      problem.params.distance_kind == geo::DistanceKind::kEuclidean &&
+      problem.open_tasks.size() >= 64;
+
+  if (use_grid) {
+    std::vector<geo::Point> locations;
+    locations.reserve(problem.open_tasks.size());
+    for (TaskId t : problem.open_tasks) {
+      locations.push_back(instance.task(t).location);
+    }
+    geo::GridIndex index(locations);
+    std::vector<int32_t> hits;
+    for (size_t i = 0; i < problem.workers.size(); ++i) {
+      const WorkerState& state = problem.workers[i];
+      hits.clear();
+      index.QueryRadius(state.location, state.remaining_distance, &hits);
+      auto& out = sets.worker_tasks[i];
+      for (int32_t local : hits) {
+        const TaskId t = problem.open_tasks[static_cast<size_t>(local)];
+        if (CanServe(instance, state, t, problem.now, problem.params)) {
+          out.push_back(t);
+        }
+      }
+      std::sort(out.begin(), out.end());
+    }
+  } else {
+    for (size_t i = 0; i < problem.workers.size(); ++i) {
+      const WorkerState& state = problem.workers[i];
+      auto& out = sets.worker_tasks[i];
+      for (TaskId t : problem.open_tasks) {
+        if (CanServe(instance, state, t, problem.now, problem.params)) {
+          out.push_back(t);
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < sets.worker_tasks.size(); ++i) {
+    for (TaskId t : sets.worker_tasks[i]) {
+      sets.task_workers[static_cast<size_t>(t)].push_back(
+          static_cast<int>(i));
+      ++sets.num_pairs;
+    }
+  }
+  return sets;
+}
+
+}  // namespace dasc::core

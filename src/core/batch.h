@@ -1,0 +1,60 @@
+// Batch problem: what an allocator sees in one batch process, plus candidate
+// (feasible worker-task pair) construction shared by all algorithms.
+#ifndef DASC_CORE_BATCH_H_
+#define DASC_CORE_BATCH_H_
+
+#include <vector>
+
+#include "core/feasibility.h"
+#include "core/instance.h"
+
+namespace dasc::core {
+
+// One batch of the dynamic platform (Section II-D: "the spatial crowdsourcing
+// platforms assign workers to tasks batch-by-batch").
+struct BatchProblem {
+  const Instance* instance = nullptr;
+  // Batch timestamp.
+  double now = 0.0;
+  // Idle, unexpired workers with their current positions / travel budgets.
+  std::vector<WorkerState> workers;
+  // Arrived, unexpired, not-yet-assigned tasks.
+  std::vector<TaskId> open_tasks;
+  // assigned_before[t] != 0 iff task t was assigned in an earlier batch;
+  // such tasks satisfy dependency constraints of their dependents. Sized
+  // instance->num_tasks().
+  std::vector<uint8_t> assigned_before;
+  // Paper semantics (Definition 3): a dependency is satisfied by being
+  // assigned *within the same batch assignment*. Set false for the stricter
+  // completion-based dependency mode, where only assigned_before counts.
+  bool in_batch_dependency_credit = true;
+  FeasibilityParams params;
+
+  // Builds the single-batch ("offline") problem over a whole instance at
+  // time `now` = 0 semantics where every worker/task is present: used by the
+  // small-scale experiment and unit tests. Workers depart from their initial
+  // state; feasibility uses CanServe at `now`.
+  static BatchProblem AllAt(const Instance& instance, double now);
+
+  bool TaskAssignedBefore(TaskId t) const {
+    return assigned_before[static_cast<size_t>(t)] != 0;
+  }
+};
+
+// Feasible-pair candidate sets for one batch.
+struct CandidateSets {
+  // worker_tasks[i]: open tasks servable by problem.workers[i] (sorted).
+  std::vector<std::vector<TaskId>> worker_tasks;
+  // task_workers[t]: indices into problem.workers that can serve global task
+  // t (sized instance->num_tasks(); empty for non-open tasks).
+  std::vector<std::vector<int>> task_workers;
+  int64_t num_pairs = 0;
+};
+
+// Computes candidate sets, using a grid index over open-task locations for
+// Euclidean workloads and a full scan otherwise.
+CandidateSets BuildCandidates(const BatchProblem& problem);
+
+}  // namespace dasc::core
+
+#endif  // DASC_CORE_BATCH_H_

@@ -1,0 +1,50 @@
+#include "core/feasibility.h"
+
+#include <algorithm>
+
+namespace dasc::core {
+
+double PairDistance(const FeasibilityParams& params, const geo::Point& a,
+                    const geo::Point& b) {
+  if (params.distance_kind == geo::DistanceKind::kRoadNetwork) {
+    DASC_CHECK(params.road_network != nullptr)
+        << "kRoadNetwork requires FeasibilityParams::road_network";
+    return params.road_network->Distance(a, b);
+  }
+  return geo::Distance(params.distance_kind, a, b);
+}
+
+double ServeDistance(const Instance& instance, const WorkerState& state,
+                     TaskId task, const FeasibilityParams& params) {
+  return PairDistance(params, state.location, instance.task(task).location);
+}
+
+bool CanServe(const Instance& instance, const WorkerState& state, TaskId task,
+              double now, const FeasibilityParams& params) {
+  const Worker& w = instance.worker(state.id);
+  const Task& t = instance.task(task);
+  if (!w.HasSkill(t.required_skill)) return false;
+  if (now > w.Deadline()) return false;       // worker already left
+  if (t.start_time > w.Deadline()) return false;  // task appears after worker leaves
+  if (t.start_time > now) return false;       // task not on platform yet
+  const double dist = ServeDistance(instance, state, task, params);
+  if (dist > state.remaining_distance) return false;
+  const double arrival = now + dist / w.velocity;
+  return arrival <= t.Expiry();
+}
+
+bool CanServeOffline(const Instance& instance, WorkerId worker, TaskId task,
+                     const FeasibilityParams& params) {
+  const Worker& w = instance.worker(worker);
+  const Task& t = instance.task(task);
+  if (!w.HasSkill(t.required_skill)) return false;
+  if (t.start_time > w.Deadline()) return false;
+  // The worker cannot depart before both parties are on the platform.
+  const double depart = std::max(w.start_time, t.start_time);
+  if (depart > w.Deadline()) return false;
+  const double dist = PairDistance(params, w.location, t.location);
+  if (dist > w.max_distance) return false;
+  return depart + dist / w.velocity <= t.Expiry();
+}
+
+}  // namespace dasc::core

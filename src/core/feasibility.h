@@ -1,0 +1,61 @@
+// Worker-task feasibility predicates (paper constraints 1-2) and dynamic
+// worker state used by batch processing.
+#ifndef DASC_CORE_FEASIBILITY_H_
+#define DASC_CORE_FEASIBILITY_H_
+
+#include "core/instance.h"
+#include "geo/distance.h"
+#include "geo/road_network.h"
+
+namespace dasc::core {
+
+// Cross-cutting feasibility knobs shared by all algorithms.
+struct FeasibilityParams {
+  geo::DistanceKind distance_kind = geo::DistanceKind::kEuclidean;
+  // Required (non-null) when distance_kind == kRoadNetwork; not owned.
+  const geo::RoadNetwork* road_network = nullptr;
+};
+
+// Distance between two points under `params` (dispatches to the road
+// network when configured).
+double PairDistance(const FeasibilityParams& params, const geo::Point& a,
+                    const geo::Point& b);
+
+// A worker's dynamic state at a batch timestamp: position (workers move as
+// they serve tasks) and the remaining travel budget out of d_w.
+struct WorkerState {
+  WorkerId id = kInvalidId;
+  geo::Point location;
+  double remaining_distance = 0.0;
+
+  // Snapshot of a freshly-arrived worker.
+  static WorkerState Initial(const Worker& w) {
+    return {w.id, w.location, w.max_distance};
+  }
+};
+
+// Travel distance from the worker state to the task, under `params`.
+double ServeDistance(const Instance& instance, const WorkerState& state,
+                     TaskId task, const FeasibilityParams& params);
+
+// True iff the worker in `state` can serve `task` when dispatched at time
+// `now` (batch semantics):
+//   * skill match,
+//   * the worker is still on the platform (now <= s_w + w_w) and the task
+//     appeared before the worker leaves (s_t <= s_w + w_w),
+//   * the task has appeared (s_t <= now),
+//   * travel fits the remaining distance budget,
+//   * arrival time now + dist/v_w is within the task deadline s_t + w_t.
+bool CanServe(const Instance& instance, const WorkerState& state, TaskId task,
+              double now, const FeasibilityParams& params);
+
+// Static (single-batch / offline) form used by the paper's Definition 3:
+// the worker departs at max(s_w, s_t) from its initial location. Equivalent
+// to the paper's condition w_t - max(s_w - s_t, 0) - ct_w(l_w, l_t) >= 0
+// plus s_t <= s_w + w_w.
+bool CanServeOffline(const Instance& instance, WorkerId worker, TaskId task,
+                     const FeasibilityParams& params);
+
+}  // namespace dasc::core
+
+#endif  // DASC_CORE_FEASIBILITY_H_

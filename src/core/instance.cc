@@ -1,0 +1,125 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <string>
+
+#include "graph/dag.h"
+#include "util/logging.h"
+
+namespace dasc::core {
+
+util::Result<Instance> Instance::Create(std::vector<Worker> workers,
+                                        std::vector<Task> tasks,
+                                        int num_skills) {
+  if (num_skills <= 0) {
+    return util::Status::InvalidArgument("num_skills must be positive");
+  }
+  for (size_t i = 0; i < workers.size(); ++i) {
+    Worker& w = workers[i];
+    if (w.id != static_cast<WorkerId>(i)) {
+      return util::Status::InvalidArgument(
+          "worker ids must be dense: worker at index " + std::to_string(i) +
+          " has id " + std::to_string(w.id));
+    }
+    if (w.velocity <= 0.0) {
+      return util::Status::InvalidArgument(
+          "worker " + std::to_string(w.id) + " has non-positive velocity");
+    }
+    if (w.wait_time < 0.0 || w.max_distance < 0.0) {
+      return util::Status::InvalidArgument(
+          "worker " + std::to_string(w.id) +
+          " has negative wait_time or max_distance");
+    }
+    if (w.skills.empty()) {
+      return util::Status::InvalidArgument(
+          "worker " + std::to_string(w.id) + " has an empty skill set");
+    }
+    std::sort(w.skills.begin(), w.skills.end());
+    w.skills.erase(std::unique(w.skills.begin(), w.skills.end()),
+                   w.skills.end());
+    for (SkillId s : w.skills) {
+      if (s < 0 || s >= num_skills) {
+        return util::Status::OutOfRange(
+            "worker " + std::to_string(w.id) + " has skill " +
+            std::to_string(s) + " outside [0, " + std::to_string(num_skills) +
+            ")");
+      }
+    }
+  }
+
+  graph::Dag dag(static_cast<graph::NodeId>(tasks.size()));
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    Task& t = tasks[i];
+    if (t.id != static_cast<TaskId>(i)) {
+      return util::Status::InvalidArgument(
+          "task ids must be dense: task at index " + std::to_string(i) +
+          " has id " + std::to_string(t.id));
+    }
+    if (t.wait_time < 0.0) {
+      return util::Status::InvalidArgument(
+          "task " + std::to_string(t.id) + " has negative wait_time");
+    }
+    if (t.required_skill < 0 || t.required_skill >= num_skills) {
+      return util::Status::OutOfRange(
+          "task " + std::to_string(t.id) + " requires skill " +
+          std::to_string(t.required_skill) + " outside [0, " +
+          std::to_string(num_skills) + ")");
+    }
+    std::sort(t.dependencies.begin(), t.dependencies.end());
+    t.dependencies.erase(
+        std::unique(t.dependencies.begin(), t.dependencies.end()),
+        t.dependencies.end());
+    for (TaskId d : t.dependencies) {
+      if (d < 0 || d >= static_cast<TaskId>(tasks.size())) {
+        return util::Status::OutOfRange("task " + std::to_string(t.id) +
+                                        " depends on unknown task " +
+                                        std::to_string(d));
+      }
+      if (d == t.id) {
+        return util::Status::InvalidArgument(
+            "task " + std::to_string(t.id) + " depends on itself");
+      }
+      dag.AddDependency(t.id, d);
+    }
+  }
+
+  auto closure = dag.TransitiveClosure();
+  if (!closure.ok()) return closure.status();
+
+  Instance instance;
+  instance.workers_ = std::move(workers);
+  instance.tasks_ = std::move(tasks);
+  instance.num_skills_ = num_skills;
+  instance.closure_ = std::move(*closure);
+  instance.dependents_ = graph::Dag::Dependents(instance.closure_);
+  for (const auto& deps : instance.closure_) {
+    instance.total_closure_size_ += static_cast<int64_t>(deps.size());
+  }
+  return instance;
+}
+
+const Worker& Instance::worker(WorkerId id) const {
+  DASC_CHECK_GE(id, 0);
+  DASC_CHECK_LT(id, num_workers());
+  return workers_[static_cast<size_t>(id)];
+}
+
+const Task& Instance::task(TaskId id) const {
+  DASC_CHECK_GE(id, 0);
+  DASC_CHECK_LT(id, num_tasks());
+  return tasks_[static_cast<size_t>(id)];
+}
+
+const std::vector<TaskId>& Instance::DepClosure(TaskId t) const {
+  DASC_CHECK_GE(t, 0);
+  DASC_CHECK_LT(t, num_tasks());
+  return closure_[static_cast<size_t>(t)];
+}
+
+const std::vector<TaskId>& Instance::Dependents(TaskId t) const {
+  DASC_CHECK_GE(t, 0);
+  DASC_CHECK_LT(t, num_tasks());
+  return dependents_[static_cast<size_t>(t)];
+}
+
+}  // namespace dasc::core

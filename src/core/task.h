@@ -1,0 +1,31 @@
+// Dependency-aware spatial task (paper Definition 2).
+#ifndef DASC_CORE_TASK_H_
+#define DASC_CORE_TASK_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "geo/point.h"
+
+namespace dasc::core {
+
+// t = <l_t, s_t, w_t, rs_t, D_t>: a task appears at `location` at
+// `start_time`, must be *started* (worker on site) within `wait_time`,
+// requires exactly one skill, and may only be conducted once every task in
+// `dependencies` has been assigned.
+struct Task {
+  TaskId id = kInvalidId;
+  geo::Point location;
+  double start_time = 0.0;
+  double wait_time = 0.0;
+  SkillId required_skill = kInvalidId;
+  // Direct dependencies; Instance::Create computes the transitive closure.
+  std::vector<TaskId> dependencies;
+
+  // Latest service start time (s_t + w_t).
+  double Expiry() const { return start_time + wait_time; }
+};
+
+}  // namespace dasc::core
+
+#endif  // DASC_CORE_TASK_H_

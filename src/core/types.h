@@ -1,0 +1,18 @@
+// Fundamental identifier types of the DA-SC model.
+#ifndef DASC_CORE_TYPES_H_
+#define DASC_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace dasc::core {
+
+// Dense ids: the i-th worker/task of an Instance has id i.
+using WorkerId = int32_t;
+using TaskId = int32_t;
+using SkillId = int32_t;
+
+inline constexpr int32_t kInvalidId = -1;
+
+}  // namespace dasc::core
+
+#endif  // DASC_CORE_TYPES_H_

@@ -1,0 +1,37 @@
+// Heterogeneous worker (paper Definition 1).
+#ifndef DASC_CORE_WORKER_H_
+#define DASC_CORE_WORKER_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/types.h"
+#include "geo/point.h"
+
+namespace dasc::core {
+
+// w = <l_w, s_w, w_w, v_w, d_w, WS_w>: a worker appears at `location` at
+// `start_time`, waits at most `wait_time` for an assignment, moves with
+// `velocity`, travels at most `max_distance`, and practices `skills`.
+struct Worker {
+  WorkerId id = kInvalidId;
+  geo::Point location;
+  double start_time = 0.0;
+  double wait_time = 0.0;
+  double velocity = 1.0;
+  double max_distance = 0.0;
+  // Sorted ascending and deduplicated (Instance::Create canonicalizes).
+  std::vector<SkillId> skills;
+
+  // Last moment the worker accepts assignments (s_w + w_w).
+  double Deadline() const { return start_time + wait_time; }
+
+  // True iff the worker practices skill `s`. O(log |skills|).
+  bool HasSkill(SkillId s) const {
+    return std::binary_search(skills.begin(), skills.end(), s);
+  }
+};
+
+}  // namespace dasc::core
+
+#endif  // DASC_CORE_WORKER_H_

@@ -1,0 +1,107 @@
+#include "core/workload_stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace dasc::core {
+
+WorkloadStats AnalyzeWorkload(const Instance& instance,
+                              const FeasibilityParams& params) {
+  WorkloadStats stats;
+  stats.num_workers = instance.num_workers();
+  stats.num_tasks = instance.num_tasks();
+  stats.num_skills = instance.num_skills();
+  if (instance.num_workers() == 0 && instance.num_tasks() == 0) return stats;
+
+  // Skill histogram over workers.
+  std::vector<int> skill_holders(static_cast<size_t>(instance.num_skills()),
+                                 0);
+  int64_t total_skills = 0;
+  for (const Worker& w : instance.workers()) {
+    total_skills += static_cast<int64_t>(w.skills.size());
+    for (SkillId s : w.skills) ++skill_holders[static_cast<size_t>(s)];
+  }
+  if (instance.num_workers() > 0) {
+    stats.mean_worker_skills =
+        static_cast<double>(total_skills) / instance.num_workers();
+  }
+
+  // Temporal horizon and windows.
+  stats.horizon_begin = std::numeric_limits<double>::infinity();
+  stats.horizon_end = -std::numeric_limits<double>::infinity();
+  double task_window_sum = 0.0;
+  double worker_window_sum = 0.0;
+  for (const Worker& w : instance.workers()) {
+    stats.horizon_begin = std::min(stats.horizon_begin, w.start_time);
+    stats.horizon_end = std::max(stats.horizon_end, w.Deadline());
+    worker_window_sum += w.wait_time;
+  }
+  for (const Task& t : instance.tasks()) {
+    stats.horizon_begin = std::min(stats.horizon_begin, t.start_time);
+    stats.horizon_end = std::max(stats.horizon_end, t.Expiry());
+    task_window_sum += t.wait_time;
+  }
+  if (instance.num_tasks() > 0) {
+    stats.mean_task_window = task_window_sum / instance.num_tasks();
+  }
+  if (instance.num_workers() > 0) {
+    stats.mean_worker_window = worker_window_sum / instance.num_workers();
+  }
+
+  // Per-task: skill coverability, offline feasibility, dependency shape.
+  int64_t candidate_sum = 0;
+  int64_t closure_sum = 0;
+  for (const Task& t : instance.tasks()) {
+    if (skill_holders[static_cast<size_t>(t.required_skill)] > 0) {
+      ++stats.skill_coverable_tasks;
+    }
+    int candidates = 0;
+    for (const Worker& w : instance.workers()) {
+      if (CanServeOffline(instance, w.id, t.id, params)) ++candidates;
+    }
+    candidate_sum += candidates;
+    if (candidates > 0) ++stats.feasible_tasks;
+
+    const auto& closure = instance.DepClosure(t.id);
+    closure_sum += static_cast<int64_t>(closure.size());
+    stats.max_closure =
+        std::max(stats.max_closure, static_cast<int>(closure.size()));
+    if (closure.empty()) ++stats.dependency_free_tasks;
+    bool ordered = true;
+    for (TaskId f : closure) {
+      if (instance.task(f).start_time > t.start_time) {
+        ordered = false;
+        break;
+      }
+    }
+    if (ordered) ++stats.temporally_ordered_tasks;
+  }
+  if (instance.num_tasks() > 0) {
+    stats.mean_candidates_per_task =
+        static_cast<double>(candidate_sum) / instance.num_tasks();
+    stats.mean_closure =
+        static_cast<double>(closure_sum) / instance.num_tasks();
+  }
+  return stats;
+}
+
+std::string WorkloadStats::ToString() const {
+  std::ostringstream out;
+  out << "workers=" << num_workers << " tasks=" << num_tasks
+      << " skills=" << num_skills << "\n"
+      << "skills/worker=" << mean_worker_skills
+      << " skill-coverable tasks=" << skill_coverable_tasks << "\n"
+      << "horizon=[" << horizon_begin << ", " << horizon_end << "]"
+      << " task window=" << mean_task_window
+      << " worker window=" << mean_worker_window << "\n"
+      << "offline-feasible tasks=" << feasible_tasks
+      << " candidates/task=" << mean_candidates_per_task << "\n"
+      << "closure: mean=" << mean_closure << " max=" << max_closure
+      << " dep-free=" << dependency_free_tasks
+      << " temporally-ordered=" << temporally_ordered_tasks;
+  return out.str();
+}
+
+}  // namespace dasc::core

@@ -1,0 +1,56 @@
+// Instance-level workload analysis.
+//
+// Quantifies the structural properties that drive DA-SC outcomes — skill
+// coverage, temporal co-presence, spatial reachability, dependency load —
+// for the CLI `stats` command and the workload discussions in
+// EXPERIMENTS.md.
+#ifndef DASC_CORE_WORKLOAD_STATS_H_
+#define DASC_CORE_WORKLOAD_STATS_H_
+
+#include <string>
+
+#include "core/feasibility.h"
+#include "core/instance.h"
+
+namespace dasc::core {
+
+struct WorkloadStats {
+  int num_workers = 0;
+  int num_tasks = 0;
+  int num_skills = 0;
+
+  // Skill structure.
+  double mean_worker_skills = 0.0;
+  // Tasks with at least one skill-compatible worker anywhere.
+  int skill_coverable_tasks = 0;
+
+  // Temporal structure.
+  double horizon_begin = 0.0;
+  double horizon_end = 0.0;
+  double mean_task_window = 0.0;
+  double mean_worker_window = 0.0;
+
+  // Offline feasibility (CanServeOffline over all pairs): tasks with at
+  // least one feasible worker, and the mean candidate count.
+  int feasible_tasks = 0;
+  double mean_candidates_per_task = 0.0;
+
+  // Dependency structure.
+  double mean_closure = 0.0;
+  int max_closure = 0;
+  int dependency_free_tasks = 0;
+  // Tasks whose every closure dependency *temporally precedes* them (the
+  // dependency can expire no later than the dependent's own expiry).
+  int temporally_ordered_tasks = 0;
+
+  std::string ToString() const;
+};
+
+// Computes the full analysis. O(workers * tasks) for the feasibility block;
+// intended for offline inspection, not hot paths.
+WorkloadStats AnalyzeWorkload(const Instance& instance,
+                              const FeasibilityParams& params = {});
+
+}  // namespace dasc::core
+
+#endif  // DASC_CORE_WORKLOAD_STATS_H_

@@ -1,0 +1,186 @@
+#include "gen/meetup.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace dasc::gen {
+
+namespace {
+
+// Clamps v into [lo, hi].
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+struct Group {
+  geo::Point venue;                    // cluster center
+  std::vector<core::SkillId> tags;     // the group's tag set
+};
+
+}  // namespace
+
+util::Result<core::Instance> GenerateMeetup(const MeetupParams& params) {
+  if (params.num_groups <= 0) {
+    return util::Status::InvalidArgument("num_groups must be positive");
+  }
+  if (params.num_skills <= 0) {
+    return util::Status::InvalidArgument("num_skills must be positive");
+  }
+  if (params.group_tags.lo < 1 || params.worker_skills.lo < 1) {
+    return util::Status::InvalidArgument(
+        "groups and workers need at least one tag");
+  }
+  util::Rng rng(params.seed);
+
+  // --- Groups: Zipf-skewed tags, venues uniform in the bounding box. ---
+  const double lon_center = 0.5 * (params.lon_min + params.lon_max);
+  const double lat_center = 0.5 * (params.lat_min + params.lat_max);
+  std::vector<Group> groups(static_cast<size_t>(params.num_groups));
+  for (Group& g : groups) {
+    if (params.venue_stddev > 0.0) {
+      g.venue = {Clamp(rng.Gaussian(lon_center, params.venue_stddev),
+                       params.lon_min, params.lon_max),
+                 Clamp(rng.Gaussian(lat_center, params.venue_stddev),
+                       params.lat_min, params.lat_max)};
+    } else {
+      g.venue = {rng.UniformDouble(params.lon_min, params.lon_max),
+                 rng.UniformDouble(params.lat_min, params.lat_max)};
+    }
+    const int num_tags = static_cast<int>(
+        rng.UniformInt(params.group_tags.lo, params.group_tags.hi));
+    std::unordered_set<core::SkillId> tags;
+    // Bounded draws: popular tags collide often under Zipf.
+    for (int draw = 0; draw < 8 * num_tags + 16 &&
+                       static_cast<int>(tags.size()) < num_tags;
+         ++draw) {
+      tags.insert(static_cast<core::SkillId>(
+          rng.Zipf(params.num_skills, params.tag_zipf_exponent)));
+    }
+    g.tags.assign(tags.begin(), tags.end());
+    std::sort(g.tags.begin(), g.tags.end());
+  }
+
+  // --- Workers (users): located near a home group, tags from groups they
+  // belong to (home group plus possibly a second one). ---
+  std::vector<core::Worker> workers;
+  workers.reserve(static_cast<size_t>(params.num_workers));
+  for (int i = 0; i < params.num_workers; ++i) {
+    const Group& home = groups[static_cast<size_t>(
+        rng.UniformInt(0, params.num_groups - 1))];
+    core::Worker w;
+    w.id = i;
+    w.location = {
+        Clamp(rng.Gaussian(home.venue.x, params.cluster_stddev),
+              params.lon_min, params.lon_max),
+        Clamp(rng.Gaussian(home.venue.y, params.cluster_stddev),
+              params.lat_min, params.lat_max)};
+    w.start_time = rng.UniformDouble(params.start_time.lo, params.start_time.hi);
+    w.wait_time = rng.UniformDouble(params.wait_time.lo, params.wait_time.hi);
+    w.velocity = rng.UniformDouble(params.velocity.lo, params.velocity.hi);
+    w.max_distance =
+        rng.UniformDouble(params.max_distance.lo, params.max_distance.hi);
+
+    std::unordered_set<core::SkillId> skills;
+    const int num_skills = static_cast<int>(
+        rng.UniformInt(params.worker_skills.lo, params.worker_skills.hi));
+    const Group& second = groups[static_cast<size_t>(
+        rng.UniformInt(0, params.num_groups - 1))];
+    std::vector<core::SkillId> pool = home.tags;
+    pool.insert(pool.end(), second.tags.begin(), second.tags.end());
+    for (int draw = 0; draw < 8 * num_skills + 16 &&
+                       static_cast<int>(skills.size()) < num_skills;
+         ++draw) {
+      skills.insert(pool[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))]);
+    }
+    w.skills.assign(skills.begin(), skills.end());
+    workers.push_back(std::move(w));
+  }
+
+  // --- Tasks: events assigned round-robin-randomly to groups; each event's
+  // tasks (one per generated task slot) are placed near the group venue and
+  // depend on earlier tasks of the same group, closed transitively. ---
+  // --- Tasks: a task group is one *event*. The event is created at a
+  // uniform time and its tasks are posted in a short burst after it, so the
+  // group's dependency chain is temporally co-open (the paper's Example 1
+  // situation). Dependencies point to earlier tasks of the same group,
+  // closed transitively (Section V-A). ---
+  std::vector<int> group_of(static_cast<size_t>(params.num_tasks));
+  for (int& g : group_of) {
+    g = static_cast<int>(rng.UniformInt(0, params.num_groups - 1));
+  }
+  std::vector<double> group_start(static_cast<size_t>(params.num_groups));
+  for (double& s : group_start) {
+    s = rng.UniformDouble(params.start_time.lo, params.start_time.hi);
+  }
+
+  std::vector<core::Task> tasks;
+  tasks.reserve(static_cast<size_t>(params.num_tasks));
+  // Per group: ids and burst offsets of already-generated tasks.
+  std::vector<std::vector<core::TaskId>> group_tasks(
+      static_cast<size_t>(params.num_groups));
+  // closures[t]: transitive dependency set (kept closed during generation).
+  std::vector<std::vector<core::TaskId>> closures(
+      static_cast<size_t>(params.num_tasks));
+  std::vector<double> offsets(static_cast<size_t>(params.num_tasks), 0.0);
+  for (int i = 0; i < params.num_tasks; ++i) {
+    const int gi = group_of[static_cast<size_t>(i)];
+    const Group& g = groups[static_cast<size_t>(gi)];
+    core::Task t;
+    t.id = i;
+    t.location = {
+        Clamp(rng.Gaussian(g.venue.x, params.cluster_stddev), params.lon_min,
+              params.lon_max),
+        Clamp(rng.Gaussian(g.venue.y, params.cluster_stddev), params.lat_min,
+              params.lat_max)};
+    offsets[static_cast<size_t>(i)] =
+        rng.UniformDouble(0.0, params.group_burst_spread);
+    t.start_time = group_start[static_cast<size_t>(gi)];
+    t.wait_time = rng.UniformDouble(params.wait_time.lo, params.wait_time.hi);
+    t.required_skill = g.tags[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(g.tags.size()) - 1))];
+
+    // Dependencies among *earlier-posted* siblings (smaller burst offset)
+    // keep the chain temporally ordered within the burst.
+    auto& siblings = group_tasks[static_cast<size_t>(gi)];
+    std::vector<core::TaskId> earlier;
+    for (core::TaskId j : siblings) {
+      if (offsets[static_cast<size_t>(j)] <= offsets[static_cast<size_t>(i)]) {
+        earlier.push_back(j);
+      }
+    }
+    t.start_time += offsets[static_cast<size_t>(i)];
+    const int target = static_cast<int>(rng.UniformInt(
+        params.group_task_deps.lo, params.group_task_deps.hi));
+    if (!earlier.empty() && target > 0) {
+      std::unordered_set<core::TaskId> deps;
+      const int max_draws = 4 * target + 16;
+      for (int draw = 0; draw < max_draws &&
+                         static_cast<int>(deps.size()) < target;
+           ++draw) {
+        const core::TaskId j = earlier[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(earlier.size()) - 1))];
+        if (deps.contains(j)) continue;
+        const auto& sub = closures[static_cast<size_t>(j)];
+        if (static_cast<int>(deps.size() + 1 + sub.size()) > target) continue;
+        // "when we add t_j into t_i's dependency set, we also add t_j's
+        // dependency set D_j" (Section V-A).
+        deps.insert(j);
+        deps.insert(sub.begin(), sub.end());
+      }
+      closures[static_cast<size_t>(i)].assign(deps.begin(), deps.end());
+      std::sort(closures[static_cast<size_t>(i)].begin(),
+                closures[static_cast<size_t>(i)].end());
+      t.dependencies = closures[static_cast<size_t>(i)];
+    }
+    siblings.push_back(i);
+    tasks.push_back(std::move(t));
+  }
+
+  return core::Instance::Create(std::move(workers), std::move(tasks),
+                                params.num_skills);
+}
+
+}  // namespace dasc::gen

@@ -1,0 +1,29 @@
+// Meetup-like workload generator.
+//
+// The paper evaluates on a crawl of meetup.com (5.1M users / 5.1M events /
+// 97K groups, filtered to Hong Kong: 3,525 workers, 1,282 tasks). The crawl
+// is not redistributable, so this module synthesizes an event-based social
+// network with the properties the experiments actually consume:
+//  * a Zipf-skewed tag (skill) vocabulary — few popular tags, many rare ones,
+//  * groups with tag sets and spatially clustered venues inside the paper's
+//    Hong Kong bounding box,
+//  * users located near group venues whose skills are sampled from the tags
+//    of groups they belong to,
+//  * events (task groups) per group; tasks within a task group each require
+//    one group tag and depend on a random subset of *earlier tasks of the
+//    same group*, closed transitively — exactly the paper's Section V-A
+//    dependency construction for real data.
+// See DESIGN.md §5 for the substitution rationale.
+#ifndef DASC_GEN_MEETUP_H_
+#define DASC_GEN_MEETUP_H_
+
+#include "core/instance.h"
+#include "gen/params.h"
+
+namespace dasc::gen {
+
+util::Result<core::Instance> GenerateMeetup(const MeetupParams& params);
+
+}  // namespace dasc::gen
+
+#endif  // DASC_GEN_MEETUP_H_

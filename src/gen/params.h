@@ -1,0 +1,75 @@
+// Workload generator parameterizations (paper Tables IV and V).
+#ifndef DASC_GEN_PARAMS_H_
+#define DASC_GEN_PARAMS_H_
+
+#include <cstdint>
+
+namespace dasc::gen {
+
+// Inclusive uniform sampling range.
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+struct IntRange {
+  int lo = 0;
+  int hi = 0;
+};
+
+// Table V defaults (bold values); all quantities in the unit model space.
+struct SyntheticParams {
+  uint64_t seed = 42;
+  int num_workers = 5000;                 // n
+  int num_tasks = 5000;                   // m
+  int num_skills = 1500;                  // r
+  IntRange dependency_size = {0, 70};     // |D_t| target
+  // Dependencies are drawn among the `dependency_locality` most recently
+  // created tasks (0 = the whole past, the paper's literal wording). The
+  // paper's real-data construction draws dependencies within a task group —
+  // i.e., temporally local sets; a locality window keeps the synthetic
+  // dependency chains temporally co-feasible under the paper's own
+  // start/wait windows. See DESIGN.md §5.
+  int dependency_locality = 200;
+  IntRange worker_skills = {1, 15};       // |WS_w|
+  Range start_time = {0.0, 75.0};         // [st-, st+], workers and tasks
+  Range wait_time = {10.0, 15.0};         // [wt-, wt+], workers and tasks
+  Range velocity = {0.03, 0.04};          // [v-, v+]
+  Range max_distance = {0.3, 0.4};        // [d-, d+]
+  double area_side = 0.5;                 // locations uniform in [0, side]^2
+};
+
+// Table IV defaults for the Meetup-like workload. Coordinates are
+// (longitude, latitude) degrees in the paper's Hong Kong bounding box with
+// Euclidean distance on degrees, as in the paper's value ranges.
+struct MeetupParams {
+  uint64_t seed = 42;
+  int num_workers = 3525;   // users extracted from the Hong Kong area
+  int num_tasks = 1282;     // events extracted from the Hong Kong area
+  int num_groups = 97;      // groups (task groups / events)
+  int num_skills = 500;     // tag vocabulary (skills)
+  double tag_zipf_exponent = 1.0;    // popularity skew of tags
+  IntRange group_tags = {3, 10};     // tag set size per group
+  IntRange worker_skills = {1, 6};   // tags per user
+  IntRange group_task_deps = {0, 6}; // dependency count target inside a group
+  double cluster_stddev = 0.02;      // spatial spread around a group's venue
+  // Group venues are Gaussian around the bounding-box center with this
+  // spread (the urban-core concentration of real event data); 0 = uniform
+  // venues over the whole box.
+  double venue_stddev = 0.03;
+  // A task group is one event: its tasks are posted together in a burst of
+  // this duration after the event's creation time (drawn from start_time).
+  double group_burst_spread = 5.0;
+  Range start_time = {0.0, 200.0};   // [st-, st+]
+  Range wait_time = {3.0, 5.0};      // [wt-, wt+]
+  Range velocity = {0.01, 0.015};    // [v-, v+] (paper default [1,1.5]*0.01)
+  Range max_distance = {0.03, 0.035};// [d-, d+] (paper default [3,3.5]*0.01)
+  // Hong Kong bounding box of the paper (lon 113.843-114.283, lat
+  // 22.209-22.609).
+  double lon_min = 113.843, lon_max = 114.283;
+  double lat_min = 22.209, lat_max = 22.609;
+};
+
+}  // namespace dasc::gen
+
+#endif  // DASC_GEN_PARAMS_H_

@@ -1,0 +1,69 @@
+#include "gen/perturb.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace dasc::gen {
+
+util::Result<core::Instance> Perturb(const core::Instance& instance,
+                                     const PerturbParams& params) {
+  if (params.wait_time_factor <= 0.0) {
+    return util::Status::InvalidArgument("wait_time_factor must be positive");
+  }
+  util::Rng rng(params.seed);
+
+  std::vector<core::Worker> workers;
+  for (const core::Worker& original : instance.workers()) {
+    if (rng.Bernoulli(params.worker_drop_probability)) continue;
+    core::Worker w = original;
+    w.id = static_cast<core::WorkerId>(workers.size());
+    if (params.location_stddev > 0.0) {
+      w.location.x = rng.Gaussian(w.location.x, params.location_stddev);
+      w.location.y = rng.Gaussian(w.location.y, params.location_stddev);
+    }
+    if (params.start_time_stddev > 0.0) {
+      w.start_time =
+          std::max(0.0, rng.Gaussian(w.start_time, params.start_time_stddev));
+    }
+    w.wait_time *= params.wait_time_factor;
+    workers.push_back(std::move(w));
+  }
+
+  // Survivor map for task id remapping.
+  std::vector<core::TaskId> new_id(
+      static_cast<size_t>(instance.num_tasks()), core::kInvalidId);
+  std::vector<core::Task> tasks;
+  for (const core::Task& original : instance.tasks()) {
+    if (rng.Bernoulli(params.task_drop_probability)) continue;
+    new_id[static_cast<size_t>(original.id)] =
+        static_cast<core::TaskId>(tasks.size());
+    core::Task t = original;
+    t.id = new_id[static_cast<size_t>(original.id)];
+    if (params.location_stddev > 0.0) {
+      t.location.x = rng.Gaussian(t.location.x, params.location_stddev);
+      t.location.y = rng.Gaussian(t.location.y, params.location_stddev);
+    }
+    if (params.start_time_stddev > 0.0) {
+      t.start_time =
+          std::max(0.0, rng.Gaussian(t.start_time, params.start_time_stddev));
+    }
+    t.wait_time *= params.wait_time_factor;
+    tasks.push_back(std::move(t));
+  }
+  // Remap dependency ids; dependencies on dropped tasks vanish (treated as
+  // never required).
+  for (core::Task& t : tasks) {
+    std::vector<core::TaskId> remapped;
+    for (core::TaskId d : t.dependencies) {
+      const core::TaskId nd = new_id[static_cast<size_t>(d)];
+      if (nd != core::kInvalidId) remapped.push_back(nd);
+    }
+    t.dependencies = std::move(remapped);
+  }
+
+  return core::Instance::Create(std::move(workers), std::move(tasks),
+                                instance.num_skills());
+}
+
+}  // namespace dasc::gen

@@ -1,0 +1,35 @@
+// Workload perturbation: controlled mutations of an existing instance for
+// robustness testing ("does the allocator degrade gracefully under location
+// noise / worker churn / tighter deadlines?").
+#ifndef DASC_GEN_PERTURB_H_
+#define DASC_GEN_PERTURB_H_
+
+#include "core/instance.h"
+
+namespace dasc::gen {
+
+struct PerturbParams {
+  uint64_t seed = 42;
+  // Gaussian jitter (stddev) applied to every worker/task location.
+  double location_stddev = 0.0;
+  // Gaussian jitter applied to start times (clamped at 0).
+  double start_time_stddev = 0.0;
+  // Multiply every wait time by this factor (tighter < 1 < looser).
+  double wait_time_factor = 1.0;
+  // Independently drop each worker with this probability.
+  double worker_drop_probability = 0.0;
+  // Independently drop each *dependency-free* task with this probability
+  // (dropping dependent tasks would orphan dependency ids; dependents are
+  // remapped, so dropping any task is safe — see implementation).
+  double task_drop_probability = 0.0;
+};
+
+// Returns a perturbed copy of `instance`. Dropped tasks are removed from the
+// dependency sets of survivors (a dependency that disappears is treated as
+// never required); ids are re-densified.
+util::Result<core::Instance> Perturb(const core::Instance& instance,
+                                     const PerturbParams& params);
+
+}  // namespace dasc::gen
+
+#endif  // DASC_GEN_PERTURB_H_

@@ -1,0 +1,119 @@
+#include "gen/synthetic.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace dasc::gen {
+
+namespace {
+
+// Draws `count` distinct values from [0, universe).
+std::vector<int32_t> SampleDistinct(util::Rng& rng, int count, int universe) {
+  std::unordered_set<int32_t> picked;
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(count));
+  while (static_cast<int>(out.size()) < count &&
+         static_cast<int>(out.size()) < universe) {
+    const auto v = static_cast<int32_t>(rng.UniformInt(0, universe - 1));
+    if (picked.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<core::Instance> GenerateSynthetic(const SyntheticParams& params) {
+  if (params.num_workers < 0 || params.num_tasks < 0) {
+    return util::Status::InvalidArgument("negative worker or task count");
+  }
+  if (params.num_skills <= 0) {
+    return util::Status::InvalidArgument("num_skills must be positive");
+  }
+  if (params.worker_skills.lo < 1) {
+    return util::Status::InvalidArgument("workers need at least one skill");
+  }
+  util::Rng rng(params.seed);
+
+  std::vector<core::Worker> workers;
+  workers.reserve(static_cast<size_t>(params.num_workers));
+  for (int i = 0; i < params.num_workers; ++i) {
+    core::Worker w;
+    w.id = i;
+    w.location = {rng.UniformDouble(0.0, params.area_side),
+                  rng.UniformDouble(0.0, params.area_side)};
+    w.start_time = rng.UniformDouble(params.start_time.lo, params.start_time.hi);
+    w.wait_time = rng.UniformDouble(params.wait_time.lo, params.wait_time.hi);
+    w.velocity = rng.UniformDouble(params.velocity.lo, params.velocity.hi);
+    w.max_distance =
+        rng.UniformDouble(params.max_distance.lo, params.max_distance.hi);
+    const int num_skills = static_cast<int>(
+        rng.UniformInt(params.worker_skills.lo, params.worker_skills.hi));
+    w.skills = SampleDistinct(rng, num_skills, params.num_skills);
+    workers.push_back(std::move(w));
+  }
+
+  // Tasks are created on the platform in start-time order; dependencies only
+  // point to previously-created tasks (Section V-A), so draw all start times
+  // first and generate tasks in ascending start order. This keeps dependency
+  // chains temporally ordered — a dependent never expires before its
+  // dependencies have even appeared.
+  std::vector<double> starts(static_cast<size_t>(params.num_tasks));
+  for (double& s : starts) {
+    s = rng.UniformDouble(params.start_time.lo, params.start_time.hi);
+  }
+  std::sort(starts.begin(), starts.end());
+
+  std::vector<core::Task> tasks;
+  tasks.reserve(static_cast<size_t>(params.num_tasks));
+  // closures[i]: transitive dependency set of task i (maintained closed).
+  std::vector<std::vector<core::TaskId>> closures(
+      static_cast<size_t>(params.num_tasks));
+  for (int i = 0; i < params.num_tasks; ++i) {
+    core::Task t;
+    t.id = i;
+    t.location = {rng.UniformDouble(0.0, params.area_side),
+                  rng.UniformDouble(0.0, params.area_side)};
+    t.start_time = starts[static_cast<size_t>(i)];
+    t.wait_time = rng.UniformDouble(params.wait_time.lo, params.wait_time.hi);
+    t.required_skill =
+        static_cast<core::SkillId>(rng.UniformInt(0, params.num_skills - 1));
+
+    const int target = static_cast<int>(
+        rng.UniformInt(params.dependency_size.lo, params.dependency_size.hi));
+    if (i > 0 && target > 0) {
+      std::unordered_set<core::TaskId> deps;
+      const int lo = params.dependency_locality > 0
+                         ? std::max(0, i - params.dependency_locality)
+                         : 0;
+      // Candidates are unioned together with their own dependency sets so
+      // the result stays transitively closed; a candidate whose closure
+      // would overshoot the drawn target is skipped, keeping |D_t| ~ U
+      // within the configured range as the paper specifies. Bounded draws
+      // keep degenerate configurations terminating.
+      const int max_draws = 4 * target + 16;
+      for (int draw = 0; draw < max_draws &&
+                         static_cast<int>(deps.size()) < target;
+           ++draw) {
+        const auto j = static_cast<core::TaskId>(rng.UniformInt(lo, i - 1));
+        if (deps.contains(j)) continue;
+        const auto& sub = closures[static_cast<size_t>(j)];
+        // Upper bound on the union size; cheap and admissible.
+        if (static_cast<int>(deps.size() + 1 + sub.size()) > target) continue;
+        deps.insert(j);
+        deps.insert(sub.begin(), sub.end());
+      }
+      closures[static_cast<size_t>(i)].assign(deps.begin(), deps.end());
+      std::sort(closures[static_cast<size_t>(i)].begin(),
+                closures[static_cast<size_t>(i)].end());
+      t.dependencies = closures[static_cast<size_t>(i)];
+    }
+    tasks.push_back(std::move(t));
+  }
+
+  return core::Instance::Create(std::move(workers), std::move(tasks),
+                                params.num_skills);
+}
+
+}  // namespace dasc::gen

@@ -1,0 +1,24 @@
+// Synthetic workload generator (paper Section V-A, Table V).
+#ifndef DASC_GEN_SYNTHETIC_H_
+#define DASC_GEN_SYNTHETIC_H_
+
+#include "core/instance.h"
+#include "gen/params.h"
+
+namespace dasc::gen {
+
+// Generates an Instance following the paper's synthetic data recipe:
+//  * worker/task locations uniform in [0, area_side]^2,
+//  * worker skill sets / velocities / max distances / start & wait times
+//    uniform in their configured ranges,
+//  * each task requires one uniformly random skill,
+//  * dependencies: for each task t (in generation order), repeatedly pick a
+//    uniformly random earlier task and union it *and its dependency set*
+//    into D_t until |D_t| reaches a target drawn from `dependency_size`
+//    (guaranteeing acyclicity and transitive closedness, exactly as in the
+//    paper).
+util::Result<core::Instance> GenerateSynthetic(const SyntheticParams& params);
+
+}  // namespace dasc::gen
+
+#endif  // DASC_GEN_SYNTHETIC_H_

@@ -1,0 +1,105 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dasc::geo {
+
+GridIndex::GridIndex(const std::vector<Point>& points, double cell_size)
+    : points_(points) {
+  if (points_.empty()) {
+    cell_start_.assign(2, 0);
+    return;
+  }
+  double max_x = points_[0].x, max_y = points_[0].y;
+  min_x_ = points_[0].x;
+  min_y_ = points_[0].y;
+  for (const Point& p : points_) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  const double width = std::max(max_x - min_x_, 1e-12);
+  const double height = std::max(max_y - min_y_, 1e-12);
+  if (cell_size > 0.0) {
+    cell_size_ = cell_size;
+  } else {
+    // Aim for ~1 point per cell on average, bounded to keep memory sane.
+    const double area = width * height;
+    cell_size_ = std::sqrt(area / static_cast<double>(points_.size()));
+    if (cell_size_ <= 0.0) cell_size_ = 1.0;
+  }
+  cells_x_ = std::max(1, static_cast<int>(width / cell_size_) + 1);
+  cells_y_ = std::max(1, static_cast<int>(height / cell_size_) + 1);
+  // Clamp total cells to 4M to bound memory for adversarial cell sizes.
+  while (static_cast<int64_t>(cells_x_) * cells_y_ > (1 << 22)) {
+    cell_size_ *= 2.0;
+    cells_x_ = std::max(1, static_cast<int>(width / cell_size_) + 1);
+    cells_y_ = std::max(1, static_cast<int>(height / cell_size_) + 1);
+  }
+
+  const size_t num_cells = static_cast<size_t>(cells_x_) * cells_y_;
+  std::vector<int32_t> counts(num_cells, 0);
+  for (const Point& p : points_) {
+    ++counts[CellIndex(CellX(p.x), CellY(p.y))];
+  }
+  cell_start_.assign(num_cells + 1, 0);
+  for (size_t c = 0; c < num_cells; ++c) {
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+  }
+  cell_items_.assign(points_.size(), 0);
+  std::vector<int32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const size_t c = CellIndex(CellX(points_[i].x), CellY(points_[i].y));
+    cell_items_[static_cast<size_t>(cursor[c]++)] = static_cast<int32_t>(i);
+  }
+}
+
+int GridIndex::CellX(double x) const {
+  int cx = static_cast<int>((x - min_x_) / cell_size_);
+  return std::clamp(cx, 0, cells_x_ - 1);
+}
+
+int GridIndex::CellY(double y) const {
+  int cy = static_cast<int>((y - min_y_) / cell_size_);
+  return std::clamp(cy, 0, cells_y_ - 1);
+}
+
+size_t GridIndex::CellIndex(int cx, int cy) const {
+  return static_cast<size_t>(cy) * cells_x_ + cx;
+}
+
+void GridIndex::QueryRadius(const Point& center, double radius,
+                            std::vector<int32_t>* out) const {
+  DASC_CHECK(out != nullptr);
+  if (points_.empty() || radius < 0.0) return;
+  const int cx_lo = CellX(center.x - radius);
+  const int cx_hi = CellX(center.x + radius);
+  const int cy_lo = CellY(center.y - radius);
+  const int cy_hi = CellY(center.y + radius);
+  const double r2 = radius * radius;
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      const size_t c = CellIndex(cx, cy);
+      for (int32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const int32_t id = cell_items_[static_cast<size_t>(k)];
+        const Point& p = points_[static_cast<size_t>(id)];
+        const double dx = p.x - center.x;
+        const double dy = p.y - center.y;
+        if (dx * dx + dy * dy <= r2) out->push_back(id);
+      }
+    }
+  }
+}
+
+std::vector<int32_t> GridIndex::QueryRadius(const Point& center,
+                                            double radius) const {
+  std::vector<int32_t> out;
+  QueryRadius(center, radius, &out);
+  return out;
+}
+
+}  // namespace dasc::geo

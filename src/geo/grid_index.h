@@ -1,0 +1,54 @@
+// Uniform grid spatial index.
+//
+// Candidate generation for feasibility ("which tasks can worker w reach?")
+// is a radius query; a uniform grid over the workload's bounding box gives
+// O(1) insertion and output-sensitive radius queries, which is what spatial
+// crowdsourcing platforms use at this scale.
+#ifndef DASC_GEO_GRID_INDEX_H_
+#define DASC_GEO_GRID_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geo/distance.h"
+#include "geo/point.h"
+
+namespace dasc::geo {
+
+// Static grid over id->point data. Build once, query many times.
+class GridIndex {
+ public:
+  // Builds an index over `points`; element i keeps external id i. `cell_size`
+  // <= 0 picks a heuristic cell size (~sqrt(area / n)). The bounding box is
+  // derived from the data.
+  explicit GridIndex(const std::vector<Point>& points, double cell_size = 0.0);
+
+  // Appends to `out` the ids of all points within `radius` (inclusive,
+  // Euclidean) of `center`. Results are in unspecified order.
+  void QueryRadius(const Point& center, double radius,
+                   std::vector<int32_t>* out) const;
+
+  // Convenience wrapper returning a fresh vector.
+  std::vector<int32_t> QueryRadius(const Point& center, double radius) const;
+
+  size_t size() const { return points_.size(); }
+  double cell_size() const { return cell_size_; }
+
+ private:
+  int CellX(double x) const;
+  int CellY(double y) const;
+  size_t CellIndex(int cx, int cy) const;
+
+  std::vector<Point> points_;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  double cell_size_ = 1.0;
+  int cells_x_ = 1, cells_y_ = 1;
+  // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_items_.
+  std::vector<int32_t> cell_start_;
+  std::vector<int32_t> cell_items_;
+};
+
+}  // namespace dasc::geo
+
+#endif  // DASC_GEO_GRID_INDEX_H_

@@ -1,0 +1,99 @@
+#include "geo/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace dasc::geo {
+
+namespace {
+
+double Sq(double v) { return v * v; }
+
+double Dist2(const Point& a, const Point& b) {
+  return Sq(a.x - b.x) + Sq(a.y - b.y);
+}
+
+}  // namespace
+
+KdTree::KdTree(const std::vector<Point>& points) : points_(points) {
+  if (points_.empty()) return;
+  nodes_.reserve(points_.size());
+  std::vector<int32_t> ids(points_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  root_ = Build(ids, 0, static_cast<int>(ids.size()), /*split_x=*/true);
+}
+
+int32_t KdTree::Build(std::vector<int32_t>& ids, int lo, int hi,
+                      bool split_x) {
+  if (lo >= hi) return -1;
+  const int mid = lo + (hi - lo) / 2;
+  std::nth_element(ids.begin() + lo, ids.begin() + mid, ids.begin() + hi,
+                   [&](int32_t a, int32_t b) {
+                     const Point& pa = points_[static_cast<size_t>(a)];
+                     const Point& pb = points_[static_cast<size_t>(b)];
+                     return split_x ? pa.x < pb.x : pa.y < pb.y;
+                   });
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back({ids[static_cast<size_t>(mid)], -1, -1, split_x});
+  const int32_t left = Build(ids, lo, mid, !split_x);
+  const int32_t right = Build(ids, mid + 1, hi, !split_x);
+  nodes_[static_cast<size_t>(node_index)].left = left;
+  nodes_[static_cast<size_t>(node_index)].right = right;
+  return node_index;
+}
+
+void KdTree::QueryRadius(const Point& center, double radius,
+                         std::vector<int32_t>* out) const {
+  if (root_ < 0 || radius < 0.0) return;
+  RadiusSearch(root_, center, radius * radius, out);
+}
+
+std::vector<int32_t> KdTree::QueryRadius(const Point& center,
+                                         double radius) const {
+  std::vector<int32_t> out;
+  QueryRadius(center, radius, &out);
+  return out;
+}
+
+void KdTree::RadiusSearch(int32_t node, const Point& center, double r2,
+                          std::vector<int32_t>* out) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const Point& p = points_[static_cast<size_t>(n.point)];
+  if (Dist2(p, center) <= r2) out->push_back(n.point);
+  const double plane_delta = n.split_x ? center.x - p.x : center.y - p.y;
+  const int32_t near_child = plane_delta <= 0.0 ? n.left : n.right;
+  const int32_t far_child = plane_delta <= 0.0 ? n.right : n.left;
+  if (near_child >= 0) RadiusSearch(near_child, center, r2, out);
+  if (far_child >= 0 && Sq(plane_delta) <= r2) {
+    RadiusSearch(far_child, center, r2, out);
+  }
+}
+
+int32_t KdTree::Nearest(const Point& center) const {
+  if (root_ < 0) return -1;
+  int32_t best = -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  NearestSearch(root_, center, &best, &best_d2);
+  return best;
+}
+
+void KdTree::NearestSearch(int32_t node, const Point& center, int32_t* best,
+                           double* best_d2) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const Point& p = points_[static_cast<size_t>(n.point)];
+  const double d2 = Dist2(p, center);
+  if (d2 < *best_d2) {
+    *best_d2 = d2;
+    *best = n.point;
+  }
+  const double plane_delta = n.split_x ? center.x - p.x : center.y - p.y;
+  const int32_t near_child = plane_delta <= 0.0 ? n.left : n.right;
+  const int32_t far_child = plane_delta <= 0.0 ? n.right : n.left;
+  if (near_child >= 0) NearestSearch(near_child, center, best, best_d2);
+  if (far_child >= 0 && Sq(plane_delta) < *best_d2) {
+    NearestSearch(far_child, center, best, best_d2);
+  }
+}
+
+}  // namespace dasc::geo

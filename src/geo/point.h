@@ -1,0 +1,22 @@
+// 2-D point in the model space.
+#ifndef DASC_GEO_POINT_H_
+#define DASC_GEO_POINT_H_
+
+namespace dasc::geo {
+
+// Planar coordinates. For synthetic workloads this is the unit square of the
+// paper's Table V; for the Meetup-like workload it holds (longitude, latitude)
+// degrees inside the Hong Kong bounding box, matching the paper's use of
+// raw coordinates with Euclidean distance.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+}  // namespace dasc::geo
+
+#endif  // DASC_GEO_POINT_H_

@@ -1,0 +1,105 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dasc::graph {
+
+Dag::Dag(NodeId num_nodes) : deps_(static_cast<size_t>(num_nodes)) {
+  DASC_CHECK_GE(num_nodes, 0);
+}
+
+void Dag::AddDependency(NodeId node, NodeId dependency) {
+  DASC_CHECK_GE(node, 0);
+  DASC_CHECK_LT(node, num_nodes());
+  DASC_CHECK_GE(dependency, 0);
+  DASC_CHECK_LT(dependency, num_nodes());
+  deps_[static_cast<size_t>(node)].push_back(dependency);
+  ++num_edges_;
+}
+
+const std::vector<NodeId>& Dag::DepsOf(NodeId node) const {
+  DASC_CHECK_GE(node, 0);
+  DASC_CHECK_LT(node, num_nodes());
+  return deps_[static_cast<size_t>(node)];
+}
+
+void Dag::Canonicalize() {
+  num_edges_ = 0;
+  for (auto& adj : deps_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    num_edges_ += static_cast<int64_t>(adj.size());
+  }
+}
+
+bool Dag::HasCycle() const { return !TopologicalOrder().ok(); }
+
+util::Result<std::vector<NodeId>> Dag::TopologicalOrder() const {
+  // Kahn's algorithm on the depends-on relation: a node is emitted once all
+  // of its dependencies have been emitted.
+  const size_t n = deps_.size();
+  std::vector<int32_t> unmet(n, 0);
+  std::vector<std::vector<NodeId>> dependents(n);
+  for (size_t u = 0; u < n; ++u) {
+    unmet[u] = static_cast<int32_t>(deps_[u].size());
+    for (NodeId v : deps_[u]) {
+      dependents[static_cast<size_t>(v)].push_back(static_cast<NodeId>(u));
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> frontier;
+  for (size_t u = 0; u < n; ++u) {
+    if (unmet[u] == 0) frontier.push_back(static_cast<NodeId>(u));
+  }
+  while (!frontier.empty()) {
+    const NodeId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (NodeId u : dependents[static_cast<size_t>(v)]) {
+      if (--unmet[static_cast<size_t>(u)] == 0) frontier.push_back(u);
+    }
+  }
+  if (order.size() != n) {
+    return util::Status::InvalidArgument(
+        "dependency graph contains a cycle");
+  }
+  return order;
+}
+
+util::Result<std::vector<std::vector<NodeId>>> Dag::TransitiveClosure() const {
+  auto order = TopologicalOrder();
+  if (!order.ok()) return order.status();
+  const size_t n = deps_.size();
+  std::vector<std::vector<NodeId>> closure(n);
+  // Process in topological order so every dependency's closure is final when
+  // merged. Merge = union of direct deps and their closures.
+  for (NodeId u : *order) {
+    const auto& direct = deps_[static_cast<size_t>(u)];
+    if (direct.empty()) continue;
+    std::vector<NodeId>& out = closure[static_cast<size_t>(u)];
+    out = direct;
+    for (NodeId v : direct) {
+      const auto& sub = closure[static_cast<size_t>(v)];
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return closure;
+}
+
+std::vector<std::vector<NodeId>> Dag::Dependents(
+    const std::vector<std::vector<NodeId>>& closure) {
+  std::vector<std::vector<NodeId>> dependents(closure.size());
+  for (size_t u = 0; u < closure.size(); ++u) {
+    for (NodeId v : closure[u]) {
+      dependents[static_cast<size_t>(v)].push_back(static_cast<NodeId>(u));
+    }
+  }
+  return dependents;
+}
+
+}  // namespace dasc::graph

@@ -1,0 +1,64 @@
+// Dependency DAG utilities.
+//
+// Task dependencies in DA-SC form a directed acyclic graph: edge u -> v means
+// "u depends on v" (v must be assigned before u can be conducted). This module
+// provides validation (cycle detection), topological ordering, transitive
+// closure (ancestor/dependency sets), and the reverse relation (dependents),
+// which the greedy and game algorithms consume.
+#ifndef DASC_GRAPH_DAG_H_
+#define DASC_GRAPH_DAG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dasc::graph {
+
+using NodeId = int32_t;
+
+// A directed graph over nodes [0, n). Edges are "depends-on" arcs.
+class Dag {
+ public:
+  explicit Dag(NodeId num_nodes);
+
+  // Adds the arc `node` depends-on `dependency`. Duplicate arcs are kept
+  // (callers typically deduplicate via Canonicalize()).
+  void AddDependency(NodeId node, NodeId dependency);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(deps_.size()); }
+  int64_t num_edges() const { return num_edges_; }
+
+  // Direct dependencies of `node`.
+  const std::vector<NodeId>& DepsOf(NodeId node) const;
+
+  // Sorts and deduplicates every adjacency list.
+  void Canonicalize();
+
+  // True if the dependency relation contains a cycle.
+  bool HasCycle() const;
+
+  // Nodes ordered so that every node appears after all of its dependencies.
+  // Error if cyclic.
+  util::Result<std::vector<NodeId>> TopologicalOrder() const;
+
+  // For every node, the full set of transitive dependencies (ancestors in the
+  // depends-on relation), sorted ascending and excluding the node itself.
+  // Error if cyclic. O(V * closure size) time via bitset-free merge in
+  // topological order.
+  util::Result<std::vector<std::vector<NodeId>>> TransitiveClosure() const;
+
+  // Reverse adjacency of a closure: out[v] lists every node whose closure
+  // contains v. `closure` must come from TransitiveClosure() of a graph with
+  // the same node count.
+  static std::vector<std::vector<NodeId>> Dependents(
+      const std::vector<std::vector<NodeId>>& closure);
+
+ private:
+  std::vector<std::vector<NodeId>> deps_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace dasc::graph
+
+#endif  // DASC_GRAPH_DAG_H_

@@ -1,0 +1,75 @@
+#include "graph/dag_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dasc::graph {
+
+util::Result<std::vector<int>> DependencyDepths(const Dag& dag) {
+  auto order = dag.TopologicalOrder();
+  if (!order.ok()) return order.status();
+  std::vector<int> depth(static_cast<size_t>(dag.num_nodes()), 0);
+  for (NodeId v : *order) {
+    int d = 0;
+    for (NodeId u : dag.DepsOf(v)) {
+      d = std::max(d, depth[static_cast<size_t>(u)] + 1);
+    }
+    depth[static_cast<size_t>(v)] = d;
+  }
+  return depth;
+}
+
+util::Result<DagStats> ComputeDagStats(const Dag& dag) {
+  auto depths = DependencyDepths(dag);
+  if (!depths.ok()) return depths.status();
+  auto closure = dag.TransitiveClosure();
+  if (!closure.ok()) return closure.status();
+
+  DagStats stats;
+  stats.num_nodes = dag.num_nodes();
+  stats.num_direct_edges = dag.num_edges();
+  std::vector<int> dependents(static_cast<size_t>(dag.num_nodes()), 0);
+  int64_t depth_sum = 0;
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    const int d = (*depths)[static_cast<size_t>(v)];
+    depth_sum += d;
+    stats.max_depth = std::max(stats.max_depth, d);
+    if (static_cast<int>(stats.width_by_depth.size()) <= d) {
+      stats.width_by_depth.resize(static_cast<size_t>(d) + 1, 0);
+    }
+    ++stats.width_by_depth[static_cast<size_t>(d)];
+    const auto& deps = (*closure)[static_cast<size_t>(v)];
+    stats.total_closure_size += static_cast<int64_t>(deps.size());
+    stats.max_closure =
+        std::max(stats.max_closure, static_cast<int>(deps.size()));
+    if (dag.DepsOf(v).empty()) ++stats.num_roots;
+    for (NodeId u : deps) ++dependents[static_cast<size_t>(u)];
+  }
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (dependents[static_cast<size_t>(v)] == 0) ++stats.num_leaves;
+    stats.max_dependents =
+        std::max(stats.max_dependents, dependents[static_cast<size_t>(v)]);
+  }
+  if (stats.num_nodes > 0) {
+    stats.mean_depth = static_cast<double>(depth_sum) / stats.num_nodes;
+    stats.mean_closure =
+        static_cast<double>(stats.total_closure_size) / stats.num_nodes;
+  }
+  return stats;
+}
+
+std::string DagStats::ToString() const {
+  std::ostringstream out;
+  out << "nodes=" << num_nodes << " direct_edges=" << num_direct_edges
+      << " roots=" << num_roots << " leaves=" << num_leaves << "\n"
+      << "closure: mean=" << mean_closure << " max=" << max_closure
+      << " total=" << total_closure_size << "\n"
+      << "depth: mean=" << mean_depth << " max=" << max_depth << "\n"
+      << "width by depth:";
+  for (size_t d = 0; d < width_by_depth.size(); ++d) {
+    out << " " << width_by_depth[d];
+  }
+  return out.str();
+}
+
+}  // namespace dasc::graph

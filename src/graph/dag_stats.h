@@ -1,0 +1,41 @@
+// Structural analytics over dependency DAGs: chain depths, fan-in/fan-out,
+// level widths. Used by the CLI's `stats` command and by workload analyses
+// in EXPERIMENTS.md (closure sizes drive everything in DA-SC).
+#ifndef DASC_GRAPH_DAG_STATS_H_
+#define DASC_GRAPH_DAG_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace dasc::graph {
+
+struct DagStats {
+  int num_nodes = 0;
+  int64_t num_direct_edges = 0;
+  int64_t total_closure_size = 0;
+  int num_roots = 0;        // nodes with no dependencies
+  int num_leaves = 0;       // nodes nothing depends on
+  int max_depth = 0;        // longest dependency chain (edges)
+  double mean_depth = 0.0;
+  int max_closure = 0;      // largest transitive dependency set
+  double mean_closure = 0.0;
+  int max_dependents = 0;   // most-depended-upon node's dependent count
+  // width[d] = number of nodes at depth d.
+  std::vector<int> width_by_depth;
+
+  // Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+// Computes stats for an acyclic graph. Error if cyclic.
+util::Result<DagStats> ComputeDagStats(const Dag& dag);
+
+// depth[v] = length (in edges) of the longest dependency chain below v.
+// Error if cyclic.
+util::Result<std::vector<int>> DependencyDepths(const Dag& dag);
+
+}  // namespace dasc::graph
+
+#endif  // DASC_GRAPH_DAG_STATS_H_

@@ -1,0 +1,166 @@
+#include "io/instance_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dasc::io {
+
+namespace {
+
+constexpr char kHeader[] = "# dasc-instance v1";
+
+std::string LineError(int line, const std::string& message) {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+// Guard against hostile/corrupted element counts before resizing vectors.
+constexpr int64_t kMaxListLength = 10'000'000;
+
+bool SaneCount(int64_t count) { return count >= 0 && count <= kMaxListLength; }
+
+}  // namespace
+
+void WriteInstance(const core::Instance& instance, std::ostream& out) {
+  out << kHeader << "\n";
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "skills " << instance.num_skills() << "\n";
+  for (const core::Worker& w : instance.workers()) {
+    out << "worker " << w.id << " " << w.location.x << " " << w.location.y
+        << " " << w.start_time << " " << w.wait_time << " " << w.velocity
+        << " " << w.max_distance << " " << w.skills.size();
+    for (core::SkillId s : w.skills) out << " " << s;
+    out << "\n";
+  }
+  for (const core::Task& t : instance.tasks()) {
+    out << "task " << t.id << " " << t.location.x << " " << t.location.y
+        << " " << t.start_time << " " << t.wait_time << " "
+        << t.required_skill << " " << t.dependencies.size();
+    for (core::TaskId d : t.dependencies) out << " " << d;
+    out << "\n";
+  }
+}
+
+util::Status WriteInstanceFile(const core::Instance& instance,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::NotFound("cannot open for writing: " + path);
+  }
+  WriteInstance(instance, out);
+  if (!out) {
+    return util::Status::Internal("write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Result<core::Instance> ReadInstance(std::istream& in) {
+  std::vector<core::Worker> workers;
+  std::vector<core::Task> tasks;
+  int num_skills = -1;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "skills") {
+      if (!(fields >> num_skills)) {
+        return util::Status::InvalidArgument(
+            LineError(line_number, "malformed skills line"));
+      }
+    } else if (kind == "worker") {
+      core::Worker w;
+      int64_t count = 0;
+      if (!(fields >> w.id >> w.location.x >> w.location.y >> w.start_time >>
+            w.wait_time >> w.velocity >> w.max_distance >> count) ||
+          !SaneCount(count)) {
+        return util::Status::InvalidArgument(
+            LineError(line_number, "malformed worker line"));
+      }
+      w.skills.resize(static_cast<size_t>(count));
+      for (auto& s : w.skills) {
+        if (!(fields >> s)) {
+          return util::Status::InvalidArgument(
+              LineError(line_number, "worker skill list truncated"));
+        }
+      }
+      workers.push_back(std::move(w));
+    } else if (kind == "task") {
+      core::Task t;
+      int64_t count = 0;
+      if (!(fields >> t.id >> t.location.x >> t.location.y >> t.start_time >>
+            t.wait_time >> t.required_skill >> count) ||
+          !SaneCount(count)) {
+        return util::Status::InvalidArgument(
+            LineError(line_number, "malformed task line"));
+      }
+      t.dependencies.resize(static_cast<size_t>(count));
+      for (auto& d : t.dependencies) {
+        if (!(fields >> d)) {
+          return util::Status::InvalidArgument(
+              LineError(line_number, "task dependency list truncated"));
+        }
+      }
+      tasks.push_back(std::move(t));
+    } else {
+      return util::Status::InvalidArgument(
+          LineError(line_number, "unknown record kind: " + kind));
+    }
+  }
+  if (num_skills < 0) {
+    return util::Status::InvalidArgument("missing 'skills' record");
+  }
+  return core::Instance::Create(std::move(workers), std::move(tasks),
+                                num_skills);
+}
+
+util::Result<core::Instance> ReadInstanceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open: " + path);
+  }
+  return ReadInstance(in);
+}
+
+void WriteAssignment(const core::Assignment& assignment, std::ostream& out) {
+  out << "worker_id,task_id\n";
+  for (const auto& [w, t] : assignment.pairs()) {
+    out << w << "," << t << "\n";
+  }
+}
+
+util::Result<core::Assignment> ReadAssignment(std::istream& in) {
+  core::Assignment assignment;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line == "worker_id,task_id") continue;
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return util::Status::InvalidArgument(
+          LineError(line_number, "expected 'worker,task'"));
+    }
+    int w = 0;
+    int t = 0;
+    const char* begin = line.data();
+    const auto [wp, werr] = std::from_chars(begin, begin + comma, w);
+    const auto [tp, terr] = std::from_chars(begin + comma + 1,
+                                            begin + line.size(), t);
+    if (werr != std::errc() || terr != std::errc() || wp != begin + comma ||
+        tp != begin + line.size()) {
+      return util::Status::InvalidArgument(
+          LineError(line_number, "non-numeric pair: " + line));
+    }
+    assignment.Add(w, t);
+  }
+  return assignment;
+}
+
+}  // namespace dasc::io

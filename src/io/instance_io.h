@@ -1,0 +1,41 @@
+// Instance and assignment (de)serialization.
+//
+// A portable, diff-friendly text format so workloads can be generated once,
+// shared, inspected, and replayed:
+//
+//   # dasc-instance v1
+//   skills <r>
+//   worker <id> <x> <y> <start> <wait> <velocity> <max_distance> <k> <s1..sk>
+//   task   <id> <x> <y> <start> <wait> <skill> <d> <dep1..depd>
+//
+// Lines starting with '#' are comments. Assignments are CSV:
+//   worker_id,task_id
+#ifndef DASC_IO_INSTANCE_IO_H_
+#define DASC_IO_INSTANCE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+#include "util/status.h"
+
+namespace dasc::io {
+
+// Writes `instance` in the dasc-instance v1 format.
+void WriteInstance(const core::Instance& instance, std::ostream& out);
+util::Status WriteInstanceFile(const core::Instance& instance,
+                               const std::string& path);
+
+// Parses the dasc-instance v1 format; validation errors from
+// Instance::Create are propagated with line context where possible.
+util::Result<core::Instance> ReadInstance(std::istream& in);
+util::Result<core::Instance> ReadInstanceFile(const std::string& path);
+
+// Assignment CSV (header "worker_id,task_id").
+void WriteAssignment(const core::Assignment& assignment, std::ostream& out);
+util::Result<core::Assignment> ReadAssignment(std::istream& in);
+
+}  // namespace dasc::io
+
+#endif  // DASC_IO_INSTANCE_IO_H_

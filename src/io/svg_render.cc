@@ -1,0 +1,164 @@
+#include "io/svg_render.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "graph/dag.h"
+#include "graph/dag_stats.h"
+
+namespace dasc::io {
+
+namespace {
+
+struct Projector {
+  double min_x = 0, min_y = 0, scale_x = 1, scale_y = 1;
+  int margin = 30;
+
+  double X(double x) const { return margin + (x - min_x) * scale_x; }
+  double Y(double y) const { return margin + (y - min_y) * scale_y; }
+};
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+// Depth-shaded fill for tasks: roots light, deep chain members dark.
+std::string TaskColor(int depth, int max_depth) {
+  const double shade =
+      max_depth == 0 ? 0.0 : static_cast<double>(depth) / max_depth;
+  const int red = static_cast<int>(230 - 160 * shade);
+  const int green = static_cast<int>(120 - 90 * shade);
+  return "rgb(" + std::to_string(red) + "," + std::to_string(green) + ",60)";
+}
+
+}  // namespace
+
+std::string RenderInstanceSvg(const core::Instance& instance,
+                              const core::Assignment* assignment,
+                              const SvgOptions& options) {
+  // Bounding box over all entities.
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = min_x, max_x = -min_x, max_y = -min_x;
+  auto expand = [&](const geo::Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  };
+  for (const auto& w : instance.workers()) expand(w.location);
+  for (const auto& t : instance.tasks()) expand(t.location);
+  if (instance.num_workers() == 0 && instance.num_tasks() == 0) {
+    min_x = min_y = 0;
+    max_x = max_y = 1;
+  }
+  Projector proj;
+  proj.min_x = min_x;
+  proj.min_y = min_y;
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  proj.scale_x = (options.width - 2 * proj.margin) / span_x;
+  proj.scale_y = (options.height - 2 * proj.margin) / span_y;
+
+  // Chain depths for shading.
+  graph::Dag dag(instance.num_tasks());
+  for (const auto& t : instance.tasks()) {
+    for (core::TaskId d : t.dependencies) dag.AddDependency(t.id, d);
+  }
+  const auto depths = graph::DependencyDepths(dag);
+  int max_depth = 0;
+  if (depths.ok()) {
+    for (int d : *depths) max_depth = std::max(max_depth, d);
+  }
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << options.height << "\" viewBox=\"0 0 "
+      << options.width << " " << options.height << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"#fbfaf7\"/>\n";
+
+  // Dependency arcs (task -> its direct dependencies).
+  if (options.draw_dependencies) {
+    int drawn = 0;
+    svg << "<g stroke=\"#b8b2a6\" stroke-width=\"0.6\" opacity=\"0.55\">\n";
+    for (const auto& t : instance.tasks()) {
+      for (core::TaskId d : t.dependencies) {
+        if (options.max_dependency_edges > 0 &&
+            drawn >= options.max_dependency_edges) {
+          break;
+        }
+        const auto& from = instance.task(d).location;
+        svg << "<line x1=\"" << Fmt(proj.X(t.location.x)) << "\" y1=\""
+            << Fmt(proj.Y(t.location.y)) << "\" x2=\"" << Fmt(proj.X(from.x))
+            << "\" y2=\"" << Fmt(proj.Y(from.y)) << "\"/>\n";
+        ++drawn;
+      }
+    }
+    svg << "</g>\n";
+  }
+
+  // Committed assignments.
+  if (assignment != nullptr) {
+    svg << "<g stroke=\"#2563eb\" stroke-width=\"1.4\">\n";
+    for (const auto& [w, t] : assignment->pairs()) {
+      const auto& from = instance.worker(w).location;
+      const auto& to = instance.task(t).location;
+      svg << "<line x1=\"" << Fmt(proj.X(from.x)) << "\" y1=\""
+          << Fmt(proj.Y(from.y)) << "\" x2=\"" << Fmt(proj.X(to.x))
+          << "\" y2=\"" << Fmt(proj.Y(to.y)) << "\"/>\n";
+    }
+    svg << "</g>\n";
+  }
+
+  // Tasks.
+  svg << "<g stroke=\"#4a4438\" stroke-width=\"0.4\">\n";
+  for (const auto& t : instance.tasks()) {
+    const int depth =
+        depths.ok() ? (*depths)[static_cast<size_t>(t.id)] : 0;
+    svg << "<circle cx=\"" << Fmt(proj.X(t.location.x)) << "\" cy=\""
+        << Fmt(proj.Y(t.location.y)) << "\" r=\"3.2\" fill=\""
+        << TaskColor(depth, max_depth) << "\"><title>task " << t.id
+        << " skill " << t.required_skill << " deps "
+        << t.dependencies.size() << "</title></circle>\n";
+  }
+  svg << "</g>\n";
+
+  // Workers (triangles).
+  svg << "<g fill=\"#1f7a5c\" stroke=\"#123f30\" stroke-width=\"0.4\">\n";
+  for (const auto& w : instance.workers()) {
+    const double x = proj.X(w.location.x);
+    const double y = proj.Y(w.location.y);
+    svg << "<polygon points=\"" << Fmt(x) << "," << Fmt(y - 4.2) << " "
+        << Fmt(x - 3.6) << "," << Fmt(y + 3.0) << " " << Fmt(x + 3.6) << ","
+        << Fmt(y + 3.0) << "\"><title>worker " << w.id << " skills "
+        << w.skills.size() << "</title></polygon>\n";
+  }
+  svg << "</g>\n";
+
+  // Legend.
+  svg << "<g font-family=\"sans-serif\" font-size=\"12\" fill=\"#4a4438\">"
+      << "<text x=\"10\" y=\"16\">workers: " << instance.num_workers()
+      << " (triangles)  tasks: " << instance.num_tasks()
+      << " (circles, darker = deeper in a dependency chain)</text></g>\n";
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+util::Status RenderInstanceSvgFile(const core::Instance& instance,
+                                   const std::string& path,
+                                   const core::Assignment* assignment,
+                                   const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::NotFound("cannot open for writing: " + path);
+  }
+  out << RenderInstanceSvg(instance, assignment, options);
+  if (!out) return util::Status::Internal("write failed: " + path);
+  return util::Status::OK();
+}
+
+}  // namespace dasc::io

@@ -1,0 +1,40 @@
+// SVG rendering of DA-SC workloads.
+//
+// Draws an instance as a map: tasks as circles (shaded by dependency-chain
+// depth), workers as triangles, and dependency arcs between tasks. Useful
+// for eyeballing generated workloads and debugging allocation behaviour
+// (`dasc_cli render`).
+#ifndef DASC_IO_SVG_RENDER_H_
+#define DASC_IO_SVG_RENDER_H_
+
+#include <string>
+
+#include "core/assignment.h"
+#include "core/instance.h"
+
+namespace dasc::io {
+
+struct SvgOptions {
+  int width = 900;
+  int height = 900;
+  // Draw dependency arcs (can be dense on big workloads).
+  bool draw_dependencies = true;
+  // Cap on dependency arcs drawn (0 = no cap).
+  int max_dependency_edges = 2000;
+};
+
+// Renders the instance; if `assignment` is non-null, committed worker->task
+// pairs are drawn as solid lines.
+std::string RenderInstanceSvg(const core::Instance& instance,
+                              const core::Assignment* assignment = nullptr,
+                              const SvgOptions& options = {});
+
+// Convenience: render straight to a file.
+util::Status RenderInstanceSvgFile(const core::Instance& instance,
+                                   const std::string& path,
+                                   const core::Assignment* assignment = nullptr,
+                                   const SvgOptions& options = {});
+
+}  // namespace dasc::io
+
+#endif  // DASC_IO_SVG_RENDER_H_

@@ -1,0 +1,143 @@
+#include "matching/auction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace dasc::matching {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+HungarianResult AuctionAssignment(const std::vector<std::vector<double>>& cost,
+                                  const AuctionOptions& options) {
+  HungarianResult result;
+  const int rows = static_cast<int>(cost.size());
+  if (rows == 0) {
+    result.feasible = true;
+    return result;
+  }
+  const int cols = static_cast<int>(cost[0].size());
+  DASC_CHECK_LE(rows, cols) << "AuctionAssignment requires rows <= cols";
+  DASC_CHECK_GT(options.epsilon, 0.0);
+
+  // Work with values to maximize: v = -cost (forbidden -> -inf).
+  std::vector<std::vector<double>> value(
+      static_cast<size_t>(rows), std::vector<double>(static_cast<size_t>(cols),
+                                                     kNegInf));
+  double max_abs = 1.0;
+  for (int i = 0; i < rows; ++i) {
+    DASC_CHECK_EQ(static_cast<int>(cost[static_cast<size_t>(i)].size()), cols)
+        << "cost matrix must be rectangular";
+    bool any_finite = false;
+    for (int j = 0; j < cols; ++j) {
+      const double c = cost[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      if (std::isfinite(c)) {
+        value[static_cast<size_t>(i)][static_cast<size_t>(j)] = -c;
+        max_abs = std::max(max_abs, std::fabs(c));
+        any_finite = true;
+      }
+    }
+    if (!any_finite) {
+      result.feasible = false;
+      result.row_to_col.assign(static_cast<size_t>(rows), -1);
+      return result;
+    }
+  }
+
+  std::vector<double> price(static_cast<size_t>(cols), 0.0);
+  std::vector<int> owner(static_cast<size_t>(cols), -1);
+  std::vector<int> row_to_col(static_cast<size_t>(rows), -1);
+
+  double eps = options.scaling_factor > 1.0
+                   ? std::max(options.epsilon, max_abs / 2.0)
+                   : options.epsilon;
+  int num_phases = 1;
+  for (double e = eps; e > options.epsilon;
+       e = std::max(options.epsilon, e / options.scaling_factor)) {
+    ++num_phases;
+  }
+  // A row whose only remaining option is column j bids this much: enough to
+  // evict any rival that has alternatives, without tripping the bound.
+  const double only_choice_increment = 2.0 * max_abs + 1.0;
+  // Prices of a feasible problem stay bounded (Bertsekas: <= n*(C + eps) per
+  // phase); beyond this cumulative bound some row set must be structurally
+  // unmatchable (a Hall violation makes prices diverge).
+  const double price_bound =
+      static_cast<double>(num_phases + 1) * (rows + 1) *
+          (only_choice_increment + eps + 1.0) +
+      only_choice_increment;
+  int64_t bids = 0;
+  while (true) {
+    // One ε-phase: auction until all rows matched.
+    std::fill(owner.begin(), owner.end(), -1);
+    std::fill(row_to_col.begin(), row_to_col.end(), -1);
+    std::deque<int> unassigned;
+    for (int i = 0; i < rows; ++i) unassigned.push_back(i);
+    while (!unassigned.empty()) {
+      if (options.max_bids > 0 && bids >= options.max_bids) {
+        result.feasible = false;
+        result.row_to_col.assign(static_cast<size_t>(rows), -1);
+        return result;
+      }
+      ++bids;
+      const int i = unassigned.front();
+      unassigned.pop_front();
+      // Best and second-best net value for row i.
+      int best_j = -1;
+      double best_net = kNegInf;
+      double second_net = kNegInf;
+      for (int j = 0; j < cols; ++j) {
+        const double v = value[static_cast<size_t>(i)][static_cast<size_t>(j)];
+        if (v == kNegInf) continue;
+        const double net = v - price[static_cast<size_t>(j)];
+        if (net > best_net) {
+          second_net = best_net;
+          best_net = net;
+          best_j = j;
+        } else if (net > second_net) {
+          second_net = net;
+        }
+      }
+      DASC_CHECK_GE(best_j, 0);
+      const double increment =
+          (second_net == kNegInf ? only_choice_increment
+                                 : best_net - second_net) +
+          eps;
+      price[static_cast<size_t>(best_j)] += increment;
+      if (price[static_cast<size_t>(best_j)] > price_bound) {
+        // Structural infeasibility: some column set is over-demanded.
+        result.feasible = false;
+        result.row_to_col.assign(static_cast<size_t>(rows), -1);
+        return result;
+      }
+      const int previous = owner[static_cast<size_t>(best_j)];
+      if (previous >= 0) {
+        row_to_col[static_cast<size_t>(previous)] = -1;
+        unassigned.push_back(previous);
+      }
+      owner[static_cast<size_t>(best_j)] = i;
+      row_to_col[static_cast<size_t>(i)] = best_j;
+    }
+    if (eps <= options.epsilon) break;
+    eps = std::max(options.epsilon, eps / options.scaling_factor);
+  }
+
+  result.feasible = true;
+  result.row_to_col = row_to_col;
+  double total = 0.0;
+  for (int i = 0; i < rows; ++i) {
+    total += cost[static_cast<size_t>(i)]
+                 [static_cast<size_t>(row_to_col[static_cast<size_t>(i)])];
+  }
+  result.cost = total;
+  return result;
+}
+
+}  // namespace dasc::matching

@@ -1,0 +1,40 @@
+// Bertsekas auction algorithm for the assignment problem.
+//
+// An alternative backend to the Hungarian algorithm: rows bid for columns
+// with ε-complementary slackness. For integer-valued costs and ε < 1/n the
+// result is optimal; for real costs the total is within n·ε of optimal.
+// Included both as an ablation backend and because auctions parallelize /
+// incrementalize better than shortest augmenting paths in platform settings.
+#ifndef DASC_MATCHING_AUCTION_H_
+#define DASC_MATCHING_AUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/hungarian.h"
+
+namespace dasc::matching {
+
+struct AuctionOptions {
+  // Bidding increment; smaller = closer to optimal, more rounds.
+  double epsilon = 1e-3;
+  // ε-scaling: start at max_cost/2 and divide by `scaling_factor` until
+  // `epsilon` is reached (<= 1 disables scaling — the default, because with
+  // rows < cols the carried-over prices of columns left unassigned between
+  // phases break the n·ε optimality bound; single-phase from zero prices is
+  // always within rows·epsilon of optimal).
+  double scaling_factor = 0.0;
+  // Safety cap on total bids (0 = none).
+  int64_t max_bids = 0;
+};
+
+// Minimizes total cost assigning every row to a distinct column; same
+// contract as SolveAssignment (rows <= cols, kInfeasible marks forbidden
+// edges, finite costs non-negative). `result.cost` is within
+// rows * epsilon of the optimum when feasible.
+HungarianResult AuctionAssignment(const std::vector<std::vector<double>>& cost,
+                                  const AuctionOptions& options = {});
+
+}  // namespace dasc::matching
+
+#endif  // DASC_MATCHING_AUCTION_H_

@@ -1,0 +1,106 @@
+#include "matching/hopcroft_karp.h"
+
+#include <deque>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace dasc::matching {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+}  // namespace
+
+HopcroftKarp::HopcroftKarp(int num_left, int num_right)
+    : num_left_(num_left),
+      num_right_(num_right),
+      adj_(static_cast<size_t>(num_left)),
+      match_left_(static_cast<size_t>(num_left), -1),
+      match_right_(static_cast<size_t>(num_right), -1),
+      dist_(static_cast<size_t>(num_left), 0) {
+  DASC_CHECK_GE(num_left, 0);
+  DASC_CHECK_GE(num_right, 0);
+}
+
+void HopcroftKarp::AddEdge(int u, int v) {
+  DASC_CHECK_GE(u, 0);
+  DASC_CHECK_LT(u, num_left_);
+  DASC_CHECK_GE(v, 0);
+  DASC_CHECK_LT(v, num_right_);
+  adj_[static_cast<size_t>(u)].push_back(v);
+  solved_ = false;
+}
+
+bool HopcroftKarp::Bfs() {
+  std::deque<int> queue;
+  for (int u = 0; u < num_left_; ++u) {
+    if (match_left_[static_cast<size_t>(u)] == -1) {
+      dist_[static_cast<size_t>(u)] = 0;
+      queue.push_back(u);
+    } else {
+      dist_[static_cast<size_t>(u)] = kInf;
+    }
+  }
+  bool found_augmenting = false;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (int v : adj_[static_cast<size_t>(u)]) {
+      const int w = match_right_[static_cast<size_t>(v)];
+      if (w == -1) {
+        found_augmenting = true;
+      } else if (dist_[static_cast<size_t>(w)] == kInf) {
+        dist_[static_cast<size_t>(w)] = dist_[static_cast<size_t>(u)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+bool HopcroftKarp::Dfs(int u) {
+  for (int v : adj_[static_cast<size_t>(u)]) {
+    const int w = match_right_[static_cast<size_t>(v)];
+    if (w == -1 ||
+        (dist_[static_cast<size_t>(w)] == dist_[static_cast<size_t>(u)] + 1 &&
+         Dfs(w))) {
+      match_left_[static_cast<size_t>(u)] = v;
+      match_right_[static_cast<size_t>(v)] = u;
+      return true;
+    }
+  }
+  dist_[static_cast<size_t>(u)] = kInf;
+  return false;
+}
+
+int HopcroftKarp::MaxMatching() {
+  if (solved_) {
+    int size = 0;
+    for (int u = 0; u < num_left_; ++u) {
+      if (match_left_[static_cast<size_t>(u)] != -1) ++size;
+    }
+    return size;
+  }
+  int size = 0;
+  while (Bfs()) {
+    for (int u = 0; u < num_left_; ++u) {
+      if (match_left_[static_cast<size_t>(u)] == -1 && Dfs(u)) ++size;
+    }
+  }
+  solved_ = true;
+  return size;
+}
+
+int HopcroftKarp::MatchOfLeft(int u) const {
+  DASC_CHECK_GE(u, 0);
+  DASC_CHECK_LT(u, num_left_);
+  return match_left_[static_cast<size_t>(u)];
+}
+
+int HopcroftKarp::MatchOfRight(int v) const {
+  DASC_CHECK_GE(v, 0);
+  DASC_CHECK_LT(v, num_right_);
+  return match_right_[static_cast<size_t>(v)];
+}
+
+}  // namespace dasc::matching

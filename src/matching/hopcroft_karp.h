@@ -1,0 +1,44 @@
+// Hopcroft-Karp maximum bipartite matching in O(E * sqrt(V)).
+//
+// Used as the fast feasibility-only backend for DASC_Greedy ("can this
+// associative task set be fully served?") when travel-cost tie-breaking is
+// not needed.
+#ifndef DASC_MATCHING_HOPCROFT_KARP_H_
+#define DASC_MATCHING_HOPCROFT_KARP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dasc::matching {
+
+class HopcroftKarp {
+ public:
+  HopcroftKarp(int num_left, int num_right);
+
+  // Adds an edge between left vertex u and right vertex v.
+  void AddEdge(int u, int v);
+
+  // Computes a maximum matching; returns its size. Idempotent.
+  int MaxMatching();
+
+  // After MaxMatching(): matched right vertex of left u, or -1.
+  int MatchOfLeft(int u) const;
+  // After MaxMatching(): matched left vertex of right v, or -1.
+  int MatchOfRight(int v) const;
+
+ private:
+  bool Bfs();
+  bool Dfs(int u);
+
+  int num_left_;
+  int num_right_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> match_left_;
+  std::vector<int> match_right_;
+  std::vector<int> dist_;
+  bool solved_ = false;
+};
+
+}  // namespace dasc::matching
+
+#endif  // DASC_MATCHING_HOPCROFT_KARP_H_

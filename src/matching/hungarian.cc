@@ -1,0 +1,104 @@
+#include "matching/hungarian.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dasc::matching {
+
+HungarianResult SolveAssignment(const std::vector<std::vector<double>>& cost) {
+  HungarianResult result;
+  const int rows = static_cast<int>(cost.size());
+  if (rows == 0) {
+    result.feasible = true;
+    return result;
+  }
+  const int cols = static_cast<int>(cost[0].size());
+  DASC_CHECK_LE(rows, cols) << "SolveAssignment requires rows <= cols";
+  for (const auto& row : cost) {
+    DASC_CHECK_EQ(static_cast<int>(row.size()), cols)
+        << "cost matrix must be rectangular";
+  }
+
+  // Shortest-augmenting-path Hungarian with potentials (1-indexed internal
+  // arrays, the classic formulation). way[j] remembers the previous column on
+  // the shortest alternating path to column j.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(static_cast<size_t>(rows) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(cols) + 1, 0.0);
+  std::vector<int> match(static_cast<size_t>(cols) + 1, 0);  // col -> row
+  std::vector<int> way(static_cast<size_t>(cols) + 1, 0);
+
+  for (int i = 1; i <= rows; ++i) {
+    match[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(cols) + 1, kInf);
+    std::vector<char> used(static_cast<size_t>(cols) + 1, 0);
+    do {
+      used[static_cast<size_t>(j0)] = 1;
+      const int i0 = match[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= cols; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double edge =
+            cost[static_cast<size_t>(i0 - 1)][static_cast<size_t>(j - 1)];
+        const double cur = edge - u[static_cast<size_t>(i0)] -
+                           v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      if (!std::isfinite(delta)) {
+        // No augmenting path through feasible edges: row i cannot be matched.
+        result.feasible = false;
+        result.row_to_col.assign(static_cast<size_t>(rows), -1);
+        return result;
+      }
+      for (int j = 0; j <= cols; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(match[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[static_cast<size_t>(j0)] != 0);
+    // Unwind the alternating path.
+    do {
+      const int j1 = way[static_cast<size_t>(j0)];
+      match[static_cast<size_t>(j0)] = match[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.feasible = true;
+  result.row_to_col.assign(static_cast<size_t>(rows), -1);
+  for (int j = 1; j <= cols; ++j) {
+    const int i = match[static_cast<size_t>(j)];
+    if (i > 0) result.row_to_col[static_cast<size_t>(i - 1)] = j - 1;
+  }
+  double total = 0.0;
+  for (int i = 0; i < rows; ++i) {
+    const int j = result.row_to_col[static_cast<size_t>(i)];
+    DASC_CHECK_GE(j, 0);
+    const double edge = cost[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    if (!std::isfinite(edge)) {
+      // Matched through a forbidden edge; treat as infeasible.
+      result.feasible = false;
+      result.row_to_col.assign(static_cast<size_t>(rows), -1);
+      return result;
+    }
+    total += edge;
+  }
+  result.cost = total;
+  return result;
+}
+
+}  // namespace dasc::matching

@@ -1,0 +1,35 @@
+// Hungarian algorithm (Kuhn-Munkres) for min-cost bipartite assignment.
+//
+// DASC_Greedy needs to decide whether the tasks of an associative task set
+// can be simultaneously served by distinct feasible workers, and — among
+// feasible matchings — prefers one with minimum total travel time. That is a
+// rectangular min-cost assignment with forbidden edges, solved here with the
+// O(rows^2 * cols) shortest-augmenting-path formulation.
+#ifndef DASC_MATCHING_HUNGARIAN_H_
+#define DASC_MATCHING_HUNGARIAN_H_
+
+#include <limits>
+#include <vector>
+
+namespace dasc::matching {
+
+// Marks a forbidden (infeasible) edge in the cost matrix.
+inline constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+struct HungarianResult {
+  // True iff every row could be matched using only feasible edges.
+  bool feasible = false;
+  // Total cost of the matching (only meaningful when feasible).
+  double cost = 0.0;
+  // row_to_col[i] = matched column of row i, or -1 when infeasible.
+  std::vector<int> row_to_col;
+};
+
+// Solves min-cost assignment of every row to a distinct column.
+// `cost` must be rectangular with rows <= cols (pad or transpose otherwise);
+// entries may be kInfeasible. Finite costs must be non-negative.
+HungarianResult SolveAssignment(const std::vector<std::vector<double>>& cost);
+
+}  // namespace dasc::matching
+
+#endif  // DASC_MATCHING_HUNGARIAN_H_

@@ -1,0 +1,48 @@
+#include "sim/metrics.h"
+
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace dasc::sim {
+
+RunStats MeasureSimulation(const core::Instance& instance,
+                           const SimulatorOptions& options,
+                           core::Allocator& allocator) {
+  Simulator simulator(instance, options);
+  const SimulationResult result = simulator.Run(allocator);
+  RunStats stats;
+  stats.algorithm = std::string(allocator.name());
+  stats.score = result.score;
+  stats.millis = result.allocator_seconds * 1e3;
+  stats.batches = result.batches;
+  stats.mean_assignment_latency = result.mean_assignment_latency;
+  if (!result.per_batch_allocator_ms.empty()) {
+    util::Percentiles percentiles;
+    util::RunningStats batch_ms;
+    for (double ms : result.per_batch_allocator_ms) {
+      percentiles.Add(ms);
+      batch_ms.Add(ms);
+    }
+    stats.p50_batch_ms = percentiles.Median();
+    stats.p95_batch_ms = percentiles.Quantile(0.95);
+    stats.max_batch_ms = batch_ms.max();
+  }
+  return stats;
+}
+
+RunStats MeasureSingleBatch(const core::Instance& instance, double now,
+                            const core::FeasibilityParams& params,
+                            core::Allocator& allocator) {
+  core::BatchProblem problem = core::BatchProblem::AllAt(instance, now);
+  problem.params = params;
+  util::WallTimer timer;
+  const core::Assignment raw = allocator.Allocate(problem);
+  RunStats stats;
+  stats.algorithm = std::string(allocator.name());
+  stats.millis = timer.ElapsedMillis();
+  stats.score = core::ValidScore(problem, raw);
+  stats.batches = 1;
+  return stats;
+}
+
+}  // namespace dasc::sim

@@ -1,0 +1,40 @@
+// Experiment-level helpers: run allocators over an instance and collect the
+// (score, running time) measurements the paper's figures plot.
+#ifndef DASC_SIM_METRICS_H_
+#define DASC_SIM_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace dasc::sim {
+
+// One algorithm's measurement for one workload configuration.
+struct RunStats {
+  std::string algorithm;
+  int score = 0;
+  double millis = 0.0;  // time spent inside the allocator across all batches
+  int batches = 0;
+  // Distribution of per-batch allocator wall times (ops view): a platform
+  // cares about tail latency, not just the total.
+  double p50_batch_ms = 0.0;
+  double p95_batch_ms = 0.0;
+  double max_batch_ms = 0.0;
+  double mean_assignment_latency = 0.0;
+};
+
+// Runs `allocator` through a full simulation of `instance`.
+RunStats MeasureSimulation(const core::Instance& instance,
+                           const SimulatorOptions& options,
+                           core::Allocator& allocator);
+
+// Runs `allocator` on the single-batch (offline) problem containing the
+// whole instance at time `now` — the small-scale experiment setting.
+RunStats MeasureSingleBatch(const core::Instance& instance, double now,
+                            const core::FeasibilityParams& params,
+                            core::Allocator& allocator);
+
+}  // namespace dasc::sim
+
+#endif  // DASC_SIM_METRICS_H_

@@ -1,0 +1,165 @@
+#include "sim/platform.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "util/logging.h"
+
+namespace dasc::sim {
+
+Platform::Platform(int num_skills) : Platform(num_skills, Options()) {}
+
+Platform::Platform(int num_skills, Options options)
+    : num_skills_(num_skills),
+      options_(options),
+      instance_(util::Status::FailedPrecondition("no batch run yet")) {
+  DASC_CHECK_GT(num_skills, 0);
+}
+
+util::Result<core::WorkerId> Platform::AddWorker(core::Worker worker) {
+  if (worker.velocity <= 0.0) {
+    return util::Status::InvalidArgument("worker velocity must be positive");
+  }
+  if (worker.wait_time < 0.0 || worker.max_distance < 0.0) {
+    return util::Status::InvalidArgument(
+        "worker wait_time and max_distance must be non-negative");
+  }
+  if (worker.skills.empty()) {
+    return util::Status::InvalidArgument("worker needs at least one skill");
+  }
+  for (core::SkillId s : worker.skills) {
+    if (s < 0 || s >= num_skills_) {
+      return util::Status::OutOfRange("unknown skill " + std::to_string(s));
+    }
+  }
+  const auto id = static_cast<core::WorkerId>(workers_.size());
+  worker.id = id;
+  runtime_.push_back(
+      {worker.location, worker.max_distance,
+       -std::numeric_limits<double>::infinity()});
+  workers_.push_back(std::move(worker));
+  dirty_ = true;
+  return id;
+}
+
+util::Result<core::TaskId> Platform::AddTask(core::Task task) {
+  if (task.wait_time < 0.0) {
+    return util::Status::InvalidArgument("task wait_time must be non-negative");
+  }
+  if (task.required_skill < 0 || task.required_skill >= num_skills_) {
+    return util::Status::OutOfRange(
+        "unknown skill " + std::to_string(task.required_skill));
+  }
+  for (core::TaskId d : task.dependencies) {
+    if (d < 0 || d >= static_cast<core::TaskId>(tasks_.size())) {
+      return util::Status::InvalidArgument(
+          "dependency " + std::to_string(d) +
+          " is not a registered task (online tasks may only depend on "
+          "earlier tasks)");
+    }
+  }
+  const auto id = static_cast<core::TaskId>(tasks_.size());
+  task.id = id;
+  task_assigned_.push_back(0);
+  completion_.push_back(std::numeric_limits<double>::infinity());
+  tasks_.push_back(std::move(task));
+  dirty_ = true;
+  return id;
+}
+
+util::Status Platform::Refresh() {
+  if (!dirty_) return util::Status::OK();
+  instance_ = core::Instance::Create(workers_, tasks_, num_skills_);
+  if (!instance_.ok()) return instance_.status();
+  dirty_ = false;
+  return util::Status::OK();
+}
+
+util::Result<core::Assignment> Platform::RunBatch(
+    double now, core::Allocator& allocator) {
+  if (any_batch_run_ && now < last_batch_time_) {
+    return util::Status::FailedPrecondition(
+        "batch times must be non-decreasing");
+  }
+  const util::Status refreshed = Refresh();
+  if (!refreshed.ok()) return refreshed;
+  last_batch_time_ = now;
+  any_batch_run_ = true;
+  const core::Instance& instance = *instance_;
+
+  core::BatchProblem problem;
+  problem.instance = &instance;
+  problem.now = now;
+  problem.params = options_.params;
+  // Completion-based credit also forbids in-batch co-assignment: a dependent
+  // cannot start while its dependency is still being served.
+  problem.in_batch_dependency_credit =
+      options_.in_batch_dependency_credit &&
+      !options_.credit_requires_completion;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const core::Worker& w = workers_[i];
+    const WorkerRuntime& rt = runtime_[i];
+    if (w.start_time > now || w.Deadline() < now) continue;
+    if (rt.busy_until > now) continue;
+    core::WorkerState state;
+    state.id = w.id;
+    state.location = rt.location;
+    state.remaining_distance =
+        options_.cumulative_budget ? rt.budget : w.max_distance;
+    problem.workers.push_back(state);
+  }
+  problem.assigned_before.assign(tasks_.size(), 0);
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    if (!task_assigned_[t]) continue;
+    if (!options_.credit_requires_completion || completion_[t] <= now) {
+      problem.assigned_before[t] = 1;
+    }
+  }
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    const core::Task& task = tasks_[t];
+    if (task_assigned_[t]) continue;
+    if (task.start_time > now || task.Expiry() < now) continue;
+    problem.open_tasks.push_back(task.id);
+  }
+
+  core::Assignment valid;
+  if (!problem.workers.empty() && !problem.open_tasks.empty()) {
+    valid = core::ValidPairs(problem, allocator.Allocate(problem));
+  }
+  for (const auto& [wid, tid] : valid.pairs()) {
+    WorkerRuntime& rt = runtime_[static_cast<size_t>(wid)];
+    const core::Worker& w = workers_[static_cast<size_t>(wid)];
+    const core::Task& task = tasks_[static_cast<size_t>(tid)];
+    const double dist =
+        core::PairDistance(options_.params, rt.location, task.location);
+    const double done = now + dist / w.velocity + options_.service_time;
+    rt.location = task.location;
+    rt.budget -= dist;
+    rt.busy_until = done;
+    task_assigned_[static_cast<size_t>(tid)] = 1;
+    completion_[static_cast<size_t>(tid)] = done;
+  }
+  total_score_ += valid.size();
+  return valid;
+}
+
+bool Platform::TaskAssigned(core::TaskId task) const {
+  DASC_CHECK_GE(task, 0);
+  DASC_CHECK_LT(task, num_tasks());
+  return task_assigned_[static_cast<size_t>(task)] != 0;
+}
+
+double Platform::TaskCompletionTime(core::TaskId task) const {
+  DASC_CHECK_GE(task, 0);
+  DASC_CHECK_LT(task, num_tasks());
+  return completion_[static_cast<size_t>(task)];
+}
+
+bool Platform::WorkerBusy(core::WorkerId worker, double now) const {
+  DASC_CHECK_GE(worker, 0);
+  DASC_CHECK_LT(worker, num_workers());
+  return runtime_[static_cast<size_t>(worker)].busy_until > now;
+}
+
+}  // namespace dasc::sim

@@ -1,0 +1,87 @@
+// Online DA-SC platform.
+//
+// The embedding API a live service would use: workers and tasks stream in
+// (AddWorker/AddTask), and the service calls RunBatch(now, allocator) on its
+// batch timer. The offline Simulator replays a fixed Instance through the
+// same semantics; Platform owns a growing workload and keeps worker runtime
+// state (position, busy-until, travel budget) across batches.
+#ifndef DASC_SIM_PLATFORM_H_
+#define DASC_SIM_PLATFORM_H_
+
+#include <vector>
+
+#include "core/allocator.h"
+#include "core/instance.h"
+
+namespace dasc::sim {
+
+class Platform {
+ public:
+  struct Options {
+    core::FeasibilityParams params;
+    // Paper Definition 3 semantics: in-batch co-assignment satisfies
+    // dependencies. Disable for completion-based dependencies.
+    bool in_batch_dependency_credit = true;
+    // Dependency credit requires completion (not just assignment) when true.
+    bool credit_requires_completion = false;
+    // Time spent on site after arrival.
+    double service_time = 0.0;
+    // d_w as cumulative budget rather than per-trip reach.
+    bool cumulative_budget = false;
+  };
+
+  explicit Platform(int num_skills);
+  Platform(int num_skills, Options options);
+
+  // Registers a worker; its id field is overwritten with the platform id.
+  // Validation errors (bad velocity, unknown skills, ...) reject the worker.
+  util::Result<core::WorkerId> AddWorker(core::Worker worker);
+
+  // Registers a task; its id field is overwritten. Dependencies must
+  // reference already-registered tasks (an online stream cannot depend on
+  // the future, which also guarantees acyclicity).
+  util::Result<core::TaskId> AddTask(core::Task task);
+
+  // Runs one batch at time `now` (non-decreasing across calls) and commits
+  // the valid pairs. Returns the committed assignment.
+  util::Result<core::Assignment> RunBatch(double now,
+                                          core::Allocator& allocator);
+
+  // --- Introspection ---
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  // Σ_b |valid pairs| so far.
+  int total_score() const { return total_score_; }
+  bool TaskAssigned(core::TaskId task) const;
+  // Completion time of an assigned task (+inf if unassigned).
+  double TaskCompletionTime(core::TaskId task) const;
+  // Whether the worker is currently travelling/serving at `now`.
+  bool WorkerBusy(core::WorkerId worker, double now) const;
+
+ private:
+  // Rebuilds the validated Instance if inserts happened since the last batch.
+  util::Status Refresh();
+
+  int num_skills_;
+  Options options_;
+  std::vector<core::Worker> workers_;
+  std::vector<core::Task> tasks_;
+  bool dirty_ = true;
+  util::Result<core::Instance> instance_;
+
+  struct WorkerRuntime {
+    geo::Point location;
+    double budget = 0.0;
+    double busy_until = 0.0;
+  };
+  std::vector<WorkerRuntime> runtime_;
+  std::vector<uint8_t> task_assigned_;
+  std::vector<double> completion_;
+  double last_batch_time_ = 0.0;
+  bool any_batch_run_ = false;
+  int total_score_ = 0;
+};
+
+}  // namespace dasc::sim
+
+#endif  // DASC_SIM_PLATFORM_H_

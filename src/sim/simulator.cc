@@ -1,0 +1,294 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace dasc::sim {
+
+namespace {
+
+// Dynamic per-worker runtime state.
+struct WorkerRuntime {
+  geo::Point location;
+  double budget = 0.0;  // remaining distance (kCumulative mode)
+  double busy_until = -std::numeric_limits<double>::infinity();
+  bool camped = false;  // committed to a dependency-blocked task (kWait)
+};
+
+// A binding dispatch to a dependency-blocked task (kWait mode).
+struct PendingDispatch {
+  core::WorkerId worker = core::kInvalidId;
+  core::TaskId task = core::kInvalidId;
+  double arrival = 0.0;  // when the worker reaches the task site
+};
+
+}  // namespace
+
+Simulator::Simulator(const core::Instance& instance, SimulatorOptions options)
+    : instance_(instance), options_(options) {
+  DASC_CHECK_GT(options_.batch_interval, 0.0);
+  DASC_CHECK_GE(options_.service_time, 0.0);
+}
+
+SimulationResult Simulator::Run(core::Allocator& allocator) const {
+  SimulationResult result;
+  const int n = instance_.num_workers();
+  const int m = instance_.num_tasks();
+  if (n == 0 || m == 0) return result;
+  double latency_sum = 0.0;
+
+  std::vector<WorkerRuntime> runtime(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const core::Worker& w = instance_.worker(i);
+    runtime[static_cast<size_t>(i)].location = w.location;
+    runtime[static_cast<size_t>(i)].budget = w.max_distance;
+  }
+
+  std::vector<uint8_t> task_assigned(static_cast<size_t>(m), 0);
+  std::vector<uint8_t> task_locked(static_cast<size_t>(m), 0);
+  // Completion time of each assigned task (+inf when unassigned).
+  std::vector<double> completion(
+      static_cast<size_t>(m), std::numeric_limits<double>::infinity());
+  std::vector<PendingDispatch> pending;
+
+  // The timeline: from the earliest arrival to the latest moment anything
+  // can still be started.
+  double t_begin = std::numeric_limits<double>::infinity();
+  double t_end = -std::numeric_limits<double>::infinity();
+  for (const core::Worker& w : instance_.workers()) {
+    t_begin = std::min(t_begin, w.start_time);
+    t_end = std::max(t_end, w.Deadline());
+  }
+  for (const core::Task& t : instance_.tasks()) {
+    t_begin = std::min(t_begin, t.start_time);
+    t_end = std::max(t_end, t.Expiry());
+  }
+
+  const bool completed_mode =
+      options_.dependency_mode == SimulatorOptions::DependencyMode::kCompleted;
+  const bool event_driven =
+      options_.batch_trigger == SimulatorOptions::BatchTrigger::kEventDriven;
+
+  // Event-driven agenda: batch instants seeded with every arrival; commits
+  // and camps push completion / expiry instants as they happen.
+  std::priority_queue<double, std::vector<double>, std::greater<>> agenda;
+  if (event_driven) {
+    for (const core::Worker& w : instance_.workers()) {
+      agenda.push(w.start_time);
+    }
+    for (const core::Task& t : instance_.tasks()) {
+      agenda.push(t.start_time);
+    }
+  }
+
+  double now = t_begin;
+  // Advances the clock to the next batch instant; false = simulation over.
+  auto advance = [&]() {
+    if (event_driven) {
+      while (!agenda.empty() && agenda.top() <= now + 1e-9) agenda.pop();
+      if (agenda.empty()) return false;
+      const double next = agenda.top();
+      agenda.pop();
+      if (next > t_end + 1e-9) return false;
+      now = next;
+    } else {
+      now += options_.batch_interval;
+      if (now > t_end + 1e-9) return false;
+    }
+    return true;
+  };
+
+  while (true) {
+    ++result.batches;
+    int batch_score = 0;
+
+    // Dependency credit available at this batch.
+    std::vector<uint8_t> credited(static_cast<size_t>(m), 0);
+    for (int t = 0; t < m; ++t) {
+      if (!task_assigned[static_cast<size_t>(t)]) continue;
+      if (!completed_mode || completion[static_cast<size_t>(t)] <= now) {
+        credited[static_cast<size_t>(t)] = 1;
+      }
+    }
+
+    // Resolve binding dispatches to blocked tasks (kWait): conduct the task
+    // if its dependencies are now satisfied and it has not expired; dissolve
+    // the pair when the task expires un-unblocked.
+    if (!pending.empty()) {
+      std::vector<PendingDispatch> still_pending;
+      for (const PendingDispatch& pd : pending) {
+        const core::Task& task = instance_.task(pd.task);
+        WorkerRuntime& rt = runtime[static_cast<size_t>(pd.worker)];
+        bool deps_met = true;
+        for (core::TaskId f : instance_.DepClosure(pd.task)) {
+          if (!credited[static_cast<size_t>(f)]) {
+            deps_met = false;
+            break;
+          }
+        }
+        if (deps_met && now >= pd.arrival && now <= task.Expiry()) {
+          // Service finally starts; the late pair scores now.
+          const double done = now + options_.service_time;
+          task_assigned[static_cast<size_t>(pd.task)] = 1;
+          task_locked[static_cast<size_t>(pd.task)] = 0;
+          completion[static_cast<size_t>(pd.task)] = done;
+          rt.busy_until = done;
+          rt.camped = false;
+          ++batch_score;
+          ++result.completed_tasks;
+          latency_sum += now - task.start_time;
+          result.last_completion_time =
+              std::max(result.last_completion_time, done);
+          if (event_driven) agenda.push(done);
+          if (options_.trace != nullptr) {
+            options_.trace->Record({now, TraceEventKind::kCampResolved,
+                                    pd.worker, pd.task, done});
+          }
+        } else if (now > task.Expiry()) {
+          // The task expired under the camped worker; both are wasted.
+          task_locked[static_cast<size_t>(pd.task)] = 0;
+          rt.camped = false;
+          rt.busy_until = now;
+          if (options_.trace != nullptr) {
+            options_.trace->Record({now, TraceEventKind::kCampExpired,
+                                    pd.worker, pd.task, 0.0});
+          }
+        } else {
+          still_pending.push_back(pd);
+        }
+      }
+      pending.swap(still_pending);
+    }
+
+    core::BatchProblem problem;
+    problem.instance = &instance_;
+    problem.now = now;
+    problem.params = options_.params;
+    problem.in_batch_dependency_credit = !completed_mode;
+
+    for (int i = 0; i < n; ++i) {
+      const core::Worker& w = instance_.worker(i);
+      const WorkerRuntime& rt = runtime[static_cast<size_t>(i)];
+      if (w.start_time > now || w.Deadline() < now) continue;  // not present
+      if (rt.camped || rt.busy_until > now) continue;          // committed
+      core::WorkerState state;
+      state.id = i;
+      state.location = rt.location;
+      state.remaining_distance =
+          options_.budget_mode == SimulatorOptions::BudgetMode::kCumulative
+              ? rt.budget
+              : w.max_distance;
+      problem.workers.push_back(state);
+    }
+
+    problem.assigned_before = credited;
+    for (int t = 0; t < m; ++t) {
+      const core::Task& task = instance_.task(t);
+      if (task_assigned[static_cast<size_t>(t)] ||
+          task_locked[static_cast<size_t>(t)]) {
+        continue;
+      }
+      if (task.start_time > now || task.Expiry() < now) continue;
+      problem.open_tasks.push_back(t);
+    }
+
+    if (options_.trace != nullptr) {
+      options_.trace->Record(
+          {now, TraceEventKind::kBatch,
+           static_cast<core::WorkerId>(problem.workers.size()),
+           static_cast<core::TaskId>(problem.open_tasks.size()), 0.0});
+    }
+    if (problem.workers.empty() || problem.open_tasks.empty()) {
+      if (batch_score > 0) {
+        result.per_batch_scores.push_back(batch_score);
+        result.score += batch_score;
+      }
+      if (!advance()) break;
+      continue;
+    }
+    ++result.nonempty_batches;
+
+    util::WallTimer timer;
+    const core::Assignment raw = allocator.Allocate(problem);
+    const double batch_seconds = timer.ElapsedSeconds();
+    result.allocator_seconds += batch_seconds;
+    result.per_batch_allocator_ms.push_back(batch_seconds * 1e3);
+
+    const core::SplitAssignment split = core::SplitPairs(problem, raw);
+    const core::Assignment& valid = split.valid;
+    if (options_.paranoid_checks) {
+      const util::Status audit = core::ValidateAssignment(problem, valid);
+      DASC_CHECK(audit.ok()) << allocator.name() << ": " << audit.ToString();
+    }
+
+    batch_score += valid.size();
+    result.per_batch_scores.push_back(batch_score);
+    result.score += batch_score;
+
+    for (const auto& [wid, tid] : valid.pairs()) {
+      WorkerRuntime& rt = runtime[static_cast<size_t>(wid)];
+      const core::Worker& w = instance_.worker(wid);
+      const core::Task& task = instance_.task(tid);
+      const double dist =
+          core::PairDistance(options_.params, rt.location, task.location);
+      const double arrival = now + dist / w.velocity;
+      const double done = arrival + options_.service_time;
+      rt.location = task.location;
+      rt.budget -= dist;
+      rt.busy_until = done;
+      task_assigned[static_cast<size_t>(tid)] = 1;
+      completion[static_cast<size_t>(tid)] = done;
+      ++result.completed_tasks;
+      latency_sum += now - task.start_time;
+      result.last_completion_time =
+          std::max(result.last_completion_time, done);
+      if (event_driven) agenda.push(done);
+      if (options_.trace != nullptr) {
+        options_.trace->Record(
+            {now, TraceEventKind::kDispatch, wid, tid, dist});
+        options_.trace->Record(
+            {done, TraceEventKind::kCompletion, wid, tid, done});
+      }
+    }
+
+    if (options_.invalid_pair_handling ==
+        SimulatorOptions::InvalidPairHandling::kWait) {
+      // Dependency-violating pairs are binding: the worker travels to the
+      // task and camps there until the dependencies are satisfied or the
+      // task expires; the task is locked away from other workers meanwhile.
+      for (const auto& [wid, tid] : split.invalid.pairs()) {
+        WorkerRuntime& rt = runtime[static_cast<size_t>(wid)];
+        const core::Worker& w = instance_.worker(wid);
+        const core::Task& task = instance_.task(tid);
+        const double dist =
+            core::PairDistance(options_.params, rt.location, task.location);
+        rt.location = task.location;
+        rt.budget -= dist;
+        rt.camped = true;
+        task_locked[static_cast<size_t>(tid)] = 1;
+        pending.push_back({wid, tid, now + dist / w.velocity});
+        ++result.wasted_dispatches;
+        if (event_driven) {
+          agenda.push(now + dist / w.velocity);  // camper reaches the site
+          agenda.push(task.Expiry() + 1e-9);     // ... or the task dies
+        }
+        if (options_.trace != nullptr) {
+          options_.trace->Record({now, TraceEventKind::kCamp, wid, tid, dist});
+        }
+      }
+    }
+
+    if (!advance()) break;
+  }
+  if (result.completed_tasks > 0) {
+    result.mean_assignment_latency = latency_sum / result.completed_tasks;
+  }
+  return result;
+}
+
+}  // namespace dasc::sim

@@ -1,0 +1,44 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace dasc::sim {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kBatch:
+      return "batch";
+    case TraceEventKind::kDispatch:
+      return "dispatch";
+    case TraceEventKind::kCamp:
+      return "camp";
+    case TraceEventKind::kCampResolved:
+      return "camp_resolved";
+    case TraceEventKind::kCampExpired:
+      return "camp_expired";
+    case TraceEventKind::kCompletion:
+      return "completion";
+  }
+  DASC_CHECK(false) << "unknown TraceEventKind";
+  return "?";
+}
+
+int Trace::Count(TraceEventKind kind) const {
+  int count = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++count;
+  }
+  return count;
+}
+
+void Trace::WriteCsv(std::ostream& out) const {
+  out << "time,kind,worker,task,detail\n";
+  for (const TraceEvent& e : events_) {
+    out << e.time << "," << TraceEventKindName(e.kind) << "," << e.worker
+        << "," << e.task << "," << e.detail << "\n";
+  }
+}
+
+}  // namespace dasc::sim

@@ -1,0 +1,58 @@
+// Simulation event traces.
+//
+// The simulator can record a structured event stream (dispatches, arrivals,
+// completions, camping, expiries) for debugging, visualization, and the
+// per-batch analyses in EXPERIMENTS.md. Traces export to CSV.
+#ifndef DASC_SIM_TRACE_H_
+#define DASC_SIM_TRACE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace dasc::sim {
+
+enum class TraceEventKind {
+  kBatch,          // a batch boundary (worker = open tasks, task = idle workers)
+  kDispatch,       // valid pair committed; detail = travel distance
+  kCamp,           // dependency-blocked binding dispatch; detail = distance
+  kCampResolved,   // camped pair finally conducted
+  kCampExpired,    // camped task expired under its worker
+  kCompletion,     // task completed; detail = completion time
+};
+
+// Returns a stable lowercase name ("dispatch", "camp", ...).
+const char* TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  double time = 0.0;
+  TraceEventKind kind = TraceEventKind::kBatch;
+  core::WorkerId worker = core::kInvalidId;
+  core::TaskId task = core::kInvalidId;
+  double detail = 0.0;
+};
+
+// Append-only event sink. Pass to Simulator via SimulatorOptions::trace.
+class Trace {
+ public:
+  void Record(TraceEvent event) { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // Number of events of one kind.
+  int Count(TraceEventKind kind) const;
+
+  // CSV: time,kind,worker,task,detail.
+  void WriteCsv(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dasc::sim
+
+#endif  // DASC_SIM_TRACE_H_

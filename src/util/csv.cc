@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "util/logging.h"
+
+namespace dasc::util {
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  if (!rows_.empty()) {
+    DASC_CHECK_EQ(cells.size(), rows_.front().size())
+        << "row width must match header width";
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  if (rows_.empty()) return;
+  const size_t cols = rows_.front().size();
+  std::vector<size_t> width(cols, 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < cols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < cols; ++c) {
+      out << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    out << "\n";
+  };
+  print_row(rows_.front());
+  size_t total = 0;
+  for (size_t c = 0; c < cols; ++c) total += width[c] + 2;
+  out << std::string(total, '-') << "\n";
+  for (size_t r = 1; r < rows_.size(); ++r) print_row(rows_[r]);
+}
+
+void TablePrinter::PrintCsv(std::ostream& out) const {
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << CsvEscape(row[c]);
+    }
+    out << "\n";
+  }
+}
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string escaped = "\"";
+  for (char ch : field) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace dasc::util

@@ -1,0 +1,42 @@
+// Tabular output helpers for the benchmark harness: an aligned console table
+// (the "same rows/series the paper reports") and a CSV writer for plotting.
+#ifndef DASC_UTIL_CSV_H_
+#define DASC_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dasc::util {
+
+// Collects rows of string cells and prints them with aligned columns.
+// The first added row is treated as the header.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  // Adds a row; each call must pass the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` digits after the point.
+  static std::string Num(double value, int precision = 2);
+
+  // Renders the table (title, header, separator, rows) to `out`.
+  void Print(std::ostream& out) const;
+
+  // Renders as CSV (no alignment padding).
+  void PrintCsv(std::ostream& out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Escapes a cell for CSV output (quotes fields containing , " or newline).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace dasc::util
+
+#endif  // DASC_UTIL_CSV_H_

@@ -1,0 +1,149 @@
+#include "util/flags.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dasc::util {
+
+namespace {
+
+bool ParseInt(const std::string& text, int64_t* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, err] = std::from_chars(begin, end, *out);
+  return err == std::errc() && ptr == end;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+}  // namespace
+
+void FlagParser::Register(Flag flag) {
+  DASC_CHECK(Find(flag.name) == nullptr)
+      << "duplicate flag --" << flag.name;
+  flags_.push_back(std::move(flag));
+}
+
+FlagParser::Flag* FlagParser::Find(const std::string& name) {
+  for (Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t* target,
+                        const std::string& help) {
+  DASC_CHECK(target != nullptr);
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.default_value = std::to_string(*target);
+  flag.apply = [target](const std::string& value) {
+    return ParseInt(value, target);
+  };
+  Register(std::move(flag));
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  DASC_CHECK(target != nullptr);
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  std::ostringstream default_text;
+  default_text << *target;
+  flag.default_value = default_text.str();
+  flag.apply = [target](const std::string& value) {
+    return ParseDouble(value, target);
+  };
+  Register(std::move(flag));
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  DASC_CHECK(target != nullptr);
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.default_value = *target;
+  flag.apply = [target](const std::string& value) {
+    *target = value;
+    return true;
+  };
+  Register(std::move(flag));
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  DASC_CHECK(target != nullptr);
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.default_value = *target ? "true" : "false";
+  flag.is_bool = true;
+  flag.apply = [target](const std::string& value) {
+    if (value.empty() || value == "true" || value == "1") {
+      *target = true;
+      return true;
+    }
+    if (value == "false" || value == "0") {
+      *target = false;
+      return true;
+    }
+    return false;
+  };
+  Register(std::move(flag));
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+Status FlagParser::Parse(const std::vector<std::string>& args) {
+  positional_.clear();
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const size_t equals = arg.find('=');
+    const std::string name = arg.substr(2, equals == std::string::npos
+                                               ? std::string::npos
+                                               : equals - 2);
+    const std::string value =
+        equals == std::string::npos ? "" : arg.substr(equals + 1);
+    Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (equals == std::string::npos && !flag->is_bool) {
+      return Status::InvalidArgument("flag --" + name + " needs =value");
+    }
+    if (!flag->apply(value)) {
+      return Status::InvalidArgument("bad value for --" + name + ": '" +
+                                     value + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::HelpText() const {
+  std::string out;
+  for (const Flag& flag : flags_) {
+    out += "  --" + flag.name + (flag.is_bool ? "" : "=<value>") + "  " +
+           flag.help + " (default: " + flag.default_value + ")\n";
+  }
+  return out;
+}
+
+}  // namespace dasc::util

@@ -1,0 +1,66 @@
+// Minimal command-line flag parsing.
+//
+// Shared by the CLI and the bench harness. Flags use --name=value (or
+// --name for booleans); positional arguments are collected in order.
+//
+//   util::FlagParser parser;
+//   double scale = 1.0;
+//   parser.AddDouble("scale", &scale, "workload size multiplier");
+//   bool csv = false;
+//   parser.AddBool("csv", &csv, "emit CSV");
+//   util::Status status = parser.Parse(argc, argv);
+#ifndef DASC_UTIL_FLAGS_H_
+#define DASC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dasc::util {
+
+class FlagParser {
+ public:
+  // Registers a flag bound to `target` (not owned; must outlive Parse).
+  void AddInt(const std::string& name, int64_t* target,
+              const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  // Boolean flags accept --name, --name=true/false/1/0.
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  // Parses argv[1..); unknown flags and malformed values are errors.
+  // Non-flag arguments land in positional().
+  Status Parse(int argc, char** argv);
+  // Variant for pre-tokenized args (tests).
+  Status Parse(const std::vector<std::string>& args);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // One line per flag: "--name  help (default: value)".
+  std::string HelpText() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_value;
+    bool is_bool = false;
+    // Applies a value string to the bound target; false on parse failure.
+    std::function<bool(const std::string&)> apply;
+  };
+
+  void Register(Flag flag);
+  Flag* Find(const std::string& name);
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dasc::util
+
+#endif  // DASC_UTIL_FLAGS_H_

@@ -1,0 +1,78 @@
+// Lightweight logging and invariant-check macros.
+//
+// The library does not use exceptions; internal invariant violations abort
+// with a diagnostic (RocksDB-style), while recoverable errors are reported
+// through util::Status / util::Result.
+#ifndef DASC_UTIL_LOGGING_H_
+#define DASC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dasc::util {
+
+namespace internal {
+
+// Accumulates a message and aborts the process when destroyed. Used as the
+// right-hand side of the DASC_CHECK macros so callers can stream context:
+//   DASC_CHECK(x > 0) << "x was " << x;
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " check failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lowers a FatalMessage expression (including its streamed suffix) to void;
+// `&` binds looser than `<<`, so the full streamed chain runs first.
+struct Voidifier {
+  void operator&(const FatalMessage&) {}
+};
+
+}  // namespace internal
+
+}  // namespace dasc::util
+
+// Aborts with a diagnostic when `condition` is false. Supports streaming
+// extra context: DASC_CHECK(x > 0) << "x was " << x;
+#define DASC_CHECK(condition)                                  \
+  (condition) ? (void)0                                        \
+              : ::dasc::util::internal::Voidifier() &          \
+                    ::dasc::util::internal::FatalMessage(      \
+                        __FILE__, __LINE__, #condition)
+
+#define DASC_CHECK_EQ(a, b) DASC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DASC_CHECK_NE(a, b) DASC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DASC_CHECK_LT(a, b) DASC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DASC_CHECK_LE(a, b) DASC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DASC_CHECK_GT(a, b) DASC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DASC_CHECK_GE(a, b) DASC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define DASC_DCHECK(condition) \
+  while (false) DASC_CHECK(condition)
+#else
+#define DASC_DCHECK(condition) DASC_CHECK(condition)
+#endif
+
+#endif  // DASC_UTIL_LOGGING_H_

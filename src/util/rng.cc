@@ -1,0 +1,113 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace dasc::util {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+  zipf_n_ = -1;
+  zipf_cdf_.clear();
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DASC_CHECK_LE(lo, hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % range);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  DASC_CHECK_LE(lo, hi);
+  // 53 random mantissa bits -> uniform in [0, 1).
+  const double unit = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformUnit() < p;
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  DASC_CHECK_GT(n, 0);
+  DASC_CHECK_GT(s, 0.0);
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.assign(static_cast<size_t>(n), 0.0);
+    double total = 0.0;
+    for (int64_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      zipf_cdf_[static_cast<size_t>(k)] = total;
+    }
+    for (auto& v : zipf_cdf_) v /= total;
+  }
+  const double u = UniformUnit();
+  // Binary search for the first CDF entry >= u.
+  int64_t lo = 0;
+  int64_t hi = n - 1;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (zipf_cdf_[static_cast<size_t>(mid)] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box-Muller; draws u1 from (0,1] to avoid log(0).
+  double u1;
+  do {
+    u1 = UniformUnit();
+  } while (u1 <= 0.0);
+  const double u2 = UniformUnit();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+Rng Rng::Fork() {
+  Rng child(Next() ^ 0xd1b54a32d192ed03ULL);
+  return child;
+}
+
+}  // namespace dasc::util

@@ -1,0 +1,57 @@
+// Streaming statistics accumulators: mean/variance (Welford) and exact
+// percentiles over retained samples. Used for ops-style reporting (per-batch
+// allocator latency percentiles, batch-size distributions).
+#ifndef DASC_UTIL_STATS_H_
+#define DASC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dasc::util {
+
+// Numerically stable running mean / variance / extrema.
+class RunningStats {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Retains every sample; exact quantiles on demand. For bounded experiment
+// sizes (per-batch series), exactness beats sketching.
+class Percentiles {
+ public:
+  void Add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+
+  // Quantile by linear interpolation between closest ranks; q in [0, 1].
+  // Returns 0 when empty.
+  double Quantile(double q) const;
+
+  double Median() const { return Quantile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace dasc::util
+
+#endif  // DASC_UTIL_STATS_H_

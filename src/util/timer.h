@@ -1,0 +1,29 @@
+// Wall-clock timer for experiment timing.
+#ifndef DASC_UTIL_TIMER_H_
+#define DASC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dasc::util {
+
+// Measures elapsed wall time from construction (or the last Restart()).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dasc::util
+
+#endif  // DASC_UTIL_TIMER_H_

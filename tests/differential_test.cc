@@ -1,0 +1,145 @@
+// Differential tests: two independent implementations of the batch state
+// machine (the replay Simulator and the online Platform) must agree when
+// driven identically, and algorithm invariants must hold across random
+// workloads end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/registry.h"
+#include "gen/meetup.h"
+#include "gen/synthetic.h"
+#include "sim/platform.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace dasc {
+namespace {
+
+gen::SyntheticParams SmallWorkload(uint64_t seed) {
+  gen::SyntheticParams params;
+  params.seed = seed;
+  params.num_workers = 60;
+  params.num_tasks = 80;
+  params.num_skills = 10;
+  params.dependency_size = {0, 4};
+  params.worker_skills = {1, 3};
+  params.start_time = {0.0, 30.0};
+  params.wait_time = {5.0, 10.0};
+  params.velocity = {0.05, 0.1};
+  params.max_distance = {0.2, 0.4};
+  return params;
+}
+
+// Drives Platform with the same fixed cadence as Simulator. For allocators
+// that never emit dependency-invalid pairs (greedy, urgency), the two state
+// machines are equivalent: identical per-batch scores.
+class SimulatorPlatformDifferentialTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulatorPlatformDifferentialTest, GreedyScoresMatch) {
+  auto instance = gen::GenerateSynthetic(SmallWorkload(GetParam()));
+  ASSERT_TRUE(instance.ok());
+
+  sim::SimulatorOptions sim_options;
+  sim_options.batch_interval = 2.0;
+  auto sim_alloc = algo::CreateAllocator("greedy");
+  ASSERT_TRUE(sim_alloc.ok());
+  const sim::SimulationResult sim_result =
+      sim::Simulator(*instance, sim_options).Run(**sim_alloc);
+
+  sim::Platform platform(instance->num_skills());
+  for (const auto& w : instance->workers()) {
+    ASSERT_TRUE(platform.AddWorker(w).ok());
+  }
+  for (const auto& t : instance->tasks()) {
+    ASSERT_TRUE(platform.AddTask(t).ok());
+  }
+  auto platform_alloc = algo::CreateAllocator("greedy");
+  ASSERT_TRUE(platform_alloc.ok());
+  // Same cadence: from the earliest start time, every 2.0.
+  double begin = 1e18, end = -1e18;
+  for (const auto& w : instance->workers()) {
+    begin = std::min(begin, w.start_time);
+    end = std::max(end, w.Deadline());
+  }
+  for (const auto& t : instance->tasks()) {
+    begin = std::min(begin, t.start_time);
+    end = std::max(end, t.Expiry());
+  }
+  for (double now = begin; now <= end + 1e-9; now += 2.0) {
+    ASSERT_TRUE(platform.RunBatch(now, **platform_alloc).ok());
+  }
+  EXPECT_EQ(platform.total_score(), sim_result.score);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPlatformDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+// End-to-end invariants over random workloads and every registered
+// allocator (except DFS, which is exponential).
+class EndToEndInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EndToEndInvariantTest, AllAllocatorsRespectConservation) {
+  auto instance = gen::GenerateSynthetic(SmallWorkload(GetParam() + 500));
+  ASSERT_TRUE(instance.ok());
+  for (const std::string& name : algo::KnownAllocatorNames()) {
+    if (name == "dfs") continue;
+    auto allocator = algo::CreateAllocator(name, GetParam());
+    ASSERT_TRUE(allocator.ok());
+    sim::SimulatorOptions options;
+    options.batch_interval = 2.0;
+    options.paranoid_checks = true;  // audits every committed batch
+    const sim::SimulationResult result =
+        sim::Simulator(*instance, options).Run(**allocator);
+    EXPECT_LE(result.score, instance->num_tasks()) << name;
+    EXPECT_EQ(result.score, result.completed_tasks) << name;
+    int sum = 0;
+    for (int s : result.per_batch_scores) sum += s;
+    EXPECT_EQ(sum, result.score) << name;
+  }
+}
+
+TEST_P(EndToEndInvariantTest, DependencyAwareBeatBaselinesOnChainWorkloads) {
+  gen::SyntheticParams params = SmallWorkload(GetParam() + 900);
+  params.num_tasks = 150;
+  params.dependency_size = {2, 8};  // force chains
+  auto instance = gen::GenerateSynthetic(params);
+  ASSERT_TRUE(instance.ok());
+  sim::SimulatorOptions options;
+  options.batch_interval = 2.0;
+  auto score_of = [&](const char* name) {
+    auto allocator = algo::CreateAllocator(name, GetParam());
+    DASC_CHECK(allocator.ok());
+    return sim::Simulator(*instance, options).Run(**allocator).score;
+  };
+  const int greedy = score_of("greedy");
+  const int closest = score_of("closest");
+  EXPECT_GE(greedy, closest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndInvariantTest,
+                         ::testing::Range<uint64_t>(0, 6));
+
+// The Meetup generator feeds the same invariants.
+TEST(EndToEndMeetupTest, FullPipelineOnMeetupWorkload) {
+  gen::MeetupParams params;
+  params.num_workers = 300;
+  params.num_tasks = 150;
+  params.num_groups = 12;
+  auto instance = gen::GenerateMeetup(params);
+  ASSERT_TRUE(instance.ok());
+  sim::SimulatorOptions options;
+  options.batch_interval = 1.0;
+  options.paranoid_checks = true;
+  for (const char* name : {"greedy", "gg", "urgency", "maxmatch"}) {
+    auto allocator = algo::CreateAllocator(name, 4);
+    ASSERT_TRUE(allocator.ok());
+    const sim::SimulationResult result =
+        sim::Simulator(*instance, options).Run(**allocator);
+    EXPECT_GT(result.score, 0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dasc

@@ -1,0 +1,181 @@
+// Tests for the exact DFS solver and the Closest/Random baselines.
+#include <gtest/gtest.h>
+
+#include "algo/baselines.h"
+#include "algo/exact.h"
+#include "algo/greedy.h"
+#include "core/assignment.h"
+#include "test_util.h"
+
+namespace dasc::algo {
+namespace {
+
+using core::BatchProblem;
+using core::Instance;
+using testing::Example1;
+using testing::MakeTask;
+using testing::MakeWorker;
+
+// ----------------------------------------------------------------- Exact ---
+
+TEST(ExactTest, SolvesPaperExampleOptimally) {
+  const Instance instance = Example1();
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  ExactAllocator exact;
+  const core::Assignment assignment = exact.Allocate(problem);
+  EXPECT_TRUE(exact.last_run_complete());
+  EXPECT_EQ(core::ValidScore(problem, assignment), 3);
+  EXPECT_TRUE(core::ValidateAssignment(problem, assignment).ok());
+}
+
+TEST(ExactTest, EmptyProblem) {
+  auto instance = core::Instance::Create({}, {}, 1);
+  ASSERT_TRUE(instance.ok());
+  ExactAllocator exact;
+  EXPECT_TRUE(
+      exact.Allocate(BatchProblem::AllAt(*instance, 0.0)).empty());
+  EXPECT_TRUE(exact.last_run_complete());
+}
+
+TEST(ExactTest, PruningPreservesOptimum) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    testing::RandomInstanceParams params;
+    params.num_workers = 4;
+    params.num_tasks = 6;
+    const Instance instance = testing::RandomInstance(seed, params);
+    const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+    ExactOptions pruned;
+    pruned.prune = true;
+    ExactOptions plain;
+    plain.prune = false;
+    ExactAllocator a(pruned), b(plain);
+    const int sa = core::ValidScore(problem, a.Allocate(problem));
+    const int sb = core::ValidScore(problem, b.Allocate(problem));
+    EXPECT_TRUE(a.last_run_complete());
+    EXPECT_TRUE(b.last_run_complete());
+    EXPECT_EQ(sa, sb) << "seed " << seed;
+    EXPECT_LE(a.last_nodes(), b.last_nodes());
+  }
+}
+
+TEST(ExactTest, DominatesGreedy) {
+  for (uint64_t seed = 20; seed < 28; ++seed) {
+    testing::RandomInstanceParams params;
+    params.num_workers = 5;
+    params.num_tasks = 6;
+    const Instance instance = testing::RandomInstance(seed, params);
+    const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+    ExactAllocator exact;
+    GreedyAllocator greedy;
+    EXPECT_GE(core::ValidScore(problem, exact.Allocate(problem)),
+              core::ValidScore(problem, greedy.Allocate(problem)))
+        << "seed " << seed;
+  }
+}
+
+TEST(ExactTest, TimeLimitReturnsIncumbent) {
+  testing::RandomInstanceParams params;
+  params.num_workers = 10;
+  params.num_tasks = 14;
+  const Instance instance = testing::RandomInstance(3, params);
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  ExactOptions options;
+  options.time_limit_seconds = 1e-5;  // practically immediate
+  ExactAllocator exact(options);
+  const core::Assignment assignment = exact.Allocate(problem);
+  // Whatever came back must still be valid.
+  EXPECT_TRUE(core::ValidateAssignment(problem, assignment).ok());
+}
+
+// -------------------------------------------------------------- Baselines ---
+
+TEST(ClosestTest, PicksNearestFeasibleTask) {
+  // Worker can reach both tasks; the nearer one must be chosen.
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {0})},
+      {MakeTask(0, 5, 0, 0), MakeTask(1, 1, 0, 0)}, 1);
+  ASSERT_TRUE(instance.ok());
+  const BatchProblem problem = BatchProblem::AllAt(*instance, 0.0);
+  ClosestAllocator closest;
+  const core::Assignment assignment = closest.Allocate(problem);
+  ASSERT_EQ(assignment.size(), 1);
+  EXPECT_EQ(assignment.pairs()[0].second, 1);
+}
+
+TEST(ClosestTest, IgnoresDependenciesAndLosesScore) {
+  // The paper's Figure 1(b) narrative: Closest picks t2/t3 style pairs whose
+  // dependencies are unmet; only 1 valid pair results on Example 1.
+  const Instance instance = Example1();
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  ClosestAllocator closest;
+  const core::Assignment raw = closest.Allocate(problem);
+  EXPECT_EQ(raw.size(), 3);  // every worker grabbed something
+  EXPECT_EQ(core::ValidScore(problem, raw), 1);
+}
+
+TEST(ClosestTest, TasksNotDoubleBooked) {
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {0}), MakeWorker(1, 0.1, 0, {0})},
+      {MakeTask(0, 0.05, 0, 0)}, 1);
+  ASSERT_TRUE(instance.ok());
+  const BatchProblem problem = BatchProblem::AllAt(*instance, 0.0);
+  ClosestAllocator closest;
+  EXPECT_EQ(closest.Allocate(problem).size(), 1);
+}
+
+TEST(RandomTest, OnlyFeasiblePairsEmitted) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const Instance instance = testing::RandomInstance(seed);
+    const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+    RandomAllocator random(seed);
+    const core::Assignment raw = random.Allocate(problem);
+    for (const auto& [w, t] : raw.pairs()) {
+      EXPECT_TRUE(core::CanServe(instance,
+                                 problem.workers[static_cast<size_t>(w)], t,
+                                 problem.now, problem.params));
+    }
+    // Dedup must hold even before ValidPairs.
+    std::set<core::TaskId> tasks;
+    std::set<core::WorkerId> workers;
+    for (const auto& [w, t] : raw.pairs()) {
+      EXPECT_TRUE(tasks.insert(t).second);
+      EXPECT_TRUE(workers.insert(w).second);
+    }
+  }
+}
+
+TEST(RandomTest, DeterministicPerSeed) {
+  const Instance instance = testing::RandomInstance(50);
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  RandomAllocator a(7), b(7), c(8);
+  EXPECT_EQ(a.Allocate(problem).pairs(), b.Allocate(problem).pairs());
+  // A different seed is very likely to differ on a 12-task instance.
+  (void)c;
+}
+
+// Ordering property on random instances: DFS >= Game/Greedy >= baselines
+// does not always hold pairwise for baselines (they can get lucky), but DFS
+// must upper-bound everything.
+class OrderingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrderingPropertyTest, ExactUpperBoundsHeuristics) {
+  testing::RandomInstanceParams params;
+  params.num_workers = 5;
+  params.num_tasks = 7;
+  const Instance instance = testing::RandomInstance(GetParam(), params);
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  ExactAllocator exact;
+  const int opt = core::ValidScore(problem, exact.Allocate(problem));
+  GreedyAllocator greedy;
+  ClosestAllocator closest;
+  RandomAllocator random(GetParam());
+  EXPECT_LE(core::ValidScore(problem, greedy.Allocate(problem)), opt);
+  EXPECT_LE(core::ValidScore(problem, closest.Allocate(problem)), opt);
+  EXPECT_LE(core::ValidScore(problem, random.Allocate(problem)), opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderingPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace dasc::algo

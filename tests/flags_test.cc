@@ -1,0 +1,105 @@
+// Tests for the flag parser.
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace dasc::util {
+namespace {
+
+TEST(FlagsTest, ParsesAllTypes) {
+  FlagParser parser;
+  int64_t count = 5;
+  double scale = 1.0;
+  std::string name = "x";
+  bool verbose = false;
+  parser.AddInt("count", &count, "a count");
+  parser.AddDouble("scale", &scale, "a scale");
+  parser.AddString("name", &name, "a name");
+  parser.AddBool("verbose", &verbose, "verbosity");
+  const Status status = parser.Parse(
+      {"--count=42", "--scale=0.25", "--name=hello", "--verbose"});
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(count, 42);
+  EXPECT_DOUBLE_EQ(scale, 0.25);
+  EXPECT_EQ(name, "hello");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, DefaultsSurviveWhenUnset) {
+  FlagParser parser;
+  int64_t count = 7;
+  parser.AddInt("count", &count, "");
+  ASSERT_TRUE(parser.Parse(std::vector<std::string>{}).ok());
+  EXPECT_EQ(count, 7);
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagParser parser;
+  bool flag = false;
+  parser.AddBool("flag", &flag, "");
+  ASSERT_TRUE(parser.Parse({"generate", "--flag", "out.dasc"}).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"generate", "out.dasc"}));
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagParser parser;
+  const Status status = parser.Parse({"--nope=1"});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--nope"), std::string::npos);
+}
+
+TEST(FlagsTest, MalformedValuesRejected) {
+  FlagParser parser;
+  int64_t count = 0;
+  double scale = 0;
+  bool flag = false;
+  parser.AddInt("count", &count, "");
+  parser.AddDouble("scale", &scale, "");
+  parser.AddBool("flag", &flag, "");
+  EXPECT_FALSE(parser.Parse({"--count=abc"}).ok());
+  EXPECT_FALSE(parser.Parse({"--count=12x"}).ok());
+  EXPECT_FALSE(parser.Parse({"--scale=1.2.3"}).ok());
+  EXPECT_FALSE(parser.Parse({"--flag=maybe"}).ok());
+}
+
+TEST(FlagsTest, NonBoolNeedsValue) {
+  FlagParser parser;
+  int64_t count = 0;
+  parser.AddInt("count", &count, "");
+  EXPECT_FALSE(parser.Parse({"--count"}).ok());
+}
+
+TEST(FlagsTest, BoolAcceptsExplicitValues) {
+  FlagParser parser;
+  bool flag = false;
+  parser.AddBool("flag", &flag, "");
+  ASSERT_TRUE(parser.Parse({"--flag=true"}).ok());
+  EXPECT_TRUE(flag);
+  ASSERT_TRUE(parser.Parse({"--flag=0"}).ok());
+  EXPECT_FALSE(flag);
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagParser parser;
+  int64_t count = 0;
+  double scale = 0;
+  parser.AddInt("count", &count, "");
+  parser.AddDouble("scale", &scale, "");
+  ASSERT_TRUE(parser.Parse({"--count=-3", "--scale=-0.5"}).ok());
+  EXPECT_EQ(count, -3);
+  EXPECT_DOUBLE_EQ(scale, -0.5);
+}
+
+TEST(FlagsTest, HelpTextListsFlags) {
+  FlagParser parser;
+  int64_t count = 9;
+  parser.AddInt("count", &count, "how many");
+  const std::string help = parser.HelpText();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("how many"), std::string::npos);
+  EXPECT_NE(help.find("default: 9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dasc::util

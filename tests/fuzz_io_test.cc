@@ -1,0 +1,97 @@
+// Deterministic pseudo-fuzzing of the instance parser: random corruptions of
+// a valid serialization must never crash — they either parse to a valid
+// instance or return a clean Status.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/synthetic.h"
+#include "io/instance_io.h"
+#include "util/rng.h"
+
+namespace dasc::io {
+namespace {
+
+std::string BaseSerialization() {
+  gen::SyntheticParams params;
+  params.seed = 17;
+  params.num_workers = 12;
+  params.num_tasks = 16;
+  params.num_skills = 5;
+  params.dependency_size = {0, 3};
+  params.worker_skills = {1, 2};
+  auto instance = gen::GenerateSynthetic(params);
+  DASC_CHECK(instance.ok());
+  std::ostringstream out;
+  WriteInstance(*instance, out);
+  return out.str();
+}
+
+class IoFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IoFuzzTest, ByteMutationsNeverCrash) {
+  const std::string base = BaseSerialization();
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string corrupted = base;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 8));
+    for (int k = 0; k < mutations; ++k) {
+      const auto pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(corrupted.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:  // flip to random printable byte
+          corrupted[pos] =
+              static_cast<char>(rng.UniformInt(32, 126));
+          break;
+        case 1:  // delete a byte
+          corrupted.erase(pos, 1);
+          break;
+        default:  // duplicate a byte
+          corrupted.insert(pos, 1, corrupted[pos]);
+          break;
+      }
+      if (corrupted.empty()) corrupted = " ";
+    }
+    std::istringstream in(corrupted);
+    const auto result = ReadInstance(in);  // must not crash
+    if (result.ok()) {
+      EXPECT_GE(result->num_skills(), 1);
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST_P(IoFuzzTest, TruncationsNeverCrash) {
+  const std::string base = BaseSerialization();
+  util::Rng rng(GetParam() + 999);
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto cut = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(base.size())));
+    std::istringstream in(base.substr(0, cut));
+    const auto result = ReadInstance(in);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST_P(IoFuzzTest, AssignmentCsvMutationsNeverCrash) {
+  util::Rng rng(GetParam() + 5);
+  const std::string base = "worker_id,task_id\n1,2\n3,4\n5,6\n";
+  for (int iter = 0; iter < 150; ++iter) {
+    std::string corrupted = base;
+    const auto pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corrupted.size()) - 1));
+    corrupted[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    std::istringstream in(corrupted);
+    const auto result = ReadAssignment(in);  // must not crash
+    (void)result;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dasc::io

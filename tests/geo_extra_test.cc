@@ -1,0 +1,204 @@
+// Tests for the KD-tree index and the road network distance substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/distance.h"
+#include "geo/kdtree.h"
+#include "geo/road_network.h"
+#include "util/rng.h"
+
+namespace dasc::geo {
+namespace {
+
+// ---------------------------------------------------------------- KdTree ---
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.QueryRadius({0, 0}, 1.0).empty());
+  EXPECT_EQ(tree.Nearest({0, 0}), -1);
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree({{0.5, 0.5}});
+  EXPECT_EQ(tree.Nearest({0, 0}), 0);
+  EXPECT_EQ(tree.QueryRadius({0.5, 0.5}, 0.0).size(), 1u);
+  EXPECT_TRUE(tree.QueryRadius({0, 0}, 0.1).empty());
+}
+
+TEST(KdTreeTest, DuplicatePoints) {
+  KdTree tree({{1, 1}, {1, 1}, {1, 1}});
+  EXPECT_EQ(tree.QueryRadius({1, 1}, 0.5).size(), 3u);
+}
+
+TEST(KdTreeTest, RadiusMatchesBruteForce) {
+  util::Rng rng(7);
+  std::vector<Point> points(400);
+  for (auto& p : points) {
+    p = {rng.UniformDouble(0, 1), rng.UniformDouble(0, 1)};
+  }
+  KdTree tree(points);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Point center{rng.UniformDouble(-0.2, 1.2),
+                       rng.UniformDouble(-0.2, 1.2)};
+    const double radius = rng.UniformDouble(0, 0.4);
+    auto got = tree.QueryRadius(center, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<int32_t> want;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (EuclideanDistance(points[i], center) <= radius) {
+        want.push_back(static_cast<int32_t>(i));
+      }
+    }
+    EXPECT_EQ(got, want) << "iter " << iter;
+  }
+}
+
+TEST(KdTreeTest, NearestMatchesBruteForce) {
+  util::Rng rng(9);
+  std::vector<Point> points(300);
+  for (auto& p : points) {
+    p = {rng.UniformDouble(0, 1), rng.UniformDouble(0, 1)};
+  }
+  KdTree tree(points);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Point center{rng.UniformDouble(0, 1), rng.UniformDouble(0, 1)};
+    const int32_t got = tree.Nearest(center);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& p : points) {
+      best = std::min(best, EuclideanDistance(p, center));
+    }
+    EXPECT_NEAR(EuclideanDistance(points[static_cast<size_t>(got)], center),
+                best, 1e-12);
+  }
+}
+
+TEST(KdTreeTest, ClusteredDataStillCorrect) {
+  // Grids degrade on clusters; the tree must stay exact.
+  util::Rng rng(11);
+  std::vector<Point> points;
+  for (int c = 0; c < 5; ++c) {
+    const Point center{rng.UniformDouble(0, 1), rng.UniformDouble(0, 1)};
+    for (int i = 0; i < 50; ++i) {
+      points.push_back({rng.Gaussian(center.x, 0.01),
+                        rng.Gaussian(center.y, 0.01)});
+    }
+  }
+  KdTree tree(points);
+  auto hits = tree.QueryRadius(points[0], 0.05);
+  std::vector<int32_t> want;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (EuclideanDistance(points[i], points[0]) <= 0.05) {
+      want.push_back(static_cast<int32_t>(i));
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, want);
+}
+
+// ----------------------------------------------------------- RoadNetwork ---
+
+RoadNetwork::Options SmallOptions() {
+  RoadNetwork::Options options;
+  options.grid_width = 8;
+  options.grid_height = 8;
+  options.seed = 5;
+  return options;
+}
+
+TEST(RoadNetworkTest, BuildsConnectedGraph) {
+  const RoadNetwork network =
+      RoadNetwork::MakeGrid(0, 0, 1, 1, SmallOptions());
+  EXPECT_EQ(network.num_nodes(), 64);
+  // Spanning tree guarantees >= n-1 edges.
+  EXPECT_GE(network.num_edges(), 63);
+  // Every pair of corners must be reachable (finite distance).
+  EXPECT_TRUE(std::isfinite(network.Distance({0, 0}, {1, 1})));
+  EXPECT_TRUE(std::isfinite(network.Distance({1, 0}, {0, 1})));
+}
+
+TEST(RoadNetworkTest, DistanceAtLeastEuclideanBetweenJunctions) {
+  const RoadNetwork network =
+      RoadNetwork::MakeGrid(0, 0, 1, 1, SmallOptions());
+  util::Rng rng(13);
+  for (int iter = 0; iter < 50; ++iter) {
+    // Query at junction coordinates so snapping adds nothing.
+    const int a = static_cast<int>(rng.UniformInt(0, 63));
+    const int b = static_cast<int>(rng.UniformInt(0, 63));
+    const double road = network.Distance(network.node(a), network.node(b));
+    const double euclid = EuclideanDistance(network.node(a), network.node(b));
+    EXPECT_GE(road, euclid - 1e-9);
+  }
+}
+
+TEST(RoadNetworkTest, SymmetricDistances) {
+  const RoadNetwork network =
+      RoadNetwork::MakeGrid(0, 0, 2, 1, SmallOptions());
+  util::Rng rng(17);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Point a{rng.UniformDouble(0, 2), rng.UniformDouble(0, 1)};
+    const Point b{rng.UniformDouble(0, 2), rng.UniformDouble(0, 1)};
+    EXPECT_NEAR(network.Distance(a, b), network.Distance(b, a), 1e-9);
+  }
+}
+
+TEST(RoadNetworkTest, SamePointNearZero) {
+  const RoadNetwork network =
+      RoadNetwork::MakeGrid(0, 0, 1, 1, SmallOptions());
+  const Point p{0.31, 0.77};
+  // Walking to the nearest junction and back: 2x the snap distance.
+  EXPECT_LE(network.Distance(p, p), 2.0 * 0.2);
+}
+
+TEST(RoadNetworkTest, SnapToNodeFindsNearestJunction) {
+  const RoadNetwork network =
+      RoadNetwork::MakeGrid(0, 0, 1, 1, SmallOptions());
+  for (int id = 0; id < network.num_nodes(); ++id) {
+    EXPECT_EQ(network.SnapToNode(network.node(id)), id);
+  }
+  // Points outside the box clamp to boundary junctions.
+  EXPECT_EQ(network.SnapToNode({-5, -5}), network.SnapToNode({0, 0}));
+}
+
+TEST(RoadNetworkTest, NoDetourEqualsManhattanLowerBound) {
+  // With detour 1.0 and nothing blocked, a full grid's junction-to-junction
+  // distance equals the Manhattan distance.
+  RoadNetwork::Options options;
+  options.grid_width = 6;
+  options.grid_height = 6;
+  options.detour_min = 1.0;
+  options.detour_max = 1.0;
+  options.blocked_fraction = 0.0;
+  const RoadNetwork network = RoadNetwork::MakeGrid(0, 0, 5, 5, options);
+  for (int a = 0; a < 36; a += 7) {
+    for (int b = 0; b < 36; b += 5) {
+      EXPECT_NEAR(network.Distance(network.node(a), network.node(b)),
+                  ManhattanDistance(network.node(a), network.node(b)), 1e-9);
+    }
+  }
+}
+
+TEST(RoadNetworkTest, BlockedStreetsLengthenPaths) {
+  RoadNetwork::Options open = SmallOptions();
+  open.blocked_fraction = 0.0;
+  open.detour_min = open.detour_max = 1.0;
+  RoadNetwork::Options blocked = open;
+  blocked.blocked_fraction = 0.9;
+  const RoadNetwork free_net = RoadNetwork::MakeGrid(0, 0, 1, 1, open);
+  const RoadNetwork blocked_net = RoadNetwork::MakeGrid(0, 0, 1, 1, blocked);
+  double free_total = 0, blocked_total = 0;
+  util::Rng rng(23);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int a = static_cast<int>(rng.UniformInt(0, 63));
+    const int b = static_cast<int>(rng.UniformInt(0, 63));
+    free_total += free_net.Distance(free_net.node(a), free_net.node(b));
+    blocked_total +=
+        blocked_net.Distance(blocked_net.node(a), blocked_net.node(b));
+  }
+  EXPECT_GE(blocked_total, free_total);
+}
+
+}  // namespace
+}  // namespace dasc::geo

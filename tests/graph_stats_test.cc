@@ -1,0 +1,80 @@
+// Tests for DAG analytics (depths, widths, closure statistics).
+#include <gtest/gtest.h>
+
+#include "graph/dag_stats.h"
+
+namespace dasc::graph {
+namespace {
+
+TEST(DagStatsTest, EmptyGraph) {
+  Dag dag(0);
+  auto stats = ComputeDagStats(dag);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_nodes, 0);
+  EXPECT_EQ(stats->max_depth, 0);
+  EXPECT_TRUE(stats->width_by_depth.empty());
+}
+
+TEST(DagStatsTest, NoEdges) {
+  Dag dag(4);
+  auto stats = ComputeDagStats(dag);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_roots, 4);
+  EXPECT_EQ(stats->num_leaves, 4);
+  EXPECT_EQ(stats->max_depth, 0);
+  EXPECT_EQ(stats->width_by_depth, (std::vector<int>{4}));
+}
+
+TEST(DagStatsTest, ChainDepths) {
+  // 3 -> 2 -> 1 -> 0 (each depends on the previous).
+  Dag dag(4);
+  dag.AddDependency(1, 0);
+  dag.AddDependency(2, 1);
+  dag.AddDependency(3, 2);
+  auto depths = DependencyDepths(dag);
+  ASSERT_TRUE(depths.ok());
+  EXPECT_EQ(*depths, (std::vector<int>{0, 1, 2, 3}));
+  auto stats = ComputeDagStats(dag);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->max_depth, 3);
+  EXPECT_EQ(stats->num_roots, 1);
+  EXPECT_EQ(stats->num_leaves, 1);  // only node 3 has no dependents
+  EXPECT_EQ(stats->width_by_depth, (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_EQ(stats->max_closure, 3);
+  EXPECT_EQ(stats->max_dependents, 3);  // node 0 is in everyone's closure
+}
+
+TEST(DagStatsTest, DiamondWidths) {
+  // 3 depends on 1 and 2; both depend on 0.
+  Dag dag(4);
+  dag.AddDependency(1, 0);
+  dag.AddDependency(2, 0);
+  dag.AddDependency(3, 1);
+  dag.AddDependency(3, 2);
+  auto stats = ComputeDagStats(dag);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->width_by_depth, (std::vector<int>{1, 2, 1}));
+  EXPECT_EQ(stats->mean_depth, 1.0);
+  EXPECT_EQ(stats->total_closure_size, 0 + 1 + 1 + 3);
+}
+
+TEST(DagStatsTest, CyclicGraphRejected) {
+  Dag dag(2);
+  dag.AddDependency(0, 1);
+  dag.AddDependency(1, 0);
+  EXPECT_FALSE(ComputeDagStats(dag).ok());
+  EXPECT_FALSE(DependencyDepths(dag).ok());
+}
+
+TEST(DagStatsTest, ToStringContainsKeyNumbers) {
+  Dag dag(3);
+  dag.AddDependency(2, 0);
+  auto stats = ComputeDagStats(dag);
+  ASSERT_TRUE(stats.ok());
+  const std::string text = stats->ToString();
+  EXPECT_NE(text.find("nodes=3"), std::string::npos);
+  EXPECT_NE(text.find("roots=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dasc::graph

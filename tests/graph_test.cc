@@ -1,0 +1,164 @@
+// Unit + property tests for the dependency DAG utilities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/dag.h"
+#include "util/rng.h"
+
+namespace dasc::graph {
+namespace {
+
+TEST(DagTest, EmptyGraph) {
+  Dag dag(0);
+  EXPECT_FALSE(dag.HasCycle());
+  EXPECT_TRUE(dag.TopologicalOrder()->empty());
+  EXPECT_TRUE(dag.TransitiveClosure()->empty());
+}
+
+TEST(DagTest, NoEdges) {
+  Dag dag(5);
+  EXPECT_FALSE(dag.HasCycle());
+  auto order = dag.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->size(), 5u);
+  auto closure = dag.TransitiveClosure();
+  ASSERT_TRUE(closure.ok());
+  for (const auto& deps : *closure) EXPECT_TRUE(deps.empty());
+}
+
+TEST(DagTest, PaperExampleClosure) {
+  // Example 1 of the paper: t3 depends on {t1, t2}, t2 on {t1}, t5 on {t4}.
+  Dag dag(5);
+  dag.AddDependency(1, 0);
+  dag.AddDependency(2, 0);
+  dag.AddDependency(2, 1);
+  dag.AddDependency(4, 3);
+  auto closure = dag.TransitiveClosure();
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ((*closure)[0], (std::vector<NodeId>{}));
+  EXPECT_EQ((*closure)[1], (std::vector<NodeId>{0}));
+  EXPECT_EQ((*closure)[2], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ((*closure)[3], (std::vector<NodeId>{}));
+  EXPECT_EQ((*closure)[4], (std::vector<NodeId>{3}));
+}
+
+TEST(DagTest, ClosureIsTransitive) {
+  // Chain 3 -> 2 -> 1 -> 0 with only direct arcs; closure must include all
+  // ancestors.
+  Dag dag(4);
+  dag.AddDependency(3, 2);
+  dag.AddDependency(2, 1);
+  dag.AddDependency(1, 0);
+  auto closure = dag.TransitiveClosure();
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ((*closure)[3], (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(DagTest, SelfLoopIsCycle) {
+  Dag dag(3);
+  dag.AddDependency(1, 1);
+  EXPECT_TRUE(dag.HasCycle());
+  EXPECT_FALSE(dag.TopologicalOrder().ok());
+  EXPECT_FALSE(dag.TransitiveClosure().ok());
+}
+
+TEST(DagTest, TwoCycleDetected) {
+  Dag dag(2);
+  dag.AddDependency(0, 1);
+  dag.AddDependency(1, 0);
+  EXPECT_TRUE(dag.HasCycle());
+}
+
+TEST(DagTest, LongCycleDetected) {
+  Dag dag(6);
+  for (int i = 0; i < 5; ++i) dag.AddDependency(i + 1, i);
+  EXPECT_FALSE(dag.HasCycle());
+  dag.AddDependency(0, 5);  // close the loop
+  EXPECT_TRUE(dag.HasCycle());
+}
+
+TEST(DagTest, TopologicalOrderRespectsDependencies) {
+  Dag dag(6);
+  dag.AddDependency(3, 1);
+  dag.AddDependency(3, 2);
+  dag.AddDependency(1, 0);
+  dag.AddDependency(2, 0);
+  dag.AddDependency(5, 4);
+  auto order = dag.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> pos(6);
+  for (size_t i = 0; i < order->size(); ++i) {
+    pos[static_cast<size_t>((*order)[i])] = static_cast<int>(i);
+  }
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+  EXPECT_LT(pos[4], pos[5]);
+}
+
+TEST(DagTest, CanonicalizeDeduplicates) {
+  Dag dag(3);
+  dag.AddDependency(2, 1);
+  dag.AddDependency(2, 1);
+  dag.AddDependency(2, 0);
+  EXPECT_EQ(dag.num_edges(), 3);
+  dag.Canonicalize();
+  EXPECT_EQ(dag.num_edges(), 2);
+  EXPECT_EQ(dag.DepsOf(2), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(DagTest, DependentsInvertsClosure) {
+  Dag dag(4);
+  dag.AddDependency(2, 0);
+  dag.AddDependency(3, 2);  // closure(3) = {0, 2}
+  auto closure = dag.TransitiveClosure();
+  ASSERT_TRUE(closure.ok());
+  auto dependents = Dag::Dependents(*closure);
+  EXPECT_EQ(dependents[0], (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(dependents[2], (std::vector<NodeId>{3}));
+  EXPECT_TRUE(dependents[1].empty());
+  EXPECT_TRUE(dependents[3].empty());
+}
+
+// Property: on random DAGs (edges only from higher to lower index, so acyclic
+// by construction), closure equals DFS reachability.
+class DagClosurePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DagClosurePropertyTest, ClosureMatchesReachability) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  const int n = 40;
+  Dag dag(n);
+  std::vector<std::vector<NodeId>> direct(static_cast<size_t>(n));
+  for (int u = 1; u < n; ++u) {
+    const int degree = static_cast<int>(rng.UniformInt(0, 4));
+    for (int k = 0; k < degree; ++k) {
+      const auto v = static_cast<NodeId>(rng.UniformInt(0, u - 1));
+      dag.AddDependency(u, v);
+      direct[static_cast<size_t>(u)].push_back(v);
+    }
+  }
+  auto closure = dag.TransitiveClosure();
+  ASSERT_TRUE(closure.ok());
+  // Brute-force reachability per node.
+  for (int u = 0; u < n; ++u) {
+    std::set<NodeId> reach;
+    std::vector<NodeId> stack(direct[static_cast<size_t>(u)]);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      if (!reach.insert(v).second) continue;
+      for (NodeId w : direct[static_cast<size_t>(v)]) stack.push_back(w);
+    }
+    std::vector<NodeId> want(reach.begin(), reach.end());
+    EXPECT_EQ((*closure)[static_cast<size_t>(u)], want) << "node " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagClosurePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace dasc::graph

@@ -1,0 +1,228 @@
+// Tests for DASC_Greedy (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/exact.h"
+#include "algo/greedy.h"
+#include "core/assignment.h"
+#include "test_util.h"
+
+namespace dasc::algo {
+namespace {
+
+using core::BatchProblem;
+using core::Instance;
+using testing::Example1;
+using testing::MakeTask;
+using testing::MakeWorker;
+
+int RunGreedyScore(const Instance& instance, GreedyOptions options = {}) {
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  GreedyAllocator greedy(options);
+  const core::Assignment assignment = greedy.Allocate(problem);
+  // Greedy output must already be dependency-closed and fully constraint-
+  // valid: commit logic only ever assigns whole associative sets.
+  EXPECT_TRUE(core::ValidateAssignment(problem, assignment).ok());
+  EXPECT_EQ(core::ValidScore(problem, assignment), assignment.size());
+  return assignment.size();
+}
+
+TEST(GreedyTest, SolvesPaperExample) {
+  EXPECT_EQ(RunGreedyScore(Example1()), 3);
+}
+
+TEST(GreedyTest, HopcroftKarpBackendSolvesPaperExample) {
+  GreedyOptions options;
+  options.backend = GreedyOptions::MatchingBackend::kHopcroftKarp;
+  EXPECT_EQ(RunGreedyScore(Example1(), options), 3);
+}
+
+TEST(GreedyTest, AuctionBackendSolvesPaperExample) {
+  GreedyOptions options;
+  options.backend = GreedyOptions::MatchingBackend::kAuction;
+  EXPECT_EQ(RunGreedyScore(Example1(), options), 3);
+}
+
+TEST(GreedyTest, AuctionBackendMatchesHungarianScores) {
+  for (uint64_t seed = 70; seed < 76; ++seed) {
+    const Instance instance = testing::RandomInstance(seed);
+    const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+    GreedyOptions auction_options;
+    auction_options.backend = GreedyOptions::MatchingBackend::kAuction;
+    GreedyAllocator hungarian, auction(auction_options);
+    // Same committed set sizes (cost ties may differ, validity must hold).
+    const core::Assignment a = auction.Allocate(problem);
+    EXPECT_TRUE(core::ValidateAssignment(problem, a).ok());
+    EXPECT_EQ(a.size(), hungarian.Allocate(problem).size()) << seed;
+  }
+}
+
+TEST(GreedyTest, EmptyProblem) {
+  auto instance = core::Instance::Create({}, {}, 1);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(RunGreedyScore(*instance), 0);
+}
+
+TEST(GreedyTest, NoFeasibleWorkers) {
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {1})}, {MakeTask(0, 1, 1, 0)}, 2);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(RunGreedyScore(*instance), 0);
+}
+
+TEST(GreedyTest, SingleFeasiblePair) {
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {0})}, {MakeTask(0, 1, 1, 0)}, 1);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(RunGreedyScore(*instance), 1);
+}
+
+TEST(GreedyTest, PrefersLargerAssociativeSet) {
+  // Two independent chains; two workers each with the universal skill.
+  // Chain A: a0 <- a1 (size-2 set); chain B: b0 alone. With 2 workers,
+  // greedy must take the chain of size 2, not two singletons... both give 2;
+  // make B require a skill nobody has except one worker already needed:
+  // workers: u (skill 0) and v (skill 0). tasks: 0:skill0; 1:skill0 dep{0};
+  // 2:skill0. Greedy picks set {0,1} (size 2) over singletons.
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {0}), MakeWorker(1, 0, 0, {0})},
+      {MakeTask(0, 0, 0, 0), MakeTask(1, 0, 0, 0, {0}), MakeTask(2, 0, 0, 0)},
+      1);
+  ASSERT_TRUE(instance.ok());
+  const BatchProblem problem = BatchProblem::AllAt(*instance, 0.0);
+  GreedyAllocator greedy;
+  const core::Assignment assignment = greedy.Allocate(problem);
+  EXPECT_EQ(assignment.size(), 2);
+  bool assigned_t1 = false;
+  for (const auto& [w, t] : assignment.pairs()) assigned_t1 |= (t == 1);
+  EXPECT_TRUE(assigned_t1) << "the size-2 associative set {t0,t1} must win";
+}
+
+TEST(GreedyTest, SkipsRootWithUnsatisfiableDependency) {
+  // t1 depends on t0, but no worker has t0's skill: t1's associative set is
+  // unservable; only independent t2 can be assigned.
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {1})},
+      {MakeTask(0, 0, 0, 0), MakeTask(1, 0, 0, 1, {0}), MakeTask(2, 1, 1, 1)},
+      2);
+  ASSERT_TRUE(instance.ok());
+  const BatchProblem problem = BatchProblem::AllAt(*instance, 0.0);
+  GreedyAllocator greedy;
+  const core::Assignment assignment = greedy.Allocate(problem);
+  ASSERT_EQ(assignment.size(), 1);
+  EXPECT_EQ(assignment.pairs()[0].second, 2);
+}
+
+TEST(GreedyTest, DependencyCreditFromEarlierBatch) {
+  // Same instance as above, but t0 was assigned in a prior batch: now the
+  // worker can serve t1 directly.
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {1})},
+      {MakeTask(0, 0, 0, 0), MakeTask(1, 0, 0, 1, {0})}, 2);
+  ASSERT_TRUE(instance.ok());
+  BatchProblem problem = BatchProblem::AllAt(*instance, 0.0);
+  problem.assigned_before[0] = 1;
+  problem.open_tasks = {1};
+  GreedyAllocator greedy;
+  const core::Assignment assignment = greedy.Allocate(problem);
+  ASSERT_EQ(assignment.size(), 1);
+  EXPECT_EQ(assignment.pairs()[0].second, 1);
+}
+
+TEST(GreedyTest, HungarianTieBreaksTowardCheaperTravel) {
+  // Two singleton tasks, two workers; both orderings are feasible, the
+  // cheaper total-travel assignment should be chosen for the committed set.
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {0}, 0, 1e6, 1.0, 1e6),
+       MakeWorker(1, 10, 0, {0}, 0, 1e6, 1.0, 1e6)},
+      {MakeTask(0, 1, 0, 0), MakeTask(1, 9, 0, 0)}, 1);
+  ASSERT_TRUE(instance.ok());
+  const BatchProblem problem = BatchProblem::AllAt(*instance, 0.0);
+  GreedyAllocator greedy;
+  const core::Assignment assignment = greedy.Allocate(problem);
+  ASSERT_EQ(assignment.size(), 2);
+  for (const auto& [w, t] : assignment.pairs()) {
+    if (w == 0) {
+      EXPECT_EQ(t, 0);
+    }
+    if (w == 1) {
+      EXPECT_EQ(t, 1);
+    }
+  }
+}
+
+TEST(GreedyTest, IterationsWithinLemmaBound) {
+  // Lemma III.1: the commit loop runs at most min(n_b, m_b) times.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance instance = testing::RandomInstance(seed + 300);
+    const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+    GreedyAllocator greedy;
+    greedy.Allocate(problem);
+    EXPECT_LE(greedy.last_iterations(),
+              std::min<int>(static_cast<int>(problem.workers.size()),
+                            static_cast<int>(problem.open_tasks.size())))
+        << seed;
+    EXPECT_GE(greedy.last_match_attempts(), greedy.last_iterations());
+  }
+}
+
+TEST(GreedyTest, MoreWorkersNeverHurts) {
+  // Monotonicity sanity: adding a worker cannot reduce greedy's score.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    testing::RandomInstanceParams params;
+    params.num_workers = 6;
+    const Instance small = testing::RandomInstance(seed, params);
+    // Rebuild with one extra omnipotent worker.
+    std::vector<core::Worker> workers = small.workers();
+    std::vector<core::SkillId> all_skills;
+    for (int s = 0; s < small.num_skills(); ++s) all_skills.push_back(s);
+    workers.push_back(MakeWorker(static_cast<core::WorkerId>(workers.size()),
+                                 0.5, 0.5, all_skills));
+    auto larger = core::Instance::Create(workers, small.tasks(),
+                                         small.num_skills());
+    ASSERT_TRUE(larger.ok());
+    EXPECT_GE(RunGreedyScore(*larger), RunGreedyScore(small)) << seed;
+  }
+}
+
+// Property sweep: greedy output is always valid, and both backends agree on
+// validity (scores may differ slightly in pathological ties but both must be
+// dependency-closed).
+class GreedyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyPropertyTest, OutputAlwaysValid) {
+  const Instance instance = testing::RandomInstance(GetParam());
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  for (auto backend : {GreedyOptions::MatchingBackend::kHungarian,
+                       GreedyOptions::MatchingBackend::kHopcroftKarp}) {
+    GreedyOptions options;
+    options.backend = backend;
+    GreedyAllocator greedy(options);
+    const core::Assignment assignment = greedy.Allocate(problem);
+    EXPECT_TRUE(core::ValidateAssignment(problem, assignment).ok());
+  }
+}
+
+TEST_P(GreedyPropertyTest, WithinApproximationBoundOfExact) {
+  // Theorem III.2: greedy >= (1 - 1/e) * OPT per batch.
+  testing::RandomInstanceParams params;
+  params.num_workers = 5;
+  params.num_tasks = 7;
+  const Instance instance = testing::RandomInstance(GetParam(), params);
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  GreedyAllocator greedy;
+  ExactAllocator exact;
+  const int greedy_score =
+      core::ValidScore(problem, greedy.Allocate(problem));
+  const int opt = core::ValidScore(problem, exact.Allocate(problem));
+  EXPECT_GE(greedy_score + 1e-9, (1.0 - 1.0 / M_E) * opt)
+      << "greedy=" << greedy_score << " opt=" << opt;
+  EXPECT_LE(greedy_score, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyPropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace dasc::algo

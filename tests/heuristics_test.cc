@@ -1,0 +1,152 @@
+// Tests for the MaxMatching and Urgency allocators.
+#include <gtest/gtest.h>
+
+#include "algo/baselines.h"
+#include "algo/exact.h"
+#include "algo/greedy.h"
+#include "algo/heuristics.h"
+#include "core/assignment.h"
+#include "test_util.h"
+
+namespace dasc::algo {
+namespace {
+
+using core::BatchProblem;
+using core::Instance;
+using testing::Example1;
+using testing::MakeTask;
+using testing::MakeWorker;
+
+// ------------------------------------------------------------ MaxMatching ---
+
+TEST(MaxMatchingTest, MatchesAllWhenPossible) {
+  // Conflicted preferences that defeat per-worker greedy: both prefer t0.
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {0, 1}), MakeWorker(1, 0, 0, {0})},
+      {MakeTask(0, 0.1, 0, 0), MakeTask(1, 5, 5, 1)}, 2);
+  ASSERT_TRUE(instance.ok());
+  const BatchProblem problem = BatchProblem::AllAt(*instance, 0.0);
+  MaxMatchingAllocator max_match;
+  EXPECT_EQ(max_match.Allocate(problem).size(), 2);
+  // Closest would give w0 -> t0 (nearest) and strand w1.
+  ClosestAllocator closest;
+  EXPECT_EQ(closest.Allocate(problem).size(), 1);
+}
+
+TEST(MaxMatchingTest, IgnoresDependencies) {
+  const Instance instance = Example1();
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  MaxMatchingAllocator max_match;
+  const core::Assignment raw = max_match.Allocate(problem);
+  EXPECT_EQ(raw.size(), 3);  // pairs every worker
+  // But validity can be lower: it does not coordinate chains.
+  EXPECT_LE(core::ValidScore(problem, raw), 3);
+}
+
+TEST(MaxMatchingTest, PairCountUpperBoundsOtherPolicies) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance instance = testing::RandomInstance(seed);
+    const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+    MaxMatchingAllocator max_match;
+    GreedyAllocator greedy;
+    ClosestAllocator closest;
+    const int max_pairs = max_match.Allocate(problem).size();
+    EXPECT_GE(max_pairs, greedy.Allocate(problem).size()) << seed;
+    EXPECT_GE(max_pairs, closest.Allocate(problem).size()) << seed;
+  }
+}
+
+TEST(MaxMatchingTest, EmptyProblem) {
+  auto instance = core::Instance::Create({}, {}, 1);
+  ASSERT_TRUE(instance.ok());
+  MaxMatchingAllocator max_match;
+  EXPECT_TRUE(
+      max_match.Allocate(BatchProblem::AllAt(*instance, 0.0)).empty());
+}
+
+// --------------------------------------------------------------- Urgency ---
+
+TEST(UrgencyTest, SolvesPaperExample) {
+  const Instance instance = Example1();
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  UrgencyAllocator urgency;
+  const core::Assignment assignment = urgency.Allocate(problem);
+  EXPECT_TRUE(core::ValidateAssignment(problem, assignment).ok());
+  EXPECT_EQ(core::ValidScore(problem, assignment), 3);
+}
+
+TEST(UrgencyTest, OutputAlwaysDependencyClosed) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const Instance instance = testing::RandomInstance(seed + 40);
+    const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+    UrgencyAllocator urgency;
+    const core::Assignment assignment = urgency.Allocate(problem);
+    EXPECT_TRUE(core::ValidateAssignment(problem, assignment).ok()) << seed;
+    EXPECT_EQ(core::ValidScore(problem, assignment), assignment.size());
+  }
+}
+
+TEST(UrgencyTest, PrefersUnlockingTasks) {
+  // One worker, two ready tasks: t0 unlocks t1 (another worker can then do
+  // it); t2 unlocks nothing. Urgency must take t0 first.
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {0}), MakeWorker(1, 0, 0, {1})},
+      {MakeTask(0, 0, 0, 0), MakeTask(1, 0, 0, 1, {0}), MakeTask(2, 0, 0, 0)},
+      2);
+  ASSERT_TRUE(instance.ok());
+  const BatchProblem problem = BatchProblem::AllAt(*instance, 0.0);
+  UrgencyAllocator urgency;
+  const core::Assignment assignment = urgency.Allocate(problem);
+  EXPECT_EQ(core::ValidScore(problem, assignment), 2);
+  bool t0_assigned = false;
+  for (const auto& [w, t] : assignment.pairs()) t0_assigned |= (t == 0);
+  EXPECT_TRUE(t0_assigned);
+}
+
+TEST(UrgencyTest, BreaksTiesByExpiry) {
+  // Both tasks unlock nothing; the one expiring sooner must win the only
+  // worker.
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {0})},
+      {MakeTask(0, 0, 0, 0, {}, 0.0, /*wait=*/100.0),
+       MakeTask(1, 0, 0, 0, {}, 0.0, /*wait=*/5.0)},
+      1);
+  ASSERT_TRUE(instance.ok());
+  const BatchProblem problem = BatchProblem::AllAt(*instance, 0.0);
+  UrgencyAllocator urgency;
+  const core::Assignment assignment = urgency.Allocate(problem);
+  ASSERT_EQ(assignment.size(), 1);
+  EXPECT_EQ(assignment.pairs()[0].second, 1);
+}
+
+TEST(UrgencyTest, RespectsCompletedDependencyMode) {
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {0}), MakeWorker(1, 0, 0, {0})},
+      {MakeTask(0, 0, 0, 0), MakeTask(1, 0, 0, 0, {0})}, 1);
+  ASSERT_TRUE(instance.ok());
+  BatchProblem problem = BatchProblem::AllAt(*instance, 0.0);
+  problem.in_batch_dependency_credit = false;
+  UrgencyAllocator urgency;
+  const core::Assignment assignment = urgency.Allocate(problem);
+  // Only the dependency-free task may go this batch.
+  ASSERT_EQ(assignment.size(), 1);
+  EXPECT_EQ(assignment.pairs()[0].second, 0);
+}
+
+TEST(UrgencyTest, BoundedByExactOptimum) {
+  for (uint64_t seed = 60; seed < 66; ++seed) {
+    testing::RandomInstanceParams params;
+    params.num_workers = 5;
+    params.num_tasks = 7;
+    const Instance instance = testing::RandomInstance(seed, params);
+    const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+    UrgencyAllocator urgency;
+    ExactAllocator exact;
+    EXPECT_LE(core::ValidScore(problem, urgency.Allocate(problem)),
+              core::ValidScore(problem, exact.Allocate(problem)))
+        << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dasc::algo

@@ -1,0 +1,215 @@
+// Tests for instance/assignment (de)serialization, including failure
+// injection on malformed inputs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/synthetic.h"
+#include "io/instance_io.h"
+#include "io/svg_render.h"
+#include "test_util.h"
+
+namespace dasc::io {
+namespace {
+
+TEST(InstanceIoTest, RoundTripExample1) {
+  const core::Instance original = testing::Example1();
+  std::stringstream buffer;
+  WriteInstance(original, buffer);
+  auto loaded = ReadInstance(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_workers(), original.num_workers());
+  EXPECT_EQ(loaded->num_tasks(), original.num_tasks());
+  EXPECT_EQ(loaded->num_skills(), original.num_skills());
+  for (int i = 0; i < original.num_workers(); ++i) {
+    EXPECT_EQ(loaded->worker(i).location, original.worker(i).location);
+    EXPECT_EQ(loaded->worker(i).skills, original.worker(i).skills);
+    EXPECT_DOUBLE_EQ(loaded->worker(i).velocity, original.worker(i).velocity);
+  }
+  for (int t = 0; t < original.num_tasks(); ++t) {
+    EXPECT_EQ(loaded->task(t).dependencies, original.task(t).dependencies);
+    EXPECT_EQ(loaded->task(t).required_skill, original.task(t).required_skill);
+  }
+}
+
+TEST(InstanceIoTest, RoundTripPreservesDoublesExactly) {
+  // max_digits10 precision must survive the text round trip bit-for-bit.
+  gen::SyntheticParams params;
+  params.num_workers = 20;
+  params.num_tasks = 30;
+  params.num_skills = 5;
+  params.dependency_size = {0, 4};
+  params.worker_skills = {1, 3};
+  auto original = gen::GenerateSynthetic(params);
+  ASSERT_TRUE(original.ok());
+  std::stringstream buffer;
+  WriteInstance(*original, buffer);
+  auto loaded = ReadInstance(buffer);
+  ASSERT_TRUE(loaded.ok());
+  for (int i = 0; i < original->num_workers(); ++i) {
+    EXPECT_EQ(loaded->worker(i).location.x, original->worker(i).location.x);
+    EXPECT_EQ(loaded->worker(i).start_time, original->worker(i).start_time);
+    EXPECT_EQ(loaded->worker(i).max_distance,
+              original->worker(i).max_distance);
+  }
+}
+
+TEST(InstanceIoTest, EmptyInstanceRoundTrips) {
+  auto empty = core::Instance::Create({}, {}, 3);
+  ASSERT_TRUE(empty.ok());
+  std::stringstream buffer;
+  WriteInstance(*empty, buffer);
+  auto loaded = ReadInstance(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_workers(), 0);
+  EXPECT_EQ(loaded->num_skills(), 3);
+}
+
+TEST(InstanceIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n\nskills 2\n# another\nworker 0 1 2 0 10 1 5 1 0\n"
+      "task 0 3 4 0 10 1 0\n");
+  auto loaded = ReadInstance(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_workers(), 1);
+  EXPECT_EQ(loaded->num_tasks(), 1);
+}
+
+TEST(InstanceIoTest, MissingSkillsRecordFails) {
+  std::stringstream in("worker 0 1 2 0 10 1 5 1 0\n");
+  auto loaded = ReadInstance(in);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(InstanceIoTest, MalformedWorkerLineFails) {
+  std::stringstream in("skills 2\nworker 0 1 2\n");
+  auto loaded = ReadInstance(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(InstanceIoTest, TruncatedSkillListFails) {
+  std::stringstream in("skills 2\nworker 0 1 2 0 10 1 5 3 0 1\n");
+  EXPECT_FALSE(ReadInstance(in).ok());
+}
+
+TEST(InstanceIoTest, TruncatedDependencyListFails) {
+  std::stringstream in("skills 2\ntask 0 1 2 0 10 1 2 0\n");
+  EXPECT_FALSE(ReadInstance(in).ok());
+}
+
+TEST(InstanceIoTest, UnknownRecordKindFails) {
+  std::stringstream in("skills 2\nbanana 1 2 3\n");
+  auto loaded = ReadInstance(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("banana"), std::string::npos);
+}
+
+TEST(InstanceIoTest, SemanticValidationStillApplies) {
+  // Parses fine but violates Instance::Create invariants (cyclic deps).
+  std::stringstream in(
+      "skills 1\ntask 0 0 0 0 10 0 1 1\ntask 1 0 0 0 10 0 1 0\n");
+  EXPECT_FALSE(ReadInstance(in).ok());
+}
+
+TEST(InstanceIoTest, FileNotFound) {
+  auto loaded = ReadInstanceFile("/nonexistent/path.dasc");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+  EXPECT_FALSE(
+      WriteInstanceFile(testing::Example1(), "/nonexistent/dir/x.dasc").ok());
+}
+
+TEST(AssignmentIoTest, RoundTrip) {
+  core::Assignment assignment;
+  assignment.Add(3, 7);
+  assignment.Add(1, 2);
+  std::stringstream buffer;
+  WriteAssignment(assignment, buffer);
+  auto loaded = ReadAssignment(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->pairs(), assignment.pairs());
+}
+
+TEST(AssignmentIoTest, EmptyAssignment) {
+  core::Assignment assignment;
+  std::stringstream buffer;
+  WriteAssignment(assignment, buffer);
+  auto loaded = ReadAssignment(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(SvgRenderTest, ContainsAllEntities) {
+  const core::Instance instance = testing::Example1();
+  const std::string svg = RenderInstanceSvg(instance);
+  // 3 worker triangles, 5 task circles, 4 dependency arcs.
+  size_t polygons = 0, circles = 0;
+  for (size_t pos = 0; (pos = svg.find("<polygon", pos)) != std::string::npos;
+       ++pos) {
+    ++polygons;
+  }
+  for (size_t pos = 0; (pos = svg.find("<circle", pos)) != std::string::npos;
+       ++pos) {
+    ++circles;
+  }
+  EXPECT_EQ(polygons, 3u);
+  EXPECT_EQ(circles, 5u);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgRenderTest, AssignmentLinesDrawn) {
+  const core::Instance instance = testing::Example1();
+  core::Assignment assignment;
+  assignment.Add(0, 0);
+  assignment.Add(1, 3);
+  const std::string with = RenderInstanceSvg(instance, &assignment);
+  const std::string without = RenderInstanceSvg(instance);
+  EXPECT_GT(with.size(), without.size());
+  EXPECT_NE(with.find("#2563eb"), std::string::npos);
+}
+
+TEST(SvgRenderTest, EmptyInstanceStillValidSvg) {
+  auto instance = core::Instance::Create({}, {}, 1);
+  ASSERT_TRUE(instance.ok());
+  const std::string svg = RenderInstanceSvg(*instance);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgRenderTest, DependencyEdgeCapRespected) {
+  const core::Instance instance = testing::Example1();
+  SvgOptions options;
+  options.max_dependency_edges = 1;
+  const std::string capped = RenderInstanceSvg(instance, nullptr, options);
+  size_t lines = 0;
+  for (size_t pos = 0; (pos = capped.find("<line", pos)) != std::string::npos;
+       ++pos) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, 1u);
+}
+
+TEST(SvgRenderTest, FileWriting) {
+  EXPECT_FALSE(
+      RenderInstanceSvgFile(testing::Example1(), "/nonexistent/x.svg").ok());
+}
+
+TEST(AssignmentIoTest, MalformedLinesRejected) {
+  {
+    std::stringstream in("worker_id,task_id\n1;2\n");
+    EXPECT_FALSE(ReadAssignment(in).ok());
+  }
+  {
+    std::stringstream in("worker_id,task_id\nx,2\n");
+    EXPECT_FALSE(ReadAssignment(in).ok());
+  }
+  {
+    std::stringstream in("worker_id,task_id\n1,2extra\n");
+    EXPECT_FALSE(ReadAssignment(in).ok());
+  }
+}
+
+}  // namespace
+}  // namespace dasc::io

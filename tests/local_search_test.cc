@@ -1,0 +1,135 @@
+// Tests for the local-search post-optimizer.
+#include <gtest/gtest.h>
+
+#include "algo/baselines.h"
+#include "algo/exact.h"
+#include "algo/greedy.h"
+#include "algo/local_search.h"
+#include "core/assignment.h"
+#include "test_util.h"
+
+namespace dasc::algo {
+namespace {
+
+using core::BatchProblem;
+using core::Instance;
+using testing::Example1;
+using testing::MakeTask;
+using testing::MakeWorker;
+
+TEST(LocalSearchTest, NeverDecreasesValidScore) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    const Instance instance = testing::RandomInstance(seed);
+    const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+    ClosestAllocator closest;
+    core::Assignment assignment = closest.Allocate(problem);
+    const int before = core::ValidScore(problem, assignment);
+    const LocalSearchStats stats =
+        ImproveAssignment(problem, {}, &assignment);
+    const int after = core::ValidScore(problem, assignment);
+    EXPECT_GE(after, before) << seed;
+    EXPECT_EQ(after - before, stats.score_gain) << seed;
+  }
+}
+
+TEST(LocalSearchTest, RepairsBaselineOnPaperExample) {
+  // Closest scores 1 on Example 1; relocation moves must recover some of the
+  // dependency-closed value.
+  const Instance instance = Example1();
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  ClosestAllocator closest;
+  core::Assignment assignment = closest.Allocate(problem);
+  ASSERT_EQ(core::ValidScore(problem, assignment), 1);
+  ImproveAssignment(problem, {}, &assignment);
+  EXPECT_GE(core::ValidScore(problem, assignment), 2);
+}
+
+TEST(LocalSearchTest, FixedPointOnOptimalAssignment) {
+  // A provably optimal assignment admits no improving relocation.
+  const Instance instance = Example1();
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  ExactAllocator exact;
+  core::Assignment assignment = exact.Allocate(problem);
+  const int optimal = core::ValidScore(problem, assignment);
+  const LocalSearchStats stats = ImproveAssignment(problem, {}, &assignment);
+  EXPECT_EQ(core::ValidScore(problem, assignment), optimal);
+  EXPECT_EQ(stats.score_gain, 0);
+}
+
+TEST(LocalSearchTest, SwapReducesTravel) {
+  // Crossed assignment: w0 at x=0 serving the far task, w1 at x=10 serving
+  // the near one. A swap halves total travel without changing the score.
+  auto instance = core::Instance::Create(
+      {MakeWorker(0, 0, 0, {0}, 0, 1e6, 1.0, 1e6),
+       MakeWorker(1, 10, 0, {0}, 0, 1e6, 1.0, 1e6)},
+      {MakeTask(0, 1, 0, 0), MakeTask(1, 9, 0, 0)}, 1);
+  ASSERT_TRUE(instance.ok());
+  const BatchProblem problem = BatchProblem::AllAt(*instance, 0.0);
+  core::Assignment crossed;
+  crossed.Add(0, 1);  // w0 -> far task
+  crossed.Add(1, 0);  // w1 -> far task
+  const LocalSearchStats stats = ImproveAssignment(problem, {}, &crossed);
+  EXPECT_EQ(stats.swaps, 1);
+  EXPECT_GT(stats.travel_saved, 0.0);
+  for (const auto& [w, t] : crossed.pairs()) {
+    if (w == 0) {
+      EXPECT_EQ(t, 0);
+    }
+    if (w == 1) {
+      EXPECT_EQ(t, 1);
+    }
+  }
+}
+
+TEST(LocalSearchTest, OutputSatisfiesExclusivity) {
+  for (uint64_t seed = 30; seed < 36; ++seed) {
+    const Instance instance = testing::RandomInstance(seed);
+    const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+    RandomAllocator random(seed);
+    core::Assignment assignment = random.Allocate(problem);
+    ImproveAssignment(problem, {}, &assignment);
+    std::set<core::WorkerId> workers;
+    std::set<core::TaskId> tasks;
+    for (const auto& [w, t] : assignment.pairs()) {
+      EXPECT_TRUE(workers.insert(w).second);
+      EXPECT_TRUE(tasks.insert(t).second);
+    }
+  }
+}
+
+TEST(LocalSearchTest, AllocatorDecoratorNames) {
+  LocalSearchAllocator ls(
+      std::unique_ptr<core::Allocator>(new GreedyAllocator()));
+  EXPECT_EQ(ls.name(), "Greedy+LS");
+}
+
+TEST(LocalSearchTest, DecoratorNeverWorseThanInner) {
+  for (uint64_t seed = 80; seed < 86; ++seed) {
+    const Instance instance = testing::RandomInstance(seed);
+    const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+    GreedyAllocator plain;
+    LocalSearchAllocator ls(
+        std::unique_ptr<core::Allocator>(new GreedyAllocator()));
+    EXPECT_GE(core::ValidScore(problem, ls.Allocate(problem)),
+              core::ValidScore(problem, plain.Allocate(problem)))
+        << seed;
+  }
+}
+
+TEST(LocalSearchTest, DisabledPassesAreNoOps) {
+  const Instance instance = Example1();
+  const BatchProblem problem = BatchProblem::AllAt(instance, 0.0);
+  ClosestAllocator closest;
+  core::Assignment assignment = closest.Allocate(problem);
+  const auto before = assignment.pairs();
+  LocalSearchOptions off;
+  off.max_relocate_passes = 0;
+  off.max_swap_passes = 0;
+  const LocalSearchStats stats = ImproveAssignment(problem, off, &assignment);
+  EXPECT_EQ(stats.relocations, 0);
+  EXPECT_EQ(stats.swaps, 0);
+  EXPECT_EQ(assignment.pairs(), before);
+}
+
+}  // namespace
+}  // namespace dasc::algo

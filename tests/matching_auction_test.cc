@@ -1,0 +1,109 @@
+// Tests for the auction assignment solver, cross-validated against the
+// Hungarian algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matching/auction.h"
+#include "matching/hungarian.h"
+#include "util/rng.h"
+
+namespace dasc::matching {
+namespace {
+
+TEST(AuctionTest, EmptyMatrix) {
+  auto result = AuctionAssignment({});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.cost, 0.0);
+}
+
+TEST(AuctionTest, SingleCell) {
+  auto result = AuctionAssignment({{2.5}});
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.cost, 2.5);
+}
+
+TEST(AuctionTest, SimpleOptimal) {
+  std::vector<std::vector<double>> cost = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  AuctionOptions options;
+  options.epsilon = 1e-4;
+  auto auction = AuctionAssignment(cost, options);
+  auto hungarian = SolveAssignment(cost);
+  ASSERT_TRUE(auction.feasible);
+  EXPECT_NEAR(auction.cost, hungarian.cost, 3 * options.epsilon * 3);
+}
+
+TEST(AuctionTest, InfeasibleRowDetected) {
+  std::vector<std::vector<double>> cost = {{kInfeasible, kInfeasible},
+                                           {1.0, 2.0}};
+  EXPECT_FALSE(AuctionAssignment(cost).feasible);
+}
+
+TEST(AuctionTest, StructuralInfeasibilityDetected) {
+  // Both rows can only use column 0: prices must blow past the bound.
+  std::vector<std::vector<double>> cost = {{1.0, kInfeasible},
+                                           {2.0, kInfeasible}};
+  EXPECT_FALSE(AuctionAssignment(cost).feasible);
+}
+
+TEST(AuctionTest, RectangularFeasible) {
+  std::vector<std::vector<double>> cost = {{10, 1, 10, 10}, {1, 10, 10, 10}};
+  auto result = AuctionAssignment(cost);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.row_to_col[0], 1);
+  EXPECT_EQ(result.row_to_col[1], 0);
+}
+
+TEST(AuctionTest, MatchingIsInjective) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> cost(6, std::vector<double>(9));
+  for (auto& row : cost) {
+    for (auto& c : row) c = rng.UniformDouble(0, 10);
+  }
+  auto result = AuctionAssignment(cost);
+  ASSERT_TRUE(result.feasible);
+  std::set<int> used(result.row_to_col.begin(), result.row_to_col.end());
+  EXPECT_EQ(used.size(), 6u);
+}
+
+TEST(AuctionTest, MaxBidsCapReturnsInfeasible) {
+  std::vector<std::vector<double>> cost(8, std::vector<double>(8, 1.0));
+  AuctionOptions options;
+  options.max_bids = 2;
+  EXPECT_FALSE(AuctionAssignment(cost, options).feasible);
+}
+
+// Property: for integer costs and epsilon < 1/n the auction is exactly
+// optimal; cross-check against Hungarian on random matrices.
+class AuctionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AuctionPropertyTest, OptimalOnIntegerCosts) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    const int rows = static_cast<int>(rng.UniformInt(1, 7));
+    const int cols = static_cast<int>(rng.UniformInt(rows, 9));
+    std::vector<std::vector<double>> cost(
+        static_cast<size_t>(rows),
+        std::vector<double>(static_cast<size_t>(cols)));
+    for (auto& row : cost) {
+      for (auto& c : row) {
+        c = rng.Bernoulli(0.2) ? kInfeasible
+                               : std::floor(rng.UniformDouble(0, 30));
+      }
+    }
+    AuctionOptions options;
+    options.epsilon = 1.0 / (rows + 1) / 2.0;
+    auto auction = AuctionAssignment(cost, options);
+    auto hungarian = SolveAssignment(cost);
+    ASSERT_EQ(auction.feasible, hungarian.feasible) << "iter " << iter;
+    if (auction.feasible) {
+      EXPECT_DOUBLE_EQ(auction.cost, hungarian.cost) << "iter " << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuctionPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace dasc::matching

@@ -1,0 +1,264 @@
+// Unit + cross-validation tests for the matching library.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "matching/hopcroft_karp.h"
+#include "matching/hungarian.h"
+#include "util/rng.h"
+
+namespace dasc::matching {
+namespace {
+
+// Brute force min-cost assignment over all column permutations (rows <= 8).
+std::pair<bool, double> BruteForceAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  const int rows = static_cast<int>(cost.size());
+  if (rows == 0) return {true, 0.0};
+  const int cols = static_cast<int>(cost[0].size());
+  std::vector<int> columns(static_cast<size_t>(cols));
+  std::iota(columns.begin(), columns.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  // Enumerate ordered selections of `rows` columns via permutations of all
+  // columns, considering the first `rows` entries.
+  std::sort(columns.begin(), columns.end());
+  std::set<std::vector<int>> seen;
+  do {
+    std::vector<int> pick(columns.begin(), columns.begin() + rows);
+    if (!seen.insert(pick).second) continue;
+    double total = 0.0;
+    bool ok = true;
+    for (int i = 0; i < rows; ++i) {
+      const double c =
+          cost[static_cast<size_t>(i)][static_cast<size_t>(pick[static_cast<size_t>(i)])];
+      if (c == kInfeasible) {
+        ok = false;
+        break;
+      }
+      total += c;
+    }
+    if (ok) best = std::min(best, total);
+  } while (std::next_permutation(columns.begin(), columns.end()));
+  if (best == std::numeric_limits<double>::infinity()) return {false, 0.0};
+  return {true, best};
+}
+
+// ------------------------------------------------------------- Hungarian ---
+
+TEST(HungarianTest, EmptyMatrix) {
+  auto result = SolveAssignment({});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.cost, 0.0);
+}
+
+TEST(HungarianTest, SingleCell) {
+  auto result = SolveAssignment({{3.5}});
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.cost, 3.5);
+  EXPECT_EQ(result.row_to_col, (std::vector<int>{0}));
+}
+
+TEST(HungarianTest, ClassicSquare) {
+  // Known optimum: 1 + 2 + 1 = 4 via (0,1), (1,0)... verify by brute force.
+  std::vector<std::vector<double>> cost = {
+      {4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  auto result = SolveAssignment(cost);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.cost, BruteForceAssignment(cost).second);
+  EXPECT_DOUBLE_EQ(result.cost, 5.0);
+}
+
+TEST(HungarianTest, RectangularPicksCheapColumns) {
+  std::vector<std::vector<double>> cost = {{10, 1, 10, 10}, {1, 10, 10, 10}};
+  auto result = SolveAssignment(cost);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.cost, 2.0);
+  EXPECT_EQ(result.row_to_col[0], 1);
+  EXPECT_EQ(result.row_to_col[1], 0);
+}
+
+TEST(HungarianTest, InfeasibleWhenRowHasNoEdges) {
+  std::vector<std::vector<double>> cost = {{kInfeasible, kInfeasible},
+                                           {1.0, 2.0}};
+  auto result = SolveAssignment(cost);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(HungarianTest, InfeasibleByConflict) {
+  // Both rows can only use column 0.
+  std::vector<std::vector<double>> cost = {{1.0, kInfeasible},
+                                           {2.0, kInfeasible}};
+  auto result = SolveAssignment(cost);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(HungarianTest, FeasibleThroughForbiddenLayout) {
+  // A perfect matching exists but the naive greedy diagonal uses forbidden
+  // cells.
+  std::vector<std::vector<double>> cost = {{kInfeasible, 1.0, kInfeasible},
+                                           {2.0, kInfeasible, kInfeasible},
+                                           {kInfeasible, kInfeasible, 3.0}};
+  auto result = SolveAssignment(cost);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.cost, 6.0);
+  EXPECT_EQ(result.row_to_col, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(HungarianTest, ZeroCosts) {
+  std::vector<std::vector<double>> cost = {{0, 0}, {0, 0}};
+  auto result = SolveAssignment(cost);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+TEST(HungarianTest, MatchingIsAPermutation) {
+  util::Rng rng(2024);
+  std::vector<std::vector<double>> cost(5, std::vector<double>(7));
+  for (auto& row : cost) {
+    for (auto& c : row) c = rng.UniformDouble(0, 100);
+  }
+  auto result = SolveAssignment(cost);
+  ASSERT_TRUE(result.feasible);
+  std::set<int> used(result.row_to_col.begin(), result.row_to_col.end());
+  EXPECT_EQ(used.size(), 5u);
+}
+
+// Property: Hungarian equals brute force on random matrices with random
+// forbidden cells, across shapes and densities.
+struct HungarianCase {
+  int rows;
+  int cols;
+  double forbid_prob;
+  uint64_t seed;
+};
+
+class HungarianPropertyTest : public ::testing::TestWithParam<HungarianCase> {};
+
+TEST_P(HungarianPropertyTest, MatchesBruteForce) {
+  const auto& param = GetParam();
+  util::Rng rng(param.seed);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<std::vector<double>> cost(
+        static_cast<size_t>(param.rows),
+        std::vector<double>(static_cast<size_t>(param.cols)));
+    for (auto& row : cost) {
+      for (auto& c : row) {
+        c = rng.Bernoulli(param.forbid_prob)
+                ? kInfeasible
+                : std::floor(rng.UniformDouble(0, 50));
+      }
+    }
+    auto got = SolveAssignment(cost);
+    auto want = BruteForceAssignment(cost);
+    ASSERT_EQ(got.feasible, want.first) << "iter " << iter;
+    if (got.feasible) {
+      EXPECT_DOUBLE_EQ(got.cost, want.second) << "iter " << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HungarianPropertyTest,
+    ::testing::Values(HungarianCase{3, 3, 0.0, 1}, HungarianCase{4, 4, 0.3, 2},
+                      HungarianCase{5, 5, 0.5, 3}, HungarianCase{3, 6, 0.2, 4},
+                      HungarianCase{5, 7, 0.4, 5}, HungarianCase{2, 8, 0.6, 6},
+                      HungarianCase{6, 6, 0.7, 7}));
+
+// ----------------------------------------------------------- HopcroftKarp ---
+
+TEST(HopcroftKarpTest, EmptyGraph) {
+  HopcroftKarp hk(0, 0);
+  EXPECT_EQ(hk.MaxMatching(), 0);
+}
+
+TEST(HopcroftKarpTest, NoEdges) {
+  HopcroftKarp hk(3, 3);
+  EXPECT_EQ(hk.MaxMatching(), 0);
+  EXPECT_EQ(hk.MatchOfLeft(0), -1);
+  EXPECT_EQ(hk.MatchOfRight(2), -1);
+}
+
+TEST(HopcroftKarpTest, PerfectMatching) {
+  HopcroftKarp hk(3, 3);
+  hk.AddEdge(0, 1);
+  hk.AddEdge(1, 0);
+  hk.AddEdge(2, 2);
+  EXPECT_EQ(hk.MaxMatching(), 3);
+  EXPECT_EQ(hk.MatchOfLeft(0), 1);
+  EXPECT_EQ(hk.MatchOfLeft(1), 0);
+  EXPECT_EQ(hk.MatchOfLeft(2), 2);
+}
+
+TEST(HopcroftKarpTest, RequiresAugmentingPath) {
+  // Greedy matching picks (0,0) first and must be augmented for both rows to
+  // match.
+  HopcroftKarp hk(2, 2);
+  hk.AddEdge(0, 0);
+  hk.AddEdge(0, 1);
+  hk.AddEdge(1, 0);
+  EXPECT_EQ(hk.MaxMatching(), 2);
+}
+
+TEST(HopcroftKarpTest, MatchingConsistentBothSides) {
+  HopcroftKarp hk(4, 5);
+  hk.AddEdge(0, 0);
+  hk.AddEdge(1, 0);
+  hk.AddEdge(1, 1);
+  hk.AddEdge(2, 2);
+  hk.AddEdge(3, 2);
+  hk.AddEdge(3, 4);
+  const int size = hk.MaxMatching();
+  EXPECT_EQ(size, 4);
+  for (int u = 0; u < 4; ++u) {
+    const int v = hk.MatchOfLeft(u);
+    if (v != -1) {
+      EXPECT_EQ(hk.MatchOfRight(v), u);
+    }
+  }
+}
+
+TEST(HopcroftKarpTest, IdempotentMaxMatching) {
+  HopcroftKarp hk(2, 2);
+  hk.AddEdge(0, 0);
+  hk.AddEdge(1, 1);
+  EXPECT_EQ(hk.MaxMatching(), 2);
+  EXPECT_EQ(hk.MaxMatching(), 2);
+}
+
+// Property: HK matching size equals Hungarian feasibility count on random
+// bipartite graphs (match all rows possible iff HK size == rows).
+class HopcroftKarpPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HopcroftKarpPropertyTest, AgreesWithHungarianFeasibility) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 30; ++iter) {
+    const int rows = static_cast<int>(rng.UniformInt(1, 6));
+    const int cols = static_cast<int>(rng.UniformInt(rows, 8));
+    HopcroftKarp hk(rows, cols);
+    std::vector<std::vector<double>> cost(
+        static_cast<size_t>(rows),
+        std::vector<double>(static_cast<size_t>(cols), kInfeasible));
+    for (int u = 0; u < rows; ++u) {
+      for (int v = 0; v < cols; ++v) {
+        if (rng.Bernoulli(0.4)) {
+          hk.AddEdge(u, v);
+          cost[static_cast<size_t>(u)][static_cast<size_t>(v)] = 1.0;
+        }
+      }
+    }
+    const bool hk_perfect = hk.MaxMatching() == rows;
+    const bool hungarian_perfect = SolveAssignment(cost).feasible;
+    EXPECT_EQ(hk_perfect, hungarian_perfect) << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HopcroftKarpPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace dasc::matching

@@ -1,0 +1,121 @@
+// Tests for workload perturbation and allocator robustness under it.
+#include <gtest/gtest.h>
+
+#include "algo/greedy.h"
+#include "gen/perturb.h"
+#include "gen/synthetic.h"
+#include "sim/metrics.h"
+#include "test_util.h"
+
+namespace dasc::gen {
+namespace {
+
+core::Instance BaseInstance() {
+  SyntheticParams params;
+  params.seed = 3;
+  params.num_workers = 50;
+  params.num_tasks = 60;
+  params.num_skills = 8;
+  params.dependency_size = {0, 4};
+  params.worker_skills = {1, 3};
+  auto instance = GenerateSynthetic(params);
+  DASC_CHECK(instance.ok());
+  return std::move(*instance);
+}
+
+TEST(PerturbTest, IdentityWhenNoKnobsSet) {
+  const core::Instance base = BaseInstance();
+  auto copy = Perturb(base, PerturbParams{});
+  ASSERT_TRUE(copy.ok());
+  ASSERT_EQ(copy->num_workers(), base.num_workers());
+  ASSERT_EQ(copy->num_tasks(), base.num_tasks());
+  for (int i = 0; i < base.num_workers(); ++i) {
+    EXPECT_EQ(copy->worker(i).location, base.worker(i).location);
+    EXPECT_EQ(copy->worker(i).wait_time, base.worker(i).wait_time);
+  }
+  for (int t = 0; t < base.num_tasks(); ++t) {
+    EXPECT_EQ(copy->task(t).dependencies, base.task(t).dependencies);
+  }
+}
+
+TEST(PerturbTest, DropsWorkersApproximatelyAtRate) {
+  const core::Instance base = BaseInstance();
+  PerturbParams params;
+  params.worker_drop_probability = 0.5;
+  auto perturbed = Perturb(base, params);
+  ASSERT_TRUE(perturbed.ok());
+  EXPECT_LT(perturbed->num_workers(), base.num_workers());
+  EXPECT_GT(perturbed->num_workers(), 5);
+  // Dense ids must be restored.
+  for (int i = 0; i < perturbed->num_workers(); ++i) {
+    EXPECT_EQ(perturbed->worker(i).id, i);
+  }
+}
+
+TEST(PerturbTest, TaskDropsRemapDependencies) {
+  const core::Instance base = BaseInstance();
+  PerturbParams params;
+  params.task_drop_probability = 0.4;
+  auto perturbed = Perturb(base, params);
+  ASSERT_TRUE(perturbed.ok()) << perturbed.status().ToString();
+  EXPECT_LT(perturbed->num_tasks(), base.num_tasks());
+  for (const auto& t : perturbed->tasks()) {
+    for (core::TaskId d : t.dependencies) {
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, t.id);  // order preserved -> still acyclic
+    }
+  }
+}
+
+TEST(PerturbTest, WaitFactorScalesWindows) {
+  const core::Instance base = BaseInstance();
+  PerturbParams params;
+  params.wait_time_factor = 0.5;
+  auto perturbed = Perturb(base, params);
+  ASSERT_TRUE(perturbed.ok());
+  for (int t = 0; t < base.num_tasks(); ++t) {
+    EXPECT_DOUBLE_EQ(perturbed->task(t).wait_time,
+                     base.task(t).wait_time * 0.5);
+  }
+}
+
+TEST(PerturbTest, RejectsNonPositiveWaitFactor) {
+  PerturbParams params;
+  params.wait_time_factor = 0.0;
+  EXPECT_FALSE(Perturb(BaseInstance(), params).ok());
+}
+
+TEST(PerturbTest, DeterministicPerSeed) {
+  const core::Instance base = BaseInstance();
+  PerturbParams params;
+  params.location_stddev = 0.05;
+  params.worker_drop_probability = 0.2;
+  auto a = Perturb(base, params);
+  auto b = Perturb(base, params);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_workers(), b->num_workers());
+  for (int i = 0; i < a->num_workers(); ++i) {
+    EXPECT_EQ(a->worker(i).location, b->worker(i).location);
+  }
+}
+
+TEST(PerturbTest, GreedyDegradesGracefullyUnderChurn) {
+  // Removing 30% of workers must not collapse the score to zero and must
+  // not increase it.
+  const core::Instance base = BaseInstance();
+  sim::SimulatorOptions options;
+  options.batch_interval = 5.0;
+  algo::GreedyAllocator g1, g2;
+  const int base_score = sim::MeasureSimulation(base, options, g1).score;
+  PerturbParams params;
+  params.worker_drop_probability = 0.3;
+  auto perturbed = Perturb(base, params);
+  ASSERT_TRUE(perturbed.ok());
+  const int perturbed_score =
+      sim::MeasureSimulation(*perturbed, options, g2).score;
+  EXPECT_LE(perturbed_score, base_score);
+  EXPECT_GT(perturbed_score, base_score / 4);
+}
+
+}  // namespace
+}  // namespace dasc::gen

@@ -1,0 +1,140 @@
+// Tests for the online Platform API.
+#include <gtest/gtest.h>
+
+#include "algo/greedy.h"
+#include "sim/platform.h"
+#include "test_util.h"
+
+namespace dasc::sim {
+namespace {
+
+using testing::MakeTask;
+using testing::MakeWorker;
+
+TEST(PlatformTest, AssignsIdsSequentially) {
+  Platform platform(3);
+  auto w0 = platform.AddWorker(MakeWorker(99, 0, 0, {0}));
+  auto w1 = platform.AddWorker(MakeWorker(-5, 1, 1, {1}));
+  ASSERT_TRUE(w0.ok() && w1.ok());
+  EXPECT_EQ(*w0, 0);
+  EXPECT_EQ(*w1, 1);  // caller-provided ids are overwritten
+  auto t0 = platform.AddTask(MakeTask(7, 0, 0, 2));
+  ASSERT_TRUE(t0.ok());
+  EXPECT_EQ(*t0, 0);
+}
+
+TEST(PlatformTest, RejectsInvalidInputs) {
+  Platform platform(2);
+  auto bad_velocity = MakeWorker(0, 0, 0, {0});
+  bad_velocity.velocity = 0.0;
+  EXPECT_FALSE(platform.AddWorker(bad_velocity).ok());
+  EXPECT_FALSE(platform.AddWorker(MakeWorker(0, 0, 0, {5})).ok());
+  EXPECT_FALSE(platform.AddWorker(MakeWorker(0, 0, 0, {})).ok());
+  EXPECT_FALSE(platform.AddTask(MakeTask(0, 0, 0, 9)).ok());
+  // Dependency on a not-yet-registered task.
+  EXPECT_FALSE(platform.AddTask(MakeTask(0, 0, 0, 0, {3})).ok());
+}
+
+TEST(PlatformTest, SingleBatchAssignment) {
+  Platform platform(1);
+  ASSERT_TRUE(platform.AddWorker(MakeWorker(0, 0, 0, {0})).ok());
+  ASSERT_TRUE(platform.AddTask(MakeTask(0, 1, 1, 0)).ok());
+  algo::GreedyAllocator greedy;
+  auto result = platform.RunBatch(0.0, greedy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1);
+  EXPECT_EQ(platform.total_score(), 1);
+  EXPECT_TRUE(platform.TaskAssigned(0));
+  EXPECT_LT(platform.TaskCompletionTime(0), 1.0);
+}
+
+TEST(PlatformTest, StreamingDependencyAcrossBatches) {
+  Platform platform(1);
+  ASSERT_TRUE(platform.AddWorker(MakeWorker(0, 0, 0, {0}, 0.0, 1e6,
+                                            /*velocity=*/10.0, 1e6))
+                  .ok());
+  auto head = platform.AddTask(MakeTask(0, 1, 0, 0));
+  ASSERT_TRUE(head.ok());
+  algo::GreedyAllocator greedy;
+  ASSERT_TRUE(platform.RunBatch(0.0, greedy).ok());
+  EXPECT_TRUE(platform.TaskAssigned(*head));
+
+  // A dependent task arrives later; its dependency is already credited.
+  auto tail = platform.AddTask(MakeTask(0, 2, 0, 0, {*head}, /*start=*/1.0));
+  ASSERT_TRUE(tail.ok());
+  auto batch2 = platform.RunBatch(1.0, greedy);
+  ASSERT_TRUE(batch2.ok());
+  EXPECT_EQ(batch2->size(), 1);
+  EXPECT_EQ(platform.total_score(), 2);
+}
+
+TEST(PlatformTest, BusyWorkerSkipsBatch) {
+  Platform platform(1);
+  // Slow worker: serving the first task takes 10 time units.
+  ASSERT_TRUE(platform.AddWorker(MakeWorker(0, 0, 0, {0}, 0.0, 1e6,
+                                            /*velocity=*/0.1, 1e6))
+                  .ok());
+  ASSERT_TRUE(platform.AddTask(MakeTask(0, 1, 0, 0)).ok());
+  ASSERT_TRUE(platform.AddTask(MakeTask(0, 0.5, 0, 0)).ok());
+  algo::GreedyAllocator greedy;
+  ASSERT_TRUE(platform.RunBatch(0.0, greedy).ok());
+  EXPECT_TRUE(platform.WorkerBusy(0, 1.0));
+  auto mid = platform.RunBatch(1.0, greedy);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_TRUE(mid->empty());  // the only worker is traveling
+  auto late = platform.RunBatch(20.0, greedy);
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late->size(), 1);
+}
+
+TEST(PlatformTest, RejectsTimeTravel) {
+  Platform platform(1);
+  ASSERT_TRUE(platform.AddWorker(MakeWorker(0, 0, 0, {0})).ok());
+  ASSERT_TRUE(platform.AddTask(MakeTask(0, 0, 0, 0)).ok());
+  algo::GreedyAllocator greedy;
+  ASSERT_TRUE(platform.RunBatch(5.0, greedy).ok());
+  EXPECT_FALSE(platform.RunBatch(4.0, greedy).ok());
+  EXPECT_TRUE(platform.RunBatch(5.0, greedy).ok());  // equal is fine
+}
+
+TEST(PlatformTest, CompletionCreditMode) {
+  Platform::Options options;
+  options.credit_requires_completion = true;
+  Platform platform(2, options);
+  // Slow worker on the head task (completion at t=10); fast worker for the
+  // dependent.
+  ASSERT_TRUE(platform.AddWorker(MakeWorker(0, 0, 0, {0}, 0, 1e6, 0.1, 1e6))
+                  .ok());
+  ASSERT_TRUE(platform.AddWorker(MakeWorker(0, 5, 5, {1}, 0, 1e6, 10, 1e6))
+                  .ok());
+  auto head = platform.AddTask(MakeTask(0, 1, 0, 0));
+  auto tail = platform.AddTask(MakeTask(0, 5, 5, 1, {*head}));
+  ASSERT_TRUE(head.ok() && tail.ok());
+  algo::GreedyAllocator greedy;
+  ASSERT_TRUE(platform.RunBatch(0.0, greedy).ok());
+  EXPECT_TRUE(platform.TaskAssigned(*head));
+  EXPECT_FALSE(platform.TaskAssigned(*tail));  // dependency not completed
+  ASSERT_TRUE(platform.RunBatch(5.0, greedy).ok());
+  EXPECT_FALSE(platform.TaskAssigned(*tail));  // still in transit (t=10)
+  ASSERT_TRUE(platform.RunBatch(11.0, greedy).ok());
+  EXPECT_TRUE(platform.TaskAssigned(*tail));
+}
+
+TEST(PlatformTest, MatchesSimulatorOnSharedWorkload) {
+  // Driving the platform with the same batch cadence as the Simulator over
+  // the same instance must give the same score (kDrop handling).
+  const core::Instance instance = testing::Example1();
+  Platform platform(instance.num_skills());
+  for (const auto& w : instance.workers()) {
+    ASSERT_TRUE(platform.AddWorker(w).ok());
+  }
+  for (const auto& t : instance.tasks()) {
+    ASSERT_TRUE(platform.AddTask(t).ok());
+  }
+  algo::GreedyAllocator platform_greedy;
+  ASSERT_TRUE(platform.RunBatch(0.0, platform_greedy).ok());
+  EXPECT_EQ(platform.total_score(), 3);
+}
+
+}  // namespace
+}  // namespace dasc::sim

@@ -1,0 +1,71 @@
+// Tests for the allocator registry.
+#include <gtest/gtest.h>
+
+#include "algo/registry.h"
+#include "core/assignment.h"
+#include "test_util.h"
+
+namespace dasc::algo {
+namespace {
+
+TEST(RegistryTest, CreatesAllKnownNames) {
+  for (const std::string& name : KnownAllocatorNames()) {
+    auto allocator = CreateAllocator(name);
+    ASSERT_TRUE(allocator.ok()) << name;
+    EXPECT_NE(*allocator, nullptr);
+  }
+}
+
+TEST(RegistryTest, DisplayNamesAreStable) {
+  EXPECT_EQ(CreateAllocator("greedy").value()->name(), "Greedy");
+  EXPECT_EQ(CreateAllocator("game").value()->name(), "Game");
+  EXPECT_EQ(CreateAllocator("game5").value()->name(), "Game-5%");
+  EXPECT_EQ(CreateAllocator("gg").value()->name(), "G-G");
+  EXPECT_EQ(CreateAllocator("closest").value()->name(), "Closest");
+  EXPECT_EQ(CreateAllocator("random").value()->name(), "Random");
+  EXPECT_EQ(CreateAllocator("dfs").value()->name(), "DFS");
+}
+
+TEST(RegistryTest, UnknownNameFails) {
+  auto allocator = CreateAllocator("nope");
+  EXPECT_FALSE(allocator.ok());
+  EXPECT_EQ(allocator.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, ParsesCommaSeparatedList) {
+  auto allocators = CreateAllocators("greedy,game5,closest");
+  ASSERT_TRUE(allocators.ok());
+  ASSERT_EQ(allocators->size(), 3u);
+  EXPECT_EQ((*allocators)[0]->name(), "Greedy");
+  EXPECT_EQ((*allocators)[1]->name(), "Game-5%");
+  EXPECT_EQ((*allocators)[2]->name(), "Closest");
+}
+
+TEST(RegistryTest, ListWithUnknownEntryFails) {
+  EXPECT_FALSE(CreateAllocators("greedy,bogus").ok());
+}
+
+TEST(RegistryTest, EmptyTokensIgnored) {
+  auto allocators = CreateAllocators(",greedy,,random,");
+  ASSERT_TRUE(allocators.ok());
+  EXPECT_EQ(allocators->size(), 2u);
+}
+
+TEST(RegistryTest, EveryAllocatorRunsOnExample1) {
+  const core::Instance instance = testing::Example1();
+  const core::BatchProblem problem =
+      core::BatchProblem::AllAt(instance, 0.0);
+  for (const std::string& name : KnownAllocatorNames()) {
+    auto allocator = CreateAllocator(name, /*seed=*/3);
+    ASSERT_TRUE(allocator.ok());
+    const core::Assignment raw = (*allocator)->Allocate(problem);
+    const core::Assignment valid = core::ValidPairs(problem, raw);
+    EXPECT_TRUE(core::ValidateAssignment(problem, valid).ok()) << name;
+    if (name != "closest" && name != "random") {
+      EXPECT_EQ(valid.size(), 3) << name;  // all proposed methods hit OPT
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dasc::algo

@@ -1,0 +1,89 @@
+// Tests for the streaming statistics accumulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dasc::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Population variance is 4 -> sample variance 4 * 8 / 7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableOnLargeOffsets) {
+  // Naive sum-of-squares loses precision at offset 1e9; Welford must not.
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    stats.Add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+  }
+  EXPECT_NEAR(stats.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(stats.variance(), 1.0, 1e-2);
+}
+
+TEST(PercentilesTest, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_EQ(p.Quantile(0.5), 0.0);
+}
+
+TEST(PercentilesTest, ExactRanksAndInterpolation) {
+  Percentiles p;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) p.Add(v);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(p.Median(), 25.0);           // between 20 and 30
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0 / 3.0), 20.0);
+}
+
+TEST(PercentilesTest, AddAfterQueryReSorts) {
+  Percentiles p;
+  p.Add(1.0);
+  p.Add(3.0);
+  EXPECT_DOUBLE_EQ(p.Median(), 2.0);
+  p.Add(100.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.Median(), 3.0);
+}
+
+TEST(PercentilesTest, MatchesRunningStatsOnUniformSamples) {
+  Rng rng(5);
+  Percentiles p;
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.UniformDouble(0, 1);
+    p.Add(v);
+    stats.Add(v);
+  }
+  EXPECT_NEAR(p.Median(), 0.5, 0.02);
+  EXPECT_NEAR(p.Quantile(0.95), 0.95, 0.02);
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+}  // namespace
+}  // namespace dasc::util

@@ -1,0 +1,99 @@
+// Tests for instance-level workload analysis.
+#include <gtest/gtest.h>
+
+#include "core/workload_stats.h"
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace dasc::core {
+namespace {
+
+using testing::Example1;
+using testing::MakeTask;
+using testing::MakeWorker;
+
+TEST(WorkloadStatsTest, EmptyInstance) {
+  auto instance = Instance::Create({}, {}, 2);
+  ASSERT_TRUE(instance.ok());
+  const WorkloadStats stats = AnalyzeWorkload(*instance);
+  EXPECT_EQ(stats.num_workers, 0);
+  EXPECT_EQ(stats.num_tasks, 0);
+  EXPECT_EQ(stats.feasible_tasks, 0);
+}
+
+TEST(WorkloadStatsTest, Example1Numbers) {
+  const Instance instance = Example1();
+  const WorkloadStats stats = AnalyzeWorkload(instance);
+  EXPECT_EQ(stats.num_workers, 3);
+  EXPECT_EQ(stats.num_tasks, 5);
+  // Skill sets: {ψ1,ψ2}, {ψ4}, {ψ1,ψ2,ψ3} -> mean 2.
+  EXPECT_DOUBLE_EQ(stats.mean_worker_skills, 2.0);
+  // Every skill is practiced by someone; every task skill-coverable.
+  EXPECT_EQ(stats.skill_coverable_tasks, 5);
+  // Generous mobility: every task has at least one offline-feasible worker.
+  EXPECT_EQ(stats.feasible_tasks, 5);
+  EXPECT_EQ(stats.dependency_free_tasks, 2);  // t1 and t4
+  EXPECT_EQ(stats.max_closure, 2);            // t3 depends on {t1, t2}
+  // All start times equal -> all closures temporally ordered.
+  EXPECT_EQ(stats.temporally_ordered_tasks, 5);
+}
+
+TEST(WorkloadStatsTest, DetectsSkillGap) {
+  // Task requires skill 1; only worker practices skill 0.
+  auto instance = Instance::Create({MakeWorker(0, 0, 0, {0})},
+                                   {MakeTask(0, 0, 0, 1)}, 2);
+  ASSERT_TRUE(instance.ok());
+  const WorkloadStats stats = AnalyzeWorkload(*instance);
+  EXPECT_EQ(stats.skill_coverable_tasks, 0);
+  EXPECT_EQ(stats.feasible_tasks, 0);
+}
+
+TEST(WorkloadStatsTest, DetectsTemporalDisorder) {
+  // t1 depends on t0 but t0 starts later.
+  auto instance = Instance::Create(
+      {MakeWorker(0, 0, 0, {0})},
+      {MakeTask(0, 0, 0, 0, {}, /*start=*/10.0),
+       MakeTask(1, 0, 0, 0, {0}, /*start=*/0.0)},
+      1);
+  ASSERT_TRUE(instance.ok());
+  const WorkloadStats stats = AnalyzeWorkload(*instance);
+  EXPECT_EQ(stats.temporally_ordered_tasks, 1);  // only t0 itself
+}
+
+TEST(WorkloadStatsTest, HorizonCoversEverything) {
+  auto instance = Instance::Create(
+      {MakeWorker(0, 0, 0, {0}, /*start=*/5.0, /*wait=*/10.0)},
+      {MakeTask(0, 0, 0, 0, {}, /*start=*/1.0, /*wait=*/3.0)}, 1);
+  ASSERT_TRUE(instance.ok());
+  const WorkloadStats stats = AnalyzeWorkload(*instance);
+  EXPECT_DOUBLE_EQ(stats.horizon_begin, 1.0);
+  EXPECT_DOUBLE_EQ(stats.horizon_end, 15.0);
+  EXPECT_DOUBLE_EQ(stats.mean_task_window, 3.0);
+  EXPECT_DOUBLE_EQ(stats.mean_worker_window, 10.0);
+}
+
+TEST(WorkloadStatsTest, SyntheticGeneratorIsTemporallyOrdered) {
+  // The generator sorts task start times before wiring dependencies, so
+  // every closure must be temporally ordered.
+  gen::SyntheticParams params;
+  params.num_workers = 40;
+  params.num_tasks = 120;
+  params.num_skills = 10;
+  params.dependency_size = {0, 6};
+  params.worker_skills = {1, 3};
+  auto instance = gen::GenerateSynthetic(params);
+  ASSERT_TRUE(instance.ok());
+  const WorkloadStats stats = AnalyzeWorkload(*instance);
+  EXPECT_EQ(stats.temporally_ordered_tasks, 120);
+  EXPECT_GT(stats.mean_closure, 0.0);
+}
+
+TEST(WorkloadStatsTest, ToStringMentionsKeyFields) {
+  const WorkloadStats stats = AnalyzeWorkload(Example1());
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("workers=3"), std::string::npos);
+  EXPECT_NE(text.find("dep-free=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dasc::core

@@ -1,0 +1,238 @@
+// dasc_cli — command-line front end to the DA-SC library.
+//
+//   dasc_cli generate synthetic <out.dasc> [--seed=N] [--workers=N]
+//            [--tasks=N] [--skills=N] [--dep-max=N]
+//   dasc_cli generate meetup <out.dasc> [--seed=N] [--workers=N] [--tasks=N]
+//   dasc_cli stats <in.dasc>
+//   dasc_cli solve <in.dasc> <algo> [--seed=N] [--out=assignment.csv]
+//   dasc_cli simulate <in.dasc> <algo> [--seed=N] [--interval=F]
+//
+// Instances use the dasc-instance v1 text format (src/io/instance_io.h);
+// algorithm names are the registry names (dasc_cli solve --help lists them).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "algo/registry.h"
+#include "core/workload_stats.h"
+#include "gen/meetup.h"
+#include "gen/synthetic.h"
+#include "graph/dag_stats.h"
+#include "io/instance_io.h"
+#include "io/svg_render.h"
+#include "sim/metrics.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace dasc;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dasc_cli generate synthetic <out> [--seed= --workers= "
+               "--tasks= --skills= --dep-max=]\n"
+               "  dasc_cli generate meetup <out> [--seed= --workers= "
+               "--tasks=]\n"
+               "  dasc_cli stats <in>\n"
+               "  dasc_cli solve <in> <algo> [--seed= --out= --now=]\n"
+               "  dasc_cli simulate <in> <algo> [--seed= --interval=]\n"
+               "  dasc_cli render <in> <out.svg>\n"
+               "algorithms:");
+  for (const auto& name : algo::KnownAllocatorNames()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+// --key=value flag lookup over argv[from..).
+const char* FlagValue(int argc, char** argv, int from, const char* key) {
+  const size_t len = std::strlen(key);
+  for (int i = from; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+int64_t IntFlag(int argc, char** argv, int from, const char* key,
+                int64_t fallback) {
+  const char* v = FlagValue(argc, argv, from, key);
+  return v ? std::strtoll(v, nullptr, 10) : fallback;
+}
+
+double DoubleFlag(int argc, char** argv, int from, const char* key,
+                  double fallback) {
+  const char* v = FlagValue(argc, argv, from, key);
+  return v ? std::strtod(v, nullptr) : fallback;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string family = argv[2];
+  const std::string out_path = argv[3];
+  util::Result<core::Instance> instance =
+      util::Status::InvalidArgument("unknown family: " + family);
+  if (family == "synthetic") {
+    gen::SyntheticParams params;
+    params.seed = static_cast<uint64_t>(IntFlag(argc, argv, 4, "--seed", 42));
+    params.num_workers =
+        static_cast<int>(IntFlag(argc, argv, 4, "--workers", 5000));
+    params.num_tasks =
+        static_cast<int>(IntFlag(argc, argv, 4, "--tasks", 5000));
+    params.num_skills =
+        static_cast<int>(IntFlag(argc, argv, 4, "--skills", 1500));
+    params.dependency_size.hi =
+        static_cast<int>(IntFlag(argc, argv, 4, "--dep-max", 70));
+    instance = gen::GenerateSynthetic(params);
+  } else if (family == "meetup") {
+    gen::MeetupParams params;
+    params.seed = static_cast<uint64_t>(IntFlag(argc, argv, 4, "--seed", 42));
+    params.num_workers =
+        static_cast<int>(IntFlag(argc, argv, 4, "--workers", 3525));
+    params.num_tasks =
+        static_cast<int>(IntFlag(argc, argv, 4, "--tasks", 1282));
+    instance = gen::GenerateMeetup(params);
+  }
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
+  const util::Status written = io::WriteInstanceFile(*instance, out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %d workers, %d tasks, %d skills\n", out_path.c_str(),
+              instance->num_workers(), instance->num_tasks(),
+              instance->num_skills());
+  return 0;
+}
+
+int Stats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto instance = io::ReadInstanceFile(argv[2]);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n",
+              core::AnalyzeWorkload(*instance).ToString().c_str());
+  graph::Dag dag(instance->num_tasks());
+  for (const core::Task& t : instance->tasks()) {
+    for (core::TaskId d : t.dependencies) dag.AddDependency(t.id, d);
+  }
+  auto stats = graph::ComputeDagStats(dag);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", stats->ToString().c_str());
+  return 0;
+}
+
+int Solve(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto instance = io::ReadInstanceFile(argv[2]);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
+  const auto seed =
+      static_cast<uint64_t>(IntFlag(argc, argv, 4, "--seed", 42));
+  auto allocator = algo::CreateAllocator(argv[3], seed);
+  if (!allocator.ok()) {
+    std::fprintf(stderr, "%s\n", allocator.status().ToString().c_str());
+    return Usage();
+  }
+  // Single-batch solve at --now (default 0). Tasks/workers that have not
+  // arrived by then are excluded — use `simulate` for dynamic timelines.
+  const double now = DoubleFlag(argc, argv, 4, "--now", 0.0);
+  core::BatchProblem problem = core::BatchProblem::AllAt(*instance, now);
+  util::WallTimer timer;
+  const core::Assignment raw = (*allocator)->Allocate(problem);
+  const double millis = timer.ElapsedMillis();
+  const core::Assignment valid = core::ValidPairs(problem, raw);
+  std::printf("%s: score=%d (of %d tasks) at t=%g in %.2f ms\n",
+              std::string((*allocator)->name()).c_str(), valid.size(),
+              instance->num_tasks(), now, millis);
+  if (valid.empty()) {
+    std::printf(
+        "hint: dynamic instances need `simulate`; `solve` only sees tasks "
+        "open at t=%g\n",
+        now);
+  }
+  if (const char* out_path = FlagValue(argc, argv, 4, "--out")) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path);
+      return 1;
+    }
+    io::WriteAssignment(valid, out);
+    std::printf("assignment written to %s\n", out_path);
+  }
+  return 0;
+}
+
+int Render(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto instance = io::ReadInstanceFile(argv[2]);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
+  const util::Status written =
+      io::RenderInstanceSvgFile(*instance, argv[3]);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("rendered %d workers / %d tasks to %s\n",
+              instance->num_workers(), instance->num_tasks(), argv[3]);
+  return 0;
+}
+
+int Simulate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto instance = io::ReadInstanceFile(argv[2]);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
+    return 1;
+  }
+  const auto seed =
+      static_cast<uint64_t>(IntFlag(argc, argv, 4, "--seed", 42));
+  auto allocator = algo::CreateAllocator(argv[3], seed);
+  if (!allocator.ok()) {
+    std::fprintf(stderr, "%s\n", allocator.status().ToString().c_str());
+    return Usage();
+  }
+  sim::SimulatorOptions options;
+  options.batch_interval = DoubleFlag(argc, argv, 4, "--interval", 5.0);
+  sim::Simulator simulator(*instance, options);
+  const sim::SimulationResult result = simulator.Run(**allocator);
+  std::printf(
+      "%s: score=%d completed=%d batches=%d (non-empty %d) wasted=%d\n"
+      "allocator time=%.2f ms, last completion t=%.2f\n",
+      std::string((*allocator)->name()).c_str(), result.score,
+      result.completed_tasks, result.batches, result.nonempty_batches,
+      result.wasted_dispatches, result.allocator_seconds * 1e3,
+      result.last_completion_time);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return Generate(argc, argv);
+  if (command == "stats") return Stats(argc, argv);
+  if (command == "solve") return Solve(argc, argv);
+  if (command == "simulate") return Simulate(argc, argv);
+  if (command == "render") return Render(argc, argv);
+  return Usage();
+}
