@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_syn_tasks.dir/bench_fig10_syn_tasks.cc.o"
+  "CMakeFiles/bench_fig10_syn_tasks.dir/bench_fig10_syn_tasks.cc.o.d"
+  "bench_fig10_syn_tasks"
+  "bench_fig10_syn_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_syn_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

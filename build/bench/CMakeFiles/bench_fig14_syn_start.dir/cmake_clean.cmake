@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_syn_start.dir/bench_fig14_syn_start.cc.o"
+  "CMakeFiles/bench_fig14_syn_start.dir/bench_fig14_syn_start.cc.o.d"
+  "bench_fig14_syn_start"
+  "bench_fig14_syn_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_syn_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_syn_wait.dir/bench_fig15_syn_wait.cc.o"
+  "CMakeFiles/bench_fig15_syn_wait.dir/bench_fig15_syn_wait.cc.o.d"
+  "bench_fig15_syn_wait"
+  "bench_fig15_syn_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_syn_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

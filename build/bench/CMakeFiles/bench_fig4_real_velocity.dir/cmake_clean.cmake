@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_real_velocity.dir/bench_fig4_real_velocity.cc.o"
+  "CMakeFiles/bench_fig4_real_velocity.dir/bench_fig4_real_velocity.cc.o.d"
+  "bench_fig4_real_velocity"
+  "bench_fig4_real_velocity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_real_velocity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_real_start.dir/bench_fig5_real_start.cc.o"
+  "CMakeFiles/bench_fig5_real_start.dir/bench_fig5_real_start.cc.o.d"
+  "bench_fig5_real_start"
+  "bench_fig5_real_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_real_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_real_wait.dir/bench_fig6_real_wait.cc.o"
+  "CMakeFiles/bench_fig6_real_wait.dir/bench_fig6_real_wait.cc.o.d"
+  "bench_fig6_real_wait"
+  "bench_fig6_real_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_real_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_syn_dep.dir/bench_fig7_syn_dep.cc.o"
+  "CMakeFiles/bench_fig7_syn_dep.dir/bench_fig7_syn_dep.cc.o.d"
+  "bench_fig7_syn_dep"
+  "bench_fig7_syn_dep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_syn_dep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

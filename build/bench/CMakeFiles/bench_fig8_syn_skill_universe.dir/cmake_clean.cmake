@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_syn_skill_universe.dir/bench_fig8_syn_skill_universe.cc.o"
+  "CMakeFiles/bench_fig8_syn_skill_universe.dir/bench_fig8_syn_skill_universe.cc.o.d"
+  "bench_fig8_syn_skill_universe"
+  "bench_fig8_syn_skill_universe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_syn_skill_universe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

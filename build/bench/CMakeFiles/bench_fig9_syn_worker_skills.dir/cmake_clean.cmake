@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_syn_worker_skills.dir/bench_fig9_syn_worker_skills.cc.o"
+  "CMakeFiles/bench_fig9_syn_worker_skills.dir/bench_fig9_syn_worker_skills.cc.o.d"
+  "bench_fig9_syn_worker_skills"
+  "bench_fig9_syn_worker_skills.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_syn_worker_skills.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

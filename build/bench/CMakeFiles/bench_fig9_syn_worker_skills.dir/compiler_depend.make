@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_syn_worker_skills.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_small_scale.dir/bench_table6_small_scale.cc.o"
+  "CMakeFiles/bench_table6_small_scale.dir/bench_table6_small_scale.cc.o.d"
+  "bench_table6_small_scale"
+  "bench_table6_small_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_small_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_bench_common.dir/common/bench_util.cc.o"
+  "CMakeFiles/dasc_bench_common.dir/common/bench_util.cc.o.d"
+  "libdasc_bench_common.a"
+  "libdasc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

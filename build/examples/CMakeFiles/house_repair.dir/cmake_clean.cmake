@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/house_repair.dir/house_repair.cc.o"
+  "CMakeFiles/house_repair.dir/house_repair.cc.o.d"
+  "house_repair"
+  "house_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/house_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

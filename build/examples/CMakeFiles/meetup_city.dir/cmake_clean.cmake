@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meetup_city.dir/meetup_city.cc.o"
+  "CMakeFiles/meetup_city.dir/meetup_city.cc.o.d"
+  "meetup_city"
+  "meetup_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meetup_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

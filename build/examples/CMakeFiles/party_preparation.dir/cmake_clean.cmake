@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/party_preparation.dir/party_preparation.cc.o"
+  "CMakeFiles/party_preparation.dir/party_preparation.cc.o.d"
+  "party_preparation"
+  "party_preparation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/party_preparation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

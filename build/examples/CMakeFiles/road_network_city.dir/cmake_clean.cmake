@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_network_city.dir/road_network_city.cc.o"
+  "CMakeFiles/road_network_city.dir/road_network_city.cc.o.d"
+  "road_network_city"
+  "road_network_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_network_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/streaming_platform.cc" "examples/CMakeFiles/streaming_platform.dir/streaming_platform.cc.o" "gcc" "examples/CMakeFiles/streaming_platform.dir/streaming_platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dasc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_platform.dir/streaming_platform.cc.o"
+  "CMakeFiles/streaming_platform.dir/streaming_platform.cc.o.d"
+  "streaming_platform"
+  "streaming_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

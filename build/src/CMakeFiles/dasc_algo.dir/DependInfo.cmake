@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/baselines.cc" "src/CMakeFiles/dasc_algo.dir/algo/baselines.cc.o" "gcc" "src/CMakeFiles/dasc_algo.dir/algo/baselines.cc.o.d"
+  "/root/repo/src/algo/exact.cc" "src/CMakeFiles/dasc_algo.dir/algo/exact.cc.o" "gcc" "src/CMakeFiles/dasc_algo.dir/algo/exact.cc.o.d"
+  "/root/repo/src/algo/game.cc" "src/CMakeFiles/dasc_algo.dir/algo/game.cc.o" "gcc" "src/CMakeFiles/dasc_algo.dir/algo/game.cc.o.d"
+  "/root/repo/src/algo/greedy.cc" "src/CMakeFiles/dasc_algo.dir/algo/greedy.cc.o" "gcc" "src/CMakeFiles/dasc_algo.dir/algo/greedy.cc.o.d"
+  "/root/repo/src/algo/heuristics.cc" "src/CMakeFiles/dasc_algo.dir/algo/heuristics.cc.o" "gcc" "src/CMakeFiles/dasc_algo.dir/algo/heuristics.cc.o.d"
+  "/root/repo/src/algo/local_search.cc" "src/CMakeFiles/dasc_algo.dir/algo/local_search.cc.o" "gcc" "src/CMakeFiles/dasc_algo.dir/algo/local_search.cc.o.d"
+  "/root/repo/src/algo/registry.cc" "src/CMakeFiles/dasc_algo.dir/algo/registry.cc.o" "gcc" "src/CMakeFiles/dasc_algo.dir/algo/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dasc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_algo.dir/algo/baselines.cc.o"
+  "CMakeFiles/dasc_algo.dir/algo/baselines.cc.o.d"
+  "CMakeFiles/dasc_algo.dir/algo/exact.cc.o"
+  "CMakeFiles/dasc_algo.dir/algo/exact.cc.o.d"
+  "CMakeFiles/dasc_algo.dir/algo/game.cc.o"
+  "CMakeFiles/dasc_algo.dir/algo/game.cc.o.d"
+  "CMakeFiles/dasc_algo.dir/algo/greedy.cc.o"
+  "CMakeFiles/dasc_algo.dir/algo/greedy.cc.o.d"
+  "CMakeFiles/dasc_algo.dir/algo/heuristics.cc.o"
+  "CMakeFiles/dasc_algo.dir/algo/heuristics.cc.o.d"
+  "CMakeFiles/dasc_algo.dir/algo/local_search.cc.o"
+  "CMakeFiles/dasc_algo.dir/algo/local_search.cc.o.d"
+  "CMakeFiles/dasc_algo.dir/algo/registry.cc.o"
+  "CMakeFiles/dasc_algo.dir/algo/registry.cc.o.d"
+  "libdasc_algo.a"
+  "libdasc_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

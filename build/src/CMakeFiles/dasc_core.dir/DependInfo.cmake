@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cc" "src/CMakeFiles/dasc_core.dir/core/assignment.cc.o" "gcc" "src/CMakeFiles/dasc_core.dir/core/assignment.cc.o.d"
+  "/root/repo/src/core/batch.cc" "src/CMakeFiles/dasc_core.dir/core/batch.cc.o" "gcc" "src/CMakeFiles/dasc_core.dir/core/batch.cc.o.d"
+  "/root/repo/src/core/feasibility.cc" "src/CMakeFiles/dasc_core.dir/core/feasibility.cc.o" "gcc" "src/CMakeFiles/dasc_core.dir/core/feasibility.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/CMakeFiles/dasc_core.dir/core/instance.cc.o" "gcc" "src/CMakeFiles/dasc_core.dir/core/instance.cc.o.d"
+  "/root/repo/src/core/workload_stats.cc" "src/CMakeFiles/dasc_core.dir/core/workload_stats.cc.o" "gcc" "src/CMakeFiles/dasc_core.dir/core/workload_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dasc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dasc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_core.dir/core/assignment.cc.o"
+  "CMakeFiles/dasc_core.dir/core/assignment.cc.o.d"
+  "CMakeFiles/dasc_core.dir/core/batch.cc.o"
+  "CMakeFiles/dasc_core.dir/core/batch.cc.o.d"
+  "CMakeFiles/dasc_core.dir/core/feasibility.cc.o"
+  "CMakeFiles/dasc_core.dir/core/feasibility.cc.o.d"
+  "CMakeFiles/dasc_core.dir/core/instance.cc.o"
+  "CMakeFiles/dasc_core.dir/core/instance.cc.o.d"
+  "CMakeFiles/dasc_core.dir/core/workload_stats.cc.o"
+  "CMakeFiles/dasc_core.dir/core/workload_stats.cc.o.d"
+  "libdasc_core.a"
+  "libdasc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

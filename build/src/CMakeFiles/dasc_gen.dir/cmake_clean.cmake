@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_gen.dir/gen/meetup.cc.o"
+  "CMakeFiles/dasc_gen.dir/gen/meetup.cc.o.d"
+  "CMakeFiles/dasc_gen.dir/gen/perturb.cc.o"
+  "CMakeFiles/dasc_gen.dir/gen/perturb.cc.o.d"
+  "CMakeFiles/dasc_gen.dir/gen/synthetic.cc.o"
+  "CMakeFiles/dasc_gen.dir/gen/synthetic.cc.o.d"
+  "libdasc_gen.a"
+  "libdasc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

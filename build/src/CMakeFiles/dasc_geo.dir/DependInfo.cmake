@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/distance.cc" "src/CMakeFiles/dasc_geo.dir/geo/distance.cc.o" "gcc" "src/CMakeFiles/dasc_geo.dir/geo/distance.cc.o.d"
+  "/root/repo/src/geo/grid_index.cc" "src/CMakeFiles/dasc_geo.dir/geo/grid_index.cc.o" "gcc" "src/CMakeFiles/dasc_geo.dir/geo/grid_index.cc.o.d"
+  "/root/repo/src/geo/kdtree.cc" "src/CMakeFiles/dasc_geo.dir/geo/kdtree.cc.o" "gcc" "src/CMakeFiles/dasc_geo.dir/geo/kdtree.cc.o.d"
+  "/root/repo/src/geo/road_network.cc" "src/CMakeFiles/dasc_geo.dir/geo/road_network.cc.o" "gcc" "src/CMakeFiles/dasc_geo.dir/geo/road_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dasc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_geo.dir/geo/distance.cc.o"
+  "CMakeFiles/dasc_geo.dir/geo/distance.cc.o.d"
+  "CMakeFiles/dasc_geo.dir/geo/grid_index.cc.o"
+  "CMakeFiles/dasc_geo.dir/geo/grid_index.cc.o.d"
+  "CMakeFiles/dasc_geo.dir/geo/kdtree.cc.o"
+  "CMakeFiles/dasc_geo.dir/geo/kdtree.cc.o.d"
+  "CMakeFiles/dasc_geo.dir/geo/road_network.cc.o"
+  "CMakeFiles/dasc_geo.dir/geo/road_network.cc.o.d"
+  "libdasc_geo.a"
+  "libdasc_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_graph.dir/graph/dag.cc.o"
+  "CMakeFiles/dasc_graph.dir/graph/dag.cc.o.d"
+  "CMakeFiles/dasc_graph.dir/graph/dag_stats.cc.o"
+  "CMakeFiles/dasc_graph.dir/graph/dag_stats.cc.o.d"
+  "libdasc_graph.a"
+  "libdasc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_io.dir/io/instance_io.cc.o"
+  "CMakeFiles/dasc_io.dir/io/instance_io.cc.o.d"
+  "CMakeFiles/dasc_io.dir/io/svg_render.cc.o"
+  "CMakeFiles/dasc_io.dir/io/svg_render.cc.o.d"
+  "libdasc_io.a"
+  "libdasc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

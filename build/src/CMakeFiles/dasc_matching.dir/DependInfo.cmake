@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/auction.cc" "src/CMakeFiles/dasc_matching.dir/matching/auction.cc.o" "gcc" "src/CMakeFiles/dasc_matching.dir/matching/auction.cc.o.d"
+  "/root/repo/src/matching/hopcroft_karp.cc" "src/CMakeFiles/dasc_matching.dir/matching/hopcroft_karp.cc.o" "gcc" "src/CMakeFiles/dasc_matching.dir/matching/hopcroft_karp.cc.o.d"
+  "/root/repo/src/matching/hungarian.cc" "src/CMakeFiles/dasc_matching.dir/matching/hungarian.cc.o" "gcc" "src/CMakeFiles/dasc_matching.dir/matching/hungarian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dasc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_matching.dir/matching/auction.cc.o"
+  "CMakeFiles/dasc_matching.dir/matching/auction.cc.o.d"
+  "CMakeFiles/dasc_matching.dir/matching/hopcroft_karp.cc.o"
+  "CMakeFiles/dasc_matching.dir/matching/hopcroft_karp.cc.o.d"
+  "CMakeFiles/dasc_matching.dir/matching/hungarian.cc.o"
+  "CMakeFiles/dasc_matching.dir/matching/hungarian.cc.o.d"
+  "libdasc_matching.a"
+  "libdasc_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/dasc_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/dasc_sim.dir/sim/platform.cc.o"
+  "CMakeFiles/dasc_sim.dir/sim/platform.cc.o.d"
+  "CMakeFiles/dasc_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/dasc_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/dasc_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/dasc_sim.dir/sim/trace.cc.o.d"
+  "libdasc_sim.a"
+  "libdasc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

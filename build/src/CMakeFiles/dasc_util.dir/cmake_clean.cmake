@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_util.dir/util/csv.cc.o"
+  "CMakeFiles/dasc_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/dasc_util.dir/util/flags.cc.o"
+  "CMakeFiles/dasc_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/dasc_util.dir/util/rng.cc.o"
+  "CMakeFiles/dasc_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/dasc_util.dir/util/stats.cc.o"
+  "CMakeFiles/dasc_util.dir/util/stats.cc.o.d"
+  "libdasc_util.a"
+  "libdasc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_extra_test.dir/geo_extra_test.cc.o"
+  "CMakeFiles/geo_extra_test.dir/geo_extra_test.cc.o.d"
+  "geo_extra_test"
+  "geo_extra_test.pdb"
+  "geo_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

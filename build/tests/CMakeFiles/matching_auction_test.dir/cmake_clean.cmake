@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_auction_test.dir/matching_auction_test.cc.o"
+  "CMakeFiles/matching_auction_test.dir/matching_auction_test.cc.o.d"
+  "matching_auction_test"
+  "matching_auction_test.pdb"
+  "matching_auction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_auction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

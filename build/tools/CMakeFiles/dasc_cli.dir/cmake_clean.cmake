@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasc_cli.dir/dasc_cli.cc.o"
+  "CMakeFiles/dasc_cli.dir/dasc_cli.cc.o.d"
+  "dasc_cli"
+  "dasc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
