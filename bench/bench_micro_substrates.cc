@@ -2,7 +2,27 @@
 // assignment, Hopcroft-Karp matching, grid-index radius queries, dependency
 // closure construction, one full greedy batch, and one game best-response
 // batch. These quantify the building blocks behind the per-figure harnesses.
+//
+// Before the google-benchmark suite runs, main() writes BENCH_micro.json — a
+// machine-readable perf-trajectory record with a stable schema (a JSON array
+// of {name, threads, ms_mean, ms_p95} objects):
+//   * per-phase wall-clock of one offline batch at the reduced Table V
+//     workload: candidate build, matching (greedy on cached candidates),
+//     best-response (game on cached candidates), and total (full G-G);
+//   * the serial-vs-parallel BuildCandidates regression guard at scale 1.0
+//     (paper-size 5000x5000 synthetic) for threads in {1, 2, 4, 8}.
+// Flags (stripped before google-benchmark sees argv):
+//   --micro_json=PATH  output path (default BENCH_micro.json)
+//   --micro_reps=N     timed repetitions per entry (default 5)
+//   --no_micro         skip the JSON report, run only google-benchmark
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "algo/game.h"
 #include "algo/greedy.h"
@@ -13,6 +33,9 @@
 #include "matching/hopcroft_karp.h"
 #include "matching/hungarian.h"
 #include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace dasc {
 namespace {
@@ -136,7 +159,147 @@ void BM_BuildCandidates(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildCandidates)->RangeMultiplier(2)->Range(1, 4);
 
+// ---------------------------------------------------------------------------
+// BENCH_micro.json: stable-schema perf-trajectory report.
+
+struct MicroEntry {
+  std::string name;
+  int threads = 1;
+  double ms_mean = 0.0;
+  double ms_p95 = 0.0;
+};
+
+// Times `fn` (one warmup + `reps` measured runs) under the current global
+// thread setting.
+template <typename Fn>
+MicroEntry TimeMicro(const std::string& name, int reps, Fn&& fn) {
+  MicroEntry entry;
+  entry.name = name;
+  entry.threads = util::Threads();
+  fn();  // warmup
+  util::RunningStats stats;
+  util::Percentiles percentiles;
+  for (int r = 0; r < reps; ++r) {
+    util::WallTimer timer;
+    fn();
+    const double ms = timer.ElapsedMillis();
+    stats.Add(ms);
+    percentiles.Add(ms);
+  }
+  entry.ms_mean = stats.mean();
+  entry.ms_p95 = percentiles.Quantile(0.95);
+  return entry;
+}
+
+std::vector<MicroEntry> CollectMicroEntries(int reps) {
+  std::vector<MicroEntry> entries;
+
+  // Per-phase wall-clock of one offline batch at the reduced Table V
+  // workload (the BM_*Batch instance at range 4: 800 workers x 800 tasks).
+  // Each phase isolates one layer via the BatchProblem candidate cache:
+  // `matching` and `best_response` run on pre-built candidates, `total` is
+  // the full G-G pipeline (candidate build + greedy seed + best response)
+  // from a cold cache.
+  {
+    const core::Instance instance = MakeBatchInstance(4);
+    entries.push_back(TimeMicro("candidate_build", reps, [&] {
+      core::BatchProblem problem = core::BatchProblem::AllAt(instance, 0.0);
+      benchmark::DoNotOptimize(core::BuildCandidates(problem));
+    }));
+    core::BatchProblem cached = core::BatchProblem::AllAt(instance, 0.0);
+    cached.Candidates();  // pre-build once; phases below reuse it
+    entries.push_back(TimeMicro("matching", reps, [&] {
+      algo::GreedyAllocator greedy;
+      benchmark::DoNotOptimize(greedy.Allocate(cached));
+    }));
+    entries.push_back(TimeMicro("best_response", reps, [&] {
+      algo::GameOptions options;
+      options.threshold = 0.05;
+      algo::GameAllocator game(options);
+      benchmark::DoNotOptimize(game.Allocate(cached));
+    }));
+    entries.push_back(TimeMicro("total", reps, [&] {
+      core::BatchProblem problem = core::BatchProblem::AllAt(instance, 0.0);
+      algo::GameOptions options;
+      options.threshold = 0.05;
+      options.greedy_init = true;
+      algo::GameAllocator gg(options);
+      benchmark::DoNotOptimize(gg.Allocate(problem));
+    }));
+  }
+
+  // Serial-vs-parallel BuildCandidates regression guard at scale 1.0: the
+  // full Table V synthetic workload (5000 workers x 5000 tasks x 1500
+  // skills). Thread counts beyond the machine's cores are still measured so
+  // the record is comparable across hosts.
+  {
+    gen::SyntheticParams params;  // Table V defaults = scale 1.0
+    auto instance = gen::GenerateSynthetic(params);
+    DASC_CHECK(instance.ok());
+    const core::BatchProblem problem =
+        core::BatchProblem::AllAt(*instance, 0.0);
+    const int saved_threads = util::Threads();
+    for (int threads : {1, 2, 4, 8}) {
+      util::SetThreads(threads);
+      entries.push_back(TimeMicro("build_candidates_scale1", reps, [&] {
+        benchmark::DoNotOptimize(core::BuildCandidates(problem));
+      }));
+    }
+    util::SetThreads(saved_threads);
+  }
+  return entries;
+}
+
+void WriteMicroJson(const std::string& path, const std::vector<MicroEntry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const MicroEntry& e = entries[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"threads\": %d, \"ms_mean\": %.3f, "
+                 "\"ms_p95\": %.3f}%s\n",
+                 e.name.c_str(), e.threads, e.ms_mean, e.ms_p95,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
+}
+
 }  // namespace
 }  // namespace dasc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split off the --micro_* flags; everything else goes to google-benchmark.
+  std::string json_path = "BENCH_micro.json";
+  int micro_reps = 5;
+  bool run_micro = true;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--micro_json=", 13) == 0) {
+      json_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--micro_reps=", 13) == 0) {
+      micro_reps = std::max(1, std::atoi(argv[i] + 13));
+    } else if (std::strcmp(argv[i], "--no_micro") == 0) {
+      run_micro = false;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (run_micro) {
+    dasc::WriteMicroJson(json_path, dasc::CollectMicroEntries(micro_reps));
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

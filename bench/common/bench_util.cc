@@ -11,6 +11,7 @@
 #include "sim/metrics.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace dasc::bench {
 
@@ -19,6 +20,7 @@ BenchConfig ParseBenchArgs(int argc, char** argv, BenchConfig defaults) {
   util::FlagParser parser;
   int64_t seed = static_cast<int64_t>(config.seed);
   int64_t reps = config.reps;
+  int64_t threads = config.threads;
   parser.AddDouble("scale", &config.scale, "workload size multiplier");
   parser.AddInt("seed", &seed, "base RNG seed");
   parser.AddString("algos", &config.algos, "comma-separated allocator names");
@@ -26,11 +28,14 @@ BenchConfig ParseBenchArgs(int argc, char** argv, BenchConfig defaults) {
   parser.AddDouble("interval", &config.batch_interval,
                    "platform batch interval");
   parser.AddBool("csv", &config.csv, "emit CSV instead of aligned tables");
+  parser.AddInt("threads", &threads,
+                "worker threads (0 = hardware concurrency, 1 = serial)");
   const util::Status status = parser.Parse(argc, argv);
   config.seed = static_cast<uint64_t>(seed);
   config.reps = static_cast<int>(reps);
+  config.threads = static_cast<int>(threads);
   if (!status.ok() || !parser.positional().empty() || config.scale <= 0.0 ||
-      config.reps < 1 || config.batch_interval <= 0.0) {
+      config.reps < 1 || config.batch_interval <= 0.0 || config.threads < 0) {
     std::fprintf(stderr, "%s\nusage: %s [flags]\n%sknown algorithms:",
                  status.ToString().c_str(), argv[0],
                  parser.HelpText().c_str());
@@ -40,6 +45,7 @@ BenchConfig ParseBenchArgs(int argc, char** argv, BenchConfig defaults) {
     std::fprintf(stderr, "\n");
     std::exit(2);
   }
+  util::SetThreads(config.threads);
   return config;
 }
 
@@ -108,24 +114,60 @@ void RunSimSweep(const std::string& title, const std::string& x_name,
   score_table.AddRow(header);
   time_table.AddRow(header);
 
-  for (const SweepPoint& point : points) {
+  // Flatten the sweep into independent (point, rep, algorithm) cells so the
+  // pool can run them concurrently. Determinism: every cell's workload seed
+  // (config.seed + rep) and allocator seed (config.seed + 1000*rep + 1) is
+  // derived from the cell's indices *before* dispatch, each cell regenerates
+  // its instance from that seed, and results land in a per-cell slot merged
+  // below in the same (point, rep, algo) order the serial harness used — so
+  // score tables are bit-identical for every thread count. Cell wall-clock
+  // (the time tables) contends for cores when cells run concurrently.
+  struct Cell {
+    size_t point = 0;
+    int rep = 0;
+    size_t algo = 0;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(points.size() * static_cast<size_t>(config.reps) *
+                names.size());
+  for (size_t p = 0; p < points.size(); ++p) {
+    for (int rep = 0; rep < config.reps; ++rep) {
+      for (size_t a = 0; a < names.size(); ++a) {
+        cells.push_back({p, rep, a});
+      }
+    }
+  }
+  std::vector<sim::RunStats> results(cells.size());
+  util::ParallelFor(
+      0, static_cast<int64_t>(cells.size()), 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t c = lo; c < hi; ++c) {
+          const Cell& cell = cells[static_cast<size_t>(c)];
+          auto instance = points[cell.point].make(
+              config.seed + static_cast<uint64_t>(cell.rep));
+          DASC_CHECK(instance.ok()) << instance.status().ToString();
+          auto allocator = algo::CreateAllocator(
+              names[cell.algo], config.seed + 1000 * cell.rep + 1);
+          DASC_CHECK(allocator.ok());
+          results[static_cast<size_t>(c)] =
+              sim::MeasureSimulation(*instance, options, **allocator);
+        }
+      });
+
+  for (size_t p = 0; p < points.size(); ++p) {
     std::vector<double> score_sum(names.size(), 0.0);
     std::vector<double> millis_sum(names.size(), 0.0);
     for (int rep = 0; rep < config.reps; ++rep) {
-      auto instance = point.make(config.seed + static_cast<uint64_t>(rep));
-      DASC_CHECK(instance.ok()) << instance.status().ToString();
       for (size_t a = 0; a < names.size(); ++a) {
-        auto allocator =
-            algo::CreateAllocator(names[a], config.seed + 1000 * rep + 1);
-        DASC_CHECK(allocator.ok());
-        const sim::RunStats stats =
-            sim::MeasureSimulation(*instance, options, **allocator);
-        score_sum[a] += stats.score;
-        millis_sum[a] += stats.millis;
+        const size_t c =
+            (p * static_cast<size_t>(config.reps) + static_cast<size_t>(rep)) *
+                names.size() +
+            a;
+        score_sum[a] += results[c].score;
+        millis_sum[a] += results[c].millis;
       }
     }
-    std::vector<std::string> score_row = {point.label};
-    std::vector<std::string> time_row = {point.label};
+    std::vector<std::string> score_row = {points[p].label};
+    std::vector<std::string> time_row = {points[p].label};
     for (size_t a = 0; a < names.size(); ++a) {
       score_row.push_back(
           util::TablePrinter::Num(score_sum[a] / config.reps, 1));
@@ -136,9 +178,10 @@ void RunSimSweep(const std::string& title, const std::string& x_name,
     time_table.AddRow(std::move(time_row));
   }
 
-  std::printf("# %s  (scale=%g seed=%llu reps=%d interval=%g)\n", title.c_str(),
-              config.scale, static_cast<unsigned long long>(config.seed),
-              config.reps, config.batch_interval);
+  std::printf("# %s  (scale=%g seed=%llu reps=%d interval=%g threads=%d)\n",
+              title.c_str(), config.scale,
+              static_cast<unsigned long long>(config.seed), config.reps,
+              config.batch_interval, util::Threads());
   if (config.csv) {
     score_table.PrintCsv(std::cout);
     std::printf("\n");

@@ -12,6 +12,16 @@
 //   --reps=N      repetitions averaged per cell (different seeds)
 //   --interval=F  batch interval of the simulated platform
 //   --csv         emit CSV instead of aligned tables
+//   --threads=N   worker threads for the sweep and for candidate generation
+//                 (util::SetThreads): 0 = hardware concurrency (default),
+//                 1 = exact serial fallback reproducing the single-threaded
+//                 harness bit-for-bit. Independent (sweep-point, rep,
+//                 algorithm) simulation cells run concurrently; score tables
+//                 are identical for every thread count (per-cell seeds are
+//                 derived before dispatch and results merged in index
+//                 order), but per-cell wall-clock in the time tables gets
+//                 noisier as concurrent cells contend for cores — use
+//                 --threads=1 for timing-fidelity runs.
 #ifndef DASC_BENCH_COMMON_BENCH_UTIL_H_
 #define DASC_BENCH_COMMON_BENCH_UTIL_H_
 
@@ -35,6 +45,9 @@ struct BenchConfig {
   int reps = 1;
   double batch_interval = 5.0;
   bool csv = false;
+  // See the --threads flag comment above. ParseBenchArgs installs the value
+  // globally via util::SetThreads.
+  int threads = 0;
 };
 
 // Parses the common flags over `defaults`; prints usage and exits on bad

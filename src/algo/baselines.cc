@@ -10,7 +10,7 @@ namespace dasc::algo {
 core::Assignment ClosestAllocator::Allocate(
     const core::BatchProblem& problem) {
   DASC_CHECK(problem.instance != nullptr);
-  const auto candidates = core::BuildCandidates(problem);
+  const auto& candidates = problem.Candidates();
   const core::Instance& instance = *problem.instance;
 
   std::vector<uint8_t> taken(static_cast<size_t>(instance.num_tasks()), 0);
@@ -38,7 +38,7 @@ core::Assignment ClosestAllocator::Allocate(
 
 core::Assignment RandomAllocator::Allocate(const core::BatchProblem& problem) {
   DASC_CHECK(problem.instance != nullptr);
-  const auto candidates = core::BuildCandidates(problem);
+  const auto& candidates = problem.Candidates();
   const core::Instance& instance = *problem.instance;
 
   std::vector<uint8_t> taken(static_cast<size_t>(instance.num_tasks()), 0);

@@ -19,7 +19,7 @@ class DfsSearch {
       : problem_(problem),
         instance_(*problem.instance),
         options_(options),
-        candidates_(core::BuildCandidates(problem)) {}
+        candidates_(problem.Candidates()) {}
 
   // Seeds the branch-and-bound incumbent (e.g., from DASC_Greedy).
   void SeedIncumbent(core::Assignment assignment) {
@@ -110,7 +110,7 @@ class DfsSearch {
   const BatchProblem& problem_;
   const core::Instance& instance_;
   ExactOptions options_;
-  core::CandidateSets candidates_;
+  const core::CandidateSets& candidates_;
 
   std::vector<int> worker_order_;
   core::Assignment seed_;

@@ -163,7 +163,9 @@ GameAllocator::GameAllocator(GameOptions options)
 
 core::Assignment GameAllocator::Allocate(const core::BatchProblem& problem) {
   DASC_CHECK(problem.instance != nullptr);
-  const auto candidates = core::BuildCandidates(problem);
+  // Shared with the greedy seed below (G-G) via the BatchProblem cache: the
+  // O(W x T) candidate build happens once per batch, not once per allocator.
+  const auto& candidates = problem.Candidates();
 
   // Active players: workers with at least one feasible task.
   std::vector<int> players;

@@ -42,7 +42,7 @@ class GreedyRun {
       : problem_(problem),
         instance_(*problem.instance),
         options_(options),
-        candidates_(core::BuildCandidates(problem)) {}
+        candidates_(problem.Candidates()) {}
 
   core::Assignment Run();
 
@@ -60,7 +60,7 @@ class GreedyRun {
   const BatchProblem& problem_;
   const Instance& instance_;
   GreedyOptions options_;
-  core::CandidateSets candidates_;
+  const core::CandidateSets& candidates_;
 
   std::vector<AssocSet> sets_;
   // For each task id, indices into sets_ whose member list contains it.

@@ -14,7 +14,7 @@ namespace dasc::algo {
 core::Assignment MaxMatchingAllocator::Allocate(
     const core::BatchProblem& problem) {
   DASC_CHECK(problem.instance != nullptr);
-  const auto candidates = core::BuildCandidates(problem);
+  const auto& candidates = problem.Candidates();
 
   // Dense-index the open tasks for the right side of the matching.
   std::unordered_map<core::TaskId, int> column_of;
@@ -45,7 +45,7 @@ core::Assignment UrgencyAllocator::Allocate(
     const core::BatchProblem& problem) {
   DASC_CHECK(problem.instance != nullptr);
   const core::Instance& instance = *problem.instance;
-  const auto candidates = core::BuildCandidates(problem);
+  const auto& candidates = problem.Candidates();
 
   std::vector<uint8_t> open(static_cast<size_t>(instance.num_tasks()), 0);
   for (core::TaskId t : problem.open_tasks) open[static_cast<size_t>(t)] = 1;

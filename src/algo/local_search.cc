@@ -110,7 +110,7 @@ LocalSearchStats ImproveAssignment(const core::BatchProblem& problem,
   DASC_CHECK(assignment != nullptr);
   LocalSearchStats stats;
   const Instance& instance = *problem.instance;
-  const auto candidates = core::BuildCandidates(problem);
+  const auto& candidates = problem.Candidates();
 
   // Worker-index <-> task maps from the assignment.
   std::unordered_map<core::WorkerId, int> index_of;

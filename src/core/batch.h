@@ -3,12 +3,15 @@
 #ifndef DASC_CORE_BATCH_H_
 #define DASC_CORE_BATCH_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/feasibility.h"
 #include "core/instance.h"
 
 namespace dasc::core {
+
+struct CandidateSets;
 
 // One batch of the dynamic platform (Section II-D: "the spatial crowdsourcing
 // platforms assign workers to tasks batch-by-batch").
@@ -39,6 +42,22 @@ struct BatchProblem {
   bool TaskAssignedBefore(TaskId t) const {
     return assigned_before[static_cast<size_t>(t)] != 0;
   }
+
+  // Lazily-built, memoized candidate sets shared by every allocator that
+  // looks at this batch (G-G's greedy seed and its own game loop, the exact
+  // solver's pruning, ...). Built on first call via BuildCandidates.
+  //
+  // Invalidation rules: the cache snapshots workers / open_tasks / params /
+  // now at first call. Mutating any of those afterwards requires
+  // InvalidateCandidates(); copies of the problem share the cache, so a
+  // mutated copy must invalidate as well. Building the cache is not safe
+  // concurrently from multiple threads on the *same* problem object; build
+  // it once (or call Candidates() eagerly) before sharing across threads.
+  const CandidateSets& Candidates() const;
+  void InvalidateCandidates() { candidates_cache.reset(); }
+
+  // Internal cache storage for Candidates(); treat as private.
+  mutable std::shared_ptr<const CandidateSets> candidates_cache;
 };
 
 // Feasible-pair candidate sets for one batch.
@@ -52,7 +71,10 @@ struct CandidateSets {
 };
 
 // Computes candidate sets, using a grid index over open-task locations for
-// Euclidean workloads and a full scan otherwise.
+// Euclidean workloads and a skill-inverted-index scan otherwise. Workers are
+// partitioned across the global thread pool (util::ParallelFor); the output
+// is bit-identical for every thread count, including the --threads=1 serial
+// fallback.
 CandidateSets BuildCandidates(const BatchProblem& problem);
 
 }  // namespace dasc::core

@@ -1,0 +1,173 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dasc::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  DASC_CHECK_GT(num_threads, 0);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DASC_CHECK(!stop_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+namespace {
+
+// Global thread-count configuration. kUnset defers to DASC_THREADS / auto.
+constexpr int kUnset = -1;
+std::mutex config_mu;
+int configured_threads = kUnset;        // guarded by config_mu
+std::unique_ptr<ThreadPool> global_pool;  // guarded by config_mu
+
+int ResolveThreadsLocked() {
+  int n = configured_threads;
+  if (n == kUnset) {
+    if (const char* env = std::getenv("DASC_THREADS")) {
+      n = std::atoi(env);
+      if (n < 0) n = kUnset;
+    }
+  }
+  if (n == kUnset || n == 0) n = HardwareThreads();
+  return std::max(1, n);
+}
+
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void SetThreads(int n) {
+  DASC_CHECK_GE(n, 0);
+  std::lock_guard<std::mutex> lock(config_mu);
+  // 0 restores the default resolution (DASC_THREADS env, then hardware)
+  // rather than pinning "hardware": a harness that forwards its own
+  // --threads default of 0 must not eat the user's environment override.
+  configured_threads = n == 0 ? kUnset : n;
+  if (global_pool != nullptr &&
+      global_pool->num_threads() != ResolveThreadsLocked()) {
+    global_pool.reset();  // rebuilt at the right size on next use
+  }
+}
+
+int Threads() {
+  std::lock_guard<std::mutex> lock(config_mu);
+  return ResolveThreadsLocked();
+}
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(config_mu);
+  const int n = ResolveThreadsLocked();
+  if (global_pool == nullptr || global_pool->num_threads() != n) {
+    global_pool = std::make_unique<ThreadPool>(n);
+  }
+  return *global_pool;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  DASC_CHECK_GE(grain, 1);
+  if (begin >= end) return;
+  const int64_t range = end - begin;
+  const int threads = Threads();
+  // Chunk count: enough for load balancing (a few per thread) but no chunk
+  // smaller than `grain`. One chunk or one thread short-circuits to the
+  // exact serial path.
+  const int64_t max_chunks = (range + grain - 1) / grain;
+  const int64_t num_chunks =
+      std::min<int64_t>(max_chunks, static_cast<int64_t>(threads) * 4);
+  if (threads == 1 || num_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t chunk = (range + num_chunks - 1) / num_chunks;
+
+  // Shared run state: helpers and the caller race on next_chunk; completion
+  // is signalled when every chunk body returned. shared_ptr keeps the state
+  // alive until the last helper job (which may outlive this frame only
+  // between its fn() return and the lambda's destruction) is done with it.
+  struct RunState {
+    std::atomic<int64_t> next_chunk{0};
+    std::atomic<int64_t> done_chunks{0};
+    int64_t total_chunks = 0;
+    int64_t begin = 0, end = 0, chunk = 0;
+    const std::function<void(int64_t, int64_t)>* body = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<RunState>();
+  state->total_chunks = num_chunks;
+  state->begin = begin;
+  state->end = end;
+  state->chunk = chunk;
+  state->body = &fn;
+
+  auto drain = [](const std::shared_ptr<RunState>& s) {
+    while (true) {
+      const int64_t c = s->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s->total_chunks) return;
+      const int64_t lo = s->begin + c * s->chunk;
+      const int64_t hi = std::min(s->end, lo + s->chunk);
+      (*s->body)(lo, hi);
+      if (s->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          s->total_chunks) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  ThreadPool& pool = GlobalPool();
+  const int helpers = std::min<int64_t>(threads - 1, num_chunks - 1);
+  for (int i = 0; i < helpers; ++i) {
+    pool.Submit([state, drain] { drain(state); });
+  }
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done_chunks.load(std::memory_order_acquire) ==
+           state->total_chunks;
+  });
+}
+
+}  // namespace dasc::util

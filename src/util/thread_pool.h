@@ -1,0 +1,89 @@
+// Shared parallel execution layer: a fixed-size thread pool and a
+// deterministic ParallelFor used by candidate generation and the bench
+// harness.
+//
+// Thread-count policy (one global knob, resolved once per change):
+//   * util::SetThreads(n) — programmatic override (the --threads flag of the
+//     bench binaries routes here). n = 0 restores the default resolution
+//     below; n = 1 means "exact serial fallback": ParallelFor runs the body
+//     inline on the calling thread with no pool involvement, so results and
+//     side-effect ordering are identical to a pre-parallelism build.
+//   * DASC_THREADS environment variable — consulted when SetThreads was
+//     never called or was last called with 0 (same 0/1 semantics).
+//   * default — hardware concurrency.
+//
+// Determinism contract: ParallelFor partitions [begin, end) into disjoint
+// contiguous chunks. The body receives chunk bounds and must only write
+// state owned by indices in its chunk; under that contract the result is
+// bit-identical for every thread count, and callers merge any cross-chunk
+// output in index order afterwards.
+//
+// Deadlock safety: ParallelFor enqueues helper jobs on the global pool but
+// the calling thread also drains chunks itself, so nested ParallelFor calls
+// (e.g. a bench cell running on the pool that itself builds candidates) make
+// progress even when every pool thread is busy.
+#ifndef DASC_UTIL_THREAD_POOL_H_
+#define DASC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dasc::util {
+
+// Fixed-size FIFO thread pool. Build once, submit many; no work stealing.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues `fn` for execution on some pool thread. `fn` must not throw.
+  void Submit(std::function<void()> fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// std::thread::hardware_concurrency(), never less than 1.
+int HardwareThreads();
+
+// Sets the global thread count (0 = default: DASC_THREADS env, then
+// hardware concurrency; 1 = serial).
+// Call at startup or between parallel regions; the global pool is rebuilt
+// lazily on the next use. Not safe concurrently with a running ParallelFor.
+void SetThreads(int n);
+
+// Resolved global thread count (>= 1), applying SetThreads, then the
+// DASC_THREADS environment variable, then hardware concurrency.
+int Threads();
+
+// The process-wide pool, sized to Threads(). Created on first use and
+// recreated when SetThreads changes the effective count.
+ThreadPool& GlobalPool();
+
+// Runs fn(chunk_begin, chunk_end) over disjoint contiguous chunks covering
+// [begin, end), each at least `grain` indices (except possibly the last).
+// With Threads() == 1 or a single chunk, runs fn(begin, end) inline on the
+// calling thread. Blocks until every chunk completed. The calling thread
+// participates in chunk execution, so nesting on pool threads cannot
+// deadlock. `fn` must not throw.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace dasc::util
+
+#endif  // DASC_UTIL_THREAD_POOL_H_
