@@ -10,7 +10,16 @@
 //     workload: candidate build, matching (greedy on cached candidates),
 //     best-response (game on cached candidates), and total (full G-G);
 //   * the serial-vs-parallel BuildCandidates regression guard at scale 1.0
-//     (paper-size 5000x5000 synthetic) for threads in {1, 2, 4, 8}.
+//     (paper-size 5000x5000 synthetic) for threads in {1, 2, 4, 8};
+//   * the observability overhead guard: the same full G-G batch with the
+//     metrics runtime kill switch on (batch_metrics_on) vs off
+//     (batch_metrics_off) — the acceptance budget is <= 3% overhead
+//     enabled-but-unexported;
+//   * full-simulation headline metrics from one G-G run of the reduced
+//     Table V workload (sim_headline_*): batches, p95 batch allocator ms,
+//     score, and the game_rounds histogram summary pulled from the metrics
+//     registry. These ride in the same {name, threads, ms_mean, ms_p95}
+//     schema with the value in ms_mean (and ms_p95 where a p95 exists).
 // Flags (stripped before google-benchmark sees argv):
 //   --micro_json=PATH  output path (default BENCH_micro.json)
 //   --micro_reps=N     timed repetitions per entry (default 5)
@@ -32,6 +41,8 @@
 #include "graph/dag.h"
 #include "matching/hopcroft_karp.h"
 #include "matching/hungarian.h"
+#include "sim/metrics.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -246,6 +257,71 @@ std::vector<MicroEntry> CollectMicroEntries(int reps) {
       }));
     }
     util::SetThreads(saved_threads);
+  }
+
+  // Observability overhead guard: the full G-G batch (reduced Table V, range
+  // 4) with instrumentation enabled vs the runtime kill switch off. The two
+  // entries share one binary, so the only delta is the macros' relaxed
+  // atomic work (enabled) vs their single load + branch (disabled) — the
+  // "enabled-but-unexported" cost the design budgets at <= 3%.
+  {
+    const core::Instance instance = MakeBatchInstance(4);
+    const auto run_batch = [&] {
+      core::BatchProblem problem = core::BatchProblem::AllAt(instance, 0.0);
+      algo::GameOptions options;
+      options.threshold = 0.05;
+      options.greedy_init = true;
+      algo::GameAllocator gg(options);
+      benchmark::DoNotOptimize(gg.Allocate(problem));
+    };
+    util::SetMetricsEnabled(true);
+    entries.push_back(TimeMicro("batch_metrics_on", reps, run_batch));
+    util::SetMetricsEnabled(false);
+    entries.push_back(TimeMicro("batch_metrics_off", reps, run_batch));
+    util::SetMetricsEnabled(true);
+  }
+
+  // Full-simulation headline metrics: one dynamic G-G run over the reduced
+  // Table V workload, reported partly from RunStats and partly from the
+  // metrics registry (the game_rounds histogram the simulator's allocator
+  // populated). Values ride in ms_mean; entries with a meaningful p95 also
+  // fill ms_p95.
+  {
+    util::GlobalMetrics().Reset();
+    gen::SyntheticParams params;
+    params.num_workers = 400;
+    params.num_tasks = 400;
+    params.num_skills = 120;
+    params.dependency_size = {0, 8};
+    params.worker_skills = {1, 5};
+    params.wait_time = {10.0, 15.0};
+    auto instance = gen::GenerateSynthetic(params);
+    DASC_CHECK(instance.ok());
+    algo::GameOptions options;
+    options.threshold = 0.05;
+    options.greedy_init = true;
+    algo::GameAllocator gg(options);
+    const sim::RunStats stats =
+        sim::MeasureSimulation(*instance, sim::SimulatorOptions{}, gg);
+    const auto headline = [&](const std::string& name, double mean,
+                              double p95) {
+      MicroEntry entry;
+      entry.name = name;
+      entry.threads = util::Threads();
+      entry.ms_mean = mean;
+      entry.ms_p95 = p95;
+      entries.push_back(entry);
+    };
+    headline("sim_headline_batches", stats.batches, 0.0);
+    headline("sim_headline_batch_ms", stats.p50_batch_ms, stats.p95_batch_ms);
+    headline("sim_headline_score", stats.score, 0.0);
+    const util::HistogramSnapshot rounds =
+        util::GlobalMetrics().GetHistogram("game_rounds")->Snapshot();
+    const double rounds_mean =
+        rounds.count > 0 ? rounds.sum / static_cast<double>(rounds.count)
+                         : 0.0;
+    headline("sim_headline_game_rounds", rounds_mean,
+             util::HistogramQuantile(rounds, 0.95));
   }
   return entries;
 }

@@ -7,10 +7,14 @@
 #include <iostream>
 #include <sstream>
 
+#include <fstream>
+
 #include "algo/registry.h"
 #include "sim/metrics.h"
+#include "sim/run_report.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace dasc::bench {
@@ -30,6 +34,8 @@ BenchConfig ParseBenchArgs(int argc, char** argv, BenchConfig defaults) {
   parser.AddBool("csv", &config.csv, "emit CSV instead of aligned tables");
   parser.AddInt("threads", &threads,
                 "worker threads (0 = hardware concurrency, 1 = serial)");
+  parser.AddString("run-report", &config.run_report,
+                   "write a JSONL run report to this path");
   const util::Status status = parser.Parse(argc, argv);
   config.seed = static_cast<uint64_t>(seed);
   config.reps = static_cast<int>(reps);
@@ -192,6 +198,20 @@ void RunSimSweep(const std::string& title, const std::string& x_name,
     time_table.Print(std::cout);
   }
   std::printf("\n");
+
+  if (!config.run_report.empty()) {
+    std::ofstream out(config.run_report);
+    if (!out) {
+      std::fprintf(stderr, "cannot open --run-report=%s\n",
+                   config.run_report.c_str());
+      std::exit(2);
+    }
+    sim::RunReportHeader report_header;
+    report_header.kind = "bench_sweep";
+    report_header.instance = title;
+    sim::WriteRunReportJsonl(out, report_header, results,
+                             util::GlobalMetrics());
+  }
 }
 
 }  // namespace dasc::bench

@@ -22,6 +22,9 @@
 //                 order), but per-cell wall-clock in the time tables gets
 //                 noisier as concurrent cells contend for cores — use
 //                 --threads=1 for timing-fidelity runs.
+//   --run-report=PATH  write a dasc-run-report/1 JSONL file (one stats line
+//                 per simulation cell plus the metrics-registry dump; see
+//                 src/sim/run_report.h) after the sweep.
 #ifndef DASC_BENCH_COMMON_BENCH_UTIL_H_
 #define DASC_BENCH_COMMON_BENCH_UTIL_H_
 
@@ -48,6 +51,8 @@ struct BenchConfig {
   // See the --threads flag comment above. ParseBenchArgs installs the value
   // globally via util::SetThreads.
   int threads = 0;
+  // When non-empty, RunSimSweep appends a JSONL run report here.
+  std::string run_report;
 };
 
 // Parses the common flags over `defaults`; prints usage and exits on bad

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/tracing.h"
 
 namespace dasc::algo {
 
@@ -203,42 +205,61 @@ core::Assignment GameAllocator::Allocate(const core::BatchProblem& problem) {
 
   // --- Best-response rounds (Algorithm 3 lines 3-11). ---
   const double n_active = static_cast<double>(players.size());
-  while (true) {
-    int changed = 0;
-    for (int wi : players) {
-      const TaskId current = choice[static_cast<size_t>(wi)];
-      state.Remove(current);
-      TaskId best = current;
-      double best_utility =
-          state.Utility(current, options_.alpha, options_.utility_variant);
-      int best_contention = state.count(current) + 1;
-      for (TaskId s : candidates.worker_tasks[static_cast<size_t>(wi)]) {
-        if (s == current) continue;
-        const double u =
-            state.Utility(s, options_.alpha, options_.utility_variant);
-        const int contention = state.count(s) + 1;
-        // Strict utility improvement keeps the exact potential strictly
-        // increasing; on exact ties, moving to a strictly less-contended
-        // task strictly decreases Σ nw², so the lexicographic pair still
-        // guarantees termination. Less contention means fewer workers lost
-        // in the final one-winner-per-task rounding.
-        if (u > best_utility + 1e-12 ||
-            (u > best_utility - 1e-12 && contention < best_contention)) {
-          best_utility = u;
-          best = s;
-          best_contention = contention;
+  double potential_delta = 0.0;
+  {
+    DASC_TRACE_SPAN("best_response");
+    while (true) {
+      int changed = 0;
+      for (int wi : players) {
+        const TaskId current = choice[static_cast<size_t>(wi)];
+        state.Remove(current);
+        TaskId best = current;
+        double best_utility =
+            state.Utility(current, options_.alpha, options_.utility_variant);
+        const double current_utility = best_utility;
+        int best_contention = state.count(current) + 1;
+        for (TaskId s : candidates.worker_tasks[static_cast<size_t>(wi)]) {
+          if (s == current) continue;
+          const double u =
+              state.Utility(s, options_.alpha, options_.utility_variant);
+          const int contention = state.count(s) + 1;
+          // Strict utility improvement keeps the exact potential strictly
+          // increasing; on exact ties, moving to a strictly less-contended
+          // task strictly decreases Σ nw², so the lexicographic pair still
+          // guarantees termination. Less contention means fewer workers lost
+          // in the final one-winner-per-task rounding.
+          if (u > best_utility + 1e-12 ||
+              (u > best_utility - 1e-12 && contention < best_contention)) {
+            best_utility = u;
+            best = s;
+            best_contention = contention;
+          }
+        }
+        state.Add(best);
+        if (best != current) {
+          choice[static_cast<size_t>(wi)] = best;
+          ++changed;
+          // With marginal utilities Φ = Sum(M) is an exact potential, so
+          // summing per-move utility gains measures exactly how much best
+          // response improved on the initial profile this batch.
+          potential_delta += best_utility - current_utility;
         }
       }
-      state.Add(best);
-      if (best != current) {
-        choice[static_cast<size_t>(wi)] = best;
-        ++changed;
+      ++last_rounds_;
+      DASC_METRIC_COUNTER_ADD("game_moves_total", changed);
+      DASC_METRIC_HISTOGRAM_OBSERVE("game_moves_per_round",
+                                    static_cast<double>(changed));
+      if (static_cast<double>(changed) / n_active <= options_.threshold) break;
+      if (options_.max_rounds > 0 && last_rounds_ >= options_.max_rounds) {
+        break;
       }
     }
-    ++last_rounds_;
-    if (static_cast<double>(changed) / n_active <= options_.threshold) break;
-    if (options_.max_rounds > 0 && last_rounds_ >= options_.max_rounds) break;
   }
+  DASC_METRIC_COUNTER_INC("game_batches_total");
+  DASC_METRIC_HISTOGRAM_OBSERVE(
+      "game_rounds", static_cast<double>(last_rounds_),
+      (util::HistogramOptions{.start = 1.0, .growth = 2.0, .num_buckets = 10}));
+  DASC_METRIC_GAUGE_SET("game_potential_delta", potential_delta);
 
   // --- Rounding (Algorithm 3 line 12 + the paper's cleanup note): one
   // random contender wins each contested task, then assignments whose

@@ -9,6 +9,8 @@
 #include "matching/hopcroft_karp.h"
 #include "matching/hungarian.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/tracing.h"
 
 namespace dasc::algo {
 
@@ -284,10 +286,16 @@ GreedyAllocator::GreedyAllocator(GreedyOptions options) : options_(options) {}
 
 core::Assignment GreedyAllocator::Allocate(const core::BatchProblem& problem) {
   DASC_CHECK(problem.instance != nullptr);
+  // Force candidate construction before opening the span so candidate_build
+  // traces as a sibling of matching, not a child.
+  problem.Candidates();
+  DASC_TRACE_SPAN("matching");
   GreedyRun run(problem, options_);
   core::Assignment assignment = run.Run();
   last_iterations_ = run.iterations();
   last_match_attempts_ = run.match_attempts();
+  DASC_METRIC_COUNTER_ADD("greedy_iterations_total", last_iterations_);
+  DASC_METRIC_COUNTER_ADD("greedy_match_attempts_total", last_match_attempts_);
   return assignment;
 }
 

@@ -4,7 +4,9 @@
 
 #include "geo/grid_index.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/tracing.h"
 
 namespace dasc::core {
 
@@ -34,13 +36,20 @@ constexpr int64_t kWorkerGrain = 64;
 // A fixed task-count cutoff cannot capture that trade-off; the probe-count
 // comparison picks the grid exactly when workers are broadly skilled but
 // spatially confined, and costs O(n + m) per batch.
-bool UseGridPath(const BatchProblem& problem) {
+struct CandidatePathChoice {
+  bool use_grid = false;
+  double grid_probes = 0.0;   // estimate; 0 when the grid was ruled out early
+  double skill_probes = 0.0;  // exact probe count for the skill index
+};
+
+CandidatePathChoice ChooseCandidatePath(const BatchProblem& problem) {
+  CandidatePathChoice choice;
   if (problem.params.distance_kind != geo::DistanceKind::kEuclidean) {
-    return false;  // the grid prunes by Euclidean radius only
+    return choice;  // the grid prunes by Euclidean radius only
   }
   const Instance& instance = *problem.instance;
   const double m = static_cast<double>(problem.open_tasks.size());
-  if (problem.open_tasks.empty() || problem.workers.empty()) return false;
+  if (problem.open_tasks.empty() || problem.workers.empty()) return choice;
 
   std::vector<int32_t> count(static_cast<size_t>(instance.num_skills()), 0);
   double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
@@ -71,7 +80,10 @@ bool UseGridPath(const BatchProblem& problem) {
     const double r = state.remaining_distance;
     grid_probes += m * std::min(1.0, 3.141592653589793 * r * r / area);
   }
-  return grid_probes < skill_probes;
+  choice.grid_probes = grid_probes;
+  choice.skill_probes = skill_probes;
+  choice.use_grid = grid_probes < skill_probes;
+  return choice;
 }
 
 }  // namespace
@@ -103,11 +115,21 @@ const CandidateSets& BatchProblem::Candidates() const {
 CandidateSets BuildCandidates(const BatchProblem& problem) {
   DASC_CHECK(problem.instance != nullptr);
   const Instance& instance = *problem.instance;
+  DASC_TRACE_SPAN_N("candidate_build",
+                    static_cast<int64_t>(problem.workers.size()));
   CandidateSets sets;
   sets.worker_tasks.resize(problem.workers.size());
   sets.task_workers.resize(static_cast<size_t>(instance.num_tasks()));
 
-  const bool use_grid = UseGridPath(problem);
+  const CandidatePathChoice choice = ChooseCandidatePath(problem);
+  const bool use_grid = choice.use_grid;
+  if (use_grid) {
+    DASC_METRIC_COUNTER_INC("candidates_grid_builds_total");
+  } else {
+    DASC_METRIC_COUNTER_INC("candidates_skill_builds_total");
+  }
+  DASC_METRIC_GAUGE_SET("candidates_grid_probes_est", choice.grid_probes);
+  DASC_METRIC_GAUGE_SET("candidates_skill_probes_est", choice.skill_probes);
 
   // Each branch fills worker_tasks[i] for its own disjoint worker range
   // only; the shared index structures are read-only, so every thread count
@@ -123,10 +145,12 @@ CandidateSets BuildCandidates(const BatchProblem& problem) {
         0, static_cast<int64_t>(problem.workers.size()), kWorkerGrain,
         [&](int64_t lo, int64_t hi) {
           std::vector<int32_t> hits;
+          int64_t probes = 0;  // accumulated locally, one counter add per chunk
           for (int64_t i = lo; i < hi; ++i) {
             const WorkerState& state = problem.workers[static_cast<size_t>(i)];
             hits.clear();
             index.QueryRadius(state.location, state.remaining_distance, &hits);
+            probes += static_cast<int64_t>(hits.size());
             auto& out = sets.worker_tasks[static_cast<size_t>(i)];
             for (int32_t local : hits) {
               const TaskId t = problem.open_tasks[static_cast<size_t>(local)];
@@ -136,6 +160,7 @@ CandidateSets BuildCandidates(const BatchProblem& problem) {
             }
             std::sort(out.begin(), out.end());
           }
+          DASC_METRIC_COUNTER_ADD("candidates_probes_total", probes);
         });
   } else {
     // Skill inverted index: a worker only ever serves tasks requiring one of
@@ -155,11 +180,14 @@ CandidateSets BuildCandidates(const BatchProblem& problem) {
     util::ParallelFor(
         0, static_cast<int64_t>(problem.workers.size()), kWorkerGrain,
         [&](int64_t lo, int64_t hi) {
+          int64_t probes = 0;  // accumulated locally, one counter add per chunk
           for (int64_t i = lo; i < hi; ++i) {
             const WorkerState& state = problem.workers[static_cast<size_t>(i)];
             auto& out = sets.worker_tasks[static_cast<size_t>(i)];
             const Worker& w = instance.worker(state.id);
             for (SkillId s : w.skills) {
+              probes +=
+                  static_cast<int64_t>(skill_tasks[static_cast<size_t>(s)].size());
               for (TaskId t : skill_tasks[static_cast<size_t>(s)]) {
                 if (CanServe(instance, state, t, problem.now,
                              problem.params)) {
@@ -174,6 +202,7 @@ CandidateSets BuildCandidates(const BatchProblem& problem) {
               });
             }
           }
+          DASC_METRIC_COUNTER_ADD("candidates_probes_total", probes);
         });
   }
 
@@ -186,6 +215,7 @@ CandidateSets BuildCandidates(const BatchProblem& problem) {
       ++sets.num_pairs;
     }
   }
+  DASC_METRIC_COUNTER_ADD("candidates_pairs_total", sets.num_pairs);
   return sets;
 }
 

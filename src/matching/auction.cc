@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace dasc::matching {
 
@@ -129,6 +130,8 @@ HungarianResult AuctionAssignment(const std::vector<std::vector<double>>& cost,
     eps = std::max(options.epsilon, eps / options.scaling_factor);
   }
 
+  DASC_METRIC_COUNTER_ADD("matching_auction_bids_total", bids);
+  DASC_METRIC_COUNTER_INC("matching_auction_solves_total");
   result.feasible = true;
   result.row_to_col = row_to_col;
   double total = 0.0;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace dasc::matching {
 
@@ -82,12 +83,17 @@ int HopcroftKarp::MaxMatching() {
     return size;
   }
   int size = 0;
+  int64_t phases = 0;
   while (Bfs()) {
+    ++phases;
     for (int u = 0; u < num_left_; ++u) {
       if (match_left_[static_cast<size_t>(u)] == -1 && Dfs(u)) ++size;
     }
   }
   solved_ = true;
+  DASC_METRIC_COUNTER_ADD("matching_hk_phases_total", phases);
+  DASC_METRIC_COUNTER_ADD("matching_hk_augmenting_paths_total", size);
+  DASC_METRIC_COUNTER_INC("matching_hk_solves_total");
   return size;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace dasc::matching {
 
@@ -29,12 +30,14 @@ HungarianResult SolveAssignment(const std::vector<std::vector<double>>& cost) {
   std::vector<int> match(static_cast<size_t>(cols) + 1, 0);  // col -> row
   std::vector<int> way(static_cast<size_t>(cols) + 1, 0);
 
+  int64_t augment_steps = 0;
   for (int i = 1; i <= rows; ++i) {
     match[0] = i;
     int j0 = 0;
     std::vector<double> minv(static_cast<size_t>(cols) + 1, kInf);
     std::vector<char> used(static_cast<size_t>(cols) + 1, 0);
     do {
+      ++augment_steps;
       used[static_cast<size_t>(j0)] = 1;
       const int i0 = match[static_cast<size_t>(j0)];
       double delta = kInf;
@@ -58,6 +61,9 @@ HungarianResult SolveAssignment(const std::vector<std::vector<double>>& cost) {
         // No augmenting path through feasible edges: row i cannot be matched.
         result.feasible = false;
         result.row_to_col.assign(static_cast<size_t>(rows), -1);
+        DASC_METRIC_COUNTER_ADD("matching_hungarian_augment_steps_total",
+                                augment_steps);
+        DASC_METRIC_COUNTER_INC("matching_hungarian_solves_total");
         return result;
       }
       for (int j = 0; j <= cols; ++j) {
@@ -78,6 +84,9 @@ HungarianResult SolveAssignment(const std::vector<std::vector<double>>& cost) {
     } while (j0 != 0);
   }
 
+  DASC_METRIC_COUNTER_ADD("matching_hungarian_augment_steps_total",
+                          augment_steps);
+  DASC_METRIC_COUNTER_INC("matching_hungarian_solves_total");
   result.feasible = true;
   result.row_to_col.assign(static_cast<size_t>(rows), -1);
   for (int j = 1; j <= cols; ++j) {

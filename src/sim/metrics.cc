@@ -15,7 +15,11 @@ RunStats MeasureSimulation(const core::Instance& instance,
   stats.score = result.score;
   stats.millis = result.allocator_seconds * 1e3;
   stats.batches = result.batches;
+  stats.nonempty_batches = result.nonempty_batches;
+  stats.completed_tasks = result.completed_tasks;
+  stats.wasted_dispatches = result.wasted_dispatches;
   stats.mean_assignment_latency = result.mean_assignment_latency;
+  stats.last_completion_time = result.last_completion_time;
   if (!result.per_batch_allocator_ms.empty()) {
     util::Percentiles percentiles;
     util::RunningStats batch_ms;

@@ -16,12 +16,17 @@ struct RunStats {
   int score = 0;
   double millis = 0.0;  // time spent inside the allocator across all batches
   int batches = 0;
+  int nonempty_batches = 0;
+  int completed_tasks = 0;
+  // Dependency-violating dispatches (kWait mode): worker-batches wasted.
+  int wasted_dispatches = 0;
   // Distribution of per-batch allocator wall times (ops view): a platform
   // cares about tail latency, not just the total.
   double p50_batch_ms = 0.0;
   double p95_batch_ms = 0.0;
   double max_batch_ms = 0.0;
   double mean_assignment_latency = 0.0;
+  double last_completion_time = 0.0;
 };
 
 // Runs `allocator` through a full simulation of `instance`.

@@ -1,0 +1,44 @@
+// Structured JSONL run reports.
+//
+// A run report is a machine-readable record of one experiment invocation:
+// one header line identifying the run, one "stats" line per RunStats, then
+// the metrics-registry dump (counters, gauges, histograms) captured at the
+// end of the run. Each line is a self-contained JSON object, so reports can
+// be streamed, concatenated, and grepped. tools/check_run_report.py
+// validates the schema.
+#ifndef DASC_SIM_RUN_REPORT_H_
+#define DASC_SIM_RUN_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "util/metrics.h"
+
+namespace dasc::sim {
+
+// Schema tag written in the header line; bump on incompatible changes.
+inline constexpr const char* kRunReportSchema = "dasc-run-report/1";
+
+// Identity of the run being reported.
+struct RunReportHeader {
+  std::string kind;      // e.g. "simulate", "bench_sweep"
+  std::string instance;  // workload path or generator description
+};
+
+// Writes the full report:
+//   {"type":"run","schema":"dasc-run-report/1","kind":...,"instance":...,
+//    "runs":N}
+//   {"type":"stats","algorithm":...,"score":...,...}        (one per entry)
+//   {"type":"counter"|"gauge"|"histogram",...}              (registry dump)
+void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
+                         const std::vector<RunStats>& stats,
+                         const util::MetricsRegistry& registry);
+
+// One "stats" line; exposed for tests and incremental writers.
+void WriteRunStatsJsonl(std::ostream& out, const RunStats& stats);
+
+}  // namespace dasc::sim
+
+#endif  // DASC_SIM_RUN_REPORT_H_

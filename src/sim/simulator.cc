@@ -6,7 +6,9 @@
 #include <queue>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/tracing.h"
 
 namespace dasc::sim {
 
@@ -104,7 +106,10 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
   };
 
   while (true) {
+    const int batch_seq = result.batches;
     ++result.batches;
+    DASC_METRIC_COUNTER_INC("sim_batches_total");
+    DASC_TRACE_SPAN_N("batch", batch_seq);
     int batch_score = 0;
 
     // Dependency credit available at this batch.
@@ -145,18 +150,21 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
           result.last_completion_time =
               std::max(result.last_completion_time, done);
           if (event_driven) agenda.push(done);
+          DASC_METRIC_COUNTER_INC("sim_camps_resolved_total");
+          DASC_METRIC_COUNTER_INC("sim_completions_total");
           if (options_.trace != nullptr) {
             options_.trace->Record({now, TraceEventKind::kCampResolved,
-                                    pd.worker, pd.task, done});
+                                    pd.worker, pd.task, done, batch_seq});
           }
         } else if (now > task.Expiry()) {
           // The task expired under the camped worker; both are wasted.
           task_locked[static_cast<size_t>(pd.task)] = 0;
           rt.camped = false;
           rt.busy_until = now;
+          DASC_METRIC_COUNTER_INC("sim_camps_expired_total");
           if (options_.trace != nullptr) {
             options_.trace->Record({now, TraceEventKind::kCampExpired,
-                                    pd.worker, pd.task, 0.0});
+                                    pd.worker, pd.task, 0.0, batch_seq});
           }
         } else {
           still_pending.push_back(pd);
@@ -197,27 +205,41 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
       problem.open_tasks.push_back(t);
     }
 
+    // Queue depths an ops dashboard would alert on: how many idle workers
+    // and open tasks this batch saw.
+    DASC_METRIC_GAUGE_SET("sim_queue_depth_workers",
+                          static_cast<double>(problem.workers.size()));
+    DASC_METRIC_GAUGE_SET("sim_queue_depth_tasks",
+                          static_cast<double>(problem.open_tasks.size()));
     if (options_.trace != nullptr) {
       options_.trace->Record(
           {now, TraceEventKind::kBatch,
            static_cast<core::WorkerId>(problem.workers.size()),
-           static_cast<core::TaskId>(problem.open_tasks.size()), 0.0});
+           static_cast<core::TaskId>(problem.open_tasks.size()), 0.0,
+           batch_seq});
     }
     if (problem.workers.empty() || problem.open_tasks.empty()) {
       if (batch_score > 0) {
         result.per_batch_scores.push_back(batch_score);
         result.score += batch_score;
+        DASC_METRIC_COUNTER_ADD("sim_score_total", batch_score);
       }
       if (!advance()) break;
       continue;
     }
     ++result.nonempty_batches;
+    DASC_METRIC_COUNTER_INC("sim_nonempty_batches_total");
 
     util::WallTimer timer;
-    const core::Assignment raw = allocator.Allocate(problem);
+    const core::Assignment raw = [&] {
+      DASC_TRACE_SPAN("allocate");
+      return allocator.Allocate(problem);
+    }();
     const double batch_seconds = timer.ElapsedSeconds();
     result.allocator_seconds += batch_seconds;
     result.per_batch_allocator_ms.push_back(batch_seconds * 1e3);
+    DASC_METRIC_HISTOGRAM_OBSERVE("sim_batch_allocator_ms",
+                                  batch_seconds * 1e3);
 
     const core::SplitAssignment split = core::SplitPairs(problem, raw);
     const core::Assignment& valid = split.valid;
@@ -229,6 +251,9 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
     batch_score += valid.size();
     result.per_batch_scores.push_back(batch_score);
     result.score += batch_score;
+    DASC_METRIC_COUNTER_ADD("sim_score_total", batch_score);
+    DASC_METRIC_COUNTER_ADD("sim_dispatches_total",
+                            static_cast<int64_t>(valid.size()));
 
     for (const auto& [wid, tid] : valid.pairs()) {
       WorkerRuntime& rt = runtime[static_cast<size_t>(wid)];
@@ -248,11 +273,12 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
       result.last_completion_time =
           std::max(result.last_completion_time, done);
       if (event_driven) agenda.push(done);
+      DASC_METRIC_COUNTER_INC("sim_completions_total");
       if (options_.trace != nullptr) {
         options_.trace->Record(
-            {now, TraceEventKind::kDispatch, wid, tid, dist});
+            {now, TraceEventKind::kDispatch, wid, tid, dist, batch_seq});
         options_.trace->Record(
-            {done, TraceEventKind::kCompletion, wid, tid, done});
+            {done, TraceEventKind::kCompletion, wid, tid, done, batch_seq});
       }
     }
 
@@ -273,12 +299,14 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
         task_locked[static_cast<size_t>(tid)] = 1;
         pending.push_back({wid, tid, now + dist / w.velocity});
         ++result.wasted_dispatches;
+        DASC_METRIC_COUNTER_INC("sim_camp_dispatches_total");
         if (event_driven) {
           agenda.push(now + dist / w.velocity);  // camper reaches the site
           agenda.push(task.Expiry() + 1e-9);     // ... or the task dies
         }
         if (options_.trace != nullptr) {
-          options_.trace->Record({now, TraceEventKind::kCamp, wid, tid, dist});
+          options_.trace->Record(
+              {now, TraceEventKind::kCamp, wid, tid, dist, batch_seq});
         }
       }
     }

@@ -41,4 +41,13 @@ void Trace::WriteCsv(std::ostream& out) const {
   }
 }
 
+void Trace::WriteJsonl(std::ostream& out) const {
+  for (const TraceEvent& e : events_) {
+    out << "{\"time\":" << e.time << ",\"kind\":\"" << TraceEventKindName(e.kind)
+        << "\",\"worker\":" << e.worker << ",\"task\":" << e.task
+        << ",\"detail\":" << e.detail << ",\"batch_seq\":" << e.batch_seq
+        << "}\n";
+  }
+}
+
 }  // namespace dasc::sim

@@ -2,7 +2,7 @@
 //
 // The simulator can record a structured event stream (dispatches, arrivals,
 // completions, camping, expiries) for debugging, visualization, and the
-// per-batch analyses in EXPERIMENTS.md. Traces export to CSV.
+// per-batch analyses in EXPERIMENTS.md. Traces export to CSV and JSONL.
 #ifndef DASC_SIM_TRACE_H_
 #define DASC_SIM_TRACE_H_
 
@@ -32,6 +32,10 @@ struct TraceEvent {
   core::WorkerId worker = core::kInvalidId;
   core::TaskId task = core::kInvalidId;
   double detail = 0.0;
+  // Index of the batch that produced the event (0-based). Events are not
+  // segmentable by scanning for kBatch markers alone: kCompletion events
+  // carry their *future* completion time, so they sort out of batch order.
+  int batch_seq = 0;
 };
 
 // Append-only event sink. Pass to Simulator via SimulatorOptions::trace.
@@ -46,8 +50,15 @@ class Trace {
   // Number of events of one kind.
   int Count(TraceEventKind kind) const;
 
-  // CSV: time,kind,worker,task,detail.
+  // CSV: time,kind,worker,task,detail. (batch_seq is intentionally omitted
+  // to keep the historical column set byte-identical; use WriteJsonl for
+  // per-batch analyses.)
   void WriteCsv(std::ostream& out) const;
+
+  // One JSON object per event per line:
+  //   {"time":...,"kind":"dispatch","worker":2,"task":3,"detail":4.5,
+  //    "batch_seq":0}
+  void WriteJsonl(std::ostream& out) const;
 
  private:
   std::vector<TraceEvent> events_;

@@ -1,0 +1,189 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace dasc::util {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+// Shortest-ish decimal that round-trips typical metric values ("1.5", not
+// "1.5000000000000000"); %.12g keeps 12 significant digits.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+double HistogramQuantile(const HistogramSnapshot& snapshot, double q) {
+  if (snapshot.count == 0) return 0.0;
+  const double target = q * static_cast<double>(snapshot.count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < snapshot.counts.size(); ++i) {
+    cumulative += snapshot.counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      // Overflow bucket: the best finite statement is the largest bound.
+      return snapshot.bounds[std::min(i, snapshot.bounds.size() - 1)];
+    }
+  }
+  return snapshot.bounds.back();
+}
+
+Histogram::Histogram(const HistogramOptions& options)
+    : counts_(static_cast<size_t>(options.num_buckets) + 1) {
+  DASC_CHECK_GT(options.num_buckets, 0);
+  DASC_CHECK_GT(options.start, 0.0);
+  DASC_CHECK_GT(options.growth, 1.0);
+  bounds_.reserve(static_cast<size_t>(options.num_buckets));
+  double bound = options.start;
+  for (int i = 0; i < options.num_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.growth;
+  }
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  // First bound with value <= bound; everything above the last finite bound
+  // lands in the overflow bucket (== bounds_.size()).
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<size_t>(it - bounds_.begin());
+}
+
+int64_t Histogram::count() const {
+  int64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    const int64_t n = c.load(std::memory_order_relaxed);
+    snapshot.counts.push_back(n);
+    snapshot.count += n;
+  }
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(options);
+  return slot.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h = histogram->Snapshot();
+    h.name = name;
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::WritePrometheus(std::ostream& out) const {
+  const MetricsSnapshot snapshot = Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "# TYPE " << name << " counter\n" << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "# TYPE " << name << " gauge\n"
+        << name << " " << FormatDouble(value) << "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    out << "# TYPE " << h.name << " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out << h.name << "_bucket{le=\"" << FormatDouble(h.bounds[i]) << "\"} "
+          << cumulative << "\n";
+    }
+    cumulative += h.counts.back();
+    out << h.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    out << h.name << "_sum " << FormatDouble(h.sum) << "\n";
+    out << h.name << "_count " << h.count << "\n";
+  }
+}
+
+void MetricsRegistry::WriteJsonl(std::ostream& out) const {
+  const MetricsSnapshot snapshot = Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "{\"type\":\"counter\",\"name\":\"" << name << "\",\"value\":"
+        << value << "}\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "{\"type\":\"gauge\",\"name\":\"" << name << "\",\"value\":"
+        << FormatDouble(value) << "}\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    out << "{\"type\":\"histogram\",\"name\":\"" << h.name << "\",\"count\":"
+        << h.count << ",\"sum\":" << FormatDouble(h.sum) << ",\"buckets\":[";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      out << "{\"le\":" << FormatDouble(h.bounds[i]) << ",\"count\":"
+          << h.counts[i] << "},";
+    }
+    out << "{\"le\":\"+Inf\",\"count\":" << h.counts.back() << "}]}\n";
+  }
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace dasc::util

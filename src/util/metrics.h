@@ -1,0 +1,214 @@
+// Metrics substrate: a thread-safe registry of Counters, Gauges, and
+// exponentially-bucketed Histograms, with Prometheus text exposition and
+// JSONL export.
+//
+// Design goals (see DESIGN.md §9):
+//   * Lock-free hot path. Registration (name -> metric) takes a mutex once;
+//     the returned pointer is stable for the registry's lifetime, so
+//     instrumentation sites cache it in a function-local static and every
+//     subsequent increment is a single relaxed atomic RMW. Safe under
+//     util::ThreadPool / ParallelFor (covered by metrics_test_tsan).
+//   * Snapshot-on-read. Exporters copy all values under the registration
+//     mutex into plain structs; readers never block writers (writers use
+//     relaxed atomics and never take the mutex after registration).
+//   * Compile-out-able. Building with -DDASC_METRICS=OFF (CMake) defines
+//     DASC_METRICS_ENABLED=0 and turns the DASC_METRIC_* macros into no-ops
+//     with unevaluated arguments. The classes below remain available either
+//     way (tests and explicit callers use them directly).
+//   * Runtime kill switch. util::SetMetricsEnabled(false) makes the macros
+//     skip their increment after one relaxed load — used by the
+//     instrumented-vs-uninstrumented overhead phase of
+//     bench_micro_substrates.
+#ifndef DASC_UTIL_METRICS_H_
+#define DASC_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dasc::util {
+
+// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins floating-point metric (queue depths, last batch values).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed exponential bucketing: finite upper bounds start, start*growth,
+// start*growth^2, ... (num_buckets of them) plus an implicit +Inf overflow
+// bucket. A sample v lands in the first bucket with v <= bound (Prometheus
+// `le` semantics).
+struct HistogramOptions {
+  double start = 1e-3;
+  double growth = 2.0;
+  int num_buckets = 28;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;   // finite upper bounds, ascending
+  std::vector<int64_t> counts;  // per-bucket (NOT cumulative); size
+                                // bounds.size() + 1, last entry = overflow
+  int64_t count = 0;            // total samples
+  double sum = 0.0;             // sum of samples
+};
+
+// Upper-bound estimate of quantile q in [0, 1] from bucketed counts: the
+// upper bound of the first bucket whose cumulative count reaches q*count
+// (max observed magnitude is unknown inside the overflow bucket, where the
+// largest finite bound is returned). 0 when empty.
+double HistogramQuantile(const HistogramSnapshot& snapshot, double q);
+
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& options = {});
+
+  void Observe(double value) {
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    counts_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t count() const;
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  size_t BucketIndex(double value) const;
+
+  std::vector<double> bounds_;
+  // bounds_.size() + 1 entries; the last is the +Inf overflow bucket.
+  std::vector<std::atomic<int64_t>> counts_;
+  std::atomic<double> sum_{0.0};
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;  // sorted by name
+  std::vector<std::pair<std::string, double>> gauges;     // sorted by name
+  std::vector<HistogramSnapshot> histograms;              // sorted by name
+};
+
+// Thread-safe name -> metric registry. Get* registers on first use and
+// returns a pointer that stays valid (and keeps its identity across Reset)
+// for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // Options apply on first registration only; later calls return the
+  // existing histogram unchanged.
+  Histogram* GetHistogram(const std::string& name,
+                          const HistogramOptions& options = {});
+
+  // Zeroes every value; registered metrics and their addresses survive.
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+
+  // Prometheus text exposition format (one # TYPE line per metric;
+  // histograms expose cumulative `le` buckets, _sum and _count).
+  void WritePrometheus(std::ostream& out) const;
+
+  // One JSON object per line:
+  //   {"type":"counter","name":...,"value":...}
+  //   {"type":"gauge","name":...,"value":...}
+  //   {"type":"histogram","name":...,"count":...,"sum":...,
+  //    "buckets":[{"le":...,"count":...},...,{"le":"+Inf","count":...}]}
+  // Bucket counts are per-bucket, not cumulative.
+  void WriteJsonl(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The process-wide registry used by the DASC_METRIC_* macros.
+MetricsRegistry& GlobalMetrics();
+
+// Runtime kill switch for the macros below (default: enabled). Disabling
+// reduces an instrumentation site to one relaxed load + branch.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+}  // namespace dasc::util
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. Each site resolves its metric once (thread-safe
+// function-local static), then pays one relaxed atomic op per hit.
+
+#ifndef DASC_METRICS_ENABLED
+#define DASC_METRICS_ENABLED 1
+#endif
+
+#if DASC_METRICS_ENABLED
+
+#define DASC_METRIC_COUNTER_ADD(name, delta)                      \
+  do {                                                            \
+    if (::dasc::util::MetricsEnabled()) {                         \
+      static ::dasc::util::Counter* const dasc_metric_counter_ =  \
+          ::dasc::util::GlobalMetrics().GetCounter(name);         \
+      dasc_metric_counter_->Increment(delta);                     \
+    }                                                             \
+  } while (0)
+
+#define DASC_METRIC_GAUGE_SET(name, value)                    \
+  do {                                                        \
+    if (::dasc::util::MetricsEnabled()) {                     \
+      static ::dasc::util::Gauge* const dasc_metric_gauge_ =  \
+          ::dasc::util::GlobalMetrics().GetGauge(name);       \
+      dasc_metric_gauge_->Set(value);                         \
+    }                                                         \
+  } while (0)
+
+// `...` = optional HistogramOptions for the first registration.
+#define DASC_METRIC_HISTOGRAM_OBSERVE(name, value, ...)                  \
+  do {                                                                   \
+    if (::dasc::util::MetricsEnabled()) {                                \
+      static ::dasc::util::Histogram* const dasc_metric_histogram_ =     \
+          ::dasc::util::GlobalMetrics().GetHistogram(name __VA_OPT__(, ) \
+                                                         __VA_ARGS__);   \
+      dasc_metric_histogram_->Observe(value);                            \
+    }                                                                    \
+  } while (0)
+
+#else  // !DASC_METRICS_ENABLED
+
+// Arguments stay unevaluated (sizeof) so flagged-off builds neither pay for
+// them nor warn about otherwise-unused variables.
+#define DASC_METRIC_COUNTER_ADD(name, delta) \
+  ((void)sizeof(name), (void)sizeof(delta))
+#define DASC_METRIC_GAUGE_SET(name, value) \
+  ((void)sizeof(name), (void)sizeof(value))
+#define DASC_METRIC_HISTOGRAM_OBSERVE(name, value, ...) \
+  ((void)sizeof(name), (void)sizeof(value))
+
+#endif  // DASC_METRICS_ENABLED
+
+#define DASC_METRIC_COUNTER_INC(name) DASC_METRIC_COUNTER_ADD(name, 1)
+
+#endif  // DASC_UTIL_METRICS_H_

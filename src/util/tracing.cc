@@ -1,0 +1,128 @@
+#include "util/tracing.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dasc::util {
+
+namespace {
+
+struct SpanEvent {
+  const char* name = nullptr;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  int64_t arg = 0;
+  bool has_arg = false;
+};
+
+// One recording thread's buffer. Owned jointly by the thread (thread_local
+// shared_ptr) and the global list, so spans recorded by pool threads remain
+// exportable even after those threads exit.
+struct ThreadBuffer {
+  int tid = 0;
+  std::vector<SpanEvent> events;
+};
+
+std::atomic<bool> g_active{false};
+
+std::mutex& BuffersMutex() {
+  static std::mutex* const mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<std::shared_ptr<ThreadBuffer>>& Buffers() {
+  static auto* const buffers = new std::vector<std::shared_ptr<ThreadBuffer>>();
+  return *buffers;
+}
+
+// Trace epoch: reset by StartTracing so timestamps start near zero.
+std::chrono::steady_clock::time_point& Epoch() {
+  static auto* const epoch =
+      new std::chrono::steady_clock::time_point(std::chrono::steady_clock::now());
+  return *epoch;
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - Epoch())
+      .count();
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(BuffersMutex());
+    b->tid = static_cast<int>(Buffers().size());
+    Buffers().push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+bool TracingActive() { return g_active.load(std::memory_order_relaxed); }
+
+void StartTracing() {
+  ClearTraceEvents();
+  Epoch() = std::chrono::steady_clock::now();
+  g_active.store(true, std::memory_order_release);
+}
+
+void StopTracing() { g_active.store(false, std::memory_order_release); }
+
+void ClearTraceEvents() {
+  std::lock_guard<std::mutex> lock(BuffersMutex());
+  for (auto& buffer : Buffers()) buffer->events.clear();
+}
+
+size_t TraceEventCount() {
+  std::lock_guard<std::mutex> lock(BuffersMutex());
+  size_t total = 0;
+  for (const auto& buffer : Buffers()) total += buffer->events.size();
+  return total;
+}
+
+void WriteChromeTrace(std::ostream& out) {
+  std::lock_guard<std::mutex> lock(BuffersMutex());
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : Buffers()) {
+    for (const SpanEvent& e : buffer->events) {
+      if (!first) out << ",";
+      first = false;
+      char line[256];
+      // trace_event ts/dur are fractional microseconds.
+      std::snprintf(line, sizeof(line),
+                    "\n{\"name\":\"%s\",\"cat\":\"dasc\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d",
+                    e.name, static_cast<double>(e.start_ns) / 1e3,
+                    static_cast<double>(e.dur_ns) / 1e3, buffer->tid);
+      out << line;
+      if (e.has_arg) {
+        out << ",\"args\":{\"n\":" << e.arg << "}";
+      }
+      out << "}";
+    }
+  }
+  out << "\n]}\n";
+}
+
+void ScopedSpan::Begin(const char* name, int64_t arg, bool has_arg) {
+  name_ = name;
+  arg_ = arg;
+  has_arg_ = has_arg;
+  start_ns_ = NowNs();
+}
+
+void ScopedSpan::End() {
+  const int64_t end_ns = NowNs();
+  LocalBuffer().events.push_back(
+      {name_, start_ns_, end_ns - start_ns_, arg_, has_arg_});
+}
+
+}  // namespace dasc::util

@@ -1,0 +1,103 @@
+// Span tracing: RAII scopes recorded into per-thread buffers and exported as
+// Chrome/Perfetto trace_event JSON ("X" complete events), so a full
+// simulation renders as a flame chart of batches -> candidate build ->
+// matching -> best-response rounds in ui.perfetto.dev.
+//
+//   util::StartTracing();
+//   { DASC_TRACE_SPAN("batch"); ... nested spans ... }
+//   util::StopTracing();
+//   std::ofstream out("run.trace.json");
+//   util::WriteChromeTrace(out);
+//
+// Cost model: when tracing is inactive a span is one relaxed atomic load and
+// a branch; when active, two steady_clock reads and one vector push_back
+// into the recording thread's own buffer (no locks, no allocation beyond
+// amortized vector growth). Span names must be string literals (the buffer
+// stores the pointer, not a copy).
+//
+// Threading: buffers are strictly thread-local while recording; the global
+// buffer list is only walked by StartTracing/ClearTraceEvents/export.
+// Export or Clear must not run concurrently with active spans — call them
+// after StopTracing and after parallel regions have joined (ParallelFor's
+// completion provides the needed happens-before with pool threads).
+//
+// Compile-out: with -DDASC_METRICS=OFF (the observability CMake switch)
+// DASC_TRACE_SPAN compiles to nothing; the functions below remain linkable
+// no-ops for explicit callers.
+#ifndef DASC_UTIL_TRACING_H_
+#define DASC_UTIL_TRACING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+namespace dasc::util {
+
+// Clears previously recorded events and starts recording.
+void StartTracing();
+// Stops recording; already-buffered events are kept for export.
+void StopTracing();
+bool TracingActive();
+
+// Drops every buffered event (implicit in StartTracing).
+void ClearTraceEvents();
+
+// Number of buffered complete spans across all threads.
+size_t TraceEventCount();
+
+// Chrome trace_event JSON: {"traceEvents":[{"name":...,"ph":"X","ts":...,
+// "dur":...,"pid":...,"tid":...},...]}. Timestamps are microseconds from
+// StartTracing. Loadable by ui.perfetto.dev and chrome://tracing.
+void WriteChromeTrace(std::ostream& out);
+
+// RAII span. Use via DASC_TRACE_SPAN; `name` must outlive the trace buffer
+// (string literal). The optional arg is exported as args:{"n":value}.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (TracingActive()) Begin(name, 0, false);
+  }
+  ScopedSpan(const char* name, int64_t arg) {
+    if (TracingActive()) Begin(name, arg, true);
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) End();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Begin(const char* name, int64_t arg, bool has_arg);
+  void End();
+
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  int64_t arg_ = 0;
+  bool has_arg_ = false;
+};
+
+}  // namespace dasc::util
+
+#ifndef DASC_METRICS_ENABLED
+#define DASC_METRICS_ENABLED 1
+#endif
+
+#define DASC_TRACE_CONCAT_INNER_(a, b) a##b
+#define DASC_TRACE_CONCAT_(a, b) DASC_TRACE_CONCAT_INNER_(a, b)
+
+#if DASC_METRICS_ENABLED
+// A named scope in the flame chart; lives until the end of the enclosing
+// block. DASC_TRACE_SPAN_N attaches an integer arg (shown in Perfetto).
+#define DASC_TRACE_SPAN(name) \
+  ::dasc::util::ScopedSpan DASC_TRACE_CONCAT_(dasc_trace_span_, __LINE__)(name)
+#define DASC_TRACE_SPAN_N(name, n)                                   \
+  ::dasc::util::ScopedSpan DASC_TRACE_CONCAT_(dasc_trace_span_,      \
+                                              __LINE__)(name,        \
+                                                        static_cast< \
+                                                            int64_t>(n))
+#else
+#define DASC_TRACE_SPAN(name) ((void)sizeof(name))
+#define DASC_TRACE_SPAN_N(name, n) ((void)sizeof(name), (void)sizeof(n))
+#endif
+
+#endif  // DASC_UTIL_TRACING_H_

@@ -1,6 +1,7 @@
 // Tests for the batch platform simulator and metrics helpers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 
@@ -11,6 +12,7 @@
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "test_util.h"
+#include "util/metrics.h"
 
 namespace dasc::sim {
 namespace {
@@ -384,6 +386,44 @@ TEST(TraceTest, CsvRoundContainsHeaderAndRows) {
   EXPECT_EQ(trace.size(), 0u);
 }
 
+TEST(TraceTest, WriteJsonlIncludesBatchSeq) {
+  Trace trace;
+  trace.Record({1.0, TraceEventKind::kDispatch, 2, 3, 4.5, 7});
+  std::ostringstream out;
+  trace.WriteJsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"time\":1,\"kind\":\"dispatch\",\"worker\":2,\"task\":3,"
+            "\"detail\":4.5,\"batch_seq\":7}\n");
+  // The CSV column set stays byte-identical to the pre-batch_seq format.
+  std::ostringstream csv;
+  trace.WriteCsv(csv);
+  EXPECT_EQ(csv.str(), "time,kind,worker,task,detail\n1,dispatch,2,3,4.5\n");
+}
+
+TEST(TraceTest, EventsCarryBatchSeq) {
+  const core::Instance instance = TwoPhaseInstance();
+  SimulatorOptions options;
+  options.batch_interval = 1.0;
+  Trace trace;
+  options.trace = &trace;
+  Simulator simulator(instance, options);
+  algo::GreedyAllocator greedy;
+  const SimulationResult result = simulator.Run(greedy);
+  ASSERT_GT(trace.size(), 0u);
+  int max_seq = 0;
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_GE(e.batch_seq, 0);
+    EXPECT_LT(e.batch_seq, result.batches);
+    max_seq = std::max(max_seq, e.batch_seq);
+    if (e.kind == TraceEventKind::kBatch) {
+      // Batch markers appear in batch order at monotone times.
+      EXPECT_GE(e.batch_seq, 0);
+    }
+  }
+  // The dependent task's dispatch happens in a later batch than the first.
+  EXPECT_GT(max_seq, 0);
+}
+
 // ----------------------------------------------------------------- Metrics ---
 
 TEST(MetricsTest, MeasureSimulationPopulatesStats) {
@@ -406,6 +446,62 @@ TEST(MetricsTest, MeasureSingleBatchMatchesOfflineScore) {
   EXPECT_EQ(stats.score, 3);
   EXPECT_EQ(stats.batches, 1);
 }
+
+TEST(MetricsTest, MeasureSimulationPopulatesPlatformFields) {
+  const core::Instance instance = TwoPhaseInstance();
+  SimulatorOptions options;
+  options.batch_interval = 1.0;
+  algo::GreedyAllocator greedy;
+  const RunStats stats = MeasureSimulation(instance, options, greedy);
+  EXPECT_EQ(stats.completed_tasks, 2);
+  EXPECT_GE(stats.nonempty_batches, 2);
+  EXPECT_LE(stats.nonempty_batches, stats.batches);
+  EXPECT_EQ(stats.wasted_dispatches, 0);
+  EXPECT_GT(stats.last_completion_time, 0.0);
+}
+
+#if DASC_METRICS_ENABLED
+
+// The registry's simulator counters must agree exactly with the
+// SimulationResult the same run returned.
+TEST(MetricsTest, SimulatorCountersMatchResult) {
+  util::GlobalMetrics().Reset();
+  util::SetMetricsEnabled(true);
+  const core::Instance instance = TwoPhaseInstance();
+  SimulatorOptions options;
+  options.batch_interval = 1.0;
+  Simulator simulator(instance, options);
+  algo::GreedyAllocator greedy;
+  const SimulationResult result = simulator.Run(greedy);
+  auto counter = [](const char* name) {
+    return util::GlobalMetrics().GetCounter(name)->value();
+  };
+  EXPECT_EQ(counter("sim_batches_total"), result.batches);
+  EXPECT_EQ(counter("sim_nonempty_batches_total"), result.nonempty_batches);
+  EXPECT_EQ(counter("sim_score_total"), result.score);
+  EXPECT_EQ(counter("sim_completions_total"), result.completed_tasks);
+  EXPECT_EQ(counter("sim_camp_dispatches_total"), result.wasted_dispatches);
+  EXPECT_EQ(
+      util::GlobalMetrics().GetHistogram("sim_batch_allocator_ms")->count(),
+      static_cast<int64_t>(result.per_batch_allocator_ms.size()));
+}
+
+TEST(MetricsTest, CampCountersMatchWastedDispatches) {
+  util::GlobalMetrics().Reset();
+  util::SetMetricsEnabled(true);
+  const core::Instance instance = testing::Example1();
+  SimulatorOptions options;
+  options.batch_interval = 1.0;
+  Simulator simulator(instance, options);
+  algo::ClosestAllocator closest;
+  const SimulationResult result = simulator.Run(closest);
+  ASSERT_GT(result.wasted_dispatches, 0);
+  EXPECT_EQ(
+      util::GlobalMetrics().GetCounter("sim_camp_dispatches_total")->value(),
+      result.wasted_dispatches);
+}
+
+#endif  // DASC_METRICS_ENABLED
 
 }  // namespace
 }  // namespace dasc::sim

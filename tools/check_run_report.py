@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Validates dasc run-report JSONL files and Perfetto trace JSON.
+
+Used by ctest (see tests/CMakeLists.txt) to check that dasc_cli's
+--metrics-out and --trace-out outputs stay schema-valid and contain the
+spans/metrics the observability layer promises:
+
+  check_run_report.py --report=report.jsonl \
+      --require-metric=game_rounds --require-metric=candidates_pairs_total
+  check_run_report.py --trace=trace.json \
+      --require-span=batch --require-span=matching
+
+Exits 0 when every check passes, 1 with a message per failure otherwise.
+Only the Python 3 standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+RUN_SCHEMA = "dasc-run-report/1"
+
+STATS_FIELDS = {
+    "algorithm": str,
+    "score": int,
+    "batches": int,
+    "nonempty_batches": int,
+    "completed_tasks": int,
+    "wasted_dispatches": int,
+    "allocator_ms": (int, float),
+    "p50_batch_ms": (int, float),
+    "p95_batch_ms": (int, float),
+    "max_batch_ms": (int, float),
+    "mean_assignment_latency": (int, float),
+    "last_completion_time": (int, float),
+}
+
+
+def check_histogram(obj, lineno, errors):
+    for field, kind in (("name", str), ("count", int), ("buckets", list)):
+        if not isinstance(obj.get(field), kind):
+            errors.append(f"line {lineno}: histogram {field!r} missing or "
+                          f"not {kind}")
+            return
+    if not isinstance(obj.get("sum"), (int, float)):
+        errors.append(f"line {lineno}: histogram 'sum' missing or not a "
+                      "number")
+        return
+    buckets = obj["buckets"]
+    if not buckets or buckets[-1].get("le") != "+Inf":
+        errors.append(f"line {lineno}: histogram buckets must end with "
+                      "le=\"+Inf\"")
+        return
+    total = 0
+    previous = None
+    for i, bucket in enumerate(buckets):
+        le = bucket.get("le")
+        count = bucket.get("count")
+        if not isinstance(count, int) or count < 0:
+            errors.append(f"line {lineno}: bucket {i} count invalid")
+            return
+        total += count
+        if i < len(buckets) - 1:
+            if not isinstance(le, (int, float)):
+                errors.append(f"line {lineno}: bucket {i} le must be a "
+                              "number")
+                return
+            if previous is not None and le <= previous:
+                errors.append(f"line {lineno}: bucket bounds not ascending")
+                return
+            previous = le
+    if total != obj["count"]:
+        errors.append(f"line {lineno}: bucket counts sum to {total}, "
+                      f"histogram count is {obj['count']}")
+
+
+def check_report(path, require_metrics, errors):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+    except OSError as e:
+        errors.append(f"{path}: {e}")
+        return
+    if not lines:
+        errors.append(f"{path}: empty report")
+        return
+    seen_metrics = set()
+    num_stats = 0
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{path} line {lineno}: invalid JSON: {e}")
+            return
+        kind = obj.get("type")
+        if lineno == 1:
+            if kind != "run":
+                errors.append(f"{path}: first line must have type 'run', "
+                              f"got {kind!r}")
+                return
+            if obj.get("schema") != RUN_SCHEMA:
+                errors.append(f"{path}: schema {obj.get('schema')!r} != "
+                              f"{RUN_SCHEMA!r}")
+            for field in ("kind", "instance"):
+                if not isinstance(obj.get(field), str):
+                    errors.append(f"{path}: run header missing {field!r}")
+            if not isinstance(obj.get("runs"), int):
+                errors.append(f"{path}: run header missing integer 'runs'")
+            continue
+        if kind == "stats":
+            num_stats += 1
+            for field, types in STATS_FIELDS.items():
+                if not isinstance(obj.get(field), types):
+                    errors.append(f"{path} line {lineno}: stats {field!r} "
+                                  "missing or mistyped")
+        elif kind == "counter":
+            if not isinstance(obj.get("name"), str) or not isinstance(
+                    obj.get("value"), int):
+                errors.append(f"{path} line {lineno}: malformed counter")
+            else:
+                seen_metrics.add(obj["name"])
+        elif kind == "gauge":
+            if not isinstance(obj.get("name"), str) or not isinstance(
+                    obj.get("value"), (int, float)):
+                errors.append(f"{path} line {lineno}: malformed gauge")
+            else:
+                seen_metrics.add(obj["name"])
+        elif kind == "histogram":
+            check_histogram(obj, lineno, errors)
+            if isinstance(obj.get("name"), str):
+                seen_metrics.add(obj["name"])
+        else:
+            errors.append(f"{path} line {lineno}: unknown type {kind!r}")
+    declared = json.loads(lines[0]).get("runs")
+    if isinstance(declared, int) and declared != num_stats:
+        errors.append(f"{path}: header declares {declared} runs but "
+                      f"{num_stats} stats lines found")
+    for name in require_metrics:
+        if name not in seen_metrics:
+            errors.append(f"{path}: required metric {name!r} not present")
+
+
+def check_trace(path, require_spans, errors):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{path}: {e}")
+        return
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append(f"{path}: missing 'traceEvents' list")
+        return
+    names = set()
+    for i, event in enumerate(events):
+        for field, kind in (("name", str), ("ph", str), ("pid", int),
+                            ("tid", int), ("ts", (int, float))):
+            if not isinstance(event.get(field), kind):
+                errors.append(f"{path} event {i}: {field!r} missing or "
+                              "mistyped")
+                return
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{path} event {i}: X event needs dur >= 0")
+                return
+        if event["ts"] < 0:
+            errors.append(f"{path} event {i}: negative ts")
+            return
+        names.add(event["name"])
+    for name in require_spans:
+        if name not in names:
+            errors.append(f"{path}: required span {name!r} not present")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", help="run-report JSONL file to validate")
+    parser.add_argument("--trace", help="Perfetto trace JSON file to validate")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        help="metric name that must appear in the report "
+                             "(repeatable)")
+    parser.add_argument("--require-span", action="append", default=[],
+                        help="span name that must appear in the trace "
+                             "(repeatable)")
+    args = parser.parse_args()
+    if not args.report and not args.trace:
+        parser.error("at least one of --report/--trace is required")
+
+    errors = []
+    if args.report:
+        check_report(args.report, args.require_metric, errors)
+    if args.trace:
+        check_trace(args.trace, args.require_span, errors)
+    for message in errors:
+        print(f"check_run_report: {message}", file=sys.stderr)
+    if errors:
+        return 1
+    checked = [p for p in (args.report, args.trace) if p]
+    print(f"check_run_report: OK ({', '.join(checked)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,15 +5,29 @@
 //   dasc_cli generate meetup <out.dasc> [--seed=N] [--workers=N] [--tasks=N]
 //   dasc_cli stats <in.dasc>
 //   dasc_cli solve <in.dasc> <algo> [--seed=N] [--out=assignment.csv]
+//            [--now=F] [--metrics-out=report.jsonl] [--trace-out=trace.json]
 //   dasc_cli simulate <in.dasc> <algo> [--seed=N] [--interval=F]
+//            [--metrics-out=report.jsonl] [--trace-out=trace.json]
+//            [--events-out=events.jsonl]
+//   dasc_cli render <in.dasc> <out.svg>
+//
+// Observability outputs:
+//   --metrics-out   JSONL run report (schema dasc-run-report/1): run header,
+//                   per-run stats, and the full metrics-registry dump.
+//   --trace-out     Chrome/Perfetto trace_event JSON of the instrumented
+//                   spans (open at https://ui.perfetto.dev).
+//   --events-out    simulation event stream (dispatch/camp/completion) as
+//                   JSONL, one object per event with its batch_seq.
 //
 // Instances use the dasc-instance v1 text format (src/io/instance_io.h);
 // algorithm names are the registry names (dasc_cli solve --help lists them).
+// Every subcommand parses flags through one shared util::FlagParser loop, so
+// unknown or malformed flags are usage errors rather than silently ignored.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "algo/registry.h"
 #include "core/workload_stats.h"
@@ -23,24 +37,30 @@
 #include "io/instance_io.h"
 #include "io/svg_render.h"
 #include "sim/metrics.h"
+#include "sim/run_report.h"
+#include "util/flags.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/tracing.h"
 
 namespace {
 
 using namespace dasc;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  dasc_cli generate synthetic <out> [--seed= --workers= "
-               "--tasks= --skills= --dep-max=]\n"
-               "  dasc_cli generate meetup <out> [--seed= --workers= "
-               "--tasks=]\n"
-               "  dasc_cli stats <in>\n"
-               "  dasc_cli solve <in> <algo> [--seed= --out= --now=]\n"
-               "  dasc_cli simulate <in> <algo> [--seed= --interval=]\n"
-               "  dasc_cli render <in> <out.svg>\n"
-               "algorithms:");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  dasc_cli generate synthetic <out> [--seed= --workers= "
+      "--tasks= --skills= --dep-max=]\n"
+      "  dasc_cli generate meetup <out> [--seed= --workers= --tasks=]\n"
+      "  dasc_cli stats <in>\n"
+      "  dasc_cli solve <in> <algo> [--seed= --out= --now= --metrics-out= "
+      "--trace-out=]\n"
+      "  dasc_cli simulate <in> <algo> [--seed= --interval= --metrics-out= "
+      "--trace-out= --events-out=]\n"
+      "  dasc_cli render <in> <out.svg>\n"
+      "algorithms:");
   for (const auto& name : algo::KnownAllocatorNames()) {
     std::fprintf(stderr, " %s", name.c_str());
   }
@@ -48,54 +68,63 @@ int Usage() {
   return 2;
 }
 
-// --key=value flag lookup over argv[from..).
-const char* FlagValue(int argc, char** argv, int from, const char* key) {
-  const size_t len = std::strlen(key);
-  for (int i = from; i < argc; ++i) {
-    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
-      return argv[i] + len + 1;
-    }
+// Parses argv[2..) (everything after the subcommand) with `parser`, expecting
+// exactly `num_positional` positional operands. Prints the parse error on
+// failure; callers return Usage(). The single path every subcommand funnels
+// through — this is what makes unknown flags hard errors everywhere.
+bool ParseSubcommand(util::FlagParser& parser, int argc, char** argv,
+                     size_t num_positional) {
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  const util::Status status = parser.Parse(args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return false;
   }
-  return nullptr;
+  return parser.positional().size() == num_positional;
 }
 
-int64_t IntFlag(int argc, char** argv, int from, const char* key,
-                int64_t fallback) {
-  const char* v = FlagValue(argc, argv, from, key);
-  return v ? std::strtoll(v, nullptr, 10) : fallback;
-}
-
-double DoubleFlag(int argc, char** argv, int from, const char* key,
-                  double fallback) {
-  const char* v = FlagValue(argc, argv, from, key);
-  return v ? std::strtod(v, nullptr) : fallback;
+// Opens `path` for writing or reports the failure.
+bool OpenOut(const std::string& path, std::ofstream* out) {
+  out->open(path);
+  if (!*out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 int Generate(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  const std::string family = argv[2];
-  const std::string out_path = argv[3];
+  util::FlagParser parser;
+  int64_t seed = 42;
+  int64_t workers = -1;  // -1: family default below
+  int64_t tasks = -1;
+  int64_t skills = 1500;
+  int64_t dep_max = 70;
+  parser.AddInt("seed", &seed, "RNG seed");
+  parser.AddInt("workers", &workers, "worker count (-1 = family default)");
+  parser.AddInt("tasks", &tasks, "task count (-1 = family default)");
+  parser.AddInt("skills", &skills, "skill universe size (synthetic)");
+  parser.AddInt("dep-max", &dep_max, "max dependency set size (synthetic)");
+  if (!ParseSubcommand(parser, argc, argv, 2)) return Usage();
+  const std::string& family = parser.positional()[0];
+  const std::string& out_path = parser.positional()[1];
+
   util::Result<core::Instance> instance =
       util::Status::InvalidArgument("unknown family: " + family);
   if (family == "synthetic") {
     gen::SyntheticParams params;
-    params.seed = static_cast<uint64_t>(IntFlag(argc, argv, 4, "--seed", 42));
-    params.num_workers =
-        static_cast<int>(IntFlag(argc, argv, 4, "--workers", 5000));
-    params.num_tasks =
-        static_cast<int>(IntFlag(argc, argv, 4, "--tasks", 5000));
-    params.num_skills =
-        static_cast<int>(IntFlag(argc, argv, 4, "--skills", 1500));
-    params.dependency_size.hi =
-        static_cast<int>(IntFlag(argc, argv, 4, "--dep-max", 70));
+    params.seed = static_cast<uint64_t>(seed);
+    params.num_workers = static_cast<int>(workers < 0 ? 5000 : workers);
+    params.num_tasks = static_cast<int>(tasks < 0 ? 5000 : tasks);
+    params.num_skills = static_cast<int>(skills);
+    params.dependency_size.hi = static_cast<int>(dep_max);
     instance = gen::GenerateSynthetic(params);
   } else if (family == "meetup") {
     gen::MeetupParams params;
-    params.seed = static_cast<uint64_t>(IntFlag(argc, argv, 4, "--seed", 42));
-    params.num_workers =
-        static_cast<int>(IntFlag(argc, argv, 4, "--workers", 3525));
-    params.num_tasks =
-        static_cast<int>(IntFlag(argc, argv, 4, "--tasks", 1282));
+    params.seed = static_cast<uint64_t>(seed);
+    params.num_workers = static_cast<int>(workers < 0 ? 3525 : workers);
+    params.num_tasks = static_cast<int>(tasks < 0 ? 1282 : tasks);
     instance = gen::GenerateMeetup(params);
   }
   if (!instance.ok()) {
@@ -114,14 +143,14 @@ int Generate(int argc, char** argv) {
 }
 
 int Stats(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  auto instance = io::ReadInstanceFile(argv[2]);
+  util::FlagParser parser;
+  if (!ParseSubcommand(parser, argc, argv, 1)) return Usage();
+  auto instance = io::ReadInstanceFile(parser.positional()[0]);
   if (!instance.ok()) {
     std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n",
-              core::AnalyzeWorkload(*instance).ToString().c_str());
+  std::printf("%s\n", core::AnalyzeWorkload(*instance).ToString().c_str());
   graph::Dag dag(instance->num_tasks());
   for (const core::Task& t : instance->tasks()) {
     for (core::TaskId d : t.dependencies) dag.AddDependency(t.id, d);
@@ -136,26 +165,37 @@ int Stats(int argc, char** argv) {
 }
 
 int Solve(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  auto instance = io::ReadInstanceFile(argv[2]);
+  util::FlagParser parser;
+  int64_t seed = 42;
+  double now = 0.0;
+  std::string out_path;
+  std::string metrics_out;
+  std::string trace_out;
+  parser.AddInt("seed", &seed, "allocator RNG seed");
+  parser.AddDouble("now", &now, "solve time (tasks/workers open at t=now)");
+  parser.AddString("out", &out_path, "write the valid assignment as CSV");
+  parser.AddString("metrics-out", &metrics_out, "write a JSONL run report");
+  parser.AddString("trace-out", &trace_out, "write a Perfetto trace JSON");
+  if (!ParseSubcommand(parser, argc, argv, 2)) return Usage();
+  auto instance = io::ReadInstanceFile(parser.positional()[0]);
   if (!instance.ok()) {
     std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
     return 1;
   }
-  const auto seed =
-      static_cast<uint64_t>(IntFlag(argc, argv, 4, "--seed", 42));
-  auto allocator = algo::CreateAllocator(argv[3], seed);
+  auto allocator =
+      algo::CreateAllocator(parser.positional()[1], static_cast<uint64_t>(seed));
   if (!allocator.ok()) {
     std::fprintf(stderr, "%s\n", allocator.status().ToString().c_str());
     return Usage();
   }
   // Single-batch solve at --now (default 0). Tasks/workers that have not
   // arrived by then are excluded — use `simulate` for dynamic timelines.
-  const double now = DoubleFlag(argc, argv, 4, "--now", 0.0);
+  if (!trace_out.empty()) util::StartTracing();
   core::BatchProblem problem = core::BatchProblem::AllAt(*instance, now);
   util::WallTimer timer;
   const core::Assignment raw = (*allocator)->Allocate(problem);
   const double millis = timer.ElapsedMillis();
+  if (!trace_out.empty()) util::StopTracing();
   const core::Assignment valid = core::ValidPairs(problem, raw);
   std::printf("%s: score=%d (of %d tasks) at t=%g in %.2f ms\n",
               std::string((*allocator)->name()).c_str(), valid.size(),
@@ -166,61 +206,111 @@ int Solve(int argc, char** argv) {
         "open at t=%g\n",
         now);
   }
-  if (const char* out_path = FlagValue(argc, argv, 4, "--out")) {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", out_path);
-      return 1;
-    }
+  if (!out_path.empty()) {
+    std::ofstream out;
+    if (!OpenOut(out_path, &out)) return 1;
     io::WriteAssignment(valid, out);
-    std::printf("assignment written to %s\n", out_path);
+    std::printf("assignment written to %s\n", out_path.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out;
+    if (!OpenOut(trace_out, &out)) return 1;
+    util::WriteChromeTrace(out);
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out;
+    if (!OpenOut(metrics_out, &out)) return 1;
+    sim::RunStats stats;
+    stats.algorithm = std::string((*allocator)->name());
+    stats.score = valid.size();
+    stats.millis = millis;
+    stats.batches = 1;
+    stats.nonempty_batches = 1;
+    sim::RunReportHeader header;
+    header.kind = "solve";
+    header.instance = parser.positional()[0];
+    sim::WriteRunReportJsonl(out, header, {stats}, util::GlobalMetrics());
   }
   return 0;
 }
 
 int Render(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  auto instance = io::ReadInstanceFile(argv[2]);
+  util::FlagParser parser;
+  if (!ParseSubcommand(parser, argc, argv, 2)) return Usage();
+  auto instance = io::ReadInstanceFile(parser.positional()[0]);
   if (!instance.ok()) {
     std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
     return 1;
   }
   const util::Status written =
-      io::RenderInstanceSvgFile(*instance, argv[3]);
+      io::RenderInstanceSvgFile(*instance, parser.positional()[1]);
   if (!written.ok()) {
     std::fprintf(stderr, "%s\n", written.ToString().c_str());
     return 1;
   }
   std::printf("rendered %d workers / %d tasks to %s\n",
-              instance->num_workers(), instance->num_tasks(), argv[3]);
+              instance->num_workers(), instance->num_tasks(),
+              parser.positional()[1].c_str());
   return 0;
 }
 
 int Simulate(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  auto instance = io::ReadInstanceFile(argv[2]);
+  util::FlagParser parser;
+  int64_t seed = 42;
+  double interval = 5.0;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string events_out;
+  parser.AddInt("seed", &seed, "allocator RNG seed");
+  parser.AddDouble("interval", &interval, "platform batch interval");
+  parser.AddString("metrics-out", &metrics_out, "write a JSONL run report");
+  parser.AddString("trace-out", &trace_out, "write a Perfetto trace JSON");
+  parser.AddString("events-out", &events_out,
+                   "write the simulation event stream as JSONL");
+  if (!ParseSubcommand(parser, argc, argv, 2)) return Usage();
+  auto instance = io::ReadInstanceFile(parser.positional()[0]);
   if (!instance.ok()) {
     std::fprintf(stderr, "%s\n", instance.status().ToString().c_str());
     return 1;
   }
-  const auto seed =
-      static_cast<uint64_t>(IntFlag(argc, argv, 4, "--seed", 42));
-  auto allocator = algo::CreateAllocator(argv[3], seed);
+  auto allocator =
+      algo::CreateAllocator(parser.positional()[1], static_cast<uint64_t>(seed));
   if (!allocator.ok()) {
     std::fprintf(stderr, "%s\n", allocator.status().ToString().c_str());
     return Usage();
   }
   sim::SimulatorOptions options;
-  options.batch_interval = DoubleFlag(argc, argv, 4, "--interval", 5.0);
-  sim::Simulator simulator(*instance, options);
-  const sim::SimulationResult result = simulator.Run(**allocator);
+  options.batch_interval = interval;
+  sim::Trace trace;
+  if (!events_out.empty()) options.trace = &trace;
+  if (!trace_out.empty()) util::StartTracing();
+  const sim::RunStats stats =
+      sim::MeasureSimulation(*instance, options, **allocator);
+  if (!trace_out.empty()) util::StopTracing();
   std::printf(
       "%s: score=%d completed=%d batches=%d (non-empty %d) wasted=%d\n"
       "allocator time=%.2f ms, last completion t=%.2f\n",
-      std::string((*allocator)->name()).c_str(), result.score,
-      result.completed_tasks, result.batches, result.nonempty_batches,
-      result.wasted_dispatches, result.allocator_seconds * 1e3,
-      result.last_completion_time);
+      stats.algorithm.c_str(), stats.score, stats.completed_tasks,
+      stats.batches, stats.nonempty_batches, stats.wasted_dispatches,
+      stats.millis, stats.last_completion_time);
+  if (!trace_out.empty()) {
+    std::ofstream out;
+    if (!OpenOut(trace_out, &out)) return 1;
+    util::WriteChromeTrace(out);
+  }
+  if (!events_out.empty()) {
+    std::ofstream out;
+    if (!OpenOut(events_out, &out)) return 1;
+    trace.WriteJsonl(out);
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out;
+    if (!OpenOut(metrics_out, &out)) return 1;
+    sim::RunReportHeader header;
+    header.kind = "simulate";
+    header.instance = parser.positional()[0];
+    sim::WriteRunReportJsonl(out, header, {stats}, util::GlobalMetrics());
+  }
   return 0;
 }
 
