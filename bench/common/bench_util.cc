@@ -36,6 +36,8 @@ BenchConfig ParseBenchArgs(int argc, char** argv, BenchConfig defaults) {
                 "worker threads (0 = hardware concurrency, 1 = serial)");
   parser.AddString("run-report", &config.run_report,
                    "write a JSONL run report to this path");
+  parser.AddBool("audit", &config.audit,
+                 "audit every batch (constraint re-check + optimality gap)");
   const util::Status status = parser.Parse(argc, argv);
   config.seed = static_cast<uint64_t>(seed);
   config.reps = static_cast<int>(reps);
@@ -109,6 +111,7 @@ void RunSimSweep(const std::string& title, const std::string& x_name,
 
   sim::SimulatorOptions options;
   options.batch_interval = config.batch_interval;
+  options.audit = config.audit;
 
   util::TablePrinter score_table(title + " - score");
   util::TablePrinter time_table(title + " - running time (ms)");

@@ -22,9 +22,15 @@
 //                 order), but per-cell wall-clock in the time tables gets
 //                 noisier as concurrent cells contend for cores — use
 //                 --threads=1 for timing-fidelity runs.
-//   --run-report=PATH  write a dasc-run-report/1 JSONL file (one stats line
+//   --run-report=PATH  write a dasc-run-report/2 JSONL file (one stats line
 //                 per simulation cell plus the metrics-registry dump; see
 //                 src/sim/run_report.h) after the sweep.
+//   --audit=BOOL  run the allocation auditor on every batch (default true):
+//                 independent constraint re-validation plus the
+//                 dependency-relaxed optimality gap, so every bench run
+//                 doubles as an empirical check of the paper's quality
+//                 claims. Audit results ride along in the run report; any
+//                 constraint violation aborts the bench.
 #ifndef DASC_BENCH_COMMON_BENCH_UTIL_H_
 #define DASC_BENCH_COMMON_BENCH_UTIL_H_
 
@@ -53,6 +59,8 @@ struct BenchConfig {
   int threads = 0;
   // When non-empty, RunSimSweep appends a JSONL run report here.
   std::string run_report;
+  // See the --audit flag comment above.
+  bool audit = true;
 };
 
 // Parses the common flags over `defaults`; prints usage and exits on bad

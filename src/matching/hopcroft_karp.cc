@@ -74,27 +74,52 @@ bool HopcroftKarp::Dfs(int u) {
   return false;
 }
 
-int HopcroftKarp::MaxMatching() {
-  if (solved_) {
-    int size = 0;
-    for (int u = 0; u < num_left_; ++u) {
-      if (match_left_[static_cast<size_t>(u)] != -1) ++size;
+void HopcroftKarp::SeedGreedy() {
+  for (int u = 0; u < num_left_; ++u) {
+    if (match_left_[static_cast<size_t>(u)] != -1) continue;
+    for (int v : adj_[static_cast<size_t>(u)]) {
+      if (match_right_[static_cast<size_t>(v)] == -1) {
+        match_left_[static_cast<size_t>(u)] = v;
+        match_right_[static_cast<size_t>(v)] = u;
+        break;
+      }
     }
-    return size;
+  }
+  solved_ = false;
+}
+
+int HopcroftKarp::MaxMatching() {
+  if (!solved_) {
+    int64_t augmented = 0;
+    int64_t phases = 0;
+    while (Bfs()) {
+      ++phases;
+      for (int u = 0; u < num_left_; ++u) {
+        if (match_left_[static_cast<size_t>(u)] == -1 && Dfs(u)) ++augmented;
+      }
+    }
+    solved_ = true;
+    DASC_METRIC_COUNTER_ADD("matching_hk_phases_total", phases);
+    DASC_METRIC_COUNTER_ADD("matching_hk_augmenting_paths_total", augmented);
+    DASC_METRIC_COUNTER_INC("matching_hk_solves_total");
   }
   int size = 0;
-  int64_t phases = 0;
-  while (Bfs()) {
-    ++phases;
-    for (int u = 0; u < num_left_; ++u) {
-      if (match_left_[static_cast<size_t>(u)] == -1 && Dfs(u)) ++size;
+  for (int u = 0; u < num_left_; ++u) {
+    if (match_left_[static_cast<size_t>(u)] != -1) ++size;
+  }
+  return size;
+}
+
+int MaxMatchingSize(const std::vector<std::vector<int>>& left_adj,
+                    int num_right) {
+  HopcroftKarp hk(static_cast<int>(left_adj.size()), num_right);
+  for (size_t u = 0; u < left_adj.size(); ++u) {
+    for (int v : left_adj[u]) {
+      hk.AddEdge(static_cast<int>(u), v);
     }
   }
-  solved_ = true;
-  DASC_METRIC_COUNTER_ADD("matching_hk_phases_total", phases);
-  DASC_METRIC_COUNTER_ADD("matching_hk_augmenting_paths_total", size);
-  DASC_METRIC_COUNTER_INC("matching_hk_solves_total");
-  return size;
+  hk.SeedGreedy();
+  return hk.MaxMatching();
 }
 
 int HopcroftKarp::MatchOfLeft(int u) const {

@@ -18,6 +18,14 @@ class HopcroftKarp {
   // Adds an edge between left vertex u and right vertex v.
   void AddEdge(int u, int v);
 
+  // Seeds the matching with a first-fit greedy pass before MaxMatching().
+  // The final matching size is unchanged (Hopcroft-Karp augments any partial
+  // matching to maximum), but typical instances then need only a couple of
+  // BFS/DFS phases. Which particular maximum matching MatchOfLeft/-Right
+  // report may differ from the unseeded run, so callers that consume the
+  // matched identities (DASC_Greedy's tie-broken variants) should not seed.
+  void SeedGreedy();
+
   // Computes a maximum matching; returns its size. Idempotent.
   int MaxMatching();
 
@@ -38,6 +46,15 @@ class HopcroftKarp {
   std::vector<int> dist_;
   bool solved_ = false;
 };
+
+// One-call maximum-matching size over adjacency lists (left_adj[u] = right
+// vertices reachable from left vertex u; entries must be in [0, num_right)).
+// This is the relaxed-upper-bound entry point used by the allocation auditor
+// (sim::BatchAuditor): dropping a constraint from the batch problem can only
+// enlarge the edge set, so the resulting maximum matching bounds the
+// constrained optimum from above.
+int MaxMatchingSize(const std::vector<std::vector<int>>& left_adj,
+                    int num_right);
 
 }  // namespace dasc::matching
 

@@ -1,0 +1,320 @@
+#include "sim/audit.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/hopcroft_karp.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+
+namespace dasc::sim {
+
+namespace {
+
+// Bucketing for the per-batch gap histogram: gaps live in [0, 1], so the
+// default exponential-from-1ms layout is useless. start=0.05 / growth=1.2
+// puts ~10 buckets across [0.2, 1.1] — enough to resolve whether a run sits
+// above or below the paper's 0.5 bound and how tightly it hugs 1.0.
+const util::HistogramOptions kGapHistogramOptions{0.05, 1.2, 18};
+
+// The auditor's own re-implementation of the validity constraints. This
+// intentionally does NOT call core::CanServe / core::ValidateAssignment: the
+// point of the audit is that allocator-path code and checker code fail
+// independently. Semantics mirror the paper's Definition 3 exactly (same
+// boundary comparisons as the allocator path).
+std::string CheckPairConstraints(const core::BatchProblem& problem,
+                                 const core::WorkerState& state,
+                                 core::TaskId t) {
+  const core::Instance& instance = *problem.instance;
+  const core::Worker& w = instance.worker(state.id);
+  const core::Task& task = instance.task(t);
+
+  // Skill constraint: the worker must practice the task's required skill.
+  const auto& skills = w.skills;
+  if (std::find(skills.begin(), skills.end(), task.required_skill) ==
+      skills.end()) {
+    return "skill: worker " + std::to_string(state.id) + " lacks skill " +
+           std::to_string(task.required_skill) + " of task " +
+           std::to_string(t);
+  }
+  // Deadline constraint, worker side: the worker must still be on the
+  // platform at dispatch time.
+  if (problem.now > w.start_time + w.wait_time) {
+    return "deadline: worker " + std::to_string(state.id) +
+           " left the platform before t=" + std::to_string(problem.now);
+  }
+  // Deadline constraint, task side: the task must have appeared.
+  if (task.start_time > problem.now) {
+    return "deadline: task " + std::to_string(t) + " not yet on platform at t=" +
+           std::to_string(problem.now);
+  }
+  // Reachability: travel must fit the remaining budget and arrive before the
+  // task's service-start deadline.
+  const double dist =
+      core::PairDistance(problem.params, state.location, task.location);
+  if (dist > state.remaining_distance) {
+    return "distance: pair (" + std::to_string(state.id) + ", " +
+           std::to_string(t) + ") needs " + std::to_string(dist) +
+           " > budget " + std::to_string(state.remaining_distance);
+  }
+  if (problem.now + dist / w.velocity > task.start_time + task.wait_time) {
+    return "deadline: pair (" + std::to_string(state.id) + ", " +
+           std::to_string(t) + ") arrives after task expiry";
+  }
+  return "";
+}
+
+}  // namespace
+
+int RelaxedBatchUpperBound(const core::BatchProblem& problem,
+                           const AuditOptions& options,
+                           int skip_probes_at_or_below) {
+  DASC_CHECK(problem.instance != nullptr);
+  const core::Instance& instance = *problem.instance;
+  if (problem.workers.empty() || problem.open_tasks.empty()) return 0;
+  const core::CandidateSets& cand = problem.Candidates();
+  if (cand.num_pairs == 0) return 0;
+
+  const size_t m = static_cast<size_t>(instance.num_tasks());
+  std::vector<uint8_t> open(m, 0);
+  for (core::TaskId t : problem.open_tasks) open[static_cast<size_t>(t)] = 1;
+
+  // An open task is "in-batch assignable" when some idle worker can serve it
+  // this batch, dependency aside.
+  auto assignable = [&](core::TaskId t) {
+    return open[static_cast<size_t>(t)] != 0 &&
+           !cand.task_workers[static_cast<size_t>(t)].empty();
+  };
+
+  // Credibility filter: a task can only appear in a valid assignment when
+  // every transitive dependency is already assigned, or (under the paper's
+  // in-batch credit semantics) could itself be assigned this batch. Each
+  // clause is a necessary condition, so dropping non-credible tasks keeps
+  // the bound an upper bound.
+  std::vector<core::TaskId> credible;
+  std::vector<uint8_t> has_unassigned_deps;
+  for (core::TaskId t : problem.open_tasks) {
+    if (!assignable(t)) continue;
+    bool ok = true;
+    bool unassigned_deps = false;
+    for (core::TaskId f : instance.DepClosure(t)) {
+      if (problem.TaskAssignedBefore(f)) continue;
+      if (!problem.in_batch_dependency_credit || !assignable(f)) {
+        ok = false;
+        break;
+      }
+      unassigned_deps = true;
+    }
+    if (ok) {
+      credible.push_back(t);
+      has_unassigned_deps.push_back(unassigned_deps ? 1 : 0);
+    }
+  }
+  if (credible.empty()) return 0;
+
+  // Dependency-relaxed maximum matching over (idle workers) x (credible
+  // tasks) on the skill/deadline/distance-feasible candidate edges.
+  std::vector<int> local_of(m, -1);
+  auto bound_over = [&](const std::vector<core::TaskId>& tasks) {
+    std::fill(local_of.begin(), local_of.end(), -1);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      local_of[static_cast<size_t>(tasks[i])] = static_cast<int>(i);
+    }
+    std::vector<std::vector<int>> adj(problem.workers.size());
+    for (size_t i = 0; i < problem.workers.size(); ++i) {
+      for (core::TaskId t : cand.worker_tasks[i]) {
+        const int local = local_of[static_cast<size_t>(t)];
+        if (local >= 0) adj[i].push_back(local);
+      }
+    }
+    return matching::MaxMatchingSize(adj, static_cast<int>(tasks.size()));
+  };
+
+  const int ub = bound_over(credible);
+  if (!options.closure_feasibility_filter) return ub;
+  if (ub <= skip_probes_at_or_below) return ub;
+  bool any_probe = false;
+  for (uint8_t flag : has_unassigned_deps) any_probe |= (flag != 0);
+  if (!any_probe) return ub;
+
+  // Associative-set probes: {t} together with its unassigned closure must be
+  // simultaneously matchable in isolation — DASC_Greedy's set feasibility
+  // question. Failing the probe proves no valid assignment of this batch can
+  // contain t, so dropping it keeps the bound an upper bound. Cost control:
+  // a stamped greedy first-fit settles the overwhelming majority of probes
+  // in O(set size); a per-set Hopcroft-Karp run is the fallback when greedy
+  // fails to complete the matching.
+  std::vector<int> used_stamp(problem.workers.size(), -1);
+  std::vector<core::TaskId> set_tasks;
+  std::vector<core::TaskId> surviving;
+  surviving.reserve(credible.size());
+  int probe_id = 0;
+  for (size_t i = 0; i < credible.size(); ++i) {
+    const core::TaskId t = credible[i];
+    if (!has_unassigned_deps[i]) {
+      surviving.push_back(t);
+      continue;
+    }
+    set_tasks.clear();
+    set_tasks.push_back(t);
+    for (core::TaskId f : instance.DepClosure(t)) {
+      if (!problem.TaskAssignedBefore(f)) set_tasks.push_back(f);
+    }
+    ++probe_id;
+    bool matched_all = true;
+    for (core::TaskId s : set_tasks) {
+      bool matched = false;
+      for (int wi : cand.task_workers[static_cast<size_t>(s)]) {
+        if (used_stamp[static_cast<size_t>(wi)] != probe_id) {
+          used_stamp[static_cast<size_t>(wi)] = probe_id;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        matched_all = false;
+        break;
+      }
+    }
+    if (!matched_all) {
+      // Greedy left a task unmatched; only a maximum matching can tell
+      // whether the set is genuinely infeasible.
+      std::unordered_map<int, int> worker_local;
+      std::vector<std::vector<int>> adj;
+      for (size_t s = 0; s < set_tasks.size(); ++s) {
+        for (int wi : cand.task_workers[static_cast<size_t>(set_tasks[s])]) {
+          auto [it, inserted] =
+              worker_local.emplace(wi, static_cast<int>(adj.size()));
+          if (inserted) adj.emplace_back();
+          adj[static_cast<size_t>(it->second)].push_back(static_cast<int>(s));
+        }
+      }
+      matched_all = matching::MaxMatchingSize(
+                        adj, static_cast<int>(set_tasks.size())) ==
+                    static_cast<int>(set_tasks.size());
+    }
+    if (matched_all) surviving.push_back(t);
+  }
+  if (surviving.size() == credible.size()) return ub;
+  if (surviving.empty()) return 0;
+  return bound_over(surviving);
+}
+
+BatchAudit BatchAuditor::AuditBatch(const core::BatchProblem& problem,
+                                    const core::Assignment& committed,
+                                    int batch_seq) {
+  DASC_CHECK(problem.instance != nullptr);
+  const core::Instance& instance = *problem.instance;
+  util::WallTimer timer;
+
+  BatchAudit audit;
+  audit.batch_seq = batch_seq;
+
+  // Index the batch context once.
+  const size_t m = static_cast<size_t>(instance.num_tasks());
+  std::unordered_map<core::WorkerId, const core::WorkerState*> states;
+  for (const core::WorkerState& s : problem.workers) states[s.id] = &s;
+  std::vector<uint8_t> open(m, 0);
+  for (core::TaskId t : problem.open_tasks) open[static_cast<size_t>(t)] = 1;
+  std::vector<uint8_t> in_batch(m, 0);
+  if (problem.in_batch_dependency_credit) {
+    for (const auto& [w, t] : committed.pairs()) {
+      in_batch[static_cast<size_t>(t)] = 1;
+    }
+  }
+
+  std::vector<uint8_t> used_workers;
+  std::vector<uint8_t> used_tasks(m, 0);
+  used_workers.assign(static_cast<size_t>(instance.num_workers()), 0);
+
+  auto record_violation = [&](const std::string& message) {
+    ++audit.violations;
+    if (audit.first_violation.empty()) audit.first_violation = message;
+    DASC_CHECK(!options_.fail_hard)
+        << "allocation audit: batch " << batch_seq << ": " << message;
+  };
+
+  for (const auto& [w, t] : committed.pairs()) {
+    // Scope: the pair must reference this batch's idle workers / open tasks.
+    const auto it = states.find(w);
+    if (it == states.end()) {
+      record_violation("worker " + std::to_string(w) + " not in batch");
+      continue;
+    }
+    if (t < 0 || static_cast<size_t>(t) >= m || !open[static_cast<size_t>(t)]) {
+      record_violation("task " + std::to_string(t) + " not open in batch");
+      continue;
+    }
+    // Exclusivity constraint: each worker and task at most once.
+    if (used_workers[static_cast<size_t>(w)]) {
+      record_violation("exclusivity: worker " + std::to_string(w) +
+                       " assigned twice");
+      continue;
+    }
+    if (used_tasks[static_cast<size_t>(t)]) {
+      record_violation("exclusivity: task " + std::to_string(t) +
+                       " assigned twice");
+      continue;
+    }
+    used_workers[static_cast<size_t>(w)] = 1;
+    used_tasks[static_cast<size_t>(t)] = 1;
+    // Skill + deadline + reachability constraints.
+    const std::string problem_found =
+        CheckPairConstraints(problem, *it->second, t);
+    if (!problem_found.empty()) {
+      record_violation(problem_found);
+      continue;
+    }
+    // Dependency constraint: the full transitive closure must be assigned
+    // before this batch or within this very assignment.
+    bool deps_met = true;
+    for (core::TaskId f : instance.DepClosure(t)) {
+      if (!problem.TaskAssignedBefore(f) && !in_batch[static_cast<size_t>(f)]) {
+        record_violation("dependency: task " + std::to_string(t) +
+                         " misses dependency " + std::to_string(f));
+        deps_met = false;
+        break;
+      }
+    }
+    if (!deps_met) continue;
+    ++audit.achieved;
+  }
+
+  audit.upper_bound =
+      RelaxedBatchUpperBound(problem, options_,
+                             /*skip_probes_at_or_below=*/audit.achieved);
+  if (audit.violations == 0 && audit.achieved > audit.upper_bound) {
+    // The bound proof (DESIGN.md §10) guarantees achieved <= upper_bound for
+    // any assignment that passes the constraint re-check; a breach means the
+    // checker and the bound disagree, which is itself an audit failure.
+    record_violation("auditor invariant: achieved " +
+                     std::to_string(audit.achieved) + " exceeds upper bound " +
+                     std::to_string(audit.upper_bound));
+  }
+
+  if (audit.upper_bound > 0) {
+    audit.gap = static_cast<double>(audit.achieved) /
+                static_cast<double>(audit.upper_bound);
+    ++summary_.audited_batches;
+    summary_.achieved_total += audit.achieved;
+    summary_.upper_bound_total += audit.upper_bound;
+    summary_.gap_sum += audit.gap;
+    summary_.min_gap = std::min(summary_.min_gap, audit.gap);
+    DASC_METRIC_HISTOGRAM_OBSERVE("audit_batch_gap", audit.gap,
+                                  kGapHistogramOptions);
+  }
+  summary_.violations += audit.violations;
+
+  DASC_METRIC_COUNTER_INC("audit_batches_total");
+  DASC_METRIC_COUNTER_ADD("audit_achieved_total", audit.achieved);
+  DASC_METRIC_COUNTER_ADD("audit_upper_bound_total", audit.upper_bound);
+  if (audit.violations > 0) {
+    DASC_METRIC_COUNTER_ADD("audit_violations_total", audit.violations);
+  }
+  DASC_METRIC_HISTOGRAM_OBSERVE("audit_batch_ms", timer.ElapsedMillis());
+  return audit;
+}
+
+}  // namespace dasc::sim

@@ -20,6 +20,14 @@ RunStats MeasureSimulation(const core::Instance& instance,
   stats.wasted_dispatches = result.wasted_dispatches;
   stats.mean_assignment_latency = result.mean_assignment_latency;
   stats.last_completion_time = result.last_completion_time;
+  stats.empty_batches = result.empty_batches;
+  stats.audited_batches = result.audit.audited_batches;
+  stats.audit_violations = result.audit.violations;
+  if (result.audit.audited_batches > 0) {
+    stats.min_batch_gap = result.audit.min_gap;
+    stats.mean_batch_gap = result.audit.MeanGap();
+    stats.approx_ratio = result.audit.ApproxRatio();
+  }
   if (!result.per_batch_allocator_ms.empty()) {
     util::Percentiles percentiles;
     util::RunningStats batch_ms;

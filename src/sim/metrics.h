@@ -27,6 +27,17 @@ struct RunStats {
   double max_batch_ms = 0.0;
   double mean_assignment_latency = 0.0;
   double last_completion_time = 0.0;
+  // Batches skipped by the allocator: empty market or an empty assignment.
+  int empty_batches = 0;
+  // Allocation-audit results (SimulatorOptions::audit); all zero when the
+  // audit was off. `approx_ratio` is the run-level empirical approximation
+  // ratio achieved_total / upper_bound_total against the dependency-relaxed
+  // per-batch bound; the paper's 1/2 guarantee predicts >= 0.5 for gg.
+  int audited_batches = 0;
+  int audit_violations = 0;
+  double min_batch_gap = 0.0;
+  double mean_batch_gap = 0.0;
+  double approx_ratio = 0.0;
 };
 
 // Runs `allocator` through a full simulation of `instance`.

@@ -1,78 +1,39 @@
 #include "sim/run_report.h"
 
-#include <cstdio>
+#include "util/json.h"
 
 namespace dasc::sim {
 
-namespace {
-
-// Shortest round-trippable-ish representation, matching the registry's
-// JSONL number formatting.
-std::string FormatDouble(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
-  return buffer;
-}
-
-// Minimal JSON string escaping: quotes, backslashes, and control bytes.
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                        static_cast<unsigned char>(c));
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using util::JsonEscape;
+using util::JsonNumber;
 
 void WriteRunStatsJsonl(std::ostream& out, const RunStats& stats) {
-  out << "{\"type\":\"stats\",\"algorithm\":\"" << EscapeJson(stats.algorithm)
+  out << "{\"type\":\"stats\",\"algorithm\":\"" << JsonEscape(stats.algorithm)
       << "\",\"score\":" << stats.score << ",\"batches\":" << stats.batches
       << ",\"nonempty_batches\":" << stats.nonempty_batches
+      << ",\"empty_batches\":" << stats.empty_batches
       << ",\"completed_tasks\":" << stats.completed_tasks
       << ",\"wasted_dispatches\":" << stats.wasted_dispatches
-      << ",\"allocator_ms\":" << FormatDouble(stats.millis)
-      << ",\"p50_batch_ms\":" << FormatDouble(stats.p50_batch_ms)
-      << ",\"p95_batch_ms\":" << FormatDouble(stats.p95_batch_ms)
-      << ",\"max_batch_ms\":" << FormatDouble(stats.max_batch_ms)
+      << ",\"allocator_ms\":" << JsonNumber(stats.millis)
+      << ",\"p50_batch_ms\":" << JsonNumber(stats.p50_batch_ms)
+      << ",\"p95_batch_ms\":" << JsonNumber(stats.p95_batch_ms)
+      << ",\"max_batch_ms\":" << JsonNumber(stats.max_batch_ms)
       << ",\"mean_assignment_latency\":"
-      << FormatDouble(stats.mean_assignment_latency)
-      << ",\"last_completion_time\":"
-      << FormatDouble(stats.last_completion_time) << "}\n";
+      << JsonNumber(stats.mean_assignment_latency)
+      << ",\"last_completion_time\":" << JsonNumber(stats.last_completion_time)
+      << ",\"audited_batches\":" << stats.audited_batches
+      << ",\"audit_violations\":" << stats.audit_violations
+      << ",\"min_batch_gap\":" << JsonNumber(stats.min_batch_gap)
+      << ",\"mean_batch_gap\":" << JsonNumber(stats.mean_batch_gap)
+      << ",\"approx_ratio\":" << JsonNumber(stats.approx_ratio) << "}\n";
 }
 
 void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
                          const std::vector<RunStats>& stats,
                          const util::MetricsRegistry& registry) {
   out << "{\"type\":\"run\",\"schema\":\"" << kRunReportSchema
-      << "\",\"kind\":\"" << EscapeJson(header.kind) << "\",\"instance\":\""
-      << EscapeJson(header.instance) << "\",\"runs\":" << stats.size()
+      << "\",\"kind\":\"" << JsonEscape(header.kind) << "\",\"instance\":\""
+      << JsonEscape(header.instance) << "\",\"runs\":" << stats.size()
       << "}\n";
   for (const RunStats& s : stats) {
     WriteRunStatsJsonl(out, s);

@@ -19,7 +19,14 @@
 namespace dasc::sim {
 
 // Schema tag written in the header line; bump on incompatible changes.
-inline constexpr const char* kRunReportSchema = "dasc-run-report/1";
+// History:
+//   /1 — header + stats + registry dump.
+//   /2 — stats lines gain the empty-batch count and the allocation-audit
+//        block (audited_batches, audit_violations, min/mean_batch_gap,
+//        approx_ratio). Readers (sim/run_report_reader.h,
+//        tools/check_run_report.py) accept both; /1 stats default the new
+//        fields to zero.
+inline constexpr const char* kRunReportSchema = "dasc-run-report/2";
 
 // Identity of the run being reported.
 struct RunReportHeader {
@@ -28,7 +35,7 @@ struct RunReportHeader {
 };
 
 // Writes the full report:
-//   {"type":"run","schema":"dasc-run-report/1","kind":...,"instance":...,
+//   {"type":"run","schema":"dasc-run-report/2","kind":...,"instance":...,
 //    "runs":N}
 //   {"type":"stats","algorithm":...,"score":...,...}        (one per entry)
 //   {"type":"counter"|"gauge"|"histogram",...}              (registry dump)

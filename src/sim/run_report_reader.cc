@@ -1,0 +1,231 @@
+#include "sim/run_report_reader.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/json.h"
+
+namespace dasc::sim {
+
+namespace {
+
+using util::JsonValue;
+using util::Result;
+using util::Status;
+
+Status LineError(int line_no, const std::string& message) {
+  return Status::InvalidArgument("run report line " + std::to_string(line_no) +
+                                 ": " + message);
+}
+
+// Fetches a required numeric field; `required` = false turns absence into
+// `fallback` (used for the v2-only fields when reading a /1 report).
+Status GetNumberField(const JsonValue& obj, const std::string& key,
+                      bool required, double fallback, int line_no,
+                      double* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    if (!required) {
+      *out = fallback;
+      return Status::OK();
+    }
+    return LineError(line_no, "missing required field \"" + key + "\"");
+  }
+  if (!v->is_number()) {
+    return LineError(line_no, "field \"" + key + "\" is not a number");
+  }
+  *out = v->AsDouble();
+  return Status::OK();
+}
+
+Status ParseHeader(const JsonValue& obj, int line_no, RunReport* report) {
+  const std::string schema = obj.GetString("schema", "");
+  constexpr const char* kPrefix = "dasc-run-report/";
+  int version = 0;
+  if (schema.rfind(kPrefix, 0) == 0) {
+    version = std::atoi(schema.c_str() + std::string(kPrefix).size());
+  }
+  if (version != 1 && version != 2) {
+    return LineError(line_no, "unsupported schema \"" + schema +
+                                  "\" (this reader supports "
+                                  "dasc-run-report/1 and dasc-run-report/2)");
+  }
+  report->schema_version = version;
+  report->header.kind = obj.GetString("kind", "");
+  report->header.instance = obj.GetString("instance", "");
+  report->declared_runs = static_cast<int>(obj.GetNumber("runs", 0));
+  return Status::OK();
+}
+
+Status ParseStats(const JsonValue& obj, int version, int line_no,
+                  RunStats* stats) {
+  const JsonValue* algorithm = obj.Find("algorithm");
+  if (algorithm == nullptr || !algorithm->is_string()) {
+    return LineError(line_no, "stats line missing \"algorithm\"");
+  }
+  stats->algorithm = algorithm->AsString();
+
+  const bool v2 = version >= 2;
+  struct Field {
+    const char* key;
+    double* out;
+    bool required;
+  };
+  double score = 0, batches = 0, nonempty = 0, empty = 0, completed = 0,
+         wasted = 0, audited = 0, violations = 0;
+  const Field fields[] = {
+      {"score", &score, true},
+      {"batches", &batches, true},
+      {"nonempty_batches", &nonempty, true},
+      {"empty_batches", &empty, v2},
+      {"completed_tasks", &completed, true},
+      {"wasted_dispatches", &wasted, true},
+      {"allocator_ms", &stats->millis, true},
+      {"p50_batch_ms", &stats->p50_batch_ms, true},
+      {"p95_batch_ms", &stats->p95_batch_ms, true},
+      {"max_batch_ms", &stats->max_batch_ms, true},
+      {"mean_assignment_latency", &stats->mean_assignment_latency, true},
+      {"last_completion_time", &stats->last_completion_time, true},
+      {"audited_batches", &audited, v2},
+      {"audit_violations", &violations, v2},
+      {"min_batch_gap", &stats->min_batch_gap, v2},
+      {"mean_batch_gap", &stats->mean_batch_gap, v2},
+      {"approx_ratio", &stats->approx_ratio, v2},
+  };
+  for (const Field& f : fields) {
+    Status status =
+        GetNumberField(obj, f.key, f.required, 0.0, line_no, f.out);
+    if (!status.ok()) return status;
+  }
+  stats->score = static_cast<int>(score);
+  stats->batches = static_cast<int>(batches);
+  stats->nonempty_batches = static_cast<int>(nonempty);
+  stats->empty_batches = static_cast<int>(empty);
+  stats->completed_tasks = static_cast<int>(completed);
+  stats->wasted_dispatches = static_cast<int>(wasted);
+  stats->audited_batches = static_cast<int>(audited);
+  stats->audit_violations = static_cast<int>(violations);
+  return Status::OK();
+}
+
+Status ParseHistogram(const JsonValue& obj, int line_no,
+                      util::HistogramSnapshot* hist) {
+  hist->name = obj.GetString("name", "");
+  hist->count = static_cast<int64_t>(obj.GetNumber("count", 0));
+  hist->sum = obj.GetNumber("sum", 0.0);
+  const JsonValue* buckets = obj.Find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) {
+    return LineError(line_no, "histogram line missing \"buckets\" array");
+  }
+  bool saw_overflow = false;
+  for (const JsonValue& bucket : buckets->items()) {
+    if (!bucket.is_object()) {
+      return LineError(line_no, "histogram bucket is not an object");
+    }
+    const JsonValue* le = bucket.Find("le");
+    const int64_t count = static_cast<int64_t>(bucket.GetNumber("count", 0));
+    if (le != nullptr && le->is_number()) {
+      if (saw_overflow) {
+        return LineError(line_no, "finite bucket after the +Inf bucket");
+      }
+      hist->bounds.push_back(le->AsDouble());
+      hist->counts.push_back(count);
+    } else if (le != nullptr && le->is_string() && le->AsString() == "+Inf") {
+      saw_overflow = true;
+      hist->counts.push_back(count);
+    } else {
+      return LineError(line_no, "histogram bucket with invalid \"le\"");
+    }
+  }
+  if (!saw_overflow) {
+    return LineError(line_no, "histogram without a +Inf overflow bucket");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RunReport> ParseRunReport(std::istream& in) {
+  RunReport report;
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Result<JsonValue> parsed = util::ParseJson(line);
+    if (!parsed.ok()) return LineError(line_no, parsed.status().message());
+    const JsonValue& obj = parsed.value();
+    if (!obj.is_object()) {
+      return LineError(line_no, "expected a JSON object");
+    }
+    const std::string type = obj.GetString("type", "");
+    if (!saw_header) {
+      if (type != "run") {
+        return LineError(line_no,
+                         "first line must be the {\"type\":\"run\"} header");
+      }
+      Status status = ParseHeader(obj, line_no, &report);
+      if (!status.ok()) return status;
+      saw_header = true;
+      continue;
+    }
+    if (type == "run") {
+      return LineError(line_no, "duplicate run header");
+    }
+    if (type == "stats") {
+      RunStats stats;
+      Status status =
+          ParseStats(obj, report.schema_version, line_no, &stats);
+      if (!status.ok()) return status;
+      report.stats.push_back(std::move(stats));
+    } else if (type == "counter") {
+      report.metrics.counters.emplace_back(
+          obj.GetString("name", ""),
+          static_cast<int64_t>(obj.GetNumber("value", 0)));
+    } else if (type == "gauge") {
+      report.metrics.gauges.emplace_back(obj.GetString("name", ""),
+                                         obj.GetNumber("value", 0.0));
+    } else if (type == "histogram") {
+      util::HistogramSnapshot hist;
+      Status status = ParseHistogram(obj, line_no, &hist);
+      if (!status.ok()) return status;
+      report.metrics.histograms.push_back(std::move(hist));
+    }
+    // Unknown types are skipped: minor-version writers may add line kinds.
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("run report is empty (no header line)");
+  }
+  if (report.declared_runs != static_cast<int>(report.stats.size())) {
+    return Status::InvalidArgument(
+        "run report declares " + std::to_string(report.declared_runs) +
+        " runs but contains " + std::to_string(report.stats.size()) +
+        " stats lines");
+  }
+  return report;
+}
+
+Result<RunReport> ReadRunReportFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open run report: " + path);
+  Result<RunReport> report = ParseRunReport(in);
+  if (!report.ok()) {
+    return Status(report.status().code(),
+                  path + ": " + report.status().message());
+  }
+  return report;
+}
+
+const RunStats* FindStats(const RunReport& report,
+                          const std::string& algorithm) {
+  for (const RunStats& stats : report.stats) {
+    if (stats.algorithm == algorithm) return &stats;
+  }
+  return nullptr;
+}
+
+}  // namespace dasc::sim

@@ -1,0 +1,49 @@
+// Reader for dasc-run-report JSONL files (sim/run_report.h writes them).
+//
+// The reader is the ingestion side of tools/dasc_report: it parses a whole
+// report back into the same structs the writer consumed (RunStats per
+// "stats" line, util::MetricsSnapshot for the registry dump), so the two
+// sides can be round-tripped field-for-field in tests.
+//
+// Schema handling: the header's "dasc-run-report/<v>" tag is dispatched on.
+//   /1 — pre-audit stats lines; the v2-only fields (empty_batches and the
+//        audit block) default to zero.
+//   /2 — current; the v2 fields are required and their absence is an error.
+// Any other tag is rejected with an error naming the supported versions —
+// a report from a newer writer must fail loudly, not half-parse.
+#ifndef DASC_SIM_RUN_REPORT_READER_H_
+#define DASC_SIM_RUN_REPORT_READER_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "sim/run_report.h"
+#include "util/status.h"
+
+namespace dasc::sim {
+
+// A fully-parsed run report.
+struct RunReport {
+  int schema_version = 0;  // 1 or 2
+  RunReportHeader header;
+  int declared_runs = 0;  // the header's "runs" field
+  std::vector<RunStats> stats;
+  util::MetricsSnapshot metrics;
+};
+
+// Parses one report from `in`. Fails on: missing/malformed header line,
+// unsupported schema version, malformed JSON, a stats line missing a
+// required field, or a declared-runs / stats-line count mismatch.
+util::Result<RunReport> ParseRunReport(std::istream& in);
+
+// Convenience: open + ParseRunReport, with the path prefixed to errors.
+util::Result<RunReport> ReadRunReportFile(const std::string& path);
+
+// The stats entry for `algorithm`, or nullptr when the report has none.
+const RunStats* FindStats(const RunReport& report,
+                          const std::string& algorithm);
+
+}  // namespace dasc::sim
+
+#endif  // DASC_SIM_RUN_REPORT_READER_H_

@@ -88,6 +88,8 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
     }
   }
 
+  BatchAuditor auditor(options_.audit_options);
+
   double now = t_begin;
   // Advances the clock to the next batch instant; false = simulation over.
   auto advance = [&]() {
@@ -219,6 +221,8 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
            batch_seq});
     }
     if (problem.workers.empty() || problem.open_tasks.empty()) {
+      ++result.empty_batches;
+      DASC_METRIC_COUNTER_INC("sim_empty_batches_total");
       if (batch_score > 0) {
         result.per_batch_scores.push_back(batch_score);
         result.score += batch_score;
@@ -237,15 +241,28 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
     }();
     const double batch_seconds = timer.ElapsedSeconds();
     result.allocator_seconds += batch_seconds;
-    result.per_batch_allocator_ms.push_back(batch_seconds * 1e3);
-    DASC_METRIC_HISTOGRAM_OBSERVE("sim_batch_allocator_ms",
-                                  batch_seconds * 1e3);
+    if (raw.empty()) {
+      // The allocator saw a live market but produced nothing (typically all
+      // candidates are dependency-blocked). Recording these as ~0 ms samples
+      // would drag the timing percentiles toward zero, so they are tallied
+      // separately; allocator_seconds still accumulates the (real) cost.
+      ++result.empty_batches;
+      DASC_METRIC_COUNTER_INC("sim_empty_batches_total");
+    } else {
+      result.per_batch_allocator_ms.push_back(batch_seconds * 1e3);
+      DASC_METRIC_HISTOGRAM_OBSERVE("sim_batch_allocator_ms",
+                                    batch_seconds * 1e3);
+    }
 
     const core::SplitAssignment split = core::SplitPairs(problem, raw);
     const core::Assignment& valid = split.valid;
     if (options_.paranoid_checks) {
       const util::Status audit = core::ValidateAssignment(problem, valid);
       DASC_CHECK(audit.ok()) << allocator.name() << ": " << audit.ToString();
+    }
+    if (options_.audit) {
+      DASC_TRACE_SPAN("audit");
+      auditor.AuditBatch(problem, valid, batch_seq);
     }
 
     batch_score += valid.size();
@@ -316,6 +333,7 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
   if (result.completed_tasks > 0) {
     result.mean_assignment_latency = latency_sum / result.completed_tasks;
   }
+  result.audit = auditor.summary();
   return result;
 }
 

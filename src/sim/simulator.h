@@ -11,6 +11,7 @@
 
 #include "core/allocator.h"
 #include "core/instance.h"
+#include "sim/audit.h"
 #include "sim/trace.h"
 
 namespace dasc::sim {
@@ -53,6 +54,14 @@ struct SimulatorOptions {
   // Re-audits every committed batch with ValidateAssignment (slow; tests).
   bool paranoid_checks = false;
 
+  // Runs the independent allocation auditor (sim/audit.h) on every committed
+  // batch: re-validates the four DA-SC constraints with checker code disjoint
+  // from the allocator path, and measures the per-batch optimality gap
+  // against a dependency-relaxed Hopcroft-Karp upper bound. Results land in
+  // SimulationResult::audit and the audit_* metrics.
+  bool audit = false;
+  AuditOptions audit_options;
+
   // Optional event sink (not owned); records dispatches, camping,
   // completions and batch boundaries when set.
   Trace* trace = nullptr;
@@ -73,8 +82,15 @@ struct SimulationResult {
   double allocator_seconds = 0.0;
   double last_completion_time = 0.0;
   std::vector<int> per_batch_scores;
-  // Per-invocation allocator wall times (ms), one entry per non-empty batch.
+  // Per-invocation allocator wall times (ms), one entry per batch in which
+  // the allocator produced at least one pair. Batches where either market
+  // side was empty, or where the allocator ran but returned nothing, are
+  // counted in `empty_batches` instead of polluting the timing distribution
+  // with ~0 ms samples.
   std::vector<double> per_batch_allocator_ms;
+  int empty_batches = 0;
+  // Populated when SimulatorOptions::audit is set.
+  AuditSummary audit;
 };
 
 class Simulator {

@@ -1,0 +1,94 @@
+// Minimal JSON document model: parse, navigate, serialize.
+//
+// Built for the observability pipeline (run-report reading, BENCH trajectory
+// files) where the third-party-free rule applies. The model is a plain DOM:
+// null / bool / number / string / array / object, with object members kept
+// in insertion order so re-serialized documents stay diffable. Numbers are
+// stored as doubles, which round-trips every value the repo writes (counters
+// stay exact up to 2^53).
+#ifndef DASC_UTIL_JSON_H_
+#define DASC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dasc::util {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double value);
+  static JsonValue String(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; reading the wrong kind returns the type's zero value.
+  bool AsBool() const { return is_bool() && bool_; }
+  double AsDouble() const { return is_number() ? number_ : 0.0; }
+  int64_t AsInt64() const { return static_cast<int64_t>(AsDouble()); }
+  const std::string& AsString() const;
+
+  // Array access.
+  const std::vector<JsonValue>& items() const { return items_; }
+  void Append(JsonValue value) { items_.push_back(std::move(value)); }
+
+  // Object access; members preserve insertion order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  // First member named `key`, or nullptr.
+  const JsonValue* Find(const std::string& key) const;
+  void Set(const std::string& key, JsonValue value);
+
+  // Convenience lookups with defaults for flat report objects.
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  // Compact serialization (no whitespace); Write(out, indent) pretty-prints
+  // with two-space indentation when indent >= 0.
+  void Write(std::ostream& out, int indent = -1) const;
+  std::string ToString(int indent = -1) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses one JSON document (trailing whitespace allowed, anything else after
+// the document is an error). Errors carry a byte offset.
+Result<JsonValue> ParseJson(const std::string& text);
+
+// Escapes `s` for embedding inside a JSON string literal (quotes,
+// backslashes, and control bytes; no surrounding quotes added).
+std::string JsonEscape(const std::string& s);
+
+// Shortest round-trippable-ish number formatting shared by every JSON writer
+// in the repo ("%.12g", matching the metrics registry exposition).
+std::string JsonNumber(double value);
+
+}  // namespace dasc::util
+
+#endif  // DASC_UTIL_JSON_H_

@@ -1,0 +1,200 @@
+// Round-trip and schema-handling tests for the run-report writer
+// (sim/run_report.h) and reader (sim/run_report_reader.h).
+#include "sim/run_report.h"
+#include "sim/run_report_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace dasc::sim {
+namespace {
+
+RunStats SampleStats(const std::string& algorithm, int base) {
+  RunStats s;
+  s.algorithm = algorithm;
+  s.score = base + 1;
+  s.millis = base + 0.25;
+  s.batches = base + 2;
+  s.nonempty_batches = base + 3;
+  s.empty_batches = base + 4;
+  s.completed_tasks = base + 5;
+  s.wasted_dispatches = base + 6;
+  s.p50_batch_ms = base + 0.5;
+  s.p95_batch_ms = base + 0.75;
+  s.max_batch_ms = base + 0.875;
+  s.mean_assignment_latency = base + 1.5;
+  s.last_completion_time = base + 2.5;
+  s.audited_batches = base + 7;
+  s.audit_violations = 0;
+  s.min_batch_gap = 0.625;
+  s.mean_batch_gap = 0.75;
+  s.approx_ratio = 0.875;
+  return s;
+}
+
+// Writer -> reader -> field-for-field equality, including the registry dump
+// (per-bucket histogram counts) and an instance string that needs JSON
+// escaping.
+TEST(RunReportRoundTrip, FieldForField) {
+  util::MetricsRegistry registry;
+  registry.GetCounter("alpha_total")->Increment(7);
+  registry.GetGauge("beta_depth")->Set(2.5);
+  util::Histogram* h =
+      registry.GetHistogram("gamma_ms", util::HistogramOptions{0.5, 2.0, 4});
+  h->Observe(0.25);
+  h->Observe(3.0);
+  h->Observe(1e6);  // lands in the +Inf overflow bucket
+
+  RunReportHeader header;
+  header.kind = "simulate";
+  header.instance = "path with \"quotes\", a \\ backslash and a\nnewline";
+  const std::vector<RunStats> written = {SampleStats("greedy", 10),
+                                         SampleStats("gg", 20)};
+
+  std::ostringstream out;
+  WriteRunReportJsonl(out, header, written, registry);
+  std::istringstream in(out.str());
+  auto report = ParseRunReport(in);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+
+  EXPECT_EQ(report->schema_version, 2);
+  EXPECT_EQ(report->header.kind, header.kind);
+  EXPECT_EQ(report->header.instance, header.instance);
+  EXPECT_EQ(report->declared_runs, 2);
+  ASSERT_EQ(report->stats.size(), written.size());
+  for (size_t i = 0; i < written.size(); ++i) {
+    const RunStats& a = written[i];
+    const RunStats& b = report->stats[i];
+    EXPECT_EQ(b.algorithm, a.algorithm);
+    EXPECT_EQ(b.score, a.score);
+    EXPECT_EQ(b.batches, a.batches);
+    EXPECT_EQ(b.nonempty_batches, a.nonempty_batches);
+    EXPECT_EQ(b.empty_batches, a.empty_batches);
+    EXPECT_EQ(b.completed_tasks, a.completed_tasks);
+    EXPECT_EQ(b.wasted_dispatches, a.wasted_dispatches);
+    EXPECT_DOUBLE_EQ(b.millis, a.millis);
+    EXPECT_DOUBLE_EQ(b.p50_batch_ms, a.p50_batch_ms);
+    EXPECT_DOUBLE_EQ(b.p95_batch_ms, a.p95_batch_ms);
+    EXPECT_DOUBLE_EQ(b.max_batch_ms, a.max_batch_ms);
+    EXPECT_DOUBLE_EQ(b.mean_assignment_latency, a.mean_assignment_latency);
+    EXPECT_DOUBLE_EQ(b.last_completion_time, a.last_completion_time);
+    EXPECT_EQ(b.audited_batches, a.audited_batches);
+    EXPECT_EQ(b.audit_violations, a.audit_violations);
+    EXPECT_DOUBLE_EQ(b.min_batch_gap, a.min_batch_gap);
+    EXPECT_DOUBLE_EQ(b.mean_batch_gap, a.mean_batch_gap);
+    EXPECT_DOUBLE_EQ(b.approx_ratio, a.approx_ratio);
+  }
+
+  const util::MetricsSnapshot want = registry.Snapshot();
+  const util::MetricsSnapshot& got = report->metrics;
+  ASSERT_EQ(got.counters.size(), want.counters.size());
+  EXPECT_EQ(got.counters[0].first, "alpha_total");
+  EXPECT_EQ(got.counters[0].second, 7);
+  ASSERT_EQ(got.gauges.size(), want.gauges.size());
+  EXPECT_EQ(got.gauges[0].first, "beta_depth");
+  EXPECT_DOUBLE_EQ(got.gauges[0].second, 2.5);
+  ASSERT_EQ(got.histograms.size(), 1u);
+  const util::HistogramSnapshot& wh = want.histograms[0];
+  const util::HistogramSnapshot& gh = got.histograms[0];
+  EXPECT_EQ(gh.name, wh.name);
+  EXPECT_EQ(gh.count, wh.count);
+  EXPECT_DOUBLE_EQ(gh.sum, wh.sum);
+  ASSERT_EQ(gh.bounds.size(), wh.bounds.size());
+  for (size_t i = 0; i < wh.bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(gh.bounds[i], wh.bounds[i]) << "bound " << i;
+  }
+  ASSERT_EQ(gh.counts, wh.counts);  // per-bucket, overflow bucket last
+}
+
+TEST(RunReportRoundTrip, FindStatsLooksUpByAlgorithm) {
+  util::MetricsRegistry registry;
+  std::ostringstream out;
+  WriteRunReportJsonl(out, {"bench", "x.dasc"}, {SampleStats("gg", 1)},
+                      registry);
+  std::istringstream in(out.str());
+  auto report = ParseRunReport(in);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  ASSERT_NE(FindStats(*report, "gg"), nullptr);
+  EXPECT_EQ(FindStats(*report, "gg")->score, 2);
+  EXPECT_EQ(FindStats(*report, "closest"), nullptr);
+}
+
+// A /1 report (no empty-batch or audit fields) still parses; the v2 fields
+// default to zero.
+TEST(RunReportSchema, AcceptsVersion1WithDefaults) {
+  const std::string v1 =
+      "{\"type\":\"run\",\"schema\":\"dasc-run-report/1\",\"kind\":\"sim\","
+      "\"instance\":\"a.dasc\",\"runs\":1}\n"
+      "{\"type\":\"stats\",\"algorithm\":\"greedy\",\"score\":5,"
+      "\"batches\":3,\"nonempty_batches\":2,\"completed_tasks\":4,"
+      "\"wasted_dispatches\":0,\"allocator_ms\":1.5,\"p50_batch_ms\":0.5,"
+      "\"p95_batch_ms\":0.7,\"max_batch_ms\":0.9,"
+      "\"mean_assignment_latency\":2.5,\"last_completion_time\":9}\n";
+  std::istringstream in(v1);
+  auto report = ParseRunReport(in);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->schema_version, 1);
+  ASSERT_EQ(report->stats.size(), 1u);
+  EXPECT_EQ(report->stats[0].score, 5);
+  EXPECT_EQ(report->stats[0].empty_batches, 0);
+  EXPECT_EQ(report->stats[0].audited_batches, 0);
+  EXPECT_DOUBLE_EQ(report->stats[0].approx_ratio, 0.0);
+}
+
+TEST(RunReportSchema, RejectsUnknownVersionNamingSupportedOnes) {
+  const std::string v9 =
+      "{\"type\":\"run\",\"schema\":\"dasc-run-report/9\",\"kind\":\"sim\","
+      "\"instance\":\"a.dasc\",\"runs\":0}\n";
+  std::istringstream in(v9);
+  auto report = ParseRunReport(in);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("dasc-run-report/2"),
+            std::string::npos)
+      << report.status().message();
+}
+
+// A /2 stats line missing a v2-required field must fail, not half-parse.
+TEST(RunReportSchema, Version2RequiresAuditFields) {
+  const std::string v2 =
+      "{\"type\":\"run\",\"schema\":\"dasc-run-report/2\",\"kind\":\"sim\","
+      "\"instance\":\"a.dasc\",\"runs\":1}\n"
+      "{\"type\":\"stats\",\"algorithm\":\"greedy\",\"score\":5,"
+      "\"batches\":3,\"nonempty_batches\":2,\"completed_tasks\":4,"
+      "\"wasted_dispatches\":0,\"allocator_ms\":1.5,\"p50_batch_ms\":0.5,"
+      "\"p95_batch_ms\":0.7,\"max_batch_ms\":0.9,"
+      "\"mean_assignment_latency\":2.5,\"last_completion_time\":9}\n";
+  std::istringstream in(v2);
+  auto report = ParseRunReport(in);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("empty_batches"),
+            std::string::npos)
+      << report.status().message();
+}
+
+TEST(RunReportSchema, RejectsDeclaredRunsMismatch) {
+  util::MetricsRegistry registry;
+  std::ostringstream out;
+  WriteRunReportJsonl(out, {"sim", "a.dasc"}, {SampleStats("greedy", 1)},
+                      registry);
+  std::string text = out.str();
+  const size_t pos = text.find("\"runs\":1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "\"runs\":3");
+  std::istringstream in(text);
+  auto report = ParseRunReport(in);
+  ASSERT_FALSE(report.ok());
+}
+
+TEST(RunReportSchema, RejectsMissingFile) {
+  auto report = ReadRunReportFile("/definitely/not/a/report.jsonl");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("report.jsonl"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dasc::sim

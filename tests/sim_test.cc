@@ -218,6 +218,24 @@ TEST(SimulatorTest, DeterministicAcrossRuns) {
   EXPECT_EQ(r1.per_batch_scores, r2.per_batch_scores);
 }
 
+// Batches that commit nothing (empty market, or a live market the allocator
+// returned nothing for) are tallied in empty_batches and excluded from the
+// per-batch timing samples, so the latency percentiles only see batches that
+// did allocator work that mattered.
+TEST(SimulatorTest, EmptyBatchesCountedAndExcludedFromTimings) {
+  const core::Instance instance = TwoPhaseInstance();
+  SimulatorOptions options;
+  options.batch_interval = 1.0;
+  Simulator simulator(instance, options);
+  algo::GreedyAllocator greedy;
+  const SimulationResult result = simulator.Run(greedy);
+  // Both tasks complete early; the long tail of the run is empty batches.
+  EXPECT_EQ(result.completed_tasks, 2);
+  EXPECT_GT(result.empty_batches, 0);
+  EXPECT_EQ(static_cast<int>(result.per_batch_allocator_ms.size()),
+            result.batches - result.empty_batches);
+}
+
 // ------------------------------------------------------------ Event-driven ---
 
 TEST(EventDrivenTest, FiresExactlyAtArrivalsAndCompletions) {
@@ -481,6 +499,7 @@ TEST(MetricsTest, SimulatorCountersMatchResult) {
   EXPECT_EQ(counter("sim_score_total"), result.score);
   EXPECT_EQ(counter("sim_completions_total"), result.completed_tasks);
   EXPECT_EQ(counter("sim_camp_dispatches_total"), result.wasted_dispatches);
+  EXPECT_EQ(counter("sim_empty_batches_total"), result.empty_batches);
   EXPECT_EQ(
       util::GlobalMetrics().GetHistogram("sim_batch_allocator_ms")->count(),
       static_cast<int64_t>(result.per_batch_allocator_ms.size()));

@@ -18,7 +18,7 @@ import argparse
 import json
 import sys
 
-RUN_SCHEMA = "dasc-run-report/1"
+SUPPORTED_VERSIONS = (1, 2)
 
 STATS_FIELDS = {
     "algorithm": str,
@@ -34,6 +34,28 @@ STATS_FIELDS = {
     "mean_assignment_latency": (int, float),
     "last_completion_time": (int, float),
 }
+
+# Added by dasc-run-report/2 (quality auditor fields); required there,
+# absent in /1.
+STATS_FIELDS_V2 = {
+    "empty_batches": int,
+    "audited_batches": int,
+    "audit_violations": int,
+    "min_batch_gap": (int, float),
+    "mean_batch_gap": (int, float),
+    "approx_ratio": (int, float),
+}
+
+
+def parse_schema_version(schema):
+    """Returns the integer version of a 'dasc-run-report/N' string or None."""
+    prefix = "dasc-run-report/"
+    if not isinstance(schema, str) or not schema.startswith(prefix):
+        return None
+    try:
+        return int(schema[len(prefix):])
+    except ValueError:
+        return None
 
 
 def check_histogram(obj, lineno, errors):
@@ -86,6 +108,7 @@ def check_report(path, require_metrics, errors):
         return
     seen_metrics = set()
     num_stats = 0
+    version = None
     for lineno, line in enumerate(lines, start=1):
         try:
             obj = json.loads(line)
@@ -98,9 +121,14 @@ def check_report(path, require_metrics, errors):
                 errors.append(f"{path}: first line must have type 'run', "
                               f"got {kind!r}")
                 return
-            if obj.get("schema") != RUN_SCHEMA:
-                errors.append(f"{path}: schema {obj.get('schema')!r} != "
-                              f"{RUN_SCHEMA!r}")
+            version = parse_schema_version(obj.get("schema"))
+            if version not in SUPPORTED_VERSIONS:
+                supported = ", ".join(f"dasc-run-report/{v}"
+                                      for v in SUPPORTED_VERSIONS)
+                errors.append(f"{path}: unsupported schema "
+                              f"{obj.get('schema')!r} (supported: "
+                              f"{supported})")
+                return
             for field in ("kind", "instance"):
                 if not isinstance(obj.get(field), str):
                     errors.append(f"{path}: run header missing {field!r}")
@@ -109,10 +137,20 @@ def check_report(path, require_metrics, errors):
             continue
         if kind == "stats":
             num_stats += 1
-            for field, types in STATS_FIELDS.items():
+            required = dict(STATS_FIELDS)
+            if version >= 2:
+                required.update(STATS_FIELDS_V2)
+            for field, types in required.items():
                 if not isinstance(obj.get(field), types):
                     errors.append(f"{path} line {lineno}: stats {field!r} "
                                   "missing or mistyped")
+            if version >= 2:
+                for field in ("min_batch_gap", "mean_batch_gap",
+                              "approx_ratio"):
+                    value = obj.get(field)
+                    if isinstance(value, (int, float)) and not 0 <= value <= 1:
+                        errors.append(f"{path} line {lineno}: stats "
+                                      f"{field!r} = {value} outside [0, 1]")
         elif kind == "counter":
             if not isinstance(obj.get("name"), str) or not isinstance(
                     obj.get("value"), int):

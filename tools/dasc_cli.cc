@@ -6,13 +6,17 @@
 //   dasc_cli stats <in.dasc>
 //   dasc_cli solve <in.dasc> <algo> [--seed=N] [--out=assignment.csv]
 //            [--now=F] [--metrics-out=report.jsonl] [--trace-out=trace.json]
-//   dasc_cli simulate <in.dasc> <algo> [--seed=N] [--interval=F]
+//   dasc_cli simulate <in.dasc> <algo> [--seed=N] [--interval=F] [--audit]
 //            [--metrics-out=report.jsonl] [--trace-out=trace.json]
 //            [--events-out=events.jsonl]
 //   dasc_cli render <in.dasc> <out.svg>
 //
 // Observability outputs:
-//   --metrics-out   JSONL run report (schema dasc-run-report/1): run header,
+//   --audit         run the allocation auditor (sim/audit.h) on every batch:
+//                   independent constraint re-validation plus the
+//                   dependency-relaxed optimality gap, reported in the run
+//                   report's audit fields (and aborting on any violation).
+//   --metrics-out   JSONL run report (schema dasc-run-report/2): run header,
 //                   per-run stats, and the full metrics-registry dump.
 //   --trace-out     Chrome/Perfetto trace_event JSON of the instrumented
 //                   spans (open at https://ui.perfetto.dev).
@@ -57,8 +61,8 @@ int Usage() {
       "  dasc_cli stats <in>\n"
       "  dasc_cli solve <in> <algo> [--seed= --out= --now= --metrics-out= "
       "--trace-out=]\n"
-      "  dasc_cli simulate <in> <algo> [--seed= --interval= --metrics-out= "
-      "--trace-out= --events-out=]\n"
+      "  dasc_cli simulate <in> <algo> [--seed= --interval= --audit "
+      "--metrics-out= --trace-out= --events-out=]\n"
       "  dasc_cli render <in> <out.svg>\n"
       "algorithms:");
   for (const auto& name : algo::KnownAllocatorNames()) {
@@ -258,11 +262,14 @@ int Simulate(int argc, char** argv) {
   util::FlagParser parser;
   int64_t seed = 42;
   double interval = 5.0;
+  bool audit = false;
   std::string metrics_out;
   std::string trace_out;
   std::string events_out;
   parser.AddInt("seed", &seed, "allocator RNG seed");
   parser.AddDouble("interval", &interval, "platform batch interval");
+  parser.AddBool("audit", &audit,
+                 "audit every batch (constraint re-check + optimality gap)");
   parser.AddString("metrics-out", &metrics_out, "write a JSONL run report");
   parser.AddString("trace-out", &trace_out, "write a Perfetto trace JSON");
   parser.AddString("events-out", &events_out,
@@ -281,6 +288,7 @@ int Simulate(int argc, char** argv) {
   }
   sim::SimulatorOptions options;
   options.batch_interval = interval;
+  options.audit = audit;
   sim::Trace trace;
   if (!events_out.empty()) options.trace = &trace;
   if (!trace_out.empty()) util::StartTracing();
@@ -293,6 +301,13 @@ int Simulate(int argc, char** argv) {
       stats.algorithm.c_str(), stats.score, stats.completed_tasks,
       stats.batches, stats.nonempty_batches, stats.wasted_dispatches,
       stats.millis, stats.last_completion_time);
+  if (audit) {
+    std::printf(
+        "audit: batches=%d approx_ratio=%.3f min_gap=%.3f mean_gap=%.3f "
+        "violations=%d\n",
+        stats.audited_batches, stats.approx_ratio, stats.min_batch_gap,
+        stats.mean_batch_gap, stats.audit_violations);
+  }
   if (!trace_out.empty()) {
     std::ofstream out;
     if (!OpenOut(trace_out, &out)) return 1;

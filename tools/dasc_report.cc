@@ -1,0 +1,323 @@
+// dasc_report — offline analysis of dasc-run-report JSONL files.
+//
+//   dasc_report summarize <report.jsonl> [--csv]
+//   dasc_report diff <baseline.jsonl> <candidate.jsonl>
+//            [--score-tol=0.02] [--gap-tol=0.05] [--latency-tol=F]
+//            [--min-gap=F] [--gate]
+//   dasc_report trajectory <report.jsonl> <trajectory.json> [--label=STR]
+//
+// summarize prints one table row per algorithm in the report: score, batch
+// shape, allocator latency distribution, and (for audited runs) the
+// optimality-gap block the allocation auditor measured.
+//
+// diff compares every algorithm of the baseline report against the candidate
+// and classifies each metric movement:
+//   * score — relative drop beyond --score-tol is a regression (gains pass);
+//   * approx_ratio / min_batch_gap — drop beyond --gap-tol is a regression,
+//     compared only when both runs were audited;
+//   * audit_violations — any nonzero candidate count is a regression
+//     regardless of tolerances (a constraint violation is never noise);
+//   * --min-gap — absolute floor on the candidate's approx_ratio (audited
+//     runs only), e.g. 0.5 to hold DASC_Game to the paper's bound;
+//   * allocator_ms / p95_batch_ms — compared only when --latency-tol is
+//     given, because wall times are machine-dependent and a checked-in
+//     baseline would otherwise gate on the build machine's mood.
+// With --gate the exit code becomes the CI signal: 0 clean, 1 on any
+// regression. Without it diff always exits 0 (informational).
+//
+// trajectory appends one typed entry per algorithm to a JSON array file —
+// the longitudinal quality record BENCH_trajectory.json, written via a
+// parse-modify-rewrite so the file stays a valid JSON document (unlike a
+// JSONL log, it can be consumed directly by plotting notebooks).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/run_report_reader.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace dasc;
+using sim::RunReport;
+using sim::RunStats;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  dasc_report summarize <report.jsonl> [--csv]\n"
+      "  dasc_report diff <baseline.jsonl> <candidate.jsonl> [--score-tol= "
+      "--gap-tol= --latency-tol= --min-gap= --gate]\n"
+      "  dasc_report trajectory <report.jsonl> <trajectory.json> "
+      "[--label=]\n");
+  return 2;
+}
+
+bool ParseSubcommand(util::FlagParser& parser, int argc, char** argv,
+                     size_t num_positional) {
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  const util::Status status = parser.Parse(args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return false;
+  }
+  return parser.positional().size() == num_positional;
+}
+
+util::Result<RunReport> LoadOrComplain(const std::string& path) {
+  util::Result<RunReport> report = sim::ReadRunReportFile(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+  }
+  return report;
+}
+
+std::string Num(double value, int precision = 2) {
+  return util::TablePrinter::Num(value, precision);
+}
+
+int Summarize(int argc, char** argv) {
+  util::FlagParser parser;
+  bool csv = false;
+  parser.AddBool("csv", &csv, "emit CSV instead of an aligned table");
+  if (!ParseSubcommand(parser, argc, argv, 1)) return Usage();
+  util::Result<RunReport> report = LoadOrComplain(parser.positional()[0]);
+  if (!report.ok()) return 1;
+
+  std::printf("report: kind=%s instance=%s schema=dasc-run-report/%d\n",
+              report->header.kind.c_str(), report->header.instance.c_str(),
+              report->schema_version);
+  util::TablePrinter table;
+  table.AddRow({"algorithm", "score", "batches", "nonempty", "empty",
+                "completed", "wasted", "alloc_ms", "p95_ms", "latency",
+                "audited", "approx", "min_gap", "violations"});
+  for (const RunStats& s : report->stats) {
+    const bool audited = s.audited_batches > 0;
+    table.AddRow({s.algorithm, std::to_string(s.score),
+                  std::to_string(s.batches), std::to_string(s.nonempty_batches),
+                  std::to_string(s.empty_batches),
+                  std::to_string(s.completed_tasks),
+                  std::to_string(s.wasted_dispatches), Num(s.millis),
+                  Num(s.p95_batch_ms, 3), Num(s.mean_assignment_latency),
+                  std::to_string(s.audited_batches),
+                  audited ? Num(s.approx_ratio, 3) : "-",
+                  audited ? Num(s.min_batch_gap, 3) : "-",
+                  std::to_string(s.audit_violations)});
+  }
+  if (csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  return 0;
+}
+
+// One metric comparison in `diff`: what moved, by how much, and whether the
+// movement breaches its threshold.
+struct Finding {
+  std::string algorithm;
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  bool regression = false;
+  std::string note;
+};
+
+// Relative change of `candidate` vs `baseline` with a sign such that
+// positive = worse for a higher-is-better metric when `higher_is_better`.
+double RelativeDrop(double baseline, double candidate, bool higher_is_better) {
+  if (baseline == 0.0) return 0.0;
+  const double delta = (baseline - candidate) / baseline;
+  return higher_is_better ? delta : -delta;
+}
+
+int Diff(int argc, char** argv) {
+  util::FlagParser parser;
+  double score_tol = 0.02;
+  double gap_tol = 0.05;
+  double latency_tol = 0.0;
+  double min_gap = 0.0;
+  bool gate = false;
+  parser.AddDouble("score-tol", &score_tol,
+                   "max relative score drop before a regression");
+  parser.AddDouble("gap-tol", &gap_tol,
+                   "max relative approx-ratio / min-gap drop");
+  parser.AddDouble("latency-tol", &latency_tol,
+                   "max relative latency increase (0 = don't compare "
+                   "wall times; they are machine-dependent)");
+  parser.AddDouble("min-gap", &min_gap,
+                   "absolute floor on the candidate approx_ratio "
+                   "(0 = no floor)");
+  parser.AddBool("gate", &gate, "exit nonzero when any regression is found");
+  if (!ParseSubcommand(parser, argc, argv, 2)) return Usage();
+  util::Result<RunReport> baseline = LoadOrComplain(parser.positional()[0]);
+  if (!baseline.ok()) return 1;
+  util::Result<RunReport> candidate = LoadOrComplain(parser.positional()[1]);
+  if (!candidate.ok()) return 1;
+
+  std::vector<Finding> findings;
+  auto compare = [&](const std::string& algorithm, const std::string& metric,
+                     double base, double cand, double tol,
+                     bool higher_is_better, const std::string& note) {
+    Finding f;
+    f.algorithm = algorithm;
+    f.metric = metric;
+    f.baseline = base;
+    f.candidate = cand;
+    f.regression = RelativeDrop(base, cand, higher_is_better) > tol;
+    f.note = note;
+    findings.push_back(f);
+  };
+
+  int missing = 0;
+  for (const RunStats& base : baseline->stats) {
+    const RunStats* cand = sim::FindStats(*candidate, base.algorithm);
+    if (cand == nullptr) {
+      Finding f;
+      f.algorithm = base.algorithm;
+      f.metric = "presence";
+      f.regression = true;
+      f.note = "algorithm missing from candidate report";
+      findings.push_back(f);
+      ++missing;
+      continue;
+    }
+    compare(base.algorithm, "score", base.score, cand->score, score_tol,
+            /*higher_is_better=*/true, "");
+    const bool both_audited =
+        base.audited_batches > 0 && cand->audited_batches > 0;
+    if (both_audited) {
+      compare(base.algorithm, "approx_ratio", base.approx_ratio,
+              cand->approx_ratio, gap_tol, /*higher_is_better=*/true, "");
+      compare(base.algorithm, "min_batch_gap", base.min_batch_gap,
+              cand->min_batch_gap, gap_tol, /*higher_is_better=*/true, "");
+    }
+    if (cand->audit_violations > 0) {
+      Finding f;
+      f.algorithm = base.algorithm;
+      f.metric = "audit_violations";
+      f.baseline = base.audit_violations;
+      f.candidate = cand->audit_violations;
+      f.regression = true;
+      f.note = "constraint violations are never tolerated";
+      findings.push_back(f);
+    }
+    if (min_gap > 0.0 && cand->audited_batches > 0 &&
+        cand->approx_ratio < min_gap) {
+      Finding f;
+      f.algorithm = base.algorithm;
+      f.metric = "approx_ratio_floor";
+      f.baseline = min_gap;
+      f.candidate = cand->approx_ratio;
+      f.regression = true;
+      f.note = "below the --min-gap floor";
+      findings.push_back(f);
+    }
+    if (latency_tol > 0.0) {
+      compare(base.algorithm, "allocator_ms", base.millis, cand->millis,
+              latency_tol, /*higher_is_better=*/false, "");
+      compare(base.algorithm, "p95_batch_ms", base.p95_batch_ms,
+              cand->p95_batch_ms, latency_tol, /*higher_is_better=*/false, "");
+    }
+  }
+
+  util::TablePrinter table;
+  table.AddRow({"algorithm", "metric", "baseline", "candidate", "verdict"});
+  int regressions = 0;
+  for (const Finding& f : findings) {
+    if (f.regression) ++regressions;
+    std::string verdict = f.regression ? "REGRESSION" : "ok";
+    if (!f.note.empty()) verdict += " (" + f.note + ")";
+    table.AddRow({f.algorithm, f.metric, Num(f.baseline, 3),
+                  Num(f.candidate, 3), verdict});
+  }
+  table.Print(std::cout);
+  if (regressions > 0) {
+    std::printf("%d regression(s) against %s\n", regressions,
+                parser.positional()[0].c_str());
+    return gate ? 1 : 0;
+  }
+  std::printf("no regressions (%zu comparisons, %d missing)\n",
+              findings.size(), missing);
+  return 0;
+}
+
+int Trajectory(int argc, char** argv) {
+  util::FlagParser parser;
+  std::string label;
+  parser.AddString("label", &label,
+                   "entry label (e.g. a commit id or bench run name)");
+  if (!ParseSubcommand(parser, argc, argv, 2)) return Usage();
+  util::Result<RunReport> report = LoadOrComplain(parser.positional()[0]);
+  if (!report.ok()) return 1;
+  const std::string& trajectory_path = parser.positional()[1];
+
+  // Load the existing trajectory (missing file = empty array); the file is a
+  // real JSON array, so append means parse + push + rewrite.
+  util::JsonValue trajectory = util::JsonValue::Array();
+  {
+    std::ifstream in(trajectory_path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      util::Result<util::JsonValue> parsed = util::ParseJson(buffer.str());
+      if (!parsed.ok() || !parsed.value().is_array()) {
+        std::fprintf(stderr, "%s: not a JSON array trajectory file%s%s\n",
+                     trajectory_path.c_str(), parsed.ok() ? "" : ": ",
+                     parsed.ok() ? "" : parsed.status().message().c_str());
+        return 1;
+      }
+      trajectory = std::move(parsed.value());
+    }
+  }
+
+  for (const RunStats& s : report->stats) {
+    util::JsonValue entry = util::JsonValue::Object();
+    entry.Set("label", util::JsonValue::String(label));
+    entry.Set("kind", util::JsonValue::String(report->header.kind));
+    entry.Set("instance", util::JsonValue::String(report->header.instance));
+    entry.Set("algorithm", util::JsonValue::String(s.algorithm));
+    entry.Set("score", util::JsonValue::Number(s.score));
+    entry.Set("completed_tasks", util::JsonValue::Number(s.completed_tasks));
+    entry.Set("wasted_dispatches",
+              util::JsonValue::Number(s.wasted_dispatches));
+    entry.Set("allocator_ms", util::JsonValue::Number(s.millis));
+    entry.Set("p95_batch_ms", util::JsonValue::Number(s.p95_batch_ms));
+    entry.Set("audited_batches", util::JsonValue::Number(s.audited_batches));
+    entry.Set("audit_violations",
+              util::JsonValue::Number(s.audit_violations));
+    entry.Set("approx_ratio", util::JsonValue::Number(s.approx_ratio));
+    entry.Set("min_batch_gap", util::JsonValue::Number(s.min_batch_gap));
+    trajectory.Append(std::move(entry));
+  }
+
+  std::ofstream out(trajectory_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", trajectory_path.c_str());
+    return 1;
+  }
+  trajectory.Write(out, 0);
+  out << "\n";
+  std::printf("appended %zu entr%s to %s (%zu total)\n",
+              report->stats.size(), report->stats.size() == 1 ? "y" : "ies",
+              trajectory_path.c_str(), trajectory.items().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "summarize") return Summarize(argc, argv);
+  if (command == "diff") return Diff(argc, argv);
+  if (command == "trajectory") return Trajectory(argc, argv);
+  return Usage();
+}
