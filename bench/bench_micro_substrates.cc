@@ -24,6 +24,10 @@
 //     alone on the same committed assignment (sim_audit_ms) — the
 //     constraint re-check + relaxed-bound matching is budgeted at <= 5% of
 //     batch time;
+//   * the lifecycle-ledger overhead guard: the same committed G-G batch
+//     with (sim_ledger_on) and without (sim_ledger_off) the ledger's
+//     ObserveBatch/RecordAssigned/Finalize steps — the provenance
+//     bookkeeping is budgeted at <= 3% of sim_batch_ms;
 //   * full-simulation headline metrics from one audited G-G run of the
 //     reduced Table V workload (sim_headline_*): batches, p95 batch
 //     allocator ms, score, the game_rounds histogram summary pulled from
@@ -46,6 +50,7 @@
 #include "core/assignment.h"
 #include "core/batch.h"
 #include "sim/audit.h"
+#include "sim/ledger.h"
 #include "gen/synthetic.h"
 #include "geo/grid_index.h"
 #include "graph/dag.h"
@@ -322,6 +327,42 @@ std::vector<MicroEntry> CollectMicroEntries(int reps) {
     entries.push_back(TimeMicro("sim_audit_ms", reps, [&] {
       sim::BatchAuditor auditor;
       benchmark::DoNotOptimize(auditor.AuditBatch(problem, valid, 0));
+    }));
+  }
+
+  // Lifecycle-ledger overhead guard: everything --ledger adds to one
+  // simulation batch (LifecycleLedger construction + ObserveBatch on the
+  // committed assignment + RecordAssigned per pair + Finalize), measured
+  // with (sim_ledger_on) and without (sim_ledger_off) the ledger calls over
+  // the same precomputed committed batch. The allocator run is hoisted out
+  // of the timed region for the same reason sim_audit_ms times the auditor
+  // directly: the ledger is ~0.04 ms, and subtracting two ~20 ms allocator
+  // timings would drown it in jitter. Budget: the on/off delta is <= 3% of
+  // sim_batch_ms (DESIGN.md §11).
+  {
+    const core::Instance instance = MakeBatchInstance(4);
+    core::BatchProblem problem = core::BatchProblem::AllAt(instance, 0.0);
+    problem.Candidates();
+    algo::GameOptions options;
+    options.threshold = 0.05;
+    options.greedy_init = true;
+    algo::GameAllocator gg(options);
+    const core::Assignment valid = core::ValidPairs(problem, gg.Allocate(problem));
+    entries.push_back(TimeMicro("sim_ledger_off", reps, [&] {
+      // Baseline: walk the committed pairs exactly as the ledger-on side
+      // does, minus every ledger call.
+      size_t committed = 0;
+      for (const auto& pair : valid.pairs()) committed += pair.second >= 0;
+      benchmark::DoNotOptimize(committed);
+    }));
+    entries.push_back(TimeMicro("sim_ledger_on", reps, [&] {
+      sim::LifecycleLedger ledger(instance);
+      ledger.ObserveBatch(problem, valid, 0, nullptr);
+      for (const auto& [worker, task] : valid.pairs()) {
+        ledger.RecordAssigned(task, 0, 0.0);
+      }
+      ledger.Finalize(0, nullptr);
+      benchmark::DoNotOptimize(ledger.entries().size());
     }));
   }
 

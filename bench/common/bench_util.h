@@ -22,7 +22,7 @@
 //                 order), but per-cell wall-clock in the time tables gets
 //                 noisier as concurrent cells contend for cores — use
 //                 --threads=1 for timing-fidelity runs.
-//   --run-report=PATH  write a dasc-run-report/2 JSONL file (one stats line
+//   --run-report=PATH  write a dasc-run-report/3 JSONL file (one stats line
 //                 per simulation cell plus the metrics-registry dump; see
 //                 src/sim/run_report.h) after the sweep.
 //   --audit=BOOL  run the allocation auditor on every batch (default true):

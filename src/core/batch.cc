@@ -219,4 +219,22 @@ CandidateSets BuildCandidates(const BatchProblem& problem) {
   return sets;
 }
 
+ServeFailure ClassifyBatchTaskFailure(const BatchProblem& problem,
+                                      TaskId task) {
+  DASC_CHECK(problem.instance != nullptr);
+  DASC_CHECK(!problem.workers.empty());
+  // Max over workers = the most advanced stage any worker reached; the
+  // candidate probe loops cannot supply this (the skill-index path never
+  // probes workers lacking the skill), hence the dedicated scan.
+  ServeFailure best = ServeFailure::kSkillMismatch;
+  for (const WorkerState& state : problem.workers) {
+    const ServeFailure f =
+        ClassifyServe(*problem.instance, state, task, problem.now,
+                      problem.params);
+    if (f == ServeFailure::kNone) return ServeFailure::kNone;
+    best = std::max(best, f);
+  }
+  return best;
+}
+
 }  // namespace dasc::core

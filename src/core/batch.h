@@ -77,6 +77,13 @@ struct CandidateSets {
 // fallback.
 CandidateSets BuildCandidates(const BatchProblem& problem);
 
+// The most advanced ServeFailure any idle worker reaches against `task`
+// (kNone when some worker is fully feasible this batch). The lifecycle
+// ledger (sim/ledger.h) uses this to attribute candidate-less open tasks;
+// requires a non-empty problem.workers.
+ServeFailure ClassifyBatchTaskFailure(const BatchProblem& problem,
+                                      TaskId task);
+
 }  // namespace dasc::core
 
 #endif  // DASC_CORE_BATCH_H_

@@ -19,32 +19,71 @@ double ServeDistance(const Instance& instance, const WorkerState& state,
   return PairDistance(params, state.location, instance.task(task).location);
 }
 
-bool CanServe(const Instance& instance, const WorkerState& state, TaskId task,
-              double now, const FeasibilityParams& params) {
+const char* ServeFailureName(ServeFailure failure) {
+  switch (failure) {
+    case ServeFailure::kNone:
+      return "none";
+    case ServeFailure::kSkillMismatch:
+      return "skill_mismatch";
+    case ServeFailure::kWorkerDeparted:
+      return "worker_departed";
+    case ServeFailure::kWindowMismatch:
+      return "window_mismatch";
+    case ServeFailure::kTaskNotArrived:
+      return "task_not_arrived";
+    case ServeFailure::kOutOfRange:
+      return "out_of_range";
+    case ServeFailure::kArrivalDeadline:
+      return "arrival_deadline";
+  }
+  DASC_CHECK(false) << "unknown ServeFailure";
+  return "?";
+}
+
+ServeFailure ClassifyServe(const Instance& instance, const WorkerState& state,
+                           TaskId task, double now,
+                           const FeasibilityParams& params) {
   const Worker& w = instance.worker(state.id);
   const Task& t = instance.task(task);
-  if (!w.HasSkill(t.required_skill)) return false;
-  if (now > w.Deadline()) return false;       // worker already left
-  if (t.start_time > w.Deadline()) return false;  // task appears after worker leaves
-  if (t.start_time > now) return false;       // task not on platform yet
+  if (!w.HasSkill(t.required_skill)) return ServeFailure::kSkillMismatch;
+  if (now > w.Deadline()) return ServeFailure::kWorkerDeparted;
+  if (t.start_time > w.Deadline()) return ServeFailure::kWindowMismatch;
+  if (t.start_time > now) return ServeFailure::kTaskNotArrived;
   const double dist = ServeDistance(instance, state, task, params);
-  if (dist > state.remaining_distance) return false;
+  if (dist > state.remaining_distance) return ServeFailure::kOutOfRange;
   const double arrival = now + dist / w.velocity;
-  return arrival <= t.Expiry();
+  if (arrival > t.Expiry()) return ServeFailure::kArrivalDeadline;
+  return ServeFailure::kNone;
+}
+
+bool CanServe(const Instance& instance, const WorkerState& state, TaskId task,
+              double now, const FeasibilityParams& params) {
+  return ClassifyServe(instance, state, task, now, params) ==
+         ServeFailure::kNone;
+}
+
+ServeFailure ClassifyServeOffline(const Instance& instance, WorkerId worker,
+                                  TaskId task,
+                                  const FeasibilityParams& params) {
+  const Worker& w = instance.worker(worker);
+  const Task& t = instance.task(task);
+  if (!w.HasSkill(t.required_skill)) return ServeFailure::kSkillMismatch;
+  if (t.start_time > w.Deadline()) return ServeFailure::kWindowMismatch;
+  // The worker cannot depart before both parties are on the platform.
+  const double depart = std::max(w.start_time, t.start_time);
+  if (depart > w.Deadline()) return ServeFailure::kWorkerDeparted;
+  const double dist = PairDistance(params, w.location, t.location);
+  if (dist > w.max_distance) return ServeFailure::kOutOfRange;
+  if (depart + dist / w.velocity > t.Expiry()) {
+    return ServeFailure::kArrivalDeadline;
+  }
+  return ServeFailure::kNone;
 }
 
 bool CanServeOffline(const Instance& instance, WorkerId worker, TaskId task,
                      const FeasibilityParams& params) {
-  const Worker& w = instance.worker(worker);
-  const Task& t = instance.task(task);
-  if (!w.HasSkill(t.required_skill)) return false;
-  if (t.start_time > w.Deadline()) return false;
-  // The worker cannot depart before both parties are on the platform.
-  const double depart = std::max(w.start_time, t.start_time);
-  if (depart > w.Deadline()) return false;
-  const double dist = PairDistance(params, w.location, t.location);
-  if (dist > w.max_distance) return false;
-  return depart + dist / w.velocity <= t.Expiry();
+  return ClassifyServeOffline(instance, worker, task, params) ==
+         ServeFailure::kNone;
 }
 
 }  // namespace dasc::core

@@ -38,6 +38,37 @@ struct WorkerState {
 double ServeDistance(const Instance& instance, const WorkerState& state,
                      TaskId task, const FeasibilityParams& params);
 
+// Why a worker-task pair is infeasible. Values are ordered by how far the
+// pair progressed through the constraint checks (kNone = feasible), so
+// "max over workers" yields the most advanced — i.e. most informative —
+// failure for a task: a task every worker fails on skill is hopeless, while
+// a task some worker barely misses on arrival deadline was nearly served.
+// The lifecycle ledger (sim/ledger.h) folds these into its unserved-task
+// taxonomy.
+enum class ServeFailure {
+  kNone = 0,         // feasible
+  kSkillMismatch,    // the worker lacks the task's required skill
+  kWorkerDeparted,   // dispatch time past the worker's deadline
+  kWindowMismatch,   // the task appears only after the worker leaves
+  kTaskNotArrived,   // the task is not on the platform yet
+  kOutOfRange,       // travel exceeds the worker's distance budget
+  kArrivalDeadline,  // the worker would arrive after the task expires
+};
+
+// Stable lowercase name ("skill_mismatch", "out_of_range", ...).
+const char* ServeFailureName(ServeFailure failure);
+
+// The first constraint the pair fails, checked in CanServe's order (kNone
+// when feasible). CanServe(...) == (ClassifyServe(...) == kNone).
+ServeFailure ClassifyServe(const Instance& instance, const WorkerState& state,
+                           TaskId task, double now,
+                           const FeasibilityParams& params);
+
+// Classification twin of CanServeOffline (Definition 3 static form).
+ServeFailure ClassifyServeOffline(const Instance& instance, WorkerId worker,
+                                  TaskId task,
+                                  const FeasibilityParams& params);
+
 // True iff the worker in `state` can serve `task` when dispatched at time
 // `now` (batch semantics):
 //   * skill match,

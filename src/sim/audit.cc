@@ -66,6 +66,35 @@ std::string CheckPairConstraints(const core::BatchProblem& problem,
   return "";
 }
 
+// The auditor's own pair-level failure staging for the ledger cross-check:
+// same comparisons as CheckPairConstraints (not core::ClassifyServe), folded
+// straight to the task-level taxonomy. Returns kServed for a feasible pair.
+// The check order matches the taxonomy's progress order, so the first failing
+// check IS the pair's stage.
+UnservedReason ShadowPairStage(const core::BatchProblem& problem,
+                               const core::WorkerState& state, core::TaskId t) {
+  const core::Instance& instance = *problem.instance;
+  const core::Worker& w = instance.worker(state.id);
+  const core::Task& task = instance.task(t);
+  const auto& skills = w.skills;
+  if (std::find(skills.begin(), skills.end(), task.required_skill) ==
+      skills.end()) {
+    return UnservedReason::kNoSkilledWorker;
+  }
+  if (problem.now > w.start_time + w.wait_time ||
+      task.start_time > w.start_time + w.wait_time ||
+      task.start_time > problem.now) {
+    return UnservedReason::kTravelDeadline;
+  }
+  const double dist =
+      core::PairDistance(problem.params, state.location, task.location);
+  if (dist > state.remaining_distance) return UnservedReason::kOutOfRange;
+  if (problem.now + dist / w.velocity > task.start_time + task.wait_time) {
+    return UnservedReason::kArrivalDeadline;
+  }
+  return UnservedReason::kServed;
+}
+
 }  // namespace
 
 int RelaxedBatchUpperBound(const core::BatchProblem& problem,
@@ -315,6 +344,95 @@ BatchAudit BatchAuditor::AuditBatch(const core::BatchProblem& problem,
   }
   DASC_METRIC_HISTOGRAM_OBSERVE("audit_batch_ms", timer.ElapsedMillis());
   return audit;
+}
+
+void BatchAuditor::ObserveLedgerBatch(const core::BatchProblem& problem,
+                                      const core::Assignment& committed) {
+  DASC_CHECK(problem.instance != nullptr);
+  const core::Instance& instance = *problem.instance;
+  const size_t m = static_cast<size_t>(instance.num_tasks());
+  if (shadow_stage_.empty()) {
+    shadow_stage_.assign(m, UnservedReason::kNeverOpen);
+    shadow_seen_.assign(m, 0);
+  }
+  DASC_CHECK_EQ(shadow_stage_.size(), m);
+
+  std::vector<uint8_t> in_batch(m, 0);
+  for (const auto& [w, t] : committed.pairs()) {
+    in_batch[static_cast<size_t>(t)] = 1;
+  }
+
+  for (core::TaskId t : problem.open_tasks) {
+    shadow_seen_[static_cast<size_t>(t)] = 1;
+    if (in_batch[static_cast<size_t>(t)]) continue;
+    UnservedReason stage = UnservedReason::kWorkerExhausted;
+    if (!problem.workers.empty()) {
+      UnservedReason best = UnservedReason::kNeverOpen;
+      bool feasible = false;
+      for (const core::WorkerState& state : problem.workers) {
+        const UnservedReason s = ShadowPairStage(problem, state, t);
+        if (s == UnservedReason::kServed) {
+          feasible = true;
+          break;
+        }
+        best = std::max(best, s);
+      }
+      if (feasible) {
+        bool deps_met = true;
+        for (core::TaskId f : instance.DepClosure(t)) {
+          if (problem.TaskAssignedBefore(f)) continue;
+          if (problem.in_batch_dependency_credit &&
+              in_batch[static_cast<size_t>(f)]) {
+            continue;
+          }
+          deps_met = false;
+          break;
+        }
+        stage = deps_met ? UnservedReason::kLostInMatching
+                         : UnservedReason::kDependencyUnmet;
+      } else {
+        stage = best;
+      }
+    }
+    shadow_stage_[static_cast<size_t>(t)] =
+        std::max(shadow_stage_[static_cast<size_t>(t)], stage);
+  }
+}
+
+int BatchAuditor::CrossCheckLedger(
+    const std::vector<TaskLedgerEntry>& entries) {
+  int mismatches = 0;
+  for (const TaskLedgerEntry& e : entries) {
+    if (e.completed) {
+      if (e.reason != UnservedReason::kServed) ++mismatches;
+      continue;
+    }
+    UnservedReason expected;
+    const size_t t = static_cast<size_t>(e.task);
+    if (e.camp_expired) {
+      // A binding camp that died is dependency_unmet by definition — the
+      // shadow maximum may sit higher (lost_in_matching from earlier
+      // batches), which the ledger deliberately overrides.
+      expected = UnservedReason::kDependencyUnmet;
+    } else if (shadow_seen_.empty() || t >= shadow_seen_.size() ||
+               shadow_seen_[t] == 0) {
+      expected = UnservedReason::kNeverOpen;
+    } else {
+      expected = shadow_stage_[t];
+    }
+    if (e.reason != expected) {
+      ++mismatches;
+      DASC_LOG(WARNING) << "ledger cross-check: task " << e.task
+                        << " recorded reason " << UnservedReasonName(e.reason)
+                        << " but the audit shadow derives "
+                        << UnservedReasonName(expected);
+    }
+  }
+  summary_.ledger_mismatches += mismatches;
+  if (mismatches > 0) {
+    DASC_METRIC_COUNTER_ADD("audit_ledger_mismatches_total", mismatches);
+  }
+  return mismatches;
 }
 
 }  // namespace dasc::sim

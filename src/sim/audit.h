@@ -35,9 +35,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/assignment.h"
 #include "core/batch.h"
+#include "sim/ledger.h"
 
 namespace dasc::sim {
 
@@ -72,6 +74,9 @@ struct BatchAudit {
 struct AuditSummary {
   int audited_batches = 0;
   int violations = 0;
+  // Unserved tasks whose ledger-recorded reason disagrees with the auditor's
+  // independently re-derived stage (CrossCheckLedger); 0 unless a bug.
+  int ledger_mismatches = 0;
   int64_t achieved_total = 0;
   int64_t upper_bound_total = 0;
   double min_gap = 1.0;  // over audited batches; 1.0 when none audited
@@ -101,11 +106,29 @@ class BatchAuditor {
   BatchAudit AuditBatch(const core::BatchProblem& problem,
                         const core::Assignment& committed, int batch_seq);
 
+  // Shadow re-derivation of the lifecycle ledger's per-batch failure stages
+  // (DESIGN.md §11): for every open task not in `committed`, recomputes the
+  // attribution stage with the auditor's own feasibility code (disjoint from
+  // core::ClassifyServe) and folds it into a per-task shadow maximum. Call
+  // on every batch the ledger observes, including empty-market ones.
+  void ObserveLedgerBatch(const core::BatchProblem& problem,
+                          const core::Assignment& committed);
+
+  // Compares each unserved task's final ledger reason against the shadow
+  // stages (camp-expired tasks are dependency_unmet by definition; tasks the
+  // shadow never saw must be never_open). Logs each disagreement via
+  // DASC_LOG(WARNING), accumulates summary().ledger_mismatches, and returns
+  // the mismatch count for this call.
+  int CrossCheckLedger(const std::vector<TaskLedgerEntry>& entries);
+
   const AuditSummary& summary() const { return summary_; }
 
  private:
   AuditOptions options_;
   AuditSummary summary_;
+  // Shadow attribution state, lazily sized on the first ObserveLedgerBatch.
+  std::vector<UnservedReason> shadow_stage_;
+  std::vector<uint8_t> shadow_seen_;
 };
 
 // The dependency-relaxed upper bound on `problem`'s achievable valid-pair

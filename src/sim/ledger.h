@@ -1,0 +1,142 @@
+// Per-task lifecycle ledger: allocation decision provenance for the
+// simulator (DESIGN.md §11).
+//
+// The trace stream records positive events (dispatch, camp, completion); the
+// ledger answers the complementary question the paper's evaluation hinges on
+// — *why* did every other task go unserved? Each task accumulates one entry
+// across the run (arrival, batches open, candidate batches, dependency-chain
+// depth) and every unserved task ends with exactly one reason from a closed
+// taxonomy:
+//
+//   never_open        never appeared in any batch (arrived and expired
+//                     between batch instants, or outside the timeline)
+//   worker_exhausted  open only in batches with no idle worker at all
+//   no_skilled_worker every idle worker failed the skill constraint
+//   travel_deadline   best stage reached: a worker-window mismatch (the
+//                     worker departs before service could begin)
+//   out_of_range      best stage reached: travel exceeds the distance budget
+//   arrival_deadline  best stage reached: the worker would arrive after the
+//                     task expires
+//   dependency_unmet  a feasible worker existed, but the task's dependency
+//                     closure was never satisfied (includes camped dispatches
+//                     that expired waiting — camp_expired marks those)
+//   lost_in_matching  fully feasible and dependency-credible in some batch;
+//                     the allocator simply chose other pairs
+//
+// Attribution rule: reasons are ordered by progress toward service (the enum
+// order below), a task's per-batch stage is computed from the batch context
+// (ClassifyBatchTaskFailure for candidate-less tasks, the dependency-credit
+// check otherwise), and the final reason is the maximum stage over all
+// batches the task was open in — "how close did this task ever get?". The
+// audit layer (sim/audit.h) re-derives every stage with its own disjoint
+// checker code and cross-checks the recorded reasons at end of run.
+#ifndef DASC_SIM_LEDGER_H_
+#define DASC_SIM_LEDGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/batch.h"
+#include "sim/trace.h"
+
+namespace dasc::sim {
+
+// Closed unserved-task taxonomy; the enum order is the attribution
+// precedence (later = the task got further). kServed is the sentinel for
+// completed tasks so one counts array covers every task.
+enum class UnservedReason : int {
+  kServed = 0,
+  kNeverOpen,
+  kWorkerExhausted,
+  kNoSkilledWorker,
+  kTravelDeadline,
+  kOutOfRange,
+  kArrivalDeadline,
+  kDependencyUnmet,
+  kLostInMatching,
+};
+inline constexpr int kNumUnservedReasons = 9;  // including kServed
+
+// Stable lowercase name ("dependency_unmet", ...). Inverse returns false for
+// names outside the closed taxonomy.
+const char* UnservedReasonName(UnservedReason reason);
+bool UnservedReasonFromName(const std::string& name, UnservedReason* out);
+
+// Folds a pair-level ServeFailure into the task-level taxonomy. Monotone in
+// the ServeFailure order, so max-over-workers commutes with the mapping.
+UnservedReason UnservedReasonFromServeFailure(core::ServeFailure failure);
+
+// One task's lifecycle across a simulation run.
+struct TaskLedgerEntry {
+  core::TaskId task = core::kInvalidId;
+  double arrival = 0.0;  // the task's start_time
+  double expiry = 0.0;
+  int dep_depth = 0;  // longest dependency chain below the task (0 = root)
+  int batches_open = 0;       // batches the task appeared in as open
+  int candidate_batches = 0;  // ... of which some idle worker could serve it
+  int first_open_batch = -1;  // -1 = never open
+  int last_open_batch = -1;
+  int assigned_batch = -1;  // -1 = never (validly) assigned
+  bool completed = false;
+  bool camp_expired = false;  // expired under a camped worker (kWait mode)
+  double completion_time = 0.0;
+  UnservedReason reason = UnservedReason::kNeverOpen;  // kServed if completed
+};
+
+// Accumulates TaskLedgerEntry state batch by batch. The simulator drives it:
+// ObserveBatch on every batch (including empty-market ones — the ledger must
+// see worker droughts), Record* as pairs commit/camp/resolve, Finalize after
+// the last batch. When `trace` is non-null the ledger emits the kArrival /
+// kExpired trace events (reason code in TraceEvent::reason).
+class LifecycleLedger {
+ public:
+  explicit LifecycleLedger(const core::Instance& instance);
+
+  // Classifies this batch: sweeps expiries since the last batch, records
+  // arrivals, and merges a failure stage for every open task not assigned in
+  // `valid`. Call after the allocator ran (empty `valid` for empty batches).
+  void ObserveBatch(const core::BatchProblem& problem,
+                    const core::Assignment& valid, int batch_seq,
+                    Trace* trace);
+
+  // A valid (scoring) assignment of `task` committed this batch.
+  void RecordAssigned(core::TaskId task, int batch_seq, double completion_time);
+
+  // A binding dependency-blocked dispatch camped on `task` (kWait mode).
+  void RecordCamped(core::TaskId task, int batch_seq);
+
+  // The camped task expired un-unblocked; forces reason dependency_unmet.
+  void RecordCampExpired(core::TaskId task, int batch_seq, Trace* trace);
+
+  // Expires every remaining unserved task (tasks outliving the last batch
+  // instant, still-pending camps) and freezes the per-reason counts.
+  void Finalize(int final_batch_seq, Trace* trace);
+
+  const std::vector<TaskLedgerEntry>& entries() const { return entries_; }
+
+  // Per-reason totals, indexed by UnservedReason; counts_[kServed] equals
+  // the completed-task count and the rest sum to the unserved count. Valid
+  // after Finalize.
+  const std::vector<int64_t>& reason_counts() const { return counts_; }
+
+ private:
+  void MarkExpired(core::TaskId task, int batch_seq, Trace* trace);
+
+  const core::Instance& instance_;
+  std::vector<TaskLedgerEntry> entries_;
+  std::vector<uint8_t> camped_;
+  std::vector<uint8_t> expired_;
+  std::vector<uint8_t> assigned_in_batch_;  // per-batch scratch
+  std::vector<int64_t> counts_;
+  bool finalized_ = false;
+};
+
+// Longest dependency chain below each task in `instance` (0 for tasks with
+// no dependencies). Exposed for the ledger and dasc_report explain tests.
+std::vector<int> DependencyDepths(const core::Instance& instance);
+
+}  // namespace dasc::sim
+
+#endif  // DASC_SIM_LEDGER_H_

@@ -21,8 +21,12 @@ RunStats MeasureSimulation(const core::Instance& instance,
   stats.mean_assignment_latency = result.mean_assignment_latency;
   stats.last_completion_time = result.last_completion_time;
   stats.empty_batches = result.empty_batches;
+  stats.total_tasks = instance.num_tasks();
   stats.audited_batches = result.audit.audited_batches;
   stats.audit_violations = result.audit.violations;
+  stats.ledger_mismatches = result.audit.ledger_mismatches;
+  stats.unserved_by_reason = result.unserved_by_reason;
+  stats.ledger = result.ledger_entries;
   if (result.audit.audited_batches > 0) {
     stats.min_batch_gap = result.audit.min_gap;
     stats.mean_batch_gap = result.audit.MeanGap();
@@ -54,6 +58,7 @@ RunStats MeasureSingleBatch(const core::Instance& instance, double now,
   stats.millis = timer.ElapsedMillis();
   stats.score = core::ValidScore(problem, raw);
   stats.batches = 1;
+  stats.total_tasks = instance.num_tasks();
   return stats;
 }
 

@@ -3,6 +3,7 @@
 #ifndef DASC_SIM_METRICS_H_
 #define DASC_SIM_METRICS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,15 @@ struct RunStats {
   double min_batch_gap = 0.0;
   double mean_batch_gap = 0.0;
   double approx_ratio = 0.0;
+  // Instance size; total_tasks - completed_tasks = unserved (run-report /3).
+  int total_tasks = 0;
+  // Audit cross-check of the lifecycle ledger (0 unless a bug, or when the
+  // ledger/audit combination was off).
+  int ledger_mismatches = 0;
+  // Lifecycle ledger export (SimulatorOptions::ledger): per-reason totals
+  // indexed by UnservedReason, and one entry per task. Empty when off.
+  std::vector<int64_t> unserved_by_reason;
+  std::vector<TaskLedgerEntry> ledger;
 };
 
 // Runs `allocator` through a full simulation of `instance`.

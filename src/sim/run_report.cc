@@ -25,7 +25,55 @@ void WriteRunStatsJsonl(std::ostream& out, const RunStats& stats) {
       << ",\"audit_violations\":" << stats.audit_violations
       << ",\"min_batch_gap\":" << JsonNumber(stats.min_batch_gap)
       << ",\"mean_batch_gap\":" << JsonNumber(stats.mean_batch_gap)
-      << ",\"approx_ratio\":" << JsonNumber(stats.approx_ratio) << "}\n";
+      << ",\"approx_ratio\":" << JsonNumber(stats.approx_ratio)
+      << ",\"total_tasks\":" << stats.total_tasks
+      << ",\"ledger_mismatches\":" << stats.ledger_mismatches << "}\n";
+}
+
+void WriteTaskEntryJsonl(std::ostream& out, const std::string& algorithm,
+                         const TaskLedgerEntry& entry) {
+  out << "{\"type\":\"task\",\"algorithm\":\"" << JsonEscape(algorithm)
+      << "\",\"task\":" << entry.task << ",\"reason\":\""
+      << UnservedReasonName(entry.reason)
+      << "\",\"arrival\":" << JsonNumber(entry.arrival)
+      << ",\"expiry\":" << JsonNumber(entry.expiry)
+      << ",\"dep_depth\":" << entry.dep_depth
+      << ",\"batches_open\":" << entry.batches_open
+      << ",\"candidate_batches\":" << entry.candidate_batches
+      << ",\"first_open_batch\":" << entry.first_open_batch
+      << ",\"last_open_batch\":" << entry.last_open_batch
+      << ",\"assigned_batch\":" << entry.assigned_batch
+      << ",\"camp_expired\":" << (entry.camp_expired ? "true" : "false")
+      << ",\"completion_time\":" << JsonNumber(entry.completion_time)
+      << "}\n";
+}
+
+void WriteLedgerJsonl(std::ostream& out, const RunStats& stats) {
+  if (stats.ledger.empty()) return;
+  int64_t completed = 0;
+  if (!stats.unserved_by_reason.empty()) {
+    completed = stats.unserved_by_reason[0];
+  }
+  int64_t unserved = 0;
+  for (size_t r = 1; r < stats.unserved_by_reason.size(); ++r) {
+    unserved += stats.unserved_by_reason[r];
+  }
+  out << "{\"type\":\"ledger\",\"algorithm\":\"" << JsonEscape(stats.algorithm)
+      << "\",\"total_tasks\":" << stats.ledger.size()
+      << ",\"completed_tasks\":" << completed << ",\"unserved\":" << unserved
+      << ",\"reasons\":{";
+  bool first = true;
+  for (size_t r = 1; r < stats.unserved_by_reason.size(); ++r) {
+    if (stats.unserved_by_reason[r] == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << UnservedReasonName(static_cast<UnservedReason>(r))
+        << "\":" << stats.unserved_by_reason[r];
+  }
+  out << "}}\n";
+  for (const TaskLedgerEntry& entry : stats.ledger) {
+    WriteTaskEntryJsonl(out, stats.algorithm, entry);
+  }
 }
 
 void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
@@ -37,6 +85,7 @@ void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
       << "}\n";
   for (const RunStats& s : stats) {
     WriteRunStatsJsonl(out, s);
+    WriteLedgerJsonl(out, s);
   }
   registry.WriteJsonl(out);
 }

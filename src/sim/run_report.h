@@ -23,10 +23,16 @@ namespace dasc::sim {
 //   /1 — header + stats + registry dump.
 //   /2 — stats lines gain the empty-batch count and the allocation-audit
 //        block (audited_batches, audit_violations, min/mean_batch_gap,
-//        approx_ratio). Readers (sim/run_report_reader.h,
-//        tools/check_run_report.py) accept both; /1 stats default the new
-//        fields to zero.
-inline constexpr const char* kRunReportSchema = "dasc-run-report/2";
+//        approx_ratio).
+//   /3 — stats lines gain total_tasks and ledger_mismatches; runs with the
+//        lifecycle ledger enabled additionally emit one "ledger" line per
+//        algorithm (per-reason unserved totals from the closed taxonomy of
+//        sim/ledger.h) followed by one "task" line per task (the per-task
+//        lifecycle block: reason, arrival/expiry, open-batch range,
+//        dep_depth, ...). Readers (sim/run_report_reader.h,
+//        tools/check_run_report.py) accept /1, /2, and /3; older stats
+//        default the newer fields to zero and carry no ledger block.
+inline constexpr const char* kRunReportSchema = "dasc-run-report/3";
 
 // Identity of the run being reported.
 struct RunReportHeader {
@@ -35,9 +41,11 @@ struct RunReportHeader {
 };
 
 // Writes the full report:
-//   {"type":"run","schema":"dasc-run-report/2","kind":...,"instance":...,
+//   {"type":"run","schema":"dasc-run-report/3","kind":...,"instance":...,
 //    "runs":N}
 //   {"type":"stats","algorithm":...,"score":...,...}        (one per entry)
+//   {"type":"ledger","algorithm":...,"reasons":{...}}       (ledger runs)
+//   {"type":"task","algorithm":...,"task":N,"reason":...}   (one per task)
 //   {"type":"counter"|"gauge"|"histogram",...}              (registry dump)
 void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
                          const std::vector<RunStats>& stats,
@@ -45,6 +53,14 @@ void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
 
 // One "stats" line; exposed for tests and incremental writers.
 void WriteRunStatsJsonl(std::ostream& out, const RunStats& stats);
+
+// The ledger block for one RunStats: the per-reason "ledger" summary line
+// plus one "task" line per entry. No-op when stats.ledger is empty.
+void WriteLedgerJsonl(std::ostream& out, const RunStats& stats);
+
+// One per-task "task" line; exposed for dasc_cli --explain streaming.
+void WriteTaskEntryJsonl(std::ostream& out, const std::string& algorithm,
+                         const TaskLedgerEntry& entry);
 
 }  // namespace dasc::sim
 

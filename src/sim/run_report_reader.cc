@@ -48,10 +48,11 @@ Status ParseHeader(const JsonValue& obj, int line_no, RunReport* report) {
   if (schema.rfind(kPrefix, 0) == 0) {
     version = std::atoi(schema.c_str() + std::string(kPrefix).size());
   }
-  if (version != 1 && version != 2) {
-    return LineError(line_no, "unsupported schema \"" + schema +
-                                  "\" (this reader supports "
-                                  "dasc-run-report/1 and dasc-run-report/2)");
+  if (version != 1 && version != 2 && version != 3) {
+    return LineError(line_no,
+                     "unsupported schema \"" + schema +
+                         "\" (this reader supports dasc-run-report/1, "
+                         "dasc-run-report/2, and dasc-run-report/3)");
   }
   report->schema_version = version;
   report->header.kind = obj.GetString("kind", "");
@@ -69,13 +70,15 @@ Status ParseStats(const JsonValue& obj, int version, int line_no,
   stats->algorithm = algorithm->AsString();
 
   const bool v2 = version >= 2;
+  const bool v3 = version >= 3;
   struct Field {
     const char* key;
     double* out;
     bool required;
   };
   double score = 0, batches = 0, nonempty = 0, empty = 0, completed = 0,
-         wasted = 0, audited = 0, violations = 0;
+         wasted = 0, audited = 0, violations = 0, total_tasks = 0,
+         ledger_mismatches = 0;
   const Field fields[] = {
       {"score", &score, true},
       {"batches", &batches, true},
@@ -94,6 +97,8 @@ Status ParseStats(const JsonValue& obj, int version, int line_no,
       {"min_batch_gap", &stats->min_batch_gap, v2},
       {"mean_batch_gap", &stats->mean_batch_gap, v2},
       {"approx_ratio", &stats->approx_ratio, v2},
+      {"total_tasks", &total_tasks, v3},
+      {"ledger_mismatches", &ledger_mismatches, v3},
   };
   for (const Field& f : fields) {
     Status status =
@@ -108,6 +113,80 @@ Status ParseStats(const JsonValue& obj, int version, int line_no,
   stats->wasted_dispatches = static_cast<int>(wasted);
   stats->audited_batches = static_cast<int>(audited);
   stats->audit_violations = static_cast<int>(violations);
+  stats->total_tasks = static_cast<int>(total_tasks);
+  stats->ledger_mismatches = static_cast<int>(ledger_mismatches);
+  return Status::OK();
+}
+
+// Attaches a "ledger" summary line to its algorithm's RunStats: rebuilds
+// unserved_by_reason (index 0 = completed, the rest from the closed-enum
+// "reasons" object).
+Status ParseLedger(const JsonValue& obj, int line_no, RunStats* stats) {
+  stats->unserved_by_reason.assign(kNumUnservedReasons, 0);
+  stats->unserved_by_reason[0] =
+      static_cast<int64_t>(obj.GetNumber("completed_tasks", 0));
+  const JsonValue* reasons = obj.Find("reasons");
+  if (reasons == nullptr || !reasons->is_object()) {
+    return LineError(line_no, "ledger line missing \"reasons\" object");
+  }
+  for (const auto& [name, value] : reasons->members()) {
+    UnservedReason reason;
+    if (!UnservedReasonFromName(name, &reason) ||
+        reason == UnservedReason::kServed) {
+      return LineError(line_no, "unknown unserved reason \"" + name + "\"");
+    }
+    if (!value.is_number()) {
+      return LineError(line_no, "reason \"" + name + "\" is not a number");
+    }
+    stats->unserved_by_reason[static_cast<size_t>(reason)] =
+        static_cast<int64_t>(value.AsDouble());
+  }
+  return Status::OK();
+}
+
+// One per-task "task" line back into a TaskLedgerEntry.
+Status ParseTaskEntry(const JsonValue& obj, int line_no,
+                      TaskLedgerEntry* entry) {
+  const JsonValue* reason = obj.Find("reason");
+  if (reason == nullptr || !reason->is_string()) {
+    return LineError(line_no, "task line with missing \"reason\"");
+  }
+  if (!UnservedReasonFromName(reason->AsString(), &entry->reason)) {
+    return LineError(line_no, "task line with unknown reason \"" +
+                                  reason->AsString() + "\"");
+  }
+  double task = 0, dep_depth = 0, batches_open = 0, candidate_batches = 0,
+         first_open = 0, last_open = 0, assigned = 0;
+  struct Field {
+    const char* key;
+    double* out;
+  };
+  const Field fields[] = {
+      {"task", &task},
+      {"arrival", &entry->arrival},
+      {"expiry", &entry->expiry},
+      {"dep_depth", &dep_depth},
+      {"batches_open", &batches_open},
+      {"candidate_batches", &candidate_batches},
+      {"first_open_batch", &first_open},
+      {"last_open_batch", &last_open},
+      {"assigned_batch", &assigned},
+      {"completion_time", &entry->completion_time},
+  };
+  for (const Field& f : fields) {
+    Status status = GetNumberField(obj, f.key, true, 0.0, line_no, f.out);
+    if (!status.ok()) return status;
+  }
+  entry->task = static_cast<core::TaskId>(task);
+  entry->dep_depth = static_cast<int>(dep_depth);
+  entry->batches_open = static_cast<int>(batches_open);
+  entry->candidate_batches = static_cast<int>(candidate_batches);
+  entry->first_open_batch = static_cast<int>(first_open);
+  entry->last_open_batch = static_cast<int>(last_open);
+  entry->assigned_batch = static_cast<int>(assigned);
+  const JsonValue* camp = obj.Find("camp_expired");
+  entry->camp_expired = camp != nullptr && camp->AsBool();
+  entry->completed = entry->reason == UnservedReason::kServed;
   return Status::OK();
 }
 
@@ -182,6 +261,31 @@ Result<RunReport> ParseRunReport(std::istream& in) {
           ParseStats(obj, report.schema_version, line_no, &stats);
       if (!status.ok()) return status;
       report.stats.push_back(std::move(stats));
+    } else if (type == "ledger" || type == "task") {
+      // Ledger block lines attach to their algorithm's stats entry; the
+      // writer always emits them after that stats line.
+      const std::string algorithm = obj.GetString("algorithm", "");
+      RunStats* stats = nullptr;
+      for (RunStats& s : report.stats) {
+        if (s.algorithm == algorithm) {
+          stats = &s;
+          break;
+        }
+      }
+      if (stats == nullptr) {
+        return LineError(line_no, "\"" + type +
+                                      "\" line for unknown algorithm \"" +
+                                      algorithm + "\"");
+      }
+      if (type == "ledger") {
+        Status status = ParseLedger(obj, line_no, stats);
+        if (!status.ok()) return status;
+      } else {
+        TaskLedgerEntry entry;
+        Status status = ParseTaskEntry(obj, line_no, &entry);
+        if (!status.ok()) return status;
+        stats->ledger.push_back(entry);
+      }
     } else if (type == "counter") {
       report.metrics.counters.emplace_back(
           obj.GetString("name", ""),

@@ -6,9 +6,12 @@
 // sides can be round-tripped field-for-field in tests.
 //
 // Schema handling: the header's "dasc-run-report/<v>" tag is dispatched on.
-//   /1 — pre-audit stats lines; the v2-only fields (empty_batches and the
-//        audit block) default to zero.
-//   /2 — current; the v2 fields are required and their absence is an error.
+//   /1 — pre-audit stats lines; the v2/v3-only fields default to zero.
+//   /2 — the audit block fields are required; no ledger lines.
+//   /3 — current; stats additionally require total_tasks and
+//        ledger_mismatches, and optional "ledger" / "task" lines carry the
+//        per-task lifecycle block back into RunStats::unserved_by_reason /
+//        RunStats::ledger.
 // Any other tag is rejected with an error naming the supported versions —
 // a report from a newer writer must fail loudly, not half-parse.
 #ifndef DASC_SIM_RUN_REPORT_READER_H_
@@ -25,7 +28,7 @@ namespace dasc::sim {
 
 // A fully-parsed run report.
 struct RunReport {
-  int schema_version = 0;  // 1 or 2
+  int schema_version = 0;  // 1, 2, or 3
   RunReportHeader header;
   int declared_runs = 0;  // the header's "runs" field
   std::vector<RunStats> stats;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <queue>
 
 #include "util/logging.h"
@@ -90,6 +91,13 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
 
   BatchAuditor auditor(options_.audit_options);
 
+  // The ledger runs whenever its entries are wanted (options_.ledger) or a
+  // trace sink needs the kArrival / kExpired events it emits.
+  std::unique_ptr<LifecycleLedger> ledger;
+  if (options_.ledger || options_.trace != nullptr) {
+    ledger = std::make_unique<LifecycleLedger>(instance_);
+  }
+
   double now = t_begin;
   // Advances the clock to the next batch instant; false = simulation over.
   auto advance = [&]() {
@@ -158,6 +166,9 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
             options_.trace->Record({now, TraceEventKind::kCampResolved,
                                     pd.worker, pd.task, done, batch_seq});
           }
+          if (ledger != nullptr) {
+            ledger->RecordAssigned(pd.task, batch_seq, done);
+          }
         } else if (now > task.Expiry()) {
           // The task expired under the camped worker; both are wasted.
           task_locked[static_cast<size_t>(pd.task)] = 0;
@@ -167,6 +178,9 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
           if (options_.trace != nullptr) {
             options_.trace->Record({now, TraceEventKind::kCampExpired,
                                     pd.worker, pd.task, 0.0, batch_seq});
+          }
+          if (ledger != nullptr) {
+            ledger->RecordCampExpired(pd.task, batch_seq, options_.trace);
           }
         } else {
           still_pending.push_back(pd);
@@ -221,6 +235,13 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
            batch_seq});
     }
     if (problem.workers.empty() || problem.open_tasks.empty()) {
+      // The ledger still observes empty-market batches: worker droughts are
+      // exactly where worker_exhausted attribution comes from.
+      if (ledger != nullptr) {
+        const core::Assignment empty;
+        ledger->ObserveBatch(problem, empty, batch_seq, options_.trace);
+        if (options_.audit) auditor.ObserveLedgerBatch(problem, empty);
+      }
       ++result.empty_batches;
       DASC_METRIC_COUNTER_INC("sim_empty_batches_total");
       if (batch_score > 0) {
@@ -264,6 +285,10 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
       DASC_TRACE_SPAN("audit");
       auditor.AuditBatch(problem, valid, batch_seq);
     }
+    if (ledger != nullptr) {
+      ledger->ObserveBatch(problem, valid, batch_seq, options_.trace);
+      if (options_.audit) auditor.ObserveLedgerBatch(problem, valid);
+    }
 
     batch_score += valid.size();
     result.per_batch_scores.push_back(batch_score);
@@ -297,6 +322,7 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
         options_.trace->Record(
             {done, TraceEventKind::kCompletion, wid, tid, done, batch_seq});
       }
+      if (ledger != nullptr) ledger->RecordAssigned(tid, batch_seq, done);
     }
 
     if (options_.invalid_pair_handling ==
@@ -325,6 +351,7 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
           options_.trace->Record(
               {now, TraceEventKind::kCamp, wid, tid, dist, batch_seq});
         }
+        if (ledger != nullptr) ledger->RecordCamped(tid, batch_seq);
       }
     }
 
@@ -332,6 +359,16 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
   }
   if (result.completed_tasks > 0) {
     result.mean_assignment_latency = latency_sum / result.completed_tasks;
+  }
+  if (ledger != nullptr) {
+    // Expires still-pending camps and every task outliving the last batch
+    // instant, then freezes the per-reason counts.
+    ledger->Finalize(result.batches - 1, options_.trace);
+    if (options_.audit) auditor.CrossCheckLedger(ledger->entries());
+    if (options_.ledger) {
+      result.ledger_entries = ledger->entries();
+      result.unserved_by_reason = ledger->reason_counts();
+    }
   }
   result.audit = auditor.summary();
   return result;

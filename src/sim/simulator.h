@@ -7,11 +7,13 @@
 #ifndef DASC_SIM_SIMULATOR_H_
 #define DASC_SIM_SIMULATOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/allocator.h"
 #include "core/instance.h"
 #include "sim/audit.h"
+#include "sim/ledger.h"
 #include "sim/trace.h"
 
 namespace dasc::sim {
@@ -62,6 +64,15 @@ struct SimulatorOptions {
   bool audit = false;
   AuditOptions audit_options;
 
+  // Keeps the per-task lifecycle ledger (sim/ledger.h) and copies it into
+  // SimulationResult::ledger_entries / unserved_by_reason: every unserved
+  // task gets exactly one reason from the closed failure taxonomy. The
+  // ledger also runs implicitly whenever `trace` is set (it emits the
+  // kArrival / kExpired events); this flag additionally exports the entries.
+  // When `audit` is also set, the auditor shadow-derives every stage and
+  // cross-checks the recorded reasons (AuditSummary::ledger_mismatches).
+  bool ledger = false;
+
   // Optional event sink (not owned); records dispatches, camping,
   // completions and batch boundaries when set.
   Trace* trace = nullptr;
@@ -91,6 +102,11 @@ struct SimulationResult {
   int empty_batches = 0;
   // Populated when SimulatorOptions::audit is set.
   AuditSummary audit;
+  // Populated when SimulatorOptions::ledger is set: one entry per task, and
+  // per-reason totals indexed by UnservedReason (index 0 = served, equal to
+  // completed_tasks; the rest sum to the unserved count).
+  std::vector<TaskLedgerEntry> ledger_entries;
+  std::vector<int64_t> unserved_by_reason;
 };
 
 class Simulator {

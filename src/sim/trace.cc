@@ -20,6 +20,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "camp_expired";
     case TraceEventKind::kCompletion:
       return "completion";
+    case TraceEventKind::kArrival:
+      return "arrival";
+    case TraceEventKind::kExpired:
+      return "expired";
   }
   DASC_CHECK(false) << "unknown TraceEventKind";
   return "?";
@@ -45,8 +49,11 @@ void Trace::WriteJsonl(std::ostream& out) const {
   for (const TraceEvent& e : events_) {
     out << "{\"time\":" << e.time << ",\"kind\":\"" << TraceEventKindName(e.kind)
         << "\",\"worker\":" << e.worker << ",\"task\":" << e.task
-        << ",\"detail\":" << e.detail << ",\"batch_seq\":" << e.batch_seq
-        << "}\n";
+        << ",\"detail\":" << e.detail << ",\"batch_seq\":" << e.batch_seq;
+    // The trace layer stays ledger-agnostic: the reason travels as its enum
+    // code; the run report carries the string names.
+    if (e.reason >= 0) out << ",\"reason\":" << e.reason;
+    out << "}\n";
   }
 }
 

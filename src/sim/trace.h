@@ -21,6 +21,8 @@ enum class TraceEventKind {
   kCampResolved,   // camped pair finally conducted
   kCampExpired,    // camped task expired under its worker
   kCompletion,     // task completed; detail = completion time
+  kArrival,        // task first open in a batch; detail = dep-closure size
+  kExpired,        // task left the system unserved; detail/reason = taxonomy
 };
 
 // Returns a stable lowercase name ("dispatch", "camp", ...).
@@ -36,6 +38,10 @@ struct TraceEvent {
   // segmentable by scanning for kBatch markers alone: kCompletion events
   // carry their *future* completion time, so they sort out of batch order.
   int batch_seq = 0;
+  // UnservedReason code for kExpired events (sim/ledger.h enum value);
+  // -1 = not applicable. Kept last so existing aggregate initializers with
+  // fewer fields stay valid.
+  int reason = -1;
 };
 
 // Append-only event sink. Pass to Simulator via SimulatorOptions::trace.

@@ -6,6 +6,7 @@
 #ifndef DASC_UTIL_LOGGING_H_
 #define DASC_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -13,7 +14,24 @@
 
 namespace dasc::util {
 
+// Severity of a non-fatal DASC_LOG message. Messages below the runtime
+// minimum level (default WARNING) are discarded without evaluating their
+// streamed operands.
+enum class LogLevel : int {
+  INFO = 0,
+  WARNING = 1,
+  ERROR = 2,
+};
+
+const char* LogLevelName(LogLevel level);
+
+// Runtime minimum level for DASC_LOG (process-wide, thread-safe).
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
 namespace internal {
+
+inline std::atomic<int> g_min_log_level{static_cast<int>(LogLevel::WARNING)};
 
 // Accumulates a message and aborts the process when destroyed. Used as the
 // right-hand side of the DASC_CHECK macros so callers can stream context:
@@ -43,13 +61,65 @@ class FatalMessage {
   std::ostringstream stream_;
 };
 
-// Lowers a FatalMessage expression (including its streamed suffix) to void;
-// `&` binds looser than `<<`, so the full streamed chain runs first.
+// Accumulates a non-fatal message and writes it to stderr when destroyed
+// (one fputs so concurrent messages do not interleave mid-line). Right-hand
+// side of DASC_LOG.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogLevel level) {
+    stream_ << "[" << LogLevelName(level) << "] " << file << ":" << line
+            << ": ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << '\n';
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lowers a FatalMessage / LogMessage expression (including its streamed
+// suffix) to void; `&` binds looser than `<<`, so the full streamed chain
+// runs first.
 struct Voidifier {
   void operator&(const FatalMessage&) {}
+  void operator&(const LogMessage&) {}
 };
 
 }  // namespace internal
+
+inline const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::INFO:
+      return "INFO";
+    case LogLevel::WARNING:
+      return "WARNING";
+    case LogLevel::ERROR:
+      return "ERROR";
+  }
+  return "?";
+}
+
+inline void SetMinLogLevel(LogLevel level) {
+  internal::g_min_log_level.store(static_cast<int>(level),
+                                  std::memory_order_relaxed);
+}
+
+inline LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      internal::g_min_log_level.load(std::memory_order_relaxed));
+}
 
 }  // namespace dasc::util
 
@@ -74,5 +144,18 @@ struct Voidifier {
 #else
 #define DASC_DCHECK(condition) DASC_CHECK(condition)
 #endif
+
+// Non-fatal leveled logging to stderr:
+//   DASC_LOG(WARNING) << "audit: " << detail;
+// `severity` is an unqualified LogLevel enumerator (INFO, WARNING, ERROR).
+// Messages below SetMinLogLevel (default WARNING) are skipped after one
+// relaxed load, with the streamed operands left unevaluated.
+#define DASC_LOG(severity)                                                 \
+  (static_cast<int>(::dasc::util::LogLevel::severity) <                    \
+   static_cast<int>(::dasc::util::MinLogLevel()))                          \
+      ? (void)0                                                            \
+      : ::dasc::util::internal::Voidifier() &                              \
+            ::dasc::util::internal::LogMessage(                            \
+                __FILE__, __LINE__, ::dasc::util::LogLevel::severity)
 
 #endif  // DASC_UTIL_LOGGING_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace dasc::util {
 
@@ -31,22 +32,31 @@ void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     DASC_CHECK(!stop_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back({std::move(fn), std::chrono::steady_clock::now()});
+    DASC_METRIC_GAUGE_SET("threadpool_queue_depth",
+                          static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> fn;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ with a drained queue
-      fn = std::move(queue_.front());
+      job = std::move(queue_.front());
       queue_.pop_front();
+      DASC_METRIC_GAUGE_SET("threadpool_queue_depth",
+                            static_cast<double>(queue_.size()));
     }
-    fn();
+    using MillisecondsDouble = std::chrono::duration<double, std::milli>;
+    const double wait_ms =
+        MillisecondsDouble(std::chrono::steady_clock::now() - job.enqueued)
+            .count();
+    DASC_METRIC_HISTOGRAM_OBSERVE("threadpool_task_wait_ms", wait_ms);
+    job.fn();
   }
 }
 

@@ -25,6 +25,7 @@
 #ifndef DASC_UTIL_THREAD_POOL_H_
 #define DASC_UTIL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -36,6 +37,11 @@
 namespace dasc::util {
 
 // Fixed-size FIFO thread pool. Build once, submit many; no work stealing.
+//
+// Observability: every Submit updates the `threadpool_queue_depth` gauge and
+// every dequeue records the job's time-in-queue into the
+// `threadpool_task_wait_ms` histogram (DASC_METRIC_* conventions: runtime
+// kill switch, -DDASC_METRICS=OFF compile-out).
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -49,10 +55,15 @@ class ThreadPool {
   void Submit(std::function<void()> fn);
 
  private:
+  struct Job {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,0 +1,346 @@
+// Tests for the per-task lifecycle ledger (sim/ledger.h): the closed
+// unserved-reason taxonomy, the ServeFailure folding, dependency depths,
+// per-reason attribution on purpose-built instances, and the dep-heavy
+// end-to-end contract (exactly one reason per unserved task, audit
+// cross-check clean, trace events consistent with the ledger).
+#include "sim/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/game.h"
+#include "algo/greedy.h"
+#include "core/feasibility.h"
+#include "core/instance.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "test_util.h"
+#include "util/metrics.h"
+
+namespace dasc::sim {
+namespace {
+
+using core::ServeFailure;
+
+TEST(UnservedReasonTest, NamesRoundTripTheClosedTaxonomy) {
+  for (int r = 0; r < kNumUnservedReasons; ++r) {
+    const auto reason = static_cast<UnservedReason>(r);
+    UnservedReason back;
+    ASSERT_TRUE(UnservedReasonFromName(UnservedReasonName(reason), &back))
+        << UnservedReasonName(reason);
+    EXPECT_EQ(back, reason);
+  }
+  UnservedReason ignored;
+  EXPECT_FALSE(UnservedReasonFromName("skill_mismatch", &ignored));
+  EXPECT_FALSE(UnservedReasonFromName("", &ignored));
+  EXPECT_STREQ(UnservedReasonName(UnservedReason::kServed), "served");
+  EXPECT_STREQ(UnservedReasonName(UnservedReason::kLostInMatching),
+               "lost_in_matching");
+}
+
+// The fold must be monotone in the ServeFailure progress order so that
+// max-over-workers commutes with the mapping; the three worker/task window
+// failures all collapse onto travel_deadline.
+TEST(UnservedReasonTest, ServeFailureFoldIsMonotone) {
+  const std::vector<std::pair<ServeFailure, UnservedReason>> expected = {
+      {ServeFailure::kSkillMismatch, UnservedReason::kNoSkilledWorker},
+      {ServeFailure::kWorkerDeparted, UnservedReason::kTravelDeadline},
+      {ServeFailure::kWindowMismatch, UnservedReason::kTravelDeadline},
+      {ServeFailure::kTaskNotArrived, UnservedReason::kTravelDeadline},
+      {ServeFailure::kOutOfRange, UnservedReason::kOutOfRange},
+      {ServeFailure::kArrivalDeadline, UnservedReason::kArrivalDeadline},
+  };
+  UnservedReason prev = UnservedReason::kServed;
+  for (const auto& [failure, reason] : expected) {
+    EXPECT_EQ(UnservedReasonFromServeFailure(failure), reason)
+        << core::ServeFailureName(failure);
+    EXPECT_GE(static_cast<int>(reason), static_cast<int>(prev));
+    prev = reason;
+  }
+}
+
+// A statically window-mismatched pair (task appears after the worker left)
+// classifies as kWindowMismatch offline and folds to travel_deadline.
+TEST(UnservedReasonTest, WindowMismatchFoldsToTravelDeadline) {
+  std::vector<core::Worker> workers = {
+      testing::MakeWorker(0, 0, 0, {0}, /*start=*/0.0, /*wait=*/1.0)};
+  std::vector<core::Task> tasks = {
+      testing::MakeTask(0, 0, 0, 0, {}, /*start=*/5.0, /*wait=*/10.0)};
+  auto instance = core::Instance::Create(std::move(workers), std::move(tasks),
+                                         /*num_skills=*/1);
+  ASSERT_TRUE(instance.ok());
+  const ServeFailure failure =
+      core::ClassifyServeOffline(*instance, 0, 0, core::FeasibilityParams{});
+  EXPECT_EQ(failure, ServeFailure::kWindowMismatch);
+  EXPECT_EQ(UnservedReasonFromServeFailure(failure),
+            UnservedReason::kTravelDeadline);
+}
+
+// Example 1's dependency DAG: t1,t4 roots; t2 <- t1; t5 <- t4;
+// t3 <- {t1, t2} so its longest chain is 2.
+TEST(DependencyDepthsTest, Example1Chains) {
+  const core::Instance instance = testing::Example1();
+  const std::vector<int> depths = DependencyDepths(instance);
+  EXPECT_EQ(depths, (std::vector<int>{0, 1, 2, 0, 1}));
+}
+
+// Runs a tiny instance to completion with the ledger on and returns the
+// result; all scenario tests below share this shape.
+SimulationResult RunWithLedger(const core::Instance& instance,
+                               double batch_interval = 5.0,
+                               Trace* trace = nullptr) {
+  SimulatorOptions options;
+  options.batch_interval = batch_interval;
+  options.ledger = true;
+  options.audit = true;
+  options.trace = trace;
+  Simulator simulator(instance, options);
+  algo::GreedyAllocator greedy;
+  return simulator.Run(greedy);
+}
+
+UnservedReason ReasonOf(const SimulationResult& result, core::TaskId task) {
+  return result.ledger_entries[static_cast<size_t>(task)].reason;
+}
+
+// A task whose whole lifetime falls strictly between batch instants is never
+// seen by any allocator: never_open.
+TEST(LedgerScenarioTest, NeverOpen) {
+  std::vector<core::Worker> workers = {testing::MakeWorker(0, 0, 0, {0})};
+  std::vector<core::Task> tasks = {
+      testing::MakeTask(0, 0, 0, 0, {}, /*start=*/1.0, /*wait=*/2.0)};
+  auto instance =
+      core::Instance::Create(std::move(workers), std::move(tasks), 1);
+  ASSERT_TRUE(instance.ok());
+  const SimulationResult result = RunWithLedger(*instance, 5.0);
+  EXPECT_EQ(result.completed_tasks, 0);
+  EXPECT_EQ(ReasonOf(result, 0), UnservedReason::kNeverOpen);
+  EXPECT_EQ(result.ledger_entries[0].first_open_batch, -1);
+  EXPECT_EQ(result.audit.ledger_mismatches, 0);
+}
+
+// The task is open only while no worker is on the platform at all.
+TEST(LedgerScenarioTest, WorkerExhausted) {
+  std::vector<core::Worker> workers = {
+      testing::MakeWorker(0, 0, 0, {0}, /*start=*/50.0)};
+  std::vector<core::Task> tasks = {
+      testing::MakeTask(0, 0, 0, 0, {}, /*start=*/0.0, /*wait=*/10.0)};
+  auto instance =
+      core::Instance::Create(std::move(workers), std::move(tasks), 1);
+  ASSERT_TRUE(instance.ok());
+  const SimulationResult result = RunWithLedger(*instance, 5.0);
+  EXPECT_EQ(result.completed_tasks, 0);
+  EXPECT_EQ(ReasonOf(result, 0), UnservedReason::kWorkerExhausted);
+  EXPECT_EQ(result.ledger_entries[0].candidate_batches, 0);
+  EXPECT_GT(result.ledger_entries[0].batches_open, 0);
+  EXPECT_EQ(result.audit.ledger_mismatches, 0);
+}
+
+TEST(LedgerScenarioTest, NoSkilledWorker) {
+  std::vector<core::Worker> workers = {testing::MakeWorker(0, 0, 0, {0})};
+  std::vector<core::Task> tasks = {
+      testing::MakeTask(0, 0, 0, /*skill=*/1, {}, 0.0, /*wait=*/10.0)};
+  auto instance =
+      core::Instance::Create(std::move(workers), std::move(tasks), 2);
+  ASSERT_TRUE(instance.ok());
+  const SimulationResult result = RunWithLedger(*instance, 5.0);
+  EXPECT_EQ(ReasonOf(result, 0), UnservedReason::kNoSkilledWorker);
+  EXPECT_EQ(result.audit.ledger_mismatches, 0);
+}
+
+TEST(LedgerScenarioTest, OutOfRange) {
+  std::vector<core::Worker> workers = {testing::MakeWorker(
+      0, 0, 0, {0}, 0.0, 1e6, /*velocity=*/1e3, /*max_distance=*/1.0)};
+  std::vector<core::Task> tasks = {
+      testing::MakeTask(0, 100, 0, 0, {}, 0.0, /*wait=*/10.0)};
+  auto instance =
+      core::Instance::Create(std::move(workers), std::move(tasks), 1);
+  ASSERT_TRUE(instance.ok());
+  const SimulationResult result = RunWithLedger(*instance, 5.0);
+  EXPECT_EQ(ReasonOf(result, 0), UnservedReason::kOutOfRange);
+  EXPECT_EQ(result.audit.ledger_mismatches, 0);
+}
+
+TEST(LedgerScenarioTest, ArrivalDeadline) {
+  std::vector<core::Worker> workers = {testing::MakeWorker(
+      0, 0, 0, {0}, 0.0, 1e6, /*velocity=*/1.0, /*max_distance=*/1e6)};
+  std::vector<core::Task> tasks = {
+      testing::MakeTask(0, 100, 0, 0, {}, 0.0, /*wait=*/10.0)};
+  auto instance =
+      core::Instance::Create(std::move(workers), std::move(tasks), 1);
+  ASSERT_TRUE(instance.ok());
+  const SimulationResult result = RunWithLedger(*instance, 5.0);
+  EXPECT_EQ(ReasonOf(result, 0), UnservedReason::kArrivalDeadline);
+  EXPECT_EQ(result.audit.ledger_mismatches, 0);
+}
+
+// t1 depends on a task nobody can serve: t0 ends no_skilled_worker, t1 had a
+// perfectly feasible worker but dies dependency_unmet.
+TEST(LedgerScenarioTest, DependencyUnmet) {
+  std::vector<core::Worker> workers = {testing::MakeWorker(0, 0, 0, {0})};
+  std::vector<core::Task> tasks = {
+      testing::MakeTask(0, 0, 0, /*skill=*/1, {}, 0.0, /*wait=*/10.0),
+      testing::MakeTask(1, 0, 0, /*skill=*/0, {0}, 0.0, /*wait=*/10.0)};
+  auto instance =
+      core::Instance::Create(std::move(workers), std::move(tasks), 2);
+  ASSERT_TRUE(instance.ok());
+  const SimulationResult result = RunWithLedger(*instance, 5.0);
+  EXPECT_EQ(result.completed_tasks, 0);
+  EXPECT_EQ(ReasonOf(result, 0), UnservedReason::kNoSkilledWorker);
+  EXPECT_EQ(ReasonOf(result, 1), UnservedReason::kDependencyUnmet);
+  EXPECT_GT(result.ledger_entries[1].candidate_batches, 0);
+  EXPECT_EQ(result.audit.ledger_mismatches, 0);
+}
+
+// One worker, two independent feasible tasks, windows too short for a second
+// batch: whichever task the allocator passes over is lost_in_matching.
+TEST(LedgerScenarioTest, LostInMatching) {
+  std::vector<core::Worker> workers = {testing::MakeWorker(0, 0, 0, {0})};
+  std::vector<core::Task> tasks = {
+      testing::MakeTask(0, 0, 0, 0, {}, 0.0, /*wait=*/4.0),
+      testing::MakeTask(1, 0, 0, 0, {}, 0.0, /*wait=*/4.0)};
+  auto instance =
+      core::Instance::Create(std::move(workers), std::move(tasks), 1);
+  ASSERT_TRUE(instance.ok());
+  const SimulationResult result = RunWithLedger(*instance, 5.0);
+  ASSERT_EQ(result.completed_tasks, 1);
+  const int served = ReasonOf(result, 0) == UnservedReason::kServed ? 0 : 1;
+  const int lost = 1 - served;
+  EXPECT_EQ(ReasonOf(result, served), UnservedReason::kServed);
+  EXPECT_TRUE(result.ledger_entries[static_cast<size_t>(served)].completed);
+  EXPECT_EQ(ReasonOf(result, lost), UnservedReason::kLostInMatching);
+  EXPECT_EQ(result.audit.ledger_mismatches, 0);
+  EXPECT_EQ(result.unserved_by_reason[static_cast<size_t>(
+                UnservedReason::kLostInMatching)],
+            1);
+  EXPECT_EQ(result.unserved_by_reason[0], 1);  // index 0 = served
+}
+
+// The acceptance contract on the dep-heavy family: every unserved task
+// carries exactly one reason from the closed taxonomy, the per-reason counts
+// sum to total - completed, the independent audit shadow agrees with zero
+// mismatches, and the trace's kArrival/kExpired stream is consistent with
+// the ledger entries.
+TEST(LedgerEndToEndTest, DepHeavyFamilyFullyAttributed) {
+  testing::RandomInstanceParams params;
+  params.num_workers = 5;
+  params.num_tasks = 24;
+  params.max_direct_deps = 3;
+  params.task_wait = 7.0;  // tight windows force starvation
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const core::Instance instance = testing::RandomInstance(seed, params);
+    Trace trace;
+    SimulatorOptions options;
+    options.batch_interval = 2.0;
+    options.ledger = true;
+    options.audit = true;
+    options.trace = &trace;
+    Simulator simulator(instance, options);
+    algo::GameOptions game_options;
+    game_options.greedy_init = true;
+    algo::GameAllocator gg(game_options);
+    const SimulationResult result = simulator.Run(gg);
+
+    ASSERT_EQ(result.ledger_entries.size(),
+              static_cast<size_t>(instance.num_tasks()));
+    ASSERT_EQ(result.unserved_by_reason.size(),
+              static_cast<size_t>(kNumUnservedReasons));
+    EXPECT_EQ(result.audit.ledger_mismatches, 0) << "seed " << seed;
+
+    std::vector<int64_t> recount(static_cast<size_t>(kNumUnservedReasons), 0);
+    for (const TaskLedgerEntry& e : result.ledger_entries) {
+      const int code = static_cast<int>(e.reason);
+      ASSERT_GE(code, 0);
+      ASSERT_LT(code, kNumUnservedReasons);
+      EXPECT_EQ(e.completed, e.reason == UnservedReason::kServed)
+          << "task " << e.task << " seed " << seed;
+      ++recount[static_cast<size_t>(code)];
+    }
+    EXPECT_EQ(recount, result.unserved_by_reason) << "seed " << seed;
+    EXPECT_EQ(result.unserved_by_reason[0], result.completed_tasks);
+    const int64_t unserved =
+        std::accumulate(result.unserved_by_reason.begin() + 1,
+                        result.unserved_by_reason.end(), int64_t{0});
+    EXPECT_EQ(unserved, instance.num_tasks() - result.completed_tasks);
+
+    // Every unserved task leaves via exactly one kExpired event carrying its
+    // final reason code; kArrival fires once per ever-open task.
+    EXPECT_EQ(trace.Count(TraceEventKind::kExpired), unserved);
+    int ever_open = 0;
+    for (const TaskLedgerEntry& e : result.ledger_entries) {
+      if (e.first_open_batch >= 0) ++ever_open;
+    }
+    EXPECT_EQ(trace.Count(TraceEventKind::kArrival), ever_open);
+    for (const TraceEvent& e : trace.events()) {
+      if (e.kind != TraceEventKind::kExpired) continue;
+      EXPECT_EQ(e.reason,
+                static_cast<int>(ReasonOf(result, e.task)))
+          << "task " << e.task << " seed " << seed;
+    }
+  }
+}
+
+// The historical CSV column set must stay byte-identical even when the
+// stream contains the new kArrival/kExpired kinds; JSONL carries the reason
+// code only on events that have one.
+TEST(LedgerTraceFormatTest, CsvHeaderStableAndJsonlCarriesReason) {
+  Trace trace;
+  trace.Record({0.0, TraceEventKind::kArrival, core::kInvalidId, 3, 2.0, 0});
+  TraceEvent expired{4.0, TraceEventKind::kExpired, core::kInvalidId, 3, 7.0,
+                     1};
+  expired.reason = static_cast<int>(UnservedReason::kDependencyUnmet);
+  trace.Record(expired);
+
+  std::ostringstream csv;
+  trace.WriteCsv(csv);
+  EXPECT_EQ(csv.str().substr(0, csv.str().find('\n')),
+            "time,kind,worker,task,detail");
+  EXPECT_NE(csv.str().find("arrival"), std::string::npos);
+  EXPECT_NE(csv.str().find("expired"), std::string::npos);
+  EXPECT_EQ(csv.str().find("reason"), std::string::npos);
+
+  std::ostringstream jsonl;
+  trace.WriteJsonl(jsonl);
+  std::istringstream lines(jsonl.str());
+  std::string arrival_line, expired_line;
+  ASSERT_TRUE(std::getline(lines, arrival_line));
+  ASSERT_TRUE(std::getline(lines, expired_line));
+  EXPECT_NE(arrival_line.find("\"kind\":\"arrival\""), std::string::npos);
+  EXPECT_EQ(arrival_line.find("\"reason\""), std::string::npos)
+      << arrival_line;
+  EXPECT_NE(expired_line.find("\"kind\":\"expired\""), std::string::npos);
+  EXPECT_NE(expired_line.find("\"reason\":7"), std::string::npos)
+      << expired_line;
+}
+
+#if DASC_METRICS_ENABLED
+// Finalize must mirror the per-reason counts into sim_unserved_total and its
+// {reason=...} children.
+TEST(LedgerMetricsTest, UnservedCountersMatchLedger) {
+  util::GlobalMetrics().Reset();
+  util::SetMetricsEnabled(true);
+  std::vector<core::Worker> workers = {testing::MakeWorker(0, 0, 0, {0})};
+  std::vector<core::Task> tasks = {
+      testing::MakeTask(0, 0, 0, /*skill=*/1, {}, 0.0, /*wait=*/10.0),
+      testing::MakeTask(1, 0, 0, /*skill=*/0, {0}, 0.0, /*wait=*/10.0)};
+  auto instance =
+      core::Instance::Create(std::move(workers), std::move(tasks), 2);
+  ASSERT_TRUE(instance.ok());
+  const SimulationResult result = RunWithLedger(*instance, 5.0);
+  EXPECT_EQ(result.completed_tasks, 0);
+  auto counter = [](const std::string& name) {
+    return util::GlobalMetrics().GetCounter(name)->value();
+  };
+  EXPECT_EQ(counter("sim_unserved_total"), 2);
+  EXPECT_EQ(counter("sim_unserved_total{reason=no_skilled_worker}"), 1);
+  EXPECT_EQ(counter("sim_unserved_total{reason=dependency_unmet}"), 1);
+}
+#endif  // DASC_METRICS_ENABLED
+
+}  // namespace
+}  // namespace dasc::sim

@@ -3,6 +3,7 @@
 // ParallelFor (also compiled into metrics_test_tsan), and span tracing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -230,6 +231,30 @@ TEST(MetricsMacroTest, KillSwitchSuppressesUpdates) {
   EXPECT_EQ(GlobalMetrics().GetGauge("macro_kill_gauge")->value(), 0.0);
   DASC_METRIC_COUNTER_INC("macro_kill_counter");
   EXPECT_EQ(GlobalMetrics().GetCounter("macro_kill_counter")->value(), 1);
+}
+
+// The pool publishes its queue depth and per-task wait time. The dtor
+// drains the queue, so by the time the scope closes every submitted job has
+// been dequeued exactly once: the wait histogram count equals the number of
+// submissions and the last depth write is the drained queue's zero. Also
+// compiled into metrics_test_tsan so the instrumentation is race-checked
+// against the pool's own locking.
+TEST(ThreadPoolMetricsTest, PublishesQueueDepthAndWaitHistogram) {
+  GlobalMetrics().Reset();
+  SetMetricsEnabled(true);
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 16);
+  const HistogramSnapshot wait =
+      GlobalMetrics().GetHistogram("threadpool_task_wait_ms")->Snapshot();
+  EXPECT_EQ(wait.count, 16);
+  EXPECT_GE(wait.sum, 0.0);
+  EXPECT_EQ(GlobalMetrics().GetGauge("threadpool_queue_depth")->value(), 0.0);
 }
 
 TEST(TracingTest, RecordsNestedSpans) {

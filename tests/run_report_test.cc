@@ -34,7 +34,43 @@ RunStats SampleStats(const std::string& algorithm, int base) {
   s.min_batch_gap = 0.625;
   s.mean_batch_gap = 0.75;
   s.approx_ratio = 0.875;
+  s.total_tasks = base + 8;
+  s.ledger_mismatches = 0;
   return s;
+}
+
+// A small but fully consistent ledger block: 3 tasks, 2 served, 1 expired
+// with a dependency_unmet final reason.
+void AttachSampleLedger(RunStats* s) {
+  s->total_tasks = 3;
+  s->completed_tasks = 2;
+  s->unserved_by_reason.assign(static_cast<size_t>(kNumUnservedReasons), 0);
+  s->unserved_by_reason[static_cast<size_t>(UnservedReason::kServed)] = 2;
+  s->unserved_by_reason[static_cast<size_t>(UnservedReason::kDependencyUnmet)] =
+      1;
+  s->ledger.clear();
+  for (int t = 0; t < 3; ++t) {
+    TaskLedgerEntry e;
+    e.task = t;
+    e.arrival = t * 2.0;
+    e.expiry = t * 2.0 + 10.0;
+    e.dep_depth = t;
+    e.batches_open = 2 + t;
+    e.candidate_batches = 1 + t;
+    e.first_open_batch = t;
+    e.last_open_batch = t + 2;
+    s->ledger.push_back(e);
+  }
+  s->ledger[0].completed = true;
+  s->ledger[0].reason = UnservedReason::kServed;
+  s->ledger[0].assigned_batch = 1;
+  s->ledger[0].completion_time = 4.5;
+  s->ledger[1].completed = true;
+  s->ledger[1].reason = UnservedReason::kServed;
+  s->ledger[1].assigned_batch = 2;
+  s->ledger[1].completion_time = 7.25;
+  s->ledger[2].reason = UnservedReason::kDependencyUnmet;
+  s->ledger[2].camp_expired = true;
 }
 
 // Writer -> reader -> field-for-field equality, including the registry dump
@@ -62,7 +98,7 @@ TEST(RunReportRoundTrip, FieldForField) {
   auto report = ParseRunReport(in);
   ASSERT_TRUE(report.ok()) << report.status().message();
 
-  EXPECT_EQ(report->schema_version, 2);
+  EXPECT_EQ(report->schema_version, 3);
   EXPECT_EQ(report->header.kind, header.kind);
   EXPECT_EQ(report->header.instance, header.instance);
   EXPECT_EQ(report->declared_runs, 2);
@@ -88,6 +124,8 @@ TEST(RunReportRoundTrip, FieldForField) {
     EXPECT_DOUBLE_EQ(b.min_batch_gap, a.min_batch_gap);
     EXPECT_DOUBLE_EQ(b.mean_batch_gap, a.mean_batch_gap);
     EXPECT_DOUBLE_EQ(b.approx_ratio, a.approx_ratio);
+    EXPECT_EQ(b.total_tasks, a.total_tasks);
+    EXPECT_EQ(b.ledger_mismatches, a.ledger_mismatches);
   }
 
   const util::MetricsSnapshot want = registry.Snapshot();
@@ -122,6 +160,66 @@ TEST(RunReportRoundTrip, FindStatsLooksUpByAlgorithm) {
   ASSERT_NE(FindStats(*report, "gg"), nullptr);
   EXPECT_EQ(FindStats(*report, "gg")->score, 2);
   EXPECT_EQ(FindStats(*report, "closest"), nullptr);
+}
+
+// The per-task ledger block (one "ledger" summary line plus one "task" line
+// per task) survives a writer -> reader round trip field for field.
+TEST(RunReportRoundTrip, LedgerBlockRoundTrips) {
+  util::MetricsRegistry registry;
+  RunStats written = SampleStats("gg", 1);
+  AttachSampleLedger(&written);
+
+  std::ostringstream out;
+  WriteRunReportJsonl(out, {"simulate", "dep.dasc"}, {written}, registry);
+  EXPECT_NE(out.str().find("\"type\":\"ledger\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"reason\":\"dependency_unmet\""),
+            std::string::npos);
+
+  std::istringstream in(out.str());
+  auto report = ParseRunReport(in);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  ASSERT_EQ(report->stats.size(), 1u);
+  const RunStats& got = report->stats[0];
+  ASSERT_EQ(got.unserved_by_reason.size(),
+            static_cast<size_t>(kNumUnservedReasons));
+  EXPECT_EQ(got.unserved_by_reason, written.unserved_by_reason);
+  ASSERT_EQ(got.ledger.size(), written.ledger.size());
+  for (size_t i = 0; i < written.ledger.size(); ++i) {
+    const TaskLedgerEntry& a = written.ledger[i];
+    const TaskLedgerEntry& b = got.ledger[i];
+    EXPECT_EQ(b.task, a.task);
+    EXPECT_EQ(b.reason, a.reason) << "task " << a.task;
+    EXPECT_EQ(b.completed, a.completed);
+    EXPECT_EQ(b.camp_expired, a.camp_expired);
+    EXPECT_DOUBLE_EQ(b.arrival, a.arrival);
+    EXPECT_DOUBLE_EQ(b.expiry, a.expiry);
+    EXPECT_EQ(b.dep_depth, a.dep_depth);
+    EXPECT_EQ(b.batches_open, a.batches_open);
+    EXPECT_EQ(b.candidate_batches, a.candidate_batches);
+    EXPECT_EQ(b.first_open_batch, a.first_open_batch);
+    EXPECT_EQ(b.last_open_batch, a.last_open_batch);
+    EXPECT_EQ(b.assigned_batch, a.assigned_batch);
+    EXPECT_DOUBLE_EQ(b.completion_time, a.completion_time);
+  }
+}
+
+// A task line whose reason is outside the closed taxonomy must fail parsing.
+TEST(RunReportSchema, RejectsUnknownLedgerReason) {
+  util::MetricsRegistry registry;
+  RunStats written = SampleStats("gg", 1);
+  AttachSampleLedger(&written);
+  std::ostringstream out;
+  WriteRunReportJsonl(out, {"simulate", "dep.dasc"}, {written}, registry);
+  std::string text = out.str();
+  const size_t pos = text.find("\"reason\":\"dependency_unmet\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 27, "\"reason\":\"cosmic_rays_maybe\"");
+  std::istringstream in(text);
+  auto report = ParseRunReport(in);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("cosmic_rays_maybe"),
+            std::string::npos)
+      << report.status().message();
 }
 
 // A /1 report (no empty-batch or audit fields) still parses; the v2 fields

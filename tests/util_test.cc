@@ -1,4 +1,4 @@
-// Unit tests for util: Status/Result, Rng, TablePrinter/CSV.
+// Unit tests for util: Status/Result, Rng, TablePrinter/CSV, leveled logging.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -225,6 +226,47 @@ TEST(WallTimerTest, MeasuresElapsedMonotonically) {
   EXPECT_GE(second, first);
   timer.Restart();
   EXPECT_LT(timer.ElapsedSeconds(), second + 1.0);
+}
+
+// --------------------------------------------------------------- Logging ---
+
+TEST(LoggingTest, BelowMinLevelIsSuppressedAndUnevaluated) {
+  ASSERT_EQ(MinLogLevel(), LogLevel::WARNING);  // library default
+  int evaluations = 0;
+  ::testing::internal::CaptureStderr();
+  DASC_LOG(INFO) << "info " << ++evaluations;
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  EXPECT_EQ(evaluations, 0);  // streamed operands must stay unevaluated
+}
+
+TEST(LoggingTest, WarningPrintsLevelLocationAndMessage) {
+  ::testing::internal::CaptureStderr();
+  DASC_LOG(WARNING) << "audit drift: " << 93 << "%";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[WARNING]"), std::string::npos) << out;
+  EXPECT_NE(out.find("util_test.cc"), std::string::npos) << out;
+  EXPECT_NE(out.find("audit drift: 93%"), std::string::npos) << out;
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(LoggingTest, MinLevelIsRuntimeAdjustable) {
+  SetMinLogLevel(LogLevel::INFO);
+  ::testing::internal::CaptureStderr();
+  DASC_LOG(INFO) << "now visible";
+  EXPECT_NE(::testing::internal::GetCapturedStderr().find("[INFO]"),
+            std::string::npos);
+  SetMinLogLevel(LogLevel::ERROR);
+  ::testing::internal::CaptureStderr();
+  DASC_LOG(WARNING) << "suppressed";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  SetMinLogLevel(LogLevel::WARNING);  // restore the default for other tests
+}
+
+TEST(LoggingTest, LevelNamesAreStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::INFO), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::WARNING), "WARNING");
+  EXPECT_STREQ(LogLevelName(LogLevel::ERROR), "ERROR");
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ import argparse
 import json
 import sys
 
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 STATS_FIELDS = {
     "algorithm": str,
@@ -44,6 +44,42 @@ STATS_FIELDS_V2 = {
     "min_batch_gap": (int, float),
     "mean_batch_gap": (int, float),
     "approx_ratio": (int, float),
+}
+
+# Added by dasc-run-report/3 (lifecycle-ledger fields); required there.
+STATS_FIELDS_V3 = {
+    "total_tasks": int,
+    "ledger_mismatches": int,
+}
+
+# The closed unserved-task taxonomy (sim/ledger.h); "served" only appears on
+# per-task lines, never as a key of a ledger summary's "reasons" object.
+UNSERVED_REASONS = frozenset((
+    "never_open",
+    "worker_exhausted",
+    "no_skilled_worker",
+    "travel_deadline",
+    "out_of_range",
+    "arrival_deadline",
+    "dependency_unmet",
+    "lost_in_matching",
+))
+TASK_REASONS = UNSERVED_REASONS | {"served"}
+
+TASK_FIELDS = {
+    "algorithm": str,
+    "task": int,
+    "reason": str,
+    "arrival": (int, float),
+    "expiry": (int, float),
+    "dep_depth": int,
+    "batches_open": int,
+    "candidate_batches": int,
+    "first_open_batch": int,
+    "last_open_batch": int,
+    "assigned_batch": int,
+    "camp_expired": bool,
+    "completion_time": (int, float),
 }
 
 
@@ -109,6 +145,9 @@ def check_report(path, require_metrics, errors):
     seen_metrics = set()
     num_stats = 0
     version = None
+    stats_by_algo = {}
+    ledger_by_algo = {}
+    task_counts_by_algo = {}
     for lineno, line in enumerate(lines, start=1):
         try:
             obj = json.loads(line)
@@ -140,6 +179,8 @@ def check_report(path, require_metrics, errors):
             required = dict(STATS_FIELDS)
             if version >= 2:
                 required.update(STATS_FIELDS_V2)
+            if version >= 3:
+                required.update(STATS_FIELDS_V3)
             for field, types in required.items():
                 if not isinstance(obj.get(field), types):
                     errors.append(f"{path} line {lineno}: stats {field!r} "
@@ -151,6 +192,61 @@ def check_report(path, require_metrics, errors):
                     if isinstance(value, (int, float)) and not 0 <= value <= 1:
                         errors.append(f"{path} line {lineno}: stats "
                                       f"{field!r} = {value} outside [0, 1]")
+            if isinstance(obj.get("algorithm"), str):
+                stats_by_algo[obj["algorithm"]] = obj
+        elif kind == "ledger":
+            if version < 3:
+                errors.append(f"{path} line {lineno}: ledger line in a "
+                              f"dasc-run-report/{version} report")
+                continue
+            ok = True
+            for field in ("total_tasks", "completed_tasks", "unserved"):
+                if not isinstance(obj.get(field), int) or obj[field] < 0:
+                    errors.append(f"{path} line {lineno}: ledger {field!r} "
+                                  "missing or not a non-negative int")
+                    ok = False
+            reasons = obj.get("reasons")
+            if not isinstance(reasons, dict):
+                errors.append(f"{path} line {lineno}: ledger 'reasons' "
+                              "missing or not an object")
+                continue
+            for name, count in reasons.items():
+                if name not in UNSERVED_REASONS:
+                    errors.append(f"{path} line {lineno}: ledger reason "
+                                  f"{name!r} outside the closed taxonomy")
+                    ok = False
+                if not isinstance(count, int) or count < 0:
+                    errors.append(f"{path} line {lineno}: ledger reason "
+                                  f"{name!r} count invalid")
+                    ok = False
+            if ok:
+                if sum(reasons.values()) != obj["unserved"]:
+                    errors.append(f"{path} line {lineno}: ledger reasons sum "
+                                  f"to {sum(reasons.values())} but unserved "
+                                  f"is {obj['unserved']}")
+                if obj["total_tasks"] - obj["completed_tasks"] != \
+                        obj["unserved"]:
+                    errors.append(f"{path} line {lineno}: ledger unserved "
+                                  f"{obj['unserved']} != total_tasks - "
+                                  "completed_tasks")
+                ledger_by_algo[obj.get("algorithm")] = obj
+        elif kind == "task":
+            if version < 3:
+                errors.append(f"{path} line {lineno}: task line in a "
+                              f"dasc-run-report/{version} report")
+                continue
+            for field, types in TASK_FIELDS.items():
+                if not isinstance(obj.get(field), types):
+                    errors.append(f"{path} line {lineno}: task {field!r} "
+                                  "missing or mistyped")
+            reason = obj.get("reason")
+            if isinstance(reason, str) and reason not in TASK_REASONS:
+                errors.append(f"{path} line {lineno}: task reason {reason!r} "
+                              "outside the closed taxonomy")
+            elif isinstance(reason, str):
+                counts = task_counts_by_algo.setdefault(
+                    obj.get("algorithm"), {})
+                counts[reason] = counts.get(reason, 0) + 1
         elif kind == "counter":
             if not isinstance(obj.get("name"), str) or not isinstance(
                     obj.get("value"), int):
@@ -173,6 +269,38 @@ def check_report(path, require_metrics, errors):
     if isinstance(declared, int) and declared != num_stats:
         errors.append(f"{path}: header declares {declared} runs but "
                       f"{num_stats} stats lines found")
+    # Ledger block cross-checks: the per-task lines must reproduce the
+    # summary, and both must agree with the stats line's task accounting.
+    for algo, ledger in ledger_by_algo.items():
+        counts = task_counts_by_algo.get(algo, {})
+        if sum(counts.values()) != ledger["total_tasks"]:
+            errors.append(f"{path}: {algo}: {sum(counts.values())} task "
+                          f"lines but ledger declares "
+                          f"{ledger['total_tasks']} tasks")
+        if counts.get("served", 0) != ledger["completed_tasks"]:
+            errors.append(f"{path}: {algo}: {counts.get('served', 0)} served "
+                          f"task lines but ledger declares "
+                          f"{ledger['completed_tasks']} completed")
+        for name in UNSERVED_REASONS:
+            if counts.get(name, 0) != ledger["reasons"].get(name, 0):
+                errors.append(f"{path}: {algo}: task lines show "
+                              f"{counts.get(name, 0)} x {name} but the "
+                              f"ledger summary says "
+                              f"{ledger['reasons'].get(name, 0)}")
+        stats = stats_by_algo.get(algo)
+        if stats is not None and isinstance(stats.get("total_tasks"), int):
+            if stats["total_tasks"] != ledger["total_tasks"]:
+                errors.append(f"{path}: {algo}: stats total_tasks "
+                              f"{stats['total_tasks']} != ledger "
+                              f"{ledger['total_tasks']}")
+            if stats.get("completed_tasks") != ledger["completed_tasks"]:
+                errors.append(f"{path}: {algo}: stats completed_tasks "
+                              f"{stats.get('completed_tasks')} != ledger "
+                              f"{ledger['completed_tasks']}")
+    for algo in task_counts_by_algo:
+        if algo not in ledger_by_algo:
+            errors.append(f"{path}: {algo}: task lines without a ledger "
+                          "summary line")
     for name in require_metrics:
         if name not in seen_metrics:
             errors.append(f"{path}: required metric {name!r} not present")

@@ -7,6 +7,7 @@
 //   dasc_cli solve <in.dasc> <algo> [--seed=N] [--out=assignment.csv]
 //            [--now=F] [--metrics-out=report.jsonl] [--trace-out=trace.json]
 //   dasc_cli simulate <in.dasc> <algo> [--seed=N] [--interval=F] [--audit]
+//            [--ledger] [--explain=tasks.jsonl]
 //            [--metrics-out=report.jsonl] [--trace-out=trace.json]
 //            [--events-out=events.jsonl]
 //   dasc_cli render <in.dasc> <out.svg>
@@ -16,12 +17,22 @@
 //                   independent constraint re-validation plus the
 //                   dependency-relaxed optimality gap, reported in the run
 //                   report's audit fields (and aborting on any violation).
-//   --metrics-out   JSONL run report (schema dasc-run-report/2): run header,
-//                   per-run stats, and the full metrics-registry dump.
+//                   With --ledger it also cross-checks every recorded
+//                   unserved reason against its own shadow derivation.
+//   --ledger        keep the per-task lifecycle ledger (sim/ledger.h): every
+//                   unserved task gets one reason from the closed failure
+//                   taxonomy, summarized on stdout and written as the run
+//                   report's ledger block.
+//   --explain       dump the per-task ledger as JSONL (one "task" line per
+//                   task) to the given path; implies --ledger.
+//   --metrics-out   JSONL run report (schema dasc-run-report/3): run header,
+//                   per-run stats, ledger block (when --ledger), and the
+//                   full metrics-registry dump.
 //   --trace-out     Chrome/Perfetto trace_event JSON of the instrumented
 //                   spans (open at https://ui.perfetto.dev).
-//   --events-out    simulation event stream (dispatch/camp/completion) as
-//                   JSONL, one object per event with its batch_seq.
+//   --events-out    simulation event stream (dispatch/camp/completion plus
+//                   arrival/expired lifecycle events) as JSONL, one object
+//                   per event with its batch_seq.
 //
 // Instances use the dasc-instance v1 text format (src/io/instance_io.h);
 // algorithm names are the registry names (dasc_cli solve --help lists them).
@@ -61,8 +72,8 @@ int Usage() {
       "  dasc_cli stats <in>\n"
       "  dasc_cli solve <in> <algo> [--seed= --out= --now= --metrics-out= "
       "--trace-out=]\n"
-      "  dasc_cli simulate <in> <algo> [--seed= --interval= --audit "
-      "--metrics-out= --trace-out= --events-out=]\n"
+      "  dasc_cli simulate <in> <algo> [--seed= --interval= --audit --ledger "
+      "--explain= --metrics-out= --trace-out= --events-out=]\n"
       "  dasc_cli render <in> <out.svg>\n"
       "algorithms:");
   for (const auto& name : algo::KnownAllocatorNames()) {
@@ -263,6 +274,8 @@ int Simulate(int argc, char** argv) {
   int64_t seed = 42;
   double interval = 5.0;
   bool audit = false;
+  bool ledger = false;
+  std::string explain_out;
   std::string metrics_out;
   std::string trace_out;
   std::string events_out;
@@ -270,6 +283,10 @@ int Simulate(int argc, char** argv) {
   parser.AddDouble("interval", &interval, "platform batch interval");
   parser.AddBool("audit", &audit,
                  "audit every batch (constraint re-check + optimality gap)");
+  parser.AddBool("ledger", &ledger,
+                 "keep the per-task lifecycle ledger (unserved-task taxonomy)");
+  parser.AddString("explain", &explain_out,
+                   "dump the per-task ledger as JSONL (implies --ledger)");
   parser.AddString("metrics-out", &metrics_out, "write a JSONL run report");
   parser.AddString("trace-out", &trace_out, "write a Perfetto trace JSON");
   parser.AddString("events-out", &events_out,
@@ -289,6 +306,7 @@ int Simulate(int argc, char** argv) {
   sim::SimulatorOptions options;
   options.batch_interval = interval;
   options.audit = audit;
+  options.ledger = ledger || !explain_out.empty();
   sim::Trace trace;
   if (!events_out.empty()) options.trace = &trace;
   if (!trace_out.empty()) util::StartTracing();
@@ -307,6 +325,27 @@ int Simulate(int argc, char** argv) {
         "violations=%d\n",
         stats.audited_batches, stats.approx_ratio, stats.min_batch_gap,
         stats.mean_batch_gap, stats.audit_violations);
+  }
+  if (options.ledger) {
+    std::printf("unserved: %d of %d tasks",
+                stats.total_tasks - stats.completed_tasks, stats.total_tasks);
+    for (size_t r = 1; r < stats.unserved_by_reason.size(); ++r) {
+      if (stats.unserved_by_reason[r] == 0) continue;
+      std::printf(
+          " %s=%lld",
+          sim::UnservedReasonName(static_cast<sim::UnservedReason>(r)),
+          static_cast<long long>(stats.unserved_by_reason[r]));
+    }
+    if (audit) std::printf(" (ledger mismatches=%d)", stats.ledger_mismatches);
+    std::printf("\n");
+  }
+  if (!explain_out.empty()) {
+    std::ofstream out;
+    if (!OpenOut(explain_out, &out)) return 1;
+    for (const sim::TaskLedgerEntry& entry : stats.ledger) {
+      sim::WriteTaskEntryJsonl(out, stats.algorithm, entry);
+    }
+    std::printf("per-task ledger written to %s\n", explain_out.c_str());
   }
   if (!trace_out.empty()) {
     std::ofstream out;

@@ -1,6 +1,7 @@
 // dasc_report — offline analysis of dasc-run-report JSONL files.
 //
 //   dasc_report summarize <report.jsonl> [--csv]
+//   dasc_report explain <report.jsonl> [--batch-rows=N]
 //   dasc_report diff <baseline.jsonl> <candidate.jsonl>
 //            [--score-tol=0.02] [--gap-tol=0.05] [--latency-tol=F]
 //            [--min-gap=F] [--gate]
@@ -9,6 +10,15 @@
 // summarize prints one table row per algorithm in the report: score, batch
 // shape, allocator latency distribution, and (for audited runs) the
 // optimality-gap block the allocation auditor measured.
+//
+// explain reads a /3 report's lifecycle-ledger block and answers "why did
+// the unserved tasks go unserved": a top-failure-reasons table, a per-batch
+// starvation table (which final reasons the open-but-unserved tasks of each
+// batch range ended with), and the dependency-chain-depth distribution of
+// expired vs served tasks. Every aggregate is recomputed from the per-task
+// lines and cross-checked against the report's own ledger summary — a
+// disagreement (writer bug or hand-edited report) exits 1. Reports without a
+// ledger block (no --ledger, or schema < /3) also exit 1.
 //
 // diff compares every algorithm of the baseline report against the candidate
 // and classifies each metric movement:
@@ -29,7 +39,9 @@
 // the longitudinal quality record BENCH_trajectory.json, written via a
 // parse-modify-rewrite so the file stays a valid JSON document (unlike a
 // JSONL log, it can be consumed directly by plotting notebooks).
+#include <algorithm>
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -52,6 +64,7 @@ int Usage() {
       stderr,
       "usage:\n"
       "  dasc_report summarize <report.jsonl> [--csv]\n"
+      "  dasc_report explain <report.jsonl> [--batch-rows=]\n"
       "  dasc_report diff <baseline.jsonl> <candidate.jsonl> [--score-tol= "
       "--gap-tol= --latency-tol= --min-gap= --gate]\n"
       "  dasc_report trajectory <report.jsonl> <trajectory.json> "
@@ -117,6 +130,188 @@ int Summarize(int argc, char** argv) {
     table.Print(std::cout);
   }
   return 0;
+}
+
+// Explains one algorithm's ledger block; returns false when the aggregates
+// recomputed from the per-task lines disagree with the report's own summary.
+bool ExplainStats(const RunStats& s, int batch_rows) {
+  std::printf("\n=== %s: %d of %d tasks unserved ===\n", s.algorithm.c_str(),
+              s.total_tasks - s.completed_tasks, s.total_tasks);
+
+  // Recompute the per-reason totals from the per-task lines and cross-check
+  // them against the "ledger" summary the writer emitted.
+  std::vector<int64_t> counts(sim::kNumUnservedReasons, 0);
+  for (const sim::TaskLedgerEntry& e : s.ledger) {
+    ++counts[static_cast<size_t>(e.reason)];
+  }
+  bool consistent = true;
+  auto complain = [&](const std::string& message) {
+    std::fprintf(stderr, "explain: %s: %s\n", s.algorithm.c_str(),
+                 message.c_str());
+    consistent = false;
+  };
+  if (static_cast<int>(s.ledger.size()) != s.total_tasks) {
+    complain("report has " + std::to_string(s.ledger.size()) +
+             " task lines but stats declare total_tasks=" +
+             std::to_string(s.total_tasks));
+  }
+  if (counts[0] != s.completed_tasks) {
+    complain("task lines show " + std::to_string(counts[0]) +
+             " served tasks but stats declare completed_tasks=" +
+             std::to_string(s.completed_tasks));
+  }
+  for (size_t r = 0; r < counts.size(); ++r) {
+    const int64_t declared = r < s.unserved_by_reason.size()
+                                 ? s.unserved_by_reason[r]
+                                 : 0;
+    if (counts[r] != declared) {
+      complain(std::string("reason ") +
+               sim::UnservedReasonName(static_cast<sim::UnservedReason>(r)) +
+               ": task lines sum to " + std::to_string(counts[r]) +
+               " but the ledger summary says " + std::to_string(declared));
+    }
+  }
+
+  // Top failure reasons, largest first.
+  std::vector<size_t> order;
+  for (size_t r = 1; r < counts.size(); ++r) {
+    if (counts[r] > 0) order.push_back(r);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return counts[a] > counts[b]; });
+  const int64_t unserved = s.total_tasks - s.completed_tasks;
+  util::TablePrinter reasons;
+  reasons.AddRow({"reason", "tasks", "share"});
+  for (size_t r : order) {
+    const double share =
+        unserved > 0 ? 100.0 * static_cast<double>(counts[r]) /
+                           static_cast<double>(unserved)
+                     : 0.0;
+    reasons.AddRow(
+        {sim::UnservedReasonName(static_cast<sim::UnservedReason>(r)),
+         std::to_string(counts[r]), Num(share, 1) + "%"});
+  }
+  if (order.empty()) {
+    std::printf("every task was served; nothing to explain\n");
+  } else {
+    reasons.Print(std::cout);
+  }
+
+  // Per-batch starvation: for each batch range, how many tasks that were
+  // open there ended unserved, split by their final reason. This is where
+  // dependency-induced starvation shows up as a dependency_unmet band that
+  // persists across batches.
+  int last_batch = 0;
+  for (const sim::TaskLedgerEntry& e : s.ledger) {
+    last_batch = std::max(last_batch, e.last_open_batch);
+  }
+  if (!order.empty() && last_batch >= 0) {
+    const int num_batches = last_batch + 1;
+    const int want_rows = std::max(1, std::min(batch_rows, num_batches));
+    const int width = (num_batches + want_rows - 1) / want_rows;
+    const int rows = (num_batches + width - 1) / width;
+    // starved[row][reason]
+    std::vector<std::vector<int64_t>> starved(
+        static_cast<size_t>(rows),
+        std::vector<int64_t>(sim::kNumUnservedReasons, 0));
+    std::vector<int64_t> open_total(static_cast<size_t>(rows), 0);
+    for (const sim::TaskLedgerEntry& e : s.ledger) {
+      if (e.first_open_batch < 0) continue;
+      for (int row = 0; row < rows; ++row) {
+        const int lo = row * width;
+        const int hi = std::min(num_batches, lo + width) - 1;
+        if (e.last_open_batch < lo || e.first_open_batch > hi) continue;
+        ++open_total[static_cast<size_t>(row)];
+        if (e.reason != sim::UnservedReason::kServed) {
+          ++starved[static_cast<size_t>(row)]
+                   [static_cast<size_t>(e.reason)];
+        }
+      }
+    }
+    std::printf("starvation by batch (open-but-eventually-unserved tasks):\n");
+    util::TablePrinter batches;
+    std::vector<std::string> head = {"batches", "open"};
+    for (size_t r : order) {
+      head.push_back(
+          sim::UnservedReasonName(static_cast<sim::UnservedReason>(r)));
+    }
+    batches.AddRow(head);
+    for (int row = 0; row < rows; ++row) {
+      const int lo = row * width;
+      const int hi = std::min(num_batches, lo + width) - 1;
+      std::vector<std::string> cells = {
+          lo == hi ? std::to_string(lo)
+                   : std::to_string(lo) + "-" + std::to_string(hi),
+          std::to_string(open_total[static_cast<size_t>(row)])};
+      for (size_t r : order) {
+        cells.push_back(
+            std::to_string(starved[static_cast<size_t>(row)][r]));
+      }
+      batches.AddRow(cells);
+    }
+    batches.Print(std::cout);
+  }
+
+  // Dependency-chain depth of expired tasks vs served ones: dependency-heavy
+  // instances starve deep tasks first.
+  int max_depth = 0;
+  for (const sim::TaskLedgerEntry& e : s.ledger) {
+    max_depth = std::max(max_depth, e.dep_depth);
+  }
+  if (!order.empty() && max_depth > 0) {
+    std::printf("dependency-chain depth of unserved vs served tasks:\n");
+    std::vector<int64_t> unserved_by_depth(static_cast<size_t>(max_depth) + 1,
+                                           0);
+    std::vector<int64_t> served_by_depth(static_cast<size_t>(max_depth) + 1,
+                                         0);
+    for (const sim::TaskLedgerEntry& e : s.ledger) {
+      if (e.reason == sim::UnservedReason::kServed) {
+        ++served_by_depth[static_cast<size_t>(e.dep_depth)];
+      } else {
+        ++unserved_by_depth[static_cast<size_t>(e.dep_depth)];
+      }
+    }
+    util::TablePrinter depth;
+    depth.AddRow({"dep_depth", "unserved", "served", "unserved_share"});
+    for (int d = 0; d <= max_depth; ++d) {
+      const int64_t u = unserved_by_depth[static_cast<size_t>(d)];
+      const int64_t v = served_by_depth[static_cast<size_t>(d)];
+      if (u == 0 && v == 0) continue;
+      const double share =
+          100.0 * static_cast<double>(u) / static_cast<double>(u + v);
+      depth.AddRow({std::to_string(d), std::to_string(u), std::to_string(v),
+                    Num(share, 1) + "%"});
+    }
+    depth.Print(std::cout);
+  }
+  return consistent;
+}
+
+int Explain(int argc, char** argv) {
+  util::FlagParser parser;
+  int64_t batch_rows = 12;
+  parser.AddInt("batch-rows", &batch_rows,
+                "max rows in the per-batch starvation table (batches are "
+                "grouped into equal-width ranges)");
+  if (!ParseSubcommand(parser, argc, argv, 1)) return Usage();
+  util::Result<RunReport> report = LoadOrComplain(parser.positional()[0]);
+  if (!report.ok()) return 1;
+
+  bool any_ledger = false;
+  bool consistent = true;
+  for (const RunStats& s : report->stats) {
+    if (s.ledger.empty()) continue;
+    any_ledger = true;
+    if (!ExplainStats(s, static_cast<int>(batch_rows))) consistent = false;
+  }
+  if (!any_ledger) {
+    std::fprintf(stderr,
+                 "%s: no lifecycle-ledger block (re-run the experiment with "
+                 "--ledger and schema dasc-run-report/3)\n",
+                 parser.positional()[0].c_str());
+    return 1;
+  }
+  return consistent ? 0 : 1;
 }
 
 // One metric comparison in `diff`: what moved, by how much, and whether the
@@ -317,6 +512,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "summarize") return Summarize(argc, argv);
+  if (command == "explain") return Explain(argc, argv);
   if (command == "diff") return Diff(argc, argv);
   if (command == "trajectory") return Trajectory(argc, argv);
   return Usage();

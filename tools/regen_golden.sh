@@ -31,7 +31,7 @@ trap 'rm -rf "$tmp"' EXIT
 (cd "$tmp" &&
  "$cli" generate synthetic gate.dasc \
      --workers=30 --tasks=40 --skills=8 --dep-max=4 &&
- "$cli" simulate gate.dasc gg --audit \
+ "$cli" simulate gate.dasc gg --audit --ledger \
      --metrics-out="$data/golden_report.jsonl" >/dev/null)
 
 python3 - "$data/golden_report.jsonl" "$data/regressed_report.jsonl" <<'EOF'
