@@ -1,0 +1,347 @@
+#include "testing/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/distance.h"
+#include "util/logging.h"
+
+namespace dasc::testing {
+
+namespace {
+
+// Linear interpolation used to turn `tightness` into concrete budgets.
+double Lerp(double loose, double tight, double t) {
+  return loose + (tight - loose) * t;
+}
+
+struct CaseShape {
+  int num_workers = 0;
+  int num_tasks = 0;
+  int num_skills = 0;
+};
+
+CaseShape SampleShape(const GenParams& params, util::Rng& rng) {
+  CaseShape shape;
+  shape.num_workers = std::max(1, params.num_workers.Sample(rng));
+  shape.num_tasks = std::max(1, params.num_tasks.Sample(rng));
+  shape.num_skills = std::max(1, params.num_skills.Sample(rng));
+  return shape;
+}
+
+core::Worker SampleWorker(core::WorkerId id, const GenParams& params,
+                          int num_skills, util::Rng& rng) {
+  core::Worker w;
+  w.id = id;
+  w.location = {rng.UniformDouble(0.0, params.area_side),
+                rng.UniformDouble(0.0, params.area_side)};
+  w.start_time = rng.UniformDouble(-params.time_spread, params.time_spread / 4);
+  // Loose: the worker outlives every window; tight: it may leave before
+  // now = 0 or before late tasks arrive.
+  w.wait_time =
+      rng.UniformDouble(0.5, 1.5) *
+      Lerp(4.0 * params.time_spread, 0.5 * params.time_spread, params.tightness);
+  w.velocity = rng.UniformDouble(0.5, 1.5);
+  // Loose: the whole area is in reach; tight: only a small disc.
+  w.max_distance = rng.UniformDouble(0.5, 1.5) *
+                   Lerp(2.0, 0.15, params.tightness) * params.area_side;
+  const int count =
+      std::min(num_skills, std::max(1, params.worker_skills.Sample(rng)));
+  for (int k = 0; k < count; ++k) {
+    w.skills.push_back(
+        static_cast<core::SkillId>(rng.UniformInt(0, num_skills - 1)));
+  }
+  return w;
+}
+
+core::Task SampleTask(core::TaskId id, const GenParams& params, int num_skills,
+                      util::Rng& rng) {
+  core::Task t;
+  t.id = id;
+  t.location = {rng.UniformDouble(0.0, params.area_side),
+                rng.UniformDouble(0.0, params.area_side)};
+  t.start_time = rng.UniformDouble(-params.time_spread, params.time_spread / 4);
+  t.wait_time =
+      rng.UniformDouble(0.5, 1.5) *
+      Lerp(3.0 * params.time_spread, 0.4 * params.time_spread, params.tightness);
+  t.required_skill =
+      static_cast<core::SkillId>(rng.UniformInt(0, num_skills - 1));
+  return t;
+}
+
+std::vector<core::Worker> SampleWorkers(const CaseShape& shape,
+                                        const GenParams& params,
+                                        util::Rng& rng) {
+  std::vector<core::Worker> workers;
+  workers.reserve(static_cast<size_t>(shape.num_workers));
+  for (int i = 0; i < shape.num_workers; ++i) {
+    workers.push_back(SampleWorker(i, params, shape.num_skills, rng));
+  }
+  return workers;
+}
+
+core::Instance Build(std::vector<core::Worker> workers,
+                     std::vector<core::Task> tasks, int num_skills) {
+  auto instance = core::Instance::Create(std::move(workers), std::move(tasks),
+                                         num_skills);
+  DASC_CHECK(instance.ok()) << "generator produced an invalid instance: "
+                            << instance.status().ToString();
+  return std::move(*instance);
+}
+
+core::Instance GenerateUniform(const GenParams& params, util::Rng& rng) {
+  const CaseShape shape = SampleShape(params, rng);
+  std::vector<core::Task> tasks;
+  tasks.reserve(static_cast<size_t>(shape.num_tasks));
+  for (int i = 0; i < shape.num_tasks; ++i) {
+    core::Task t = SampleTask(i, params, shape.num_skills, rng);
+    if (i > 0) {
+      const int deps = params.direct_deps.Sample(rng);
+      for (int k = 0; k < deps; ++k) {
+        t.dependencies.push_back(
+            static_cast<core::TaskId>(rng.UniformInt(0, i - 1)));
+      }
+    }
+    tasks.push_back(std::move(t));
+  }
+  return Build(SampleWorkers(shape, params, rng), std::move(tasks),
+               shape.num_skills);
+}
+
+// Tasks partitioned into maximal-depth chains: task i depends on i - 1
+// within its chain. The transitive closure of a chain tail is the whole
+// chain, so closures (and the harness's dependency oracles) are exercised at
+// the maximum depth the task count allows. Chain links are spatially and
+// temporally adjacent so chains are actually servable under tight budgets.
+core::Instance GenerateDeepChain(const GenParams& params, util::Rng& rng) {
+  const CaseShape shape = SampleShape(params, rng);
+  std::vector<core::Task> tasks;
+  tasks.reserve(static_cast<size_t>(shape.num_tasks));
+  int chain_remaining = 0;
+  for (int i = 0; i < shape.num_tasks; ++i) {
+    core::Task t = SampleTask(i, params, shape.num_skills, rng);
+    if (chain_remaining > 0) {
+      t.dependencies.push_back(static_cast<core::TaskId>(i - 1));
+      // Keep the chain co-located and co-feasible: next to its parent, with
+      // an overlapping window.
+      const core::Task& parent = tasks.back();
+      t.location.x = std::clamp(
+          parent.location.x + rng.UniformDouble(-0.1, 0.1) * params.area_side,
+          0.0, params.area_side);
+      t.location.y = std::clamp(
+          parent.location.y + rng.UniformDouble(-0.1, 0.1) * params.area_side,
+          0.0, params.area_side);
+      t.start_time = parent.start_time + rng.UniformDouble(0.0, 0.5);
+      --chain_remaining;
+    } else {
+      chain_remaining =
+          std::min(shape.num_tasks - i, params.chain_depth.Sample(rng)) - 1;
+    }
+    tasks.push_back(std::move(t));
+  }
+  return Build(SampleWorkers(shape, params, rng), std::move(tasks),
+               shape.num_skills);
+}
+
+// Stacked diamonds: source -> {width middle tasks} -> sink. The sink's
+// closure contains the whole motif and every middle task shares the same
+// parent and child — the shape where in-batch dependency credit,
+// associative-set matching, and the auditor's closure probes disagree first
+// when one of them has a bug.
+core::Instance GenerateDiamond(const GenParams& params, util::Rng& rng) {
+  CaseShape shape = SampleShape(params, rng);
+  shape.num_tasks = std::max(shape.num_tasks, 4);
+  std::vector<core::Task> tasks;
+  tasks.reserve(static_cast<size_t>(shape.num_tasks));
+  while (static_cast<int>(tasks.size()) < shape.num_tasks) {
+    const int remaining = shape.num_tasks - static_cast<int>(tasks.size());
+    if (remaining < 3) {
+      // Tail too small for a motif: plain dependency-free tasks.
+      tasks.push_back(SampleTask(static_cast<core::TaskId>(tasks.size()),
+                                 params, shape.num_skills, rng));
+      continue;
+    }
+    const int width =
+        std::min(remaining - 2, std::max(2, params.diamond_width.Sample(rng)));
+    const core::TaskId source = static_cast<core::TaskId>(tasks.size());
+    core::Task src = SampleTask(source, params, shape.num_skills, rng);
+    const geo::Point center = src.location;
+    const double anchor_start = src.start_time;
+    tasks.push_back(std::move(src));
+    for (int k = 0; k < width; ++k) {
+      core::Task mid = SampleTask(static_cast<core::TaskId>(tasks.size()),
+                                  params, shape.num_skills, rng);
+      mid.dependencies.push_back(source);
+      mid.location.x = std::clamp(
+          center.x + rng.UniformDouble(-0.15, 0.15) * params.area_side, 0.0,
+          params.area_side);
+      mid.location.y = std::clamp(
+          center.y + rng.UniformDouble(-0.15, 0.15) * params.area_side, 0.0,
+          params.area_side);
+      mid.start_time = anchor_start + rng.UniformDouble(0.0, 0.5);
+      tasks.push_back(std::move(mid));
+    }
+    core::Task sink = SampleTask(static_cast<core::TaskId>(tasks.size()),
+                                 params, shape.num_skills, rng);
+    for (int k = 0; k < width; ++k) {
+      sink.dependencies.push_back(source + 1 + k);
+    }
+    sink.location = center;
+    sink.start_time = anchor_start + rng.UniformDouble(0.0, 1.0);
+    tasks.push_back(std::move(sink));
+  }
+  return Build(SampleWorkers(shape, params, rng), std::move(tasks),
+               shape.num_skills);
+}
+
+// A market where skill supply is deliberately broken: the top third of the
+// skill universe is "starved" (no worker ever practices it) while a random
+// subset of tasks requires exactly those skills. Allocators must leave them
+// unserved — any assignment touching a starved task is a skill-constraint
+// violation the validity oracle catches.
+core::Instance GenerateSkillStarved(const GenParams& params, util::Rng& rng) {
+  CaseShape shape = SampleShape(params, rng);
+  shape.num_skills = std::max(shape.num_skills, 2);
+  const int starved_from = std::max(1, (2 * shape.num_skills) / 3);
+  std::vector<core::Worker> workers;
+  workers.reserve(static_cast<size_t>(shape.num_workers));
+  for (int i = 0; i < shape.num_workers; ++i) {
+    core::Worker w = SampleWorker(i, params, shape.num_skills, rng);
+    for (core::SkillId& s : w.skills) {
+      // Remap practiced skills into the non-starved prefix [0, starved_from).
+      s = s % starved_from;
+    }
+    workers.push_back(std::move(w));
+  }
+  std::vector<core::Task> tasks;
+  tasks.reserve(static_cast<size_t>(shape.num_tasks));
+  for (int i = 0; i < shape.num_tasks; ++i) {
+    core::Task t = SampleTask(i, params, shape.num_skills, rng);
+    if (rng.Bernoulli(0.4)) {
+      // A starved task; dependents of starved tasks can never be unlocked.
+      t.required_skill = static_cast<core::SkillId>(
+          rng.UniformInt(starved_from, shape.num_skills - 1));
+    } else {
+      t.required_skill =
+          static_cast<core::SkillId>(rng.UniformInt(0, starved_from - 1));
+    }
+    if (i > 0 && rng.Bernoulli(0.5)) {
+      t.dependencies.push_back(
+          static_cast<core::TaskId>(rng.UniformInt(0, i - 1)));
+    }
+    tasks.push_back(std::move(t));
+  }
+  return Build(std::move(workers), std::move(tasks), shape.num_skills);
+}
+
+// Every task is anchored to one worker and placed so that, for that worker,
+// either the travel-budget or the arrival-deadline constraint holds or fails
+// by a relative kKnifeEdgeMargin — far outside floating-point re-rounding
+// noise, but exactly where a >= / > confusion in feasibility code flips the
+// answer. Anchors use start_time = 0 on both sides so the margin applies to
+// the constraint under test rather than the window checks.
+core::Instance GenerateKnifeEdge(const GenParams& params, util::Rng& rng) {
+  const CaseShape shape = SampleShape(params, rng);
+  std::vector<core::Worker> workers;
+  workers.reserve(static_cast<size_t>(shape.num_workers));
+  for (int i = 0; i < shape.num_workers; ++i) {
+    core::Worker w = SampleWorker(i, params, shape.num_skills, rng);
+    w.start_time = 0.0;
+    w.wait_time = 4.0 * params.time_spread;
+    workers.push_back(std::move(w));
+  }
+  std::vector<core::Task> tasks;
+  tasks.reserve(static_cast<size_t>(shape.num_tasks));
+  for (int i = 0; i < shape.num_tasks; ++i) {
+    core::Task t = SampleTask(i, params, shape.num_skills, rng);
+    t.start_time = 0.0;
+    core::Worker& anchor =
+        workers[static_cast<size_t>(rng.UniformInt(0, shape.num_workers - 1))];
+    // Give the anchor the skill so the knife-edge constraint is the binding
+    // one for at least one worker.
+    t.required_skill = anchor.skills[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(anchor.skills.size()) - 1))];
+    const double radius =
+        anchor.max_distance * rng.UniformDouble(0.6, 0.98);
+    const double angle = rng.UniformDouble(0.0, 2.0 * M_PI);
+    t.location = {anchor.location.x + radius * std::cos(angle),
+                  anchor.location.y + radius * std::sin(angle)};
+    // Recompute the distance exactly as feasibility.cc will see it, then set
+    // the boundary a relative margin to either side.
+    const double dist = geo::EuclideanDistance(anchor.location, t.location);
+    const double travel = dist / anchor.velocity;
+    const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    if (rng.Bernoulli(0.5)) {
+      // Arrival-deadline knife: expiry = travel * (1 ± margin).
+      t.wait_time = travel * (1.0 + sign * kKnifeEdgeMargin);
+    } else {
+      // Travel-budget knife: shrink the anchor's budget to dist * (1 ± m).
+      anchor.max_distance = dist * (1.0 + sign * kKnifeEdgeMargin);
+      t.wait_time = 2.0 * travel;  // deadline comfortably loose
+    }
+    if (i > 0 && rng.Bernoulli(0.3)) {
+      t.dependencies.push_back(
+          static_cast<core::TaskId>(rng.UniformInt(0, i - 1)));
+    }
+    tasks.push_back(std::move(t));
+  }
+  return Build(std::move(workers), std::move(tasks), shape.num_skills);
+}
+
+}  // namespace
+
+const char* FamilyName(Family family) {
+  switch (family) {
+    case Family::kUniform:
+      return "uniform";
+    case Family::kDeepChain:
+      return "deep-chain";
+    case Family::kDiamond:
+      return "diamond";
+    case Family::kSkillStarved:
+      return "skill-starved";
+    case Family::kKnifeEdge:
+      return "knife-edge";
+  }
+  DASC_CHECK(false) << "unknown Family";
+  return "?";
+}
+
+bool FamilyFromName(const std::string& name, Family* family) {
+  for (Family f : AllFamilies()) {
+    if (name == FamilyName(f)) {
+      *family = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Family> AllFamilies() {
+  return {Family::kUniform, Family::kDeepChain, Family::kDiamond,
+          Family::kSkillStarved, Family::kKnifeEdge};
+}
+
+core::Instance GenerateCase(Family family, const GenParams& params,
+                            uint64_t case_seed) {
+  // Fold the family into the stream so the same case_seed yields unrelated
+  // instances across families.
+  util::Rng rng(case_seed * 0x9e3779b97f4a7c15ULL +
+                static_cast<uint64_t>(family) + 1);
+  switch (family) {
+    case Family::kUniform:
+      return GenerateUniform(params, rng);
+    case Family::kDeepChain:
+      return GenerateDeepChain(params, rng);
+    case Family::kDiamond:
+      return GenerateDiamond(params, rng);
+    case Family::kSkillStarved:
+      return GenerateSkillStarved(params, rng);
+    case Family::kKnifeEdge:
+      return GenerateKnifeEdge(params, rng);
+  }
+  DASC_CHECK(false) << "unknown Family";
+  return GenerateUniform(params, rng);
+}
+
+}  // namespace dasc::testing

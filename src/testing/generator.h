@@ -1,0 +1,92 @@
+// Random-instance generator DSL for the property-based conformance harness
+// (DESIGN.md §12).
+//
+// The paper's synthetic recipe (gen/synthetic.h) reproduces Table V; this
+// generator instead aims for *coverage*: small instances with tunable
+// distributions over skills, DAG shape, and spatio-temporal tightness, plus
+// pathological families that hand-written fixtures rarely hit — deep
+// dependency chains, diamond motifs, skill-starved markets, and
+// deadline-knife-edge geometry where every pair sits a hair's width from the
+// feasibility boundary.
+//
+// Determinism contract: GenerateCase(family, params, case_seed) is a pure
+// function of its arguments — same inputs, bit-identical instance — so a
+// failing case is reproducible from its (family, seed) coordinates alone,
+// before the shrinker even writes a repro file.
+//
+// Knife-edge margins are relative (kKnifeEdgeMargin = 1e-6): wide enough
+// that the metamorphic transforms of oracles.h (reflection, axis swap,
+// power-of-two scaling, uniform time shift) cannot flip a feasibility
+// comparison through floating-point re-rounding (~1e-16 relative), narrow
+// enough to catch off-by-one-comparison bugs (>= vs >) in feasibility code.
+#ifndef DASC_TESTING_GENERATOR_H_
+#define DASC_TESTING_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "util/rng.h"
+
+namespace dasc::testing {
+
+// Pathological instance families on top of the uniform baseline.
+enum class Family {
+  kUniform = 0,      // uniform geometry, uniform random DAG
+  kDeepChain,        // long dependency chains (worst case for closures)
+  kDiamond,          // stacked diamond motifs: src -> {mid...} -> sink
+  kSkillStarved,     // tasks requiring skills no worker practices
+  kKnifeEdge,        // every pair within ±1e-6 of a feasibility boundary
+};
+
+inline constexpr int kNumFamilies = 5;
+inline constexpr double kKnifeEdgeMargin = 1e-6;
+
+// Stable lowercase name ("uniform", "deep-chain", ...).
+const char* FamilyName(Family family);
+// Inverse of FamilyName; false on unknown names.
+bool FamilyFromName(const std::string& name, Family* family);
+// All families, in enum order.
+std::vector<Family> AllFamilies();
+
+// Inclusive integer sampling range.
+struct CountRange {
+  int lo = 0;
+  int hi = 0;
+  int Sample(util::Rng& rng) const {
+    return static_cast<int>(rng.UniformInt(lo, hi));
+  }
+};
+
+// Tunable distributions. Defaults keep instances small enough for the
+// DFS-backed oracles while still exercising every constraint.
+struct GenParams {
+  CountRange num_workers = {3, 9};
+  CountRange num_tasks = {4, 14};
+  CountRange num_skills = {1, 5};
+  CountRange worker_skills = {1, 3};
+  // Uniform family: per-task direct-dependency target.
+  CountRange direct_deps = {0, 3};
+  // Deep-chain family: chain length (clamped to the task count).
+  CountRange chain_depth = {3, 10};
+  // Diamond family: middle-layer width of each motif.
+  CountRange diamond_width = {2, 4};
+  // Spatio-temporal tightness in [0, 1]: 0 = travel budgets and windows
+  // comfortably cover the area, 1 = most pairs barely (in)feasible.
+  double tightness = 0.4;
+  double area_side = 1.0;
+  // Start times are drawn in [-time_spread, time_spread / 4] around the
+  // harness's fixed batch timestamp now = 0, so instances mix live, expired,
+  // and not-yet-arrived parties.
+  double time_spread = 8.0;
+};
+
+// Deterministic random instance for one stress case. Always valid
+// (Instance::Create checked).
+core::Instance GenerateCase(Family family, const GenParams& params,
+                            uint64_t case_seed);
+
+}  // namespace dasc::testing
+
+#endif  // DASC_TESTING_GENERATOR_H_

@@ -1,0 +1,62 @@
+#include "testing/instance_edit.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dasc::testing {
+
+InstanceParts PartsOf(const core::Instance& instance) {
+  InstanceParts parts;
+  parts.workers = instance.workers();
+  parts.tasks = instance.tasks();
+  parts.num_skills = instance.num_skills();
+  return parts;
+}
+
+util::Result<core::Instance> BuildParts(InstanceParts parts) {
+  return core::Instance::Create(std::move(parts.workers),
+                                std::move(parts.tasks), parts.num_skills);
+}
+
+InstanceParts WithoutTasks(const InstanceParts& parts,
+                           const std::vector<uint8_t>& drop) {
+  DASC_CHECK_EQ(drop.size(), parts.tasks.size());
+  InstanceParts out;
+  out.workers = parts.workers;
+  out.num_skills = parts.num_skills;
+  std::vector<core::TaskId> new_id(parts.tasks.size(), core::kInvalidId);
+  for (size_t i = 0; i < parts.tasks.size(); ++i) {
+    if (drop[i]) continue;
+    new_id[i] = static_cast<core::TaskId>(out.tasks.size());
+    core::Task t = parts.tasks[i];
+    t.id = new_id[i];
+    out.tasks.push_back(std::move(t));
+  }
+  for (core::Task& t : out.tasks) {
+    std::vector<core::TaskId> remapped;
+    for (core::TaskId d : t.dependencies) {
+      const core::TaskId nd = new_id[static_cast<size_t>(d)];
+      if (nd != core::kInvalidId) remapped.push_back(nd);
+    }
+    t.dependencies = std::move(remapped);
+  }
+  return out;
+}
+
+InstanceParts WithoutWorkers(const InstanceParts& parts,
+                             const std::vector<uint8_t>& drop) {
+  DASC_CHECK_EQ(drop.size(), parts.workers.size());
+  InstanceParts out;
+  out.tasks = parts.tasks;
+  out.num_skills = parts.num_skills;
+  for (size_t i = 0; i < parts.workers.size(); ++i) {
+    if (drop[i]) continue;
+    core::Worker w = parts.workers[i];
+    w.id = static_cast<core::WorkerId>(out.workers.size());
+    out.workers.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace dasc::testing

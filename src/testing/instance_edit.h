@@ -1,0 +1,46 @@
+// Decompose / edit / rebuild helpers for core::Instance, shared by the
+// shrinker (shrink.h) and the metamorphic transforms (oracles.h).
+//
+// Instance is immutable after Create(); every edit therefore goes through
+// mutable InstanceParts and a re-validating rebuild. Removal helpers keep
+// the dependency graph consistent: surviving tasks are re-densified and
+// dependencies on removed tasks vanish (the perturbation semantics of
+// gen/perturb.h — a dependency that disappears was never required).
+#ifndef DASC_TESTING_INSTANCE_EDIT_H_
+#define DASC_TESTING_INSTANCE_EDIT_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "util/status.h"
+
+namespace dasc::testing {
+
+// A mutable copy of an instance's defining data (direct dependencies only;
+// the closure is recomputed on rebuild).
+struct InstanceParts {
+  std::vector<core::Worker> workers;
+  std::vector<core::Task> tasks;
+  int num_skills = 1;
+};
+
+InstanceParts PartsOf(const core::Instance& instance);
+
+// Re-validates and rebuilds. Ids must already be dense (the removal helpers
+// below maintain that); fails with the usual Instance::Create errors when an
+// edit made the parts invalid (e.g. a worker left without skills).
+util::Result<core::Instance> BuildParts(InstanceParts parts);
+
+// Removes every task whose id is flagged in `drop` (sized tasks.size());
+// survivors are re-densified and their dependency lists remapped, dropping
+// edges into removed tasks.
+InstanceParts WithoutTasks(const InstanceParts& parts,
+                           const std::vector<uint8_t>& drop);
+
+// Removes every worker whose id is flagged in `drop` (sized workers.size()).
+InstanceParts WithoutWorkers(const InstanceParts& parts,
+                             const std::vector<uint8_t>& drop);
+
+}  // namespace dasc::testing
+
+#endif  // DASC_TESTING_INSTANCE_EDIT_H_

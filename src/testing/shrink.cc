@@ -1,0 +1,215 @@
+#include "testing/shrink.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "testing/instance_edit.h"
+#include "util/logging.h"
+
+namespace dasc::testing {
+namespace {
+
+// Canonical "non-binding" values the relaxation pass rewrites constraints
+// to. Idempotent by construction (a second application is a no-op), which is
+// what keeps the fixpoint loop terminating.
+constexpr double kLooseWait = 1e6;
+constexpr double kLooseDistance = 1e6;
+
+class Shrinker {
+ public:
+  Shrinker(const core::Instance& failing, const FailPredicate& still_fails,
+           const ShrinkOptions& options)
+      : parts_(PartsOf(failing)), still_fails_(still_fails),
+        options_(options) {}
+
+  ShrinkResult Run(const core::Instance& failing) {
+    ShrinkResult result{failing, 0, 0};
+    ++evals_;
+    if (!still_fails_(failing)) {
+      DASC_LOG(WARNING)
+          << "shrink: original instance does not fail its own predicate; "
+             "returning it unshrunk";
+      result.predicate_evals = evals_;
+      return result;
+    }
+    best_ = failing;
+    while (!Exhausted()) {
+      bool progress = false;
+      progress |= RemoveChunksPass(/*tasks=*/true);
+      progress |= RemoveChunksPass(/*tasks=*/false);
+      progress |= PruneDepsPass();
+      progress |= RelaxPass();
+      ++passes_;
+      if (!progress) break;
+    }
+    result.instance = *best_;
+    result.predicate_evals = evals_;
+    result.passes = passes_;
+    return result;
+  }
+
+ private:
+  bool Exhausted() const { return evals_ >= options_.max_predicate_evals; }
+
+  // Accepts `candidate` as the new current state iff it rebuilds into a
+  // valid instance that still fails. Invalid rebuilds (e.g. zero workers
+  // when the model forbids it) are silently rejected without spending an
+  // evaluation.
+  bool TryAccept(InstanceParts candidate) {
+    if (Exhausted()) return false;
+    util::Result<core::Instance> built = BuildParts(candidate);
+    if (!built.ok()) return false;
+    ++evals_;
+    if (!still_fails_(*built)) return false;
+    parts_ = std::move(candidate);
+    best_ = std::move(*built);
+    return true;
+  }
+
+  // ddmin-style chunk removal over tasks (or workers): try dropping aligned
+  // chunks from half the population down to single elements, restarting from
+  // coarse granularity after every successful removal.
+  bool RemoveChunksPass(bool tasks) {
+    bool any = false;
+    bool removed = true;
+    while (removed && !Exhausted()) {
+      removed = false;
+      const int n = static_cast<int>(tasks ? parts_.tasks.size()
+                                           : parts_.workers.size());
+      if (n == 0) break;
+      for (int chunk = std::max(1, n / 2); chunk >= 1 && !removed;
+           chunk /= 2) {
+        for (int start = 0; start < n && !removed; start += chunk) {
+          std::vector<uint8_t> drop(static_cast<size_t>(n), 0);
+          for (int i = start; i < std::min(n, start + chunk); ++i) {
+            drop[static_cast<size_t>(i)] = 1;
+          }
+          InstanceParts candidate =
+              tasks ? WithoutTasks(parts_, drop) : WithoutWorkers(parts_, drop);
+          removed = TryAccept(std::move(candidate));
+        }
+        if (chunk == 1) break;
+      }
+      any |= removed;
+    }
+    return any;
+  }
+
+  // Try deleting dependency edges one at a time.
+  bool PruneDepsPass() {
+    bool any = false;
+    bool progress = true;
+    while (progress && !Exhausted()) {
+      progress = false;
+      for (size_t ti = 0; ti < parts_.tasks.size() && !Exhausted(); ++ti) {
+        for (size_t di = 0; di < parts_.tasks[ti].dependencies.size(); ++di) {
+          InstanceParts candidate = parts_;
+          auto& deps = candidate.tasks[ti].dependencies;
+          deps.erase(deps.begin() + static_cast<long>(di));
+          if (TryAccept(std::move(candidate))) {
+            progress = true;
+            any = true;
+            break;  // indices shifted; the outer while re-sweeps this task
+          }
+        }
+      }
+    }
+    return any;
+  }
+
+  // Rewrite one constraint at a time to a canonical non-binding value; keep
+  // the rewrite only if the failure survives. What remains binding in the
+  // final repro is exactly what the bug needs.
+  bool RelaxPass() {
+    bool any = false;
+    for (size_t i = 0; i < parts_.tasks.size() && !Exhausted(); ++i) {
+      any |= RelaxField(parts_.tasks[i].start_time, 0.0, [&](InstanceParts& p) {
+        p.tasks[i].start_time = 0.0;
+      });
+      any |= RelaxField(parts_.tasks[i].wait_time, kLooseWait,
+                        [&](InstanceParts& p) {
+                          p.tasks[i].wait_time = kLooseWait;
+                        });
+    }
+    for (size_t i = 0; i < parts_.workers.size() && !Exhausted(); ++i) {
+      any |= RelaxField(parts_.workers[i].start_time, 0.0,
+                        [&](InstanceParts& p) {
+                          p.workers[i].start_time = 0.0;
+                        });
+      any |= RelaxField(parts_.workers[i].wait_time, kLooseWait,
+                        [&](InstanceParts& p) {
+                          p.workers[i].wait_time = kLooseWait;
+                        });
+      any |= RelaxField(parts_.workers[i].max_distance, kLooseDistance,
+                        [&](InstanceParts& p) {
+                          p.workers[i].max_distance = kLooseDistance;
+                        });
+      any |= RelaxField(parts_.workers[i].velocity, 1.0, [&](InstanceParts& p) {
+        p.workers[i].velocity = 1.0;
+      });
+    }
+    any |= CollapseSkills();
+    any |= TightenNumSkills();
+    return any;
+  }
+
+  template <typename Fn>
+  bool RelaxField(double current, double target, Fn mutate) {
+    if (current == target) return false;
+    InstanceParts candidate = parts_;
+    mutate(candidate);
+    return TryAccept(std::move(candidate));
+  }
+
+  // Try the strongest skill simplification: one skill for everyone.
+  bool CollapseSkills() {
+    if (parts_.num_skills == 1) return false;
+    InstanceParts candidate = parts_;
+    candidate.num_skills = 1;
+    for (core::Worker& w : candidate.workers) w.skills = {0};
+    for (core::Task& t : candidate.tasks) t.required_skill = 0;
+    return TryAccept(std::move(candidate));
+  }
+
+  // Drop unused trailing skill ids (pure bookkeeping; cannot change
+  // behavior, so it is applied without spending an evaluation — but only
+  // when the rebuild stays valid, which it always is here).
+  bool TightenNumSkills() {
+    core::SkillId max_used = 0;
+    for (const core::Worker& w : parts_.workers) {
+      for (core::SkillId s : w.skills) max_used = std::max(max_used, s);
+    }
+    for (const core::Task& t : parts_.tasks) {
+      max_used = std::max(max_used, t.required_skill);
+    }
+    const int tight = static_cast<int>(max_used) + 1;
+    if (tight >= parts_.num_skills) return false;
+    InstanceParts candidate = parts_;
+    candidate.num_skills = tight;
+    util::Result<core::Instance> built = BuildParts(candidate);
+    if (!built.ok()) return false;
+    parts_ = std::move(candidate);
+    best_ = std::move(*built);
+    return true;
+  }
+
+  InstanceParts parts_;
+  std::optional<core::Instance> best_;
+  const FailPredicate& still_fails_;
+  const ShrinkOptions& options_;
+  int evals_ = 0;
+  int passes_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult Shrink(const core::Instance& failing,
+                    const FailPredicate& still_fails,
+                    const ShrinkOptions& options) {
+  Shrinker shrinker(failing, still_fails, options);
+  return shrinker.Run(failing);
+}
+
+}  // namespace dasc::testing

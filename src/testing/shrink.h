@@ -1,0 +1,45 @@
+// Counterexample shrinker: reduces a failing instance to a local minimum
+// while re-running the failing predicate after every candidate edit.
+//
+// Delta-debugging flavor (ddmin): passes of decreasing-granularity task and
+// worker chunk removal, then per-edge dependency pruning, then one-at-a-time
+// constraint relaxation (deadline widening, travel-budget widening, start
+// times to zero, skill collapse) — an edit survives only if the predicate
+// still fails on the rebuilt instance. Passes repeat to a fixpoint or until
+// the evaluation budget is spent. The result is 1-minimal per pass move, not
+// globally minimal — good enough to turn a 9x14 random instance into the
+// handful of tasks that actually matter.
+#ifndef DASC_TESTING_SHRINK_H_
+#define DASC_TESTING_SHRINK_H_
+
+#include <functional>
+
+#include "core/instance.h"
+
+namespace dasc::testing {
+
+// Must return true iff `candidate` still fails the property being debugged.
+// Called many times; treat oracle skips (FailedPrecondition) as "does not
+// fail" so shrinking cannot wander into vacuous territory.
+using FailPredicate = std::function<bool(const core::Instance&)>;
+
+struct ShrinkOptions {
+  // Hard cap on predicate evaluations across all passes.
+  int max_predicate_evals = 4000;
+};
+
+struct ShrinkResult {
+  core::Instance instance;  // smallest still-failing instance found
+  int predicate_evals = 0;
+  int passes = 0;  // full fixpoint rounds executed
+};
+
+// `failing` must satisfy still_fails (checked; returned unchanged with a
+// warning if it does not — a non-reproducible failure is itself a signal).
+ShrinkResult Shrink(const core::Instance& failing,
+                    const FailPredicate& still_fails,
+                    const ShrinkOptions& options = {});
+
+}  // namespace dasc::testing
+
+#endif  // DASC_TESTING_SHRINK_H_

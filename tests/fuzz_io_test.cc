@@ -7,6 +7,7 @@
 
 #include "gen/synthetic.h"
 #include "io/instance_io.h"
+#include "test_util.h"
 #include "util/rng.h"
 
 namespace dasc::io {
@@ -36,21 +37,7 @@ TEST_P(IoFuzzTest, ByteMutationsNeverCrash) {
     std::string corrupted = base;
     const int mutations = static_cast<int>(rng.UniformInt(1, 8));
     for (int k = 0; k < mutations; ++k) {
-      const auto pos = static_cast<size_t>(
-          rng.UniformInt(0, static_cast<int64_t>(corrupted.size()) - 1));
-      switch (rng.UniformInt(0, 2)) {
-        case 0:  // flip to random printable byte
-          corrupted[pos] =
-              static_cast<char>(rng.UniformInt(32, 126));
-          break;
-        case 1:  // delete a byte
-          corrupted.erase(pos, 1);
-          break;
-        default:  // duplicate a byte
-          corrupted.insert(pos, 1, corrupted[pos]);
-          break;
-      }
-      if (corrupted.empty()) corrupted = " ";
+      dasc::testing::MutateByte(rng, corrupted);
     }
     std::istringstream in(corrupted);
     const auto result = ReadInstance(in);  // must not crash
@@ -81,12 +68,28 @@ TEST_P(IoFuzzTest, AssignmentCsvMutationsNeverCrash) {
   const std::string base = "worker_id,task_id\n1,2\n3,4\n5,6\n";
   for (int iter = 0; iter < 150; ++iter) {
     std::string corrupted = base;
-    const auto pos = static_cast<size_t>(
-        rng.UniformInt(0, static_cast<int64_t>(corrupted.size()) - 1));
-    corrupted[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    dasc::testing::MutateByte(rng, corrupted);
     std::istringstream in(corrupted);
     const auto result = ReadAssignment(in);  // must not crash
     (void)result;
+  }
+}
+
+// Regression: the mutation loop used to compute UniformInt(0, size()-1)
+// before checking for emptiness, underflowing (and tripping the Rng's
+// lo <= hi precondition) once deletions drained the buffer. Driving the
+// helper from a 1-byte seed forces it through the empty state repeatedly.
+TEST_P(IoFuzzTest, EmptyBufferMutationsAreSafe) {
+  util::Rng rng(GetParam() + 31);
+  std::string tiny = "#";
+  for (int iter = 0; iter < 500; ++iter) {
+    dasc::testing::MutateByte(rng, tiny);
+    ASSERT_LE(tiny.size(), 502u);
+    std::istringstream in(tiny);
+    const auto result = ReadInstance(in);  // must not crash, even on ""
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
   }
 }
 

@@ -1,0 +1,148 @@
+// Deterministic pseudo-fuzzing of the util::JsonValue DOM parser and the
+// run-report reader built on it, mirroring fuzz_io_test.cc: random byte
+// mutations and truncations of valid run-report JSON must either parse
+// cleanly or return a clean error Status — never crash. PR 3's tests only
+// covered round-trips of well-formed documents.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/run_report_reader.h"
+#include "test_util.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace dasc::util {
+namespace {
+
+// Representative run-report lines (dasc-run-report/3 shapes): header, stats,
+// ledger aggregate, per-task lifecycle line, and a metrics dump. Together
+// they exercise every DOM kind — nested objects, arrays, strings with
+// escapes, signed/float/exponent numbers, booleans, and null.
+const char* const kReportLines[] = {
+    R"({"type":"run","schema":"dasc-run-report/3","kind":"simulate","instance":"gate.dasc","runs":1})",
+    R"({"type":"stats","algorithm":"G-G","score":20,"batches":17,"nonempty_batches":16,"empty_batches":8,"completed_tasks":20,"wasted_dispatches":0,"allocator_ms":0.251747,"p50_batch_ms":0.015137,"p95_batch_ms":0.0212712,"max_batch_ms":0.022212,"mean_assignment_latency":4.01984756866,"last_completion_time":78.6022049714,"audited_batches":9,"audit_violations":0,"min_batch_gap":1,"mean_batch_gap":1,"approx_ratio":1,"total_tasks":40,"ledger_mismatches":0})",
+    R"({"type":"ledger","algorithm":"G-G","total_tasks":40,"completed_tasks":20,"unserved":20,"reasons":{"out_of_range":1,"arrival_deadline":2,"dependency_unmet":17}})",
+    R"({"type":"task","algorithm":"G-G","task":0,"reason":"out_of_range","arrival":2.96392808649,"expiry":-1.5e3,"dep_depth":0,"batches_open":2,"candidate_batches":0,"first_open_batch":1,"last_open_batch":2,"assigned_batch":-1,"camp_expired":false,"completion_time":0})",
+    R"({"type":"metrics","counters":[{"name":"sim_batches_total","value":17}],"histograms":[{"name":"batch_ms","buckets":[1,2,3],"extra":null,"quoted":"a\"b\\c"}],"flag":true})",
+};
+
+std::string WholeReport() {
+  std::string all;
+  for (const char* line : kReportLines) {
+    all += line;
+    all += '\n';
+  }
+  return all;
+}
+
+class JsonFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Every base line must actually be valid JSON, or the fuzz below tests
+// nothing.
+TEST(JsonFuzzBase, BaseLinesParse) {
+  for (const char* line : kReportLines) {
+    const auto parsed = ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << line << ": " << parsed.status().ToString();
+    EXPECT_TRUE(parsed->is_object());
+  }
+  std::istringstream in(WholeReport());
+  // The trailing metrics line is not part of the reader's schema, but the
+  // reader must reject or tolerate it cleanly rather than crash.
+  const auto report = sim::ParseRunReport(in);
+  if (!report.ok()) {
+    EXPECT_FALSE(report.status().message().empty());
+  }
+}
+
+TEST_P(JsonFuzzTest, DomMutationsNeverCrash) {
+  util::Rng rng(GetParam());
+  for (const char* line : kReportLines) {
+    for (int iter = 0; iter < 200; ++iter) {
+      std::string corrupted = line;
+      const int mutations = static_cast<int>(rng.UniformInt(1, 8));
+      for (int k = 0; k < mutations; ++k) {
+        dasc::testing::MutateByte(rng, corrupted);
+      }
+      const auto result = ParseJson(corrupted);  // must not crash
+      if (result.ok()) {
+        // A surviving document must also serialize without crashing, and
+        // re-parse to itself (writer/parser agreement under fuzz).
+        const std::string round = result->ToString();
+        const auto again = ParseJson(round);
+        ASSERT_TRUE(again.ok()) << round;
+        EXPECT_EQ(again->ToString(), round);
+      } else {
+        EXPECT_FALSE(result.status().message().empty());
+      }
+    }
+  }
+}
+
+TEST_P(JsonFuzzTest, DomTruncationsNeverCrash) {
+  util::Rng rng(GetParam() + 999);
+  for (const char* line : kReportLines) {
+    const std::string base = line;
+    for (int iter = 0; iter < 80; ++iter) {
+      const auto cut = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(base.size())));
+      const auto result = ParseJson(base.substr(0, cut));
+      if (!result.ok()) {
+        EXPECT_FALSE(result.status().message().empty());
+      }
+    }
+  }
+}
+
+// Deeply nested but balanced input: the parser must handle it (or reject it
+// cleanly), not overflow the stack.
+TEST(JsonFuzzBase, DeepNestingIsHandled) {
+  std::string deep;
+  constexpr int kDepth = 2000;
+  for (int i = 0; i < kDepth; ++i) deep += "[";
+  deep += "0";
+  for (int i = 0; i < kDepth; ++i) deep += "]";
+  const auto result = ParseJson(deep);
+  if (!result.ok()) {
+    EXPECT_FALSE(result.status().message().empty());
+  }
+}
+
+// Whole-report fuzz through the run-report reader: mutate the multi-line
+// JSONL document, feed it to ParseRunReport, and require a clean verdict.
+TEST_P(JsonFuzzTest, ReportMutationsNeverCrashTheReader) {
+  const std::string base = WholeReport();
+  util::Rng rng(GetParam() + 77);
+  for (int iter = 0; iter < 150; ++iter) {
+    std::string corrupted = base;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 12));
+    for (int k = 0; k < mutations; ++k) {
+      dasc::testing::MutateByte(rng, corrupted);
+    }
+    std::istringstream in(corrupted);
+    const auto report = sim::ParseRunReport(in);  // must not crash
+    if (!report.ok()) {
+      EXPECT_FALSE(report.status().message().empty());
+    }
+  }
+}
+
+TEST_P(JsonFuzzTest, ReportTruncationsNeverCrashTheReader) {
+  const std::string base = WholeReport();
+  util::Rng rng(GetParam() + 4242);
+  for (int iter = 0; iter < 80; ++iter) {
+    const auto cut = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(base.size())));
+    std::istringstream in(base.substr(0, cut));
+    const auto report = sim::ParseRunReport(in);
+    if (!report.ok()) {
+      EXPECT_FALSE(report.status().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dasc::util

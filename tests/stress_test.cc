@@ -1,0 +1,307 @@
+// Tests for the property-testing subsystem: generator families, instance
+// editing, the shrinker, the oracle catalogue, and the stress harness
+// end-to-end (including the injected-dependency-bug acceptance path:
+// failure -> shrink -> repro file -> replay).
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "io/instance_io.h"
+#include "testing/generator.h"
+#include "testing/harness.h"
+#include "testing/instance_edit.h"
+#include "testing/oracles.h"
+#include "testing/shrink.h"
+
+namespace dasc {
+namespace {
+
+using testing::AllFamilies;
+using testing::AllOracleNames;
+using testing::Family;
+using testing::FamilyFromName;
+using testing::FamilyName;
+using testing::GenerateCase;
+using testing::GenParams;
+using testing::InstanceParts;
+
+std::string Serialized(const core::Instance& instance) {
+  std::ostringstream os;
+  io::WriteInstance(instance, os);
+  return os.str();
+}
+
+TEST(GeneratorTest, FamilyNamesRoundTrip) {
+  for (Family family : AllFamilies()) {
+    Family parsed;
+    ASSERT_TRUE(FamilyFromName(FamilyName(family), &parsed))
+        << FamilyName(family);
+    EXPECT_EQ(parsed, family);
+  }
+  Family parsed;
+  EXPECT_FALSE(FamilyFromName("no-such-family", &parsed));
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  const GenParams params;
+  for (Family family : AllFamilies()) {
+    const core::Instance a = GenerateCase(family, params, 7);
+    const core::Instance b = GenerateCase(family, params, 7);
+    EXPECT_EQ(Serialized(a), Serialized(b)) << FamilyName(family);
+    const core::Instance c = GenerateCase(family, params, 8);
+    EXPECT_NE(Serialized(a), Serialized(c)) << FamilyName(family);
+  }
+}
+
+TEST(GeneratorTest, RespectsCountRanges) {
+  GenParams params;
+  params.num_workers = {2, 4};
+  params.num_tasks = {5, 8};
+  for (Family family : AllFamilies()) {
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+      const core::Instance inst = GenerateCase(family, params, seed);
+      EXPECT_GE(inst.num_workers(), 2) << FamilyName(family);
+      EXPECT_LE(inst.num_workers(), 4) << FamilyName(family);
+      EXPECT_GE(inst.num_tasks(), 5) << FamilyName(family);
+      EXPECT_LE(inst.num_tasks(), 8) << FamilyName(family);
+    }
+  }
+}
+
+TEST(GeneratorTest, DeepChainHasLongClosure) {
+  const GenParams params;
+  int longest = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const core::Instance inst =
+        GenerateCase(Family::kDeepChain, params, seed);
+    for (core::TaskId t = 0; t < inst.num_tasks(); ++t) {
+      longest = std::max(longest,
+                         static_cast<int>(inst.DepClosure(t).size()));
+    }
+  }
+  EXPECT_GE(longest, 3);
+}
+
+TEST(GeneratorTest, DiamondHasFanInTask) {
+  const GenParams params;
+  bool fan_in = false;
+  for (uint64_t seed = 1; seed <= 10 && !fan_in; ++seed) {
+    const core::Instance inst = GenerateCase(Family::kDiamond, params, seed);
+    for (const core::Task& t : inst.tasks()) {
+      if (t.dependencies.size() >= 2) fan_in = true;
+    }
+  }
+  EXPECT_TRUE(fan_in);
+}
+
+TEST(GeneratorTest, SkillStarvedLeavesUnservableSkills) {
+  const GenParams params;
+  bool starved = false;
+  for (uint64_t seed = 1; seed <= 10 && !starved; ++seed) {
+    const core::Instance inst =
+        GenerateCase(Family::kSkillStarved, params, seed);
+    std::set<core::SkillId> practiced;
+    for (const core::Worker& w : inst.workers()) {
+      practiced.insert(w.skills.begin(), w.skills.end());
+    }
+    for (const core::Task& t : inst.tasks()) {
+      if (practiced.count(t.required_skill) == 0) starved = true;
+    }
+  }
+  EXPECT_TRUE(starved);
+}
+
+TEST(InstanceEditTest, WithoutTasksRemapsDependencies) {
+  const core::Instance inst =
+      GenerateCase(Family::kDeepChain, GenParams(), 3);
+  InstanceParts parts = testing::PartsOf(inst);
+  std::vector<uint8_t> drop(parts.tasks.size(), 0);
+  drop[0] = 1;  // drop the first chain root
+  const InstanceParts fewer = testing::WithoutTasks(parts, drop);
+  ASSERT_EQ(fewer.tasks.size(), parts.tasks.size() - 1);
+  for (size_t i = 0; i < fewer.tasks.size(); ++i) {
+    EXPECT_EQ(fewer.tasks[i].id, static_cast<core::TaskId>(i));
+    for (core::TaskId d : fewer.tasks[i].dependencies) {
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, static_cast<core::TaskId>(fewer.tasks.size()));
+    }
+  }
+  EXPECT_TRUE(testing::BuildParts(fewer).ok());
+}
+
+TEST(ShrinkTest, ReducesToMinimalDependencyPair) {
+  // Property: "the instance contains at least one dependency edge". The
+  // local minimum is exactly one dependent task and its prerequisite.
+  const core::Instance failing =
+      GenerateCase(Family::kUniform, GenParams(), 11);
+  int edges = 0;
+  for (const core::Task& t : failing.tasks()) {
+    edges += static_cast<int>(t.dependencies.size());
+  }
+  ASSERT_GT(edges, 0);
+  const testing::FailPredicate has_edge = [](const core::Instance& inst) {
+    for (const core::Task& t : inst.tasks()) {
+      if (!t.dependencies.empty()) return true;
+    }
+    return false;
+  };
+  const testing::ShrinkResult shrunk = testing::Shrink(failing, has_edge);
+  EXPECT_EQ(shrunk.instance.num_tasks(), 2);
+  EXPECT_LE(shrunk.instance.num_workers(), 1);
+  EXPECT_TRUE(has_edge(shrunk.instance));
+  EXPECT_GT(shrunk.predicate_evals, 0);
+}
+
+TEST(ShrinkTest, NonReproducingPredicateReturnsOriginal) {
+  const core::Instance inst = GenerateCase(Family::kUniform, GenParams(), 5);
+  const testing::ShrinkResult shrunk =
+      testing::Shrink(inst, [](const core::Instance&) { return false; });
+  EXPECT_EQ(shrunk.instance.num_tasks(), inst.num_tasks());
+  EXPECT_EQ(shrunk.instance.num_workers(), inst.num_workers());
+}
+
+TEST(ShrinkTest, RespectsEvaluationBudget) {
+  const core::Instance inst = GenerateCase(Family::kUniform, GenParams(), 5);
+  testing::ShrinkOptions options;
+  options.max_predicate_evals = 10;
+  const testing::ShrinkResult shrunk = testing::Shrink(
+      inst, [](const core::Instance&) { return true; }, options);
+  EXPECT_LE(shrunk.predicate_evals, 10);
+}
+
+TEST(OracleTest, CatalogueIsWellFormed) {
+  const std::vector<std::string> names = AllOracleNames();
+  EXPECT_GE(names.size(), 8u);
+  for (const std::string& name : names) {
+    const testing::Oracle* oracle = testing::FindOracle(name);
+    ASSERT_NE(oracle, nullptr) << name;
+    EXPECT_EQ(oracle->name, name);
+    EXPECT_FALSE(oracle->description.empty()) << name;
+  }
+  EXPECT_EQ(testing::FindOracle("no-such-oracle"), nullptr);
+}
+
+TEST(OracleTest, AllOraclesPassOnGeneratedCases) {
+  GenParams params;
+  params.num_tasks = {4, 9};  // keep DFS-backed oracles applicable
+  for (Family family : AllFamilies()) {
+    const core::Instance inst = GenerateCase(family, params, 21);
+    testing::OracleContext ctx;
+    ctx.instance = &inst;
+    ctx.allocators = {"greedy", "gg", "game", "closest", "maxmatch"};
+    for (const auto& oracle : testing::AllOracles()) {
+      const util::Status status = oracle.check(ctx);
+      EXPECT_TRUE(status.ok() ||
+                  status.code() == util::StatusCode::kFailedPrecondition)
+          << FamilyName(family) << "/" << oracle.name << ": "
+          << status.ToString();
+    }
+  }
+}
+
+// A worker that cannot serve task 0 (wrong skill) but can serve task 1,
+// which depends on task 0: any dependency-oblivious allocator assigns the
+// premature pair, so skipping the platform's dependency filter must trip the
+// validity oracle.
+TEST(OracleTest, InjectedDependencyBugTripsValidity) {
+  std::vector<core::Worker> workers(1);
+  workers[0].id = 0;
+  workers[0].location = {0.0, 0.0};
+  workers[0].wait_time = 100.0;
+  workers[0].velocity = 1.0;
+  workers[0].max_distance = 100.0;
+  workers[0].skills = {0};
+  std::vector<core::Task> tasks(2);
+  tasks[0].id = 0;
+  tasks[0].location = {1.0, 0.0};
+  tasks[0].wait_time = 100.0;
+  tasks[0].required_skill = 1;
+  tasks[1].id = 1;
+  tasks[1].location = {2.0, 0.0};
+  tasks[1].wait_time = 100.0;
+  tasks[1].required_skill = 0;
+  tasks[1].dependencies = {0};
+  auto inst = core::Instance::Create(workers, tasks, 2);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+
+  testing::OracleContext ctx;
+  ctx.instance = &*inst;
+  ctx.allocators = {"closest"};
+  const testing::Oracle* validity = testing::FindOracle("validity");
+  ASSERT_NE(validity, nullptr);
+  EXPECT_TRUE(validity->check(ctx).ok());
+  ctx.inject_dependency_bug = true;
+  const util::Status bugged = validity->check(ctx);
+  EXPECT_FALSE(bugged.ok());
+  EXPECT_NE(bugged.message().find("dependency"), std::string::npos)
+      << bugged.ToString();
+}
+
+TEST(HarnessTest, CleanSweepPassesAndIsDeterministic) {
+  testing::StressOptions options;
+  options.seeds = 5;
+  options.families = {Family::kUniform, Family::kKnifeEdge};
+  options.oracles = {"validity", "determinism", "gg-seed-monotone"};
+  options.allocators = {"greedy", "gg", "closest"};
+  options.shrink = false;
+  const testing::StressReport a = testing::RunStress(options);
+  EXPECT_TRUE(a.ok());
+  EXPECT_EQ(a.cases, 10);
+  EXPECT_EQ(a.checks, 30);
+  const testing::StressReport b = testing::RunStress(options);
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.skips, b.skips);
+}
+
+TEST(HarnessTest, InjectedBugShrinksToTinyReproThatReplays) {
+  const std::string repro_dir =
+      (std::filesystem::path(::testing::TempDir()) / "dasc_stress_repros")
+          .string();
+  std::filesystem::remove_all(repro_dir);
+
+  testing::StressOptions options;
+  options.seeds = 5;
+  options.families = {Family::kUniform};
+  options.oracles = {"validity"};
+  options.inject_dependency_bug = true;
+  options.repro_dir = repro_dir;
+  const testing::StressReport report = testing::RunStress(options);
+  ASSERT_FALSE(report.ok());
+  const testing::StressFailure& failure = report.failures.front();
+  EXPECT_EQ(failure.oracle, "validity");
+  ASSERT_FALSE(failure.repro_path.empty());
+  // The acceptance bar: the minimized counterexample is tiny.
+  EXPECT_LE(failure.shrunk_tasks, 6);
+  EXPECT_GE(failure.shrunk_tasks, 2);  // needs a dependency edge
+
+  // The written file replays to the same class of failure on its own.
+  const util::Status replay = testing::ReplayRepro(failure.repro_path);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_NE(replay.message().find("violation"), std::string::npos)
+      << replay.ToString();
+
+  // And it is a loadable, valid instance for every other tool.
+  auto loaded = io::ReadInstanceFile(failure.repro_path);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+TEST(HarnessTest, ReplayRejectsMissingOrMetadatalessFiles) {
+  EXPECT_EQ(testing::ReplayRepro("/no/such/file.txt").code(),
+            util::StatusCode::kNotFound);
+  const std::string plain =
+      (std::filesystem::path(::testing::TempDir()) / "plain_instance.txt")
+          .string();
+  const core::Instance inst = GenerateCase(Family::kUniform, GenParams(), 1);
+  ASSERT_TRUE(io::WriteInstanceFile(inst, plain).ok());
+  EXPECT_EQ(testing::ReplayRepro(plain).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dasc

@@ -3,6 +3,7 @@
 #ifndef DASC_TESTS_TEST_UTIL_H_
 #define DASC_TESTS_TEST_UTIL_H_
 
+#include <string>
 #include <vector>
 
 #include "core/instance.h"
@@ -10,6 +11,31 @@
 #include "util/rng.h"
 
 namespace dasc::testing {
+
+// One random byte mutation (flip to printable / delete / duplicate) for the
+// pseudo-fuzz tests. Safe on empty buffers: a delete that empties the string
+// is fine, and mutating an already-empty string inserts a byte instead —
+// callers must not index into `s` or compute size()-1 themselves (that
+// underflow is exactly the bug this helper centralizes the guard for).
+inline void MutateByte(util::Rng& rng, std::string& s) {
+  if (s.empty()) {
+    s.push_back(static_cast<char>(rng.UniformInt(32, 126)));
+    return;
+  }
+  const auto pos = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(s.size()) - 1));
+  switch (rng.UniformInt(0, 2)) {
+    case 0:  // flip to random printable byte
+      s[pos] = static_cast<char>(rng.UniformInt(32, 126));
+      break;
+    case 1:  // delete a byte
+      s.erase(pos, 1);
+      break;
+    default:  // duplicate a byte
+      s.insert(pos, 1, s[pos]);
+      break;
+  }
+}
 
 // Worker present from t=0 for a long time, fast and far-ranging by default.
 inline core::Worker MakeWorker(core::WorkerId id, double x, double y,

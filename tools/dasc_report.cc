@@ -17,8 +17,10 @@
 // batch range ended with), and the dependency-chain-depth distribution of
 // expired vs served tasks. Every aggregate is recomputed from the per-task
 // lines and cross-checked against the report's own ledger summary — a
-// disagreement (writer bug or hand-edited report) exits 1. Reports without a
-// ledger block (no --ledger, or schema < /3) also exit 1.
+// disagreement (writer bug or hand-edited report) exits 1. A legacy /1 or /2
+// report cannot carry a ledger, so explain degrades gracefully there: it
+// says so and exits 0. A /3 report without a ledger block (run without
+// --ledger) exits 1 — that run could have recorded one.
 //
 // diff compares every algorithm of the baseline report against the candidate
 // and classifies each metric movement:
@@ -305,6 +307,16 @@ int Explain(int argc, char** argv) {
     if (!ExplainStats(s, static_cast<int>(batch_rows))) consistent = false;
   }
   if (!any_ledger) {
+    // Legacy schemas predate the lifecycle ledger entirely: nothing to
+    // explain is the expected outcome, not an error.
+    if (report->schema_version < 3) {
+      std::printf(
+          "%s: schema dasc-run-report/%d predates the lifecycle ledger; "
+          "nothing to explain. Re-run the experiment with --ledger (schema "
+          "dasc-run-report/3) for per-task attribution.\n",
+          parser.positional()[0].c_str(), report->schema_version);
+      return 0;
+    }
     std::fprintf(stderr,
                  "%s: no lifecycle-ledger block (re-run the experiment with "
                  "--ledger and schema dasc-run-report/3)\n",
