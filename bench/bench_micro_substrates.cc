@@ -241,6 +241,34 @@ std::vector<MicroEntry> CollectMicroEntries(int reps) {
       algo::GreedyAllocator greedy;
       benchmark::DoNotOptimize(greedy.Allocate(cached));
     }));
+    // Incremental-kernel modes of the same matching phase (DESIGN.md §13):
+    //   * matching_cold — every knob off: the historical re-solve-everything
+    //     scan over the CSR layout (the incremental kernel's control);
+    //   * matching_warm — a persistent allocator re-allocating an identical
+    //     batch, so every first evaluation hits the cross-batch warm store;
+    //   * matching_delta — dual-certificate delta repair instead of cold
+    //     re-solves after commits.
+    entries.push_back(TimeMicro("matching_cold", reps, [&] {
+      algo::GreedyOptions options;
+      options.incremental_cache = false;
+      options.warm_start = false;
+      options.parallel_solve_threshold = 0;
+      algo::GreedyAllocator greedy(options);
+      benchmark::DoNotOptimize(greedy.Allocate(cached));
+    }));
+    {
+      algo::GreedyAllocator warm;  // persists its warm store across reps
+      warm.Allocate(cached);
+      entries.push_back(TimeMicro("matching_warm", reps, [&] {
+        benchmark::DoNotOptimize(warm.Allocate(cached));
+      }));
+    }
+    entries.push_back(TimeMicro("matching_delta", reps, [&] {
+      algo::GreedyOptions options;
+      options.delta_repair = true;
+      algo::GreedyAllocator greedy(options);
+      benchmark::DoNotOptimize(greedy.Allocate(cached));
+    }));
     entries.push_back(TimeMicro("best_response", reps, [&] {
       algo::GameOptions options;
       options.threshold = 0.05;

@@ -184,8 +184,10 @@ core::Assignment GameAllocator::Allocate(const core::BatchProblem& problem) {
 
   // --- Initialization (Algorithm 3 lines 1-2, or the G-G heuristic). ---
   if (options_.greedy_init) {
-    GreedyAllocator greedy(options_.greedy_options);
-    const core::Assignment seed_assignment = greedy.Allocate(problem);
+    if (seed_allocator_ == nullptr) {
+      seed_allocator_ = std::make_unique<GreedyAllocator>(options_.greedy_options);
+    }
+    const core::Assignment seed_assignment = seed_allocator_->Allocate(problem);
     std::unordered_map<core::WorkerId, size_t> index_of;
     for (size_t i = 0; i < problem.workers.size(); ++i) {
       index_of[problem.workers[i].id] = i;

@@ -11,6 +11,7 @@
 #ifndef DASC_ALGO_GAME_H_
 #define DASC_ALGO_GAME_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,9 @@ class GameAllocator : public core::Allocator {
   std::string name_;
   util::Rng rng_;
   int last_rounds_ = 0;
+  // G-G's greedy seeder, persisted across batches so its cross-batch
+  // warm-start store survives (greedy.h); created on first use.
+  std::unique_ptr<GreedyAllocator> seed_allocator_;
 };
 
 // Σ_w U_w(s_w, \bar{s}_w) under an explicit strategy profile (worker index

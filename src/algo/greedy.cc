@@ -1,18 +1,46 @@
 #include "algo/greedy.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "matching/auction.h"
 #include "matching/hopcroft_karp.h"
 #include "matching/hungarian.h"
+#include "matching/sparse_assignment.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 #include "util/tracing.h"
 
 namespace dasc::algo {
+
+// Cross-batch warm-start store: per associative-set root, the exact solve
+// inputs of that root's first evaluation in the previous batch (live member
+// list plus availability-filtered candidate rows in instance-global worker
+// ids with their travel times) and the solve's result. The next batch reuses
+// the result only on a bit-identical snapshot, which makes reuse exact: a
+// deterministic solver fed identical inputs returns identical output.
+struct GreedyWarmState {
+  struct Entry {
+    // Solve-input snapshot.
+    std::vector<core::TaskId> tasks;           // live members, row order
+    std::vector<int64_t> row_off;              // tasks.size() + 1 offsets
+    std::vector<core::WorkerId> edge_workers;  // available candidates per row
+    std::vector<double> edge_costs;            // travel times, same order
+    // Solve result.
+    bool has_result = false;
+    bool feasible = false;
+    double cost = 0.0;
+    std::vector<core::WorkerId> matched;  // per row, when feasible
+  };
+  std::unordered_map<core::TaskId, Entry> prev;  // last completed Allocate
+  std::unordered_map<core::TaskId, Entry> next;  // being collected now
+};
 
 namespace {
 
@@ -20,55 +48,154 @@ using core::BatchProblem;
 using core::Instance;
 using core::TaskId;
 
+// Lifecycle of an associative set's cached matching attempt within a batch.
+enum class CacheState : uint8_t {
+  kNone,        // no usable attempt; needs a fresh solve
+  kFeasible,    // `attempt` is the exact matching for the current inputs
+  kInfeasible,  // proven infeasible at the current `remaining` (the
+                // historical fail_size skip: worker pools only shrink, so
+                // this persists until a member is assigned elsewhere)
+  kRepair,      // feasible attempt invalidated by a commit, but its dual
+                // certificate (`duals`) allows a delta re-solve
+};
+
+// Result of one matching attempt for an associative set.
+struct MatchAttempt {
+  double cost = 0.0;
+  // Parallel arrays: task -> worker index (into problem.workers). A -1
+  // worker marks a row dropped by a delta repair (member assigned via
+  // another set after the original solve).
+  std::vector<TaskId> tasks;
+  std::vector<int> workers;
+};
+
 // One associative task set tc_r = {r} ∪ (unmet deps of r).
 struct AssocSet {
   TaskId root = core::kInvalidId;
   std::vector<TaskId> members;  // built once; filter by `assigned` lazily
   int remaining = 0;            // members not yet assigned this batch
-  int fail_size = -1;           // `remaining` at the last failed match, or -1
-  bool dead = false;            // permanently unservable in this batch
-};
-
-// Result of one matching attempt for an associative set.
-struct MatchAttempt {
-  bool feasible = false;
-  double cost = 0.0;
-  // Parallel arrays: task -> worker index (into problem.workers).
-  std::vector<TaskId> tasks;
-  std::vector<int> workers;
+  CacheState cache = CacheState::kNone;
+  bool warm_checked = false;  // warm store consulted this batch already
+  bool warm_store = false;    // store the next fresh solve into the store
+  bool has_duals = false;     // `duals` certifies `attempt` (Hungarian only)
+  int last_eval_iter = -1;    // outer iteration of the last evaluation
+  MatchAttempt attempt;
+  matching::SparseDuals duals;
 };
 
 class GreedyRun {
  public:
-  GreedyRun(const BatchProblem& problem, const GreedyOptions& options)
+  GreedyRun(const BatchProblem& problem, const GreedyOptions& options,
+            GreedyWarmState* warm)
       : problem_(problem),
         instance_(*problem.instance),
         options_(options),
-        candidates_(problem.Candidates()) {}
+        candidates_(problem.Candidates()),
+        edges_(problem.Edges()),
+        warm_(warm) {}
 
   core::Assignment Run();
 
   int iterations() const { return iterations_; }
   int64_t match_attempts() const { return match_attempts_; }
+  int64_t warm_hits() const { return warm_hits_; }
+  int64_t cold_solves() const { return cold_solves_; }
 
  private:
   void BuildAssocSets();
-  MatchAttempt TryMatch(const AssocSet& set) const;
-  void Commit(const MatchAttempt& attempt, core::Assignment* out);
+  // Drops stale entries (moved to a smaller class or root already assigned)
+  // from buckets_[r] in place, preserving order.
+  void CompactBucket(int r);
+  // Evaluates one size class in root order and commits the cheapest feasible
+  // attempt. Returns true when something was committed.
+  bool EvaluateClassAndCommit(std::vector<int>& bucket, core::Assignment* out);
+  // Hungarian-only: fans the class's fresh solves out over the global pool
+  // when the class is large enough. Selection stays serial, so the result is
+  // bit-identical at every thread count.
+  void MaybeParallelSolve(const std::vector<int>& bucket);
+  // Without the incremental cache, a surviving feasible attempt from an
+  // earlier iteration is discarded so the set re-solves (historical
+  // solve-everything-every-scan behavior).
+  void MaybeDowngrade(AssocSet& set);
+  // Fresh evaluation of a kNone set on the calling thread: warm-store check
+  // first, then a full solve.
+  void EvaluateFresh(AssocSet& set);
+  // CSR row views + live member list for a set (unfiltered rows; workers are
+  // masked by worker_available_ inside the solvers).
+  void BuildRows(const AssocSet& set, std::vector<TaskId>* tasks,
+                 std::vector<matching::SparseRow>* rows) const;
+  // Full solve of a set with the configured backend; sets cache/attempt.
+  // Thread-safe for the Hungarian backend when each thread passes its own
+  // solver + scratch (only `set` and the scratch are written).
+  void SolveOne(AssocSet& set, matching::SparseAssignmentSolver& solver,
+                std::vector<TaskId>& tasks,
+                std::vector<matching::SparseRow>& rows);
+  // HK / auction backends: dense evaluation over the compacted column union
+  // (serial only; uses member scratch).
+  void SolveDense(AssocSet& set, const std::vector<TaskId>& tasks,
+                  const std::vector<matching::SparseRow>& rows);
+  // Consults the warm store. Returns 0 on an exact hit (cache/attempt were
+  // filled), 1 on a miss whose snapshot was stored (caller should flag
+  // warm_store and store the solve result), 2 when already checked.
+  int WarmCheck(AssocSet& set);
+  // Records a flagged set's fresh solve result into the warm store.
+  void StoreWarmResult(const AssocSet& set);
+  // Delta re-solve of an invalidated feasible attempt from its duals.
+  void RepairSet(AssocSet& set);
+  void Commit(AssocSet& win, core::Assignment* out);
 
   int iterations_ = 0;
-  mutable int64_t match_attempts_ = 0;
+  int64_t match_attempts_ = 0;
+  int64_t warm_hits_ = 0;
+  int64_t cold_solves_ = 0;
+  int outer_iter_ = 0;
 
   const BatchProblem& problem_;
   const Instance& instance_;
   GreedyOptions options_;
   const core::CandidateSets& candidates_;
+  const core::CandidateEdges& edges_;
+  GreedyWarmState* warm_ = nullptr;
 
   std::vector<AssocSet> sets_;
   // For each task id, indices into sets_ whose member list contains it.
-  std::unordered_map<TaskId, std::vector<int>> containing_sets_;
+  std::vector<std::vector<int>> task_sets_;
+  // For each worker index, indices into sets_ whose build-time candidate
+  // union contains it. Consuming a worker dirties exactly these sets (a
+  // superset of the sets whose *live* union holds it, which only forces a
+  // redundant — and therefore still exact — re-solve).
+  std::vector<std::vector<int>> worker_sets_;
   std::vector<uint8_t> assigned_;          // per task id, assigned this batch
   std::vector<uint8_t> worker_available_;  // per index into problem_.workers
+
+  // Size-class buckets: buckets_[r] holds candidate indices of sets with
+  // remaining == r, compacted and sorted (by root, ascending — the
+  // historical tie-break order) lazily.
+  std::vector<std::vector<int>> buckets_;
+  std::vector<uint8_t> bucket_sorted_;
+  int max_bucket_ = 0;
+
+  matching::SparseAssignmentSolver solver_;  // serial solver
+  std::vector<TaskId> tasks_scratch_;
+  std::vector<matching::SparseRow> rows_scratch_;
+  std::vector<uint8_t> row_live_scratch_;
+  std::vector<int> pending_;  // parallel-phase set indices
+
+  // Dense-backend column compaction scratch (first-appearance order, the
+  // same order the historical per-attempt hash map produced).
+  std::vector<int> col_stamp_;
+  std::vector<int> col_rank_;
+  std::vector<int32_t> col_list_;
+  int col_epoch_ = 0;
+
+  // Commit-time touch dedup.
+  std::vector<int> touch_stamp_;
+  std::vector<uint8_t> touch_member_;
+  std::vector<int> touched_;
+  int commit_seq_ = 0;
+
+  // instance worker id -> index into problem_.workers (warm start only).
+  std::vector<int> worker_index_of_id_;
 };
 
 void GreedyRun::BuildAssocSets() {
@@ -108,102 +235,450 @@ void GreedyRun::BuildAssocSets() {
     }
     if (!servable) continue;
     set.remaining = static_cast<int>(set.members.size());
-    const int index = static_cast<int>(sets_.size());
-    for (TaskId m : set.members) containing_sets_[m].push_back(index);
     sets_.push_back(std::move(set));
   }
+
+  task_sets_.assign(static_cast<size_t>(instance_.num_tasks()), {});
+  worker_sets_.assign(problem_.workers.size(), {});
+  std::vector<int> worker_stamp(problem_.workers.size(), -1);
+  for (size_t si = 0; si < sets_.size(); ++si) {
+    for (TaskId m : sets_[si].members) {
+      task_sets_[static_cast<size_t>(m)].push_back(static_cast<int>(si));
+      for (int wi : candidates_.task_workers[static_cast<size_t>(m)]) {
+        if (worker_stamp[static_cast<size_t>(wi)] == static_cast<int>(si)) {
+          continue;  // already recorded for this set
+        }
+        worker_stamp[static_cast<size_t>(wi)] = static_cast<int>(si);
+        worker_sets_[static_cast<size_t>(wi)].push_back(static_cast<int>(si));
+      }
+    }
+  }
 }
 
-MatchAttempt GreedyRun::TryMatch(const AssocSet& set) const {
-  ++match_attempts_;
-  MatchAttempt attempt;
-  // Live members and the union of their available candidate workers.
-  std::vector<TaskId> tasks;
-  tasks.reserve(static_cast<size_t>(set.remaining));
-  std::vector<int> columns;  // worker indices
-  std::unordered_map<int, int> column_of;
+void GreedyRun::CompactBucket(int r) {
+  std::vector<int>& bucket = buckets_[static_cast<size_t>(r)];
+  size_t keep = 0;
+  for (int si : bucket) {
+    const AssocSet& set = sets_[static_cast<size_t>(si)];
+    if (set.remaining != r) continue;  // moved to a smaller class
+    if (assigned_[static_cast<size_t>(set.root)]) {
+      // Root got assigned as a dependency of another set; the set is done.
+      continue;
+    }
+    bucket[keep++] = si;
+  }
+  bucket.resize(keep);
+}
+
+void GreedyRun::MaybeDowngrade(AssocSet& set) {
+  if (options_.incremental_cache) return;
+  if (set.last_eval_iter == outer_iter_) return;
+  if (set.cache == CacheState::kFeasible || set.cache == CacheState::kRepair) {
+    set.cache = CacheState::kNone;
+    set.has_duals = false;
+  }
+}
+
+void GreedyRun::BuildRows(const AssocSet& set, std::vector<TaskId>* tasks,
+                          std::vector<matching::SparseRow>* rows) const {
+  tasks->clear();
+  rows->clear();
   for (TaskId m : set.members) {
     if (assigned_[static_cast<size_t>(m)]) continue;
-    tasks.push_back(m);
-    for (int wi : candidates_.task_workers[static_cast<size_t>(m)]) {
-      if (!worker_available_[static_cast<size_t>(wi)]) continue;
-      if (column_of.emplace(wi, static_cast<int>(columns.size())).second) {
-        columns.push_back(wi);
-      }
-    }
+    tasks->push_back(m);
+    const int64_t b = edges_.row_begin[static_cast<size_t>(m)];
+    const int64_t e = edges_.row_begin[static_cast<size_t>(m) + 1];
+    rows->push_back({edges_.workers.data() + b, edges_.travel_time.data() + b,
+                     e - b});
   }
-  if (tasks.empty() || tasks.size() > columns.size()) return attempt;
-
-  if (options_.backend == GreedyOptions::MatchingBackend::kHopcroftKarp) {
-    matching::HopcroftKarp hk(static_cast<int>(tasks.size()),
-                              static_cast<int>(columns.size()));
-    for (size_t r = 0; r < tasks.size(); ++r) {
-      for (int wi : candidates_.task_workers[static_cast<size_t>(tasks[r])]) {
-        if (!worker_available_[static_cast<size_t>(wi)]) continue;
-        hk.AddEdge(static_cast<int>(r), column_of.at(wi));
-      }
-    }
-    if (hk.MaxMatching() != static_cast<int>(tasks.size())) return attempt;
-    attempt.feasible = true;
-    attempt.tasks = tasks;
-    attempt.workers.resize(tasks.size());
-    for (size_t r = 0; r < tasks.size(); ++r) {
-      attempt.workers[r] =
-          columns[static_cast<size_t>(hk.MatchOfLeft(static_cast<int>(r)))];
-    }
-    return attempt;
-  }
-
-  // Cost-aware backends: minimize total travel time among feasible
-  // matchings (exactly with Hungarian, within rows*epsilon with the
-  // auction).
-  std::vector<std::vector<double>> cost(
-      tasks.size(),
-      std::vector<double>(columns.size(), matching::kInfeasible));
-  for (size_t r = 0; r < tasks.size(); ++r) {
-    const TaskId m = tasks[r];
-    for (int wi : candidates_.task_workers[static_cast<size_t>(m)]) {
-      if (!worker_available_[static_cast<size_t>(wi)]) continue;
-      const core::WorkerState& state = problem_.workers[static_cast<size_t>(wi)];
-      const double dist = core::ServeDistance(instance_, state, m, problem_.params);
-      const double travel_time = dist / instance_.worker(state.id).velocity;
-      cost[r][static_cast<size_t>(column_of.at(wi))] = travel_time;
-    }
-  }
-  matching::HungarianResult result;
-  if (options_.backend == GreedyOptions::MatchingBackend::kAuction) {
-    matching::AuctionOptions auction_options;
-    auction_options.epsilon = options_.auction_epsilon;
-    result = matching::AuctionAssignment(cost, auction_options);
-  } else {
-    result = matching::SolveAssignment(cost);
-  }
-  if (!result.feasible) return attempt;
-  attempt.feasible = true;
-  attempt.cost = result.cost;
-  attempt.tasks = tasks;
-  attempt.workers.resize(tasks.size());
-  for (size_t r = 0; r < tasks.size(); ++r) {
-    attempt.workers[r] = columns[static_cast<size_t>(result.row_to_col[r])];
-  }
-  return attempt;
 }
 
-void GreedyRun::Commit(const MatchAttempt& attempt, core::Assignment* out) {
-  for (size_t r = 0; r < attempt.tasks.size(); ++r) {
-    const TaskId m = attempt.tasks[r];
-    const int wi = attempt.workers[r];
+void GreedyRun::SolveOne(AssocSet& set, matching::SparseAssignmentSolver& solver,
+                         std::vector<TaskId>& tasks,
+                         std::vector<matching::SparseRow>& rows) {
+  BuildRows(set, &tasks, &rows);
+  set.last_eval_iter = outer_iter_;
+  set.has_duals = false;
+  if (tasks.empty()) {
+    set.cache = CacheState::kInfeasible;
+    return;
+  }
+  if (options_.backend == GreedyOptions::MatchingBackend::kHungarian) {
+    matching::SparseAssignmentResult result = solver.Solve(
+        rows.data(), static_cast<int>(tasks.size()), worker_available_.data(),
+        options_.delta_repair ? &set.duals : nullptr);
+    if (!result.feasible) {
+      set.cache = CacheState::kInfeasible;
+      return;
+    }
+    set.attempt.cost = result.cost;
+    set.attempt.tasks = tasks;
+    set.attempt.workers.assign(result.row_to_col.begin(),
+                               result.row_to_col.end());
+    set.has_duals = options_.delta_repair;
+    set.cache = CacheState::kFeasible;
+    return;
+  }
+  SolveDense(set, tasks, rows);
+}
+
+void GreedyRun::SolveDense(AssocSet& set, const std::vector<TaskId>& tasks,
+                           const std::vector<matching::SparseRow>& rows) {
+  // Compact the available column union in first-appearance order — the
+  // column order the historical per-attempt hash map produced.
+  ++col_epoch_;
+  col_list_.clear();
+  for (const matching::SparseRow& row : rows) {
+    for (int64_t e = 0; e < row.size; ++e) {
+      const int32_t wi = row.cols[e];
+      if (!worker_available_[static_cast<size_t>(wi)]) continue;
+      if (col_stamp_[static_cast<size_t>(wi)] == col_epoch_) continue;
+      col_stamp_[static_cast<size_t>(wi)] = col_epoch_;
+      col_rank_[static_cast<size_t>(wi)] = static_cast<int>(col_list_.size());
+      col_list_.push_back(wi);
+    }
+  }
+  const size_t n = tasks.size();
+  if (n > col_list_.size()) {
+    set.cache = CacheState::kInfeasible;
+    return;
+  }
+
+  if (options_.backend == GreedyOptions::MatchingBackend::kHopcroftKarp) {
+    matching::HopcroftKarp hk(static_cast<int>(n),
+                              static_cast<int>(col_list_.size()));
+    for (size_t r = 0; r < n; ++r) {
+      for (int64_t e = 0; e < rows[r].size; ++e) {
+        const int32_t wi = rows[r].cols[e];
+        if (!worker_available_[static_cast<size_t>(wi)]) continue;
+        hk.AddEdge(static_cast<int>(r), col_rank_[static_cast<size_t>(wi)]);
+      }
+    }
+    if (hk.MaxMatching() != static_cast<int>(n)) {
+      set.cache = CacheState::kInfeasible;
+      return;
+    }
+    set.attempt.cost = 0.0;
+    set.attempt.tasks = tasks;
+    set.attempt.workers.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      set.attempt.workers[r] = col_list_[static_cast<size_t>(
+          hk.MatchOfLeft(static_cast<int>(r)))];
+    }
+    set.cache = CacheState::kFeasible;
+    return;
+  }
+
+  // Auction: near-min-cost dense assignment over the compacted matrix.
+  std::vector<std::vector<double>> cost(
+      n, std::vector<double>(col_list_.size(), matching::kInfeasible));
+  for (size_t r = 0; r < n; ++r) {
+    for (int64_t e = 0; e < rows[r].size; ++e) {
+      const int32_t wi = rows[r].cols[e];
+      if (!worker_available_[static_cast<size_t>(wi)]) continue;
+      cost[r][static_cast<size_t>(col_rank_[static_cast<size_t>(wi)])] =
+          rows[r].costs[e];
+    }
+  }
+  matching::AuctionOptions auction_options;
+  auction_options.epsilon = options_.auction_epsilon;
+  matching::HungarianResult result =
+      matching::AuctionAssignment(cost, auction_options);
+  if (!result.feasible) {
+    set.cache = CacheState::kInfeasible;
+    return;
+  }
+  set.attempt.cost = result.cost;
+  set.attempt.tasks = tasks;
+  set.attempt.workers.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    set.attempt.workers[r] =
+        col_list_[static_cast<size_t>(result.row_to_col[r])];
+  }
+  set.cache = CacheState::kFeasible;
+}
+
+int GreedyRun::WarmCheck(AssocSet& set) {
+  if (set.warm_checked) return 2;
+  set.warm_checked = true;
+
+  // Snapshot the exact solve inputs in instance-global worker ids (stable
+  // across batches, unlike problem.workers indices).
+  GreedyWarmState::Entry snap;
+  for (TaskId m : set.members) {
+    if (assigned_[static_cast<size_t>(m)]) continue;
+    snap.tasks.push_back(m);
+  }
+  snap.row_off.reserve(snap.tasks.size() + 1);
+  snap.row_off.push_back(0);
+  for (TaskId m : snap.tasks) {
+    const int64_t b = edges_.row_begin[static_cast<size_t>(m)];
+    const int64_t e = edges_.row_begin[static_cast<size_t>(m) + 1];
+    for (int64_t i = b; i < e; ++i) {
+      const int32_t wi = edges_.workers[static_cast<size_t>(i)];
+      if (!worker_available_[static_cast<size_t>(wi)]) continue;
+      snap.edge_workers.push_back(problem_.workers[static_cast<size_t>(wi)].id);
+      snap.edge_costs.push_back(edges_.travel_time[static_cast<size_t>(i)]);
+    }
+    snap.row_off.push_back(static_cast<int64_t>(snap.edge_workers.size()));
+  }
+
+  int rc = 1;
+  const auto it = warm_->prev.find(set.root);
+  if (it != warm_->prev.end() && it->second.has_result &&
+      it->second.tasks == snap.tasks && it->second.row_off == snap.row_off &&
+      it->second.edge_workers == snap.edge_workers &&
+      it->second.edge_costs == snap.edge_costs) {
+    // Bit-identical inputs: the stored result IS what a fresh solve would
+    // return (exact double equality above — any drift falls back cold).
+    const GreedyWarmState::Entry& hit = it->second;
+    set.last_eval_iter = outer_iter_;
+    set.has_duals = false;
+    if (!hit.feasible) {
+      set.cache = CacheState::kInfeasible;
+    } else {
+      set.attempt.cost = hit.cost;
+      set.attempt.tasks = snap.tasks;
+      set.attempt.workers.resize(snap.tasks.size());
+      for (size_t r = 0; r < snap.tasks.size(); ++r) {
+        const int wi = worker_index_of_id_[static_cast<size_t>(hit.matched[r])];
+        DASC_CHECK_GE(wi, 0);
+        set.attempt.workers[r] = wi;
+      }
+      set.cache = CacheState::kFeasible;
+    }
+    snap.has_result = true;
+    snap.feasible = hit.feasible;
+    snap.cost = hit.cost;
+    snap.matched = hit.matched;
+    rc = 0;
+  }
+  warm_->next[set.root] = std::move(snap);
+  return rc;
+}
+
+void GreedyRun::StoreWarmResult(const AssocSet& set) {
+  const auto it = warm_->next.find(set.root);
+  if (it == warm_->next.end()) return;
+  GreedyWarmState::Entry& entry = it->second;
+  entry.has_result = true;
+  entry.feasible = set.cache == CacheState::kFeasible;
+  if (entry.feasible) {
+    entry.cost = set.attempt.cost;
+    entry.matched.resize(set.attempt.workers.size());
+    for (size_t r = 0; r < set.attempt.workers.size(); ++r) {
+      entry.matched[r] =
+          problem_.workers[static_cast<size_t>(set.attempt.workers[r])].id;
+    }
+  }
+}
+
+void GreedyRun::RepairSet(AssocSet& set) {
+  MatchAttempt& attempt = set.attempt;
+  const int n = static_cast<int>(attempt.tasks.size());
+  rows_scratch_.clear();
+  row_live_scratch_.clear();
+  for (int r = 0; r < n; ++r) {
+    const TaskId m = attempt.tasks[static_cast<size_t>(r)];
+    const int64_t b = edges_.row_begin[static_cast<size_t>(m)];
+    const int64_t e = edges_.row_begin[static_cast<size_t>(m) + 1];
+    rows_scratch_.push_back({edges_.workers.data() + b,
+                             edges_.travel_time.data() + b, e - b});
+    row_live_scratch_.push_back(assigned_[static_cast<size_t>(m)] ? 0 : 1);
+  }
+  matching::SparseAssignmentResult prev;
+  prev.feasible = true;
+  prev.cost = attempt.cost;
+  prev.row_to_col.assign(attempt.workers.begin(), attempt.workers.end());
+
+  util::WallTimer timer;
+  const int repaired =
+      solver_.Repair(rows_scratch_.data(), n, worker_available_.data(),
+                     row_live_scratch_.data(), &prev, &set.duals);
+  DASC_METRIC_HISTOGRAM_OBSERVE("matching_delta_repair_ms",
+                                timer.ElapsedMillis());
+  set.last_eval_iter = outer_iter_;
+  if (repaired < 0) {
+    set.cache = CacheState::kInfeasible;
+    set.has_duals = false;
+    return;
+  }
+  attempt.cost = prev.cost;
+  attempt.workers.assign(prev.row_to_col.begin(), prev.row_to_col.end());
+  set.cache = CacheState::kFeasible;  // duals were updated in place
+}
+
+void GreedyRun::EvaluateFresh(AssocSet& set) {
+  if (options_.warm_start && warm_ != nullptr && !set.warm_checked) {
+    const int wc = WarmCheck(set);
+    if (wc == 0) {
+      ++warm_hits_;
+      return;
+    }
+    if (wc == 1) set.warm_store = true;
+  }
+  ++cold_solves_;
+  SolveOne(set, solver_, tasks_scratch_, rows_scratch_);
+  if (set.warm_store) {
+    StoreWarmResult(set);
+    set.warm_store = false;
+  }
+}
+
+void GreedyRun::MaybeParallelSolve(const std::vector<int>& bucket) {
+  if (options_.backend != GreedyOptions::MatchingBackend::kHungarian) return;
+  if (options_.parallel_solve_threshold <= 0) return;
+  if (static_cast<int>(bucket.size()) < options_.parallel_solve_threshold) {
+    return;
+  }
+  if (util::Threads() <= 1) return;
+
+  // Serial pre-pass: warm-store checks touch shared state, so only fully
+  // cold sets reach the parallel phase.
+  pending_.clear();
+  for (int si : bucket) {
+    AssocSet& set = sets_[static_cast<size_t>(si)];
+    MaybeDowngrade(set);
+    if (set.cache != CacheState::kNone) continue;
+    if (options_.warm_start && warm_ != nullptr && !set.warm_checked) {
+      const int wc = WarmCheck(set);
+      if (wc == 0) {
+        ++warm_hits_;
+        continue;
+      }
+      if (wc == 1) set.warm_store = true;
+    }
+    pending_.push_back(si);
+  }
+  if (pending_.empty()) return;
+  cold_solves_ += static_cast<int64_t>(pending_.size());
+
+  // Each chunk gets its own solver and scratch; a solve writes only its own
+  // set, so any chunk decomposition yields the same per-set results and the
+  // serial selection afterwards is bit-identical at every thread count.
+  util::ParallelFor(
+      0, static_cast<int64_t>(pending_.size()), /*grain=*/8,
+      [&](int64_t lo, int64_t hi) {
+        matching::SparseAssignmentSolver solver;
+        solver.Reset(static_cast<int>(problem_.workers.size()));
+        std::vector<TaskId> tasks;
+        std::vector<matching::SparseRow> rows;
+        for (int64_t i = lo; i < hi; ++i) {
+          SolveOne(sets_[static_cast<size_t>(pending_[static_cast<size_t>(i)])],
+                   solver, tasks, rows);
+        }
+      });
+  for (int si : pending_) {
+    AssocSet& set = sets_[static_cast<size_t>(si)];
+    if (set.warm_store) {
+      StoreWarmResult(set);
+      set.warm_store = false;
+    }
+  }
+}
+
+bool GreedyRun::EvaluateClassAndCommit(std::vector<int>& bucket,
+                                       core::Assignment* out) {
+  MaybeParallelSolve(bucket);
+
+  int best = -1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int si : bucket) {
+    AssocSet& set = sets_[static_cast<size_t>(si)];
+    MaybeDowngrade(set);
+    if (set.cache == CacheState::kInfeasible) {
+      // Freshly-proven infeasibility (this scan's parallel phase or warm
+      // check) counts as an attempt; skipping a carry-over from an earlier
+      // iteration does not (the historical fail_size skip).
+      if (set.last_eval_iter == outer_iter_) ++match_attempts_;
+      continue;
+    }
+    ++match_attempts_;
+    switch (set.cache) {
+      case CacheState::kNone:
+        EvaluateFresh(set);
+        break;
+      case CacheState::kRepair:
+        RepairSet(set);
+        if (set.cache == CacheState::kFeasible) ++warm_hits_;
+        break;
+      case CacheState::kFeasible:
+        // Untouched since its solve: the inputs are unchanged, so the cached
+        // attempt is exactly what a re-solve would return.
+        if (set.last_eval_iter != outer_iter_) ++warm_hits_;
+        break;
+      case CacheState::kInfeasible:
+        break;  // unreachable
+    }
+    if (set.cache != CacheState::kFeasible) continue;
+    if (best < 0 || set.attempt.cost < best_cost) {
+      best = si;
+      best_cost = set.attempt.cost;
+    }
+    if (options_.backend == GreedyOptions::MatchingBackend::kHopcroftKarp) {
+      break;  // no cost tie-breaking: first feasible wins
+    }
+  }
+  if (best < 0) return false;
+  Commit(sets_[static_cast<size_t>(best)], out);
+  return true;
+}
+
+void GreedyRun::Commit(AssocSet& win, core::Assignment* out) {
+  ++commit_seq_;
+  touched_.clear();
+  const auto touch = [&](int si, bool member) {
+    if (touch_stamp_[static_cast<size_t>(si)] != commit_seq_) {
+      touch_stamp_[static_cast<size_t>(si)] = commit_seq_;
+      touch_member_[static_cast<size_t>(si)] = 0;
+      touched_.push_back(si);
+    }
+    if (member) touch_member_[static_cast<size_t>(si)] = 1;
+  };
+
+  for (size_t r = 0; r < win.attempt.tasks.size(); ++r) {
+    const int wi = win.attempt.workers[r];
+    if (wi < 0) continue;  // row dropped by an earlier delta repair
+    const TaskId m = win.attempt.tasks[r];
     out->Add(problem_.workers[static_cast<size_t>(wi)].id, m);
     DASC_CHECK(!assigned_[static_cast<size_t>(m)]);
     DASC_CHECK(worker_available_[static_cast<size_t>(wi)]);
     assigned_[static_cast<size_t>(m)] = 1;
     worker_available_[static_cast<size_t>(wi)] = 0;
-    auto it = containing_sets_.find(m);
-    if (it != containing_sets_.end()) {
-      for (int si : it->second) {
-        AssocSet& set = sets_[static_cast<size_t>(si)];
-        if (!set.dead) --set.remaining;
-      }
+    for (int si : task_sets_[static_cast<size_t>(m)]) {
+      --sets_[static_cast<size_t>(si)].remaining;
+      touch(si, /*member=*/true);
+    }
+    for (int si : worker_sets_[static_cast<size_t>(wi)]) {
+      touch(si, /*member=*/false);
+    }
+  }
+
+  for (int si : touched_) {
+    AssocSet& set = sets_[static_cast<size_t>(si)];
+    switch (set.cache) {
+      case CacheState::kFeasible:
+        // The cached matching may use a consumed worker or a now-assigned
+        // member; either repair from the dual certificate or re-solve.
+        set.cache = (options_.delta_repair && set.has_duals)
+                        ? CacheState::kRepair
+                        : CacheState::kNone;
+        break;
+      case CacheState::kInfeasible:
+        if (touch_member_[static_cast<size_t>(si)]) {
+          // The set shrank: infeasibility no longer proven (fail_size reset).
+          set.cache = CacheState::kNone;
+          set.has_duals = false;
+        }
+        break;
+      case CacheState::kNone:
+      case CacheState::kRepair:
+        break;
+    }
+    if (touch_member_[static_cast<size_t>(si)] && set.remaining > 0 &&
+        !assigned_[static_cast<size_t>(set.root)]) {
+      buckets_[static_cast<size_t>(set.remaining)].push_back(si);
+      bucket_sorted_[static_cast<size_t>(set.remaining)] = 0;
     }
   }
 }
@@ -214,66 +689,56 @@ core::Assignment GreedyRun::Run() {
   worker_available_.assign(problem_.workers.size(), 1);
   BuildAssocSets();
 
-  // Iteration of Algorithm 1: evaluate associative sets in decreasing order
-  // of current size, commit the first (cheapest under Hungarian ties) size
-  // class with a feasible matching. A set that failed at size k can only
-  // become feasible again after it shrinks (worker pools only shrink), which
-  // fail_size tracks.
+  solver_.Reset(static_cast<int>(problem_.workers.size()));
+  col_stamp_.assign(problem_.workers.size(), -1);
+  col_rank_.assign(problem_.workers.size(), 0);
+  touch_stamp_.assign(sets_.size(), 0);
+  touch_member_.assign(sets_.size(), 0);
+  if (options_.warm_start && warm_ != nullptr) {
+    worker_index_of_id_.assign(static_cast<size_t>(instance_.num_workers()),
+                               -1);
+    for (size_t i = 0; i < problem_.workers.size(); ++i) {
+      worker_index_of_id_[static_cast<size_t>(problem_.workers[i].id)] =
+          static_cast<int>(i);
+    }
+  }
+
+  max_bucket_ = 0;
+  for (const AssocSet& set : sets_) max_bucket_ = std::max(max_bucket_, set.remaining);
+  buckets_.assign(static_cast<size_t>(max_bucket_) + 1, {});
+  bucket_sorted_.assign(static_cast<size_t>(max_bucket_) + 1, 0);
+  for (size_t si = 0; si < sets_.size(); ++si) {
+    buckets_[static_cast<size_t>(sets_[si].remaining)].push_back(
+        static_cast<int>(si));
+  }
+
+  // Iteration of Algorithm 1: walk size classes in decreasing order and
+  // commit the first (cheapest under Hungarian ties) class with a feasible
+  // matching; committing re-shrinks the touched sets, so the walk restarts
+  // from the top. Buckets + the attempt cache replace the historical
+  // sort-everything / solve-everything per scan.
   while (true) {
-    // Order live sets by size descending.
-    std::vector<int> order;
-    order.reserve(sets_.size());
-    for (size_t i = 0; i < sets_.size(); ++i) {
-      const AssocSet& set = sets_[i];
-      if (set.dead || set.remaining <= 0) continue;
-      if (assigned_[static_cast<size_t>(set.root)]) {
-        // Root got assigned as a dependency of another set; the set is done.
+    bool committed = false;
+    ++outer_iter_;
+    for (int r = max_bucket_; r >= 1; --r) {
+      std::vector<int>& bucket = buckets_[static_cast<size_t>(r)];
+      CompactBucket(r);
+      if (bucket.empty()) {
+        if (r == max_bucket_) --max_bucket_;
         continue;
       }
-      order.push_back(static_cast<int>(i));
-    }
-    if (order.empty()) break;
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
-      const int ra = sets_[static_cast<size_t>(a)].remaining;
-      const int rb = sets_[static_cast<size_t>(b)].remaining;
-      if (ra != rb) return ra > rb;
-      return sets_[static_cast<size_t>(a)].root <
-             sets_[static_cast<size_t>(b)].root;
-    });
-
-    bool committed = false;
-    size_t i = 0;
-    while (i < order.size()) {
-      const int size_class = sets_[static_cast<size_t>(order[i])].remaining;
-      // Evaluate the whole size class, pick the cheapest feasible attempt.
-      MatchAttempt best;
-      double best_cost = std::numeric_limits<double>::infinity();
-      size_t j = i;
-      for (; j < order.size() &&
-             sets_[static_cast<size_t>(order[j])].remaining == size_class;
-           ++j) {
-        AssocSet& set = sets_[static_cast<size_t>(order[j])];
-        if (set.fail_size == set.remaining) continue;  // known infeasible
-        MatchAttempt attempt = TryMatch(set);
-        if (!attempt.feasible) {
-          set.fail_size = set.remaining;
-          continue;
-        }
-        if (!best.feasible || attempt.cost < best_cost) {
-          best = std::move(attempt);
-          best_cost = best.cost;
-        }
-        if (options_.backend == GreedyOptions::MatchingBackend::kHopcroftKarp) {
-          break;  // no cost tie-breaking: first feasible wins
-        }
+      if (!bucket_sorted_[static_cast<size_t>(r)]) {
+        std::sort(bucket.begin(), bucket.end(), [&](int a, int b) {
+          return sets_[static_cast<size_t>(a)].root <
+                 sets_[static_cast<size_t>(b)].root;
+        });
+        bucket_sorted_[static_cast<size_t>(r)] = 1;
       }
-      if (best.feasible) {
-        Commit(best, &out);
+      if (EvaluateClassAndCommit(bucket, &out)) {
         ++iterations_;
         committed = true;
         break;
       }
-      i = j;
     }
     if (!committed) break;
   }
@@ -284,18 +749,32 @@ core::Assignment GreedyRun::Run() {
 
 GreedyAllocator::GreedyAllocator(GreedyOptions options) : options_(options) {}
 
+GreedyAllocator::~GreedyAllocator() = default;
+
 core::Assignment GreedyAllocator::Allocate(const core::BatchProblem& problem) {
   DASC_CHECK(problem.instance != nullptr);
   // Force candidate construction before opening the span so candidate_build
-  // traces as a sibling of matching, not a child.
+  // traces as a sibling of matching, not a child. The CSR edge layout is
+  // derived from the candidates inside the span.
   problem.Candidates();
   DASC_TRACE_SPAN("matching");
-  GreedyRun run(problem, options_);
+  if (options_.warm_start && warm_ == nullptr) {
+    warm_ = std::make_unique<GreedyWarmState>();
+  }
+  GreedyRun run(problem, options_, options_.warm_start ? warm_.get() : nullptr);
   core::Assignment assignment = run.Run();
   last_iterations_ = run.iterations();
   last_match_attempts_ = run.match_attempts();
+  last_warm_hits_ = run.warm_hits();
+  last_cold_solves_ = run.cold_solves();
   DASC_METRIC_COUNTER_ADD("greedy_iterations_total", last_iterations_);
   DASC_METRIC_COUNTER_ADD("greedy_match_attempts_total", last_match_attempts_);
+  DASC_METRIC_COUNTER_ADD("matching_warm_start_hits_total", last_warm_hits_);
+  DASC_METRIC_COUNTER_ADD("matching_cold_solves_total", last_cold_solves_);
+  if (warm_ != nullptr) {
+    warm_->prev = std::move(warm_->next);
+    warm_->next.clear();
+  }
   return assignment;
 }
 

@@ -5,9 +5,20 @@
 // group of distinct feasible workers can fully serve, re-shrinking the
 // remaining sets after every commit. Achieves a (1 - 1/e) approximation of
 // the optimal batch assignment (paper Theorem III.2).
+//
+// The implementation is an incremental matching kernel (DESIGN.md §13): all
+// solves run over the per-batch CSR candidate-edge layout
+// (core::CandidateEdges), each associative set's last matching is cached and
+// reused verbatim while its solve inputs are provably unchanged, and solves
+// persist across batches through an allocator-owned warm-start store. Every
+// default knob is exactness-preserving — the committed assignment is
+// bit-identical to the historical solve-everything-every-iteration
+// implementation (and to any thread count); tests and a dasc_stress oracle
+// enforce that equivalence.
 #ifndef DASC_ALGO_GREEDY_H_
 #define DASC_ALGO_GREEDY_H_
 
+#include <memory>
 #include <string>
 
 #include "core/allocator.h"
@@ -27,11 +38,42 @@ struct GreedyOptions {
   MatchingBackend backend = MatchingBackend::kHungarian;
   // Bidding increment for the kAuction backend.
   double auction_epsilon = 1e-3;
+
+  // --- Incremental-kernel controls (DESIGN.md §13). ---
+  // Per-batch attempt cache: a set's last matching is reused while no member
+  // got assigned and no worker in its candidate union was consumed — under
+  // those conditions the solve inputs are unchanged, so reuse is bitwise
+  // identical to re-solving. Off = re-solve feasible sets on every scan (the
+  // historical behavior; known-infeasible skipping is kept either way, it
+  // predates this cache as `fail_size`).
+  bool incremental_cache = true;
+  // Cross-batch warm start: the allocator persists each root's latest solve
+  // (its exact filtered rows plus the result) and the next batch reuses it
+  // only when it presents bit-identical rows, falling back to a cold solve
+  // on any delta. Exact by construction; `matching_warm_start_hits_total` /
+  // `matching_cold_solves_total` count the split.
+  bool warm_start = true;
+  // Delta repair: when a cached feasible matching is invalidated by a
+  // consumed worker or an assigned member, keep its dual certificate and
+  // re-augment only the broken rows instead of cold-solving. Guaranteed to
+  // match the cold solve's cost and size (optimality is preserved — see
+  // DESIGN.md §13) but may pick a different equal-cost matching under ties,
+  // so it is opt-in.
+  bool delta_repair = false;
+  // When a size class holds at least this many sets, fan fresh solves out
+  // over util::ParallelFor (Hungarian backend; solves are independent,
+  // selection stays sequential, output is bit-identical at every thread
+  // count). <= 0 disables parallel evaluation.
+  int parallel_solve_threshold = 32;
 };
+
+// Cross-batch warm-start store owned by a GreedyAllocator (greedy.cc).
+struct GreedyWarmState;
 
 class GreedyAllocator : public core::Allocator {
  public:
   explicit GreedyAllocator(GreedyOptions options = {});
+  ~GreedyAllocator() override;
 
   std::string_view name() const override {
     switch (options_.backend) {
@@ -49,13 +91,21 @@ class GreedyAllocator : public core::Allocator {
   // Commit iterations of the last Allocate() call. Lemma III.1 bounds this
   // by min(n_b, m_b); asserted in tests.
   int last_iterations() const { return last_iterations_; }
-  // Matching attempts (Hungarian/HK/auction solves) of the last call.
+  // Matching evaluations (fresh solves, cache reuses, warm-start hits, and
+  // delta repairs) of the last call.
   int64_t last_match_attempts() const { return last_match_attempts_; }
+  // Reuse split of the last call: evaluations answered from the attempt
+  // cache / warm store / delta repair vs full solves.
+  int64_t last_warm_hits() const { return last_warm_hits_; }
+  int64_t last_cold_solves() const { return last_cold_solves_; }
 
  private:
   GreedyOptions options_;
   int last_iterations_ = 0;
   int64_t last_match_attempts_ = 0;
+  int64_t last_warm_hits_ = 0;
+  int64_t last_cold_solves_ = 0;
+  std::unique_ptr<GreedyWarmState> warm_;
 };
 
 }  // namespace dasc::algo

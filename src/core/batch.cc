@@ -112,6 +112,57 @@ const CandidateSets& BatchProblem::Candidates() const {
   return *candidates_cache;
 }
 
+const CandidateEdges& BatchProblem::Edges() const {
+  if (edges_cache == nullptr) {
+    edges_cache =
+        std::make_shared<const CandidateEdges>(BuildCandidateEdges(*this));
+  }
+  return *edges_cache;
+}
+
+CandidateEdges BuildCandidateEdges(const BatchProblem& problem) {
+  DASC_CHECK(problem.instance != nullptr);
+  const Instance& instance = *problem.instance;
+  const CandidateSets& sets = problem.Candidates();
+
+  CandidateEdges edges;
+  edges.num_workers = static_cast<int>(problem.workers.size());
+  const size_t num_tasks = static_cast<size_t>(instance.num_tasks());
+  edges.row_begin.assign(num_tasks + 1, 0);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    edges.row_begin[t + 1] =
+        edges.row_begin[t] +
+        static_cast<int64_t>(sets.task_workers[t].size());
+  }
+  const int64_t total = edges.row_begin[num_tasks];
+  edges.workers.resize(static_cast<size_t>(total));
+  edges.travel_time.resize(static_cast<size_t>(total));
+
+  // Rows are disjoint, so the fill parallelizes over tasks bit-identically.
+  // Travel time is the cost the matching step has always charged:
+  // ServeDistance (current position -> [dependency detour ->] task) divided
+  // by the worker's velocity.
+  constexpr int64_t kTaskGrain = 256;
+  util::ParallelFor(
+      0, static_cast<int64_t>(num_tasks), kTaskGrain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t t = lo; t < hi; ++t) {
+          int64_t e = edges.row_begin[static_cast<size_t>(t)];
+          for (int wi : sets.task_workers[static_cast<size_t>(t)]) {
+            const WorkerState& state =
+                problem.workers[static_cast<size_t>(wi)];
+            const double dist = ServeDistance(
+                instance, state, static_cast<TaskId>(t), problem.params);
+            edges.workers[static_cast<size_t>(e)] = wi;
+            edges.travel_time[static_cast<size_t>(e)] =
+                dist / instance.worker(state.id).velocity;
+            ++e;
+          }
+        }
+      });
+  return edges;
+}
+
 CandidateSets BuildCandidates(const BatchProblem& problem) {
   DASC_CHECK(problem.instance != nullptr);
   const Instance& instance = *problem.instance;

@@ -12,6 +12,7 @@
 namespace dasc::core {
 
 struct CandidateSets;
+struct CandidateEdges;
 
 // One batch of the dynamic platform (Section II-D: "the spatial crowdsourcing
 // platforms assign workers to tasks batch-by-batch").
@@ -54,10 +55,21 @@ struct BatchProblem {
   // concurrently from multiple threads on the *same* problem object; build
   // it once (or call Candidates() eagerly) before sharing across threads.
   const CandidateSets& Candidates() const;
-  void InvalidateCandidates() { candidates_cache.reset(); }
+  void InvalidateCandidates() {
+    candidates_cache.reset();
+    edges_cache.reset();
+  }
 
-  // Internal cache storage for Candidates(); treat as private.
+  // Lazily-built CSR (struct-of-arrays) view of the candidate bipartite
+  // graph with precomputed travel times, derived from Candidates(). Built
+  // once per batch and shared by every matching backend, replacing the
+  // historical per-solve cost-matrix materialization. Same invalidation and
+  // thread-safety rules as Candidates().
+  const CandidateEdges& Edges() const;
+
+  // Internal cache storage for Candidates()/Edges(); treat as private.
   mutable std::shared_ptr<const CandidateSets> candidates_cache;
+  mutable std::shared_ptr<const CandidateEdges> edges_cache;
 };
 
 // Feasible-pair candidate sets for one batch.
@@ -69,6 +81,26 @@ struct CandidateSets {
   std::vector<std::vector<int>> task_workers;
   int64_t num_pairs = 0;
 };
+
+// Row-compressed candidate edges for one batch: row = global task id,
+// column = index into problem.workers, cost = travel time (ServeDistance /
+// worker velocity — the exact arithmetic the matching step charges). Rows of
+// non-open tasks are empty; columns within a row are in the deterministic
+// task_workers order (ascending worker index).
+struct CandidateEdges {
+  // Edge range of global task t is [row_begin[t], row_begin[t + 1]).
+  // Sized instance->num_tasks() + 1.
+  std::vector<int64_t> row_begin;
+  std::vector<int32_t> workers;     // per edge: index into problem.workers
+  std::vector<double> travel_time;  // per edge: ServeDistance / velocity
+  int num_workers = 0;              // column-space size (problem.workers)
+
+  int64_t num_edges() const { return static_cast<int64_t>(workers.size()); }
+};
+
+// Computes the CSR edge layout from the (possibly cached) candidate sets.
+// Deterministic for every thread count.
+CandidateEdges BuildCandidateEdges(const BatchProblem& problem);
 
 // Computes candidate sets, using a grid index over open-task locations for
 // Euclidean workloads and a skill-inverted-index scan otherwise. Workers are

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "algo/exact.h"
+#include "algo/greedy.h"
 #include "algo/registry.h"
 #include "sim/audit.h"
 #include "testing/instance_edit.h"
@@ -360,6 +361,69 @@ Status CheckMetaIndexRelabel(const OracleContext& ctx) {
   return Status::OK();
 }
 
+// The incremental matching kernel's exactness contract (DESIGN.md §13):
+// with the default knobs (per-batch attempt cache + cross-batch warm start)
+// DASC_Greedy commits the bit-identical assignment the knob-free historical
+// re-solve-everything path produces, for every backend — including a warm
+// re-allocation of the same batch, which replays entirely from the store.
+// Delta repair only promises equal per-solve cost/size, so it is held to
+// score equality (an empirical conformance property backed by the stress
+// sweep, like gg's half-DFS bound).
+Status CheckWarmColdEquivalence(const OracleContext& ctx) {
+  BatchProblem problem = BatchProblem::AllAt(*ctx.instance, ctx.now);
+  const std::pair<const char*, algo::GreedyOptions::MatchingBackend>
+      backends[] = {
+          {"hungarian", algo::GreedyOptions::MatchingBackend::kHungarian},
+          {"hopcroft-karp",
+           algo::GreedyOptions::MatchingBackend::kHopcroftKarp},
+          {"auction", algo::GreedyOptions::MatchingBackend::kAuction},
+      };
+  for (const auto& [label, backend] : backends) {
+    algo::GreedyOptions cold_options;
+    cold_options.backend = backend;
+    cold_options.incremental_cache = false;
+    cold_options.warm_start = false;
+    cold_options.parallel_solve_threshold = 0;
+    algo::GreedyAllocator cold(cold_options);
+    const Assignment cold_a = cold.Allocate(problem);
+
+    algo::GreedyOptions incremental_options;
+    incremental_options.backend = backend;
+    algo::GreedyAllocator incremental(incremental_options);
+    const Assignment first = incremental.Allocate(problem);
+    const Assignment replay = incremental.Allocate(problem);
+    if (first.pairs() != cold_a.pairs()) {
+      return Status::Internal(
+          std::string(label) +
+          ": incremental-kernel assignment differs from the cold "
+          "re-solve-everything path (" +
+          std::to_string(first.size()) + " vs " +
+          std::to_string(cold_a.size()) + " pairs)");
+    }
+    if (replay.pairs() != cold_a.pairs()) {
+      return Status::Internal(
+          std::string(label) +
+          ": warm-start replay of the same batch diverged from the cold "
+          "path (" +
+          std::to_string(replay.size()) + " vs " +
+          std::to_string(cold_a.size()) + " pairs)");
+    }
+  }
+
+  algo::GreedyOptions delta_options;
+  delta_options.delta_repair = true;
+  algo::GreedyAllocator delta(delta_options);
+  algo::GreedyAllocator plain;
+  const Assignment delta_a = delta.Allocate(problem);
+  const Assignment plain_a = plain.Allocate(problem);
+  if (delta_a.size() != plain_a.size()) {
+    return Status::Internal(
+        "delta repair committed " + std::to_string(delta_a.size()) +
+        " pairs vs the cold solver's " + std::to_string(plain_a.size()));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Assignment> RunCommitted(const BatchProblem& problem,
@@ -399,6 +463,10 @@ const std::vector<Oracle>& AllOracles() {
        "converged game / gg equilibria score >= 1/2 of the DFS optimum "
        "(Theorem IV.2)",
        CheckGameHalfDfs},
+      {"warm-cold-equivalence",
+       "incremental / warm-start greedy commits bit-identical assignments to "
+       "the cold re-solve path; delta repair preserves the score",
+       CheckWarmColdEquivalence},
       {"meta-geometry",
        "rigid rotation (axis swap + sign flip) leaves scores and pairs "
        "unchanged",

@@ -168,7 +168,13 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   };
 
   ThreadPool& pool = GlobalPool();
-  const int helpers = std::min<int64_t>(threads - 1, num_chunks - 1);
+  // Helpers beyond the physical core count only add scheduler churn (the
+  // caller drains chunks too, so `threads` total runners need `threads - 1`
+  // helpers at most): a --threads above hardware concurrency used to *slow
+  // down* e.g. candidate builds on small hosts. Chunk results are merged in
+  // index order, so the clamp cannot change any output.
+  const int helpers = std::min<int64_t>(
+      std::min(threads, HardwareThreads()) - 1, num_chunks - 1);
   for (int i = 0; i < helpers; ++i) {
     pool.Submit([state, drain] { drain(state); });
   }
