@@ -28,6 +28,11 @@
 //     with (sim_ledger_on) and without (sim_ledger_off) the ledger's
 //     ObserveBatch/RecordAssigned/Finalize steps — the provenance
 //     bookkeeping is budgeted at <= 3% of sim_batch_ms;
+//   * the live-telemetry overhead guard: one batch boundary's sketch
+//     observe + window advance + time-series delta snapshot + watchdog
+//     heartbeat (sim_telemetry_on) against an empty loop
+//     (sim_telemetry_off), per boundary, exporter idle — budgeted at <= 3%
+//     of sim_batch_ms;
 //   * full-simulation headline metrics from one audited G-G run of the
 //     reduced Table V workload (sim_headline_*): batches, p95 batch
 //     allocator ms, score, the game_rounds histogram summary pulled from
@@ -51,6 +56,8 @@
 #include "core/batch.h"
 #include "sim/audit.h"
 #include "sim/ledger.h"
+#include "sim/metrics_timeseries.h"
+#include "sim/watchdog.h"
 #include "gen/synthetic.h"
 #include "geo/grid_index.h"
 #include "graph/dag.h"
@@ -392,6 +399,45 @@ std::vector<MicroEntry> CollectMicroEntries(int reps) {
       ledger.Finalize(0, nullptr);
       benchmark::DoNotOptimize(ledger.entries().size());
     }));
+  }
+
+  // Live-telemetry overhead guard: everything the telemetry plane adds to
+  // one batch boundary — a sketch Observe, AdvanceSketchWindows over the
+  // global registry (already populated by the preceding guard blocks), one
+  // MetricsTimeSeries delta snapshot, and a watchdog Heartbeat — measured
+  // per boundary with (sim_telemetry_on) and without (sim_telemetry_off)
+  // the hooks, exporter idle. Like the ledger guard, the work is timed
+  // directly because one boundary is tens of microseconds and an on/off
+  // subtraction of two ~20 ms full-batch timings would drown it in
+  // allocator jitter; many boundaries amortize the timer floor. Budget: the
+  // on/off delta is <= 3% of sim_batch_ms (DESIGN.md §14).
+  {
+    constexpr int kBoundaries = 64;
+    entries.push_back(TimeMicro("sim_telemetry_off", reps, [&] {
+      // Baseline: the batch-boundary loop with every hook compiled to the
+      // same shape but no telemetry calls.
+      int64_t seq = 0;
+      for (int b = 0; b < kBoundaries; ++b) seq += b;
+      benchmark::DoNotOptimize(seq);
+    }));
+    sim::MetricsTimeSeries timeseries;
+    sim::StallWatchdog watchdog;  // not Start()ed: heartbeat cost only
+    entries.push_back(TimeMicro("sim_telemetry_on", reps, [&] {
+      for (int b = 0; b < kBoundaries; ++b) {
+        DASC_METRIC_SKETCH_OBSERVE("sim_batch_allocator_ms_window",
+                                   static_cast<double>(b));
+        util::GlobalMetrics().AdvanceSketchWindows();
+        timeseries.RecordBatch(b, 5.0 * b, util::GlobalMetrics());
+        watchdog.Heartbeat(b);
+      }
+      benchmark::DoNotOptimize(timeseries.recorded());
+    }));
+    // Rescale both entries to per-boundary cost so the <= 3% budget reads
+    // directly against sim_batch_ms.
+    for (auto it = entries.end() - 2; it != entries.end(); ++it) {
+      it->ms_mean /= kBoundaries;
+      it->ms_p95 /= kBoundaries;
+    }
   }
 
   // Full-simulation headline metrics: one dynamic, audited G-G run over the

@@ -14,6 +14,7 @@
 #include "sim/run_report.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/http_server.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 
@@ -38,10 +39,15 @@ BenchConfig ParseBenchArgs(int argc, char** argv, BenchConfig defaults) {
                    "write a JSONL run report to this path");
   parser.AddBool("audit", &config.audit,
                  "audit every batch (constraint re-check + optimality gap)");
+  int64_t serve_port = config.serve_port;
+  parser.AddInt("serve-metrics", &serve_port,
+                "serve live telemetry on 127.0.0.1:PORT during the sweep "
+                "(0 = ephemeral port; default off)");
   const util::Status status = parser.Parse(argc, argv);
   config.seed = static_cast<uint64_t>(seed);
   config.reps = static_cast<int>(reps);
   config.threads = static_cast<int>(threads);
+  config.serve_port = serve_port;
   if (!status.ok() || !parser.positional().empty() || config.scale <= 0.0 ||
       config.reps < 1 || config.batch_interval <= 0.0 || config.threads < 0) {
     std::fprintf(stderr, "%s\nusage: %s [flags]\n%sknown algorithms:",
@@ -112,6 +118,22 @@ void RunSimSweep(const std::string& title, const std::string& x_name,
   sim::SimulatorOptions options;
   options.batch_interval = config.batch_interval;
   options.audit = config.audit;
+
+  // Live telemetry for long sweeps: the exposition server reads the global
+  // registry, which every concurrent cell's simulator writes into.
+  util::MetricsHttpServer::Options server_options;
+  server_options.port = static_cast<int>(config.serve_port);
+  util::MetricsHttpServer server(server_options);
+  if (config.serve_port >= 0) {
+    const util::Status serve_status = server.Start();
+    if (!serve_status.ok()) {
+      std::fprintf(stderr, "--serve-metrics: %s\n",
+                   serve_status.ToString().c_str());
+      std::exit(2);
+    }
+    std::printf("serving telemetry on 127.0.0.1:%d\n", server.port());
+    std::fflush(stdout);
+  }
 
   util::TablePrinter score_table(title + " - score");
   util::TablePrinter time_table(title + " - running time (ms)");

@@ -25,6 +25,11 @@
 //   --run-report=PATH  write a dasc-run-report/3 JSONL file (one stats line
 //                 per simulation cell plus the metrics-registry dump; see
 //                 src/sim/run_report.h) after the sweep.
+//   --serve-metrics=PORT  serve live telemetry (Prometheus /metrics, JSON
+//                 /snapshot, windowed quantiles /window) on 127.0.0.1:PORT
+//                 for the duration of the sweep; 0 binds an ephemeral port
+//                 (printed as "serving telemetry on ..."). Watch with
+//                 `dasc_report live <port>`.
 //   --audit=BOOL  run the allocation auditor on every batch (default true):
 //                 independent constraint re-validation plus the
 //                 dependency-relaxed optimality gap, so every bench run
@@ -61,6 +66,11 @@ struct BenchConfig {
   std::string run_report;
   // See the --audit flag comment above.
   bool audit = true;
+  // --serve-metrics: when >= 0, RunSimSweep serves the global metrics
+  // registry on 127.0.0.1:<port> (0 = ephemeral) for the duration of the
+  // sweep, so long paper-figure runs can be watched with `dasc_report
+  // live` or scraped by Prometheus. -1 (default) disables the server.
+  int64_t serve_port = -1;
 };
 
 // Parses the common flags over `defaults`; prints usage and exits on bad

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -32,6 +33,10 @@ struct GreedyWarmState {
     std::vector<int64_t> row_off;              // tasks.size() + 1 offsets
     std::vector<core::WorkerId> edge_workers;  // available candidates per row
     std::vector<double> edge_costs;            // travel times, same order
+    // True when no candidate edge was dropped by worker availability at
+    // snapshot time: the snapshot equals the raw CSR rows of `tasks`. Only
+    // such entries are eligible for the dirty-bit fast path below.
+    bool unfiltered = false;
     // Solve result.
     bool has_result = false;
     bool feasible = false;
@@ -40,6 +45,14 @@ struct GreedyWarmState {
   };
   std::unordered_map<core::TaskId, Entry> prev;  // last completed Allocate
   std::unordered_map<core::TaskId, Entry> next;  // being collected now
+
+  // The previous batch's CSR edges + its worker-id column legend, kept so
+  // the next Allocate can stamp batch-epoch dirty bits
+  // (BatchProblem::MarkEdgesUnchangedSince). An unchanged row + an untouched
+  // set + an unfiltered entry lets WarmCheck skip the snapshot build and
+  // compare entirely — the O(set edges) cost the store was paying per batch.
+  std::shared_ptr<const core::CandidateEdges> prev_edges;
+  std::vector<core::WorkerId> prev_worker_ids;
 };
 
 namespace {
@@ -77,6 +90,8 @@ struct AssocSet {
   CacheState cache = CacheState::kNone;
   bool warm_checked = false;  // warm store consulted this batch already
   bool warm_store = false;    // store the next fresh solve into the store
+  bool union_touched = false;  // a commit touched this set (member or union
+                               // worker consumed); disables the warm fast path
   bool has_duals = false;     // `duals` certifies `attempt` (Hungarian only)
   int last_eval_iter = -1;    // outer iteration of the last evaluation
   MatchAttempt attempt;
@@ -100,6 +115,7 @@ class GreedyRun {
   int64_t match_attempts() const { return match_attempts_; }
   int64_t warm_hits() const { return warm_hits_; }
   int64_t cold_solves() const { return cold_solves_; }
+  int64_t fast_hits() const { return fast_hits_; }
 
  private:
   void BuildAssocSets();
@@ -148,6 +164,7 @@ class GreedyRun {
   int64_t match_attempts_ = 0;
   int64_t warm_hits_ = 0;
   int64_t cold_solves_ = 0;
+  int64_t fast_hits_ = 0;  // warm hits taken via the dirty-bit fast path
   int outer_iter_ = 0;
 
   const BatchProblem& problem_;
@@ -400,13 +417,64 @@ void GreedyRun::SolveDense(AssocSet& set, const std::vector<TaskId>& tasks,
 
 int GreedyRun::WarmCheck(AssocSet& set) {
   if (set.warm_checked) return 2;
+
+  // Dirty-bit fast path: when (a) no commit has touched this set — so every
+  // member is unassigned and every worker in any member's candidate row is
+  // still available, (b) the stored entry's snapshot was unfiltered and its
+  // task list is exactly the member list, and (c) every member row carries
+  // this batch's "unchanged" epoch bit, this batch's filtered snapshot is
+  // provably bit-identical to the stored one: filtered == raw rows (a) ==
+  // previous raw rows (c) == previous snapshot (b). Reuse without building
+  // or comparing anything — O(|members|) instead of O(set edges).
+  if (!set.union_touched && !edges_.row_unchanged.empty()) {
+    const auto it = warm_->prev.find(set.root);
+    if (it != warm_->prev.end() && it->second.has_result &&
+        it->second.unfiltered && it->second.tasks == set.members) {
+      bool rows_unchanged = true;
+      for (TaskId m : set.members) {
+        if (!edges_.row_unchanged[static_cast<size_t>(m)]) {
+          rows_unchanged = false;
+          break;
+        }
+      }
+      if (rows_unchanged) {
+        set.warm_checked = true;
+        GreedyWarmState::Entry& hit = it->second;
+        set.last_eval_iter = outer_iter_;
+        set.has_duals = false;
+        if (!hit.feasible) {
+          set.cache = CacheState::kInfeasible;
+        } else {
+          set.attempt.cost = hit.cost;
+          set.attempt.tasks = hit.tasks;
+          set.attempt.workers.resize(hit.matched.size());
+          for (size_t r = 0; r < hit.matched.size(); ++r) {
+            const int wi =
+                worker_index_of_id_[static_cast<size_t>(hit.matched[r])];
+            DASC_CHECK_GE(wi, 0);
+            set.attempt.workers[r] = wi;
+          }
+          set.cache = CacheState::kFeasible;
+        }
+        ++fast_hits_;
+        // The entry still describes this batch's inputs exactly, so it
+        // carries forward unchanged (chainable across idle batches).
+        warm_->next[set.root] = std::move(hit);
+        return 0;
+      }
+    }
+  }
   set.warm_checked = true;
 
   // Snapshot the exact solve inputs in instance-global worker ids (stable
   // across batches, unlike problem.workers indices).
   GreedyWarmState::Entry snap;
+  snap.unfiltered = true;
   for (TaskId m : set.members) {
-    if (assigned_[static_cast<size_t>(m)]) continue;
+    if (assigned_[static_cast<size_t>(m)]) {
+      snap.unfiltered = false;  // a row is missing vs. the raw member list
+      continue;
+    }
     snap.tasks.push_back(m);
   }
   snap.row_off.reserve(snap.tasks.size() + 1);
@@ -416,7 +484,10 @@ int GreedyRun::WarmCheck(AssocSet& set) {
     const int64_t e = edges_.row_begin[static_cast<size_t>(m) + 1];
     for (int64_t i = b; i < e; ++i) {
       const int32_t wi = edges_.workers[static_cast<size_t>(i)];
-      if (!worker_available_[static_cast<size_t>(wi)]) continue;
+      if (!worker_available_[static_cast<size_t>(wi)]) {
+        snap.unfiltered = false;  // an edge was dropped by availability
+        continue;
+      }
       snap.edge_workers.push_back(problem_.workers[static_cast<size_t>(wi)].id);
       snap.edge_costs.push_back(edges_.travel_time[static_cast<size_t>(i)]);
     }
@@ -647,9 +718,11 @@ void GreedyRun::Commit(AssocSet& win, core::Assignment* out) {
     worker_available_[static_cast<size_t>(wi)] = 0;
     for (int si : task_sets_[static_cast<size_t>(m)]) {
       --sets_[static_cast<size_t>(si)].remaining;
+      sets_[static_cast<size_t>(si)].union_touched = true;
       touch(si, /*member=*/true);
     }
     for (int si : worker_sets_[static_cast<size_t>(wi)]) {
+      sets_[static_cast<size_t>(si)].union_touched = true;
       touch(si, /*member=*/false);
     }
   }
@@ -761,6 +834,12 @@ core::Assignment GreedyAllocator::Allocate(const core::BatchProblem& problem) {
   if (options_.warm_start && warm_ == nullptr) {
     warm_ = std::make_unique<GreedyWarmState>();
   }
+  if (options_.warm_start && warm_->prev_edges != nullptr) {
+    // Stamp batch-epoch dirty bits against the previous batch's edges so
+    // WarmCheck can take the snapshot-free fast path on unchanged rows.
+    problem.MarkEdgesUnchangedSince(*warm_->prev_edges,
+                                    warm_->prev_worker_ids);
+  }
   GreedyRun run(problem, options_, options_.warm_start ? warm_.get() : nullptr);
   core::Assignment assignment = run.Run();
   last_iterations_ = run.iterations();
@@ -770,10 +849,17 @@ core::Assignment GreedyAllocator::Allocate(const core::BatchProblem& problem) {
   DASC_METRIC_COUNTER_ADD("greedy_iterations_total", last_iterations_);
   DASC_METRIC_COUNTER_ADD("greedy_match_attempts_total", last_match_attempts_);
   DASC_METRIC_COUNTER_ADD("matching_warm_start_hits_total", last_warm_hits_);
+  DASC_METRIC_COUNTER_ADD("matching_warm_fastpath_hits_total",
+                          run.fast_hits());
   DASC_METRIC_COUNTER_ADD("matching_cold_solves_total", last_cold_solves_);
   if (warm_ != nullptr) {
     warm_->prev = std::move(warm_->next);
     warm_->next.clear();
+    warm_->prev_edges = problem.edges_cache;
+    warm_->prev_worker_ids.resize(problem.workers.size());
+    for (size_t i = 0; i < problem.workers.size(); ++i) {
+      warm_->prev_worker_ids[i] = problem.workers[i].id;
+    }
   }
   return assignment;
 }

@@ -114,10 +114,48 @@ const CandidateSets& BatchProblem::Candidates() const {
 
 const CandidateEdges& BatchProblem::Edges() const {
   if (edges_cache == nullptr) {
-    edges_cache =
-        std::make_shared<const CandidateEdges>(BuildCandidateEdges(*this));
+    edges_cache = std::make_shared<CandidateEdges>(BuildCandidateEdges(*this));
   }
   return *edges_cache;
+}
+
+void BatchProblem::MarkEdgesUnchangedSince(
+    const CandidateEdges& prev,
+    const std::vector<WorkerId>& prev_worker_ids) const {
+  Edges();
+  CandidateEdges& cur = *edges_cache;
+  const size_t num_tasks = cur.row_begin.size() - 1;
+  cur.row_unchanged.assign(num_tasks, 0);
+  if (prev.row_begin.size() != cur.row_begin.size()) return;
+
+  // Rows are independent, so the compare parallelizes bit-identically, same
+  // as the fill in BuildCandidateEdges. Worker identity is by instance-global
+  // id: the worker-index column space is rebuilt every batch, so equal
+  // indices mean nothing across batches.
+  constexpr int64_t kTaskGrain = 256;
+  util::ParallelFor(
+      0, static_cast<int64_t>(num_tasks), kTaskGrain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t t = lo; t < hi; ++t) {
+          const int64_t b = cur.row_begin[static_cast<size_t>(t)];
+          const int64_t e = cur.row_begin[static_cast<size_t>(t) + 1];
+          const int64_t pb = prev.row_begin[static_cast<size_t>(t)];
+          const int64_t pe = prev.row_begin[static_cast<size_t>(t) + 1];
+          if (e - b != pe - pb) continue;
+          bool same = true;
+          for (int64_t k = 0; same && k < e - b; ++k) {
+            const auto ci = static_cast<size_t>(b + k);
+            const auto pi = static_cast<size_t>(pb + k);
+            const WorkerId cur_id =
+                workers[static_cast<size_t>(cur.workers[ci])].id;
+            const WorkerId prev_id =
+                prev_worker_ids[static_cast<size_t>(prev.workers[pi])];
+            same = cur_id == prev_id &&
+                   cur.travel_time[ci] == prev.travel_time[pi];
+          }
+          cur.row_unchanged[static_cast<size_t>(t)] = same ? 1 : 0;
+        }
+      });
 }
 
 CandidateEdges BuildCandidateEdges(const BatchProblem& problem) {

@@ -67,9 +67,23 @@ struct BatchProblem {
   // thread-safety rules as Candidates().
   const CandidateEdges& Edges() const;
 
+  // Fills Edges().row_unchanged: row t is marked unchanged iff its edge list
+  // is identical to `prev`'s row t — same length, same workers (compared by
+  // instance-global WorkerId via `prev_worker_ids`, since worker *indices*
+  // shift between batches), and bit-equal travel times. Warm-start callers
+  // (algo/greedy.cc) pass the previous batch's edges so per-set snapshot
+  // rebuilds can be skipped for provably-unchanged inputs. Rows are compared
+  // independently, so a prev from a different-shape problem simply marks
+  // everything changed. Requires Edges() built (builds it if not).
+  void MarkEdgesUnchangedSince(const CandidateEdges& prev,
+                               const std::vector<WorkerId>& prev_worker_ids)
+      const;
+
   // Internal cache storage for Candidates()/Edges(); treat as private.
+  // edges_cache's pointee is non-const so MarkEdgesUnchangedSince can stamp
+  // the epoch bits in place; everyone else sees it through const refs.
   mutable std::shared_ptr<const CandidateSets> candidates_cache;
-  mutable std::shared_ptr<const CandidateEdges> edges_cache;
+  mutable std::shared_ptr<CandidateEdges> edges_cache;
 };
 
 // Feasible-pair candidate sets for one batch.
@@ -94,6 +108,10 @@ struct CandidateEdges {
   std::vector<int32_t> workers;     // per edge: index into problem.workers
   std::vector<double> travel_time;  // per edge: ServeDistance / velocity
   int num_workers = 0;              // column-space size (problem.workers)
+  // Batch-epoch dirty bits, filled by MarkEdgesUnchangedSince (empty until
+  // then): row_unchanged[t] != 0 iff task t's edge list is identical to the
+  // previous batch's, letting warm-start consumers skip snapshot compares.
+  std::vector<uint8_t> row_unchanged;
 
   int64_t num_edges() const { return static_cast<int64_t>(workers.size()); }
 };

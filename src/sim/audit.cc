@@ -333,6 +333,9 @@ BatchAudit BatchAuditor::AuditBatch(const core::BatchProblem& problem,
     summary_.min_gap = std::min(summary_.min_gap, audit.gap);
     DASC_METRIC_HISTOGRAM_OBSERVE("audit_batch_gap", audit.gap,
                                   kGapHistogramOptions);
+    // Level form of the same signal, for live monitors (the stall watchdog
+    // alerts when this drops below its min_audit_gap threshold mid-run).
+    DASC_METRIC_GAUGE_SET("audit_last_batch_gap", audit.gap);
   }
   summary_.violations += audit.violations;
 

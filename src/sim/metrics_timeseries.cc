@@ -1,0 +1,106 @@
+#include "sim/metrics_timeseries.h"
+
+#include <utility>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace dasc::sim {
+
+MetricsTimeSeries::MetricsTimeSeries(int max_samples)
+    : max_samples_(max_samples) {
+  DASC_CHECK_GT(max_samples, 0);
+}
+
+size_t MetricsTimeSeries::ColumnIndex(const std::string& name) {
+  const auto it = column_index_.find(name);
+  if (it != column_index_.end()) return it->second;
+  const size_t idx = columns_.size();
+  columns_.push_back(name);
+  column_index_.emplace(name, idx);
+  return idx;
+}
+
+void MetricsTimeSeries::AppendDelta(const std::string& name, double value,
+                                    std::vector<double>* row) {
+  const size_t idx = ColumnIndex(name);
+  double& last = last_cumulative_[name];  // starts at 0 for new columns
+  const double delta = value - last;
+  last = value;
+  if (row->size() <= idx) row->resize(idx + 1, 0.0);
+  (*row)[idx] = delta;
+}
+
+void MetricsTimeSeries::RecordBatch(int64_t batch_seq, double sim_now,
+                                    const util::MetricsRegistry& registry) {
+  const util::MetricsSnapshot snap = registry.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  TimeSeriesSample sample;
+  sample.batch_seq = batch_seq;
+  sample.sim_now = sim_now;
+  for (const auto& [name, value] : snap.counters) {
+    AppendDelta(name, static_cast<double>(value), &sample.values);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const size_t idx = ColumnIndex(name);
+    if (sample.values.size() <= idx) sample.values.resize(idx + 1, 0.0);
+    sample.values[idx] = value;
+  }
+  for (const util::HistogramSnapshot& h : snap.histograms) {
+    AppendDelta(h.name + "_count", static_cast<double>(h.count),
+                &sample.values);
+    AppendDelta(h.name + "_sum", h.sum, &sample.values);
+  }
+  samples_.push_back(std::move(sample));
+  if (samples_.size() > static_cast<size_t>(max_samples_)) {
+    samples_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<std::string> MetricsTimeSeries::Columns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return columns_;
+}
+
+std::vector<TimeSeriesSample> MetricsTimeSeries::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TimeSeriesSample>(samples_.begin(), samples_.end());
+}
+
+int64_t MetricsTimeSeries::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+int64_t MetricsTimeSeries::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void MetricsTimeSeries::WriteJsonl(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"type\":\"timeseries\",\"columns\":[";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << util::JsonEscape(columns_[i]) << "\"";
+  }
+  out << "],\"samples\":" << samples_.size() << ",\"recorded\":" << recorded_
+      << ",\"dropped\":" << dropped_ << ",\"max_samples\":" << max_samples_
+      << "}\n";
+  for (const TimeSeriesSample& sample : samples_) {
+    out << "{\"type\":\"ts\",\"batch\":" << sample.batch_seq
+        << ",\"now\":" << util::JsonNumber(sample.sim_now) << ",\"v\":[";
+    // Samples taken before later columns registered are padded with zeros
+    // so every "ts" row is aligned to the header's column list.
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) out << ",";
+      out << util::JsonNumber(i < sample.values.size() ? sample.values[i]
+                                                       : 0.0);
+    }
+    out << "]}\n";
+  }
+}
+
+}  // namespace dasc::sim

@@ -1,0 +1,84 @@
+// Bounded per-batch time series of every registered metric.
+//
+// The metrics registry is cumulative: counters only grow and histograms
+// only fill. MetricsTimeSeries turns that into a navigable history by
+// recording, at each batch boundary, a *delta* snapshot — counter and
+// histogram increments since the previous sample, gauge levels as-is — into
+// a bounded ring (oldest samples are evicted once `max_samples` is
+// reached, with the eviction count reported, so long runs stay O(1) in
+// memory). Each sample costs O(registered metrics): one registry snapshot,
+// one subtraction pass, no allocation churn beyond the stored row.
+//
+// Columns are discovered lazily (metrics register on first use), so early
+// samples can be shorter than the final column list; serialization pads
+// them with zeros. Serialized into run reports (schema dasc-run-report/4)
+// as one "timeseries" header line plus one "ts" line per sample — see
+// DESIGN.md §14.
+#ifndef DASC_SIM_METRICS_TIMESERIES_H_
+#define DASC_SIM_METRICS_TIMESERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace dasc::sim {
+
+struct TimeSeriesSample {
+  int64_t batch_seq = 0;
+  double sim_now = 0.0;
+  // Aligned to columns() prefixes; may be shorter than the final column
+  // list when metrics registered after this sample was taken.
+  std::vector<double> values;
+};
+
+class MetricsTimeSeries {
+ public:
+  explicit MetricsTimeSeries(int max_samples = 4096);
+
+  // Records one delta snapshot of `registry`. Called by the simulator at
+  // every batch boundary (empty batches included).
+  void RecordBatch(int64_t batch_seq, double sim_now,
+                   const util::MetricsRegistry& registry);
+
+  // Column names, in registration-discovery order: counter names carry
+  // their per-batch delta, gauge names their level, histogram names expand
+  // to "<name>_count" and "<name>_sum" deltas.
+  std::vector<std::string> Columns() const;
+  std::vector<TimeSeriesSample> Samples() const;
+  int64_t recorded() const;  // total RecordBatch calls
+  int64_t dropped() const;   // samples evicted by the retention bound
+
+  // The run-report block:
+  //   {"type":"timeseries","columns":[...],"samples":N,"recorded":R,
+  //    "dropped":D,"max_samples":M}
+  //   {"type":"ts","batch":B,"now":T,"v":[...]}   (one per retained sample)
+  void WriteJsonl(std::ostream& out) const;
+
+ private:
+  // Appends the delta of `name` (current cumulative `value` minus the last
+  // seen cumulative) to `row`. Requires mu_.
+  void AppendDelta(const std::string& name, double value,
+                   std::vector<double>* row);
+  // Column slot of `name`, registering it on first use. Requires mu_.
+  size_t ColumnIndex(const std::string& name);
+
+  const int max_samples_;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> columns_;
+  std::map<std::string, size_t> column_index_;
+  std::map<std::string, double> last_cumulative_;
+  std::deque<TimeSeriesSample> samples_;
+  int64_t recorded_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace dasc::sim
+
+#endif  // DASC_SIM_METRICS_TIMESERIES_H_

@@ -1,5 +1,7 @@
 #include "sim/run_report.h"
 
+#include <map>
+
 #include "util/json.h"
 
 namespace dasc::sim {
@@ -76,9 +78,34 @@ void WriteLedgerJsonl(std::ostream& out, const RunStats& stats) {
   }
 }
 
+void WriteAnomaliesJsonl(std::ostream& out, const StallWatchdog& watchdog) {
+  const std::vector<WatchdogAnomaly> anomalies = watchdog.anomalies();
+  // Per-kind totals for the summary line (counters survive even when the
+  // bounded anomaly list dropped entries).
+  std::map<std::string, int64_t> by_kind;
+  for (const WatchdogAnomaly& a : anomalies) ++by_kind[a.kind];
+  out << "{\"type\":\"anomalies\",\"count\":" << watchdog.anomaly_count()
+      << ",\"recorded\":" << anomalies.size() << ",\"by_kind\":{";
+  bool first = true;
+  for (const auto& [kind, count] : by_kind) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(kind) << "\":" << count;
+  }
+  out << "}}\n";
+  for (const WatchdogAnomaly& a : anomalies) {
+    out << "{\"type\":\"anomaly\",\"kind\":\"" << JsonEscape(a.kind)
+        << "\",\"batch\":" << a.batch_seq
+        << ",\"value\":" << JsonNumber(a.value)
+        << ",\"threshold\":" << JsonNumber(a.threshold)
+        << ",\"wall_ms\":" << JsonNumber(a.wall_ms) << "}\n";
+  }
+}
+
 void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
                          const std::vector<RunStats>& stats,
-                         const util::MetricsRegistry& registry) {
+                         const util::MetricsRegistry& registry,
+                         const RunReportExtras& extras) {
   out << "{\"type\":\"run\",\"schema\":\"" << kRunReportSchema
       << "\",\"kind\":\"" << JsonEscape(header.kind) << "\",\"instance\":\""
       << JsonEscape(header.instance) << "\",\"runs\":" << stats.size()
@@ -88,6 +115,14 @@ void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
     WriteLedgerJsonl(out, s);
   }
   registry.WriteJsonl(out);
+  if (extras.timeseries != nullptr) extras.timeseries->WriteJsonl(out);
+  if (extras.watchdog != nullptr) WriteAnomaliesJsonl(out, *extras.watchdog);
+}
+
+void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
+                         const std::vector<RunStats>& stats,
+                         const util::MetricsRegistry& registry) {
+  WriteRunReportJsonl(out, header, stats, registry, RunReportExtras{});
 }
 
 }  // namespace dasc::sim

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "sim/metrics.h"
+#include "sim/metrics_timeseries.h"
+#include "sim/watchdog.h"
 #include "util/metrics.h"
 
 namespace dasc::sim {
@@ -29,10 +31,16 @@ namespace dasc::sim {
 //        algorithm (per-reason unserved totals from the closed taxonomy of
 //        sim/ledger.h) followed by one "task" line per task (the per-task
 //        lifecycle block: reason, arrival/expiry, open-batch range,
-//        dep_depth, ...). Readers (sim/run_report_reader.h,
-//        tools/check_run_report.py) accept /1, /2, and /3; older stats
-//        default the newer fields to zero and carry no ledger block.
-inline constexpr const char* kRunReportSchema = "dasc-run-report/3";
+//        dep_depth, ...).
+//   /4 — live-telemetry blocks: the registry dump gains "sketch" lines
+//        (windowed quantile sketches); runs with a MetricsTimeSeries
+//        attached emit one "timeseries" header line plus one "ts" line per
+//        retained sample; runs with a StallWatchdog attached emit one
+//        "anomalies" summary line plus one "anomaly" line per recorded
+//        breach. Readers (sim/run_report_reader.h,
+//        tools/check_run_report.py) accept /1 through /4; older stats
+//        default the newer fields to zero and carry no newer blocks.
+inline constexpr const char* kRunReportSchema = "dasc-run-report/4";
 
 // Identity of the run being reported.
 struct RunReportHeader {
@@ -40,16 +48,32 @@ struct RunReportHeader {
   std::string instance;  // workload path or generator description
 };
 
+// Optional /4 telemetry blocks (both may be nullptr; pointers not owned).
+struct RunReportExtras {
+  const MetricsTimeSeries* timeseries = nullptr;
+  const StallWatchdog* watchdog = nullptr;
+};
+
 // Writes the full report:
-//   {"type":"run","schema":"dasc-run-report/3","kind":...,"instance":...,
+//   {"type":"run","schema":"dasc-run-report/4","kind":...,"instance":...,
 //    "runs":N}
 //   {"type":"stats","algorithm":...,"score":...,...}        (one per entry)
 //   {"type":"ledger","algorithm":...,"reasons":{...}}       (ledger runs)
 //   {"type":"task","algorithm":...,"task":N,"reason":...}   (one per task)
-//   {"type":"counter"|"gauge"|"histogram",...}              (registry dump)
+//   {"type":"counter"|"gauge"|"histogram"|"sketch",...}     (registry dump)
+//   {"type":"timeseries",...} + {"type":"ts",...}           (extras)
+//   {"type":"anomalies",...} + {"type":"anomaly",...}       (extras)
+void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
+                         const std::vector<RunStats>& stats,
+                         const util::MetricsRegistry& registry,
+                         const RunReportExtras& extras);
 void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
                          const std::vector<RunStats>& stats,
                          const util::MetricsRegistry& registry);
+
+// The watchdog's "anomalies" summary line plus one "anomaly" line per
+// recorded breach. Written whenever a watchdog is attached (count may be 0).
+void WriteAnomaliesJsonl(std::ostream& out, const StallWatchdog& watchdog);
 
 // One "stats" line; exposed for tests and incremental writers.
 void WriteRunStatsJsonl(std::ostream& out, const RunStats& stats);

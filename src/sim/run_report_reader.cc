@@ -48,11 +48,11 @@ Status ParseHeader(const JsonValue& obj, int line_no, RunReport* report) {
   if (schema.rfind(kPrefix, 0) == 0) {
     version = std::atoi(schema.c_str() + std::string(kPrefix).size());
   }
-  if (version != 1 && version != 2 && version != 3) {
+  if (version < 1 || version > 4) {
     return LineError(line_no,
                      "unsupported schema \"" + schema +
-                         "\" (this reader supports dasc-run-report/1, "
-                         "dasc-run-report/2, and dasc-run-report/3)");
+                         "\" (this reader supports dasc-run-report/1 "
+                         "through dasc-run-report/4)");
   }
   report->schema_version = version;
   report->header.kind = obj.GetString("kind", "");
@@ -225,6 +225,127 @@ Status ParseHistogram(const JsonValue& obj, int line_no,
   return Status::OK();
 }
 
+Status ParseQuantileArray(const JsonValue* arr, int line_no,
+                          std::vector<util::SketchQuantile>* out) {
+  if (arr == nullptr || !arr->is_array()) {
+    return LineError(line_no, "sketch block missing \"quantiles\" array");
+  }
+  for (const JsonValue& item : arr->items()) {
+    if (!item.is_object()) {
+      return LineError(line_no, "sketch quantile is not an object");
+    }
+    out->push_back({item.GetNumber("q", 0.0), item.GetNumber("value", 0.0)});
+  }
+  return Status::OK();
+}
+
+Status ParseSketch(const JsonValue& obj, int line_no,
+                   util::SketchSnapshot* sketch) {
+  sketch->name = obj.GetString("name", "");
+  sketch->relative_error = obj.GetNumber("relative_error", 0.0);
+  sketch->window_intervals =
+      static_cast<int>(obj.GetNumber("window_intervals", 0));
+  const JsonValue* window = obj.Find("window");
+  const JsonValue* cumulative = obj.Find("cumulative");
+  if (window == nullptr || !window->is_object() || cumulative == nullptr ||
+      !cumulative->is_object()) {
+    return LineError(line_no,
+                     "sketch line missing \"window\"/\"cumulative\" objects");
+  }
+  sketch->window_count = static_cast<int64_t>(window->GetNumber("count", 0));
+  sketch->window_sum = window->GetNumber("sum", 0.0);
+  sketch->cumulative_count =
+      static_cast<int64_t>(cumulative->GetNumber("count", 0));
+  sketch->cumulative_sum = cumulative->GetNumber("sum", 0.0);
+  Status status = ParseQuantileArray(window->Find("quantiles"), line_no,
+                                     &sketch->window_quantiles);
+  if (!status.ok()) return status;
+  return ParseQuantileArray(cumulative->Find("quantiles"), line_no,
+                            &sketch->cumulative_quantiles);
+}
+
+Status ParseTimeSeriesHeader(const JsonValue& obj, int line_no,
+                             RunReportTimeSeries* ts) {
+  const JsonValue* columns = obj.Find("columns");
+  if (columns == nullptr || !columns->is_array()) {
+    return LineError(line_no, "timeseries line missing \"columns\" array");
+  }
+  for (const JsonValue& col : columns->items()) {
+    if (!col.is_string()) {
+      return LineError(line_no, "timeseries column is not a string");
+    }
+    ts->columns.push_back(col.AsString());
+  }
+  ts->recorded = static_cast<int64_t>(obj.GetNumber("recorded", 0));
+  ts->dropped = static_cast<int64_t>(obj.GetNumber("dropped", 0));
+  ts->max_samples = static_cast<int>(obj.GetNumber("max_samples", 0));
+  ts->present = true;
+  return Status::OK();
+}
+
+Status ParseTimeSeriesSample(const JsonValue& obj, int line_no,
+                             RunReportTimeSeries* ts) {
+  if (!ts->present) {
+    return LineError(line_no,
+                     "\"ts\" line before the \"timeseries\" header line");
+  }
+  TimeSeriesSample sample;
+  sample.batch_seq = static_cast<int64_t>(obj.GetNumber("batch", 0));
+  sample.sim_now = obj.GetNumber("now", 0.0);
+  const JsonValue* values = obj.Find("v");
+  if (values == nullptr || !values->is_array()) {
+    return LineError(line_no, "ts line missing \"v\" array");
+  }
+  for (const JsonValue& v : values->items()) {
+    if (!v.is_number()) return LineError(line_no, "ts value is not a number");
+    sample.values.push_back(v.AsDouble());
+  }
+  if (sample.values.size() != ts->columns.size()) {
+    return LineError(line_no, "ts line width " +
+                                  std::to_string(sample.values.size()) +
+                                  " != declared column count " +
+                                  std::to_string(ts->columns.size()));
+  }
+  ts->samples.push_back(std::move(sample));
+  return Status::OK();
+}
+
+Status ParseAnomaliesSummary(const JsonValue& obj, int line_no,
+                             RunReportAnomalies* anomalies) {
+  anomalies->present = true;
+  anomalies->count = static_cast<int64_t>(obj.GetNumber("count", 0));
+  const JsonValue* by_kind = obj.Find("by_kind");
+  if (by_kind == nullptr || !by_kind->is_object()) {
+    return LineError(line_no, "anomalies line missing \"by_kind\" object");
+  }
+  for (const auto& [kind, value] : by_kind->members()) {
+    if (!value.is_number()) {
+      return LineError(line_no, "anomaly kind count is not a number");
+    }
+    anomalies->by_kind[kind] = static_cast<int64_t>(value.AsDouble());
+  }
+  return Status::OK();
+}
+
+Status ParseAnomaly(const JsonValue& obj, int line_no,
+                    RunReportAnomalies* anomalies) {
+  if (!anomalies->present) {
+    return LineError(line_no,
+                     "\"anomaly\" line before the \"anomalies\" summary line");
+  }
+  WatchdogAnomaly anomaly;
+  anomaly.kind = obj.GetString("kind", "");
+  if (anomaly.kind.empty()) {
+    return LineError(line_no, "anomaly line missing \"kind\"");
+  }
+  anomaly.batch_seq = static_cast<int64_t>(obj.GetNumber("batch", 0));
+  anomaly.value = obj.GetNumber("value", 0.0);
+  anomaly.threshold = obj.GetNumber("threshold", 0.0);
+  anomaly.wall_ms = obj.GetNumber("wall_ms", 0.0);
+  anomalies->entries.push_back(std::move(anomaly));
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<RunReport> ParseRunReport(std::istream& in) {
@@ -298,6 +419,23 @@ Result<RunReport> ParseRunReport(std::istream& in) {
       Status status = ParseHistogram(obj, line_no, &hist);
       if (!status.ok()) return status;
       report.metrics.histograms.push_back(std::move(hist));
+    } else if (type == "sketch") {
+      util::SketchSnapshot sketch;
+      Status status = ParseSketch(obj, line_no, &sketch);
+      if (!status.ok()) return status;
+      report.metrics.sketches.push_back(std::move(sketch));
+    } else if (type == "timeseries") {
+      Status status = ParseTimeSeriesHeader(obj, line_no, &report.timeseries);
+      if (!status.ok()) return status;
+    } else if (type == "ts") {
+      Status status = ParseTimeSeriesSample(obj, line_no, &report.timeseries);
+      if (!status.ok()) return status;
+    } else if (type == "anomalies") {
+      Status status = ParseAnomaliesSummary(obj, line_no, &report.anomalies);
+      if (!status.ok()) return status;
+    } else if (type == "anomaly") {
+      Status status = ParseAnomaly(obj, line_no, &report.anomalies);
+      if (!status.ok()) return status;
     }
     // Unknown types are skipped: minor-version writers may add line kinds.
   }

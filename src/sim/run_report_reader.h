@@ -8,31 +8,57 @@
 // Schema handling: the header's "dasc-run-report/<v>" tag is dispatched on.
 //   /1 — pre-audit stats lines; the v2/v3-only fields default to zero.
 //   /2 — the audit block fields are required; no ledger lines.
-//   /3 — current; stats additionally require total_tasks and
-//        ledger_mismatches, and optional "ledger" / "task" lines carry the
-//        per-task lifecycle block back into RunStats::unserved_by_reason /
-//        RunStats::ledger.
+//   /3 — stats additionally require total_tasks and ledger_mismatches, and
+//        optional "ledger" / "task" lines carry the per-task lifecycle
+//        block back into RunStats::unserved_by_reason / RunStats::ledger.
+//   /4 — current; optional live-telemetry blocks: "sketch" lines land in
+//        MetricsSnapshot::sketches, "timeseries"/"ts" lines in
+//        RunReport::timeseries, "anomalies"/"anomaly" lines in
+//        RunReport::anomalies.
 // Any other tag is rejected with an error naming the supported versions —
 // a report from a newer writer must fail loudly, not half-parse.
 #ifndef DASC_SIM_RUN_REPORT_READER_H_
 #define DASC_SIM_RUN_REPORT_READER_H_
 
 #include <istream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "sim/metrics_timeseries.h"
 #include "sim/run_report.h"
+#include "sim/watchdog.h"
 #include "util/status.h"
 
 namespace dasc::sim {
 
+// The "timeseries" block (one header line + one "ts" line per sample).
+struct RunReportTimeSeries {
+  bool present = false;
+  std::vector<std::string> columns;
+  int64_t recorded = 0;
+  int64_t dropped = 0;
+  int max_samples = 0;
+  std::vector<TimeSeriesSample> samples;
+};
+
+// The "anomalies" block (summary line + one "anomaly" line per breach).
+struct RunReportAnomalies {
+  bool present = false;
+  int64_t count = 0;  // total breaches (>= entries.size())
+  std::map<std::string, int64_t> by_kind;
+  std::vector<WatchdogAnomaly> entries;
+};
+
 // A fully-parsed run report.
 struct RunReport {
-  int schema_version = 0;  // 1, 2, or 3
+  int schema_version = 0;  // 1 through 4
   RunReportHeader header;
   int declared_runs = 0;  // the header's "runs" field
   std::vector<RunStats> stats;
   util::MetricsSnapshot metrics;
+  RunReportTimeSeries timeseries;  // /4 runs with a MetricsTimeSeries
+  RunReportAnomalies anomalies;    // /4 runs with a StallWatchdog
 };
 
 // Parses one report from `in`. Fails on: missing/malformed header line,

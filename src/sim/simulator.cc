@@ -6,6 +6,8 @@
 #include <memory>
 #include <queue>
 
+#include "sim/metrics_timeseries.h"
+#include "sim/watchdog.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -99,6 +101,16 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
   }
 
   double now = t_begin;
+  // Runs once per batch boundary (before the clock advances): rotates the
+  // sketch windows so windowed quantiles mean "last N batches", feeds the
+  // time series one delta snapshot, and heartbeats the watchdog.
+  auto batch_boundary = [&](int batch_seq) {
+    if (util::MetricsEnabled()) util::GlobalMetrics().AdvanceSketchWindows();
+    if (options_.timeseries != nullptr) {
+      options_.timeseries->RecordBatch(batch_seq, now, util::GlobalMetrics());
+    }
+    if (options_.watchdog != nullptr) options_.watchdog->Heartbeat(batch_seq);
+  };
   // Advances the clock to the next batch instant; false = simulation over.
   auto advance = [&]() {
     if (event_driven) {
@@ -249,6 +261,7 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
         result.score += batch_score;
         DASC_METRIC_COUNTER_ADD("sim_score_total", batch_score);
       }
+      batch_boundary(batch_seq);
       if (!advance()) break;
       continue;
     }
@@ -273,6 +286,10 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
       result.per_batch_allocator_ms.push_back(batch_seconds * 1e3);
       DASC_METRIC_HISTOGRAM_OBSERVE("sim_batch_allocator_ms",
                                     batch_seconds * 1e3);
+      // Windowed twin of the histogram above (distinct name: a summary and
+      // a histogram cannot share _sum/_count sample names).
+      DASC_METRIC_SKETCH_OBSERVE("sim_batch_allocator_ms_window",
+                                 batch_seconds * 1e3);
     }
 
     const core::SplitAssignment split = core::SplitPairs(problem, raw);
@@ -355,6 +372,7 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
       }
     }
 
+    batch_boundary(batch_seq);
     if (!advance()) break;
   }
   if (result.completed_tasks > 0) {

@@ -18,6 +18,9 @@
 
 namespace dasc::sim {
 
+class MetricsTimeSeries;
+class StallWatchdog;
+
 struct SimulatorOptions {
   // When are batches run? kFixedInterval fires every `batch_interval` (the
   // paper's model); kEventDriven fires exactly at arrival and completion
@@ -76,6 +79,14 @@ struct SimulatorOptions {
   // Optional event sink (not owned); records dispatches, camping,
   // completions and batch boundaries when set.
   Trace* trace = nullptr;
+
+  // Live-telemetry hooks (sim/metrics_timeseries.h, sim/watchdog.h; not
+  // owned). At every batch boundary the simulator advances the registry's
+  // sketch windows, records one delta snapshot into `timeseries`, and
+  // heartbeats `watchdog` — so "window" means "last N batches" and a
+  // heartbeat that stops aging means the batch loop is stuck.
+  MetricsTimeSeries* timeseries = nullptr;
+  StallWatchdog* watchdog = nullptr;
 };
 
 struct SimulationResult {

@@ -1,0 +1,133 @@
+#include "sim/watchdog.h"
+
+#include "util/logging.h"
+
+namespace dasc::sim {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StallWatchdog::StallWatchdog(const WatchdogOptions& options,
+                             util::MetricsRegistry* registry)
+    : options_(options),
+      registry_(registry != nullptr ? registry : &util::GlobalMetrics()),
+      start_(std::chrono::steady_clock::now()) {
+  DASC_CHECK_GT(options_.poll_interval_ms, 0);
+  DASC_CHECK_GT(options_.heartbeat_timeout_ms, 0.0);
+  DASC_CHECK_GT(options_.max_anomalies, 0);
+}
+
+StallWatchdog::~StallWatchdog() { Stop(); }
+
+void StallWatchdog::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_requested_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] {
+    while (!stop_requested_.load(std::memory_order_acquire)) {
+      CheckOnce();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.poll_interval_ms));
+    }
+  });
+}
+
+void StallWatchdog::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void StallWatchdog::Heartbeat(int64_t batch_seq) {
+  last_heartbeat_seq_.store(batch_seq, std::memory_order_relaxed);
+  last_heartbeat_ns_.store(NowNs(), std::memory_order_relaxed);
+}
+
+double StallWatchdog::WallMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void StallWatchdog::RecordAnomaly(const std::string& kind, double value,
+                                  double threshold) {
+  // mu_ is held by CheckOnce().
+  ++total_anomalies_;
+  if (anomalies_.size() < static_cast<size_t>(options_.max_anomalies)) {
+    anomalies_.push_back({kind, last_heartbeat_seq_.load(std::memory_order_relaxed),
+                          value, threshold, WallMs()});
+  }
+  registry_->GetCounter("watchdog_anomalies_total{kind=\"" + kind + "\"}")
+      ->Increment();
+  DASC_LOG(WARNING) << "watchdog anomaly kind=" << kind << " value=" << value
+                    << " threshold=" << threshold << " batch="
+                    << last_heartbeat_seq_.load(std::memory_order_relaxed);
+}
+
+int StallWatchdog::CheckOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t before = total_anomalies_;
+
+  // Heartbeat age (armed after the first heartbeat). Edge-triggered per
+  // heartbeat: once a stall fires for heartbeat N, it stays quiet until
+  // heartbeat N+1 arrives and stalls in turn.
+  const int64_t hb_ns = last_heartbeat_ns_.load(std::memory_order_relaxed);
+  if (hb_ns >= 0) {
+    const double age_ms = static_cast<double>(NowNs() - hb_ns) / 1e6;
+    const int64_t hb_seq = last_heartbeat_seq_.load(std::memory_order_relaxed);
+    if (age_ms > options_.heartbeat_timeout_ms) {
+      if (!heartbeat_breached_ || heartbeat_breach_seq_ != hb_seq) {
+        heartbeat_breached_ = true;
+        heartbeat_breach_seq_ = hb_seq;
+        RecordAnomaly("heartbeat_stall", age_ms, options_.heartbeat_timeout_ms);
+      }
+    } else {
+      heartbeat_breached_ = false;
+    }
+  }
+
+  // ThreadPool backlog.
+  const double depth =
+      registry_->GetGauge("threadpool_queue_depth")->value();
+  if (depth > options_.queue_depth_limit) {
+    if (!queue_breached_) {
+      queue_breached_ = true;
+      RecordAnomaly("queue_depth", depth, options_.queue_depth_limit);
+    }
+  } else {
+    queue_breached_ = false;
+  }
+
+  // Audit optimality gap, meaningful only once the auditor has run.
+  if (registry_->GetCounter("audit_batches_total")->value() > 0) {
+    const double gap = registry_->GetGauge("audit_last_batch_gap")->value();
+    if (gap < options_.min_audit_gap) {
+      if (!gap_breached_) {
+        gap_breached_ = true;
+        RecordAnomaly("audit_gap", gap, options_.min_audit_gap);
+      }
+    } else {
+      gap_breached_ = false;
+    }
+  }
+
+  return static_cast<int>(total_anomalies_ - before);
+}
+
+std::vector<WatchdogAnomaly> StallWatchdog::anomalies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return anomalies_;
+}
+
+int64_t StallWatchdog::anomaly_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_anomalies_;
+}
+
+}  // namespace dasc::sim

@@ -1,0 +1,113 @@
+// Stall watchdog: a background thread that notices when the batch loop
+// stops making progress or degrades, while the process is still alive.
+//
+// The simulator calls Heartbeat() at every batch boundary; the watchdog
+// polls three signals from its own thread:
+//
+//   kind="heartbeat_stall"  wall-clock age of the last heartbeat exceeds
+//                           heartbeat_timeout_ms (armed after the first
+//                           heartbeat; a hung allocator or deadlocked pool
+//                           shows up here first)
+//   kind="queue_depth"      threadpool_queue_depth gauge exceeds
+//                           queue_depth_limit (the pool is falling behind)
+//   kind="audit_gap"        audit_last_batch_gap gauge drops below
+//                           min_audit_gap while the auditor is running
+//                           (allocation quality collapsed mid-run)
+//
+// Each breach is edge-triggered: one anomaly per excursion, re-armed when
+// the signal recovers (a stalled heartbeat re-arms on the next heartbeat).
+// On breach the watchdog emits a structured DASC_LOG(WARNING), increments
+// watchdog_anomalies_total{kind="..."} in the registry, and appends a
+// WatchdogAnomaly to its bounded in-memory list, which the run-report
+// writer serializes as the "anomalies" block (schema dasc-run-report/4).
+//
+// CheckOnce() exposes a single deterministic evaluation for tests (the
+// injected-stall test calls it instead of racing the poll thread); the
+// background thread is just CheckOnce() in a loop. See DESIGN.md §14.
+#ifndef DASC_SIM_WATCHDOG_H_
+#define DASC_SIM_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace dasc::sim {
+
+struct WatchdogOptions {
+  int poll_interval_ms = 100;
+  // Max wall-clock age of the last heartbeat before a stall is declared.
+  double heartbeat_timeout_ms = 5000.0;
+  // Max tolerated threadpool_queue_depth.
+  double queue_depth_limit = 4096.0;
+  // Min tolerated audit_last_batch_gap (achieved / upper bound); only
+  // checked once audit_batches_total > 0.
+  double min_audit_gap = 0.25;
+  // Retention bound on the recorded anomaly list (counters keep counting).
+  int max_anomalies = 1024;
+};
+
+struct WatchdogAnomaly {
+  std::string kind;       // "heartbeat_stall" | "queue_depth" | "audit_gap"
+  int64_t batch_seq = 0;  // last heartbeat batch at detection time
+  double value = 0.0;     // observed signal value
+  double threshold = 0.0;
+  double wall_ms = 0.0;  // since watchdog construction
+};
+
+class StallWatchdog {
+ public:
+  // `registry` defaults to GlobalMetrics() when nullptr.
+  explicit StallWatchdog(const WatchdogOptions& options = {},
+                         util::MetricsRegistry* registry = nullptr);
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  // Starts / stops the poll thread. Both idempotent; Stop() joins.
+  void Start();
+  void Stop();
+
+  // Progress signal from the batch loop: lock-free (two relaxed stores).
+  void Heartbeat(int64_t batch_seq);
+
+  // One threshold evaluation; returns the number of anomalies recorded by
+  // this call. Thread-safe (the poll thread and tests may both call it).
+  int CheckOnce();
+
+  std::vector<WatchdogAnomaly> anomalies() const;
+  int64_t anomaly_count() const;
+
+ private:
+  void RecordAnomaly(const std::string& kind, double value, double threshold);
+  double WallMs() const;
+
+  WatchdogOptions options_;
+  util::MetricsRegistry* registry_;
+
+  std::atomic<int64_t> last_heartbeat_seq_{-1};
+  std::atomic<int64_t> last_heartbeat_ns_{-1};  // steady clock; -1 = unarmed
+  const std::chrono::steady_clock::time_point start_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+
+  mutable std::mutex mu_;  // guards anomalies_ + edge state
+  std::vector<WatchdogAnomaly> anomalies_;
+  int64_t total_anomalies_ = 0;
+  bool heartbeat_breached_ = false;
+  int64_t heartbeat_breach_seq_ = -2;  // heartbeat seq the breach fired on
+  bool queue_breached_ = false;
+  bool gap_breached_ = false;
+};
+
+}  // namespace dasc::sim
+
+#endif  // DASC_SIM_WATCHDOG_H_

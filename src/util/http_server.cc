@@ -1,0 +1,254 @@
+#include "util/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace dasc::util {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Reads until the end of the request head ("\r\n\r\n"), EOF, or a small
+// size cap. GET requests have no body, so the head is the whole request.
+std::string ReadRequestHead(int fd) {
+  std::string request;
+  char buffer[1024];
+  while (request.size() < 8192) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos) break;
+  }
+  return request;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer went away; nothing to do about it
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string MakeResponse(int code, const std::string& reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.0 " << code << " " << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+void SetRecvTimeout(int fd, int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(const Options& options)
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &GlobalMetrics()) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start() {
+  if (running()) return Status::FailedPrecondition("server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal(ErrnoMessage("socket"));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = Status::Internal(ErrnoMessage("bind"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const Status status = Status::Internal(ErrnoMessage("listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    const Status status = Status::Internal(ErrnoMessage("getsockname"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::Serve() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or transient error: re-check stop
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    SetRecvTimeout(client, 1000);
+    const std::string request = ReadRequestHead(client);
+
+    // Request line: "GET <path> HTTP/1.x".
+    std::string method, path;
+    const size_t sp1 = request.find(' ');
+    if (sp1 != std::string::npos) {
+      method = request.substr(0, sp1);
+      const size_t sp2 = request.find(' ', sp1 + 1);
+      if (sp2 != std::string::npos) path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+    // Drop any query string: scrapers sometimes append cache-busters.
+    const size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+
+    std::string response;
+    if (method != "GET") {
+      response = MakeResponse(405, "Method Not Allowed", "text/plain",
+                              "only GET is supported\n");
+    } else {
+      response = HandleRequest(path);
+    }
+    WriteAll(client, response);
+    ::close(client);
+  }
+}
+
+std::string MetricsHttpServer::HandleRequest(const std::string& path) const {
+  std::ostringstream body;
+  if (path == "/metrics") {
+    registry_->WritePrometheus(body);
+    return MakeResponse(200, "OK", "text/plain; version=0.0.4", body.str());
+  }
+  if (path == "/snapshot") {
+    registry_->WriteJsonSnapshot(body);
+    return MakeResponse(200, "OK", "application/json", body.str());
+  }
+  if (path == "/window") {
+    const MetricsSnapshot snapshot = registry_->Snapshot();
+    body << "{\"sketches\":[";
+    bool first = true;
+    for (const SketchSnapshot& s : snapshot.sketches) {
+      if (!first) body << ",";
+      first = false;
+      body << "{\"name\":\"" << s.name
+           << "\",\"relative_error\":" << s.relative_error
+           << ",\"window_intervals\":" << s.window_intervals
+           << ",\"window_count\":" << s.window_count << ",\"quantiles\":{";
+      for (size_t i = 0; i < s.window_quantiles.size(); ++i) {
+        if (i > 0) body << ",";
+        body << "\"p" << static_cast<int>(s.window_quantiles[i].q * 100 + 0.5)
+             << "\":" << s.window_quantiles[i].value;
+      }
+      body << "}}";
+    }
+    body << "]}\n";
+    return MakeResponse(200, "OK", "application/json", body.str());
+  }
+  if (path == "/healthz") {
+    return MakeResponse(200, "OK", "text/plain", "ok\n");
+  }
+  return MakeResponse(404, "Not Found", "text/plain",
+                      "unknown path; try /metrics /snapshot /window\n");
+}
+
+Result<std::string> HttpGetLocal(int port, const std::string& path,
+                                 int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoMessage("socket"));
+  SetRecvTimeout(fd, timeout_ms);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::Internal(ErrnoMessage("connect"));
+    ::close(fd);
+    return status;
+  }
+
+  WriteAll(fd, "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n");
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::Internal("malformed HTTP response (no header terminator)");
+  }
+  // Status line: "HTTP/1.0 200 OK".
+  const size_t sp = response.find(' ');
+  const int code = (sp != std::string::npos && sp + 4 <= response.size())
+                       ? std::atoi(response.c_str() + sp + 1)
+                       : 0;
+  if (code != 200) {
+    return Status::NotFound("HTTP status " + std::to_string(code) + " for " +
+                            path);
+  }
+  return response.substr(head_end + 4);
+}
+
+}  // namespace dasc::util

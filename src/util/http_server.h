@@ -1,0 +1,80 @@
+// Minimal single-threaded HTTP/1.0 exposition endpoint for live telemetry.
+//
+// MetricsHttpServer binds a loopback TCP socket and serves, from one
+// background thread, read-only views of a MetricsRegistry:
+//
+//   GET /metrics   Prometheus text format 0.0.4 (WritePrometheus)
+//   GET /snapshot  latest full JSON snapshot (WriteJsonSnapshot)
+//   GET /window    windowed sketch quantiles only, as JSON
+//   GET /healthz   "ok" liveness probe
+//
+// Scope is deliberately tiny: HTTP/1.0, GET only, one connection at a time,
+// Connection: close — a scrape endpoint, not a web server. Requests are
+// answered from registry snapshots, so scrapes never block metric writers
+// (see DESIGN.md §14 for the protocol contract). The accept loop polls with
+// a 100 ms timeout so Stop() takes effect promptly; Stop() joins the thread
+// and is safe to call twice (the destructor calls it).
+//
+// This is the in-process-first step toward the always-on allocation server:
+// the same endpoint will be scraped by dasc_loadgen once the ingest API
+// exists (ROADMAP).
+#ifndef DASC_UTIL_HTTP_SERVER_H_
+#define DASC_UTIL_HTTP_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace dasc::util {
+
+class MetricsHttpServer {
+ public:
+  struct Options {
+    // Port 0 binds an ephemeral port; read the outcome from port().
+    int port = 0;
+    // The registry served; defaults to GlobalMetrics() when nullptr.
+    MetricsRegistry* registry = nullptr;
+  };
+
+  explicit MetricsHttpServer(const Options& options);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Binds 127.0.0.1:<port> and starts the serving thread. Fails (without
+  // aborting) when the port is unavailable or sockets cannot be created.
+  Status Start();
+
+  // Stops the serving thread and closes the listening socket. Idempotent.
+  void Stop();
+
+  // The bound port (resolved when options.port was 0); 0 before Start().
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void Serve();
+  std::string HandleRequest(const std::string& path) const;
+
+  Options options_;
+  MetricsRegistry* registry_ = nullptr;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+};
+
+// Minimal blocking HTTP GET against 127.0.0.1:<port> (the test/CLI client
+// for the server above). Returns the response body on HTTP 200, an error
+// Status on connect/read failure or any other status code.
+Result<std::string> HttpGetLocal(int port, const std::string& path,
+                                 int timeout_ms = 2000);
+
+}  // namespace dasc::util
+
+#endif  // DASC_UTIL_HTTP_SERVER_H_

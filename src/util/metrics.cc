@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/json.h"
 #include "util/logging.h"
 
 namespace dasc::util {
@@ -17,6 +18,49 @@ std::string FormatDouble(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.12g", value);
   return buffer;
+}
+
+// Metric family of a possibly-labeled series name:
+// "watchdog_anomalies_total{kind=\"heartbeat\"}" -> "watchdog_anomalies_total".
+std::string FamilyName(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+// Groups sorted (name, value) series by family so each family's samples are
+// contiguous under a single # TYPE line, as the exposition format requires
+// (labeled variants of "foo" sort after "foo_bar", so the raw sorted order
+// is not grouped).
+template <typename Value>
+std::map<std::string, std::vector<std::pair<std::string, Value>>>
+GroupByFamily(const std::vector<std::pair<std::string, Value>>& series) {
+  std::map<std::string, std::vector<std::pair<std::string, Value>>> grouped;
+  for (const auto& entry : series) {
+    grouped[FamilyName(entry.first)].push_back(entry);
+  }
+  return grouped;
+}
+
+void WriteSketchJsonBody(std::ostream& out, const SketchSnapshot& s) {
+  out << "\"name\":\"" << JsonEscape(s.name)
+      << "\",\"relative_error\":" << FormatDouble(s.relative_error)
+      << ",\"window_intervals\":" << s.window_intervals << ",\"window\":{"
+      << "\"count\":" << s.window_count
+      << ",\"sum\":" << FormatDouble(s.window_sum) << ",\"quantiles\":[";
+  for (size_t i = 0; i < s.window_quantiles.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"q\":" << FormatDouble(s.window_quantiles[i].q)
+        << ",\"value\":" << FormatDouble(s.window_quantiles[i].value) << "}";
+  }
+  out << "]},\"cumulative\":{\"count\":" << s.cumulative_count
+      << ",\"sum\":" << FormatDouble(s.cumulative_sum) << ",\"quantiles\":[";
+  for (size_t i = 0; i < s.cumulative_quantiles.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"q\":" << FormatDouble(s.cumulative_quantiles[i].q)
+        << ",\"value\":" << FormatDouble(s.cumulative_quantiles[i].value)
+        << "}";
+  }
+  out << "]}";
 }
 
 }  // namespace
@@ -109,11 +153,29 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+WindowedQuantileSketch* MetricsRegistry::GetSketch(
+    const std::string& name, int window_intervals,
+    const QuantileSketchOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sketches_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<WindowedQuantileSketch>(name, window_intervals,
+                                                   options);
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::AdvanceSketchWindows() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, sketch] : sketches_) sketch->Advance();
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, sketch] : sketches_) sketch->Reset();
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -133,17 +195,26 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     h.name = name;
     snapshot.histograms.push_back(std::move(h));
   }
+  snapshot.sketches.reserve(sketches_.size());
+  for (const auto& [name, sketch] : sketches_) {
+    snapshot.sketches.push_back(sketch->Snapshot());
+  }
   return snapshot;
 }
 
 void MetricsRegistry::WritePrometheus(std::ostream& out) const {
   const MetricsSnapshot snapshot = Snapshot();
-  for (const auto& [name, value] : snapshot.counters) {
-    out << "# TYPE " << name << " counter\n" << name << " " << value << "\n";
+  for (const auto& [family, series] : GroupByFamily(snapshot.counters)) {
+    out << "# TYPE " << family << " counter\n";
+    for (const auto& [name, value] : series) {
+      out << name << " " << value << "\n";
+    }
   }
-  for (const auto& [name, value] : snapshot.gauges) {
-    out << "# TYPE " << name << " gauge\n"
-        << name << " " << FormatDouble(value) << "\n";
+  for (const auto& [family, series] : GroupByFamily(snapshot.gauges)) {
+    out << "# TYPE " << family << " gauge\n";
+    for (const auto& [name, value] : series) {
+      out << name << " " << FormatDouble(value) << "\n";
+    }
   }
   for (const HistogramSnapshot& h : snapshot.histograms) {
     out << "# TYPE " << h.name << " histogram\n";
@@ -158,17 +229,28 @@ void MetricsRegistry::WritePrometheus(std::ostream& out) const {
     out << h.name << "_sum " << FormatDouble(h.sum) << "\n";
     out << h.name << "_count " << h.count << "\n";
   }
+  // Sketches expose the *windowed* view (live signal); the cumulative view
+  // is available from the paired histogram and the JSON snapshot.
+  for (const SketchSnapshot& s : snapshot.sketches) {
+    out << "# TYPE " << s.name << " summary\n";
+    for (const SketchQuantile& sq : s.window_quantiles) {
+      out << s.name << "{quantile=\"" << FormatDouble(sq.q) << "\"} "
+          << FormatDouble(sq.value) << "\n";
+    }
+    out << s.name << "_sum " << FormatDouble(s.window_sum) << "\n";
+    out << s.name << "_count " << s.window_count << "\n";
+  }
 }
 
 void MetricsRegistry::WriteJsonl(std::ostream& out) const {
   const MetricsSnapshot snapshot = Snapshot();
   for (const auto& [name, value] : snapshot.counters) {
-    out << "{\"type\":\"counter\",\"name\":\"" << name << "\",\"value\":"
-        << value << "}\n";
+    out << "{\"type\":\"counter\",\"name\":\"" << JsonEscape(name)
+        << "\",\"value\":" << value << "}\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    out << "{\"type\":\"gauge\",\"name\":\"" << name << "\",\"value\":"
-        << FormatDouble(value) << "}\n";
+    out << "{\"type\":\"gauge\",\"name\":\"" << JsonEscape(name)
+        << "\",\"value\":" << FormatDouble(value) << "}\n";
   }
   for (const HistogramSnapshot& h : snapshot.histograms) {
     out << "{\"type\":\"histogram\",\"name\":\"" << h.name << "\",\"count\":"
@@ -179,6 +261,45 @@ void MetricsRegistry::WriteJsonl(std::ostream& out) const {
     }
     out << "{\"le\":\"+Inf\",\"count\":" << h.counts.back() << "}]}\n";
   }
+  for (const SketchSnapshot& s : snapshot.sketches) {
+    out << "{\"type\":\"sketch\",";
+    WriteSketchJsonBody(out, s);
+    out << "}\n";
+  }
+}
+
+void MetricsRegistry::WriteJsonSnapshot(std::ostream& out) const {
+  const MetricsSnapshot snapshot = Snapshot();
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << JsonEscape(snapshot.counters[i].first)
+        << "\":" << snapshot.counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << JsonEscape(snapshot.gauges[i].first)
+        << "\":" << FormatDouble(snapshot.gauges[i].second);
+  }
+  out << "},\"histograms\":[";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << JsonEscape(h.name) << "\",\"count\":" << h.count
+        << ",\"sum\":" << FormatDouble(h.sum)
+        << ",\"p50\":" << FormatDouble(HistogramQuantile(h, 0.5))
+        << ",\"p95\":" << FormatDouble(HistogramQuantile(h, 0.95))
+        << ",\"p99\":" << FormatDouble(HistogramQuantile(h, 0.99)) << "}";
+  }
+  out << "],\"sketches\":[";
+  for (size_t i = 0; i < snapshot.sketches.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{";
+    WriteSketchJsonBody(out, snapshot.sketches[i]);
+    out << "}";
+  }
+  out << "]}\n";
 }
 
 MetricsRegistry& GlobalMetrics() {

@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/quantile_sketch.h"
+
 namespace dasc::util {
 
 // Monotonically increasing integer metric.
@@ -109,6 +111,7 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, int64_t>> counters;  // sorted by name
   std::vector<std::pair<std::string, double>> gauges;     // sorted by name
   std::vector<HistogramSnapshot> histograms;              // sorted by name
+  std::vector<SketchSnapshot> sketches;                   // sorted by name
 };
 
 // Thread-safe name -> metric registry. Get* registers on first use and
@@ -122,15 +125,31 @@ class MetricsRegistry {
   // existing histogram unchanged.
   Histogram* GetHistogram(const std::string& name,
                           const HistogramOptions& options = {});
+  // Windowed quantile sketch; like GetHistogram, window_intervals and
+  // options apply on first registration only.
+  WindowedQuantileSketch* GetSketch(const std::string& name,
+                                    int window_intervals = 64,
+                                    const QuantileSketchOptions& options = {});
+
+  // Rotates every registered sketch's window ring. Called once per batch
+  // boundary by the simulator, so "window" means "last N batches".
+  void AdvanceSketchWindows();
 
   // Zeroes every value; registered metrics and their addresses survive.
   void Reset();
 
   MetricsSnapshot Snapshot() const;
 
-  // Prometheus text exposition format (one # TYPE line per metric;
-  // histograms expose cumulative `le` buckets, _sum and _count).
+  // Prometheus text exposition format (one # TYPE line per metric family;
+  // histograms expose cumulative `le` buckets, a +Inf bucket, _sum and
+  // _count; sketches are exposed as summaries with windowed quantile
+  // labels plus window _sum/_count; labeled series such as
+  // name{kind="x"} share one TYPE line per family).
   void WritePrometheus(std::ostream& out) const;
+
+  // Single JSON object ({"counters":{...},"gauges":{...},
+  // "histograms":[...],"sketches":[...]}) — the /snapshot payload.
+  void WriteJsonSnapshot(std::ostream& out) const;
 
   // One JSON object per line:
   //   {"type":"counter","name":...,"value":...}
@@ -145,6 +164,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedQuantileSketch>> sketches_;
 };
 
 // The process-wide registry used by the DASC_METRIC_* macros.
@@ -196,6 +216,18 @@ bool MetricsEnabled();
     }                                                                    \
   } while (0)
 
+// `...` = optional window_intervals (and QuantileSketchOptions) for the
+// first registration.
+#define DASC_METRIC_SKETCH_OBSERVE(name, value, ...)                       \
+  do {                                                                     \
+    if (::dasc::util::MetricsEnabled()) {                                  \
+      static ::dasc::util::WindowedQuantileSketch* const                   \
+          dasc_metric_sketch_ = ::dasc::util::GlobalMetrics().GetSketch(   \
+              name __VA_OPT__(, ) __VA_ARGS__);                            \
+      dasc_metric_sketch_->Observe(value);                                 \
+    }                                                                      \
+  } while (0)
+
 #else  // !DASC_METRICS_ENABLED
 
 // Arguments stay unevaluated (sizeof) so flagged-off builds neither pay for
@@ -205,6 +237,8 @@ bool MetricsEnabled();
 #define DASC_METRIC_GAUGE_SET(name, value) \
   ((void)sizeof(name), (void)sizeof(value))
 #define DASC_METRIC_HISTOGRAM_OBSERVE(name, value, ...) \
+  ((void)sizeof(name), (void)sizeof(value))
+#define DASC_METRIC_SKETCH_OBSERVE(name, value, ...) \
   ((void)sizeof(name), (void)sizeof(value))
 
 #endif  // DASC_METRICS_ENABLED

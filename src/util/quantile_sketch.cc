@@ -1,0 +1,138 @@
+#include "util/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dasc::util {
+
+const std::vector<double>& SketchSnapshotRanks() {
+  static const std::vector<double>* const ranks =
+      new std::vector<double>{0.5, 0.9, 0.95, 0.99};
+  return *ranks;
+}
+
+QuantileSketch::QuantileSketch(const QuantileSketchOptions& options)
+    : options_(options) {
+  DASC_CHECK_GT(options.relative_error, 0.0);
+  DASC_CHECK_LT(options.relative_error, 1.0);
+  DASC_CHECK_GT(options.min_value, 0.0);
+  DASC_CHECK_GT(options.max_value, options.min_value);
+  const double gamma =
+      (1.0 + options.relative_error) / (1.0 - options.relative_error);
+  log_gamma_ = std::log(gamma);
+  index_min_ =
+      static_cast<int64_t>(std::ceil(std::log(options.min_value) / log_gamma_));
+  const int64_t index_max =
+      static_cast<int64_t>(std::ceil(std::log(options.max_value) / log_gamma_));
+  // Slot 0 is the zero bucket; the rest cover [index_min_, index_max].
+  buckets_.assign(static_cast<size_t>(index_max - index_min_ + 2), 0);
+}
+
+int64_t QuantileSketch::BucketIndex(double value) const {
+  // Zero bucket: zero, negative, NaN, and sub-min_value samples.
+  if (!(value >= options_.min_value)) return 0;
+  const double clamped = std::min(value, options_.max_value);
+  int64_t index =
+      static_cast<int64_t>(std::ceil(std::log(clamped) / log_gamma_));
+  // Clamp against float fuzz at the range edges.
+  index = std::min(std::max(index, index_min_),
+                   index_min_ + static_cast<int64_t>(buckets_.size()) - 2);
+  return 1 + (index - index_min_);
+}
+
+void QuantileSketch::Observe(double value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))] += 1;
+  count_ += 1;
+  sum_ += value;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  DASC_CHECK_EQ(buckets_.size(), other.buckets_.size())
+      << "merging sketches with different options";
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void QuantileSketch::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const int64_t target_rank = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(count_ - 1)));  // 0-based rank
+  int64_t cumulative = -1;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target_rank) {
+      if (i == 0) return 0.0;  // zero bucket
+      // Midpoint representative of log bucket index_min_ + (i - 1):
+      // values in (gamma^(idx-1), gamma^idx] estimated as
+      // 2 * gamma^idx / (gamma + 1).
+      const double idx =
+          static_cast<double>(index_min_ + static_cast<int64_t>(i) - 1);
+      const double gamma_pow = std::exp(idx * log_gamma_);
+      const double gamma = std::exp(log_gamma_);
+      return 2.0 * gamma_pow / (gamma + 1.0);
+    }
+  }
+  return options_.max_value;  // unreachable when counts are consistent
+}
+
+WindowedQuantileSketch::WindowedQuantileSketch(
+    std::string name, int window_intervals,
+    const QuantileSketchOptions& options)
+    : name_(std::move(name)),
+      window_intervals_(window_intervals),
+      cumulative_(options),
+      merge_scratch_(options) {
+  DASC_CHECK_GT(window_intervals, 0);
+  ring_.assign(static_cast<size_t>(window_intervals), QuantileSketch(options));
+}
+
+void WindowedQuantileSketch::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[current_].Observe(value);
+  cumulative_.Observe(value);
+}
+
+void WindowedQuantileSketch::Advance() {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = (current_ + 1) % ring_.size();
+  ring_[current_].Clear();
+}
+
+void WindowedQuantileSketch::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (QuantileSketch& s : ring_) s.Clear();
+  current_ = 0;
+  cumulative_.Clear();
+}
+
+SketchSnapshot WindowedQuantileSketch::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SketchSnapshot snapshot;
+  snapshot.name = name_;
+  snapshot.relative_error = cumulative_.options().relative_error;
+  snapshot.window_intervals = window_intervals_;
+
+  merge_scratch_.Clear();
+  for (const QuantileSketch& s : ring_) merge_scratch_.Merge(s);
+  snapshot.window_count = merge_scratch_.count();
+  snapshot.window_sum = merge_scratch_.sum();
+  snapshot.cumulative_count = cumulative_.count();
+  snapshot.cumulative_sum = cumulative_.sum();
+  for (double q : SketchSnapshotRanks()) {
+    snapshot.window_quantiles.push_back({q, merge_scratch_.Quantile(q)});
+    snapshot.cumulative_quantiles.push_back({q, cumulative_.Quantile(q)});
+  }
+  return snapshot;
+}
+
+}  // namespace dasc::util

@@ -1,0 +1,126 @@
+// Streaming quantile sketch with bounded relative error, plus a
+// sliding-window variant for live percentiles.
+//
+// QuantileSketch is a DDSketch-style log-bucketed sketch: positive values
+// are mapped to bucket ceil(log_gamma(v)) with gamma = (1+a)/(1-a), so the
+// bucket representative 2*gamma^i/(gamma+1) is within relative error `a` of
+// every value in the bucket. Quantile(q) therefore returns an estimate x
+// with |x - true_q| <= a * true_q for any value inside the trackable range
+// [min_value, max_value] (values above max_value are clamped into the top
+// bucket; zero, negative, and sub-min_value samples share a dedicated zero
+// bucket whose representative is 0). Buckets are a dense count array over the clamped index range, so
+// two sketches built from the same options merge by element-wise addition.
+//
+// WindowedQuantileSketch layers sliding-window semantics on top: a ring of
+// `window_intervals` per-interval sub-sketches plus one cumulative sketch.
+// Observe() feeds the current interval and the cumulative sketch; Advance()
+// (called at each batch boundary) rotates the ring, dropping the oldest
+// interval. Window quantiles are computed by merging the ring on read, so
+// they cover at most the last `window_intervals` Advance() periods. All
+// methods take an internal mutex: observations happen once per batch (not
+// in the matching hot loop), so the lock is cheap and makes concurrent
+// scrapes from the exposition server trivially safe (covered by
+// telemetry_test_tsan). See DESIGN.md §14.
+#ifndef DASC_UTIL_QUANTILE_SKETCH_H_
+#define DASC_UTIL_QUANTILE_SKETCH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dasc::util {
+
+struct QuantileSketchOptions {
+  // Guaranteed relative accuracy of Quantile() within the trackable range.
+  double relative_error = 0.01;
+  // Trackable value range; values are clamped into it (ms-scale timings by
+  // default: 1 microsecond to ~16 minutes).
+  double min_value = 1e-3;
+  double max_value = 1e6;
+};
+
+// Plain-struct view of a windowed sketch, safe to serialize.
+struct SketchQuantile {
+  double q = 0.0;      // requested rank, in [0, 1]
+  double value = 0.0;  // estimated quantile
+};
+
+struct SketchSnapshot {
+  std::string name;
+  double relative_error = 0.0;
+  int window_intervals = 0;
+
+  int64_t window_count = 0;
+  double window_sum = 0.0;
+  std::vector<SketchQuantile> window_quantiles;
+
+  int64_t cumulative_count = 0;
+  double cumulative_sum = 0.0;
+  std::vector<SketchQuantile> cumulative_quantiles;
+};
+
+// The ranks every snapshot reports, ascending: p50 / p90 / p95 / p99.
+const std::vector<double>& SketchSnapshotRanks();
+
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(const QuantileSketchOptions& options = {});
+
+  void Observe(double value);
+  // Element-wise bucket addition; `other` must share this sketch's options.
+  void Merge(const QuantileSketch& other);
+  void Clear();
+
+  // Estimate of quantile q in [0, 1]: the representative value of the
+  // bucket containing rank ceil(q * (count - 1)) (0-based). 0 when empty.
+  double Quantile(double q) const;
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const QuantileSketchOptions& options() const { return options_; }
+
+ private:
+  int64_t BucketIndex(double value) const;
+
+  QuantileSketchOptions options_;
+  double log_gamma_ = 0.0;
+  int64_t index_min_ = 0;  // bucket index of min_value after clamping
+  // buckets_[0] counts values <= 0; buckets_[1 + i - index_min_] counts
+  // values in log bucket i, for i in [index_min_, index_max_].
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class WindowedQuantileSketch {
+ public:
+  // `window_intervals` = ring size N: window reads cover the last N
+  // Advance() periods (the current, partially-filled interval included).
+  WindowedQuantileSketch(std::string name, int window_intervals,
+                         const QuantileSketchOptions& options = {});
+
+  void Observe(double value);
+  // Rotates the window ring: the oldest interval is dropped and a fresh
+  // current interval begins. The cumulative sketch is unaffected.
+  void Advance();
+  // Zeroes everything (ring and cumulative); identity/options survive.
+  void Reset();
+
+  SketchSnapshot Snapshot() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  int window_intervals_;
+
+  mutable std::mutex mu_;
+  std::vector<QuantileSketch> ring_;  // window_intervals_ sub-sketches
+  size_t current_ = 0;                // ring_ slot receiving observations
+  QuantileSketch cumulative_;
+  mutable QuantileSketch merge_scratch_;  // reused by Snapshot()
+};
+
+}  // namespace dasc::util
+
+#endif  // DASC_UTIL_QUANTILE_SKETCH_H_

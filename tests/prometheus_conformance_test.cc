@@ -1,0 +1,245 @@
+// Prometheus text exposition format (0.0.4) conformance: parses the
+// /metrics payload with a small line-grammar parser and checks the
+// invariants a real scraper relies on — exactly one # TYPE line per family,
+// emitted before and contiguous with that family's samples; histogram
+// buckets cumulative and ascending in `le`, terminated by +Inf whose count
+// equals _count; summary (sketch) quantile labels in [0,1] with monotone
+// values. See DESIGN.md §14.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace dasc::util {
+namespace {
+
+struct Sample {
+  std::string name;    // full series name, labels included
+  std::string family;  // name with labels and histogram/summary suffix cut
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+struct Family {
+  std::string type;  // counter | gauge | histogram | summary
+  std::vector<Sample> samples;
+};
+
+// Family of a series name: strip the {label} block, then a _bucket/_sum/
+// _count suffix (histogram and summary child series).
+std::string FamilyOf(std::string name) {
+  const size_t brace = name.find('{');
+  if (brace != std::string::npos) name.resize(brace);
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s(suffix);
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      return name.substr(0, name.size() - s.size());
+    }
+  }
+  return name;
+}
+
+std::map<std::string, std::string> ParseLabels(const std::string& name) {
+  std::map<std::string, std::string> labels;
+  const size_t open = name.find('{');
+  if (open == std::string::npos) return labels;
+  const size_t close = name.rfind('}');
+  EXPECT_NE(close, std::string::npos) << "unterminated label block: " << name;
+  std::string body = name.substr(open + 1, close - open - 1);
+  std::istringstream in(body);
+  std::string pair;
+  while (std::getline(in, pair, ',')) {
+    const size_t eq = pair.find('=');
+    EXPECT_NE(eq, std::string::npos) << "label without '=': " << pair;
+    if (eq == std::string::npos) continue;
+    std::string key = pair.substr(0, eq);
+    std::string value = pair.substr(eq + 1);
+    EXPECT_GE(value.size(), 2u) << "unquoted label value: " << pair;
+    if (value.size() < 2) continue;
+    EXPECT_EQ(value.front(), '"') << pair;
+    EXPECT_EQ(value.back(), '"') << pair;
+    labels[key] = value.substr(1, value.size() - 2);
+  }
+  return labels;
+}
+
+// Parses exposition text into families, enforcing the line grammar and the
+// TYPE-before-samples + contiguity rules as it goes.
+std::map<std::string, Family> ParseExposition(const std::string& text) {
+  std::map<std::string, Family> families;
+  std::istringstream in(text);
+  std::string line;
+  std::string current_family;  // family opened by the most recent TYPE line
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream header(line.substr(7));
+      std::string family, type;
+      header >> family >> type;
+      EXPECT_FALSE(family.empty()) << line;
+      EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram" || type == "summary")
+          << "unknown type: " << line;
+      EXPECT_EQ(families.count(family), 0u)
+          << "duplicate # TYPE line for family " << family;
+      families[family].type = type;
+      current_family = family;
+      continue;
+    }
+    EXPECT_NE(line[0], '#') << "only # TYPE comments are emitted: " << line;
+    // Sample line: <name>[{labels}] <value>
+    const size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << line;
+    Sample sample;
+    sample.name = line.substr(0, space);
+    sample.family = FamilyOf(sample.name);
+    sample.labels = ParseLabels(sample.name);
+    char* end = nullptr;
+    sample.value = std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_EQ(*end, '\0') << "trailing junk after value: " << line;
+    // TYPE precedes its samples, and a family's samples are contiguous:
+    // every sample belongs to the family opened by the last TYPE line.
+    EXPECT_EQ(sample.family, current_family)
+        << "sample " << sample.name << " outside its family's TYPE block";
+    families[sample.family].samples.push_back(std::move(sample));
+  }
+  return families;
+}
+
+// MetricsRegistry is pinned (mutex + stable metric addresses), so callers
+// pass one in rather than receiving it by value.
+void Populate(MetricsRegistry& registry) {
+  registry.GetCounter("alloc_total")->Increment(42);
+  registry.GetCounter("watchdog_anomalies_total{kind=\"heartbeat_stall\"}")
+      ->Increment(3);
+  registry.GetCounter("watchdog_anomalies_total{kind=\"queue_depth\"}")
+      ->Increment(1);
+  registry.GetGauge("threadpool_queue_depth")->Set(7.5);
+  Histogram* histogram = registry.GetHistogram("batch_ms");
+  WindowedQuantileSketch* sketch =
+      registry.GetSketch("batch_ms_window", /*window_intervals=*/4);
+  for (int i = 1; i <= 500; ++i) {
+    histogram->Observe(0.01 * i);
+    sketch->Observe(0.01 * i);
+  }
+}
+
+std::string PopulatedExposition() {
+  MetricsRegistry registry;
+  Populate(registry);
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  return out.str();
+}
+
+TEST(PrometheusConformance, EveryFamilyHasOneTypeLineBeforeItsSamples) {
+  // ParseExposition enforces TYPE-before-samples, contiguity, no duplicate
+  // TYPE lines, and the line grammar via EXPECT as it parses.
+  const auto families = ParseExposition(PopulatedExposition());
+  ASSERT_EQ(families.count("alloc_total"), 1u);
+  EXPECT_EQ(families.at("alloc_total").type, "counter");
+  ASSERT_EQ(families.count("watchdog_anomalies_total"), 1u);
+  ASSERT_EQ(families.count("threadpool_queue_depth"), 1u);
+  EXPECT_EQ(families.at("threadpool_queue_depth").type, "gauge");
+  ASSERT_EQ(families.count("batch_ms"), 1u);
+  EXPECT_EQ(families.at("batch_ms").type, "histogram");
+  ASSERT_EQ(families.count("batch_ms_window"), 1u);
+  EXPECT_EQ(families.at("batch_ms_window").type, "summary");
+}
+
+TEST(PrometheusConformance, LabeledSeriesShareOneFamilyTypeLine) {
+  const auto families = ParseExposition(PopulatedExposition());
+  const Family& family = families.at("watchdog_anomalies_total");
+  EXPECT_EQ(family.type, "counter");
+  ASSERT_EQ(family.samples.size(), 2u);
+  std::map<std::string, double> by_kind;
+  for (const Sample& s : family.samples) {
+    ASSERT_EQ(s.labels.count("kind"), 1u) << s.name;
+    by_kind[s.labels.at("kind")] = s.value;
+  }
+  EXPECT_DOUBLE_EQ(by_kind.at("heartbeat_stall"), 3.0);
+  EXPECT_DOUBLE_EQ(by_kind.at("queue_depth"), 1.0);
+}
+
+TEST(PrometheusConformance, HistogramBucketsAreCumulativeAndEndAtInf) {
+  const auto families = ParseExposition(PopulatedExposition());
+  const Family& family = families.at("batch_ms");
+  double last_le = 0.0;
+  double last_cumulative = -1.0;
+  double inf_count = -1.0;
+  double sum = -1.0;
+  double count = -1.0;
+  bool after_inf = false;
+  for (const Sample& s : family.samples) {
+    if (s.name.rfind("batch_ms_bucket", 0) == 0) {
+      EXPECT_FALSE(after_inf) << "+Inf must be the last bucket";
+      ASSERT_EQ(s.labels.count("le"), 1u);
+      const std::string& le = s.labels.at("le");
+      if (le == "+Inf") {
+        inf_count = s.value;
+        after_inf = true;
+      } else {
+        const double bound = std::strtod(le.c_str(), nullptr);
+        EXPECT_GT(bound, last_le) << "le bounds must ascend";
+        last_le = bound;
+      }
+      EXPECT_GE(s.value, last_cumulative) << "bucket counts are cumulative";
+      last_cumulative = s.value;
+    } else if (s.name == "batch_ms_sum") {
+      sum = s.value;
+    } else if (s.name == "batch_ms_count") {
+      count = s.value;
+    }
+  }
+  EXPECT_TRUE(after_inf) << "missing le=\"+Inf\" bucket";
+  EXPECT_DOUBLE_EQ(count, 500.0);
+  EXPECT_DOUBLE_EQ(inf_count, count) << "+Inf bucket must equal _count";
+  // Σ 0.01..5.00 = 0.01 * 500*501/2 = 1252.5 (fp tolerance).
+  EXPECT_NEAR(sum, 1252.5, 1e-6);
+}
+
+TEST(PrometheusConformance, SummaryQuantilesAreValidAndMonotone) {
+  const auto families = ParseExposition(PopulatedExposition());
+  const Family& family = families.at("batch_ms_window");
+  double last_q = -1.0;
+  double last_value = -1.0;
+  int quantile_samples = 0;
+  bool saw_sum = false;
+  bool saw_count = false;
+  for (const Sample& s : family.samples) {
+    if (s.labels.count("quantile") != 0u) {
+      const double q = std::strtod(s.labels.at("quantile").c_str(), nullptr);
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+      EXPECT_GT(q, last_q) << "quantile labels must ascend";
+      last_q = q;
+      EXPECT_GE(s.value, last_value) << "quantile values must be monotone";
+      last_value = s.value;
+      ++quantile_samples;
+    } else if (s.name == "batch_ms_window_sum") {
+      saw_sum = true;
+    } else if (s.name == "batch_ms_window_count") {
+      saw_count = true;
+      EXPECT_DOUBLE_EQ(s.value, 500.0);
+    }
+  }
+  EXPECT_EQ(quantile_samples, 4);  // the documented p50/p90/p95/p99 set
+  EXPECT_TRUE(saw_sum);
+  EXPECT_TRUE(saw_count);
+}
+
+TEST(PrometheusConformance, EmptyRegistryProducesEmptyExposition) {
+  MetricsRegistry registry;
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace dasc::util

@@ -1,0 +1,194 @@
+// Tests for the DDSketch-style streaming quantile sketch (error bounds,
+// merge, zero bucket) and its sliding-window wrapper (ring rotation,
+// window-vs-cumulative semantics). See DESIGN.md §14.
+#include "util/quantile_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace dasc::util {
+namespace {
+
+// Exact quantile under the sketch's rank convention: 0-based rank
+// ceil(q * (n - 1)) of the sorted sample.
+double ExactQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size() - 1)));
+  return values[rank];
+}
+
+TEST(QuantileSketch, RelativeErrorBoundHolds) {
+  QuantileSketchOptions options;
+  options.relative_error = 0.01;
+  QuantileSketch sketch(options);
+  std::vector<double> values;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> uniform(0.1, 5000.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = uniform(rng);
+    values.push_back(v);
+    sketch.Observe(v);
+  }
+  EXPECT_EQ(sketch.count(), 20000);
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double exact = ExactQuantile(values, q);
+    const double estimate = sketch.Quantile(q);
+    EXPECT_LE(std::abs(estimate - exact), options.relative_error * exact)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
+TEST(QuantileSketch, HeavyTailedDistributionStaysWithinBound) {
+  QuantileSketchOptions options;
+  options.relative_error = 0.02;
+  QuantileSketch sketch(options);
+  std::vector<double> values;
+  std::mt19937_64 rng(11);
+  std::lognormal_distribution<double> lognormal(0.0, 2.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = lognormal(rng);
+    values.push_back(v);
+    sketch.Observe(v);
+  }
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double exact = ExactQuantile(values, q);
+    EXPECT_LE(std::abs(sketch.Quantile(q) - exact),
+              options.relative_error * exact)
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, ZeroAndSubMinValuesLandInZeroBucket) {
+  QuantileSketch sketch;
+  sketch.Observe(0.0);
+  sketch.Observe(-3.0);                 // clamped into the zero bucket
+  sketch.Observe(1e-9);                 // below min_value
+  EXPECT_EQ(sketch.count(), 3);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 0.0);
+}
+
+TEST(QuantileSketch, EmptySketchReportsZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, ValuesAboveMaxAreClampedNotLost) {
+  QuantileSketchOptions options;
+  options.max_value = 100.0;
+  QuantileSketch sketch(options);
+  sketch.Observe(1e9);
+  EXPECT_EQ(sketch.count(), 1);
+  // The estimate is capped near max_value but the sample is counted.
+  EXPECT_LE(sketch.Quantile(1.0), 100.0 * (1.0 + options.relative_error));
+  EXPECT_GT(sketch.Quantile(1.0), 0.0);
+}
+
+// Merging two sketches must be exactly equivalent to observing the union,
+// bucket for bucket — this is what makes the window ring's merged read
+// well-defined.
+TEST(QuantileSketch, MergeMatchesUnionObservation) {
+  QuantileSketch a, b, both;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> uniform(0.5, 900.0);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = uniform(rng);
+    both.Observe(v);
+    if (i % 2 == 0) {
+      a.Observe(v);
+    } else {
+      b.Observe(v);
+    }
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  // Summation order differs between the merged and union paths, so compare
+  // sums to a relative tolerance; bucket counts (and thus quantiles) are
+  // integer-exact.
+  EXPECT_NEAR(a.sum(), both.sum(), 1e-9 * std::abs(both.sum()));
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), both.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(WindowedQuantileSketch, WindowCoversRecentIntervalsOnly) {
+  WindowedQuantileSketch sketch("w_ms", /*window_intervals=*/3);
+  // Interval 0: values around 1000. These must age out of the window after
+  // 3 Advance() calls but stay in the cumulative sketch forever.
+  for (int i = 0; i < 100; ++i) sketch.Observe(1000.0);
+  sketch.Advance();
+  for (int i = 0; i < 100; ++i) sketch.Observe(1.0);
+  sketch.Advance();
+  for (int i = 0; i < 100; ++i) sketch.Observe(1.0);
+  sketch.Advance();
+  for (int i = 0; i < 100; ++i) sketch.Observe(1.0);
+
+  const SketchSnapshot snapshot = sketch.Snapshot();
+  EXPECT_EQ(snapshot.name, "w_ms");
+  EXPECT_EQ(snapshot.window_intervals, 3);
+  EXPECT_EQ(snapshot.cumulative_count, 400);
+  EXPECT_EQ(snapshot.window_count, 300);  // the 1000s aged out
+  ASSERT_FALSE(snapshot.window_quantiles.empty());
+  // Every window quantile is ~1.0; the cumulative p99 still sees the 1000s.
+  for (const SketchQuantile& q : snapshot.window_quantiles) {
+    EXPECT_NEAR(q.value, 1.0, 0.05) << "q=" << q.q;
+  }
+  double cumulative_p99 = 0.0;
+  for (const SketchQuantile& q : snapshot.cumulative_quantiles) {
+    if (q.q == 0.99) cumulative_p99 = q.value;
+  }
+  EXPECT_NEAR(cumulative_p99, 1000.0, 1000.0 * 0.015);
+}
+
+// Until the first window_intervals Advance() calls, window and cumulative
+// views are identical — the property the mid-run /window acceptance check
+// relies on (window_intervals defaults to 64, above any short run's batch
+// count).
+TEST(WindowedQuantileSketch, WindowEqualsCumulativeBeforeFirstRotationOut) {
+  WindowedQuantileSketch sketch("w_ms", /*window_intervals=*/8);
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> uniform(0.5, 50.0);
+  for (int interval = 0; interval < 5; ++interval) {
+    for (int i = 0; i < 200; ++i) sketch.Observe(uniform(rng));
+    sketch.Advance();
+  }
+  const SketchSnapshot snapshot = sketch.Snapshot();
+  EXPECT_EQ(snapshot.window_count, snapshot.cumulative_count);
+  EXPECT_DOUBLE_EQ(snapshot.window_sum, snapshot.cumulative_sum);
+  ASSERT_EQ(snapshot.window_quantiles.size(),
+            snapshot.cumulative_quantiles.size());
+  for (size_t i = 0; i < snapshot.window_quantiles.size(); ++i) {
+    EXPECT_DOUBLE_EQ(snapshot.window_quantiles[i].value,
+                     snapshot.cumulative_quantiles[i].value);
+  }
+}
+
+TEST(WindowedQuantileSketch, ResetClearsEverything) {
+  WindowedQuantileSketch sketch("w_ms", /*window_intervals=*/2);
+  sketch.Observe(5.0);
+  sketch.Advance();
+  sketch.Observe(7.0);
+  sketch.Reset();
+  const SketchSnapshot snapshot = sketch.Snapshot();
+  EXPECT_EQ(snapshot.window_count, 0);
+  EXPECT_EQ(snapshot.cumulative_count, 0);
+}
+
+TEST(WindowedQuantileSketch, SnapshotRanksAreTheDocumentedSet) {
+  const std::vector<double> ranks = SketchSnapshotRanks();
+  ASSERT_EQ(ranks.size(), 4u);
+  EXPECT_DOUBLE_EQ(ranks[0], 0.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 0.9);
+  EXPECT_DOUBLE_EQ(ranks[2], 0.95);
+  EXPECT_DOUBLE_EQ(ranks[3], 0.99);
+}
+
+}  // namespace
+}  // namespace dasc::util

@@ -5,10 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "sim/metrics_timeseries.h"
+#include "sim/watchdog.h"
 #include "util/metrics.h"
 
 namespace dasc::sim {
@@ -98,7 +104,7 @@ TEST(RunReportRoundTrip, FieldForField) {
   auto report = ParseRunReport(in);
   ASSERT_TRUE(report.ok()) << report.status().message();
 
-  EXPECT_EQ(report->schema_version, 3);
+  EXPECT_EQ(report->schema_version, 4);
   EXPECT_EQ(report->header.kind, header.kind);
   EXPECT_EQ(report->header.instance, header.instance);
   EXPECT_EQ(report->declared_runs, 2);
@@ -203,6 +209,84 @@ TEST(RunReportRoundTrip, LedgerBlockRoundTrips) {
   }
 }
 
+// The /4 telemetry blocks — sketch lines in the registry dump, the
+// timeseries block, and the anomalies block — survive a writer -> reader
+// round trip.
+TEST(RunReportRoundTrip, TelemetryBlocksRoundTrip) {
+  util::MetricsRegistry registry;
+  registry.GetCounter("alpha_total")->Increment(3);
+  util::WindowedQuantileSketch* sketch =
+      registry.GetSketch("delta_ms_window", /*window_intervals=*/4);
+  for (int i = 1; i <= 100; ++i) sketch->Observe(static_cast<double>(i));
+
+  MetricsTimeSeries timeseries(/*max_samples=*/8);
+  registry.GetCounter("alpha_total")->Increment(2);
+  timeseries.RecordBatch(/*batch_seq=*/0, /*sim_now=*/5.0, registry);
+  registry.GetCounter("alpha_total")->Increment(4);
+  timeseries.RecordBatch(/*batch_seq=*/1, /*sim_now=*/10.0, registry);
+
+  WatchdogOptions wd_options;
+  wd_options.heartbeat_timeout_ms = 1e-6;  // any measurable age breaches
+  StallWatchdog watchdog(wd_options, &registry);
+  watchdog.Heartbeat(7);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GE(watchdog.CheckOnce(), 1);
+
+  RunReportExtras extras;
+  extras.timeseries = &timeseries;
+  extras.watchdog = &watchdog;
+  std::ostringstream out;
+  WriteRunReportJsonl(out, {"simulate", "a.dasc"}, {SampleStats("gg", 1)},
+                      registry, extras);
+
+  std::istringstream in(out.str());
+  auto report = ParseRunReport(in);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->schema_version, 4);
+
+  ASSERT_EQ(report->metrics.sketches.size(), 1u);
+  const util::SketchSnapshot& got = report->metrics.sketches[0];
+  const util::SketchSnapshot want = sketch->Snapshot();
+  EXPECT_EQ(got.name, want.name);
+  EXPECT_DOUBLE_EQ(got.relative_error, want.relative_error);
+  EXPECT_EQ(got.window_intervals, want.window_intervals);
+  EXPECT_EQ(got.window_count, want.window_count);
+  EXPECT_DOUBLE_EQ(got.window_sum, want.window_sum);
+  EXPECT_EQ(got.cumulative_count, want.cumulative_count);
+  ASSERT_EQ(got.window_quantiles.size(), want.window_quantiles.size());
+  for (size_t i = 0; i < want.window_quantiles.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got.window_quantiles[i].q, want.window_quantiles[i].q);
+    // Values round-trip through %.12g JSON serialization, so compare to a
+    // matching relative tolerance rather than bit-exactly.
+    EXPECT_NEAR(got.window_quantiles[i].value, want.window_quantiles[i].value,
+                1e-11 * std::abs(want.window_quantiles[i].value));
+  }
+
+  ASSERT_TRUE(report->timeseries.present);
+  EXPECT_EQ(report->timeseries.recorded, 2);
+  EXPECT_EQ(report->timeseries.dropped, 0);
+  EXPECT_EQ(report->timeseries.max_samples, 8);
+  ASSERT_EQ(report->timeseries.samples.size(), 2u);
+  ASSERT_EQ(report->timeseries.columns, timeseries.Columns());
+  const size_t alpha = static_cast<size_t>(
+      std::find(report->timeseries.columns.begin(),
+                report->timeseries.columns.end(),
+                "alpha_total") -
+      report->timeseries.columns.begin());
+  ASSERT_LT(alpha, report->timeseries.columns.size());
+  EXPECT_EQ(report->timeseries.samples[0].batch_seq, 0);
+  EXPECT_DOUBLE_EQ(report->timeseries.samples[0].sim_now, 5.0);
+  EXPECT_DOUBLE_EQ(report->timeseries.samples[0].values[alpha], 5.0);
+  EXPECT_DOUBLE_EQ(report->timeseries.samples[1].values[alpha], 4.0);
+
+  ASSERT_TRUE(report->anomalies.present);
+  EXPECT_GE(report->anomalies.count, 1);
+  ASSERT_GE(report->anomalies.entries.size(), 1u);
+  EXPECT_EQ(report->anomalies.entries[0].kind, "heartbeat_stall");
+  EXPECT_EQ(report->anomalies.entries[0].batch_seq, 7);
+  EXPECT_GE(report->anomalies.by_kind.at("heartbeat_stall"), 1);
+}
+
 // A task line whose reason is outside the closed taxonomy must fail parsing.
 TEST(RunReportSchema, RejectsUnknownLedgerReason) {
   util::MetricsRegistry registry;
@@ -251,7 +335,10 @@ TEST(RunReportSchema, RejectsUnknownVersionNamingSupportedOnes) {
   std::istringstream in(v9);
   auto report = ParseRunReport(in);
   ASSERT_FALSE(report.ok());
-  EXPECT_NE(report.status().message().find("dasc-run-report/2"),
+  EXPECT_NE(report.status().message().find("dasc-run-report/1"),
+            std::string::npos)
+      << report.status().message();
+  EXPECT_NE(report.status().message().find("dasc-run-report/4"),
             std::string::npos)
       << report.status().message();
 }

@@ -1,0 +1,348 @@
+// Live-telemetry plane tests: the exposition endpoint scraped during a
+// running simulation, the stall watchdog's threshold/re-arm semantics
+// (injected stalls via CheckOnce, plus the background poll thread), the
+// metrics time-series retention bound, and the documented agreement between
+// sketch and histogram p95 estimates. See DESIGN.md §14.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/registry.h"
+#include "core/instance.h"
+#include "gen/params.h"
+#include "gen/synthetic.h"
+#include "sim/metrics_timeseries.h"
+#include "sim/simulator.h"
+#include "sim/watchdog.h"
+#include "util/http_server.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/quantile_sketch.h"
+
+namespace dasc {
+namespace {
+
+using sim::MetricsTimeSeries;
+using sim::SimulatorOptions;
+using sim::StallWatchdog;
+using sim::WatchdogOptions;
+using util::HttpGetLocal;
+using util::MetricsHttpServer;
+using util::MetricsRegistry;
+
+core::Instance SmallInstance(uint64_t seed) {
+  gen::SyntheticParams params;
+  params.seed = seed;
+  params.num_workers = 30;
+  params.num_tasks = 40;
+  params.num_skills = 8;
+  params.dependency_size = {0, 4};
+  auto instance = gen::GenerateSynthetic(params);
+  DASC_CHECK(instance.ok());
+  return *std::move(instance);
+}
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// End-to-end: an audited gg simulation runs with the telemetry hooks
+// attached while the exposition server is scraped live from this thread.
+TEST(LiveTelemetry, EndpointsServeDuringSimulation) {
+  const core::Instance instance = SmallInstance(17);
+  auto allocator = algo::CreateAllocator("gg", 17);
+  ASSERT_TRUE(allocator.ok());
+
+  MetricsTimeSeries timeseries;
+  StallWatchdog watchdog;  // default thresholds: nothing should fire
+  SimulatorOptions options;
+  options.audit = true;
+  options.timeseries = &timeseries;
+  options.watchdog = &watchdog;
+
+  MetricsHttpServer::Options server_options;
+  server_options.port = 0;  // ephemeral
+  MetricsHttpServer server(server_options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+  watchdog.Start();
+
+  std::atomic<bool> done{false};
+  sim::SimulationResult result;
+  std::thread runner([&] {
+    sim::Simulator simulator(instance, options);
+    result = simulator.Run(**allocator);
+    done.store(true);
+  });
+
+  // Scrape all endpoints while the simulation runs: every response must be
+  // HTTP-well-formed at any run phase (a scrape can race the very first
+  // metric registration, so content is only pinned after the run below).
+  int scrapes = 0;
+  while (!done.load() || scrapes == 0) {
+    auto metrics = HttpGetLocal(server.port(), "/metrics");
+    ASSERT_TRUE(metrics.ok()) << metrics.status().message();
+    auto snapshot = HttpGetLocal(server.port(), "/snapshot");
+    ASSERT_TRUE(snapshot.ok());
+    EXPECT_NE(snapshot->find("\"counters\""), std::string::npos);
+    auto window = HttpGetLocal(server.port(), "/window");
+    ASSERT_TRUE(window.ok());
+    EXPECT_NE(window->find("\"sketches\""), std::string::npos);
+    ++scrapes;
+  }
+  runner.join();
+  watchdog.Stop();
+
+  // Post-run scrape: the registry now holds the sim's metrics families.
+  auto metrics = HttpGetLocal(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics->find("sim_batches_total"), std::string::npos);
+
+  EXPECT_GT(result.batches, 0);
+  EXPECT_GT(result.score, 0);
+  EXPECT_GT(timeseries.recorded(), 0);
+  EXPECT_GE(scrapes, 1);
+
+  auto health = HttpGetLocal(server.port(), "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(*health, "ok\n");
+  EXPECT_FALSE(HttpGetLocal(server.port(), "/no-such-path").ok());
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // After Stop() the port no longer answers.
+  EXPECT_FALSE(HttpGetLocal(server.port(), "/healthz", 200).ok());
+}
+
+TEST(LiveTelemetry, ServerStartStopIsIdempotent) {
+  MetricsRegistry registry;
+  MetricsHttpServer::Options options;
+  options.registry = &registry;
+  MetricsHttpServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+  server.Stop();
+  server.Stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+}
+
+// Injected stall: a microscopic heartbeat timeout makes every measurable
+// heartbeat age a breach. The breach is edge-triggered per heartbeat seq —
+// one anomaly per stalled heartbeat, re-armed only by the next heartbeat.
+TEST(StallWatchdogTest, HeartbeatStallFiresOncePerSeq) {
+  MetricsRegistry registry;
+  WatchdogOptions options;
+  options.heartbeat_timeout_ms = 1e-6;
+  StallWatchdog watchdog(options, &registry);
+
+  // Unarmed before the first heartbeat: no breach however long we wait.
+  EXPECT_EQ(watchdog.CheckOnce(), 0);
+
+  watchdog.Heartbeat(3);
+  SleepMs(2);
+  EXPECT_EQ(watchdog.CheckOnce(), 1);
+  EXPECT_EQ(watchdog.CheckOnce(), 0);  // same excursion, no re-fire
+
+  watchdog.Heartbeat(4);  // progress re-arms the breach
+  SleepMs(2);
+  EXPECT_EQ(watchdog.CheckOnce(), 1);
+
+  EXPECT_EQ(watchdog.anomaly_count(), 2);
+  const auto anomalies = watchdog.anomalies();
+  ASSERT_EQ(anomalies.size(), 2u);
+  EXPECT_EQ(anomalies[0].kind, "heartbeat_stall");
+  EXPECT_EQ(anomalies[0].batch_seq, 3);
+  EXPECT_EQ(anomalies[1].batch_seq, 4);
+  EXPECT_GT(anomalies[0].value, anomalies[0].threshold);
+
+  EXPECT_EQ(
+      registry.GetCounter("watchdog_anomalies_total{kind=\"heartbeat_stall\"}")
+          ->value(),
+      2);
+}
+
+TEST(StallWatchdogTest, QueueDepthBreachRearmsOnRecovery) {
+  MetricsRegistry registry;
+  WatchdogOptions options;
+  options.queue_depth_limit = 10.0;
+  StallWatchdog watchdog(options, &registry);
+
+  registry.GetGauge("threadpool_queue_depth")->Set(50.0);
+  EXPECT_EQ(watchdog.CheckOnce(), 1);
+  EXPECT_EQ(watchdog.CheckOnce(), 0);  // still deep: same excursion
+
+  registry.GetGauge("threadpool_queue_depth")->Set(2.0);
+  EXPECT_EQ(watchdog.CheckOnce(), 0);  // recovered, re-armed
+
+  registry.GetGauge("threadpool_queue_depth")->Set(99.0);
+  EXPECT_EQ(watchdog.CheckOnce(), 1);  // new excursion fires again
+
+  EXPECT_EQ(
+      registry.GetCounter("watchdog_anomalies_total{kind=\"queue_depth\"}")
+          ->value(),
+      2);
+}
+
+// The audit-gap check only applies while the auditor is actually running
+// (audit_batches_total > 0) — a zero gap gauge on a non-audited run is
+// just an unregistered default, not a quality collapse.
+TEST(StallWatchdogTest, AuditGapGatedOnAuditorActivity) {
+  MetricsRegistry registry;
+  WatchdogOptions options;
+  options.min_audit_gap = 0.25;
+  StallWatchdog watchdog(options, &registry);
+
+  registry.GetGauge("audit_last_batch_gap")->Set(0.05);
+  EXPECT_EQ(watchdog.CheckOnce(), 0);  // auditor not running: ignored
+
+  registry.GetCounter("audit_batches_total")->Increment(1);
+  EXPECT_EQ(watchdog.CheckOnce(), 1);  // now it counts
+  EXPECT_EQ(watchdog.CheckOnce(), 0);
+
+  registry.GetGauge("audit_last_batch_gap")->Set(0.9);
+  EXPECT_EQ(watchdog.CheckOnce(), 0);  // recovery re-arms
+  registry.GetGauge("audit_last_batch_gap")->Set(0.1);
+  EXPECT_EQ(watchdog.CheckOnce(), 1);
+
+  EXPECT_EQ(registry.GetCounter("watchdog_anomalies_total{kind=\"audit_gap\"}")
+                ->value(),
+            2);
+}
+
+// The background poll thread is CheckOnce() in a loop: with a microscopic
+// timeout and a fast poll it must record the injected stall on its own.
+TEST(StallWatchdogTest, BackgroundThreadDetectsInjectedStall) {
+  MetricsRegistry registry;
+  WatchdogOptions options;
+  options.poll_interval_ms = 5;
+  options.heartbeat_timeout_ms = 1e-6;
+  StallWatchdog watchdog(options, &registry);
+  watchdog.Heartbeat(1);
+  watchdog.Start();
+  watchdog.Start();  // idempotent
+  for (int i = 0; i < 100 && watchdog.anomaly_count() == 0; ++i) SleepMs(5);
+  watchdog.Stop();
+  watchdog.Stop();  // idempotent
+  EXPECT_GE(watchdog.anomaly_count(), 1);
+  EXPECT_GE(
+      registry.GetCounter("watchdog_anomalies_total{kind=\"heartbeat_stall\"}")
+          ->value(),
+      1);
+}
+
+TEST(StallWatchdogTest, AnomalyListIsBoundedButCounterKeepsCounting) {
+  MetricsRegistry registry;
+  WatchdogOptions options;
+  options.heartbeat_timeout_ms = 1e-6;
+  options.max_anomalies = 2;
+  StallWatchdog watchdog(options, &registry);
+  for (int64_t seq = 0; seq < 5; ++seq) {
+    watchdog.Heartbeat(seq);
+    SleepMs(2);
+    ASSERT_EQ(watchdog.CheckOnce(), 1) << "seq " << seq;
+  }
+  EXPECT_EQ(watchdog.anomaly_count(), 5);
+  EXPECT_EQ(watchdog.anomalies().size(), 2u);  // retention bound
+}
+
+TEST(MetricsTimeSeriesTest, RetentionBoundEvictsOldestSamples) {
+  MetricsRegistry registry;
+  util::Counter* counter = registry.GetCounter("evict_total");
+  MetricsTimeSeries timeseries(/*max_samples=*/2);
+  counter->Increment(1);
+  timeseries.RecordBatch(0, 0.0, registry);
+  counter->Increment(2);
+  timeseries.RecordBatch(1, 5.0, registry);
+  counter->Increment(3);
+  timeseries.RecordBatch(2, 10.0, registry);
+
+  EXPECT_EQ(timeseries.recorded(), 3);
+  EXPECT_EQ(timeseries.dropped(), 1);
+  const auto samples = timeseries.Samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].batch_seq, 1);  // batch 0 evicted
+  EXPECT_EQ(samples[1].batch_seq, 2);
+
+  // Deltas, not cumulative levels.
+  const auto columns = timeseries.Columns();
+  size_t col = columns.size();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == "evict_total") col = i;
+  }
+  ASSERT_LT(col, columns.size());
+  EXPECT_DOUBLE_EQ(samples[0].values[col], 2.0);
+  EXPECT_DOUBLE_EQ(samples[1].values[col], 3.0);
+}
+
+// The acceptance contract for the mid-run /window check: a sketch p95 and
+// a cumulative histogram p95 over the same samples agree within
+//   [hist_p95 / growth * (1 - alpha), hist_p95 * (1 + alpha)]
+// because HistogramQuantile returns the upper bound of a growth-factor
+// bucket while the sketch is alpha-relative around the true value.
+TEST(LiveTelemetry, SketchAndHistogramP95AgreeWithinDocumentedBound) {
+  util::HistogramOptions hist_options;  // growth 2.0
+  util::Histogram histogram(hist_options);
+  util::QuantileSketchOptions sketch_options;  // alpha 0.01
+  util::QuantileSketch sketch(sketch_options);
+
+  std::mt19937_64 rng(23);
+  std::lognormal_distribution<double> lognormal(1.0, 1.2);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = lognormal(rng);
+    histogram.Observe(v);
+    sketch.Observe(v);
+  }
+  const double hist_p95 = util::HistogramQuantile(histogram.Snapshot(), 0.95);
+  const double sketch_p95 = sketch.Quantile(0.95);
+  ASSERT_GT(hist_p95, 0.0);
+  const double alpha = sketch_options.relative_error;
+  EXPECT_GE(sketch_p95, hist_p95 / hist_options.growth * (1.0 - alpha));
+  EXPECT_LE(sketch_p95, hist_p95 * (1.0 + alpha));
+}
+
+// The simulator wiring: batch boundaries advance sketch windows, feed the
+// time series, and heartbeat the watchdog without any server attached.
+TEST(LiveTelemetry, SimulatorFeedsHooksAtBatchBoundaries) {
+  const core::Instance instance = SmallInstance(29);
+  auto allocator = algo::CreateAllocator("greedy", 29);
+  ASSERT_TRUE(allocator.ok());
+
+  MetricsTimeSeries timeseries;
+  StallWatchdog watchdog;
+  SimulatorOptions options;
+  options.timeseries = &timeseries;
+  options.watchdog = &watchdog;
+  sim::Simulator simulator(instance, options);
+  const sim::SimulationResult result = simulator.Run(**allocator);
+
+  EXPECT_EQ(timeseries.recorded(), result.batches);
+  EXPECT_EQ(static_cast<int>(timeseries.Samples().size()), result.batches);
+  // Default thresholds: a healthy run records no anomalies.
+  EXPECT_EQ(watchdog.CheckOnce(), 0);
+  EXPECT_EQ(watchdog.anomaly_count(), 0);
+
+  // The allocator sketch saw every timed batch; its window quantiles are
+  // live in the global registry for /window to serve.
+  if (!util::MetricsEnabled()) GTEST_SKIP() << "metrics compiled out";
+  const util::MetricsSnapshot snapshot = util::GlobalMetrics().Snapshot();
+  bool found = false;
+  for (const util::SketchSnapshot& s : snapshot.sketches) {
+    if (s.name == "sim_batch_allocator_ms_window") {
+      found = true;
+      EXPECT_GE(s.cumulative_count,
+                static_cast<int64_t>(result.per_batch_allocator_ms.size()));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace dasc

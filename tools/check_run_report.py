@@ -18,7 +18,10 @@ import argparse
 import json
 import sys
 
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
+
+# The watchdog's closed anomaly taxonomy (sim/watchdog.h).
+ANOMALY_KINDS = frozenset(("heartbeat_stall", "queue_depth", "audit_gap"))
 
 STATS_FIELDS = {
     "algorithm": str,
@@ -132,6 +135,49 @@ def check_histogram(obj, lineno, errors):
                       f"histogram count is {obj['count']}")
 
 
+def check_sketch_side(obj, side, lineno, path, errors):
+    """Validates one 'window'/'cumulative' object of a sketch line."""
+    block = obj.get(side)
+    if not isinstance(block, dict):
+        errors.append(f"{path} line {lineno}: sketch {side!r} missing or "
+                      "not an object")
+        return None
+    if not isinstance(block.get("count"), int) or block["count"] < 0:
+        errors.append(f"{path} line {lineno}: sketch {side} 'count' invalid")
+        return None
+    if not isinstance(block.get("sum"), (int, float)):
+        errors.append(f"{path} line {lineno}: sketch {side} 'sum' invalid")
+        return None
+    quantiles = block.get("quantiles")
+    if not isinstance(quantiles, list):
+        errors.append(f"{path} line {lineno}: sketch {side} 'quantiles' "
+                      "missing or not a list")
+        return None
+    previous_q = None
+    previous_v = None
+    for i, entry in enumerate(quantiles):
+        q = entry.get("q") if isinstance(entry, dict) else None
+        value = entry.get("value") if isinstance(entry, dict) else None
+        if not isinstance(q, (int, float)) or not 0 <= q <= 1:
+            errors.append(f"{path} line {lineno}: sketch {side} quantile "
+                          f"{i} 'q' outside [0, 1]")
+            return None
+        if not isinstance(value, (int, float)) or value < 0:
+            errors.append(f"{path} line {lineno}: sketch {side} quantile "
+                          f"{i} 'value' invalid")
+            return None
+        if previous_q is not None and q <= previous_q:
+            errors.append(f"{path} line {lineno}: sketch {side} quantile "
+                          "ranks not ascending")
+            return None
+        if previous_v is not None and value < previous_v:
+            errors.append(f"{path} line {lineno}: sketch {side} quantile "
+                          "values decrease with rank")
+            return None
+        previous_q, previous_v = q, value
+    return block
+
+
 def check_report(path, require_metrics, errors):
     try:
         with open(path, encoding="utf-8") as handle:
@@ -148,6 +194,10 @@ def check_report(path, require_metrics, errors):
     stats_by_algo = {}
     ledger_by_algo = {}
     task_counts_by_algo = {}
+    timeseries_header = None
+    num_ts_lines = 0
+    anomalies_header = None
+    num_anomaly_lines = 0
     for lineno, line in enumerate(lines, start=1):
         try:
             obj = json.loads(line)
@@ -263,12 +313,121 @@ def check_report(path, require_metrics, errors):
             check_histogram(obj, lineno, errors)
             if isinstance(obj.get("name"), str):
                 seen_metrics.add(obj["name"])
+        elif kind == "sketch":
+            if version < 4:
+                errors.append(f"{path} line {lineno}: sketch line in a "
+                              f"dasc-run-report/{version} report")
+                continue
+            if not isinstance(obj.get("name"), str):
+                errors.append(f"{path} line {lineno}: sketch 'name' missing")
+                continue
+            err = obj.get("relative_error")
+            if not isinstance(err, (int, float)) or not 0 < err < 1:
+                errors.append(f"{path} line {lineno}: sketch "
+                              "'relative_error' outside (0, 1)")
+            intervals = obj.get("window_intervals")
+            if not isinstance(intervals, int) or intervals < 1:
+                errors.append(f"{path} line {lineno}: sketch "
+                              "'window_intervals' invalid")
+            window = check_sketch_side(obj, "window", lineno, path, errors)
+            cumulative = check_sketch_side(obj, "cumulative", lineno, path,
+                                           errors)
+            if window and cumulative and \
+                    window["count"] > cumulative["count"]:
+                errors.append(f"{path} line {lineno}: sketch window count "
+                              f"{window['count']} exceeds cumulative "
+                              f"{cumulative['count']}")
+            seen_metrics.add(obj["name"])
+        elif kind == "timeseries":
+            if version < 4:
+                errors.append(f"{path} line {lineno}: timeseries line in a "
+                              f"dasc-run-report/{version} report")
+                continue
+            columns = obj.get("columns")
+            if not isinstance(columns, list) or \
+                    not all(isinstance(c, str) for c in columns):
+                errors.append(f"{path} line {lineno}: timeseries 'columns' "
+                              "missing or not a string list")
+                continue
+            for field in ("samples", "recorded", "dropped", "max_samples"):
+                if not isinstance(obj.get(field), int) or obj[field] < 0:
+                    errors.append(f"{path} line {lineno}: timeseries "
+                                  f"{field!r} missing or invalid")
+            timeseries_header = obj
+        elif kind == "ts":
+            if timeseries_header is None:
+                errors.append(f"{path} line {lineno}: ts line before its "
+                              "timeseries header")
+                continue
+            num_ts_lines += 1
+            if not isinstance(obj.get("batch"), int) or \
+                    not isinstance(obj.get("now"), (int, float)):
+                errors.append(f"{path} line {lineno}: ts 'batch'/'now' "
+                              "missing or mistyped")
+            values = obj.get("v")
+            if not isinstance(values, list) or \
+                    not all(isinstance(v, (int, float)) for v in values):
+                errors.append(f"{path} line {lineno}: ts 'v' missing or not "
+                              "a number list")
+            elif len(values) != len(timeseries_header.get("columns", [])):
+                errors.append(f"{path} line {lineno}: ts row has "
+                              f"{len(values)} values for "
+                              f"{len(timeseries_header['columns'])} columns")
+        elif kind == "anomalies":
+            if version < 4:
+                errors.append(f"{path} line {lineno}: anomalies line in a "
+                              f"dasc-run-report/{version} report")
+                continue
+            for field in ("count", "recorded"):
+                if not isinstance(obj.get(field), int) or obj[field] < 0:
+                    errors.append(f"{path} line {lineno}: anomalies "
+                                  f"{field!r} missing or invalid")
+            by_kind = obj.get("by_kind")
+            if not isinstance(by_kind, dict):
+                errors.append(f"{path} line {lineno}: anomalies 'by_kind' "
+                              "missing or not an object")
+                continue
+            for name, count in by_kind.items():
+                if name not in ANOMALY_KINDS:
+                    errors.append(f"{path} line {lineno}: anomaly kind "
+                                  f"{name!r} outside the closed taxonomy")
+                if not isinstance(count, int) or count < 0:
+                    errors.append(f"{path} line {lineno}: anomaly kind "
+                                  f"{name!r} count invalid")
+            anomalies_header = obj
+        elif kind == "anomaly":
+            if anomalies_header is None:
+                errors.append(f"{path} line {lineno}: anomaly line before "
+                              "its anomalies summary")
+                continue
+            num_anomaly_lines += 1
+            if obj.get("kind") not in ANOMALY_KINDS:
+                errors.append(f"{path} line {lineno}: anomaly kind "
+                              f"{obj.get('kind')!r} outside the closed "
+                              "taxonomy")
+            if not isinstance(obj.get("batch"), int):
+                errors.append(f"{path} line {lineno}: anomaly 'batch' "
+                              "missing or mistyped")
+            for field in ("value", "threshold", "wall_ms"):
+                if not isinstance(obj.get(field), (int, float)):
+                    errors.append(f"{path} line {lineno}: anomaly {field!r} "
+                                  "missing or mistyped")
         else:
             errors.append(f"{path} line {lineno}: unknown type {kind!r}")
     declared = json.loads(lines[0]).get("runs")
     if isinstance(declared, int) and declared != num_stats:
         errors.append(f"{path}: header declares {declared} runs but "
                       f"{num_stats} stats lines found")
+    if timeseries_header is not None and \
+            timeseries_header.get("samples") != num_ts_lines:
+        errors.append(f"{path}: timeseries declares "
+                      f"{timeseries_header.get('samples')} samples but "
+                      f"{num_ts_lines} ts lines found")
+    if anomalies_header is not None and \
+            anomalies_header.get("recorded") != num_anomaly_lines:
+        errors.append(f"{path}: anomalies summary declares "
+                      f"{anomalies_header.get('recorded')} recorded but "
+                      f"{num_anomaly_lines} anomaly lines found")
     # Ledger block cross-checks: the per-task lines must reproduce the
     # summary, and both must agree with the stats line's task accounting.
     for algo, ledger in ledger_by_algo.items():

@@ -9,7 +9,7 @@
 //   dasc_cli simulate <in.dasc> <algo> [--seed=N] [--interval=F] [--audit]
 //            [--ledger] [--explain=tasks.jsonl]
 //            [--metrics-out=report.jsonl] [--trace-out=trace.json]
-//            [--events-out=events.jsonl]
+//            [--events-out=events.jsonl] [--serve-metrics=PORT]
 //   dasc_cli render <in.dasc> <out.svg>
 //
 // Observability outputs:
@@ -33,6 +33,12 @@
 //   --events-out    simulation event stream (dispatch/camp/completion plus
 //                   arrival/expired lifecycle events) as JSONL, one object
 //                   per event with its batch_seq.
+//   --serve-metrics serve live telemetry on 127.0.0.1:PORT while the run is
+//                   in flight (0 = ephemeral; the resolved port is printed
+//                   and flushed before the run starts): Prometheus text at
+//                   /metrics, the JSON registry snapshot at /snapshot,
+//                   windowed sketch quantiles at /window. Also starts the
+//                   stall watchdog poll thread (sim/watchdog.h).
 //
 // Instances use the dasc-instance v1 text format (src/io/instance_io.h);
 // algorithm names are the registry names (dasc_cli solve --help lists them).
@@ -52,8 +58,11 @@
 #include "io/instance_io.h"
 #include "io/svg_render.h"
 #include "sim/metrics.h"
+#include "sim/metrics_timeseries.h"
 #include "sim/run_report.h"
+#include "sim/watchdog.h"
 #include "util/flags.h"
+#include "util/http_server.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 #include "util/tracing.h"
@@ -73,7 +82,8 @@ int Usage() {
       "  dasc_cli solve <in> <algo> [--seed= --out= --now= --metrics-out= "
       "--trace-out=]\n"
       "  dasc_cli simulate <in> <algo> [--seed= --interval= --audit --ledger "
-      "--explain= --metrics-out= --trace-out= --events-out=]\n"
+      "--explain= --metrics-out= --trace-out= --events-out= "
+      "--serve-metrics=]\n"
       "  dasc_cli render <in> <out.svg>\n"
       "algorithms:");
   for (const auto& name : algo::KnownAllocatorNames()) {
@@ -279,8 +289,12 @@ int Simulate(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string events_out;
+  int64_t serve_port = -1;
   parser.AddInt("seed", &seed, "allocator RNG seed");
   parser.AddDouble("interval", &interval, "platform batch interval");
+  parser.AddInt("serve-metrics", &serve_port,
+                "serve live telemetry on 127.0.0.1:PORT while the run is in "
+                "flight (0 = pick an ephemeral port; printed on stdout)");
   parser.AddBool("audit", &audit,
                  "audit every batch (constraint re-check + optimality gap)");
   parser.AddBool("ledger", &ledger,
@@ -309,10 +323,34 @@ int Simulate(int argc, char** argv) {
   options.ledger = ledger || !explain_out.empty();
   sim::Trace trace;
   if (!events_out.empty()) options.trace = &trace;
+  // The live-telemetry plane (DESIGN.md §14): the time series and watchdog
+  // ride along on every simulate run (their per-batch cost is a registry
+  // snapshot), so the /4 run report always carries both blocks; the HTTP
+  // endpoint and the watchdog poll thread only start when requested.
+  sim::MetricsTimeSeries timeseries;
+  sim::StallWatchdog watchdog;
+  options.timeseries = &timeseries;
+  options.watchdog = &watchdog;
+  util::MetricsHttpServer::Options server_options;
+  server_options.port = static_cast<int>(serve_port);
+  util::MetricsHttpServer server(server_options);
+  if (serve_port >= 0) {
+    const util::Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    // Flushed immediately so a scraper launched alongside can read the
+    // resolved port while the run is still in flight.
+    std::printf("serving telemetry on 127.0.0.1:%d\n", server.port());
+    std::fflush(stdout);
+    watchdog.Start();
+  }
   if (!trace_out.empty()) util::StartTracing();
   const sim::RunStats stats =
       sim::MeasureSimulation(*instance, options, **allocator);
   if (!trace_out.empty()) util::StopTracing();
+  watchdog.Stop();
   std::printf(
       "%s: score=%d completed=%d batches=%d (non-empty %d) wasted=%d\n"
       "allocator time=%.2f ms, last completion t=%.2f\n",
@@ -363,8 +401,13 @@ int Simulate(int argc, char** argv) {
     sim::RunReportHeader header;
     header.kind = "simulate";
     header.instance = parser.positional()[0];
-    sim::WriteRunReportJsonl(out, header, {stats}, util::GlobalMetrics());
+    sim::RunReportExtras extras;
+    extras.timeseries = &timeseries;
+    extras.watchdog = &watchdog;
+    sim::WriteRunReportJsonl(out, header, {stats}, util::GlobalMetrics(),
+                             extras);
   }
+  server.Stop();
   return 0;
 }
 

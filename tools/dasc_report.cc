@@ -6,6 +6,7 @@
 //            [--score-tol=0.02] [--gap-tol=0.05] [--latency-tol=F]
 //            [--min-gap=F] [--gate]
 //   dasc_report trajectory <report.jsonl> <trajectory.json> [--label=STR]
+//   dasc_report live <port> [--interval-ms=500] [--iterations=0] [--no-ansi]
 //
 // summarize prints one table row per algorithm in the report: score, batch
 // shape, allocator latency distribution, and (for audited runs) the
@@ -41,18 +42,29 @@
 // the longitudinal quality record BENCH_trajectory.json, written via a
 // parse-modify-rewrite so the file stays a valid JSON document (unlike a
 // JSONL log, it can be consumed directly by plotting notebooks).
+//
+// live polls the /snapshot endpoint of a process started with
+// --serve-metrics and redraws a one-screen table (windowed latency
+// quantiles, progress counters, queue gauges, watchdog anomaly totals)
+// every --interval-ms. With --iterations=0 it watches until the server goes
+// away (a finished run exits 0); --no-ansi appends frames for logs/tests.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/run_report_reader.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/http_server.h"
 #include "util/json.h"
 
 namespace {
@@ -70,7 +82,9 @@ int Usage() {
       "  dasc_report diff <baseline.jsonl> <candidate.jsonl> [--score-tol= "
       "--gap-tol= --latency-tol= --min-gap= --gate]\n"
       "  dasc_report trajectory <report.jsonl> <trajectory.json> "
-      "[--label=]\n");
+      "[--label=]\n"
+      "  dasc_report live <port> [--interval-ms=500] [--iterations=0] "
+      "[--no-ansi]\n");
   return 2;
 }
 
@@ -518,6 +532,116 @@ int Trajectory(int argc, char** argv) {
   return 0;
 }
 
+// One refresh of the live view: scrape /snapshot from a --serve-metrics
+// process and render a one-screen table of the windowed latency quantiles,
+// progress counters, queue gauges, and anomaly totals.
+int RenderLiveFrame(int port, int iteration, bool ansi) {
+  util::Result<std::string> body = util::HttpGetLocal(port, "/snapshot");
+  if (!body.ok()) {
+    std::fprintf(stderr, "scrape 127.0.0.1:%d/snapshot failed: %s\n", port,
+                 body.status().message().c_str());
+    return 1;
+  }
+  util::Result<util::JsonValue> parsed = util::ParseJson(*body);
+  if (!parsed.ok() || !parsed->is_object()) {
+    std::fprintf(stderr, "/snapshot is not a JSON object\n");
+    return 1;
+  }
+
+  if (ansi) std::printf("\033[H\033[J");  // home + clear to end of screen
+  std::printf("dasc live telemetry  127.0.0.1:%d  frame %d\n\n", port,
+              iteration);
+
+  const util::JsonValue* sketches = parsed->Find("sketches");
+  if (sketches != nullptr && sketches->is_array() &&
+      !sketches->items().empty()) {
+    util::TablePrinter table;
+    table.AddRow({"sketch", "win_n", "p50", "p90", "p95", "p99"});
+    for (const util::JsonValue& s : sketches->items()) {
+      const util::JsonValue* window = s.Find("window");
+      if (window == nullptr) continue;
+      std::vector<std::string> row = {s.GetString("name"),
+                                      Num(window->GetNumber("count"), 0)};
+      const util::JsonValue* quantiles = window->Find("quantiles");
+      std::map<int, double> by_pct;
+      if (quantiles != nullptr) {
+        for (const util::JsonValue& q : quantiles->items()) {
+          by_pct[static_cast<int>(q.GetNumber("q") * 100 + 0.5)] =
+              q.GetNumber("value");
+        }
+      }
+      for (int pct : {50, 90, 95, 99}) {
+        row.push_back(by_pct.count(pct) != 0u ? Num(by_pct[pct], 3) : "-");
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+
+  const util::JsonValue* counters = parsed->Find("counters");
+  const util::JsonValue* gauges = parsed->Find("gauges");
+  util::TablePrinter table;
+  table.AddRow({"signal", "value"});
+  if (counters != nullptr) {
+    for (const char* name :
+         {"sim_batches_total", "sim_score_total", "sim_completions_total",
+          "audit_batches_total", "audit_violations_total"}) {
+      const util::JsonValue* v = counters->Find(name);
+      if (v != nullptr) table.AddRow({name, Num(v->AsDouble(), 0)});
+    }
+    int64_t anomalies = 0;
+    for (const auto& [name, value] : counters->members()) {
+      if (name.rfind("watchdog_anomalies_total", 0) == 0) {
+        anomalies += value.AsInt64();
+        table.AddRow({name, Num(value.AsDouble(), 0)});
+      }
+    }
+    if (anomalies == 0) table.AddRow({"watchdog_anomalies_total", "0"});
+  }
+  if (gauges != nullptr) {
+    for (const char* name :
+         {"sim_queue_depth_workers", "sim_queue_depth_tasks",
+          "threadpool_queue_depth", "audit_last_batch_gap"}) {
+      const util::JsonValue* v = gauges->Find(name);
+      if (v != nullptr) table.AddRow({name, Num(v->AsDouble(), 3)});
+    }
+  }
+  table.Print(std::cout);
+  std::fflush(stdout);
+  return 0;
+}
+
+int Live(int argc, char** argv) {
+  util::FlagParser parser;
+  int64_t interval_ms = 500;
+  int64_t iterations = 0;
+  bool no_ansi = false;
+  parser.AddInt("interval-ms", &interval_ms, "delay between refreshes");
+  parser.AddInt("iterations", &iterations,
+                "number of frames to render; 0 = until the scrape fails");
+  parser.AddBool("no-ansi", &no_ansi,
+                 "append frames instead of redrawing in place");
+  if (!ParseSubcommand(parser, argc, argv, 1)) return Usage();
+  const int port = std::atoi(parser.positional()[0].c_str());
+  if (port <= 0) {
+    std::fprintf(stderr, "live: '%s' is not a port\n",
+                 parser.positional()[0].c_str());
+    return 2;
+  }
+  for (int frame = 1; iterations <= 0 || frame <= iterations; ++frame) {
+    const int status = RenderLiveFrame(port, frame, !no_ansi);
+    if (status != 0) {
+      // An unbounded watch ends when the server goes away — that's the
+      // normal exit, not an error.
+      return iterations <= 0 && frame > 1 ? 0 : status;
+    }
+    if (iterations > 0 && frame == iterations) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -527,5 +651,6 @@ int main(int argc, char** argv) {
   if (command == "explain") return Explain(argc, argv);
   if (command == "diff") return Diff(argc, argv);
   if (command == "trajectory") return Trajectory(argc, argv);
+  if (command == "live") return Live(argc, argv);
   return Usage();
 }
