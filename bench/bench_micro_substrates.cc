@@ -57,6 +57,7 @@
 #include "sim/audit.h"
 #include "sim/ledger.h"
 #include "sim/metrics_timeseries.h"
+#include "sim/service.h"
 #include "sim/watchdog.h"
 #include "gen/synthetic.h"
 #include "geo/grid_index.h"
@@ -191,6 +192,37 @@ void BM_BuildCandidates(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildCandidates)->RangeMultiplier(2)->Range(1, 4);
+
+// One full service lifecycle over the batch instance: stream every worker
+// and task through the ingest API, drain to terminal decisions, shut the
+// batch loop down. Times the service-shape overhead dasc_loadgen's latency
+// numbers sit on top of (ingest queue, event-driven batch triggers,
+// decision plumbing); BM_GreedyBatch above isolates the allocator's share.
+// time_scale compresses the model deadlines so a drain takes milliseconds
+// of wall clock instead of the instance's full model horizon.
+void BM_ServiceDrain(benchmark::State& state) {
+  const core::Instance instance =
+      MakeBatchInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    algo::GreedyAllocator greedy;
+    sim::ServiceOptions options;
+    options.time_scale = 2000.0;
+    options.min_batch_gap_ms = 0.5;
+    options.max_batch_gap_ms = 2.0;
+    sim::Service service(instance, greedy, options);
+    service.Start();
+    for (int w = 0; w < instance.num_workers(); ++w) {
+      (void)service.SubmitWorker(w);
+    }
+    for (int t = 0; t < instance.num_tasks(); ++t) {
+      (void)service.SubmitTask(t);
+    }
+    service.Drain();
+    benchmark::DoNotOptimize(service.TakeDecisions());
+    service.Shutdown();
+  }
+}
+BENCHMARK(BM_ServiceDrain)->RangeMultiplier(2)->Range(1, 2);
 
 // ---------------------------------------------------------------------------
 // BENCH_micro.json: stable-schema perf-trajectory report.

@@ -1,0 +1,254 @@
+#include "sim/load_report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace dasc::sim {
+
+using util::JsonEscape;
+using util::JsonNumber;
+
+LoadSloResult EvaluateLoadSlo(const LoadSloDefinition& def,
+                              const std::vector<LoadSample>& samples) {
+  LoadSloResult result;
+  result.def = def;
+  if (samples.empty()) return result;
+  auto is_bad = [&](const LoadSample& s) {
+    if (def.kind == LoadSloDefinition::Kind::kUnservedRate) return !s.served;
+    return s.e2e_intended_ms > def.threshold_ms;
+  };
+  const size_t n = samples.size();
+  const size_t short_n = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(n) * def.short_window));
+  size_t long_bad = 0;
+  size_t short_bad = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!is_bad(samples[i])) continue;
+    ++long_bad;
+    if (i >= n - short_n) ++short_bad;
+  }
+  result.long_bad = static_cast<double>(long_bad) / static_cast<double>(n);
+  result.short_bad =
+      static_cast<double>(short_bad) / static_cast<double>(short_n);
+  if (def.budget > 0.0) {
+    result.long_burn = result.long_bad / def.budget;
+    result.short_burn = result.short_bad / def.budget;
+  }
+  result.breached = result.long_burn >= 1.0 && result.short_burn >= 1.0;
+  return result;
+}
+
+namespace {
+
+const char* SloKindName(LoadSloDefinition::Kind kind) {
+  return kind == LoadSloDefinition::Kind::kUnservedRate ? "unserved_rate"
+                                                        : "latency_quantile";
+}
+
+void WriteLatencyLine(std::ostream& out, const LatencySeriesSummary& s) {
+  out << "{\"type\":\"latency\",\"series\":\"" << JsonEscape(s.series)
+      << "\",\"count\":" << s.count << ",\"mean_ms\":" << JsonNumber(s.mean_ms)
+      << ",\"p50_ms\":" << JsonNumber(s.p50_ms)
+      << ",\"p95_ms\":" << JsonNumber(s.p95_ms)
+      << ",\"p99_ms\":" << JsonNumber(s.p99_ms)
+      << ",\"p999_ms\":" << JsonNumber(s.p999_ms)
+      << ",\"max_ms\":" << JsonNumber(s.max_ms) << "}\n";
+}
+
+}  // namespace
+
+void WriteLoadReportJsonl(std::ostream& out, const LoadReport& report) {
+  const LoadReportHeader& h = report.header;
+  out << "{\"type\":\"load_run\",\"schema\":\"" << kLoadReportSchema
+      << "\",\"instance\":\"" << JsonEscape(h.instance)
+      << "\",\"algorithm\":\"" << JsonEscape(h.algorithm)
+      << "\",\"process\":\"" << JsonEscape(h.process) << "\",\"seed\":" << h.seed
+      << ",\"build\":{\"version\":\"" << JsonEscape(h.version)
+      << "\",\"git_sha\":\"" << JsonEscape(h.git_sha)
+      << "\",\"build_type\":\"" << JsonEscape(h.build_type) << "\"}}\n";
+
+  const LoadRates& r = report.rates;
+  out << "{\"type\":\"rates\",\"offered_per_min\":"
+      << JsonNumber(r.offered_per_min)
+      << ",\"achieved_per_min\":" << JsonNumber(r.achieved_per_min)
+      << ",\"ratio\":" << JsonNumber(r.ratio) << ",\"sent\":" << r.sent
+      << ",\"duration_s\":" << JsonNumber(r.duration_s)
+      << ",\"time_scale\":" << JsonNumber(r.time_scale) << "}\n";
+
+  for (const LatencySeriesSummary& s : report.latency) {
+    WriteLatencyLine(out, s);
+  }
+
+  const LoadServiceStats& sv = report.service;
+  out << "{\"type\":\"service_stats\",\"batches\":" << sv.batches
+      << ",\"nonempty_batches\":" << sv.nonempty_batches
+      << ",\"served\":" << sv.served << ",\"expired\":" << sv.expired
+      << ",\"unserved_rate\":" << JsonNumber(sv.unserved_rate)
+      << ",\"allocator_seconds\":" << JsonNumber(sv.allocator_seconds)
+      << "}\n";
+
+  const ServiceSketchSummary& sk = report.sketch;
+  out << "{\"type\":\"service_sketch\",\"name\":\"" << JsonEscape(sk.name)
+      << "\",\"count\":" << sk.count << ",\"p50_ms\":" << JsonNumber(sk.p50_ms)
+      << ",\"p95_ms\":" << JsonNumber(sk.p95_ms)
+      << ",\"p99_ms\":" << JsonNumber(sk.p99_ms)
+      << ",\"scraped\":" << (sk.scraped ? "true" : "false") << "}\n";
+
+  const ReconcileResult& rc = report.reconcile;
+  out << "{\"type\":\"reconcile\",\"loadgen_p95_ms\":"
+      << JsonNumber(rc.loadgen_p95_ms)
+      << ",\"service_p95_ms\":" << JsonNumber(rc.service_p95_ms)
+      << ",\"rel_diff\":" << JsonNumber(rc.rel_diff)
+      << ",\"tolerance\":" << JsonNumber(rc.tolerance)
+      << ",\"agree\":" << (rc.agree ? "true" : "false") << "}\n";
+
+  for (const LoadSloResult& slo : report.slos) {
+    out << "{\"type\":\"slo\",\"name\":\"" << JsonEscape(slo.def.name)
+        << "\",\"kind\":\"" << SloKindName(slo.def.kind)
+        << "\",\"threshold_ms\":" << JsonNumber(slo.def.threshold_ms)
+        << ",\"budget\":" << JsonNumber(slo.def.budget)
+        << ",\"short_window\":" << JsonNumber(slo.def.short_window)
+        << ",\"long_bad\":" << JsonNumber(slo.long_bad)
+        << ",\"short_bad\":" << JsonNumber(slo.short_bad)
+        << ",\"long_burn\":" << JsonNumber(slo.long_burn)
+        << ",\"short_burn\":" << JsonNumber(slo.short_burn)
+        << ",\"breached\":" << (slo.breached ? "true" : "false") << "}\n";
+  }
+
+  for (const QueueDepthSample& q : report.queue_depth) {
+    out << "{\"type\":\"queue_depth\",\"t_s\":" << JsonNumber(q.t_s)
+        << ",\"depth\":" << JsonNumber(q.depth) << "}\n";
+  }
+
+  out << "{\"type\":\"anomalies\",\"count\":" << report.anomalies.size()
+      << "}\n";
+  for (const LoadAnomaly& a : report.anomalies) {
+    out << "{\"type\":\"anomaly\",\"kind\":\"" << JsonEscape(a.kind)
+        << "\",\"batch_seq\":" << a.batch_seq
+        << ",\"value\":" << JsonNumber(a.value)
+        << ",\"threshold\":" << JsonNumber(a.threshold)
+        << ",\"wall_ms\":" << JsonNumber(a.wall_ms) << "}\n";
+  }
+}
+
+util::Result<LoadReport> ReadLoadReportJsonl(std::istream& in) {
+  LoadReport report;
+  bool saw_header = false;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto parsed = util::ParseJson(line);
+    if (!parsed.ok()) {
+      return util::Status::InvalidArgument(
+          "load report line " + std::to_string(lineno) + ": " +
+          parsed.status().message());
+    }
+    const util::JsonValue& v = *parsed;
+    const std::string type = v.GetString("type");
+    if (type == "load_run") {
+      const std::string schema = v.GetString("schema");
+      if (schema != kLoadReportSchema) {
+        return util::Status::InvalidArgument("unsupported schema '" + schema +
+                                             "'");
+      }
+      saw_header = true;
+      report.header.instance = v.GetString("instance");
+      report.header.algorithm = v.GetString("algorithm");
+      report.header.process = v.GetString("process");
+      report.header.seed = static_cast<uint64_t>(v.GetNumber("seed"));
+      if (const util::JsonValue* build = v.Find("build")) {
+        report.header.version = build->GetString("version");
+        report.header.git_sha = build->GetString("git_sha");
+        report.header.build_type = build->GetString("build_type");
+      }
+    } else if (type == "rates") {
+      report.rates.offered_per_min = v.GetNumber("offered_per_min");
+      report.rates.achieved_per_min = v.GetNumber("achieved_per_min");
+      report.rates.ratio = v.GetNumber("ratio");
+      report.rates.sent = static_cast<int64_t>(v.GetNumber("sent"));
+      report.rates.duration_s = v.GetNumber("duration_s");
+      report.rates.time_scale = v.GetNumber("time_scale");
+    } else if (type == "latency") {
+      LatencySeriesSummary s;
+      s.series = v.GetString("series");
+      s.count = static_cast<int64_t>(v.GetNumber("count"));
+      s.mean_ms = v.GetNumber("mean_ms");
+      s.p50_ms = v.GetNumber("p50_ms");
+      s.p95_ms = v.GetNumber("p95_ms");
+      s.p99_ms = v.GetNumber("p99_ms");
+      s.p999_ms = v.GetNumber("p999_ms");
+      s.max_ms = v.GetNumber("max_ms");
+      report.latency.push_back(std::move(s));
+    } else if (type == "service_stats") {
+      report.service.batches = static_cast<int64_t>(v.GetNumber("batches"));
+      report.service.nonempty_batches =
+          static_cast<int64_t>(v.GetNumber("nonempty_batches"));
+      report.service.served = static_cast<int64_t>(v.GetNumber("served"));
+      report.service.expired = static_cast<int64_t>(v.GetNumber("expired"));
+      report.service.unserved_rate = v.GetNumber("unserved_rate");
+      report.service.allocator_seconds = v.GetNumber("allocator_seconds");
+    } else if (type == "service_sketch") {
+      report.sketch.name = v.GetString("name");
+      report.sketch.count = static_cast<int64_t>(v.GetNumber("count"));
+      report.sketch.p50_ms = v.GetNumber("p50_ms");
+      report.sketch.p95_ms = v.GetNumber("p95_ms");
+      report.sketch.p99_ms = v.GetNumber("p99_ms");
+      const util::JsonValue* scraped = v.Find("scraped");
+      report.sketch.scraped = scraped != nullptr && scraped->AsBool();
+    } else if (type == "reconcile") {
+      report.reconcile.loadgen_p95_ms = v.GetNumber("loadgen_p95_ms");
+      report.reconcile.service_p95_ms = v.GetNumber("service_p95_ms");
+      report.reconcile.rel_diff = v.GetNumber("rel_diff");
+      report.reconcile.tolerance = v.GetNumber("tolerance");
+      const util::JsonValue* agree = v.Find("agree");
+      report.reconcile.agree = agree != nullptr && agree->AsBool();
+    } else if (type == "slo") {
+      LoadSloResult slo;
+      slo.def.name = v.GetString("name");
+      slo.def.kind = v.GetString("kind") == "unserved_rate"
+                         ? LoadSloDefinition::Kind::kUnservedRate
+                         : LoadSloDefinition::Kind::kLatencyQuantile;
+      slo.def.threshold_ms = v.GetNumber("threshold_ms");
+      slo.def.budget = v.GetNumber("budget");
+      slo.def.short_window = v.GetNumber("short_window");
+      slo.long_bad = v.GetNumber("long_bad");
+      slo.short_bad = v.GetNumber("short_bad");
+      slo.long_burn = v.GetNumber("long_burn");
+      slo.short_burn = v.GetNumber("short_burn");
+      const util::JsonValue* breached = v.Find("breached");
+      slo.breached = breached != nullptr && breached->AsBool();
+      report.slos.push_back(std::move(slo));
+    } else if (type == "queue_depth") {
+      report.queue_depth.push_back(
+          {v.GetNumber("t_s"), v.GetNumber("depth")});
+    } else if (type == "anomaly") {
+      LoadAnomaly a;
+      a.kind = v.GetString("kind");
+      a.batch_seq = static_cast<int64_t>(v.GetNumber("batch_seq"));
+      a.value = v.GetNumber("value");
+      a.threshold = v.GetNumber("threshold");
+      a.wall_ms = v.GetNumber("wall_ms");
+      report.anomalies.push_back(std::move(a));
+    }
+    // "anomalies" and unknown future types: skipped (additive growth).
+  }
+  if (!saw_header) {
+    return util::Status::InvalidArgument("missing load_run header line");
+  }
+  return report;
+}
+
+util::Result<LoadReport> ReadLoadReportFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open load report '" + path + "'");
+  }
+  return ReadLoadReportJsonl(in);
+}
+
+}  // namespace dasc::sim

@@ -1,0 +1,175 @@
+// Structured JSONL load reports (schema dasc-load-report/1).
+//
+// A load report is the artifact of one open-loop load-generation run
+// (tools/dasc_loadgen): offered vs achieved rate, coordinated-omission-free
+// latency summaries per series, the service's own scraped sketch view and
+// the reconciliation verdict between the two estimators, SLO evaluations
+// with multi-window error-budget burn rates, the ingest-queue depth series,
+// and any watchdog anomalies — each line a self-contained JSON object, as
+// in sim/run_report.h. tools/check_load_report.py validates the schema;
+// `dasc_report load` summarizes, diffs, and gates on it. DESIGN.md §15.
+//
+// Line types:
+//   {"type":"load_run","schema":"dasc-load-report/1","instance":...,
+//    "algorithm":...,"process":...,"seed":...,"build":{...}}
+//   {"type":"rates","offered_per_min":...,"achieved_per_min":...,
+//    "ratio":...,"sent":N,"duration_s":...,"time_scale":...}
+//   {"type":"latency","series":"e2e_intended"|"e2e_submit"|"send_lag",
+//    "count":N,"mean_ms":..,"p50_ms":..,"p95_ms":..,"p99_ms":..,
+//    "p999_ms":..,"max_ms":..}
+//   {"type":"service_stats","batches":..,"nonempty_batches":..,"served":..,
+//    "expired":..,"unserved_rate":..,"allocator_seconds":..}
+//   {"type":"service_sketch","name":...,"count":N,"p50_ms":..,"p95_ms":..,
+//    "p99_ms":..,"scraped":bool}
+//   {"type":"reconcile","loadgen_p95_ms":..,"service_p95_ms":..,
+//    "rel_diff":..,"tolerance":..,"agree":bool}
+//   {"type":"slo","name":...,"kind":...,"threshold_ms":..,"budget":..,
+//    "long_bad":..,"short_bad":..,"long_burn":..,"short_burn":..,
+//    "breached":bool}
+//   {"type":"queue_depth","t_s":..,"depth":..}            (one per sample)
+//   {"type":"anomalies","count":N} + {"type":"anomaly",...}
+#ifndef DASC_SIM_LOAD_REPORT_H_
+#define DASC_SIM_LOAD_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dasc::sim {
+
+inline constexpr const char* kLoadReportSchema = "dasc-load-report/1";
+
+struct LoadReportHeader {
+  std::string instance;   // generator description or workload path
+  std::string algorithm;  // allocator under test
+  std::string process;    // arrival process name
+  uint64_t seed = 0;
+  // Build provenance (util::GetBuildInfo()), echoed so report diffs can
+  // tell "code changed" from "load changed".
+  std::string version;
+  std::string git_sha;
+  std::string build_type;
+};
+
+struct LoadRates {
+  double offered_per_min = 0.0;
+  double achieved_per_min = 0.0;
+  double ratio = 0.0;  // achieved / offered
+  int64_t sent = 0;
+  double duration_s = 0.0;
+  double time_scale = 0.0;  // model units per wall second
+};
+
+struct LatencySeriesSummary {
+  std::string series;  // "e2e_intended" | "e2e_submit" | "send_lag"
+  int64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct LoadServiceStats {
+  int64_t batches = 0;
+  int64_t nonempty_batches = 0;
+  int64_t served = 0;
+  int64_t expired = 0;
+  double unserved_rate = 0.0;
+  double allocator_seconds = 0.0;
+};
+
+struct ServiceSketchSummary {
+  std::string name;
+  int64_t count = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  bool scraped = false;  // false = read in-process (no /metrics endpoint)
+};
+
+struct ReconcileResult {
+  double loadgen_p95_ms = 0.0;
+  double service_p95_ms = 0.0;
+  double rel_diff = 0.0;  // |loadgen - service| / max(service, eps)
+  double tolerance = 0.0;
+  bool agree = false;
+};
+
+// One SLO over the run, in error-budget form: the fraction of bad events
+// must stay below `budget`. kLatencyQuantile counts a task bad when its
+// CO-corrected end-to-end latency exceeds threshold_ms (so budget = 0.01
+// states "p99 of e2e < threshold"); kUnservedRate counts unserved tasks.
+struct LoadSloDefinition {
+  std::string name;
+  enum class Kind { kLatencyQuantile, kUnservedRate };
+  Kind kind = Kind::kLatencyQuantile;
+  double threshold_ms = 250.0;  // kLatencyQuantile only
+  double budget = 0.01;         // allowed bad-event fraction
+  // Short-window fraction of the run (by decision order, most recent
+  // portion) for the fast burn signal.
+  double short_window = 0.25;
+};
+
+struct LoadSloResult {
+  LoadSloDefinition def;
+  double long_bad = 0.0;    // bad fraction over the whole run
+  double short_bad = 0.0;   // bad fraction over the trailing window
+  double long_burn = 0.0;   // long_bad / budget
+  double short_burn = 0.0;  // short_bad / budget
+  // Multi-window rule: breached iff both windows burn at >= 1x — the whole
+  // run has spent its budget AND it is still burning now (a transient
+  // early spike that recovered does not page).
+  bool breached = false;
+};
+
+// One terminal decision as the load generator saw it, in decision order.
+struct LoadSample {
+  double e2e_intended_ms = 0.0;  // decide - intended send (CO-corrected)
+  bool served = false;
+};
+
+// Evaluates `def` over `samples` (decision order; the short window is the
+// trailing short_window fraction, at least one sample).
+LoadSloResult EvaluateLoadSlo(const LoadSloDefinition& def,
+                              const std::vector<LoadSample>& samples);
+
+struct QueueDepthSample {
+  double t_s = 0.0;
+  double depth = 0.0;
+};
+
+struct LoadAnomaly {
+  std::string kind;
+  int64_t batch_seq = 0;
+  double value = 0.0;
+  double threshold = 0.0;
+  double wall_ms = 0.0;
+};
+
+struct LoadReport {
+  LoadReportHeader header;
+  LoadRates rates;
+  std::vector<LatencySeriesSummary> latency;
+  LoadServiceStats service;
+  ServiceSketchSummary sketch;
+  ReconcileResult reconcile;
+  std::vector<LoadSloResult> slos;
+  std::vector<QueueDepthSample> queue_depth;
+  std::vector<LoadAnomaly> anomalies;
+};
+
+void WriteLoadReportJsonl(std::ostream& out, const LoadReport& report);
+
+// Parses a serialized report back (unknown line types are ignored so /1
+// readers survive additive schema growth). Errors name the offending line.
+util::Result<LoadReport> ReadLoadReportJsonl(std::istream& in);
+util::Result<LoadReport> ReadLoadReportFile(const std::string& path);
+
+}  // namespace dasc::sim
+
+#endif  // DASC_SIM_LOAD_REPORT_H_

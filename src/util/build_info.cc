@@ -1,0 +1,45 @@
+#include "util/build_info.h"
+
+#include "util/json.h"
+#include "util/metrics.h"
+
+// Configure-time provenance, defined by src/CMakeLists.txt for this file
+// only. Fallbacks keep non-CMake builds (and IDE parses) compiling.
+#ifndef DASC_BUILD_VERSION
+#define DASC_BUILD_VERSION "unknown"
+#endif
+#ifndef DASC_BUILD_GIT_SHA
+#define DASC_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef DASC_BUILD_TYPE
+#define DASC_BUILD_TYPE "unknown"
+#endif
+
+namespace dasc::util {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* const info = new BuildInfo{
+      DASC_BUILD_VERSION, DASC_BUILD_GIT_SHA, DASC_BUILD_TYPE};
+  return *info;
+}
+
+std::string BuildInfoMetricName() {
+  const BuildInfo& info = GetBuildInfo();
+  return "dasc_build_info{version=\"" + info.version + "\",git_sha=\"" +
+         info.git_sha + "\",build_type=\"" + info.build_type + "\"}";
+}
+
+void RegisterBuildInfoMetric(MetricsRegistry* registry) {
+  MetricsRegistry& target =
+      registry != nullptr ? *registry : GlobalMetrics();
+  target.GetGauge(BuildInfoMetricName())->Set(1.0);
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  return "{\"version\":\"" + JsonEscape(info.version) + "\",\"git_sha\":\"" +
+         JsonEscape(info.git_sha) + "\",\"build_type\":\"" +
+         JsonEscape(info.build_type) + "\"}";
+}
+
+}  // namespace dasc::util

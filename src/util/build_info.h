@@ -1,0 +1,49 @@
+// Build provenance: which binary produced this run.
+//
+// Load reports and latency measurements are only comparable when the exact
+// binary that produced them is recorded — a Debug build's p99 is not a
+// regression against a Release baseline. The version / git SHA / build type
+// triple is baked in at configure time (CMake passes DASC_BUILD_* compile
+// definitions to this translation unit only, so touching the git HEAD
+// recompiles one file, not the world) and exposed three ways:
+//
+//   * GetBuildInfo()            the plain struct, for report writers;
+//   * RegisterBuildInfoMetric() a constant-1 info-style gauge
+//         dasc_build_info{version="...",git_sha="...",build_type="..."}
+//     in a MetricsRegistry, following the Prometheus convention for
+//     build-provenance series (value carries nothing; the labels do);
+//   * the exposition endpoint echoes it in /snapshot and /healthz
+//     (util/http_server.cc), so a scraper can pin every sample it collects
+//     to the producing binary.
+#ifndef DASC_UTIL_BUILD_INFO_H_
+#define DASC_UTIL_BUILD_INFO_H_
+
+#include <string>
+
+namespace dasc::util {
+
+class MetricsRegistry;
+
+struct BuildInfo {
+  std::string version;     // project version (CMake project VERSION)
+  std::string git_sha;     // short HEAD SHA at configure time, or "unknown"
+  std::string build_type;  // CMAKE_BUILD_TYPE, or "unknown"
+};
+
+const BuildInfo& GetBuildInfo();
+
+// The labeled series name ("dasc_build_info{version=...,git_sha=...,
+// build_type=...}"); exposed for tests and the /healthz echo.
+std::string BuildInfoMetricName();
+
+// Registers the info gauge (value 1) in `registry`; nullptr = GlobalMetrics().
+// Idempotent — re-registration returns the existing series.
+void RegisterBuildInfoMetric(MetricsRegistry* registry = nullptr);
+
+// `{"version":"...","git_sha":"...","build_type":"..."}` — the JSON object
+// spliced into /snapshot and /healthz payloads and load-report headers.
+std::string BuildInfoJson();
+
+}  // namespace dasc::util
+
+#endif  // DASC_UTIL_BUILD_INFO_H_

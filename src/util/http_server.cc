@@ -8,9 +8,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+
+#include "util/build_info.h"
+#include "util/json.h"
 
 namespace dasc::util {
 
@@ -18,6 +22,22 @@ namespace {
 
 std::string ErrnoMessage(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Symbolic name for the errnos bind realistically fails with.
+const char* ErrnoName(int err) {
+  switch (err) {
+    case EADDRINUSE:
+      return "EADDRINUSE";
+    case EACCES:
+      return "EACCES";
+    case EADDRNOTAVAIL:
+      return "EADDRNOTAVAIL";
+    case EINVAL:
+      return "EINVAL";
+    default:
+      return "errno";
+  }
 }
 
 // Reads until the end of the request head ("\r\n\r\n"), EOF, or a small
@@ -91,7 +111,22 @@ Status MetricsHttpServer::Start() {
   addr.sin_port = htons(static_cast<uint16_t>(options_.port));
   if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
              sizeof(addr)) != 0) {
-    const Status status = Status::Internal(ErrnoMessage("bind"));
+    // A taken or privileged port is the caller's configuration problem, not
+    // an internal fault: report it as FailedPrecondition with the address
+    // and the errno name so "--serve-metrics=9090 twice" reads as what it
+    // is instead of a bare "bind: Address already in use".
+    const int err = errno;
+    const std::string address =
+        "127.0.0.1:" + std::to_string(options_.port);
+    Status status = Status::Internal("bind " + address + " failed: " +
+                                     ErrnoName(err) + " (" +
+                                     std::strerror(err) + ")");
+    if (err == EADDRINUSE || err == EACCES) {
+      status = Status::FailedPrecondition(
+          "cannot bind " + address + ": " + ErrnoName(err) + " (" +
+          std::strerror(err) +
+          "); pick another --serve-metrics port or use 0 for ephemeral");
+    }
     ::close(listen_fd_);
     listen_fd_ = -1;
     return status;
@@ -114,6 +149,7 @@ Status MetricsHttpServer::Start() {
 
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
+  start_time_ = std::chrono::steady_clock::now();
   thread_ = std::thread([this] { Serve(); });
   return Status::OK();
 }
@@ -157,6 +193,7 @@ void MetricsHttpServer::Serve() {
     const size_t query = path.find('?');
     if (query != std::string::npos) path.resize(query);
 
+    request_seq_.fetch_add(1, std::memory_order_relaxed);
     std::string response;
     if (method != "GET") {
       response = MakeResponse(405, "Method Not Allowed", "text/plain",
@@ -177,7 +214,14 @@ std::string MetricsHttpServer::HandleRequest(const std::string& path) const {
   }
   if (path == "/snapshot") {
     registry_->WriteJsonSnapshot(body);
-    return MakeResponse(200, "OK", "application/json", body.str());
+    // Splice the build block in after the opening brace: provenance rides
+    // every snapshot without the registry learning about build info.
+    std::string snapshot = body.str();
+    const size_t brace = snapshot.find('{');
+    if (brace != std::string::npos) {
+      snapshot.insert(brace + 1, "\"build\":" + BuildInfoJson() + ",");
+    }
+    return MakeResponse(200, "OK", "application/json", snapshot);
   }
   if (path == "/window") {
     const MetricsSnapshot snapshot = registry_->Snapshot();
@@ -201,7 +245,14 @@ std::string MetricsHttpServer::HandleRequest(const std::string& path) const {
     return MakeResponse(200, "OK", "application/json", body.str());
   }
   if (path == "/healthz") {
-    return MakeResponse(200, "OK", "text/plain", "ok\n");
+    const double uptime_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time_)
+            .count();
+    body << "{\"status\":\"ok\",\"uptime_s\":" << JsonNumber(uptime_s)
+         << ",\"seq\":" << request_seq_.load(std::memory_order_relaxed)
+         << ",\"build\":" << BuildInfoJson() << "}\n";
+    return MakeResponse(200, "OK", "application/json", body.str());
   }
   return MakeResponse(404, "Not Found", "text/plain",
                       "unknown path; try /metrics /snapshot /window\n");

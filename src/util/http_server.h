@@ -4,9 +4,11 @@
 // background thread, read-only views of a MetricsRegistry:
 //
 //   GET /metrics   Prometheus text format 0.0.4 (WritePrometheus)
-//   GET /snapshot  latest full JSON snapshot (WriteJsonSnapshot)
+//   GET /snapshot  latest full JSON snapshot (WriteJsonSnapshot), with a
+//                  "build" provenance block spliced in (util/build_info.h)
 //   GET /window    windowed sketch quantiles only, as JSON
-//   GET /healthz   "ok" liveness probe
+//   GET /healthz   JSON liveness probe: {"status":"ok","uptime_s":...,
+//                  "seq":<requests served>,"build":{...}}
 //
 // Scope is deliberately tiny: HTTP/1.0, GET only, one connection at a time,
 // Connection: close — a scrape endpoint, not a web server. Requests are
@@ -22,6 +24,8 @@
 #define DASC_UTIL_HTTP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <thread>
 
@@ -66,6 +70,9 @@ class MetricsHttpServer {
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  // /healthz payload: uptime origin and requests served so far.
+  std::chrono::steady_clock::time_point start_time_{};
+  std::atomic<int64_t> request_seq_{0};
   std::thread thread_;
 };
 

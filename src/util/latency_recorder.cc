@@ -1,0 +1,109 @@
+#include "util/latency_recorder.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dasc::util {
+
+namespace {
+
+// bit_width for the bucket math; u == 0 handled by the linear region.
+int BitWidth(uint64_t u) { return u == 0 ? 0 : 64 - std::countl_zero(u); }
+
+}  // namespace
+
+LatencyRecorder::LatencyRecorder(const LatencyRecorderOptions& options)
+    : options_(options) {
+  DASC_CHECK_GT(options_.min_value, 0.0);
+  DASC_CHECK_GT(options_.max_value, options_.min_value);
+  DASC_CHECK_GE(options_.sub_bucket_bits, 2);
+  DASC_CHECK_LE(options_.sub_bucket_bits, 20);
+  sub_bucket_count_ = 1 << options_.sub_bucket_bits;
+
+  // Values are scaled so min_value == 1 unit; the layout is the classic
+  // HdrHistogram one: a linear region of sub_bucket_count unit-resolution
+  // slots for u < 2^bits, then per-power-of-two buckets of half_count slots
+  // with resolution 2^k for u in [2^(bits+k-1), 2^(bits+k)).
+  const double max_units_d = options_.max_value / options_.min_value;
+  const auto max_units = static_cast<uint64_t>(std::ceil(max_units_d));
+  const int top_bucket =
+      std::max(0, BitWidth(max_units) - options_.sub_bucket_bits);
+  const int half = sub_bucket_count_ / 2;
+  counts_.assign(
+      static_cast<size_t>(sub_bucket_count_ + top_bucket * half), 0);
+}
+
+size_t LatencyRecorder::BucketIndex(double value) const {
+  const double scaled =
+      std::clamp(value / options_.min_value, 0.0,
+                 options_.max_value / options_.min_value);
+  const auto u = static_cast<uint64_t>(scaled);
+  const int half = sub_bucket_count_ / 2;
+  const int k = std::max(0, BitWidth(u) - options_.sub_bucket_bits);
+  // k == 0: linear region, idx = u. k >= 1: sub = u >> k is in
+  // [half, sub_bucket_count), idx = k * half + sub.
+  const size_t idx = static_cast<size_t>(k) * static_cast<size_t>(half) +
+                     static_cast<size_t>(u >> k);
+  return std::min(idx, counts_.size() - 1);
+}
+
+double LatencyRecorder::BucketRepresentative(size_t index) const {
+  const int half = sub_bucket_count_ / 2;
+  double units;
+  if (index < static_cast<size_t>(sub_bucket_count_)) {
+    units = static_cast<double>(index) + 0.5;
+  } else {
+    const size_t k = index / static_cast<size_t>(half) - 1;
+    const uint64_t sub = index - k * static_cast<size_t>(half);
+    units = (static_cast<double>(sub) + 0.5) * std::ldexp(1.0, static_cast<int>(k));
+  }
+  return units * options_.min_value;
+}
+
+void LatencyRecorder::Record(double value) {
+  ++counts_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  DASC_CHECK_EQ(counts_.size(), other.counts_.size())
+      << "merging recorders with different options";
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyRecorder::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+double LatencyRecorder::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 0-based rank ceil(q * (n - 1)) — the util::Percentiles convention.
+  const auto rank = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(count_ - 1)));
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative > rank) return BucketRepresentative(i);
+  }
+  return BucketRepresentative(counts_.size() - 1);
+}
+
+double LatencyRecorder::RelativeError() const {
+  // Worst case: half a bucket width at the lower edge of a power-of-two
+  // bucket, (2^(k-1)) / (half * 2^k) == 1 / sub_bucket_count.
+  return 1.0 / static_cast<double>(sub_bucket_count_);
+}
+
+}  // namespace dasc::util

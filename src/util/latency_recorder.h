@@ -1,0 +1,88 @@
+// HdrHistogram-style latency recorder for load generation.
+//
+// LatencyRecorder stores value counts in a two-level layout — power-of-two
+// top buckets, each split into 2^sub_bucket_bits linear sub-buckets — so
+// every recorded value is representable within relative error
+// 1 / 2^sub_bucket_bits (default 1/128 < 1%) across the whole trackable
+// range, and Percentile() walks the cumulative counts with the same 0-based
+// ceil(q*(n-1)) rank convention as util::Percentiles and
+// util::QuantileSketch (so the three estimators are directly comparable;
+// DESIGN.md §15.4 derives the agreement band against the service's
+// DDSketch).
+//
+// This is deliberately a *second*, structurally different implementation
+// from util::QuantileSketch: the load generator records into this one while
+// it scrapes the service's sketch, and `dasc_loadgen` reconciles the two —
+// a shared implementation would reduce that check to x == x.
+//
+// The coordinated-omission story lives in the caller: dasc_loadgen records
+// (decision_time - INTENDED send time) here, where the intended times come
+// from util::RateScheduler's fixed timeline. A stalled service delays
+// decisions but never delays the intended timeline, so stall time lands in
+// the recorded values instead of silently shrinking the sample count — the
+// failure mode closed-loop benchmarks suffer from.
+//
+// Not thread-safe; the load generator owns one per series on one thread.
+// Merge() exists for sharded recorders.
+#ifndef DASC_UTIL_LATENCY_RECORDER_H_
+#define DASC_UTIL_LATENCY_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dasc::util {
+
+struct LatencyRecorderOptions {
+  // Smallest distinguishable value; everything below (including <= 0)
+  // clamps into the first sub-bucket. Milliseconds by default: 1 µs.
+  double min_value = 1e-3;
+  // Values above max_value clamp into the top bucket (counted, capped).
+  double max_value = 1e7;  // ~2.8 hours in ms
+  // Linear sub-buckets per power-of-two bucket: 2^bits. 7 bits = 128
+  // sub-buckets = relative error <= 1/128 ~ 0.78%.
+  int sub_bucket_bits = 7;
+};
+
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(const LatencyRecorderOptions& options = {});
+
+  void Record(double value);
+  // Element-wise addition; `other` must share this recorder's options.
+  void Merge(const LatencyRecorder& other);
+  void Clear();
+
+  // Bucket-representative estimate of quantile q in [0, 1] at 0-based rank
+  // ceil(q * (count - 1)); 0 when empty.
+  double Percentile(double q) const;
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double max() const { return max_; }
+  double Mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+  const LatencyRecorderOptions& options() const { return options_; }
+
+  // Guaranteed relative error of Percentile() for values at or above
+  // min_value * 2^(sub_bucket_bits-1) — from there on, every bucket spans
+  // at most 1/2^bits of its value. Below that (deep in the linear region)
+  // the resolution is absolute instead: half a unit, min_value / 2.
+  double RelativeError() const;
+
+ private:
+  size_t BucketIndex(double value) const;
+  // Midpoint of the value range bucket `index` covers.
+  double BucketRepresentative(size_t index) const;
+
+  LatencyRecorderOptions options_;
+  int sub_bucket_count_ = 0;   // 2^sub_bucket_bits
+  int64_t unit_scale_ = 1;     // min_value == 1 unit after scaling
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dasc::util
+
+#endif  // DASC_UTIL_LATENCY_RECORDER_H_

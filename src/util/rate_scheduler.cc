@@ -1,0 +1,115 @@
+#include "util/rate_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dasc::util {
+
+Result<ArrivalProcess> ParseArrivalProcess(const std::string& name) {
+  if (name == "uniform") return ArrivalProcess::kUniform;
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "bursty") return ArrivalProcess::kBursty;
+  if (name == "diurnal") return ArrivalProcess::kDiurnal;
+  return Status::InvalidArgument(
+      "unknown arrival process '" + name +
+      "' (expected uniform|poisson|bursty|diurnal)");
+}
+
+const char* ArrivalProcessName(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kUniform:
+      return "uniform";
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+    case ArrivalProcess::kDiurnal:
+      return "diurnal";
+  }
+  return "unknown";
+}
+
+std::vector<double> BuildArrivalSchedule(const ArrivalScheduleOptions& options,
+                                         int count) {
+  DASC_CHECK_GT(options.rate_per_min, 0.0);
+  DASC_CHECK_GE(count, 0);
+  std::vector<double> schedule;
+  schedule.reserve(static_cast<size_t>(count));
+  if (count == 0) return schedule;
+  const double mean_gap_s = 60.0 / options.rate_per_min;
+  const double span_s = mean_gap_s * static_cast<double>(count);
+  Rng rng(options.seed);
+
+  switch (options.process) {
+    case ArrivalProcess::kUniform: {
+      for (int i = 0; i < count; ++i) {
+        schedule.push_back(static_cast<double>(i) * mean_gap_s);
+      }
+      break;
+    }
+    case ArrivalProcess::kPoisson: {
+      // Exponential gaps with the configured mean; the sum drifts around
+      // span_s as a real Poisson process would.
+      double t = 0.0;
+      for (int i = 0; i < count; ++i) {
+        schedule.push_back(t);
+        t += -mean_gap_s * std::log(1.0 - rng.UniformUnit());
+      }
+      break;
+    }
+    case ArrivalProcess::kBursty: {
+      DASC_CHECK_GT(options.burst_period_s, 0.0);
+      DASC_CHECK_GT(options.burst_duty, 0.0);
+      DASC_CHECK_LE(options.burst_duty, 1.0);
+      // All of each period's arrivals are compressed into its leading
+      // burst_duty window (uniform spacing inside the burst), so the mean
+      // rate over a full period is exactly the offered rate while the
+      // in-burst instantaneous rate is 1/duty (= burst_factor) times it.
+      const double per_period =
+          options.burst_period_s / mean_gap_s;  // arrivals per period
+      for (int i = 0; i < count; ++i) {
+        const double position = static_cast<double>(i) / per_period;
+        const double period_start =
+            std::floor(position) * options.burst_period_s;
+        const double in_period = position - std::floor(position);
+        schedule.push_back(period_start + in_period * options.burst_duty *
+                                              options.burst_period_s);
+      }
+      break;
+    }
+    case ArrivalProcess::kDiurnal: {
+      DASC_CHECK_GE(options.diurnal_amplitude, 0.0);
+      DASC_CHECK_LT(options.diurnal_amplitude, 1.0);
+      // Inverse-transform sampling of the sinusoidal intensity: arrival i
+      // is placed where the cumulative rate reaches (i + 0.5)/count of the
+      // total. Lambda(t) = t + A*span/(2*pi*P) * (1 - cos(2*pi*P*t/span))
+      // integrates rate(t) = 1 + A*sin(2*pi*P*t/span); solve by bisection
+      // (Lambda is strictly increasing since A < 1).
+      const double two_pi_p = 2.0 * M_PI * options.diurnal_periods;
+      const double amp = options.diurnal_amplitude;
+      auto cumulative = [&](double t) {
+        return t + amp * span_s / two_pi_p *
+                       (1.0 - std::cos(two_pi_p * t / span_s));
+      };
+      const double total = cumulative(span_s);
+      for (int i = 0; i < count; ++i) {
+        const double target =
+            total * (static_cast<double>(i) + 0.5) / count;
+        double lo = 0.0, hi = span_s;
+        for (int iter = 0; iter < 60; ++iter) {
+          const double mid = 0.5 * (lo + hi);
+          (cumulative(mid) < target ? lo : hi) = mid;
+        }
+        schedule.push_back(0.5 * (lo + hi));
+      }
+      break;
+    }
+  }
+  std::sort(schedule.begin(), schedule.end());
+  return schedule;
+}
+
+}  // namespace dasc::util

@@ -1,0 +1,58 @@
+// Open-loop arrival schedules for load generation.
+//
+// An open-loop driver decides every send time *before* the run starts: the
+// schedule is a fixed timeline the system under test cannot push back on.
+// BuildArrivalSchedule returns the intended send offsets (seconds from run
+// start, sorted ascending) for `count` arrivals at `rate_per_min`, shaped by
+// one of four processes:
+//
+//   kUniform   deterministic fixed spacing 60/rate — the steady floor
+//   kPoisson   exponential inter-arrival gaps (memoryless demand), seeded
+//   kBursty    on/off square wave: burst_duty of each burst_period_s at
+//              burst_factor x the base rate, the rest idle — flash crowds
+//   kDiurnal   sinusoidal rate modulation over diurnal_periods full cycles
+//              (thinned from a uniform grid) — the demand-based availability
+//              shape of DATA-WA's dynamic model
+//
+// Every process preserves the *mean* rate: count arrivals span
+// ~count * 60 / rate_per_min seconds, so "offered rate" means the same
+// thing across processes. Deterministic given (options, count, seed).
+#ifndef DASC_UTIL_RATE_SCHEDULER_H_
+#define DASC_UTIL_RATE_SCHEDULER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dasc::util {
+
+enum class ArrivalProcess { kUniform, kPoisson, kBursty, kDiurnal };
+
+// "uniform" | "poisson" | "bursty" | "diurnal".
+Result<ArrivalProcess> ParseArrivalProcess(const std::string& name);
+const char* ArrivalProcessName(ArrivalProcess process);
+
+struct ArrivalScheduleOptions {
+  ArrivalProcess process = ArrivalProcess::kUniform;
+  double rate_per_min = 10000.0;  // mean offered rate
+  uint64_t seed = 42;
+  // kBursty shape: each burst_period_s window spends burst_duty of its
+  // span sending at burst_factor x the in-burst-adjusted rate, the rest
+  // silent.
+  double burst_period_s = 2.0;
+  double burst_duty = 0.25;
+  // kDiurnal shape: rate(t) = mean * (1 + diurnal_amplitude *
+  // sin(2*pi*t*periods/span)); amplitude in [0, 1).
+  double diurnal_amplitude = 0.8;
+  double diurnal_periods = 2.0;
+};
+
+// Intended send offsets in seconds from run start, ascending, size `count`.
+std::vector<double> BuildArrivalSchedule(const ArrivalScheduleOptions& options,
+                                         int count);
+
+}  // namespace dasc::util
+
+#endif  // DASC_UTIL_RATE_SCHEDULER_H_

@@ -1,0 +1,126 @@
+// Tests for the HdrHistogram-style latency recorder: the relative-error
+// guarantee across the trackable range, the shared rank convention that
+// makes it comparable to util::Percentiles / util::QuantileSketch, clamping
+// at both range ends, and merge/clear semantics.
+#include "util/latency_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace dasc::util {
+namespace {
+
+// Exact quantile under the recorder's rank convention: 0-based rank
+// ceil(q * (n - 1)) of the sorted sample.
+double ExactQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size() - 1)));
+  return values[rank];
+}
+
+TEST(LatencyRecorder, RelativeErrorBoundHoldsAcrossScales) {
+  LatencyRecorder recorder;
+  std::vector<double> values;
+  std::mt19937_64 rng(5);
+  // Latencies spanning five orders of magnitude, the realistic e2e shape
+  // (microseconds of pacing jitter up to multi-second stalls, in ms).
+  std::lognormal_distribution<double> lognormal(1.0, 2.0);
+  for (int i = 0; i < 30000; ++i) {
+    const double v = lognormal(rng);
+    values.push_back(v);
+    recorder.Record(v);
+  }
+  EXPECT_EQ(recorder.count(), 30000);
+  const double bound = recorder.RelativeError();
+  EXPECT_GT(bound, 0.0);
+  EXPECT_LE(bound, 1.0 / 128.0);
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const double exact = ExactQuantile(values, q);
+    const double estimate = recorder.Percentile(q);
+    // Relative bound above the linear region's halfway point; absolute
+    // half-unit resolution below it (see RelativeError()).
+    const double tolerance =
+        std::max(bound * exact, recorder.options().min_value * 0.5);
+    EXPECT_LE(std::abs(estimate - exact), tolerance)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
+TEST(LatencyRecorder, MeanMaxAndSumAreExact) {
+  LatencyRecorder recorder;
+  recorder.Record(1.0);
+  recorder.Record(2.0);
+  recorder.Record(9.0);
+  EXPECT_EQ(recorder.count(), 3);
+  EXPECT_DOUBLE_EQ(recorder.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(recorder.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(recorder.max(), 9.0);
+}
+
+TEST(LatencyRecorder, OutOfRangeValuesAreClampedNotLost) {
+  LatencyRecorderOptions options;
+  options.max_value = 1000.0;
+  LatencyRecorder recorder(options);
+  recorder.Record(-5.0);   // below min: first sub-bucket
+  recorder.Record(0.0);    // likewise
+  recorder.Record(1e12);   // above max: top bucket, counted and capped
+  EXPECT_EQ(recorder.count(), 3);
+  EXPECT_LE(recorder.Percentile(0.0), options.min_value);
+  EXPECT_LE(recorder.Percentile(1.0),
+            options.max_value * (1.0 + recorder.RelativeError()));
+  EXPECT_GT(recorder.Percentile(1.0), 0.0);
+}
+
+TEST(LatencyRecorder, EmptyRecorderReportsZero) {
+  LatencyRecorder recorder;
+  EXPECT_EQ(recorder.count(), 0);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.Mean(), 0.0);
+}
+
+// Merging sharded recorders must be bucket-exact equivalent to recording
+// the union into one recorder — what makes per-thread recorders safe to
+// combine before summarization.
+TEST(LatencyRecorder, MergeMatchesUnionRecording) {
+  LatencyRecorder a, b, both;
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> uniform(0.05, 4000.0);
+  for (int i = 0; i < 8000; ++i) {
+    const double v = uniform(rng);
+    both.Record(v);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_NEAR(a.sum(), both.sum(), 1e-9 * both.sum());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(q), both.Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyRecorder, ClearResetsEverything) {
+  LatencyRecorder recorder;
+  recorder.Record(3.0);
+  recorder.Record(400.0);
+  recorder.Clear();
+  EXPECT_EQ(recorder.count(), 0);
+  EXPECT_DOUBLE_EQ(recorder.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.max(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(0.99), 0.0);
+  recorder.Record(7.0);
+  EXPECT_EQ(recorder.count(), 1);
+  EXPECT_NEAR(recorder.Percentile(0.5), 7.0, 7.0 * recorder.RelativeError());
+}
+
+}  // namespace
+}  // namespace dasc::util

@@ -1,0 +1,187 @@
+// Tests for the dasc-load-report/1 artifact: writer -> reader round trip,
+// the multi-window SLO burn-rate math, and schema rejection. See
+// DESIGN.md §15.5.
+#include "sim/load_report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace dasc::sim {
+namespace {
+
+LoadReport SampleReport() {
+  LoadReport r;
+  r.header.instance = "synthetic(workers=10,tasks=20,seed=3)";
+  r.header.algorithm = "Greedy";
+  r.header.process = "bursty";
+  r.header.seed = 3;
+  r.header.version = "0.8.0";
+  r.header.git_sha = "abc123def456";
+  r.header.build_type = "Release";
+  r.rates = {12000.0, 11950.0, 11950.0 / 12000.0, 20, 0.1, 50.0};
+  r.latency.push_back({"e2e_intended", 20, 3.0, 2.5, 8.0, 12.0, 13.0, 13.5});
+  r.latency.push_back({"e2e_submit", 20, 2.8, 2.4, 7.5, 11.0, 12.0, 12.5});
+  r.latency.push_back({"send_lag", 20, 0.1, 0.08, 0.2, 0.3, 0.4, 0.4});
+  r.service = {15, 12, 18, 2, 0.1, 0.004};
+  r.sketch = {"service_task_e2e_ms_window", 20, 2.4, 7.6, 11.2, true};
+  r.reconcile = {7.5, 7.6, 0.013, 0.05, true};
+  LoadSloDefinition def;
+  def.name = "p99_e2e_ms";
+  def.threshold_ms = 100.0;
+  def.budget = 0.01;
+  LoadSloResult slo;
+  slo.def = def;
+  slo.long_bad = 0.02;
+  slo.short_bad = 0.04;
+  slo.long_burn = 2.0;
+  slo.short_burn = 4.0;
+  slo.breached = true;
+  r.slos.push_back(slo);
+  r.queue_depth.push_back({0.01, 5.0});
+  r.queue_depth.push_back({0.05, 2.0});
+  r.anomalies.push_back({"heartbeat_stall", 7, 120.0, 50.0, 321.0});
+  return r;
+}
+
+TEST(LoadReportRoundTrip, AllBlocksSurvive) {
+  const LoadReport written = SampleReport();
+  std::ostringstream out;
+  WriteLoadReportJsonl(out, written);
+
+  std::istringstream in(out.str());
+  auto got = ReadLoadReportJsonl(in);
+  ASSERT_TRUE(got.ok()) << got.status().message();
+
+  EXPECT_EQ(got->header.instance, written.header.instance);
+  EXPECT_EQ(got->header.algorithm, written.header.algorithm);
+  EXPECT_EQ(got->header.process, written.header.process);
+  EXPECT_EQ(got->header.seed, written.header.seed);
+  EXPECT_EQ(got->header.version, written.header.version);
+  EXPECT_EQ(got->header.git_sha, written.header.git_sha);
+  EXPECT_EQ(got->header.build_type, written.header.build_type);
+
+  EXPECT_DOUBLE_EQ(got->rates.offered_per_min, written.rates.offered_per_min);
+  EXPECT_DOUBLE_EQ(got->rates.achieved_per_min,
+                   written.rates.achieved_per_min);
+  EXPECT_EQ(got->rates.sent, written.rates.sent);
+  EXPECT_DOUBLE_EQ(got->rates.time_scale, written.rates.time_scale);
+
+  ASSERT_EQ(got->latency.size(), written.latency.size());
+  for (size_t i = 0; i < written.latency.size(); ++i) {
+    EXPECT_EQ(got->latency[i].series, written.latency[i].series);
+    EXPECT_EQ(got->latency[i].count, written.latency[i].count);
+    EXPECT_DOUBLE_EQ(got->latency[i].p95_ms, written.latency[i].p95_ms);
+    EXPECT_DOUBLE_EQ(got->latency[i].p999_ms, written.latency[i].p999_ms);
+  }
+
+  EXPECT_EQ(got->service.batches, written.service.batches);
+  EXPECT_EQ(got->service.served, written.service.served);
+  EXPECT_DOUBLE_EQ(got->service.unserved_rate, written.service.unserved_rate);
+
+  EXPECT_EQ(got->sketch.name, written.sketch.name);
+  EXPECT_EQ(got->sketch.scraped, written.sketch.scraped);
+  EXPECT_DOUBLE_EQ(got->sketch.p95_ms, written.sketch.p95_ms);
+
+  EXPECT_DOUBLE_EQ(got->reconcile.loadgen_p95_ms,
+                   written.reconcile.loadgen_p95_ms);
+  EXPECT_EQ(got->reconcile.agree, written.reconcile.agree);
+
+  ASSERT_EQ(got->slos.size(), 1u);
+  EXPECT_EQ(got->slos[0].def.name, "p99_e2e_ms");
+  EXPECT_DOUBLE_EQ(got->slos[0].def.budget, 0.01);
+  EXPECT_DOUBLE_EQ(got->slos[0].long_burn, 2.0);
+  EXPECT_TRUE(got->slos[0].breached);
+
+  ASSERT_EQ(got->queue_depth.size(), 2u);
+  EXPECT_DOUBLE_EQ(got->queue_depth[1].depth, 2.0);
+
+  ASSERT_EQ(got->anomalies.size(), 1u);
+  EXPECT_EQ(got->anomalies[0].kind, "heartbeat_stall");
+  EXPECT_EQ(got->anomalies[0].batch_seq, 7);
+}
+
+TEST(LoadReportSchema, RejectsUnknownSchemaAndMissingHeader) {
+  std::istringstream wrong(
+      "{\"type\":\"load_run\",\"schema\":\"dasc-load-report/999\"}\n");
+  EXPECT_FALSE(ReadLoadReportJsonl(wrong).ok());
+
+  std::istringstream headerless("{\"type\":\"rates\",\"sent\":5}\n");
+  EXPECT_FALSE(ReadLoadReportJsonl(headerless).ok());
+}
+
+// The multi-window burn-rate rule: breached iff the whole run has spent its
+// budget AND the trailing window is still burning. A recovered early spike
+// trips only the long window; a late-developing problem under an intact
+// overall budget trips only the short one; neither alone pages.
+TEST(LoadSlo, MultiWindowBurnRateRule) {
+  LoadSloDefinition def;
+  def.name = "p99_e2e_ms";
+  def.kind = LoadSloDefinition::Kind::kLatencyQuantile;
+  def.threshold_ms = 100.0;
+  def.budget = 0.10;
+  def.short_window = 0.25;
+
+  // 100 samples; the short window is the trailing 25.
+  auto make = [](int total, int bad_prefix, int bad_suffix) {
+    std::vector<LoadSample> samples;
+    for (int i = 0; i < total; ++i) {
+      const bool bad = i < bad_prefix || i >= total - bad_suffix;
+      samples.push_back({bad ? 200.0 : 10.0, true});
+    }
+    return samples;
+  };
+
+  // Clean run: no burn anywhere.
+  LoadSloResult clean = EvaluateLoadSlo(def, make(100, 0, 0));
+  EXPECT_DOUBLE_EQ(clean.long_burn, 0.0);
+  EXPECT_DOUBLE_EQ(clean.short_burn, 0.0);
+  EXPECT_FALSE(clean.breached);
+
+  // Early spike (30 bad, all recovered): long burn 3x but the short window
+  // is quiet — no page.
+  LoadSloResult early = EvaluateLoadSlo(def, make(100, 30, 0));
+  EXPECT_DOUBLE_EQ(early.long_bad, 0.30);
+  EXPECT_DOUBLE_EQ(early.long_burn, 3.0);
+  EXPECT_DOUBLE_EQ(early.short_burn, 0.0);
+  EXPECT_FALSE(early.breached);
+
+  // Late trickle (5 bad at the tail): the short window burns 2x but the
+  // overall budget is intact (5% < 10%) — no page yet.
+  LoadSloResult late = EvaluateLoadSlo(def, make(100, 0, 5));
+  EXPECT_DOUBLE_EQ(late.long_bad, 0.05);
+  EXPECT_DOUBLE_EQ(late.short_bad, 0.20);
+  EXPECT_FALSE(late.breached);
+
+  // Sustained burn (20 bad at the tail): both windows over 1x — page.
+  LoadSloResult sustained = EvaluateLoadSlo(def, make(100, 0, 20));
+  EXPECT_DOUBLE_EQ(sustained.long_bad, 0.20);
+  EXPECT_DOUBLE_EQ(sustained.short_bad, 0.80);
+  EXPECT_TRUE(sustained.breached);
+}
+
+TEST(LoadSlo, UnservedRateKindCountsUnservedNotLatency) {
+  LoadSloDefinition def;
+  def.name = "unserved_rate";
+  def.kind = LoadSloDefinition::Kind::kUnservedRate;
+  def.budget = 0.25;
+  def.short_window = 0.5;
+
+  std::vector<LoadSample> samples;
+  for (int i = 0; i < 10; ++i) {
+    // High latencies everywhere; only the last four tasks are unserved.
+    samples.push_back({1e6, /*served=*/i < 6});
+  }
+  const LoadSloResult result = EvaluateLoadSlo(def, samples);
+  EXPECT_DOUBLE_EQ(result.long_bad, 0.4);
+  EXPECT_DOUBLE_EQ(result.short_bad, 0.8);
+  EXPECT_TRUE(result.breached);
+
+  // Empty-sample evaluation is defined and unbreached.
+  const LoadSloResult empty = EvaluateLoadSlo(def, {});
+  EXPECT_FALSE(empty.breached);
+}
+
+}  // namespace
+}  // namespace dasc::sim

@@ -181,6 +181,63 @@ TEST(WindowedQuantileSketch, ResetClearsEverything) {
   EXPECT_EQ(snapshot.cumulative_count, 0);
 }
 
+// Ring wrap-around: after more Advance() calls than the ring holds, the
+// window must cover exactly the last `window_intervals` periods (current
+// open interval included) and nothing older. Verified against a brute-force
+// sketch rebuilt from those periods' raw samples: ring merging is
+// bucket-exact, so the quantiles must match to the bit, not within
+// tolerance. The pre-wrap tests above never rotate a slot twice; this is
+// the first coverage of a slot being cleared and refilled.
+TEST(WindowedQuantileSketch, RingWrapAroundMatchesBruteForceRecompute) {
+  constexpr int kRing = 64;
+  constexpr int kIntervals = 80;  // > kRing: every early slot is overwritten
+  constexpr int kPerInterval = 50;
+  WindowedQuantileSketch sketch("w_ms", kRing);
+  std::mt19937_64 rng(29);
+  std::vector<std::vector<double>> by_interval(kIntervals);
+  for (int interval = 0; interval < kIntervals; ++interval) {
+    // Per-interval scale drifts upward so the aged-out early intervals
+    // measurably separate the window view from the cumulative one.
+    std::uniform_real_distribution<double> uniform(
+        1.0 + interval, 2.0 * (1.0 + interval));
+    for (int i = 0; i < kPerInterval; ++i) {
+      const double v = uniform(rng);
+      by_interval[static_cast<size_t>(interval)].push_back(v);
+      sketch.Observe(v);
+    }
+    // The final interval stays open: the window includes it.
+    if (interval + 1 < kIntervals) sketch.Advance();
+  }
+
+  const SketchSnapshot snapshot = sketch.Snapshot();
+  EXPECT_EQ(snapshot.cumulative_count,
+            static_cast<int64_t>(kIntervals) * kPerInterval);
+  EXPECT_EQ(snapshot.window_count, static_cast<int64_t>(kRing) * kPerInterval);
+
+  QuantileSketch brute;
+  for (int interval = kIntervals - kRing; interval < kIntervals; ++interval) {
+    for (double v : by_interval[static_cast<size_t>(interval)]) {
+      brute.Observe(v);
+    }
+  }
+  ASSERT_FALSE(snapshot.window_quantiles.empty());
+  for (const SketchQuantile& q : snapshot.window_quantiles) {
+    EXPECT_DOUBLE_EQ(q.value, brute.Quantile(q.q)) << "q=" << q.q;
+  }
+
+  // The window has genuinely diverged from the cumulative sketch — the
+  // dropped small-valued intervals still weigh the cumulative p50 down.
+  double window_p50 = 0.0;
+  double cumulative_p50 = 0.0;
+  for (const SketchQuantile& q : snapshot.window_quantiles) {
+    if (q.q == 0.5) window_p50 = q.value;
+  }
+  for (const SketchQuantile& q : snapshot.cumulative_quantiles) {
+    if (q.q == 0.5) cumulative_p50 = q.value;
+  }
+  EXPECT_GT(window_p50, cumulative_p50 * 1.2);
+}
+
 TEST(WindowedQuantileSketch, SnapshotRanksAreTheDocumentedSet) {
   const std::vector<double> ranks = SketchSnapshotRanks();
   ASSERT_EQ(ranks.size(), 4u);

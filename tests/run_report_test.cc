@@ -287,6 +287,50 @@ TEST(RunReportRoundTrip, TelemetryBlocksRoundTrip) {
   EXPECT_GE(report->anomalies.by_kind.at("heartbeat_stall"), 1);
 }
 
+// The retention bound: once the ring is full, every further RecordBatch
+// evicts the oldest sample and counts it in dropped(). The retained window
+// is exactly the newest max_samples batches, and eviction must not corrupt
+// the delta baseline — each surviving sample still carries its own batch's
+// counter increment, not an accumulated smear.
+TEST(MetricsTimeSeriesRetention, DroppedSamplesAreCountedAndDeltasSurvive) {
+  util::MetricsRegistry registry;
+  MetricsTimeSeries timeseries(/*max_samples=*/8);
+  constexpr int kBatches = 20;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    // Batch b increments by b+1, so every sample's delta identifies it.
+    registry.GetCounter("beta_total")->Increment(batch + 1);
+    timeseries.RecordBatch(batch, /*sim_now=*/batch * 2.0, registry);
+  }
+
+  EXPECT_EQ(timeseries.recorded(), kBatches);
+  EXPECT_EQ(timeseries.dropped(), kBatches - 8);
+  const std::vector<TimeSeriesSample> samples = timeseries.Samples();
+  ASSERT_EQ(samples.size(), 8u);
+  const std::vector<std::string> columns = timeseries.Columns();
+  const size_t beta = static_cast<size_t>(
+      std::find(columns.begin(), columns.end(), "beta_total") -
+      columns.begin());
+  ASSERT_LT(beta, columns.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const int batch = kBatches - 8 + static_cast<int>(i);
+    EXPECT_EQ(samples[i].batch_seq, batch);
+    EXPECT_DOUBLE_EQ(samples[i].sim_now, batch * 2.0);
+    ASSERT_GT(samples[i].values.size(), beta);
+    EXPECT_DOUBLE_EQ(samples[i].values[beta],
+                     static_cast<double>(batch + 1));
+  }
+
+  // The serialized block reports the same accounting, so a report reader
+  // can tell "8 samples because the run was short" from "8 samples because
+  // 12 were evicted".
+  std::ostringstream out;
+  timeseries.WriteJsonl(out);
+  EXPECT_NE(out.str().find("\"recorded\":20"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("\"dropped\":12"), std::string::npos);
+  EXPECT_NE(out.str().find("\"samples\":8"), std::string::npos);
+}
+
 // A task line whose reason is outside the closed taxonomy must fail parsing.
 TEST(RunReportSchema, RejectsUnknownLedgerReason) {
   util::MetricsRegistry registry;

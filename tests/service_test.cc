@@ -1,0 +1,200 @@
+// Tests for the long-lived in-process allocation service: ingest contract
+// (validation, duplicates, lifecycle), the one-decision-per-task guarantee
+// under Drain(), latency accounting against the service's wall clock, the
+// injected-stall hook the SLO-gate test relies on, and the registry sketch
+// the load generator reconciles against. See DESIGN.md §15.
+#include "sim/service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "algo/registry.h"
+#include "gen/synthetic.h"
+#include "util/metrics.h"
+
+namespace dasc::sim {
+namespace {
+
+core::Instance MakeInstance(int workers, int tasks, uint64_t seed = 17) {
+  gen::SyntheticParams params;
+  params.seed = seed;
+  params.num_workers = workers;
+  params.num_tasks = tasks;
+  params.num_skills = 6;
+  params.dependency_size.hi = 3;
+  auto instance = gen::GenerateSynthetic(params);
+  EXPECT_TRUE(instance.ok());
+  return std::move(*instance);
+}
+
+// Synthetic model windows span start times in [0, 75] with waits in
+// [10, 15]; at this scale the whole model timeline elapses in well under a
+// second of wall time, so Drain() terminates quickly (every task is either
+// served or expires).
+constexpr double kFastScale = 2000.0;
+
+ServiceOptions FastOptions() {
+  ServiceOptions options;
+  options.time_scale = kFastScale;
+  options.min_batch_gap_ms = 1.0;
+  options.max_batch_gap_ms = 5.0;
+  return options;
+}
+
+TEST(Service, EveryTaskGetsExactlyOneDecision) {
+  const core::Instance instance = MakeInstance(40, 60);
+  auto allocator = algo::CreateAllocator("greedy", 1);
+  ASSERT_TRUE(allocator.ok());
+  Service service(instance, **allocator, FastOptions());
+  service.Start();
+  for (int w = 0; w < instance.num_workers(); ++w) {
+    ASSERT_TRUE(service.SubmitWorker(w).ok());
+  }
+  for (int t = 0; t < instance.num_tasks(); ++t) {
+    ASSERT_TRUE(service.SubmitTask(t).ok());
+  }
+  service.Drain();
+
+  const std::vector<DecisionRecord> decisions = service.TakeDecisions();
+  ASSERT_EQ(decisions.size(), static_cast<size_t>(instance.num_tasks()));
+  std::map<core::TaskId, int> seen;
+  int64_t served = 0;
+  for (const DecisionRecord& d : decisions) {
+    ++seen[d.task];
+    // Latency accounting: decisions happen at batch instants on the same
+    // clock the submissions were stamped with.
+    EXPECT_GE(d.decide_wall_s, d.submit_wall_s) << "task " << d.task;
+    if (d.served) {
+      ++served;
+      EXPECT_NE(d.worker, core::kInvalidId);
+    } else {
+      EXPECT_EQ(d.worker, core::kInvalidId);
+    }
+  }
+  for (const auto& [task, count] : seen) {
+    EXPECT_EQ(count, 1) << "task " << task << " decided twice";
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted_tasks, instance.num_tasks());
+  EXPECT_EQ(stats.submitted_workers, instance.num_workers());
+  EXPECT_EQ(stats.served + stats.expired, instance.num_tasks());
+  EXPECT_EQ(stats.served, served);
+  EXPECT_GT(stats.batches, 0);
+  EXPECT_EQ(service.pending_tasks(), 0);
+  // TakeDecisions pops: a second call returns nothing new.
+  EXPECT_TRUE(service.TakeDecisions().empty());
+}
+
+TEST(Service, IngestValidationAndLifecycle) {
+  const core::Instance instance = MakeInstance(5, 8);
+  auto allocator = algo::CreateAllocator("greedy", 1);
+  ASSERT_TRUE(allocator.ok());
+  Service service(instance, **allocator, FastOptions());
+
+  // Not started yet: submissions are refused, not queued.
+  EXPECT_EQ(service.SubmitTask(0).code(),
+            util::StatusCode::kFailedPrecondition);
+
+  service.Start();
+  EXPECT_TRUE(service.SubmitWorker(0).ok());
+  EXPECT_TRUE(service.SubmitTask(0).ok());
+  // Duplicate submission is a caller bug, reported not absorbed.
+  EXPECT_EQ(service.SubmitTask(0).code(),
+            util::StatusCode::kFailedPrecondition);
+  // Catalog range is validated.
+  EXPECT_EQ(service.SubmitTask(-1).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.SubmitTask(instance.num_tasks()).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.SubmitWorker(instance.num_workers()).code(),
+            util::StatusCode::kInvalidArgument);
+
+  service.Drain();
+  // The loop keeps running after a drain: later work is accepted and also
+  // decided (steady-state service shape, not one-shot).
+  EXPECT_TRUE(service.SubmitTask(1).ok());
+  service.Drain();
+  EXPECT_EQ(service.stats().submitted_tasks, 2);
+  EXPECT_EQ(service.pending_tasks(), 0);
+
+  service.Shutdown();
+  EXPECT_EQ(service.SubmitTask(2).code(),
+            util::StatusCode::kFailedPrecondition);
+  service.Shutdown();  // idempotent
+}
+
+// The --inject-stall-ms hook: with a forced D ms sleep inside every batch,
+// consecutive batch instants must be at least D apart (the batch stamp is
+// taken before the sleep, and the loop cannot start batch k+1 until batch
+// k's sleep finishes). This is the mechanism the WILL_FAIL SLO-gate ctest
+// uses to seed a deterministic latency breach.
+TEST(Service, InjectedBatchDelaySpacesBatchInstants) {
+  const core::Instance instance = MakeInstance(20, 30);
+  auto allocator = algo::CreateAllocator("greedy", 1);
+  ASSERT_TRUE(allocator.ok());
+  ServiceOptions options = FastOptions();
+  options.inject_batch_delay_ms = 20.0;
+  Service service(instance, **allocator, options);
+  service.Start();
+  for (int w = 0; w < instance.num_workers(); ++w) {
+    ASSERT_TRUE(service.SubmitWorker(w).ok());
+  }
+  for (int t = 0; t < instance.num_tasks(); ++t) {
+    ASSERT_TRUE(service.SubmitTask(t).ok());
+  }
+  service.Drain();
+
+  // Group decision instants by batch and check consecutive batch spacing.
+  std::map<int64_t, double> batch_instant;
+  for (const DecisionRecord& d : service.TakeDecisions()) {
+    batch_instant[d.batch_seq] = d.decide_wall_s;
+  }
+  ASSERT_GE(batch_instant.size(), 2u);
+  double prev = -1.0;
+  for (const auto& [seq, instant] : batch_instant) {
+    if (prev >= 0.0) {
+      EXPECT_GE(instant - prev, 0.018)
+          << "batches " << seq - 1 << " -> " << seq;
+    }
+    prev = instant;
+  }
+}
+
+// The reconciliation contract dasc_loadgen relies on: every decision feeds
+// exactly one observation into the service_task_e2e_ms_window registry
+// sketch, so an external scraper sees the same sample count the caller got
+// from TakeDecisions(). (Delta-based: the global registry accumulates
+// across tests in this binary.)
+TEST(Service, DecisionsFeedTheRegistrySketch) {
+  if (!util::MetricsEnabled()) GTEST_SKIP() << "metrics compiled out";
+  auto count_sketch = [] {
+    for (const util::SketchSnapshot& s :
+         util::GlobalMetrics().Snapshot().sketches) {
+      if (s.name == "service_task_e2e_ms_window") return s.cumulative_count;
+    }
+    return int64_t{0};
+  };
+  const int64_t before = count_sketch();
+
+  const core::Instance instance = MakeInstance(30, 50, /*seed=*/23);
+  auto allocator = algo::CreateAllocator("greedy", 1);
+  ASSERT_TRUE(allocator.ok());
+  Service service(instance, **allocator, FastOptions());
+  service.Start();
+  for (int w = 0; w < instance.num_workers(); ++w) {
+    ASSERT_TRUE(service.SubmitWorker(w).ok());
+  }
+  for (int t = 0; t < instance.num_tasks(); ++t) {
+    ASSERT_TRUE(service.SubmitTask(t).ok());
+  }
+  service.Drain();
+  const size_t decisions = service.TakeDecisions().size();
+  EXPECT_EQ(count_sketch() - before, static_cast<int64_t>(decisions));
+}
+
+}  // namespace
+}  // namespace dasc::sim

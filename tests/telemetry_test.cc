@@ -110,9 +110,15 @@ TEST(LiveTelemetry, EndpointsServeDuringSimulation) {
   EXPECT_GT(timeseries.recorded(), 0);
   EXPECT_GE(scrapes, 1);
 
+  // /healthz is a JSON liveness document: status plus uptime, the request
+  // sequence number, and build provenance.
   auto health = HttpGetLocal(server.port(), "/healthz");
   ASSERT_TRUE(health.ok());
-  EXPECT_EQ(*health, "ok\n");
+  EXPECT_NE(health->find("\"status\":\"ok\""), std::string::npos) << *health;
+  EXPECT_NE(health->find("\"uptime_s\""), std::string::npos);
+  EXPECT_NE(health->find("\"seq\""), std::string::npos);
+  EXPECT_NE(health->find("\"build\""), std::string::npos);
+  EXPECT_NE(health->find("\"git_sha\""), std::string::npos);
   EXPECT_FALSE(HttpGetLocal(server.port(), "/no-such-path").ok());
 
   server.Stop();
@@ -132,6 +138,33 @@ TEST(LiveTelemetry, ServerStartStopIsIdempotent) {
   server.Stop();
   server.Stop();  // second stop is a no-op
   EXPECT_FALSE(server.running());
+}
+
+// A taken port is a configuration problem, not an internal fault: the
+// error must be FailedPrecondition and must name the address, the errno,
+// and the remedy — not a bare strerror string.
+TEST(LiveTelemetry, BindFailureIsStructuredAndActionable) {
+  MetricsRegistry registry;
+  MetricsHttpServer::Options options;
+  options.registry = &registry;
+  options.port = 0;
+  MetricsHttpServer first(options);
+  ASSERT_TRUE(first.Start().ok());
+
+  MetricsHttpServer::Options clash = options;
+  clash.port = first.port();
+  MetricsHttpServer second(clash);
+  const util::Status status = second.Start();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition)
+      << status.ToString();
+  const std::string& message = status.message();
+  EXPECT_NE(message.find("127.0.0.1:" + std::to_string(first.port())),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("EADDRINUSE"), std::string::npos) << message;
+  EXPECT_NE(message.find("--serve-metrics"), std::string::npos) << message;
+  first.Stop();
 }
 
 // Injected stall: a microscopic heartbeat timeout makes every measurable

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Schema and invariant validation for dasc-load-report/1 artifacts
+(DESIGN.md section 15.5).
+
+Reads the JSONL file a `dasc_loadgen --report-out=...` run produced and
+checks, line by line and across lines:
+
+  * the load_run header leads the file with the exact schema string and a
+    build-provenance block (version / git_sha / build_type all non-empty);
+  * exactly one rates / service_stats / service_sketch / reconcile line,
+    with offered > 0, sent > 0, and achieved/offered consistent with the
+    recorded ratio;
+  * the three latency series (e2e_intended, e2e_submit, send_lag) each
+    present with count == sent and non-decreasing quantile ladders
+    p50 <= p95 <= p99 <= p99.9 <= max;
+  * coordinated-omission sanity: e2e_intended quantiles dominate
+    e2e_submit's (intended time <= submit time for every task, so the
+    CO-corrected latency can never be smaller at equal rank);
+  * the reconcile verdict recomputes from its own fields (rel_diff vs
+    tolerance => agree), and the loadgen/service p95s being compared match
+    the latency and sketch lines they came from;
+  * every slo line recomputes (burn = bad / budget; breached iff both
+    windows burn >= 1) and the anomalies count matches the anomaly lines;
+  * at least one queue_depth sample, with finite non-negative depths.
+
+Optional gates for ctest wiring:
+  --min-rate-ratio R   fail when achieved/offered < R (open-loop pacing)
+  --expect-agree       fail when the reconcile line says the estimators
+                       disagreed
+  --expect-breach NAME fail unless the named SLO is recorded as breached
+                       (used by the seeded-stall test to prove the SLO
+                       machinery detects the violation it injected)
+
+Stdlib only; exits nonzero with a reason on the first violation.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fail(message):
+    print(f"check_load_report: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_lines(path):
+    lines = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as error:
+                fail(f"line {number} is not JSON: {error}")
+            if "type" not in obj:
+                fail(f"line {number} has no type field")
+            lines.append((number, obj))
+    if not lines:
+        fail("report is empty")
+    return lines
+
+
+def index_by_type(lines):
+    by_type = {}
+    for number, obj in lines:
+        by_type.setdefault(obj["type"], []).append((number, obj))
+    return by_type
+
+
+def single(by_type, kind):
+    entries = by_type.get(kind, [])
+    if len(entries) != 1:
+        fail(f"expected exactly one {kind} line, found {len(entries)}")
+    return entries[0][1]
+
+
+def check_quantile_ladder(series):
+    ladder = [
+        ("p50_ms", series["p50_ms"]),
+        ("p95_ms", series["p95_ms"]),
+        ("p99_ms", series["p99_ms"]),
+        ("p999_ms", series["p999_ms"]),
+        ("max_ms", series["max_ms"]),
+    ]
+    for (lo_name, lo), (hi_name, hi) in zip(ladder, ladder[1:]):
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            fail(f"{series['series']}: non-finite quantile {lo_name}/{hi_name}")
+        # max_ms is exact while the quantiles are bucket representatives
+        # that can overshoot it by the recorder's relative error.
+        slack = 1.01 if hi_name == "max_ms" else 1.0
+        if lo > hi * slack:
+            fail(
+                f"{series['series']}: quantile ladder inverted "
+                f"({lo_name}={lo} > {hi_name}={hi})"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", required=True)
+    parser.add_argument("--min-rate-ratio", type=float, default=None)
+    parser.add_argument("--expect-agree", action="store_true")
+    parser.add_argument("--expect-breach", default=None)
+    args = parser.parse_args()
+
+    lines = load_lines(args.report)
+    first = lines[0][1]
+    if first["type"] != "load_run":
+        fail(f"first line must be load_run, got {first['type']}")
+    if first.get("schema") != "dasc-load-report/1":
+        fail(f"unexpected schema {first.get('schema')!r}")
+    build = first.get("build")
+    if not isinstance(build, dict):
+        fail("load_run header has no build block")
+    for key in ("version", "git_sha", "build_type"):
+        if not build.get(key):
+            fail(f"build block missing {key}")
+    for key in ("instance", "algorithm", "process"):
+        if not first.get(key):
+            fail(f"load_run header missing {key}")
+
+    by_type = index_by_type(lines)
+    rates = single(by_type, "rates")
+    if rates["offered_per_min"] <= 0:
+        fail("offered_per_min must be positive")
+    if rates["sent"] <= 0:
+        fail("sent must be positive")
+    ratio = rates["achieved_per_min"] / rates["offered_per_min"]
+    if abs(ratio - rates["ratio"]) > 1e-6:
+        fail(
+            f"rates.ratio {rates['ratio']} inconsistent with "
+            f"achieved/offered {ratio}"
+        )
+
+    latency = {obj["series"]: obj for _, obj in by_type.get("latency", [])}
+    for name in ("e2e_intended", "e2e_submit", "send_lag"):
+        if name not in latency:
+            fail(f"missing latency series {name}")
+        check_quantile_ladder(latency[name])
+    for name in ("e2e_intended", "e2e_submit"):
+        if latency[name]["count"] != rates["sent"]:
+            fail(
+                f"{name} count {latency[name]['count']} != sent "
+                f"{rates['sent']} (a decision went missing)"
+            )
+    # Coordinated omission: intended <= submit per task, so at equal rank
+    # the CO-corrected series dominates (modulo one bucket of recorder
+    # granularity on each estimate).
+    for quantile in ("p50_ms", "p95_ms", "p99_ms"):
+        corrected = latency["e2e_intended"][quantile]
+        uncorrected = latency["e2e_submit"][quantile]
+        if corrected < uncorrected * 0.98 - 1e-6:
+            fail(
+                f"e2e_intended {quantile}={corrected} below e2e_submit's "
+                f"{uncorrected}: CO correction cannot shrink latencies"
+            )
+
+    service = single(by_type, "service_stats")
+    if service["served"] + service["expired"] != rates["sent"]:
+        fail(
+            f"served {service['served']} + expired {service['expired']} "
+            f"!= sent {rates['sent']}"
+        )
+    unserved = service["expired"] / rates["sent"]
+    if abs(unserved - service["unserved_rate"]) > 1e-6:
+        fail("unserved_rate inconsistent with expired/sent")
+
+    sketch = single(by_type, "service_sketch")
+    if sketch["count"] != rates["sent"]:
+        fail(
+            f"service sketch count {sketch['count']} != sent "
+            f"{rates['sent']} (service-side samples went missing)"
+        )
+
+    reconcile = single(by_type, "reconcile")
+    if abs(reconcile["loadgen_p95_ms"] - latency["e2e_submit"]["p95_ms"]) > 1e-9:
+        fail("reconcile.loadgen_p95_ms does not match the e2e_submit series")
+    if abs(reconcile["service_p95_ms"] - sketch["p95_ms"]) > 1e-9:
+        fail("reconcile.service_p95_ms does not match the service_sketch line")
+    agree = reconcile["rel_diff"] <= reconcile["tolerance"]
+    if agree != reconcile["agree"]:
+        fail("reconcile.agree inconsistent with rel_diff vs tolerance")
+
+    slos = {obj["name"]: obj for _, obj in by_type.get("slo", [])}
+    if not slos:
+        fail("no slo lines")
+    for name, slo in slos.items():
+        for window in ("long", "short"):
+            bad = slo[f"{window}_bad"]
+            burn = slo[f"{window}_burn"]
+            if slo["budget"] > 0 and abs(burn - bad / slo["budget"]) > 1e-6:
+                fail(f"slo {name}: {window}_burn != {window}_bad / budget")
+        breached = slo["long_burn"] >= 1.0 and slo["short_burn"] >= 1.0
+        if breached != slo["breached"]:
+            fail(f"slo {name}: breached flag inconsistent with burn rates")
+
+    depths = by_type.get("queue_depth", [])
+    if not depths:
+        fail("no queue_depth samples")
+    for _, sample in depths:
+        if not math.isfinite(sample["depth"]) or sample["depth"] < 0:
+            fail(f"bad queue depth {sample['depth']}")
+
+    anomalies = single(by_type, "anomalies")
+    anomaly_lines = by_type.get("anomaly", [])
+    if anomalies["count"] != len(anomaly_lines):
+        fail(
+            f"anomalies.count {anomalies['count']} != "
+            f"{len(anomaly_lines)} anomaly lines"
+        )
+
+    if args.min_rate_ratio is not None and rates["ratio"] < args.min_rate_ratio:
+        fail(
+            f"achieved/offered {rates['ratio']:.4f} below the "
+            f"--min-rate-ratio floor {args.min_rate_ratio}"
+        )
+    if args.expect_agree and not reconcile["agree"]:
+        fail(
+            f"estimators disagree: loadgen p95 "
+            f"{reconcile['loadgen_p95_ms']}ms vs service "
+            f"{reconcile['service_p95_ms']}ms "
+            f"(diff {reconcile['rel_diff']:.4f} > tol "
+            f"{reconcile['tolerance']:.4f})"
+        )
+    if args.expect_breach is not None:
+        slo = slos.get(args.expect_breach)
+        if slo is None:
+            fail(f"no slo named {args.expect_breach}")
+        if not slo["breached"]:
+            fail(
+                f"expected slo {args.expect_breach} to be breached "
+                f"(long_burn {slo['long_burn']}, short_burn "
+                f"{slo['short_burn']})"
+            )
+
+    print(
+        f"check_load_report: OK ({rates['sent']} tasks at ratio "
+        f"{rates['ratio']:.4f}, {len(slos)} SLOs, reconcile "
+        f"{'agree' if reconcile['agree'] else 'DISAGREE'})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -61,6 +61,7 @@
 #include "sim/metrics_timeseries.h"
 #include "sim/run_report.h"
 #include "sim/watchdog.h"
+#include "util/build_info.h"
 #include "util/flags.h"
 #include "util/http_server.h"
 #include "util/metrics.h"
@@ -335,15 +336,20 @@ int Simulate(int argc, char** argv) {
   server_options.port = static_cast<int>(serve_port);
   util::MetricsHttpServer server(server_options);
   if (serve_port >= 0) {
+    util::RegisterBuildInfoMetric();
     const util::Status started = server.Start();
     if (!started.ok()) {
       std::fprintf(stderr, "%s\n", started.ToString().c_str());
       return 1;
     }
     // Flushed immediately so a scraper launched alongside can read the
-    // resolved port while the run is still in flight.
+    // resolved port while the run is still in flight. The stderr twin is
+    // the machine-parsable one (key=value, stable across human-facing
+    // wording changes) for wrappers that capture stdout for results.
     std::printf("serving telemetry on 127.0.0.1:%d\n", server.port());
     std::fflush(stdout);
+    std::fprintf(stderr, "serve_metrics_port=%d\n", server.port());
+    std::fflush(stderr);
     watchdog.Start();
   }
   if (!trace_out.empty()) util::StartTracing();

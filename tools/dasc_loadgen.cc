@@ -1,0 +1,550 @@
+// dasc_loadgen — open-loop load generator for the in-process allocation
+// service (sim/service.h).
+//
+//   dasc_loadgen [--algo=greedy] [--tasks=N] [--workers=N] [--skills=N]
+//       [--dep-max=N] [--seed=N] [--instance=in.dasc]
+//       [--rate=TASKS_PER_MIN] [--process=uniform|poisson|bursty|diurnal]
+//       [--burst-period-s=F] [--burst-duty=F]
+//       [--diurnal-amplitude=F] [--diurnal-periods=F]
+//       [--report-out=load.jsonl] [--serve-metrics=PORT]
+//       [--slo-p99-ms=F] [--slo-unserved-budget=F] [--slo-short-window=F]
+//       [--min-batch-gap-ms=F] [--max-batch-gap-ms=F]
+//       [--inject-stall-ms=F]
+//
+// The driver is open-loop: every task's send time is fixed by
+// util::BuildArrivalSchedule before the run starts, and the service's
+// responsiveness cannot push the timeline back. Per-task end-to-end latency
+// is measured against the *intended* send time (decide - intended), so a
+// stalled service shows up as large recorded latencies rather than as
+// silently missing samples — the coordinated-omission correction (DESIGN.md
+// §15.3). The same decisions are also summarized against the actual submit
+// time (decide - submit) and the pacing error itself (submit - intended).
+//
+// The loadgen records into util::LatencyRecorder (HdrHistogram-style) while
+// the service feeds the same decide-submit values into its registry
+// DDSketch (`service_task_e2e_ms_window`); the run ends by reconciling the
+// two estimators' p95 — two structurally different quantile paths over the
+// same sample multiset must agree within their combined relative error.
+// With --serve-metrics the sketch side is scraped over HTTP from /snapshot
+// (exactly what an external Prometheus would see); otherwise it is read
+// in-process.
+//
+// Model time: the instance's task start times are rewritten
+// order-preservingly onto the arrival schedule (scaled by time_scale =
+// model_span / wall_span), so the service's wall->model mapping lands each
+// task's feasibility window at its scheduled arrival. Worker windows and
+// wait durations keep their model-time semantics.
+//
+// The run emits a dasc-load-report/1 JSONL artifact (sim/load_report.h):
+// offered vs achieved rate, latency summaries, the reconciliation verdict,
+// SLO evaluations with multi-window error-budget burn rates, the
+// ingest-queue depth series, and any watchdog anomalies. `dasc_report load`
+// summarizes/diffs/gates on it; tools/check_load_report.py validates it.
+//
+// --inject-stall-ms is a test-only hook (ServiceOptions::
+// inject_batch_delay_ms) that sleeps inside every batch: it
+// deterministically seeds an SLO breach for the WILL_FAIL gate test. Never
+// set it in real runs.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/registry.h"
+#include "gen/synthetic.h"
+#include "io/instance_io.h"
+#include "sim/load_report.h"
+#include "sim/metrics_timeseries.h"
+#include "sim/service.h"
+#include "sim/watchdog.h"
+#include "util/build_info.h"
+#include "util/flags.h"
+#include "util/http_server.h"
+#include "util/json.h"
+#include "util/latency_recorder.h"
+#include "util/metrics.h"
+#include "util/rate_scheduler.h"
+
+namespace {
+
+using namespace dasc;
+
+constexpr const char* kServiceSketchName = "service_task_e2e_ms_window";
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dasc_loadgen [--algo=greedy] [--tasks=N] [--workers=N]\n"
+      "    [--skills=N] [--dep-max=N] [--seed=N] [--instance=in.dasc]\n"
+      "    [--rate=TASKS_PER_MIN] "
+      "[--process=uniform|poisson|bursty|diurnal]\n"
+      "    [--burst-period-s= --burst-duty=]\n"
+      "    [--diurnal-amplitude= --diurnal-periods=]\n"
+      "    [--report-out=load.jsonl] [--serve-metrics=PORT]\n"
+      "    [--slo-p99-ms= --slo-unserved-budget= --slo-short-window=]\n"
+      "    [--min-batch-gap-ms= --max-batch-gap-ms=] [--inject-stall-ms=]\n");
+  return 2;
+}
+
+struct PacedTask {
+  core::TaskId id = core::kInvalidId;
+  double intended_s = 0.0;  // wall offset from run start
+};
+
+// Order-preserving rewrite: the i-th task by original start time gets the
+// i-th scheduled arrival (in model units). Returns the rebuilt instance and
+// fills the send plan (task ids in send order with intended wall offsets).
+util::Result<core::Instance> RewriteOntoSchedule(
+    const core::Instance& original, const std::vector<double>& offsets_s,
+    double time_scale, std::vector<PacedTask>* plan) {
+  std::vector<core::Worker> workers = original.workers();
+  std::vector<core::Task> tasks = original.tasks();
+  std::vector<int> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return tasks[static_cast<size_t>(a)].start_time <
+           tasks[static_cast<size_t>(b)].start_time;
+  });
+  plan->clear();
+  plan->reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    core::Task& task = tasks[static_cast<size_t>(order[i])];
+    task.start_time = offsets_s[i] * time_scale;
+    plan->push_back({task.id, offsets_s[i]});
+  }
+  return core::Instance::Create(std::move(workers), std::move(tasks),
+                                original.num_skills());
+}
+
+sim::LatencySeriesSummary Summarize(const std::string& series,
+                                    const util::LatencyRecorder& recorder) {
+  sim::LatencySeriesSummary s;
+  s.series = series;
+  s.count = recorder.count();
+  s.mean_ms = recorder.Mean();
+  s.p50_ms = recorder.Percentile(0.50);
+  s.p95_ms = recorder.Percentile(0.95);
+  s.p99_ms = recorder.Percentile(0.99);
+  s.p999_ms = recorder.Percentile(0.999);
+  s.max_ms = recorder.max();
+  return s;
+}
+
+// Reads the service-side sketch summary: scraped from /snapshot when a port
+// is live (the external-observer path), else straight from the registry.
+sim::ServiceSketchSummary ReadServiceSketch(int port) {
+  sim::ServiceSketchSummary out;
+  out.name = kServiceSketchName;
+  if (port > 0) {
+    auto body = util::HttpGetLocal(port, "/snapshot");
+    if (body.ok()) {
+      auto doc = util::ParseJson(*body);
+      if (doc.ok()) {
+        if (const util::JsonValue* sketches = doc->Find("sketches")) {
+          for (const util::JsonValue& sk : sketches->items()) {
+            if (sk.GetString("name") != kServiceSketchName) continue;
+            if (const util::JsonValue* cum = sk.Find("cumulative")) {
+              out.scraped = true;
+              out.count = static_cast<int64_t>(cum->GetNumber("count"));
+              if (const util::JsonValue* quantiles = cum->Find("quantiles")) {
+                for (const util::JsonValue& q : quantiles->items()) {
+                  const double rank = q.GetNumber("q");
+                  const double value = q.GetNumber("value");
+                  if (rank == 0.5) out.p50_ms = value;
+                  if (rank == 0.95) out.p95_ms = value;
+                  if (rank == 0.99) out.p99_ms = value;
+                }
+              }
+            }
+            break;
+          }
+        }
+      }
+    }
+    if (out.scraped) return out;
+  }
+  const util::MetricsSnapshot snapshot = util::GlobalMetrics().Snapshot();
+  for (const util::SketchSnapshot& sk : snapshot.sketches) {
+    if (sk.name != kServiceSketchName) continue;
+    out.count = sk.cumulative_count;
+    for (const util::SketchQuantile& q : sk.cumulative_quantiles) {
+      if (q.q == 0.5) out.p50_ms = q.value;
+      if (q.q == 0.95) out.p95_ms = q.value;
+      if (q.q == 0.99) out.p99_ms = q.value;
+    }
+    break;
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  util::FlagParser parser;
+  std::string algo_name = "greedy";
+  std::string instance_path;
+  std::string process_name = "uniform";
+  std::string report_out;
+  int64_t tasks = 2000;
+  int64_t workers = 2000;
+  int64_t skills = 50;
+  int64_t dep_max = 5;
+  int64_t seed = 42;
+  double rate = 10000.0;
+  double burst_period_s = 2.0;
+  double burst_duty = 0.25;
+  double diurnal_amplitude = 0.8;
+  double diurnal_periods = 2.0;
+  int64_t serve_port = -1;
+  double slo_p99_ms = 250.0;
+  double slo_unserved_budget = 0.9;
+  double slo_short_window = 0.25;
+  double min_batch_gap_ms = 1.0;
+  double max_batch_gap_ms = 25.0;
+  double inject_stall_ms = 0.0;
+  parser.AddString("algo", &algo_name, "allocator under test");
+  parser.AddString("instance", &instance_path,
+                   "drive this instance file instead of generating one");
+  parser.AddString("process", &process_name,
+                   "arrival process: uniform|poisson|bursty|diurnal");
+  parser.AddString("report-out", &report_out,
+                   "write the dasc-load-report/1 JSONL artifact here");
+  parser.AddInt("tasks", &tasks, "generated task count");
+  parser.AddInt("workers", &workers, "generated worker count");
+  parser.AddInt("skills", &skills, "generated skill universe");
+  parser.AddInt("dep-max", &dep_max, "generated max dependency set size");
+  parser.AddInt("seed", &seed, "generator/allocator/schedule seed");
+  parser.AddDouble("rate", &rate, "offered task rate per minute");
+  parser.AddDouble("burst-period-s", &burst_period_s,
+                   "bursty: on/off period length");
+  parser.AddDouble("burst-duty", &burst_duty,
+                   "bursty: fraction of each period spent sending");
+  parser.AddDouble("diurnal-amplitude", &diurnal_amplitude,
+                   "diurnal: rate modulation amplitude in [0,1)");
+  parser.AddDouble("diurnal-periods", &diurnal_periods,
+                   "diurnal: sinusoid cycles over the run");
+  parser.AddInt("serve-metrics", &serve_port,
+                "serve live telemetry on 127.0.0.1:PORT during the run "
+                "(0 = ephemeral; scraped for the reconciliation)");
+  parser.AddDouble("slo-p99-ms", &slo_p99_ms,
+                   "latency SLO: p99 of CO-corrected e2e must stay below");
+  parser.AddDouble("slo-unserved-budget", &slo_unserved_budget,
+                   "unserved-rate SLO error budget (bad fraction allowed)");
+  parser.AddDouble("slo-short-window", &slo_short_window,
+                   "burn-rate short window as a fraction of the run");
+  parser.AddDouble("min-batch-gap-ms", &min_batch_gap_ms,
+                   "service: ingest coalescing window");
+  parser.AddDouble("max-batch-gap-ms", &max_batch_gap_ms,
+                   "service: idle batch flush interval");
+  parser.AddDouble("inject-stall-ms", &inject_stall_ms,
+                   "TEST ONLY: sleep inside every service batch");
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  const util::Status parsed = parser.Parse(args);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return Usage();
+  }
+  if (!parser.positional().empty()) return Usage();
+  if (rate <= 0.0 || tasks <= 0) {
+    std::fprintf(stderr, "--rate and --tasks must be positive\n");
+    return Usage();
+  }
+
+  auto process = util::ParseArrivalProcess(process_name);
+  if (!process.ok()) {
+    std::fprintf(stderr, "%s\n", process.status().ToString().c_str());
+    return Usage();
+  }
+
+  // 1. The instance: load or generate the universe.
+  util::Result<core::Instance> original =
+      util::Status::Internal("unreachable");
+  std::string instance_desc;
+  if (!instance_path.empty()) {
+    original = io::ReadInstanceFile(instance_path);
+    instance_desc = instance_path;
+  } else {
+    gen::SyntheticParams params;
+    params.seed = static_cast<uint64_t>(seed);
+    params.num_workers = static_cast<int>(workers);
+    params.num_tasks = static_cast<int>(tasks);
+    params.num_skills = static_cast<int>(skills);
+    params.dependency_size.hi = static_cast<int>(dep_max);
+    original = gen::GenerateSynthetic(params);
+    instance_desc = "synthetic(workers=" + std::to_string(workers) +
+                    ",tasks=" + std::to_string(tasks) +
+                    ",seed=" + std::to_string(seed) + ")";
+  }
+  if (!original.ok()) {
+    std::fprintf(stderr, "%s\n", original.status().ToString().c_str());
+    return 1;
+  }
+  const int m = original->num_tasks();
+
+  // 2. The fixed timeline, and the wall->model scale that lands each
+  // task's rewritten start time at its scheduled arrival.
+  util::ArrivalScheduleOptions schedule_options;
+  schedule_options.process = *process;
+  schedule_options.rate_per_min = rate;
+  schedule_options.seed = static_cast<uint64_t>(seed);
+  schedule_options.burst_period_s = burst_period_s;
+  schedule_options.burst_duty = burst_duty;
+  schedule_options.diurnal_amplitude = diurnal_amplitude;
+  schedule_options.diurnal_periods = diurnal_periods;
+  const std::vector<double> offsets =
+      util::BuildArrivalSchedule(schedule_options, m);
+  const double wall_span_s =
+      std::max(offsets.empty() ? 0.0 : offsets.back(), 1e-6);
+  double model_span = 0.0;
+  for (const core::Task& t : original->tasks()) {
+    model_span = std::max(model_span, t.start_time);
+  }
+  double model_min = model_span;
+  for (const core::Task& t : original->tasks()) {
+    model_min = std::min(model_min, t.start_time);
+  }
+  model_span -= model_min;
+  const double time_scale =
+      model_span > 0.0 ? model_span / wall_span_s : 1.0;
+
+  std::vector<PacedTask> plan;
+  auto instance = RewriteOntoSchedule(*original, offsets, time_scale, &plan);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "rewrite failed: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+
+  auto allocator =
+      algo::CreateAllocator(algo_name, static_cast<uint64_t>(seed));
+  if (!allocator.ok()) {
+    std::fprintf(stderr, "%s\n", allocator.status().ToString().c_str());
+    return Usage();
+  }
+
+  // 3. Telemetry plane + optional exposition endpoint.
+  util::RegisterBuildInfoMetric();
+  sim::MetricsTimeSeries timeseries;
+  sim::StallWatchdog watchdog;
+  util::MetricsHttpServer::Options server_options;
+  server_options.port = static_cast<int>(serve_port);
+  util::MetricsHttpServer server(server_options);
+  if (serve_port >= 0) {
+    const util::Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving telemetry on 127.0.0.1:%d\n", server.port());
+    std::fflush(stdout);
+    std::fprintf(stderr, "serve_metrics_port=%d\n", server.port());
+    std::fflush(stderr);
+    watchdog.Start();
+  }
+
+  // 4. The service under test.
+  sim::ServiceOptions service_options;
+  service_options.time_scale = time_scale;
+  service_options.min_batch_gap_ms = min_batch_gap_ms;
+  service_options.max_batch_gap_ms = max_batch_gap_ms;
+  service_options.inject_batch_delay_ms = inject_stall_ms;
+  service_options.timeseries = &timeseries;
+  service_options.watchdog = &watchdog;
+  sim::Service service(*instance, **allocator, service_options);
+  service.Start();
+  for (int w = 0; w < instance->num_workers(); ++w) {
+    const util::Status submitted = service.SubmitWorker(w);
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "%s\n", submitted.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // 5. The open-loop send loop. The service's steady clock is the one true
+  // clock: intended time i is plan[i].intended_s after the loop origin.
+  std::vector<double> intended_wall(static_cast<size_t>(m), 0.0);
+  util::LatencyRecorder send_lag;
+  sim::LoadReport report;
+  const double origin_s = service.ElapsedWallSeconds();
+  const int depth_stride =
+      std::max(1, static_cast<int>(plan.size()) / 256);
+  double first_submit_s = 0.0;
+  double last_submit_s = 0.0;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const double intended = origin_s + plan[i].intended_s;
+    double now = service.ElapsedWallSeconds();
+    // Coarse sleep to ~1 ms short of the intended instant, then a fine
+    // spin; never skip a send, however late (open loop).
+    while (now + 1e-3 < intended) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(intended - now - 1e-3, 0.050)));
+      now = service.ElapsedWallSeconds();
+    }
+    while (now < intended) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      now = service.ElapsedWallSeconds();
+    }
+    const util::Status submitted = service.SubmitTask(plan[i].id);
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "%s\n", submitted.ToString().c_str());
+      return 1;
+    }
+    const double sent_at = service.ElapsedWallSeconds();
+    intended_wall[static_cast<size_t>(plan[i].id)] = intended;
+    send_lag.Record((sent_at - intended) * 1e3);
+    if (i == 0) first_submit_s = sent_at;
+    last_submit_s = sent_at;
+    if (i % static_cast<size_t>(depth_stride) == 0) {
+      report.queue_depth.push_back(
+          {sent_at, static_cast<double>(service.ingest_queue_depth())});
+    }
+  }
+  service.Drain();
+  report.queue_depth.push_back(
+      {service.ElapsedWallSeconds(),
+       static_cast<double>(service.ingest_queue_depth())});
+
+  // 6. Collect decisions and build the latency series.
+  const std::vector<sim::DecisionRecord> decisions = service.TakeDecisions();
+  util::LatencyRecorder e2e_intended;
+  util::LatencyRecorder e2e_submit;
+  std::vector<sim::LoadSample> samples;
+  samples.reserve(decisions.size());
+  for (const sim::DecisionRecord& d : decisions) {
+    const double vs_intended =
+        (d.decide_wall_s - intended_wall[static_cast<size_t>(d.task)]) * 1e3;
+    const double vs_submit = (d.decide_wall_s - d.submit_wall_s) * 1e3;
+    e2e_intended.Record(vs_intended);
+    e2e_submit.Record(vs_submit);
+    samples.push_back({vs_intended, d.served});
+  }
+  const sim::ServiceStats stats = service.stats();
+  service.Shutdown();
+  watchdog.Stop();
+
+  // 7. Assemble the report.
+  report.header.instance = instance_desc;
+  report.header.algorithm = std::string((*allocator)->name());
+  report.header.process = util::ArrivalProcessName(*process);
+  report.header.seed = static_cast<uint64_t>(seed);
+  const util::BuildInfo& build = util::GetBuildInfo();
+  report.header.version = build.version;
+  report.header.git_sha = build.git_sha;
+  report.header.build_type = build.build_type;
+
+  report.rates.offered_per_min = rate;
+  report.rates.sent = stats.submitted_tasks;
+  report.rates.duration_s = last_submit_s - origin_s;
+  report.rates.time_scale = time_scale;
+  const double send_span_s = last_submit_s - first_submit_s;
+  report.rates.achieved_per_min =
+      stats.submitted_tasks > 1 && send_span_s > 0.0
+          ? static_cast<double>(stats.submitted_tasks - 1) * 60.0 /
+                send_span_s
+          : rate;
+  report.rates.ratio =
+      rate > 0.0 ? report.rates.achieved_per_min / rate : 0.0;
+
+  report.latency.push_back(Summarize("e2e_intended", e2e_intended));
+  report.latency.push_back(Summarize("e2e_submit", e2e_submit));
+  report.latency.push_back(Summarize("send_lag", send_lag));
+
+  report.service.batches = stats.batches;
+  report.service.nonempty_batches = stats.nonempty_batches;
+  report.service.served = stats.served;
+  report.service.expired = stats.expired;
+  report.service.unserved_rate =
+      stats.submitted_tasks > 0
+          ? static_cast<double>(stats.expired) /
+                static_cast<double>(stats.submitted_tasks)
+          : 0.0;
+  report.service.allocator_seconds = stats.allocator_seconds;
+
+  report.sketch = ReadServiceSketch(serve_port >= 0 ? server.port() : 0);
+
+  // Reconciliation: the loadgen Hdr recorder and the service DDSketch saw
+  // the identical decide-submit multiset through two structurally different
+  // estimators; their p95s must agree within the combined relative errors
+  // (plus slack for the two rank conventions landing one bucket apart).
+  report.reconcile.loadgen_p95_ms = e2e_submit.Percentile(0.95);
+  report.reconcile.service_p95_ms = report.sketch.p95_ms;
+  report.reconcile.tolerance =
+      e2e_submit.RelativeError() + 0.01 /* sketch alpha */ + 0.03;
+  report.reconcile.rel_diff =
+      std::abs(report.reconcile.loadgen_p95_ms -
+               report.reconcile.service_p95_ms) /
+      std::max(report.reconcile.service_p95_ms, 1e-9);
+  report.reconcile.agree =
+      report.reconcile.rel_diff <= report.reconcile.tolerance;
+
+  sim::LoadSloDefinition latency_slo;
+  latency_slo.name = "p99_e2e_ms";
+  latency_slo.kind = sim::LoadSloDefinition::Kind::kLatencyQuantile;
+  latency_slo.threshold_ms = slo_p99_ms;
+  latency_slo.budget = 0.01;
+  latency_slo.short_window = slo_short_window;
+  sim::LoadSloDefinition unserved_slo;
+  unserved_slo.name = "unserved_rate";
+  unserved_slo.kind = sim::LoadSloDefinition::Kind::kUnservedRate;
+  unserved_slo.budget = slo_unserved_budget;
+  unserved_slo.short_window = slo_short_window;
+  report.slos.push_back(sim::EvaluateLoadSlo(latency_slo, samples));
+  report.slos.push_back(sim::EvaluateLoadSlo(unserved_slo, samples));
+
+  for (const sim::WatchdogAnomaly& a : watchdog.anomalies()) {
+    report.anomalies.push_back(
+        {a.kind, a.batch_seq, a.value, a.threshold, a.wall_ms});
+  }
+
+  // 8. Emit.
+  std::printf(
+      "%s over %s: sent=%lld offered=%.0f/min achieved=%.0f/min "
+      "(ratio %.3f)\n",
+      report.header.algorithm.c_str(), report.header.process.c_str(),
+      static_cast<long long>(report.rates.sent), rate,
+      report.rates.achieved_per_min, report.rates.ratio);
+  std::printf(
+      "e2e (vs intended): p50=%.2fms p95=%.2fms p99=%.2fms p99.9=%.2fms "
+      "max=%.2fms\n",
+      e2e_intended.Percentile(0.5), e2e_intended.Percentile(0.95),
+      e2e_intended.Percentile(0.99), e2e_intended.Percentile(0.999),
+      e2e_intended.max());
+  std::printf(
+      "service: batches=%lld served=%lld expired=%lld unserved_rate=%.3f\n",
+      static_cast<long long>(stats.batches),
+      static_cast<long long>(stats.served),
+      static_cast<long long>(stats.expired), report.service.unserved_rate);
+  std::printf("reconcile p95: loadgen=%.3fms service=%.3fms (%s, diff %.2f%% "
+              "tol %.2f%%)\n",
+              report.reconcile.loadgen_p95_ms, report.reconcile.service_p95_ms,
+              report.reconcile.agree ? "agree" : "DISAGREE",
+              report.reconcile.rel_diff * 100.0,
+              report.reconcile.tolerance * 100.0);
+  for (const sim::LoadSloResult& slo : report.slos) {
+    std::printf("slo %s: long_burn=%.2f short_burn=%.2f %s\n",
+                slo.def.name.c_str(), slo.long_burn, slo.short_burn,
+                slo.breached ? "BREACHED" : "ok");
+  }
+  if (!report.anomalies.empty()) {
+    std::printf("watchdog anomalies: %zu\n", report.anomalies.size());
+  }
+
+  if (!report_out.empty()) {
+    std::ofstream out(report_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", report_out.c_str());
+      return 1;
+    }
+    sim::WriteLoadReportJsonl(out, report);
+    std::printf("load report written to %s\n", report_out.c_str());
+  }
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

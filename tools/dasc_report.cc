@@ -7,6 +7,12 @@
 //            [--min-gap=F] [--gate]
 //   dasc_report trajectory <report.jsonl> <trajectory.json> [--label=STR]
 //   dasc_report live <port> [--interval-ms=500] [--iterations=0] [--no-ansi]
+//            [--once]
+//   dasc_report load summarize <load.jsonl>
+//   dasc_report load diff <baseline.jsonl> <candidate.jsonl>
+//            [--latency-tol=0.10] [--rate-tol=0.02] [--gate]
+//   dasc_report load gate <load.jsonl> [--require-reconcile]
+//            [--min-rate-ratio=F]
 //
 // summarize prints one table row per algorithm in the report: score, batch
 // shape, allocator latency distribution, and (for audited runs) the
@@ -47,7 +53,17 @@
 // --serve-metrics and redraws a one-screen table (windowed latency
 // quantiles, progress counters, queue gauges, watchdog anomaly totals)
 // every --interval-ms. With --iterations=0 it watches until the server goes
-// away (a finished run exits 0); --no-ansi appends frames for logs/tests.
+// away (a finished run exits 0); --no-ansi appends frames for logs/tests;
+// --once renders exactly one plain-text frame and exits (shorthand for
+// --iterations=1 --no-ansi — the scriptable "what is it doing right now").
+//
+// load operates on dasc-load-report/1 artifacts from dasc_loadgen:
+// summarize prints the run's rate/latency/SLO story as tables; diff
+// compares two runs (rate ratio, CO-corrected latency quantiles, SLO
+// breaches — with --gate regressions exit 1); gate is the CI teeth — exits
+// 1 iff the report records a breached SLO (and, with --require-reconcile,
+// if the two latency estimators disagreed; with --min-rate-ratio, if the
+// generator failed to keep up with the offered rate).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -61,6 +77,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/load_report.h"
 #include "sim/run_report_reader.h"
 #include "util/csv.h"
 #include "util/flags.h"
@@ -84,7 +101,12 @@ int Usage() {
       "  dasc_report trajectory <report.jsonl> <trajectory.json> "
       "[--label=]\n"
       "  dasc_report live <port> [--interval-ms=500] [--iterations=0] "
-      "[--no-ansi]\n");
+      "[--no-ansi] [--once]\n"
+      "  dasc_report load summarize <load.jsonl>\n"
+      "  dasc_report load diff <baseline.jsonl> <candidate.jsonl> "
+      "[--latency-tol= --rate-tol= --gate]\n"
+      "  dasc_report load gate <load.jsonl> [--require-reconcile "
+      "--min-rate-ratio=]\n");
   return 2;
 }
 
@@ -586,6 +608,9 @@ int RenderLiveFrame(int port, int iteration, bool ansi) {
   if (counters != nullptr) {
     for (const char* name :
          {"sim_batches_total", "sim_score_total", "sim_completions_total",
+          "service_batches_total", "service_decisions_total",
+          "service_tasks_served_total",
+          "service_tasks_expired_total", "service_camp_dispatches_total",
           "audit_batches_total", "audit_violations_total"}) {
       const util::JsonValue* v = counters->Find(name);
       if (v != nullptr) table.AddRow({name, Num(v->AsDouble(), 0)});
@@ -602,7 +627,9 @@ int RenderLiveFrame(int port, int iteration, bool ansi) {
   if (gauges != nullptr) {
     for (const char* name :
          {"sim_queue_depth_workers", "sim_queue_depth_tasks",
-          "threadpool_queue_depth", "audit_last_batch_gap"}) {
+          "service_ingest_queue_depth", "service_queue_depth_workers",
+          "service_queue_depth_tasks", "threadpool_queue_depth",
+          "audit_last_batch_gap"}) {
       const util::JsonValue* v = gauges->Find(name);
       if (v != nullptr) table.AddRow({name, Num(v->AsDouble(), 3)});
     }
@@ -617,12 +644,20 @@ int Live(int argc, char** argv) {
   int64_t interval_ms = 500;
   int64_t iterations = 0;
   bool no_ansi = false;
+  bool once = false;
   parser.AddInt("interval-ms", &interval_ms, "delay between refreshes");
   parser.AddInt("iterations", &iterations,
                 "number of frames to render; 0 = until the scrape fails");
   parser.AddBool("no-ansi", &no_ansi,
                  "append frames instead of redrawing in place");
+  parser.AddBool("once", &once,
+                 "render one plain-text frame and exit "
+                 "(= --iterations=1 --no-ansi)");
   if (!ParseSubcommand(parser, argc, argv, 1)) return Usage();
+  if (once) {
+    iterations = 1;
+    no_ansi = true;
+  }
   const int port = std::atoi(parser.positional()[0].c_str());
   if (port <= 0) {
     std::fprintf(stderr, "live: '%s' is not a port\n",
@@ -642,6 +677,226 @@ int Live(int argc, char** argv) {
   return 0;
 }
 
+util::Result<sim::LoadReport> LoadReportOrComplain(const std::string& path) {
+  util::Result<sim::LoadReport> report = sim::ReadLoadReportFile(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+  }
+  return report;
+}
+
+void PrintLoadReport(const sim::LoadReport& r) {
+  std::printf(
+      "load run: algorithm=%s process=%s instance=%s seed=%llu build=%s@%s\n",
+      r.header.algorithm.c_str(), r.header.process.c_str(),
+      r.header.instance.c_str(),
+      static_cast<unsigned long long>(r.header.seed),
+      r.header.version.c_str(), r.header.git_sha.c_str());
+  std::printf(
+      "rates: offered=%.0f/min achieved=%.0f/min ratio=%.3f sent=%lld "
+      "over %.2fs (time_scale %.2f)\n",
+      r.rates.offered_per_min, r.rates.achieved_per_min, r.rates.ratio,
+      static_cast<long long>(r.rates.sent), r.rates.duration_s,
+      r.rates.time_scale);
+
+  util::TablePrinter latency;
+  latency.AddRow({"series", "count", "mean", "p50", "p95", "p99", "p99.9",
+                  "max"});
+  for (const sim::LatencySeriesSummary& s : r.latency) {
+    latency.AddRow({s.series, std::to_string(s.count), Num(s.mean_ms, 3),
+                    Num(s.p50_ms, 3), Num(s.p95_ms, 3), Num(s.p99_ms, 3),
+                    Num(s.p999_ms, 3), Num(s.max_ms, 3)});
+  }
+  latency.Print(std::cout);
+
+  std::printf(
+      "service: batches=%lld (nonempty %lld) served=%lld expired=%lld "
+      "unserved_rate=%.3f allocator=%.3fs\n",
+      static_cast<long long>(r.service.batches),
+      static_cast<long long>(r.service.nonempty_batches),
+      static_cast<long long>(r.service.served),
+      static_cast<long long>(r.service.expired), r.service.unserved_rate,
+      r.service.allocator_seconds);
+  std::printf(
+      "reconcile: loadgen p95=%.3fms vs service %s p95=%.3fms (%s; "
+      "diff %.2f%% tol %.2f%%)\n",
+      r.reconcile.loadgen_p95_ms, r.sketch.scraped ? "scrape" : "in-process",
+      r.reconcile.service_p95_ms, r.reconcile.agree ? "agree" : "DISAGREE",
+      r.reconcile.rel_diff * 100.0, r.reconcile.tolerance * 100.0);
+
+  util::TablePrinter slos;
+  slos.AddRow({"slo", "budget", "long_bad", "short_bad", "long_burn",
+               "short_burn", "verdict"});
+  for (const sim::LoadSloResult& s : r.slos) {
+    slos.AddRow({s.def.name, Num(s.def.budget, 4), Num(s.long_bad, 4),
+                 Num(s.short_bad, 4), Num(s.long_burn, 2),
+                 Num(s.short_burn, 2), s.breached ? "BREACHED" : "ok"});
+  }
+  slos.Print(std::cout);
+
+  double max_depth = 0.0;
+  for (const sim::QueueDepthSample& q : r.queue_depth) {
+    max_depth = std::max(max_depth, q.depth);
+  }
+  std::printf("queue depth: %zu samples, max %.0f; anomalies: %zu\n",
+              r.queue_depth.size(), max_depth, r.anomalies.size());
+}
+
+int LoadSummarize(util::FlagParser& parser) {
+  util::Result<sim::LoadReport> report =
+      LoadReportOrComplain(parser.positional()[0]);
+  if (!report.ok()) return 1;
+  PrintLoadReport(*report);
+  return 0;
+}
+
+const sim::LatencySeriesSummary* FindSeries(const sim::LoadReport& r,
+                                            const std::string& name) {
+  for (const sim::LatencySeriesSummary& s : r.latency) {
+    if (s.series == name) return &s;
+  }
+  return nullptr;
+}
+
+int LoadDiff(util::FlagParser& parser, double latency_tol, double rate_tol,
+             bool gate) {
+  util::Result<sim::LoadReport> base =
+      LoadReportOrComplain(parser.positional()[0]);
+  if (!base.ok()) return 1;
+  util::Result<sim::LoadReport> cand =
+      LoadReportOrComplain(parser.positional()[1]);
+  if (!cand.ok()) return 1;
+
+  util::TablePrinter table;
+  table.AddRow({"metric", "baseline", "candidate", "verdict"});
+  int regressions = 0;
+  auto row = [&](const std::string& metric, double b, double c,
+                 bool regression, const std::string& note = "") {
+    if (regression) ++regressions;
+    std::string verdict = regression ? "REGRESSION" : "ok";
+    if (!note.empty()) verdict += " (" + note + ")";
+    table.AddRow({metric, Num(b, 3), Num(c, 3), verdict});
+  };
+
+  // Rate-keeping: the candidate must pace the offered load as well as the
+  // baseline did, within --rate-tol (absolute, the ratio is already
+  // normalized).
+  row("rate_ratio", base->rates.ratio, cand->rates.ratio,
+      cand->rates.ratio < base->rates.ratio - rate_tol);
+  row("unserved_rate", base->service.unserved_rate,
+      cand->service.unserved_rate,
+      cand->service.unserved_rate >
+          base->service.unserved_rate + rate_tol);
+
+  // CO-corrected latency, quantile by quantile, relative tolerance. Wall
+  // times are machine-dependent, so this diff only means something between
+  // runs on the same machine — the tolerance default is loose accordingly.
+  const sim::LatencySeriesSummary* base_lat = FindSeries(*base, "e2e_intended");
+  const sim::LatencySeriesSummary* cand_lat = FindSeries(*cand, "e2e_intended");
+  if (base_lat != nullptr && cand_lat != nullptr) {
+    auto lat_row = [&](const std::string& name, double b, double c) {
+      row(name, b, c, b > 0.0 && (c - b) / b > latency_tol);
+    };
+    lat_row("e2e_p50_ms", base_lat->p50_ms, cand_lat->p50_ms);
+    lat_row("e2e_p95_ms", base_lat->p95_ms, cand_lat->p95_ms);
+    lat_row("e2e_p99_ms", base_lat->p99_ms, cand_lat->p99_ms);
+  }
+
+  // SLO breaches: a newly-breached SLO is a regression regardless of
+  // tolerances.
+  for (const sim::LoadSloResult& c : cand->slos) {
+    bool base_breached = false;
+    for (const sim::LoadSloResult& b : base->slos) {
+      if (b.def.name == c.def.name) base_breached = b.breached;
+    }
+    if (c.breached && !base_breached) {
+      row("slo:" + c.def.name, 0.0, c.short_burn, true, "newly breached");
+    }
+  }
+
+  table.Print(std::cout);
+  if (regressions > 0) {
+    std::printf("%d load regression(s) against %s\n", regressions,
+                parser.positional()[0].c_str());
+    return gate ? 1 : 0;
+  }
+  std::printf("no load regressions\n");
+  return 0;
+}
+
+int LoadGate(util::FlagParser& parser, bool require_reconcile,
+             double min_rate_ratio) {
+  util::Result<sim::LoadReport> report =
+      LoadReportOrComplain(parser.positional()[0]);
+  if (!report.ok()) return 1;
+  int failures = 0;
+  for (const sim::LoadSloResult& s : report->slos) {
+    if (s.breached) {
+      std::printf(
+          "gate: SLO %s breached (long_burn %.2fx, short_burn %.2fx)\n",
+          s.def.name.c_str(), s.long_burn, s.short_burn);
+      ++failures;
+    }
+  }
+  if (require_reconcile && !report->reconcile.agree) {
+    std::printf(
+        "gate: estimator reconciliation failed (loadgen p95 %.3fms vs "
+        "service %.3fms, diff %.2f%% > tol %.2f%%)\n",
+        report->reconcile.loadgen_p95_ms, report->reconcile.service_p95_ms,
+        report->reconcile.rel_diff * 100.0,
+        report->reconcile.tolerance * 100.0);
+    ++failures;
+  }
+  if (min_rate_ratio > 0.0 && report->rates.ratio < min_rate_ratio) {
+    std::printf("gate: achieved/offered rate %.3f below floor %.3f\n",
+                report->rates.ratio, min_rate_ratio);
+    ++failures;
+  }
+  if (failures > 0) {
+    std::printf("gate: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("gate: clean\n");
+  return 0;
+}
+
+int Load(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string verb = argv[2];
+  util::FlagParser parser;
+  double latency_tol = 0.10;
+  double rate_tol = 0.02;
+  bool gate = false;
+  bool require_reconcile = false;
+  double min_rate_ratio = 0.0;
+  parser.AddDouble("latency-tol", &latency_tol,
+                   "diff: max relative CO-corrected latency increase");
+  parser.AddDouble("rate-tol", &rate_tol,
+                   "diff: max absolute rate-ratio / unserved-rate slip");
+  parser.AddBool("gate", &gate, "diff: exit nonzero on any regression");
+  parser.AddBool("require-reconcile", &require_reconcile,
+                 "gate: also fail when the estimators disagreed");
+  parser.AddDouble("min-rate-ratio", &min_rate_ratio,
+                   "gate: floor on achieved/offered (0 = no floor)");
+  std::vector<std::string> args;
+  for (int i = 3; i < argc; ++i) args.emplace_back(argv[i]);
+  const util::Status status = parser.Parse(args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return Usage();
+  }
+  if (verb == "summarize" && parser.positional().size() == 1) {
+    return LoadSummarize(parser);
+  }
+  if (verb == "diff" && parser.positional().size() == 2) {
+    return LoadDiff(parser, latency_tol, rate_tol, gate);
+  }
+  if (verb == "gate" && parser.positional().size() == 1) {
+    return LoadGate(parser, require_reconcile, min_rate_ratio);
+  }
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -652,5 +907,6 @@ int main(int argc, char** argv) {
   if (command == "diff") return Diff(argc, argv);
   if (command == "trajectory") return Trajectory(argc, argv);
   if (command == "live") return Live(argc, argv);
+  if (command == "load") return Load(argc, argv);
   return Usage();
 }
