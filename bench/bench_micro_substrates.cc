@@ -33,6 +33,11 @@
 //     heartbeat (sim_telemetry_on) against an empty loop
 //     (sim_telemetry_off), per boundary, exporter idle — budgeted at <= 3%
 //     of sim_batch_ms;
+//   * the flight-recorder overhead guard: one batch's worth of black-box
+//     events (batch begin/end, three phase spans, decisions, the tracer's
+//     per-phase batch record) with the recorder on (flight_recorder_on) vs
+//     the runtime kill switch off (flight_recorder_off), per batch —
+//     budgeted at <= 3% of sim_batch_ms;
 //   * full-simulation headline metrics from one audited G-G run of the
 //     reduced Table V workload (sim_headline_*): batches, p95 batch
 //     allocator ms, score, the game_rounds histogram summary pulled from
@@ -65,6 +70,8 @@
 #include "matching/hopcroft_karp.h"
 #include "matching/hungarian.h"
 #include "sim/metrics.h"
+#include "sim/task_trace.h"
+#include "util/flight_recorder.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -469,6 +476,59 @@ std::vector<MicroEntry> CollectMicroEntries(int reps) {
     for (auto it = entries.end() - 2; it != entries.end(); ++it) {
       it->ms_mean /= kBoundaries;
       it->ms_p95 /= kBoundaries;
+    }
+  }
+
+  // Flight-recorder overhead guard: everything the black box adds to one
+  // service/simulator batch — a batch_begin/batch_end pair, three phase
+  // spans (with self-time accumulation), one decision event per committed
+  // pair, and the tracer's OnBatchBegin/OnBatchEnd record built from the
+  // TakeThreadPhaseNanos table — measured per batch with the recorder
+  // enabled (flight_recorder_on) vs the runtime kill switch off
+  // (flight_recorder_off). Timed directly for the same conditioning reason
+  // as the ledger and telemetry guards: one batch's event traffic is
+  // microseconds against a ~20 ms allocator. Budget: the on/off delta is
+  // <= 3% of sim_batch_ms (DESIGN.md §16).
+  {
+    constexpr int kBatches = 64;
+    constexpr int kDecisionsPerBatch = 32;
+    util::FlightRecorder& recorder = util::FlightRecorder::Global();
+    const uint32_t phase_a = recorder.InternLabel("bench_phase_a");
+    const uint32_t phase_b = recorder.InternLabel("bench_phase_b");
+    const uint32_t phase_c = recorder.InternLabel("bench_phase_c");
+    sim::TaskTracer tracer;
+    const auto run_batches = [&] {
+      for (int b = 0; b < kBatches; ++b) {
+        recorder.Record(util::FlightEventKind::kBatchBegin, 0, b);
+        util::TakeThreadPhaseNanos();
+        tracer.OnBatchBegin(b, 0.005 * b);
+        {
+          util::FlightSpan outer(phase_a);
+          util::FlightSpan inner(phase_b);
+          benchmark::DoNotOptimize(inner);
+        }
+        {
+          util::FlightSpan commit(phase_c);
+          for (int d = 0; d < kDecisionsPerBatch; ++d) {
+            recorder.Record(util::FlightEventKind::kDecision, 0, d, 1);
+          }
+        }
+        tracer.OnBatchEnd(b, 0.005 * b + 0.004, kDecisionsPerBatch, 0, 0,
+                          util::TakeThreadPhaseNanos());
+        recorder.Record(util::FlightEventKind::kBatchEnd, 0, b,
+                        kDecisionsPerBatch);
+      }
+      benchmark::DoNotOptimize(recorder.recorded());
+    };
+    recorder.SetEnabled(true);
+    entries.push_back(TimeMicro("flight_recorder_on", reps, run_batches));
+    recorder.SetEnabled(false);
+    entries.push_back(TimeMicro("flight_recorder_off", reps, run_batches));
+    recorder.SetEnabled(true);
+    // Per-batch cost, directly comparable to sim_batch_ms.
+    for (auto it = entries.end() - 2; it != entries.end(); ++it) {
+      it->ms_mean /= kBatches;
+      it->ms_p95 /= kBatches;
     }
   }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/tracing.h"
@@ -210,6 +211,7 @@ core::Assignment GameAllocator::Allocate(const core::BatchProblem& problem) {
   double potential_delta = 0.0;
   {
     DASC_TRACE_SPAN("best_response");
+    DASC_FLIGHT_SPAN("best_response");
     while (true) {
       int changed = 0;
       for (int wi : players) {

@@ -12,6 +12,7 @@
 #include "matching/hopcroft_karp.h"
 #include "matching/hungarian.h"
 #include "matching/sparse_assignment.h"
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -831,6 +832,7 @@ core::Assignment GreedyAllocator::Allocate(const core::BatchProblem& problem) {
   // derived from the candidates inside the span.
   problem.Candidates();
   DASC_TRACE_SPAN("matching");
+  DASC_FLIGHT_SPAN("matching");
   if (options_.warm_start && warm_ == nullptr) {
     warm_ = std::make_unique<GreedyWarmState>();
   }

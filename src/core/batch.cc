@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geo/grid_index.h"
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -206,6 +207,7 @@ CandidateSets BuildCandidates(const BatchProblem& problem) {
   const Instance& instance = *problem.instance;
   DASC_TRACE_SPAN_N("candidate_build",
                     static_cast<int64_t>(problem.workers.size()));
+  DASC_FLIGHT_SPAN("candidate_build");
   CandidateSets sets;
   sets.worker_tasks.resize(problem.workers.size());
   sets.task_workers.resize(static_cast<size_t>(instance.num_tasks()));

@@ -47,7 +47,58 @@ void WriteTaskEntryJsonl(std::ostream& out, const std::string& algorithm,
       << ",\"assigned_batch\":" << entry.assigned_batch
       << ",\"camp_expired\":" << (entry.camp_expired ? "true" : "false")
       << ",\"completion_time\":" << JsonNumber(entry.completion_time)
-      << "}\n";
+      // The trace id is a pure function of the task id (sim/task_trace.h),
+      // so ledger task lines cross-navigate to traces even in runs where no
+      // tracer was attached.
+      << ",\"trace_id\":\"" << util::FormatTraceId(TaskTraceId(entry.task))
+      << "\"}\n";
+}
+
+void WriteTraceJsonl(std::ostream& out, const TaskTracer& tracer) {
+  const TaskTracerStats stats = tracer.stats();
+  const std::vector<TaskTraceRecord> traces = tracer.RetainedTraces();
+  const std::vector<TraceBatchRecord> batches = tracer.BatchRecords();
+  out << "{\"type\":\"trace_summary\",\"started\":" << stats.traces_started
+      << ",\"decided\":" << stats.traces_decided
+      << ",\"retained\":" << stats.traces_retained
+      << ",\"head\":" << stats.head_retained
+      << ",\"tail\":" << stats.tail_retained
+      << ",\"flagged\":" << stats.flagged_retained
+      << ",\"batches\":" << stats.batches
+      << ",\"flagged_batches\":" << stats.flagged_batches
+      << ",\"dropped_batches\":" << stats.dropped_batches
+      << ",\"traces\":" << traces.size()
+      << ",\"batch_records\":" << batches.size() << "}\n";
+  for (const TaskTraceRecord& t : traces) {
+    out << "{\"type\":\"trace\",\"trace_id\":\""
+        << util::FormatTraceId(t.trace_id) << "\",\"task\":" << t.task
+        << ",\"retained\":\"" << JsonEscape(t.retained_reason)
+        << "\",\"submit_s\":" << JsonNumber(t.submit_wall_s)
+        << ",\"first_admit_batch\":" << t.first_admit_batch
+        << ",\"last_admit_batch\":" << t.last_admit_batch
+        << ",\"admitted_batches\":" << t.admitted_batches
+        << ",\"camp_batch\":" << t.camp_batch
+        << ",\"decide_batch\":" << t.decide_batch
+        << ",\"decide_s\":" << JsonNumber(t.decide_wall_s)
+        << ",\"served\":" << (t.served ? "true" : "false")
+        << ",\"e2e_ms\":" << JsonNumber(t.e2e_ms()) << "}\n";
+  }
+  for (const TraceBatchRecord& b : batches) {
+    out << "{\"type\":\"trace_batch\",\"seq\":" << b.seq
+        << ",\"begin_s\":" << JsonNumber(b.begin_wall_s)
+        << ",\"end_s\":" << JsonNumber(b.end_wall_s)
+        << ",\"decisions\":" << b.decisions
+        << ",\"open_tasks\":" << b.open_tasks
+        << ",\"idle_workers\":" << b.idle_workers
+        << ",\"flagged\":" << (b.flagged ? "true" : "false") << ",\"phases\":{";
+    bool first = true;
+    for (const TraceBatchPhase& p : b.phases) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(p.label) << "\":" << JsonNumber(p.ms);
+    }
+    out << "}}\n";
+  }
 }
 
 void WriteLedgerJsonl(std::ostream& out, const RunStats& stats) {
@@ -117,6 +168,7 @@ void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,
   registry.WriteJsonl(out);
   if (extras.timeseries != nullptr) extras.timeseries->WriteJsonl(out);
   if (extras.watchdog != nullptr) WriteAnomaliesJsonl(out, *extras.watchdog);
+  if (extras.tracer != nullptr) WriteTraceJsonl(out, *extras.tracer);
 }
 
 void WriteRunReportJsonl(std::ostream& out, const RunReportHeader& header,

@@ -15,6 +15,7 @@
 
 #include "sim/metrics.h"
 #include "sim/metrics_timeseries.h"
+#include "sim/task_trace.h"
 #include "sim/watchdog.h"
 #include "util/metrics.h"
 
@@ -37,10 +38,18 @@ namespace dasc::sim {
 //        attached emit one "timeseries" header line plus one "ts" line per
 //        retained sample; runs with a StallWatchdog attached emit one
 //        "anomalies" summary line plus one "anomaly" line per recorded
-//        breach. Readers (sim/run_report_reader.h,
-//        tools/check_run_report.py) accept /1 through /4; older stats
-//        default the newer fields to zero and carry no newer blocks.
-inline constexpr const char* kRunReportSchema = "dasc-run-report/4";
+//        breach.
+//   /5 — causal-trace blocks: "task" lines gain a "trace_id" (16-hex-char
+//        string; deterministic per task id), "sketch" lines gain an
+//        "exemplars" array (one sampled trace id per touched cumulative
+//        bucket), and runs with a TaskTracer attached emit one
+//        "trace_summary" line, one "trace" line per retained trace (head /
+//        tail / flagged sampling), and one "trace_batch" line per batch
+//        record (wall extent + per-phase self-time breakdown). Readers
+//        (sim/run_report_reader.h, tools/check_run_report.py) accept /1
+//        through /5; older stats default the newer fields to zero and carry
+//        no newer blocks.
+inline constexpr const char* kRunReportSchema = "dasc-run-report/5";
 
 // Identity of the run being reported.
 struct RunReportHeader {
@@ -48,10 +57,11 @@ struct RunReportHeader {
   std::string instance;  // workload path or generator description
 };
 
-// Optional /4 telemetry blocks (both may be nullptr; pointers not owned).
+// Optional /4-/5 telemetry blocks (all may be nullptr; pointers not owned).
 struct RunReportExtras {
   const MetricsTimeSeries* timeseries = nullptr;
   const StallWatchdog* watchdog = nullptr;
+  const TaskTracer* tracer = nullptr;
 };
 
 // Writes the full report:
@@ -85,6 +95,10 @@ void WriteLedgerJsonl(std::ostream& out, const RunStats& stats);
 // One per-task "task" line; exposed for dasc_cli --explain streaming.
 void WriteTaskEntryJsonl(std::ostream& out, const std::string& algorithm,
                          const TaskLedgerEntry& entry);
+
+// The /5 causal-trace block: the "trace_summary" line, one "trace" line per
+// retained trace, one "trace_batch" line per batch record.
+void WriteTraceJsonl(std::ostream& out, const TaskTracer& tracer);
 
 }  // namespace dasc::sim
 

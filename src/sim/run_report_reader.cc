@@ -48,11 +48,11 @@ Status ParseHeader(const JsonValue& obj, int line_no, RunReport* report) {
   if (schema.rfind(kPrefix, 0) == 0) {
     version = std::atoi(schema.c_str() + std::string(kPrefix).size());
   }
-  if (version < 1 || version > 4) {
+  if (version < 1 || version > 5) {
     return LineError(line_no,
                      "unsupported schema \"" + schema +
                          "\" (this reader supports dasc-run-report/1 "
-                         "through dasc-run-report/4)");
+                         "through dasc-run-report/5)");
   }
   report->schema_version = version;
   report->header.kind = obj.GetString("kind", "");
@@ -187,6 +187,15 @@ Status ParseTaskEntry(const JsonValue& obj, int line_no,
   const JsonValue* camp = obj.Find("camp_expired");
   entry->camp_expired = camp != nullptr && camp->AsBool();
   entry->completed = entry->reason == UnservedReason::kServed;
+  // /5 task lines carry the task's causal-trace id; it is a pure function
+  // of the task id, so a value that disagrees means the report was
+  // hand-edited or the writer regressed — either way fail loudly.
+  const JsonValue* trace_id = obj.Find("trace_id");
+  if (trace_id != nullptr &&
+      util::ParseTraceId(trace_id->AsString()) != TaskTraceId(entry->task)) {
+    return LineError(line_no, "task line trace_id \"" + trace_id->AsString() +
+                                  "\" does not match TaskTraceId(task)");
+  }
   return Status::OK();
 }
 
@@ -245,6 +254,25 @@ Status ParseSketch(const JsonValue& obj, int line_no,
   sketch->relative_error = obj.GetNumber("relative_error", 0.0);
   sketch->window_intervals =
       static_cast<int>(obj.GetNumber("window_intervals", 0));
+  // /5 exemplars (absent on older reports and exemplar-free sketches).
+  const JsonValue* exemplars = obj.Find("exemplars");
+  if (exemplars != nullptr) {
+    if (!exemplars->is_array()) {
+      return LineError(line_no, "sketch \"exemplars\" is not an array");
+    }
+    for (const JsonValue& item : exemplars->items()) {
+      if (!item.is_object()) {
+        return LineError(line_no, "sketch exemplar is not an object");
+      }
+      util::SketchExemplar exemplar;
+      exemplar.value = item.GetNumber("value", 0.0);
+      exemplar.trace_id = util::ParseTraceId(item.GetString("trace_id", ""));
+      if (exemplar.trace_id == 0) {
+        return LineError(line_no, "sketch exemplar with invalid trace_id");
+      }
+      sketch->exemplars.push_back(exemplar);
+    }
+  }
   const JsonValue* window = obj.Find("window");
   const JsonValue* cumulative = obj.Find("cumulative");
   if (window == nullptr || !window->is_object() || cumulative == nullptr ||
@@ -346,6 +374,92 @@ Status ParseAnomaly(const JsonValue& obj, int line_no,
   return Status::OK();
 }
 
+Status ParseTraceSummary(const JsonValue& obj, int line_no,
+                         RunReportTraces* traces) {
+  (void)line_no;
+  traces->present = true;
+  TaskTracerStats& s = traces->summary;
+  s.traces_started = static_cast<int64_t>(obj.GetNumber("started", 0));
+  s.traces_decided = static_cast<int64_t>(obj.GetNumber("decided", 0));
+  s.traces_retained = static_cast<int64_t>(obj.GetNumber("retained", 0));
+  s.head_retained = static_cast<int64_t>(obj.GetNumber("head", 0));
+  s.tail_retained = static_cast<int64_t>(obj.GetNumber("tail", 0));
+  s.flagged_retained = static_cast<int64_t>(obj.GetNumber("flagged", 0));
+  s.batches = static_cast<int64_t>(obj.GetNumber("batches", 0));
+  s.flagged_batches =
+      static_cast<int64_t>(obj.GetNumber("flagged_batches", 0));
+  s.dropped_batches =
+      static_cast<int64_t>(obj.GetNumber("dropped_batches", 0));
+  return Status::OK();
+}
+
+Status ParseTrace(const JsonValue& obj, int line_no, RunReportTraces* traces) {
+  if (!traces->present) {
+    return LineError(line_no,
+                     "\"trace\" line before the \"trace_summary\" line");
+  }
+  TaskTraceRecord t;
+  t.trace_id = util::ParseTraceId(obj.GetString("trace_id", ""));
+  if (t.trace_id == 0) {
+    return LineError(line_no, "trace line with invalid \"trace_id\"");
+  }
+  t.task = static_cast<core::TaskId>(obj.GetNumber("task", -1));
+  t.retained_reason = obj.GetString("retained", "");
+  if (t.retained_reason != "head" && t.retained_reason != "tail" &&
+      t.retained_reason != "flagged") {
+    return LineError(line_no, "trace line with unknown \"retained\" value \"" +
+                                  t.retained_reason + "\"");
+  }
+  t.submit_wall_s = obj.GetNumber("submit_s", 0.0);
+  t.first_admit_batch =
+      static_cast<int64_t>(obj.GetNumber("first_admit_batch", -1));
+  t.last_admit_batch =
+      static_cast<int64_t>(obj.GetNumber("last_admit_batch", -1));
+  t.admitted_batches =
+      static_cast<int64_t>(obj.GetNumber("admitted_batches", 0));
+  t.camp_batch = static_cast<int64_t>(obj.GetNumber("camp_batch", -1));
+  t.decide_batch = static_cast<int64_t>(obj.GetNumber("decide_batch", -1));
+  t.decide_wall_s = obj.GetNumber("decide_s", 0.0);
+  const JsonValue* served = obj.Find("served");
+  t.served = served != nullptr && served->AsBool();
+  t.decided = true;
+  traces->traces.push_back(std::move(t));
+  return Status::OK();
+}
+
+Status ParseTraceBatch(const JsonValue& obj, int line_no,
+                       RunReportTraces* traces) {
+  if (!traces->present) {
+    return LineError(line_no,
+                     "\"trace_batch\" line before the \"trace_summary\" line");
+  }
+  TraceBatchRecord b;
+  b.seq = static_cast<int64_t>(obj.GetNumber("seq", -1));
+  if (b.seq < 0) {
+    return LineError(line_no, "trace_batch line with invalid \"seq\"");
+  }
+  b.begin_wall_s = obj.GetNumber("begin_s", 0.0);
+  b.end_wall_s = obj.GetNumber("end_s", 0.0);
+  b.decisions = static_cast<int64_t>(obj.GetNumber("decisions", 0));
+  b.open_tasks = static_cast<int64_t>(obj.GetNumber("open_tasks", 0));
+  b.idle_workers = static_cast<int64_t>(obj.GetNumber("idle_workers", 0));
+  const JsonValue* flagged = obj.Find("flagged");
+  b.flagged = flagged != nullptr && flagged->AsBool();
+  const JsonValue* phases = obj.Find("phases");
+  if (phases == nullptr || !phases->is_object()) {
+    return LineError(line_no, "trace_batch line missing \"phases\" object");
+  }
+  for (const auto& [label, ms] : phases->members()) {
+    if (!ms.is_number()) {
+      return LineError(line_no, "trace_batch phase \"" + label +
+                                    "\" is not a number");
+    }
+    b.phases.push_back({label, ms.AsDouble()});
+  }
+  traces->batches.push_back(std::move(b));
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<RunReport> ParseRunReport(std::istream& in) {
@@ -435,6 +549,15 @@ Result<RunReport> ParseRunReport(std::istream& in) {
       if (!status.ok()) return status;
     } else if (type == "anomaly") {
       Status status = ParseAnomaly(obj, line_no, &report.anomalies);
+      if (!status.ok()) return status;
+    } else if (type == "trace_summary") {
+      Status status = ParseTraceSummary(obj, line_no, &report.traces);
+      if (!status.ok()) return status;
+    } else if (type == "trace") {
+      Status status = ParseTrace(obj, line_no, &report.traces);
+      if (!status.ok()) return status;
+    } else if (type == "trace_batch") {
+      Status status = ParseTraceBatch(obj, line_no, &report.traces);
       if (!status.ok()) return status;
     }
     // Unknown types are skipped: minor-version writers may add line kinds.

@@ -11,10 +11,14 @@
 //   /3 — stats additionally require total_tasks and ledger_mismatches, and
 //        optional "ledger" / "task" lines carry the per-task lifecycle
 //        block back into RunStats::unserved_by_reason / RunStats::ledger.
-//   /4 — current; optional live-telemetry blocks: "sketch" lines land in
+//   /4 — optional live-telemetry blocks: "sketch" lines land in
 //        MetricsSnapshot::sketches, "timeseries"/"ts" lines in
 //        RunReport::timeseries, "anomalies"/"anomaly" lines in
 //        RunReport::anomalies.
+//   /5 — current; causal-trace blocks: sketch "exemplars" land in
+//        SketchSnapshot::exemplars, and "trace_summary" / "trace" /
+//        "trace_batch" lines land in RunReport::traces (the structs of
+//        sim/task_trace.h round-trip through the report).
 // Any other tag is rejected with an error naming the supported versions —
 // a report from a newer writer must fail loudly, not half-parse.
 #ifndef DASC_SIM_RUN_REPORT_READER_H_
@@ -50,15 +54,24 @@ struct RunReportAnomalies {
   std::vector<WatchdogAnomaly> entries;
 };
 
+// The /5 causal-trace block ("trace_summary" + "trace" + "trace_batch").
+struct RunReportTraces {
+  bool present = false;
+  TaskTracerStats summary;
+  std::vector<TaskTraceRecord> traces;
+  std::vector<TraceBatchRecord> batches;
+};
+
 // A fully-parsed run report.
 struct RunReport {
-  int schema_version = 0;  // 1 through 4
+  int schema_version = 0;  // 1 through 5
   RunReportHeader header;
   int declared_runs = 0;  // the header's "runs" field
   std::vector<RunStats> stats;
   util::MetricsSnapshot metrics;
   RunReportTimeSeries timeseries;  // /4 runs with a MetricsTimeSeries
   RunReportAnomalies anomalies;    // /4 runs with a StallWatchdog
+  RunReportTraces traces;          // /5 runs with a TaskTracer
 };
 
 // Parses one report from `in`. Fails on: missing/malformed header line,

@@ -5,7 +5,9 @@
 #include <thread>
 
 #include "sim/metrics_timeseries.h"
+#include "sim/task_trace.h"
 #include "sim/watchdog.h"
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -89,6 +91,7 @@ util::Status Service::SubmitTask(core::TaskId id) {
   task_submitted_[static_cast<size_t>(id)] = 1;
   const double now = NowWallLocked();
   task_submit_wall_[static_cast<size_t>(id)] = now;
+  if (options_.tracer != nullptr) options_.tracer->OnSubmit(id, now);
   ingest_.push_back({/*is_task=*/true, id, now});
   ++stats_.submitted_tasks;
   cv_.notify_one();
@@ -215,8 +218,17 @@ void Service::RunBatch(double now_wall) {
   const int n = instance_.num_workers();
   const int m = instance_.num_tasks();
   DASC_METRIC_COUNTER_INC("service_batches_total");
+  util::FlightRecorder::Global().Record(util::FlightEventKind::kBatchBegin,
+                                        /*label=*/0, batch_seq);
+  if (options_.tracer != nullptr) {
+    // Clear any phase time the loop thread accumulated outside a batch so
+    // this batch's attribution starts from zero.
+    util::TakeThreadPhaseNanos();
+    options_.tracer->OnBatchBegin(batch_seq, now_wall);
+  }
 
   if (options_.inject_batch_delay_ms > 0.0) {
+    DASC_FLIGHT_SPAN("inject_delay");
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         options_.inject_batch_delay_ms));
   }
@@ -239,8 +251,31 @@ void Service::RunBatch(double now_wall) {
     DASC_METRIC_COUNTER_INC("service_decisions_total");
     DASC_METRIC_COUNTER_INC(served ? "service_tasks_served_total"
                                    : "service_tasks_expired_total");
-    DASC_METRIC_SKETCH_OBSERVE("service_task_e2e_ms_window",
-                               (d.decide_wall_s - d.submit_wall_s) * 1e3);
+    util::FlightRecorder::Global().Record(util::FlightEventKind::kDecision,
+                                          /*label=*/0, tid, served ? 1 : 0);
+    const uint64_t exemplar =
+        options_.tracer != nullptr
+            ? options_.tracer->OnDecision(tid, batch_seq, now_wall, served)
+            : 0;
+    DASC_METRIC_SKETCH_OBSERVE_EX("service_task_e2e_ms_window",
+                                  (d.decide_wall_s - d.submit_wall_s) * 1e3,
+                                  exemplar);
+  };
+
+  // Shared batch epilogue for both the empty-market early return and the
+  // full path: batch-end flight event plus the tracer's batch record (with
+  // this thread's per-phase self-time table for the batch).
+  auto finish_batch = [&] {
+    util::FlightRecorder::Global().Record(
+        util::FlightEventKind::kBatchEnd, /*label=*/0, batch_seq,
+        static_cast<int64_t>(batch_decisions_.size()));
+    if (options_.tracer != nullptr) {
+      options_.tracer->OnBatchEnd(batch_seq, NowWallLocked(),
+                                  static_cast<int64_t>(batch_decisions_.size()),
+                                  static_cast<int64_t>(problem_.open_tasks.size()),
+                                  static_cast<int64_t>(problem_.workers.size()),
+                                  util::TakeThreadPhaseNanos());
+    }
   };
 
   // Resolve binding camp dispatches (Simulator's kWait semantics): conduct
@@ -290,36 +325,44 @@ void Service::RunBatch(double now_wall) {
   }
 
   // Assemble the batch problem into the reused arena.
-  problem_.instance = &instance_;
-  problem_.now = now;
-  problem_.params = options_.params;
-  problem_.in_batch_dependency_credit = options_.in_batch_dependency_credit;
-  problem_.workers.clear();
-  problem_.open_tasks.clear();
-  problem_.InvalidateCandidates();
+  {
+    DASC_FLIGHT_SPAN("problem_build");
+    problem_.instance = &instance_;
+    problem_.now = now;
+    problem_.params = options_.params;
+    problem_.in_batch_dependency_credit = options_.in_batch_dependency_credit;
+    problem_.workers.clear();
+    problem_.open_tasks.clear();
+    problem_.InvalidateCandidates();
 
-  for (int i = 0; i < n; ++i) {
-    const auto wi = static_cast<size_t>(i);
-    const core::Worker& w = instance_.worker(i);
-    const WorkerRuntime& rt = runtime_[wi];
-    if (!rt.live || w.start_time > now || w.Deadline() < now) continue;
-    if (rt.camped || rt.busy_until > now) continue;
-    core::WorkerState state;
-    state.id = i;
-    state.location = rt.location;
-    state.remaining_distance = w.max_distance;
-    problem_.workers.push_back(state);
-  }
-  problem_.assigned_before = credited_;
-  for (int t = 0; t < m; ++t) {
-    const auto ti = static_cast<size_t>(t);
-    if (!task_live_[ti] || task_decided_[ti] || task_assigned_[ti] ||
-        task_locked_[ti]) {
-      continue;
+    for (int i = 0; i < n; ++i) {
+      const auto wi = static_cast<size_t>(i);
+      const core::Worker& w = instance_.worker(i);
+      const WorkerRuntime& rt = runtime_[wi];
+      if (!rt.live || w.start_time > now || w.Deadline() < now) continue;
+      if (rt.camped || rt.busy_until > now) continue;
+      core::WorkerState state;
+      state.id = i;
+      state.location = rt.location;
+      state.remaining_distance = w.max_distance;
+      problem_.workers.push_back(state);
     }
-    const core::Task& task = instance_.task(t);
-    if (task.start_time > now || task.Expiry() < now) continue;
-    problem_.open_tasks.push_back(t);
+    problem_.assigned_before = credited_;
+    for (int t = 0; t < m; ++t) {
+      const auto ti = static_cast<size_t>(t);
+      if (!task_live_[ti] || task_decided_[ti] || task_assigned_[ti] ||
+          task_locked_[ti]) {
+        continue;
+      }
+      const core::Task& task = instance_.task(t);
+      if (task.start_time > now || task.Expiry() < now) continue;
+      problem_.open_tasks.push_back(t);
+    }
+  }
+  if (options_.tracer != nullptr) {
+    for (core::TaskId t : problem_.open_tasks) {
+      options_.tracer->OnAdmit(t, batch_seq);
+    }
   }
 
   DASC_METRIC_GAUGE_SET("service_queue_depth_workers",
@@ -337,13 +380,18 @@ void Service::RunBatch(double now_wall) {
 
   if (problem_.workers.empty() || problem_.open_tasks.empty()) {
     DASC_METRIC_COUNTER_INC("service_empty_batches_total");
+    finish_batch();
     batch_boundary();
     return;
   }
   batch_nonempty_ = true;  // published into stats_ by Loop(), under mu_
 
   util::WallTimer timer;
-  const core::Assignment raw = allocator_.Allocate(problem_);
+  core::Assignment raw;
+  {
+    DASC_FLIGHT_SPAN("allocate");
+    raw = allocator_.Allocate(problem_);
+  }
   const double batch_seconds = timer.ElapsedSeconds();
   batch_allocator_seconds_ += batch_seconds;
   if (!raw.empty()) {
@@ -353,35 +401,40 @@ void Service::RunBatch(double now_wall) {
                                batch_seconds * 1e3);
   }
 
-  const core::SplitAssignment split = core::SplitPairs(problem_, raw);
-  for (const auto& [wid, tid] : split.valid.pairs()) {
-    WorkerRuntime& rt = runtime_[static_cast<size_t>(wid)];
-    const core::Worker& w = instance_.worker(wid);
-    const core::Task& task = instance_.task(tid);
-    const double dist =
-        core::PairDistance(options_.params, rt.location, task.location);
-    const double arrival = now + dist / w.velocity;
-    rt.location = task.location;
-    rt.busy_until = arrival + options_.service_time;
-    task_assigned_[static_cast<size_t>(tid)] = 1;
-    decide(tid, wid, /*served=*/true);
-  }
-  // Dependency-violating pairs are binding (kWait): the worker camps at the
-  // locked task until its dependencies are satisfied or it expires.
-  for (const auto& [wid, tid] : split.invalid.pairs()) {
-    WorkerRuntime& rt = runtime_[static_cast<size_t>(wid)];
-    const core::Worker& w = instance_.worker(wid);
-    const core::Task& task = instance_.task(tid);
-    const double dist =
-        core::PairDistance(options_.params, rt.location, task.location);
-    rt.location = task.location;
-    rt.camped = true;
-    task_locked_[static_cast<size_t>(tid)] = 1;
-    camps_.push_back({wid, tid, now + dist / w.velocity});
-    ++batch_wasted_dispatches_;
-    DASC_METRIC_COUNTER_INC("service_camp_dispatches_total");
+  {
+    DASC_FLIGHT_SPAN("commit");
+    const core::SplitAssignment split = core::SplitPairs(problem_, raw);
+    for (const auto& [wid, tid] : split.valid.pairs()) {
+      WorkerRuntime& rt = runtime_[static_cast<size_t>(wid)];
+      const core::Worker& w = instance_.worker(wid);
+      const core::Task& task = instance_.task(tid);
+      const double dist =
+          core::PairDistance(options_.params, rt.location, task.location);
+      const double arrival = now + dist / w.velocity;
+      rt.location = task.location;
+      rt.busy_until = arrival + options_.service_time;
+      task_assigned_[static_cast<size_t>(tid)] = 1;
+      decide(tid, wid, /*served=*/true);
+    }
+    // Dependency-violating pairs are binding (kWait): the worker camps at
+    // the locked task until its dependencies are satisfied or it expires.
+    for (const auto& [wid, tid] : split.invalid.pairs()) {
+      WorkerRuntime& rt = runtime_[static_cast<size_t>(wid)];
+      const core::Worker& w = instance_.worker(wid);
+      const core::Task& task = instance_.task(tid);
+      const double dist =
+          core::PairDistance(options_.params, rt.location, task.location);
+      rt.location = task.location;
+      rt.camped = true;
+      task_locked_[static_cast<size_t>(tid)] = 1;
+      camps_.push_back({wid, tid, now + dist / w.velocity});
+      ++batch_wasted_dispatches_;
+      if (options_.tracer != nullptr) options_.tracer->OnCamp(tid, batch_seq);
+      DASC_METRIC_COUNTER_INC("service_camp_dispatches_total");
+    }
   }
 
+  finish_batch();
   batch_boundary();
 }
 

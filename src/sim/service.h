@@ -51,6 +51,7 @@ namespace dasc::sim {
 
 class MetricsTimeSeries;
 class StallWatchdog;
+class TaskTracer;
 
 struct ServiceOptions {
   core::FeasibilityParams params;
@@ -77,6 +78,10 @@ struct ServiceOptions {
   // sample, and heartbeats the watchdog.
   MetricsTimeSeries* timeseries = nullptr;
   StallWatchdog* watchdog = nullptr;
+  // Causal task tracer (not owned). When set, every submission starts a
+  // pending trace, batch lifecycle events are recorded, and decisions carry
+  // the retained trace id into the e2e sketch as an exemplar.
+  TaskTracer* tracer = nullptr;
 };
 
 // One task's terminal outcome. worker == kInvalidId iff !served.

@@ -7,7 +7,9 @@
 #include <queue>
 
 #include "sim/metrics_timeseries.h"
+#include "sim/task_trace.h"
 #include "sim/watchdog.h"
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -56,6 +58,7 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
 
   std::vector<uint8_t> task_assigned(static_cast<size_t>(m), 0);
   std::vector<uint8_t> task_locked(static_cast<size_t>(m), 0);
+  std::vector<uint8_t> task_expired_traced(static_cast<size_t>(m), 0);
   // Completion time of each assigned task (+inf when unassigned).
   std::vector<double> completion(
       static_cast<size_t>(m), std::numeric_limits<double>::infinity());
@@ -93,6 +96,15 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
 
   BatchAuditor auditor(options_.audit_options);
 
+  TaskTracer* const tracer = options_.tracer;
+  if (tracer != nullptr) {
+    // Replay mode knows every arrival up front; model time is the wall
+    // stamp, so trace latencies line up with ledger/score semantics.
+    for (int t = 0; t < m; ++t) {
+      tracer->OnSubmit(t, instance_.task(t).start_time);
+    }
+  }
+
   // The ledger runs whenever its entries are wanted (options_.ledger) or a
   // trace sink needs the kArrival / kExpired events it emits.
   std::unique_ptr<LifecycleLedger> ledger;
@@ -127,11 +139,34 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
     return true;
   };
 
+  // Shared per-batch epilogue for the tracer: the batch record takes this
+  // thread's per-phase self-time table (flight spans inside the allocator)
+  // plus the batch's market shape.
+  int batch_decisions = 0;
+  auto tracer_batch_end = [&](int batch_seq, const core::BatchProblem& problem) {
+    util::FlightRecorder::Global().Record(util::FlightEventKind::kBatchEnd,
+                                          /*label=*/0, batch_seq,
+                                          batch_decisions);
+    if (tracer != nullptr) {
+      tracer->OnBatchEnd(batch_seq, now, batch_decisions,
+                         static_cast<int64_t>(problem.open_tasks.size()),
+                         static_cast<int64_t>(problem.workers.size()),
+                         util::TakeThreadPhaseNanos());
+    }
+  };
+
   while (true) {
     const int batch_seq = result.batches;
     ++result.batches;
     DASC_METRIC_COUNTER_INC("sim_batches_total");
     DASC_TRACE_SPAN_N("batch", batch_seq);
+    util::FlightRecorder::Global().Record(util::FlightEventKind::kBatchBegin,
+                                          /*label=*/0, batch_seq);
+    if (tracer != nullptr) {
+      util::TakeThreadPhaseNanos();  // start this batch's attribution at zero
+      tracer->OnBatchBegin(batch_seq, now);
+    }
+    batch_decisions = 0;
     int batch_score = 0;
 
     // Dependency credit available at this batch.
@@ -181,6 +216,10 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
           if (ledger != nullptr) {
             ledger->RecordAssigned(pd.task, batch_seq, done);
           }
+          ++batch_decisions;
+          if (tracer != nullptr) {
+            tracer->OnDecision(pd.task, batch_seq, now, /*served=*/true);
+          }
         } else if (now > task.Expiry()) {
           // The task expired under the camped worker; both are wasted.
           task_locked[static_cast<size_t>(pd.task)] = 0;
@@ -193,6 +232,10 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
           }
           if (ledger != nullptr) {
             ledger->RecordCampExpired(pd.task, batch_seq, options_.trace);
+          }
+          ++batch_decisions;
+          if (tracer != nullptr) {
+            tracer->OnDecision(pd.task, batch_seq, now, /*served=*/false);
           }
         } else {
           still_pending.push_back(pd);
@@ -229,8 +272,19 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
           task_locked[static_cast<size_t>(t)]) {
         continue;
       }
-      if (task.start_time > now || task.Expiry() < now) continue;
+      if (task.start_time > now || task.Expiry() < now) {
+        // Open-window expiry is the simulator's unserved terminal (recorded
+        // on the first batch that sees the task dead).
+        if (tracer != nullptr && task.Expiry() < now &&
+            !task_expired_traced[static_cast<size_t>(t)]) {
+          task_expired_traced[static_cast<size_t>(t)] = 1;
+          tracer->OnDecision(t, batch_seq, now, /*served=*/false);
+          ++batch_decisions;
+        }
+        continue;
+      }
       problem.open_tasks.push_back(t);
+      if (tracer != nullptr) tracer->OnAdmit(t, batch_seq);
     }
 
     // Queue depths an ops dashboard would alert on: how many idle workers
@@ -261,6 +315,7 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
         result.score += batch_score;
         DASC_METRIC_COUNTER_ADD("sim_score_total", batch_score);
       }
+      tracer_batch_end(batch_seq, problem);
       batch_boundary(batch_seq);
       if (!advance()) break;
       continue;
@@ -340,6 +395,10 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
             {done, TraceEventKind::kCompletion, wid, tid, done, batch_seq});
       }
       if (ledger != nullptr) ledger->RecordAssigned(tid, batch_seq, done);
+      ++batch_decisions;
+      if (tracer != nullptr) {
+        tracer->OnDecision(tid, batch_seq, now, /*served=*/true);
+      }
     }
 
     if (options_.invalid_pair_handling ==
@@ -369,9 +428,11 @@ SimulationResult Simulator::Run(core::Allocator& allocator) const {
               {now, TraceEventKind::kCamp, wid, tid, dist, batch_seq});
         }
         if (ledger != nullptr) ledger->RecordCamped(tid, batch_seq);
+        if (tracer != nullptr) tracer->OnCamp(tid, batch_seq);
       }
     }
 
+    tracer_batch_end(batch_seq, problem);
     batch_boundary(batch_seq);
     if (!advance()) break;
   }

@@ -20,6 +20,7 @@ namespace dasc::sim {
 
 class MetricsTimeSeries;
 class StallWatchdog;
+class TaskTracer;
 
 struct SimulatorOptions {
   // When are batches run? kFixedInterval fires every `batch_interval` (the
@@ -87,6 +88,12 @@ struct SimulatorOptions {
   // heartbeat that stops aging means the batch loop is stuck.
   MetricsTimeSeries* timeseries = nullptr;
   StallWatchdog* watchdog = nullptr;
+
+  // Causal task tracer (sim/task_trace.h; not owned). Every task starts a
+  // pending trace at its arrival instant (model time doubles as the wall
+  // stamp in replay mode), batches record admission/camp/decision events,
+  // and retained traces land in the run report's trace blocks.
+  TaskTracer* tracer = nullptr;
 };
 
 struct SimulationResult {

@@ -1,0 +1,216 @@
+#include "sim/task_trace.h"
+
+#include <algorithm>
+
+#include "util/flight_recorder.h"
+
+namespace dasc::sim {
+
+uint64_t TaskTraceId(core::TaskId task) {
+  // SplitMix64 finalizer over task+1 (so task 0 hashes away from 0).
+  uint64_t z = static_cast<uint64_t>(static_cast<int64_t>(task)) + 1;
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return z == 0 ? 1 : z;
+}
+
+TaskTracer::TaskTracer(const TaskTracerOptions& options) : options_(options) {
+  if (options_.max_batches > 0) {
+    batches_.resize(static_cast<size_t>(options_.max_batches));
+  }
+}
+
+void TaskTracer::OnSubmit(core::TaskId task, double wall_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TaskTraceRecord& rec = pending_[task];
+  rec.task = task;
+  rec.trace_id = TaskTraceId(task);
+  rec.submit_wall_s = wall_s;
+  if (options_.head_sample_every > 0 &&
+      stats_.traces_started % options_.head_sample_every == 0) {
+    rec.head_sampled = true;
+  }
+  ++stats_.traces_started;
+}
+
+void TaskTracer::OnBatchBegin(int64_t seq, double wall_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_batches <= 0) return;
+  TraceBatchRecord& rec =
+      batches_[static_cast<size_t>(seq % options_.max_batches)];
+  if (rec.seq >= 0 && rec.seq != seq) ++stats_.dropped_batches;
+  rec = TraceBatchRecord{};
+  rec.seq = seq;
+  rec.begin_wall_s = wall_s;
+  rec.flagged = flagged_.count(seq) > 0;
+}
+
+void TaskTracer::OnAdmit(core::TaskId task, int64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(task);
+  if (it == pending_.end()) return;
+  TaskTraceRecord& rec = it->second;
+  if (rec.first_admit_batch < 0) rec.first_admit_batch = seq;
+  rec.last_admit_batch = seq;
+  ++rec.admitted_batches;
+}
+
+void TaskTracer::OnCamp(core::TaskId task, int64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(task);
+  if (it == pending_.end()) return;
+  if (it->second.camp_batch < 0) it->second.camp_batch = seq;
+}
+
+bool TaskTracer::BatchRangeFlaggedLocked(int64_t first, int64_t last) const {
+  if (flagged_.empty() || last < first) return false;
+  auto it = flagged_.lower_bound(first);
+  return it != flagged_.end() && *it <= last;
+}
+
+uint64_t TaskTracer::OnDecision(core::TaskId task, int64_t seq, double wall_s,
+                                bool served) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(task);
+  if (it == pending_.end()) return 0;
+  TaskTraceRecord rec = it->second;
+  pending_.erase(it);
+  rec.decide_batch = seq;
+  rec.decide_wall_s = wall_s;
+  rec.served = served;
+  rec.decided = true;
+  ++stats_.traces_decided;
+
+  // Tail window bookkeeping runs for every decision (retained or not): the
+  // window's top-K is a property of the population.
+  bool tail_hit = false;
+  if (options_.tail_k > 0 && options_.window_batches > 0) {
+    const int64_t window = seq / options_.window_batches;
+    if (window != window_index_) {
+      window_index_ = window;
+      window_top_.clear();
+    }
+    const double e2e = rec.e2e_ms();
+    if (static_cast<int>(window_top_.size()) < options_.tail_k) {
+      tail_hit = true;
+      window_top_.insert(
+          std::lower_bound(window_top_.begin(), window_top_.end(), e2e), e2e);
+    } else if (e2e > window_top_.front()) {
+      tail_hit = true;
+      window_top_.erase(window_top_.begin());
+      window_top_.insert(
+          std::lower_bound(window_top_.begin(), window_top_.end(), e2e), e2e);
+    }
+  }
+
+  const int64_t range_first =
+      rec.first_admit_batch >= 0 ? rec.first_admit_batch : seq;
+  const bool flagged_hit = BatchRangeFlaggedLocked(range_first, seq);
+
+  const char* reason = nullptr;
+  if (rec.head_sampled) {
+    reason = "head";
+  } else if (tail_hit) {
+    reason = "tail";
+  } else if (flagged_hit) {
+    reason = "flagged";
+  }
+  if (reason == nullptr) return 0;
+  if (options_.max_traces > 0 &&
+      static_cast<int>(retained_.size()) >= options_.max_traces) {
+    return 0;
+  }
+  rec.retained_reason = reason;
+  ++stats_.traces_retained;
+  if (rec.head_sampled) {
+    ++stats_.head_retained;
+  } else if (tail_hit) {
+    ++stats_.tail_retained;
+  } else {
+    ++stats_.flagged_retained;
+  }
+  retained_by_id_[rec.trace_id] = retained_.size();
+  retained_.push_back(std::move(rec));
+  return retained_.back().trace_id;
+}
+
+void TaskTracer::OnBatchEnd(
+    int64_t seq, double end_wall_s, int64_t decisions, int64_t open_tasks,
+    int64_t idle_workers,
+    const std::vector<std::pair<uint32_t, int64_t>>& phase_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.batches;
+  batch_count_ = std::max(batch_count_, seq + 1);
+  if (options_.max_batches <= 0) return;
+  TraceBatchRecord& rec =
+      batches_[static_cast<size_t>(seq % options_.max_batches)];
+  if (rec.seq != seq) return;  // already overwritten (shouldn't happen)
+  rec.end_wall_s = end_wall_s;
+  rec.decisions = decisions;
+  rec.open_tasks = open_tasks;
+  rec.idle_workers = idle_workers;
+  if (flagged_.count(seq) > 0) rec.flagged = true;
+  rec.phases.reserve(phase_ns.size());
+  for (const auto& [label, ns] : phase_ns) {
+    TraceBatchPhase phase;
+    phase.label = util::FlightRecorder::Global().LabelName(label);
+    phase.ms = static_cast<double>(ns) * 1e-6;
+    if (!phase.label.empty() && phase.ms > 0.0) {
+      rec.phases.push_back(std::move(phase));
+    }
+  }
+  std::sort(rec.phases.begin(), rec.phases.end(),
+            [](const TraceBatchPhase& x, const TraceBatchPhase& y) {
+              return x.label < y.label;
+            });
+}
+
+void TaskTracer::FlagBatch(int64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(flagged_.size()) >= options_.max_flagged &&
+      flagged_.count(seq) == 0) {
+    return;
+  }
+  if (flagged_.insert(seq).second) ++stats_.flagged_batches;
+  if (options_.max_batches > 0 && !batches_.empty()) {
+    TraceBatchRecord& rec =
+        batches_[static_cast<size_t>(seq % options_.max_batches)];
+    if (rec.seq == seq) rec.flagged = true;
+  }
+}
+
+std::vector<TaskTraceRecord> TaskTracer::RetainedTraces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_;
+}
+
+std::vector<TraceBatchRecord> TaskTracer::BatchRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceBatchRecord> out;
+  out.reserve(batches_.size());
+  for (const TraceBatchRecord& rec : batches_) {
+    if (rec.seq >= 0) out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceBatchRecord& x, const TraceBatchRecord& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+TaskTracerStats TaskTracer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool TaskTracer::Lookup(uint64_t trace_id, TaskTraceRecord* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = retained_by_id_.find(trace_id);
+  if (it == retained_by_id_.end()) return false;
+  if (out != nullptr) *out = retained_[it->second];
+  return true;
+}
+
+}  // namespace dasc::sim

@@ -1,0 +1,187 @@
+// Causal task traces: one record per task stitching its lifecycle across
+// batches — arrival, batch admissions, camping, and the terminal decision —
+// under a stable trace id, plus one record per batch attributing that
+// batch's wall time to named phases (candidate build, matching, game
+// rounds, injected delay, ...).
+//
+// Sampling (see DESIGN.md §16). Tracing every task at load-generator rates
+// is unaffordable, but the tail is where the explanations live, and the
+// tail is only known *after* a task is decided. The tracer therefore keeps
+// a lightweight pending record for every submitted task (a few dozen bytes;
+// bounded by the undecided-task count) and applies retention at decision
+// time:
+//
+//   head      1-in-N by submission order (population baseline)
+//   tail      the task's end-to-end latency ranks among the K slowest seen
+//             so far in the current window of batches
+//   flagged   some batch in [first admission, decision] was flagged by the
+//             stall watchdog (FlagBatch)
+//
+// Retention is monotone: once OnDecision returns a nonzero trace id the
+// trace is retained for the run (never evicted), so every exemplar trace id
+// exported into metric sketches resolves to a complete trace. The tail rule
+// uses "top K so far" rather than an exact end-of-window top K precisely to
+// keep that promise — it over-retains early-window tasks slightly and is
+// exact for the slowest task per window.
+//
+// Memory bounds: retained traces are capped (max_traces), batch records
+// live in a ring (max_batches, evictions counted), flagged-batch marks are
+// capped. All methods are thread-safe behind one mutex; callers are the
+// batch loop (hot path: one small critical section per event), the
+// watchdog (FlagBatch), and export threads (snapshots).
+#ifndef DASC_SIM_TASK_TRACE_H_
+#define DASC_SIM_TASK_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace dasc::sim {
+
+// Deterministic trace id for a task: SplitMix64 of the task id, so trace
+// ids are stable across runs of the same instance (byte-stable goldens) and
+// never 0 (0 means "no exemplar" everywhere).
+uint64_t TaskTraceId(core::TaskId task);
+
+struct TaskTracerOptions {
+  // Head sampling: retain every Nth submitted task. 0 disables.
+  int head_sample_every = 64;
+  // Tail sampling: retain tasks whose e2e latency ranks in the slowest K
+  // seen so far within the current window. 0 disables.
+  int tail_k = 8;
+  // Tail window length, in batches.
+  int window_batches = 64;
+  // Bound on the batch-record ring (oldest evicted, eviction counted).
+  int max_batches = 4096;
+  // Cap on retained traces (head/tail/flagged stop retaining past this).
+  int max_traces = 4096;
+  // Cap on remembered flagged-batch marks.
+  int max_flagged = 1024;
+};
+
+// One named phase's self time within a batch.
+struct TraceBatchPhase {
+  std::string label;
+  double ms = 0.0;
+};
+
+// One batch's causal context: wall extent, market size, decisions, and the
+// per-phase self-time breakdown (from util::TakeThreadPhaseNanos).
+struct TraceBatchRecord {
+  int64_t seq = -1;
+  double begin_wall_s = 0.0;  // decision stamps share this instant
+  double end_wall_s = 0.0;
+  int64_t decisions = 0;
+  int64_t open_tasks = 0;
+  int64_t idle_workers = 0;
+  bool flagged = false;
+  std::vector<TraceBatchPhase> phases;
+};
+
+// One task's causal trace across batches.
+struct TaskTraceRecord {
+  core::TaskId task = core::kInvalidId;
+  uint64_t trace_id = 0;
+  double submit_wall_s = 0.0;
+  int64_t first_admit_batch = -1;  // -1 = decided without ever being open
+  int64_t last_admit_batch = -1;
+  int64_t admitted_batches = 0;  // batches the task was open in
+  int64_t camp_batch = -1;       // -1 = never camped under a worker
+  int64_t decide_batch = -1;
+  double decide_wall_s = 0.0;
+  bool served = false;
+  bool decided = false;
+  bool head_sampled = false;
+  // "head" | "tail" | "flagged" (first rule that retained it).
+  std::string retained_reason;
+
+  double e2e_ms() const { return (decide_wall_s - submit_wall_s) * 1e3; }
+};
+
+struct TaskTracerStats {
+  int64_t traces_started = 0;   // OnSubmit calls
+  int64_t traces_decided = 0;   // OnDecision calls
+  int64_t traces_retained = 0;  // retained at decision time
+  int64_t head_retained = 0;
+  int64_t tail_retained = 0;
+  int64_t flagged_retained = 0;
+  int64_t batches = 0;          // OnBatchEnd calls
+  int64_t flagged_batches = 0;  // distinct batches flagged
+  int64_t dropped_batches = 0;  // batch records evicted from the ring
+};
+
+class TaskTracer {
+ public:
+  explicit TaskTracer(const TaskTracerOptions& options = {});
+
+  TaskTracer(const TaskTracer&) = delete;
+  TaskTracer& operator=(const TaskTracer&) = delete;
+
+  // Task submitted (service) / arrived (simulator) at `wall_s`.
+  void OnSubmit(core::TaskId task, double wall_s);
+
+  // Batch `seq` begins processing; `wall_s` is the instant decision stamps
+  // in this batch will carry.
+  void OnBatchBegin(int64_t seq, double wall_s);
+
+  // Task appeared as open in batch `seq`.
+  void OnAdmit(core::TaskId task, int64_t seq);
+
+  // A worker camped on the task in batch `seq` (binding dependency wait).
+  void OnCamp(core::TaskId task, int64_t seq);
+
+  // Terminal decision for the task. Returns its trace id iff the trace is
+  // retained (head/tail/flagged), else 0 — callers thread the return value
+  // straight into DASC_METRIC_SKETCH_OBSERVE_EX as the exemplar id, so a
+  // nonzero exemplar always resolves to a retained trace.
+  uint64_t OnDecision(core::TaskId task, int64_t seq, double wall_s,
+                      bool served);
+
+  // Batch `seq` finished at `end_wall_s`; `phase_ns` is the batch thread's
+  // (flight label id, self ns) table for the batch (labels resolved via
+  // util::FlightRecorder::LabelName).
+  void OnBatchEnd(int64_t seq, double end_wall_s, int64_t decisions,
+                  int64_t open_tasks, int64_t idle_workers,
+                  const std::vector<std::pair<uint32_t, int64_t>>& phase_ns);
+
+  // Watchdog hook: marks batch `seq` anomalous. Traces open at (or decided
+  // in) a flagged batch are retained at decision time; the batch record's
+  // flagged bit is set retroactively if still in the ring.
+  void FlagBatch(int64_t seq);
+
+  // Snapshots (traces in retention order, batches in seq order).
+  std::vector<TaskTraceRecord> RetainedTraces() const;
+  std::vector<TraceBatchRecord> BatchRecords() const;
+  TaskTracerStats stats() const;
+
+  // Finds a retained trace by id. False if the id was never retained.
+  bool Lookup(uint64_t trace_id, TaskTraceRecord* out) const;
+
+ private:
+  // Requires mu_ held.
+  bool BatchRangeFlaggedLocked(int64_t first, int64_t last) const;
+
+  const TaskTracerOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<core::TaskId, TaskTraceRecord> pending_;
+  std::vector<TaskTraceRecord> retained_;
+  std::map<uint64_t, size_t> retained_by_id_;
+  std::vector<TraceBatchRecord> batches_;  // ring, slot = seq % capacity
+  int64_t batch_count_ = 0;                // OnBatchEnd calls ever
+  std::set<int64_t> flagged_;
+  // Tail window state: the K largest e2e values seen so far this window
+  // (min-heap in a sorted vector, smallest first).
+  int64_t window_index_ = -1;
+  std::vector<double> window_top_;
+  TaskTracerStats stats_;
+};
+
+}  // namespace dasc::sim
+
+#endif  // DASC_SIM_TASK_TRACE_H_

@@ -1,5 +1,6 @@
 #include "sim/watchdog.h"
 
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 
 namespace dasc::sim {
@@ -55,24 +56,55 @@ double StallWatchdog::WallMs() const {
       .count();
 }
 
+void StallWatchdog::SetOnAnomaly(
+    std::function<void(const WatchdogAnomaly&)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_anomaly_ = std::move(hook);
+}
+
 void StallWatchdog::RecordAnomaly(const std::string& kind, double value,
                                   double threshold) {
   // mu_ is held by CheckOnce().
   ++total_anomalies_;
+  const WatchdogAnomaly anomaly{
+      kind, last_heartbeat_seq_.load(std::memory_order_relaxed), value,
+      threshold, WallMs()};
   if (anomalies_.size() < static_cast<size_t>(options_.max_anomalies)) {
-    anomalies_.push_back({kind, last_heartbeat_seq_.load(std::memory_order_relaxed),
-                          value, threshold, WallMs()});
+    anomalies_.push_back(anomaly);
   }
+  fired_.push_back(anomaly);  // hook fires after CheckOnce drops mu_
   registry_->GetCounter("watchdog_anomalies_total{kind=\"" + kind + "\"}")
       ->Increment();
+  // The black box remembers the anomaly even if no dump follows: the next
+  // dump (for any reason) shows what was breached and when.
+  util::FlightRecorder::Global().Record(
+      util::FlightEventKind::kAnomaly,
+      util::FlightRecorder::Global().InternLabel(kind), anomaly.batch_seq);
   DASC_LOG(WARNING) << "watchdog anomaly kind=" << kind << " value=" << value
                     << " threshold=" << threshold << " batch="
                     << last_heartbeat_seq_.load(std::memory_order_relaxed);
 }
 
 int StallWatchdog::CheckOnce() {
-  std::lock_guard<std::mutex> lock(mu_);
-  const int64_t before = total_anomalies_;
+  std::vector<WatchdogAnomaly> fired;
+  std::function<void(const WatchdogAnomaly&)> hook;
+  const int recorded = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t before = total_anomalies_;
+    CheckOnceLocked();
+    fired.swap(fired_);
+    hook = on_anomaly_;
+    return static_cast<int>(total_anomalies_ - before);
+  }();
+  // Fire the anomaly hook outside mu_: hooks dump the flight recorder and
+  // poke the tracer, neither of which may run under the watchdog lock.
+  if (hook) {
+    for (const WatchdogAnomaly& anomaly : fired) hook(anomaly);
+  }
+  return recorded;
+}
+
+void StallWatchdog::CheckOnceLocked() {
 
   // Heartbeat age (armed after the first heartbeat). Edge-triggered per
   // heartbeat: once a stall fires for heartbeat N, it stays quiet until
@@ -116,8 +148,6 @@ int StallWatchdog::CheckOnce() {
       gap_breached_ = false;
     }
   }
-
-  return static_cast<int>(total_anomalies_ - before);
 }
 
 std::vector<WatchdogAnomaly> StallWatchdog::anomalies() const {

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -81,15 +82,24 @@ class StallWatchdog {
   // this call. Thread-safe (the poll thread and tests may both call it).
   int CheckOnce();
 
+  // Anomaly hook, fired once per recorded anomaly with no watchdog lock
+  // held (after CheckOnce's evaluation completes). Callers use it to dump
+  // the flight recorder and pin the anomalous batch in the task tracer.
+  // Every RecordAnomaly also appends a kAnomaly event to the global flight
+  // recorder regardless of the hook. Set before Start().
+  void SetOnAnomaly(std::function<void(const WatchdogAnomaly&)> hook);
+
   std::vector<WatchdogAnomaly> anomalies() const;
   int64_t anomaly_count() const;
 
  private:
+  void CheckOnceLocked();  // requires mu_ held
   void RecordAnomaly(const std::string& kind, double value, double threshold);
   double WallMs() const;
 
   WatchdogOptions options_;
   util::MetricsRegistry* registry_;
+  std::function<void(const WatchdogAnomaly&)> on_anomaly_;
 
   std::atomic<int64_t> last_heartbeat_seq_{-1};
   std::atomic<int64_t> last_heartbeat_ns_{-1};  // steady clock; -1 = unarmed
@@ -101,6 +111,7 @@ class StallWatchdog {
 
   mutable std::mutex mu_;  // guards anomalies_ + edge state
   std::vector<WatchdogAnomaly> anomalies_;
+  std::vector<WatchdogAnomaly> fired_;  // staged for the post-lock hook
   int64_t total_anomalies_ = 0;
   bool heartbeat_breached_ = false;
   int64_t heartbeat_breach_seq_ = -2;  // heartbeat seq the breach fired on

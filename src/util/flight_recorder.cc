@@ -1,0 +1,291 @@
+#include "util/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace dasc::util {
+
+namespace {
+
+// One recording thread's bounded event ring. Registered globally and never
+// destroyed, so a dump can still read events from exited threads; the mutex
+// only contends with dumps.
+struct FlightRing {
+  std::mutex mu;
+  std::vector<FlightEvent> events;  // fixed capacity, slot = seq % capacity
+  int64_t seq = 0;                  // events ever appended to this ring
+  int thread_index = 0;
+};
+
+struct FlightState {
+  std::atomic<bool> enabled{true};
+  std::atomic<size_t> ring_capacity{FlightRecorder::kDefaultRingCapacity};
+
+  std::mutex mu;  // guards rings and labels
+  std::vector<std::unique_ptr<FlightRing>> rings;
+  std::vector<std::string> labels{""};  // id 0 reserved
+  std::map<std::string, uint32_t> label_ids;
+
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+FlightState& State() {
+  static FlightState* const state = new FlightState();
+  return *state;
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - State().epoch)
+      .count();
+}
+
+FlightRing& ThreadRing() {
+  thread_local FlightRing* ring = [] {
+    FlightState& state = State();
+    auto owned = std::make_unique<FlightRing>();
+    owned->events.resize(
+        std::max<size_t>(1, state.ring_capacity.load(std::memory_order_relaxed)));
+    FlightRing* raw = owned.get();
+    std::lock_guard<std::mutex> lock(state.mu);
+    raw->thread_index = static_cast<int>(state.rings.size());
+    state.rings.push_back(std::move(owned));
+    return raw;
+  }();
+  return *ring;
+}
+
+// Per-thread phase self-time accumulation for FlightSpan: ns_by_label holds
+// self time per interned label; child_ns_stack tracks nested span time so
+// an enclosing span only counts time not covered by its children.
+struct ThreadPhaseState {
+  std::vector<int64_t> ns_by_label;
+  std::vector<int64_t> child_ns_stack;
+};
+
+ThreadPhaseState& PhaseState() {
+  thread_local ThreadPhaseState* state = new ThreadPhaseState();
+  return *state;
+}
+
+}  // namespace
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kBatchBegin:
+      return "batch_begin";
+    case FlightEventKind::kBatchEnd:
+      return "batch_end";
+    case FlightEventKind::kPhaseBegin:
+      return "phase_begin";
+    case FlightEventKind::kPhaseEnd:
+      return "phase_end";
+    case FlightEventKind::kDecision:
+      return "decision";
+    case FlightEventKind::kAnomaly:
+      return "anomaly";
+    case FlightEventKind::kMark:
+      return "mark";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* const recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::SetEnabled(bool enabled) {
+  State().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::enabled() const {
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::SetRingCapacity(size_t capacity) {
+  State().ring_capacity.store(std::max<size_t>(1, capacity),
+                              std::memory_order_relaxed);
+}
+
+uint32_t FlightRecorder::InternLabel(const std::string& name) {
+  FlightState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto [it, inserted] = state.label_ids.emplace(
+      name, static_cast<uint32_t>(state.labels.size()));
+  if (inserted) state.labels.push_back(name);
+  return it->second;
+}
+
+std::string FlightRecorder::LabelName(uint32_t label) const {
+  FlightState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (label >= state.labels.size()) return "";
+  return state.labels[label];
+}
+
+void FlightRecorder::Record(FlightEventKind kind, uint32_t label, int64_t a,
+                            int64_t b) {
+  if (!enabled()) return;
+  FlightEvent event;
+  event.t_ns = NowNanos();
+  event.kind = static_cast<uint32_t>(kind);
+  event.label = label;
+  event.a = a;
+  event.b = b;
+  FlightRing& ring = ThreadRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.events[static_cast<size_t>(ring.seq) % ring.events.size()] = event;
+  ring.seq += 1;
+}
+
+void FlightRecorder::WriteJsonl(std::ostream& out,
+                                const std::string& reason) const {
+  FlightState& state = State();
+  // Copy surviving events and the label table under the locks, then format
+  // outside them.
+  std::vector<std::pair<int, FlightEvent>> events;  // (thread_index, event)
+  std::vector<std::string> labels;
+  int64_t total_recorded = 0;
+  int64_t total_dropped = 0;
+  size_t threads = 0;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    labels = state.labels;
+    threads = state.rings.size();
+    for (const auto& ring : state.rings) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      total_recorded += ring->seq;
+      const int64_t capacity = static_cast<int64_t>(ring->events.size());
+      const int64_t kept = std::min(ring->seq, capacity);
+      total_dropped += ring->seq - kept;
+      for (int64_t i = ring->seq - kept; i < ring->seq; ++i) {
+        events.emplace_back(ring->thread_index,
+                            ring->events[static_cast<size_t>(i % capacity)]);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.second.t_ns < y.second.t_ns;
+                   });
+  out << "{\"type\":\"flight\",\"schema\":\"dasc-flight/1\",\"reason\":\""
+      << JsonEscape(reason) << "\",\"events\":" << events.size()
+      << ",\"recorded\":" << total_recorded
+      << ",\"dropped\":" << total_dropped << ",\"threads\":" << threads
+      << ",\"labels\":[";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << JsonEscape(labels[i]) << "\"";
+  }
+  out << "]}\n";
+  for (const auto& [thread_index, event] : events) {
+    const char* kind =
+        FlightEventKindName(static_cast<FlightEventKind>(event.kind));
+    out << "{\"type\":\"event\",\"t_ns\":" << event.t_ns
+        << ",\"thread\":" << thread_index << ",\"kind\":\"" << kind << "\"";
+    if (event.label != 0 && event.label < labels.size()) {
+      out << ",\"label\":\"" << JsonEscape(labels[event.label]) << "\"";
+    }
+    out << ",\"a\":" << event.a << ",\"b\":" << event.b << "}\n";
+  }
+}
+
+std::string FlightRecorder::DumpJsonl(const std::string& reason) const {
+  std::ostringstream out;
+  WriteJsonl(out, reason);
+  return out.str();
+}
+
+Status FlightRecorder::DumpToFile(const std::string& path,
+                                  const std::string& reason) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("flight recorder: cannot write " + path);
+  }
+  WriteJsonl(out, reason);
+  out.flush();
+  if (!out) {
+    return Status::Internal("flight recorder: write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+int64_t FlightRecorder::recorded() const {
+  FlightState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  int64_t total = 0;
+  for (const auto& ring : state.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->seq;
+  }
+  return total;
+}
+
+int64_t FlightRecorder::dropped() const {
+  FlightState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  int64_t total = 0;
+  for (const auto& ring : state.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += ring->seq -
+             std::min(ring->seq, static_cast<int64_t>(ring->events.size()));
+  }
+  return total;
+}
+
+FlightSpan::FlightSpan(uint32_t label, int64_t a) {
+  if (!FlightRecorder::Global().enabled()) return;
+  active_ = true;
+  label_ = label;
+  a_ = a;
+  begin_ns_ = NowNanos();
+  PhaseState().child_ns_stack.push_back(0);
+  FlightRecorder::Global().Record(FlightEventKind::kPhaseBegin, label, a);
+}
+
+FlightSpan::~FlightSpan() {
+  if (!active_) return;
+  const int64_t elapsed = NowNanos() - begin_ns_;
+  ThreadPhaseState& phase = PhaseState();
+  // A SetEnabled(false) racing the span could leave the stack empty; guard
+  // rather than assume balance.
+  int64_t child_ns = 0;
+  if (!phase.child_ns_stack.empty()) {
+    child_ns = phase.child_ns_stack.back();
+    phase.child_ns_stack.pop_back();
+  }
+  if (!phase.child_ns_stack.empty()) {
+    phase.child_ns_stack.back() += elapsed;
+  }
+  if (phase.ns_by_label.size() <= label_) {
+    phase.ns_by_label.resize(static_cast<size_t>(label_) + 1, 0);
+  }
+  phase.ns_by_label[label_] += std::max<int64_t>(0, elapsed - child_ns);
+  FlightRecorder::Global().Record(FlightEventKind::kPhaseEnd, label_, a_,
+                                  elapsed);
+}
+
+std::vector<std::pair<uint32_t, int64_t>> TakeThreadPhaseNanos() {
+  ThreadPhaseState& phase = PhaseState();
+  std::vector<std::pair<uint32_t, int64_t>> taken;
+  for (size_t label = 0; label < phase.ns_by_label.size(); ++label) {
+    if (phase.ns_by_label[label] > 0) {
+      taken.emplace_back(static_cast<uint32_t>(label),
+                         phase.ns_by_label[label]);
+      phase.ns_by_label[label] = 0;
+    }
+  }
+  return taken;
+}
+
+}  // namespace dasc::util

@@ -1,0 +1,140 @@
+// Flight recorder: an always-on, bounded, per-thread ring of compact binary
+// events (batch boundaries, phase spans, decisions, anomalies) that can be
+// dumped as a `dasc-flight/1` JSONL artifact after the fact — the black box
+// that explains *what the process was doing* in the seconds before a stall,
+// without paying for a full trace during normal operation.
+//
+// Design (see DESIGN.md §16):
+//   * Bounded memory. Each recording thread owns one fixed-capacity ring
+//     (default 8192 events x 40 bytes); new events overwrite the oldest, so
+//     steady-state memory is rings x capacity regardless of run length.
+//     Rings are registered in a global list and survive their thread (the
+//     dump can still read them).
+//   * Cheap appends. A disabled recorder is one relaxed atomic load and a
+//     branch per site; enabled, an append is one steady-clock read plus a
+//     short uncontended per-ring mutex section (the mutex only contends
+//     with a concurrent dump, which is rare by construction).
+//   * Phase self time. FlightSpan is an RAII scope that records
+//     phase_begin/phase_end events AND accumulates the span's *self* time
+//     (elapsed minus nested flight spans) into a thread-local per-label
+//     table; TakeThreadPhaseNanos() snapshots-and-clears that table. The
+//     batch loop uses it to attribute each batch's wall time to named
+//     phases for the causal task tracer.
+//   * Dumps merge every ring in timestamp order into JSONL: one
+//     {"type":"flight","schema":"dasc-flight/1",...} header, then one
+//     {"type":"event",...} line per surviving event. The watchdog dumps
+//     automatically on stall/backlog anomalies; /debug/flight dumps on
+//     demand.
+#ifndef DASC_UTIL_FLIGHT_RECORDER_H_
+#define DASC_UTIL_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dasc::util {
+
+// Closed event taxonomy; serialized via FlightEventKindName.
+enum class FlightEventKind : uint32_t {
+  kBatchBegin = 0,  // a = batch seq
+  kBatchEnd,        // a = batch seq, b = decisions committed
+  kPhaseBegin,      // label = phase, a = caller arg
+  kPhaseEnd,        // label = phase, a = caller arg, b = elapsed ns
+  kDecision,        // a = task id, b = 1 served / 0 expired
+  kAnomaly,         // label = anomaly kind, a = batch seq
+  kMark,            // freeform caller marker
+};
+const char* FlightEventKindName(FlightEventKind kind);
+
+struct FlightEvent {
+  int64_t t_ns = 0;    // steady-clock ns since the recorder epoch
+  uint32_t kind = 0;   // FlightEventKind
+  uint32_t label = 0;  // interned label id (0 = none)
+  int64_t a = 0;       // payload, kind-specific
+  int64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 8192;
+
+  // The process-wide recorder every DASC_FLIGHT_* site records into.
+  static FlightRecorder& Global();
+
+  // Runtime switch (default on). Disabling reduces a site to one relaxed
+  // load + branch; spans stop accumulating phase time.
+  void SetEnabled(bool enabled);
+  bool enabled() const;
+
+  // Applies to rings created after the call (existing rings keep their
+  // size); used by tests and memory-constrained embeddings.
+  void SetRingCapacity(size_t capacity);
+
+  // Interns `name` into a small stable id (0 is reserved for "none").
+  uint32_t InternLabel(const std::string& name);
+  // "" for 0 or out-of-range ids.
+  std::string LabelName(uint32_t label) const;
+
+  void Record(FlightEventKind kind, uint32_t label = 0, int64_t a = 0,
+              int64_t b = 0);
+
+  // dasc-flight/1 JSONL dump: header + events merged across all thread
+  // rings in ascending t_ns order. `reason` records why the dump happened
+  // ("heartbeat_stall", "debug_http", "shutdown", ...).
+  void WriteJsonl(std::ostream& out, const std::string& reason) const;
+  std::string DumpJsonl(const std::string& reason) const;
+  Status DumpToFile(const std::string& path, const std::string& reason) const;
+
+  // Total events ever recorded (including ones since overwritten) and the
+  // count overwritten, across all rings.
+  int64_t recorded() const;
+  int64_t dropped() const;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  FlightRecorder() = default;
+};
+
+// RAII phase scope: phase_begin/phase_end events plus self-time
+// accumulation into the calling thread's phase table. Use via
+// DASC_FLIGHT_SPAN so the label is interned once per site.
+class FlightSpan {
+ public:
+  explicit FlightSpan(uint32_t label, int64_t a = 0);
+  ~FlightSpan();
+  FlightSpan(const FlightSpan&) = delete;
+  FlightSpan& operator=(const FlightSpan&) = delete;
+
+ private:
+  uint32_t label_ = 0;
+  int64_t a_ = 0;
+  int64_t begin_ns_ = 0;
+  bool active_ = false;
+};
+
+// Snapshot-and-clear of the calling thread's accumulated (label, self ns)
+// phase table. Only labels with nonzero time are returned.
+std::vector<std::pair<uint32_t, int64_t>> TakeThreadPhaseNanos();
+
+}  // namespace dasc::util
+
+#define DASC_FLIGHT_CONCAT_INNER_(a, b) a##b
+#define DASC_FLIGHT_CONCAT_(a, b) DASC_FLIGHT_CONCAT_INNER_(a, b)
+
+// A named flight-recorder phase covering the enclosing block. `name` is
+// interned once per site (thread-safe function-local static).
+#define DASC_FLIGHT_SPAN(name)                                             \
+  static const uint32_t DASC_FLIGHT_CONCAT_(dasc_flight_label_,            \
+                                            __LINE__) =                    \
+      ::dasc::util::FlightRecorder::Global().InternLabel(name);            \
+  ::dasc::util::FlightSpan DASC_FLIGHT_CONCAT_(dasc_flight_span_,          \
+                                               __LINE__)(                  \
+      DASC_FLIGHT_CONCAT_(dasc_flight_label_, __LINE__))
+
+#endif  // DASC_UTIL_FLIGHT_RECORDER_H_

@@ -14,7 +14,9 @@
 #include <sstream>
 
 #include "util/build_info.h"
+#include "util/flight_recorder.h"
 #include "util/json.h"
+#include "util/logging.h"
 
 namespace dasc::util {
 
@@ -42,19 +44,29 @@ const char* ErrnoName(int err) {
 
 // Reads until the end of the request head ("\r\n\r\n"), EOF, or a small
 // size cap. GET requests have no body, so the head is the whole request.
-std::string ReadRequestHead(int fd) {
+// Sets *timed_out when recv tripped the socket receive timeout before the
+// head terminator arrived (a hung or dribbling client).
+std::string ReadRequestHead(int fd, bool* timed_out) {
   std::string request;
   char buffer[1024];
   while (request.size() < 8192) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) break;
+    if (n < 0) {
+      if (timed_out != nullptr && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        *timed_out = true;
+      }
+      break;
+    }
+    if (n == 0) break;
     request.append(buffer, static_cast<size_t>(n));
     if (request.find("\r\n\r\n") != std::string::npos) break;
   }
   return request;
 }
 
-void WriteAll(int fd, const std::string& data) {
+// Returns false when the peer went away or stopped draining (send tripped
+// the socket send timeout); *timed_out distinguishes the latter.
+bool WriteAll(int fd, const std::string& data, bool* timed_out = nullptr) {
   size_t off = 0;
   while (off < data.size()) {
     const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
@@ -64,9 +76,16 @@ void WriteAll(int fd, const std::string& data) {
                              0
 #endif
     );
-    if (n <= 0) return;  // peer went away; nothing to do about it
+    if (n <= 0) {
+      if (timed_out != nullptr && n < 0 &&
+          (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        *timed_out = true;
+      }
+      return false;
+    }
     off += static_cast<size_t>(n);
   }
+  return true;
 }
 
 std::string MakeResponse(int code, const std::string& reason,
@@ -86,6 +105,14 @@ void SetRecvTimeout(int fd, int timeout_ms) {
   tv.tv_sec = timeout_ms / 1000;
   tv.tv_usec = (timeout_ms % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void SetIoTimeouts(int fd, int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -178,8 +205,19 @@ void MetricsHttpServer::Serve() {
 
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
-    SetRecvTimeout(client, 1000);
-    const std::string request = ReadRequestHead(client);
+    const int io_timeout_ms =
+        options_.io_timeout_ms > 0 ? options_.io_timeout_ms : 1000;
+    SetIoTimeouts(client, io_timeout_ms);
+    bool timed_out = false;
+    const std::string request = ReadRequestHead(client, &timed_out);
+    if (timed_out) {
+      io_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      registry_->GetCounter("http_server_io_timeouts_total")->Increment();
+      DASC_LOG(WARNING) << "{\"event\":\"http_io_timeout\",\"stage\":\"recv\""
+                        << ",\"io_timeout_ms\":" << io_timeout_ms << "}";
+      ::close(client);
+      continue;
+    }
 
     // Request line: "GET <path> HTTP/1.x".
     std::string method, path;
@@ -201,7 +239,13 @@ void MetricsHttpServer::Serve() {
     } else {
       response = HandleRequest(path);
     }
-    WriteAll(client, response);
+    if (!WriteAll(client, response, &timed_out) && timed_out) {
+      io_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      registry_->GetCounter("http_server_io_timeouts_total")->Increment();
+      DASC_LOG(WARNING) << "{\"event\":\"http_io_timeout\",\"stage\":\"send\""
+                        << ",\"io_timeout_ms\":" << io_timeout_ms
+                        << ",\"path\":\"" << path << "\"}";
+    }
     ::close(client);
   }
 }
@@ -254,8 +298,15 @@ std::string MetricsHttpServer::HandleRequest(const std::string& path) const {
          << ",\"build\":" << BuildInfoJson() << "}\n";
     return MakeResponse(200, "OK", "application/json", body.str());
   }
-  return MakeResponse(404, "Not Found", "text/plain",
-                      "unknown path; try /metrics /snapshot /window\n");
+  if (path == "/debug/flight") {
+    // On-demand black-box dump: the global flight recorder's rings as
+    // dasc-flight/1 JSONL (header line + one line per event, oldest first).
+    FlightRecorder::Global().WriteJsonl(body, "http_debug_flight");
+    return MakeResponse(200, "OK", "application/x-ndjson", body.str());
+  }
+  return MakeResponse(
+      404, "Not Found", "text/plain",
+      "unknown path; try /metrics /snapshot /window /debug/flight\n");
 }
 
 Result<std::string> HttpGetLocal(int port, const std::string& path,

@@ -9,6 +9,8 @@
 //   GET /window    windowed sketch quantiles only, as JSON
 //   GET /healthz   JSON liveness probe: {"status":"ok","uptime_s":...,
 //                  "seq":<requests served>,"build":{...}}
+//   GET /debug/flight  on-demand dump of the global flight recorder
+//                  (util/flight_recorder.h) as dasc-flight/1 JSONL
 //
 // Scope is deliberately tiny: HTTP/1.0, GET only, one connection at a time,
 // Connection: close — a scrape endpoint, not a web server. Requests are
@@ -16,6 +18,13 @@
 // (see DESIGN.md §14 for the protocol contract). The accept loop polls with
 // a 100 ms timeout so Stop() takes effect promptly; Stop() joins the thread
 // and is safe to call twice (the destructor calls it).
+//
+// Because the server handles one connection at a time, a client that
+// connects and then neither sends a request nor drains the response would
+// stall the exposition loop forever. Every accepted socket therefore gets
+// SO_RCVTIMEO and SO_SNDTIMEO set to Options::io_timeout_ms; a connection
+// that trips either timeout is dropped, counted in io_timeouts() and in the
+// http_server_io_timeouts_total registry counter, and the loop moves on.
 //
 // This is the in-process-first step toward the always-on allocation server:
 // the same endpoint will be scraped by dasc_loadgen once the ingest API
@@ -41,6 +50,11 @@ class MetricsHttpServer {
     int port = 0;
     // The registry served; defaults to GlobalMetrics() when nullptr.
     MetricsRegistry* registry = nullptr;
+    // Per-connection socket recv/send timeout. A client that stops sending
+    // its request or stops draining the response for this long is dropped
+    // so it cannot wedge the single-threaded exposition loop. Values <= 0
+    // fall back to the 1000 ms default.
+    int io_timeout_ms = 1000;
   };
 
   explicit MetricsHttpServer(const Options& options);
@@ -60,6 +74,11 @@ class MetricsHttpServer {
   int port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  // Connections dropped because a socket recv/send hit io_timeout_ms.
+  int64_t io_timeouts() const {
+    return io_timeouts_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Serve();
   std::string HandleRequest(const std::string& path) const;
@@ -73,6 +92,7 @@ class MetricsHttpServer {
   // /healthz payload: uptime origin and requests served so far.
   std::chrono::steady_clock::time_point start_time_{};
   std::atomic<int64_t> request_seq_{0};
+  std::atomic<int64_t> io_timeouts_{0};
   std::thread thread_;
 };
 

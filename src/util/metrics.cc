@@ -60,7 +60,14 @@ void WriteSketchJsonBody(std::ostream& out, const SketchSnapshot& s) {
         << ",\"value\":" << FormatDouble(s.cumulative_quantiles[i].value)
         << "}";
   }
-  out << "]}";
+  out << "]},\"exemplars\":[";
+  for (size_t i = 0; i < s.exemplars.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"value\":" << FormatDouble(s.exemplars[i].value)
+        << ",\"trace_id\":\"" << FormatTraceId(s.exemplars[i].trace_id)
+        << "\"}";
+  }
+  out << "]";
 }
 
 }  // namespace

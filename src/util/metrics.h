@@ -228,6 +228,17 @@ bool MetricsEnabled();
     }                                                                      \
   } while (0)
 
+// Sketch observe carrying an exemplar trace id (0 = no exemplar).
+#define DASC_METRIC_SKETCH_OBSERVE_EX(name, value, exemplar_trace_id)    \
+  do {                                                                   \
+    if (::dasc::util::MetricsEnabled()) {                                \
+      static ::dasc::util::WindowedQuantileSketch* const                 \
+          dasc_metric_sketch_ =                                          \
+              ::dasc::util::GlobalMetrics().GetSketch(name);             \
+      dasc_metric_sketch_->Observe(value, exemplar_trace_id);            \
+    }                                                                    \
+  } while (0)
+
 #else  // !DASC_METRICS_ENABLED
 
 // Arguments stay unevaluated (sizeof) so flagged-off builds neither pay for
@@ -240,6 +251,8 @@ bool MetricsEnabled();
   ((void)sizeof(name), (void)sizeof(value))
 #define DASC_METRIC_SKETCH_OBSERVE(name, value, ...) \
   ((void)sizeof(name), (void)sizeof(value))
+#define DASC_METRIC_SKETCH_OBSERVE_EX(name, value, exemplar_trace_id) \
+  ((void)sizeof(name), (void)sizeof(value), (void)sizeof(exemplar_trace_id))
 
 #endif  // DASC_METRICS_ENABLED
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "util/logging.h"
 
@@ -11,6 +12,32 @@ const std::vector<double>& SketchSnapshotRanks() {
   static const std::vector<double>* const ranks =
       new std::vector<double>{0.5, 0.9, 0.95, 0.99};
   return *ranks;
+}
+
+std::string FormatTraceId(uint64_t trace_id) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buffer;
+}
+
+uint64_t ParseTraceId(const std::string& text) {
+  if (text.empty() || text.size() > 16) return 0;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = 10 + (c - 'a');
+    } else if (c >= 'A' && c <= 'F') {
+      digit = 10 + (c - 'A');
+    } else {
+      return 0;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return value;
 }
 
 QuantileSketch::QuantileSketch(const QuantileSketchOptions& options)
@@ -102,6 +129,16 @@ void WindowedQuantileSketch::Observe(double value) {
   cumulative_.Observe(value);
 }
 
+void WindowedQuantileSketch::Observe(double value,
+                                     uint64_t exemplar_trace_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[current_].Observe(value);
+  cumulative_.Observe(value);
+  if (exemplar_trace_id != 0) {
+    exemplars_[cumulative_.BucketFor(value)] = {value, exemplar_trace_id};
+  }
+}
+
 void WindowedQuantileSketch::Advance() {
   std::lock_guard<std::mutex> lock(mu_);
   current_ = (current_ + 1) % ring_.size();
@@ -113,6 +150,7 @@ void WindowedQuantileSketch::Reset() {
   for (QuantileSketch& s : ring_) s.Clear();
   current_ = 0;
   cumulative_.Clear();
+  exemplars_.clear();
 }
 
 SketchSnapshot WindowedQuantileSketch::Snapshot() const {
@@ -131,6 +169,12 @@ SketchSnapshot WindowedQuantileSketch::Snapshot() const {
   for (double q : SketchSnapshotRanks()) {
     snapshot.window_quantiles.push_back({q, merge_scratch_.Quantile(q)});
     snapshot.cumulative_quantiles.push_back({q, cumulative_.Quantile(q)});
+  }
+  // exemplars_ is keyed by bucket slot, so iteration order is ascending by
+  // value (the zero bucket first, then log buckets low to high).
+  snapshot.exemplars.reserve(exemplars_.size());
+  for (const auto& [bucket, exemplar] : exemplars_) {
+    snapshot.exemplars.push_back(exemplar);
   }
   return snapshot;
 }

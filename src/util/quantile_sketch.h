@@ -25,6 +25,7 @@
 #define DASC_UTIL_QUANTILE_SKETCH_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -46,6 +47,21 @@ struct SketchQuantile {
   double value = 0.0;  // estimated quantile
 };
 
+// One exemplar: a concrete sampled observation (and the causal trace it
+// belongs to) pinned to the sketch bucket its value landed in, so an
+// aggregate percentile links back to a real request. Trace ids are opaque
+// 64-bit handles; serialize them with FormatTraceId (16 hex chars) because
+// a JSON double cannot represent the full id space.
+struct SketchExemplar {
+  double value = 0.0;
+  uint64_t trace_id = 0;
+};
+
+// 16-char lowercase-hex rendering of a trace id, and its inverse (returns 0
+// on malformed input — 0 is never a valid trace id).
+std::string FormatTraceId(uint64_t trace_id);
+uint64_t ParseTraceId(const std::string& text);
+
 struct SketchSnapshot {
   std::string name;
   double relative_error = 0.0;
@@ -58,6 +74,10 @@ struct SketchSnapshot {
   int64_t cumulative_count = 0;
   double cumulative_sum = 0.0;
   std::vector<SketchQuantile> cumulative_quantiles;
+
+  // At most one exemplar per touched cumulative bucket, ascending by value
+  // (so the last entries are the tail buckets a p99 estimate reads from).
+  std::vector<SketchExemplar> exemplars;
 };
 
 // The ranks every snapshot reports, ascending: p50 / p90 / p95 / p99.
@@ -80,6 +100,10 @@ class QuantileSketch {
   double sum() const { return sum_; }
   const QuantileSketchOptions& options() const { return options_; }
 
+  // The dense bucket slot `value` maps to (0 = zero bucket). Exposed so the
+  // windowed variant can key its exemplar table by bucket.
+  int64_t BucketFor(double value) const { return BucketIndex(value); }
+
  private:
   int64_t BucketIndex(double value) const;
 
@@ -101,6 +125,11 @@ class WindowedQuantileSketch {
                          const QuantileSketchOptions& options = {});
 
   void Observe(double value);
+  // Observe with an exemplar: when `exemplar_trace_id` is nonzero the
+  // (value, trace_id) pair is pinned to the cumulative bucket the value
+  // lands in — one exemplar per bucket, latest wins, so memory is bounded
+  // by the sketch's bucket count regardless of sample volume.
+  void Observe(double value, uint64_t exemplar_trace_id);
   // Rotates the window ring: the oldest interval is dropped and a fresh
   // current interval begins. The cumulative sketch is unaffected.
   void Advance();
@@ -119,6 +148,8 @@ class WindowedQuantileSketch {
   size_t current_ = 0;                // ring_ slot receiving observations
   QuantileSketch cumulative_;
   mutable QuantileSketch merge_scratch_;  // reused by Snapshot()
+  // cumulative bucket slot -> latest exemplar observed in that bucket.
+  std::map<int64_t, SketchExemplar> exemplars_;
 };
 
 }  // namespace dasc::util

@@ -1,0 +1,204 @@
+// Flight recorder tests: bounded per-thread rings (overwrite + drop
+// accounting), span self-time nesting and the snapshot-and-clear phase
+// table, label interning, the runtime kill switch, and the dasc-flight/1
+// dump format (header fields, label table, ascending t_ns merge). The
+// recorder is a process-wide singleton shared by every test in this binary,
+// so assertions are delta-based and keyed on test-unique labels. See
+// DESIGN.md §16.
+#include "util/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dasc::util {
+namespace {
+
+FlightRecorder& Recorder() { return FlightRecorder::Global(); }
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(FlightRecorder, KindNamesCoverTaxonomy) {
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kBatchBegin),
+               "batch_begin");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kBatchEnd), "batch_end");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kPhaseBegin),
+               "phase_begin");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kPhaseEnd), "phase_end");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kDecision), "decision");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kAnomaly), "anomaly");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kMark), "mark");
+}
+
+TEST(FlightRecorder, LabelInterningIsStableAndReserved) {
+  const uint32_t id = Recorder().InternLabel("flight_test_label_a");
+  EXPECT_NE(id, 0u);  // 0 is reserved for "none"
+  EXPECT_EQ(Recorder().InternLabel("flight_test_label_a"), id);
+  EXPECT_NE(Recorder().InternLabel("flight_test_label_b"), id);
+  EXPECT_EQ(Recorder().LabelName(id), "flight_test_label_a");
+  EXPECT_EQ(Recorder().LabelName(0), "");
+  EXPECT_EQ(Recorder().LabelName(1u << 30), "");
+}
+
+// Nested spans: the parent's accumulated *self* time excludes the child's
+// elapsed time. Sleeps give min bounds (safe on loaded machines); the upper
+// bound on the parent only fails if the parent's own ~5 ms of work jitters
+// past the child's 60 ms sleep.
+TEST(FlightRecorder, SpanSelfTimeExcludesNestedChildren) {
+  const uint32_t outer = Recorder().InternLabel("flight_test_outer");
+  const uint32_t inner = Recorder().InternLabel("flight_test_inner");
+  TakeThreadPhaseNanos();  // clear any residue from earlier tests
+
+  {
+    FlightSpan outer_span(outer);
+    SleepMs(5);
+    {
+      FlightSpan inner_span(inner);
+      SleepMs(60);
+    }
+  }
+
+  const auto phases = TakeThreadPhaseNanos();
+  int64_t outer_ns = -1;
+  int64_t inner_ns = -1;
+  for (const auto& [label, ns] : phases) {
+    if (label == outer) outer_ns = ns;
+    if (label == inner) inner_ns = ns;
+  }
+  ASSERT_GE(inner_ns, 0) << "inner phase missing from the thread table";
+  ASSERT_GE(outer_ns, 0) << "outer phase missing from the thread table";
+  EXPECT_GE(inner_ns, 55'000'000);
+  EXPECT_GE(outer_ns, 4'000'000);
+  EXPECT_LT(outer_ns, inner_ns) << "parent self time includes its child";
+
+  // Snapshot-and-clear: the table is empty until new spans close.
+  for (const auto& [label, ns] : TakeThreadPhaseNanos()) {
+    EXPECT_NE(label, outer);
+    EXPECT_NE(label, inner);
+  }
+}
+
+TEST(FlightRecorder, RingOverwritesOldestAndCountsDrops) {
+  // Capacity applies to rings created after the call, so record from a
+  // fresh thread (this test thread's ring already exists at default size).
+  Recorder().SetRingCapacity(8);
+  const uint32_t label = Recorder().InternLabel("flight_test_ring");
+  const int64_t recorded_before = Recorder().recorded();
+  const int64_t dropped_before = Recorder().dropped();
+
+  std::thread writer([&] {
+    for (int i = 0; i < 20; ++i) {
+      Recorder().Record(FlightEventKind::kMark, label, i);
+    }
+  });
+  writer.join();
+  Recorder().SetRingCapacity(FlightRecorder::kDefaultRingCapacity);
+
+  EXPECT_GE(Recorder().recorded() - recorded_before, 20);
+  EXPECT_GE(Recorder().dropped() - dropped_before, 12);
+
+  // Only the newest 8 events survive in the dump, and they are the last 8
+  // by payload.
+  const std::string dump = Recorder().DumpJsonl("ring_test");
+  EXPECT_EQ(CountOccurrences(dump, "\"label\":\"flight_test_ring\""), 8);
+  EXPECT_EQ(dump.find("\"label\":\"flight_test_ring\",\"a\":11,"),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"label\":\"flight_test_ring\",\"a\":12,"),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"label\":\"flight_test_ring\",\"a\":19,"),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, DisabledRecorderRecordsNothing) {
+  const uint32_t label = Recorder().InternLabel("flight_test_disabled");
+  TakeThreadPhaseNanos();
+  Recorder().SetEnabled(false);
+  EXPECT_FALSE(Recorder().enabled());
+  const int64_t recorded_before = Recorder().recorded();
+
+  Recorder().Record(FlightEventKind::kMark, label);
+  {
+    FlightSpan span(label);
+    SleepMs(2);
+  }
+  Recorder().SetEnabled(true);
+
+  EXPECT_EQ(Recorder().recorded(), recorded_before);
+  // The label is interned (it appears in the header table) but no event
+  // line may carry it.
+  EXPECT_EQ(Recorder().DumpJsonl("disabled_test")
+                .find("\"label\":\"flight_test_disabled\""),
+            std::string::npos);
+  // Disabled spans accumulate no phase time either.
+  for (const auto& [l, ns] : TakeThreadPhaseNanos()) EXPECT_NE(l, label);
+}
+
+TEST(FlightRecorder, DumpIsValidFlightV1MergedAscending) {
+  const uint32_t label = Recorder().InternLabel("flight_test_dump");
+  // Events from two threads must merge into one ascending-t_ns stream.
+  Recorder().Record(FlightEventKind::kMark, label, 1);
+  std::thread other(
+      [&] { Recorder().Record(FlightEventKind::kAnomaly, label, 2); });
+  other.join();
+  Recorder().Record(FlightEventKind::kMark, label, 3);
+
+  const std::string dump = Recorder().DumpJsonl("dump \"format\" test");
+  std::istringstream lines(dump);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_NE(header.find("\"type\":\"flight\""), std::string::npos);
+  EXPECT_NE(header.find("\"schema\":\"dasc-flight/1\""), std::string::npos);
+  EXPECT_NE(header.find("\"reason\":\"dump \\\"format\\\" test\""),
+            std::string::npos)
+      << header;
+  EXPECT_NE(header.find("\"labels\":["), std::string::npos);
+  EXPECT_NE(header.find("\"flight_test_dump\""), std::string::npos);
+
+  // Header counts match the body; every event line is well-formed and t_ns
+  // never decreases across the merged stream.
+  int64_t events_declared = -1;
+  {
+    const size_t pos = header.find("\"events\":");
+    ASSERT_NE(pos, std::string::npos);
+    events_declared = std::strtoll(header.c_str() + pos + 9, nullptr, 10);
+  }
+  int64_t events_seen = 0;
+  int64_t prev_t = -1;
+  bool saw_anomaly = false;
+  for (std::string line; std::getline(lines, line);) {
+    ASSERT_NE(line.find("\"type\":\"event\""), std::string::npos) << line;
+    const size_t pos = line.find("\"t_ns\":");
+    ASSERT_NE(pos, std::string::npos) << line;
+    const int64_t t = std::strtoll(line.c_str() + pos + 7, nullptr, 10);
+    EXPECT_GE(t, prev_t) << "events out of order: " << line;
+    prev_t = t;
+    ++events_seen;
+    if (line.find("\"kind\":\"anomaly\"") != std::string::npos &&
+        line.find("flight_test_dump") != std::string::npos) {
+      saw_anomaly = true;
+    }
+  }
+  EXPECT_EQ(events_seen, events_declared);
+  EXPECT_TRUE(saw_anomaly);
+  EXPECT_GE(events_seen, 3);
+}
+
+}  // namespace
+}  // namespace dasc::util

@@ -104,7 +104,7 @@ TEST(RunReportRoundTrip, FieldForField) {
   auto report = ParseRunReport(in);
   ASSERT_TRUE(report.ok()) << report.status().message();
 
-  EXPECT_EQ(report->schema_version, 4);
+  EXPECT_EQ(report->schema_version, 5);
   EXPECT_EQ(report->header.kind, header.kind);
   EXPECT_EQ(report->header.instance, header.instance);
   EXPECT_EQ(report->declared_runs, 2);
@@ -242,7 +242,7 @@ TEST(RunReportRoundTrip, TelemetryBlocksRoundTrip) {
   std::istringstream in(out.str());
   auto report = ParseRunReport(in);
   ASSERT_TRUE(report.ok()) << report.status().message();
-  EXPECT_EQ(report->schema_version, 4);
+  EXPECT_EQ(report->schema_version, 5);
 
   ASSERT_EQ(report->metrics.sketches.size(), 1u);
   const util::SketchSnapshot& got = report->metrics.sketches[0];
@@ -382,7 +382,7 @@ TEST(RunReportSchema, RejectsUnknownVersionNamingSupportedOnes) {
   EXPECT_NE(report.status().message().find("dasc-run-report/1"),
             std::string::npos)
       << report.status().message();
-  EXPECT_NE(report.status().message().find("dasc-run-report/4"),
+  EXPECT_NE(report.status().message().find("dasc-run-report/5"),
             std::string::npos)
       << report.status().message();
 }

@@ -8,11 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "algo/registry.h"
 #include "gen/synthetic.h"
+#include "sim/task_trace.h"
+#include "sim/watchdog.h"
+#include "util/flight_recorder.h"
 #include "util/metrics.h"
 
 namespace dasc::sim {
@@ -194,6 +200,151 @@ TEST(Service, DecisionsFeedTheRegistrySketch) {
   service.Drain();
   const size_t decisions = service.TakeDecisions().size();
   EXPECT_EQ(count_sketch() - before, static_cast<int64_t>(decisions));
+}
+
+// Causal tracing through the service shape: with head sampling at 1 every
+// decision is retained, each retained trace agrees with its DecisionRecord
+// (batch, outcome, latency endpoints), and the exemplar ids the service
+// threads into service_task_e2e_ms_window resolve through Lookup — the
+// exemplar-resolution promise the run-report validator enforces offline.
+TEST(Service, TracerRetainsDecisionsAndExemplarsResolve) {
+  const core::Instance instance = MakeInstance(30, 50, /*seed=*/29);
+  auto allocator = algo::CreateAllocator("greedy", 1);
+  ASSERT_TRUE(allocator.ok());
+
+  TaskTracerOptions trace_options;
+  trace_options.head_sample_every = 1;
+  TaskTracer tracer(trace_options);
+  ServiceOptions options = FastOptions();
+  options.tracer = &tracer;
+  Service service(instance, **allocator, options);
+  service.Start();
+  for (int w = 0; w < instance.num_workers(); ++w) {
+    ASSERT_TRUE(service.SubmitWorker(w).ok());
+  }
+  for (int t = 0; t < instance.num_tasks(); ++t) {
+    ASSERT_TRUE(service.SubmitTask(t).ok());
+  }
+  service.Drain();
+
+  const std::vector<DecisionRecord> decisions = service.TakeDecisions();
+  ASSERT_EQ(decisions.size(), static_cast<size_t>(instance.num_tasks()));
+  const TaskTracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.traces_started, instance.num_tasks());
+  EXPECT_EQ(stats.traces_decided, instance.num_tasks());
+  EXPECT_EQ(stats.traces_retained, instance.num_tasks());
+  EXPECT_GE(stats.batches, 1);
+
+  for (const DecisionRecord& d : decisions) {
+    TaskTraceRecord rec;
+    ASSERT_TRUE(tracer.Lookup(TaskTraceId(d.task), &rec)) << "task " << d.task;
+    EXPECT_EQ(rec.task, d.task);
+    EXPECT_EQ(rec.decide_batch, d.batch_seq);
+    EXPECT_EQ(rec.served, d.served);
+    EXPECT_DOUBLE_EQ(rec.submit_wall_s, d.submit_wall_s);
+    EXPECT_DOUBLE_EQ(rec.decide_wall_s, d.decide_wall_s);
+    // first_admit_batch may stay -1 (a window the batch cadence never
+    // landed in); when the task was admitted, admission precedes decision.
+    if (rec.first_admit_batch >= 0) {
+      EXPECT_LE(rec.first_admit_batch, rec.decide_batch) << "task " << d.task;
+    }
+  }
+
+  // The e2e sketch carries exemplars whose ids resolve in this tracer. (The
+  // global registry accumulates across tests, so only exemplars this run's
+  // buckets last touched are guaranteed to be ours — require at least one.)
+  if (!util::MetricsEnabled()) return;
+  int resolved = 0;
+  for (const util::SketchSnapshot& s :
+       util::GlobalMetrics().Snapshot().sketches) {
+    if (s.name != "service_task_e2e_ms_window") continue;
+    for (const util::SketchExemplar& e : s.exemplars) {
+      EXPECT_NE(e.trace_id, 0u);
+      if (tracer.Lookup(e.trace_id, nullptr)) ++resolved;
+    }
+  }
+  EXPECT_GE(resolved, 1);
+}
+
+// Deterministic anomaly-to-black-box chain, driven by CheckOnce() instead
+// of the poll thread: an injected per-batch stall breaches a microscopic
+// heartbeat timeout, the hook pins the stalled batch in the tracer and
+// dumps the flight recorder, the dump already shows the injected delay
+// phase plus the anomaly event, and every trace retained afterwards is
+// retained *because* of the flag (head/tail sampling disabled).
+TEST(Service, InjectedStallFlagsTracesAndDumpsFlightRecorder) {
+  const core::Instance instance = MakeInstance(20, 30, /*seed=*/31);
+  auto allocator = algo::CreateAllocator("greedy", 1);
+  ASSERT_TRUE(allocator.ok());
+
+  TaskTracerOptions trace_options;
+  trace_options.head_sample_every = 0;  // flagged retention only
+  trace_options.tail_k = 0;
+  TaskTracer tracer(trace_options);
+
+  util::MetricsRegistry registry;
+  WatchdogOptions watchdog_options;
+  watchdog_options.heartbeat_timeout_ms = 1e-6;
+  StallWatchdog watchdog(watchdog_options, &registry);
+  std::vector<WatchdogAnomaly> hooked;
+  std::string dump;
+  watchdog.SetOnAnomaly([&](const WatchdogAnomaly& anomaly) {
+    tracer.FlagBatch(anomaly.batch_seq);
+    if (dump.empty()) {
+      dump = util::FlightRecorder::Global().DumpJsonl("watchdog:" +
+                                                      anomaly.kind);
+    }
+    hooked.push_back(anomaly);
+  });
+
+  ServiceOptions options = FastOptions();
+  options.time_scale = 500.0;  // ~180 ms model horizon: several batches
+  options.inject_batch_delay_ms = 30.0;
+  options.tracer = &tracer;
+  options.watchdog = &watchdog;
+  Service service(instance, **allocator, options);
+  service.Start();
+  for (int w = 0; w < instance.num_workers(); ++w) {
+    ASSERT_TRUE(service.SubmitWorker(w).ok());
+  }
+  for (int t = 0; t < instance.num_tasks(); ++t) {
+    ASSERT_TRUE(service.SubmitTask(t).ok());
+  }
+
+  // Let two stalled batches heartbeat, then evaluate deterministically
+  // while tasks are still undecided (the ~180 ms horizon guarantees work
+  // outlives batch 1 at 30+ ms per batch).
+  for (int i = 0; i < 1000 && service.stats().batches < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(service.stats().batches, 2);
+  EXPECT_GT(service.pending_tasks(), 0);
+  ASSERT_GE(watchdog.CheckOnce(), 1);
+  service.Drain();
+
+  ASSERT_GE(hooked.size(), 1u);
+  EXPECT_EQ(hooked[0].kind, "heartbeat_stall");
+  EXPECT_GE(hooked[0].batch_seq, 1);
+
+  // The black box taken inside the hook: valid header, the injected-delay
+  // phase span from the stalled batch, and the anomaly event itself.
+  EXPECT_NE(dump.find("\"schema\":\"dasc-flight/1\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"batch_begin\""), std::string::npos);
+  EXPECT_NE(dump.find("\"label\":\"inject_delay\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"anomaly\",\"label\":\"heartbeat_stall\""),
+            std::string::npos);
+
+  // Every trace retained in this run was pinned by the flagged batch.
+  const TaskTracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.traces_decided, instance.num_tasks());
+  EXPECT_GE(stats.flagged_batches, 1);
+  EXPECT_GE(stats.flagged_retained, 1);
+  EXPECT_EQ(stats.traces_retained, stats.flagged_retained);
+  for (const TaskTraceRecord& rec : tracer.RetainedTraces()) {
+    EXPECT_EQ(rec.retained_reason, "flagged");
+    EXPECT_LE(rec.first_admit_batch, hooked[0].batch_seq);
+    EXPECT_GE(rec.decide_batch, hooked[0].batch_seq);
+  }
 }
 
 }  // namespace

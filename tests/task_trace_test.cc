@@ -1,0 +1,239 @@
+// Causal task tracer tests: deterministic trace ids, the three retention
+// rules (head sampling, top-K-so-far tail windows, watchdog-flagged batch
+// ranges), the monotone once-retained-never-evicted promise exemplars rely
+// on, the retained-trace cap, and the batch-record ring bound. See
+// DESIGN.md §16.
+#include "sim/task_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/flight_recorder.h"
+
+namespace dasc::sim {
+namespace {
+
+// A tracer with every retention rule off; tests switch on exactly the rule
+// under test so retention reasons are unambiguous.
+TaskTracerOptions QuietOptions() {
+  TaskTracerOptions options;
+  options.head_sample_every = 0;
+  options.tail_k = 0;
+  return options;
+}
+
+// Submits, admits (batch 0), and decides one task with the given e2e.
+uint64_t DecideTask(TaskTracer& tracer, core::TaskId task, int64_t seq,
+                    double e2e_ms, bool served = true) {
+  tracer.OnSubmit(task, 0.0);
+  tracer.OnAdmit(task, seq);
+  return tracer.OnDecision(task, seq, e2e_ms * 1e-3, served);
+}
+
+TEST(TaskTraceId, DeterministicNonzeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (core::TaskId t = 0; t < 1000; ++t) {
+    const uint64_t id = TaskTraceId(t);
+    EXPECT_NE(id, 0u) << "task " << t;
+    EXPECT_EQ(id, TaskTraceId(t));  // pure function of the task id
+    EXPECT_TRUE(seen.insert(id).second) << "collision at task " << t;
+  }
+}
+
+TEST(TaskTracer, HeadSamplingRetainsEveryNthSubmission) {
+  TaskTracerOptions options = QuietOptions();
+  options.head_sample_every = 4;
+  TaskTracer tracer(options);
+  tracer.OnBatchBegin(0, 0.0);
+
+  std::vector<core::TaskId> retained;
+  for (core::TaskId t = 0; t < 8; ++t) {
+    if (DecideTask(tracer, t, 0, 1.0) != 0) retained.push_back(t);
+  }
+  // Sampling is by submission order: the 1st and 5th submissions.
+  EXPECT_EQ(retained, (std::vector<core::TaskId>{0, 4}));
+
+  const TaskTracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.traces_started, 8);
+  EXPECT_EQ(stats.traces_decided, 8);
+  EXPECT_EQ(stats.traces_retained, 2);
+  EXPECT_EQ(stats.head_retained, 2);
+  EXPECT_EQ(stats.tail_retained, 0);
+  EXPECT_EQ(stats.flagged_retained, 0);
+  for (const TaskTraceRecord& rec : tracer.RetainedTraces()) {
+    EXPECT_EQ(rec.retained_reason, "head");
+    EXPECT_TRUE(rec.decided);
+  }
+}
+
+TEST(TaskTracer, TailRetainsTopKSoFarPerWindow) {
+  TaskTracerOptions options = QuietOptions();
+  options.tail_k = 2;
+  options.window_batches = 64;
+  TaskTracer tracer(options);
+  tracer.OnBatchBegin(0, 0.0);
+
+  // Descending latencies: the first K seed the window top and every later
+  // (faster) decision falls below it, so exactly K tail traces survive.
+  int retained = 0;
+  for (core::TaskId t = 0; t < 6; ++t) {
+    const double e2e_ms = 100.0 - 10.0 * t;
+    if (DecideTask(tracer, t, 0, e2e_ms) != 0) ++retained;
+  }
+  EXPECT_EQ(retained, 2);
+  EXPECT_EQ(tracer.stats().tail_retained, 2);
+
+  // Ascending latencies over-retain (each decision is a new top-K-so-far
+  // entry) — the documented trade that keeps retention monotone.
+  TaskTracer ascending(options);
+  ascending.OnBatchBegin(0, 0.0);
+  retained = 0;
+  for (core::TaskId t = 0; t < 6; ++t) {
+    if (DecideTask(ascending, t, 0, 10.0 + 10.0 * t) != 0) ++retained;
+  }
+  EXPECT_EQ(retained, 6);
+
+  // A new window clears the top: a modest latency qualifies again.
+  EXPECT_NE(DecideTask(tracer, 100, options.window_batches, 5.0), 0u);
+  EXPECT_EQ(tracer.stats().tail_retained, 3);
+}
+
+TEST(TaskTracer, FlaggedBatchRangeRetainsSpanningTraces) {
+  TaskTracer tracer(QuietOptions());
+  tracer.OnBatchBegin(0, 0.0);
+
+  // Task 1 spans batches [0, 2]; task 2 lives entirely in batch 4.
+  tracer.OnSubmit(1, 0.0);
+  tracer.OnAdmit(1, 0);
+  tracer.OnSubmit(2, 0.0);
+
+  tracer.FlagBatch(1);
+  EXPECT_EQ(tracer.stats().flagged_batches, 1);
+  tracer.FlagBatch(1);  // idempotent
+  EXPECT_EQ(tracer.stats().flagged_batches, 1);
+
+  const uint64_t spanning = tracer.OnDecision(1, 2, 0.010, true);
+  EXPECT_EQ(spanning, TaskTraceId(1));
+  tracer.OnAdmit(2, 4);
+  EXPECT_EQ(tracer.OnDecision(2, 4, 0.012, false), 0u)
+      << "batch 4 was never flagged";
+
+  const std::vector<TaskTraceRecord> retained = tracer.RetainedTraces();
+  ASSERT_EQ(retained.size(), 1u);
+  EXPECT_EQ(retained[0].task, 1);
+  EXPECT_EQ(retained[0].retained_reason, "flagged");
+  EXPECT_EQ(tracer.stats().flagged_retained, 1);
+}
+
+TEST(TaskTracer, FlagBatchSetsRingRecordRetroactively) {
+  TaskTracer tracer(QuietOptions());
+  tracer.OnBatchBegin(0, 0.0);
+  tracer.OnBatchEnd(0, 0.005, /*decisions=*/0, /*open_tasks=*/1,
+                    /*idle_workers=*/2, {});
+  tracer.FlagBatch(0);  // after the record closed
+
+  const std::vector<TraceBatchRecord> batches = tracer.BatchRecords();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_TRUE(batches[0].flagged);
+
+  // And forward: a batch flagged before it begins starts flagged.
+  tracer.FlagBatch(1);
+  tracer.OnBatchBegin(1, 0.005);
+  tracer.OnBatchEnd(1, 0.010, 0, 0, 0, {});
+  EXPECT_TRUE(tracer.BatchRecords()[1].flagged);
+}
+
+TEST(TaskTracer, OnDecisionReturnsTraceIdOnlyWhenRetained) {
+  TaskTracerOptions options = QuietOptions();
+  options.head_sample_every = 2;
+  TaskTracer tracer(options);
+  tracer.OnBatchBegin(0, 0.0);
+
+  EXPECT_EQ(DecideTask(tracer, 0, 0, 1.0), TaskTraceId(0));
+  EXPECT_EQ(DecideTask(tracer, 1, 0, 1.0), 0u);
+  // Unknown task (never submitted): no decision, no retention.
+  EXPECT_EQ(tracer.OnDecision(99, 0, 0.001, true), 0u);
+  // Double decision: the pending record is gone after the first.
+  EXPECT_EQ(tracer.OnDecision(0, 0, 0.002, true), 0u);
+  EXPECT_EQ(tracer.stats().traces_decided, 2);
+}
+
+TEST(TaskTracer, MaxTracesCapStopsRetentionNotCounting) {
+  TaskTracerOptions options = QuietOptions();
+  options.head_sample_every = 1;  // would retain everything
+  options.max_traces = 2;
+  TaskTracer tracer(options);
+  tracer.OnBatchBegin(0, 0.0);
+  for (core::TaskId t = 0; t < 5; ++t) DecideTask(tracer, t, 0, 1.0);
+
+  EXPECT_EQ(tracer.RetainedTraces().size(), 2u);
+  EXPECT_EQ(tracer.stats().traces_retained, 2);
+  EXPECT_EQ(tracer.stats().traces_decided, 5);
+}
+
+TEST(TaskTracer, LookupResolvesEveryRetainedId) {
+  TaskTracerOptions options = QuietOptions();
+  options.head_sample_every = 1;
+  TaskTracer tracer(options);
+  tracer.OnBatchBegin(0, 0.0);
+  tracer.OnSubmit(7, 0.5);
+  tracer.OnAdmit(7, 0);
+  tracer.OnCamp(7, 0);
+  const uint64_t id = tracer.OnDecision(7, 3, 1.5, true);
+  ASSERT_EQ(id, TaskTraceId(7));
+
+  TaskTraceRecord rec;
+  ASSERT_TRUE(tracer.Lookup(id, &rec));
+  EXPECT_EQ(rec.task, 7);
+  EXPECT_EQ(rec.first_admit_batch, 0);
+  EXPECT_EQ(rec.camp_batch, 0);
+  EXPECT_EQ(rec.decide_batch, 3);
+  EXPECT_TRUE(rec.served);
+  EXPECT_DOUBLE_EQ(rec.e2e_ms(), 1000.0);
+
+  EXPECT_FALSE(tracer.Lookup(TaskTraceId(8), nullptr));
+  EXPECT_FALSE(tracer.Lookup(0, nullptr));
+}
+
+TEST(TaskTracer, BatchRingEvictsOldestAndCountsDrops) {
+  TaskTracerOptions options = QuietOptions();
+  options.max_batches = 2;
+  TaskTracer tracer(options);
+  for (int64_t seq = 0; seq < 5; ++seq) {
+    tracer.OnBatchBegin(seq, 0.01 * seq);
+    tracer.OnBatchEnd(seq, 0.01 * seq + 0.005, seq, 0, 0, {});
+  }
+
+  const std::vector<TraceBatchRecord> batches = tracer.BatchRecords();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].seq, 3);
+  EXPECT_EQ(batches[1].seq, 4);
+  EXPECT_EQ(batches[1].decisions, 4);
+  const TaskTracerStats stats = tracer.stats();
+  EXPECT_EQ(stats.batches, 5);
+  EXPECT_EQ(stats.dropped_batches, 3);
+}
+
+TEST(TaskTracer, BatchEndResolvesPhaseLabelsAndDropsEmpties) {
+  util::FlightRecorder& recorder = util::FlightRecorder::Global();
+  const uint32_t label = recorder.InternLabel("task_trace_test_phase");
+  TaskTracer tracer(QuietOptions());
+  tracer.OnBatchBegin(0, 0.0);
+  tracer.OnBatchEnd(0, 0.010, 1, 2, 3,
+                    {{label, 2'000'000}, {label + 1000, 1'000'000}, {label, 0}});
+
+  const std::vector<TraceBatchRecord> batches = tracer.BatchRecords();
+  ASSERT_EQ(batches.size(), 1u);
+  // The unknown interned id and the zero-time entry are dropped.
+  ASSERT_EQ(batches[0].phases.size(), 1u);
+  EXPECT_EQ(batches[0].phases[0].label, "task_trace_test_phase");
+  EXPECT_DOUBLE_EQ(batches[0].phases[0].ms, 2.0);
+  EXPECT_EQ(batches[0].decisions, 1);
+  EXPECT_EQ(batches[0].open_tasks, 2);
+  EXPECT_EQ(batches[0].idle_workers, 3);
+}
+
+}  // namespace
+}  // namespace dasc::sim

@@ -5,6 +5,11 @@
 // sketch and histogram p95 estimates. See DESIGN.md §14.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -20,6 +25,7 @@
 #include "sim/metrics_timeseries.h"
 #include "sim/simulator.h"
 #include "sim/watchdog.h"
+#include "util/flight_recorder.h"
 #include "util/http_server.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -339,6 +345,114 @@ TEST(LiveTelemetry, SketchAndHistogramP95AgreeWithinDocumentedBound) {
   const double alpha = sketch_options.relative_error;
   EXPECT_GE(sketch_p95, hist_p95 / hist_options.growth * (1.0 - alpha));
   EXPECT_LE(sketch_p95, hist_p95 * (1.0 + alpha));
+}
+
+// A client that connects and then never finishes its request must not
+// wedge the single-threaded exposition loop: the per-connection socket
+// timeout reclaims the connection, the io_timeouts counter records it, and
+// the next well-behaved scrape succeeds. Regression test for the hung-
+// scraper stall (DESIGN.md §16).
+TEST(LiveTelemetry, HungClientCannotStallTheServer) {
+  MetricsRegistry registry;
+  MetricsHttpServer::Options options;
+  options.registry = &registry;
+  options.port = 0;
+  options.io_timeout_ms = 100;
+  MetricsHttpServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  // Raw socket: connect, send a partial request head (no terminating blank
+  // line), and hang. Accepts are FIFO, so the server meets this connection
+  // before the healthy scrape below.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  const char partial[] = "GET /healthz HTTP/1.1\r\n";
+  ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, 0), 0);
+
+  // The healthy scrape queues behind the hung connection and must still be
+  // answered once the 100 ms recv timeout reclaims it.
+  auto health = HttpGetLocal(server.port(), "/healthz", /*timeout_ms=*/5000);
+  ASSERT_TRUE(health.ok()) << health.status().message();
+  EXPECT_NE(health->find("\"status\":\"ok\""), std::string::npos);
+
+  // The timeout is an observable, structured event, not a silent drop.
+  for (int i = 0; i < 100 && server.io_timeouts() == 0; ++i) SleepMs(5);
+  EXPECT_GE(server.io_timeouts(), 1);
+  EXPECT_GE(registry.GetCounter("http_server_io_timeouts_total")->value(), 1);
+
+  ::close(fd);
+  server.Stop();
+}
+
+// /debug/flight serves the always-on flight recorder as a dasc-flight/1
+// JSONL document on demand — no anomaly required.
+TEST(LiveTelemetry, DebugFlightEndpointDumpsTheRecorder) {
+  util::FlightRecorder& recorder = util::FlightRecorder::Global();
+  const uint32_t label = recorder.InternLabel("telemetry_test_debug_mark");
+  recorder.Record(util::FlightEventKind::kMark, label, 42);
+
+  MetricsRegistry registry;
+  MetricsHttpServer::Options options;
+  options.registry = &registry;
+  options.port = 0;
+  MetricsHttpServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto dump = HttpGetLocal(server.port(), "/debug/flight");
+  ASSERT_TRUE(dump.ok()) << dump.status().message();
+  EXPECT_NE(dump->find("\"schema\":\"dasc-flight/1\""), std::string::npos);
+  EXPECT_NE(dump->find("\"reason\":\"http_debug_flight\""), std::string::npos);
+  EXPECT_NE(dump->find("\"label\":\"telemetry_test_debug_mark\",\"a\":42"),
+            std::string::npos);
+  server.Stop();
+}
+
+// The anomaly hook contract the loadgen/service wiring relies on: the hook
+// fires once per recorded anomaly, after CheckOnce's evaluation and with no
+// watchdog lock held (re-entering watchdog accessors from the hook must not
+// deadlock), and a flight dump taken inside the hook already contains the
+// anomaly event RecordAnomaly appended.
+TEST(StallWatchdogTest, AnomalyHookFiresUnlockedAndFlightDumpValidates) {
+  MetricsRegistry registry;
+  WatchdogOptions options;
+  options.heartbeat_timeout_ms = 1e-6;
+  StallWatchdog watchdog(options, &registry);
+
+  std::vector<sim::WatchdogAnomaly> hooked;
+  std::string dump;
+  watchdog.SetOnAnomaly([&](const sim::WatchdogAnomaly& anomaly) {
+    hooked.push_back(anomaly);
+    // No lock held: watchdog accessors are safe from inside the hook.
+    EXPECT_GE(watchdog.anomaly_count(), 1);
+    dump = util::FlightRecorder::Global().DumpJsonl("watchdog:" +
+                                                    anomaly.kind);
+  });
+
+  watchdog.Heartbeat(7);
+  SleepMs(2);
+  EXPECT_EQ(watchdog.CheckOnce(), 1);
+  EXPECT_EQ(watchdog.CheckOnce(), 0);  // same excursion: hook not re-fired
+
+  ASSERT_EQ(hooked.size(), 1u);
+  EXPECT_EQ(hooked[0].kind, "heartbeat_stall");
+  EXPECT_EQ(hooked[0].batch_seq, 7);
+  EXPECT_NE(dump.find("\"schema\":\"dasc-flight/1\""), std::string::npos);
+  EXPECT_NE(dump.find("\"reason\":\"watchdog:heartbeat_stall\""),
+            std::string::npos);
+  // RecordAnomaly's own flight event, labeled with the anomaly kind and
+  // carrying the stalled heartbeat seq.
+  EXPECT_NE(
+      dump.find("\"kind\":\"anomaly\",\"label\":\"heartbeat_stall\",\"a\":7"),
+      std::string::npos)
+      << dump.substr(0, 400);
 }
 
 // The simulator wiring: batch boundaries advance sketch windows, feed the

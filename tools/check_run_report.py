@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Validates dasc run-report JSONL files and Perfetto trace JSON.
+"""Validates dasc run-report JSONL files, Perfetto trace JSON, and
+dasc-flight/1 flight-recorder dumps.
 
 Used by ctest (see tests/CMakeLists.txt) to check that dasc_cli's
---metrics-out and --trace-out outputs stay schema-valid and contain the
-spans/metrics the observability layer promises:
+--metrics-out and --trace-out outputs (and dasc_loadgen's --trace-out /
+--flight-out artifacts) stay schema-valid and contain the spans/metrics the
+observability layer promises:
 
   check_run_report.py --report=report.jsonl \
       --require-metric=game_rounds --require-metric=candidates_pairs_total
   check_run_report.py --trace=trace.json \
       --require-span=batch --require-span=matching
+  check_run_report.py --flight=flight.jsonl \
+      --require-flight-kind=anomaly --require-flight-label=inject_delay
+
+A /5 report's causal-trace invariants are enforced: task-line trace ids are
+well-formed, sketch exemplars carry valid trace ids, the trace_summary
+declares exactly the trace/trace_batch lines present, and every exported
+exemplar trace id resolves to a retained "trace" line.
 
 Exits 0 when every check passes, 1 with a message per failure otherwise.
 Only the Python 3 standard library is used.
@@ -16,9 +25,20 @@ Only the Python 3 standard library is used.
 
 import argparse
 import json
+import re
 import sys
 
-SUPPORTED_VERSIONS = (1, 2, 3, 4)
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
+
+# 16 lowercase hex chars, never all-zero (0 = "no trace" sentinel).
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
+# The tracer's retention-reason taxonomy (sim/task_trace.h).
+TRACE_REASONS = frozenset(("head", "tail", "flagged"))
+
+# The flight recorder's closed event taxonomy (util/flight_recorder.h).
+FLIGHT_KINDS = frozenset(("batch_begin", "batch_end", "phase_begin",
+                          "phase_end", "decision", "anomaly", "mark"))
 
 # The watchdog's closed anomaly taxonomy (sim/watchdog.h).
 ANOMALY_KINDS = frozenset(("heartbeat_stall", "queue_depth", "audit_gap"))
@@ -198,6 +218,11 @@ def check_report(path, require_metrics, errors):
     num_ts_lines = 0
     anomalies_header = None
     num_anomaly_lines = 0
+    trace_summary = None
+    num_trace_lines = 0
+    num_trace_batch_lines = 0
+    retained_trace_ids = set()
+    exemplar_trace_ids = {}  # trace_id -> first line it appeared on
     for lineno, line in enumerate(lines, start=1):
         try:
             obj = json.loads(line)
@@ -297,6 +322,13 @@ def check_report(path, require_metrics, errors):
                 counts = task_counts_by_algo.setdefault(
                     obj.get("algorithm"), {})
                 counts[reason] = counts.get(reason, 0) + 1
+            if version >= 5:
+                trace_id = obj.get("trace_id")
+                if not isinstance(trace_id, str) or \
+                        not TRACE_ID_RE.match(trace_id) or \
+                        trace_id == "0" * 16:
+                    errors.append(f"{path} line {lineno}: task 'trace_id' "
+                                  "missing or not 16 nonzero hex chars")
         elif kind == "counter":
             if not isinstance(obj.get("name"), str) or not isinstance(
                     obj.get("value"), int):
@@ -337,6 +369,30 @@ def check_report(path, require_metrics, errors):
                 errors.append(f"{path} line {lineno}: sketch window count "
                               f"{window['count']} exceeds cumulative "
                               f"{cumulative['count']}")
+            exemplars = obj.get("exemplars")
+            if exemplars is not None:
+                if version < 5:
+                    errors.append(f"{path} line {lineno}: sketch exemplars "
+                                  f"in a dasc-run-report/{version} report")
+                elif not isinstance(exemplars, list):
+                    errors.append(f"{path} line {lineno}: sketch "
+                                  "'exemplars' not a list")
+                else:
+                    for i, ex in enumerate(exemplars):
+                        if not isinstance(ex, dict) or \
+                                not isinstance(ex.get("value"),
+                                               (int, float)):
+                            errors.append(f"{path} line {lineno}: exemplar "
+                                          f"{i} missing numeric 'value'")
+                            continue
+                        tid = ex.get("trace_id")
+                        if not isinstance(tid, str) or \
+                                not TRACE_ID_RE.match(tid) or \
+                                tid == "0" * 16:
+                            errors.append(f"{path} line {lineno}: exemplar "
+                                          f"{i} 'trace_id' invalid")
+                            continue
+                        exemplar_trace_ids.setdefault(tid, lineno)
             seen_metrics.add(obj["name"])
         elif kind == "timeseries":
             if version < 4:
@@ -412,6 +468,85 @@ def check_report(path, require_metrics, errors):
                 if not isinstance(obj.get(field), (int, float)):
                     errors.append(f"{path} line {lineno}: anomaly {field!r} "
                                   "missing or mistyped")
+        elif kind == "trace_summary":
+            if version < 5:
+                errors.append(f"{path} line {lineno}: trace_summary line in "
+                              f"a dasc-run-report/{version} report")
+                continue
+            for field in ("started", "decided", "retained", "head", "tail",
+                          "flagged", "batches", "flagged_batches",
+                          "dropped_batches", "traces", "batch_records"):
+                if not isinstance(obj.get(field), int) or obj[field] < 0:
+                    errors.append(f"{path} line {lineno}: trace_summary "
+                                  f"{field!r} missing or invalid")
+            if isinstance(obj.get("retained"), int) and \
+                    isinstance(obj.get("head"), int) and \
+                    isinstance(obj.get("tail"), int) and \
+                    isinstance(obj.get("flagged"), int) and \
+                    obj["head"] + obj["tail"] + obj["flagged"] != \
+                    obj["retained"]:
+                errors.append(f"{path} line {lineno}: trace_summary "
+                              "head+tail+flagged != retained")
+            trace_summary = obj
+        elif kind == "trace":
+            if trace_summary is None:
+                errors.append(f"{path} line {lineno}: trace line before its "
+                              "trace_summary")
+                continue
+            num_trace_lines += 1
+            tid = obj.get("trace_id")
+            if not isinstance(tid, str) or not TRACE_ID_RE.match(tid) or \
+                    tid == "0" * 16:
+                errors.append(f"{path} line {lineno}: trace 'trace_id' "
+                              "invalid")
+            else:
+                retained_trace_ids.add(tid)
+            if obj.get("retained") not in TRACE_REASONS:
+                errors.append(f"{path} line {lineno}: trace 'retained' "
+                              f"{obj.get('retained')!r} outside the closed "
+                              "taxonomy")
+            for field in ("task", "first_admit_batch", "last_admit_batch",
+                          "admitted_batches", "camp_batch", "decide_batch"):
+                if not isinstance(obj.get(field), int):
+                    errors.append(f"{path} line {lineno}: trace {field!r} "
+                                  "missing or mistyped")
+            for field in ("submit_s", "decide_s", "e2e_ms"):
+                if not isinstance(obj.get(field), (int, float)):
+                    errors.append(f"{path} line {lineno}: trace {field!r} "
+                                  "missing or mistyped")
+            if not isinstance(obj.get("served"), bool):
+                errors.append(f"{path} line {lineno}: trace 'served' missing "
+                              "or not a bool")
+        elif kind == "trace_batch":
+            if trace_summary is None:
+                errors.append(f"{path} line {lineno}: trace_batch line "
+                              "before its trace_summary")
+                continue
+            num_trace_batch_lines += 1
+            if not isinstance(obj.get("seq"), int) or obj["seq"] < 0:
+                errors.append(f"{path} line {lineno}: trace_batch 'seq' "
+                              "missing or invalid")
+            for field in ("begin_s", "end_s"):
+                if not isinstance(obj.get(field), (int, float)):
+                    errors.append(f"{path} line {lineno}: trace_batch "
+                                  f"{field!r} missing or mistyped")
+            for field in ("decisions", "open_tasks", "idle_workers"):
+                if not isinstance(obj.get(field), int) or obj[field] < 0:
+                    errors.append(f"{path} line {lineno}: trace_batch "
+                                  f"{field!r} missing or invalid")
+            if not isinstance(obj.get("flagged"), bool):
+                errors.append(f"{path} line {lineno}: trace_batch 'flagged' "
+                              "missing or not a bool")
+            phases = obj.get("phases")
+            if not isinstance(phases, dict):
+                errors.append(f"{path} line {lineno}: trace_batch 'phases' "
+                              "missing or not an object")
+            else:
+                for label, ms in phases.items():
+                    if not label or not isinstance(ms, (int, float)) or \
+                            ms < 0:
+                        errors.append(f"{path} line {lineno}: trace_batch "
+                                      f"phase {label!r} invalid")
         else:
             errors.append(f"{path} line {lineno}: unknown type {kind!r}")
     declared = json.loads(lines[0]).get("runs")
@@ -428,6 +563,23 @@ def check_report(path, require_metrics, errors):
         errors.append(f"{path}: anomalies summary declares "
                       f"{anomalies_header.get('recorded')} recorded but "
                       f"{num_anomaly_lines} anomaly lines found")
+    if trace_summary is not None:
+        if trace_summary.get("traces") != num_trace_lines:
+            errors.append(f"{path}: trace_summary declares "
+                          f"{trace_summary.get('traces')} traces but "
+                          f"{num_trace_lines} trace lines found")
+        if trace_summary.get("batch_records") != num_trace_batch_lines:
+            errors.append(f"{path}: trace_summary declares "
+                          f"{trace_summary.get('batch_records')} batch "
+                          f"records but {num_trace_batch_lines} trace_batch "
+                          "lines found")
+    # Exemplar resolution: every trace id a sketch exported must point at a
+    # retained trace in the same report — a dangling exemplar means the
+    # tail-sampling retention rules regressed.
+    for tid, first_line in sorted(exemplar_trace_ids.items()):
+        if tid not in retained_trace_ids:
+            errors.append(f"{path} line {first_line}: exemplar trace id "
+                          f"{tid} does not resolve to a retained trace")
     # Ledger block cross-checks: the per-task lines must reproduce the
     # summary, and both must agree with the stats line's task accounting.
     for algo, ledger in ledger_by_algo.items():
@@ -498,30 +650,123 @@ def check_trace(path, require_spans, errors):
             errors.append(f"{path}: required span {name!r} not present")
 
 
+def check_flight(path, require_kinds, require_labels, errors):
+    """Validates a dasc-flight/1 flight-recorder dump."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+    except OSError as e:
+        errors.append(f"{path}: {e}")
+        return
+    if not lines:
+        errors.append(f"{path}: empty flight dump")
+        return
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        errors.append(f"{path} line 1: invalid JSON: {e}")
+        return
+    if header.get("type") != "flight" or \
+            header.get("schema") != "dasc-flight/1":
+        errors.append(f"{path}: first line must be a dasc-flight/1 header")
+        return
+    if not isinstance(header.get("reason"), str) or not header["reason"]:
+        errors.append(f"{path}: flight header 'reason' missing or empty")
+    labels = header.get("labels")
+    if not isinstance(labels, list) or \
+            not all(isinstance(l, str) for l in labels):
+        errors.append(f"{path}: flight header 'labels' missing or not a "
+                      "string list")
+        labels = []
+    for field in ("events", "recorded", "dropped", "threads"):
+        if not isinstance(header.get(field), int) or header[field] < 0:
+            errors.append(f"{path}: flight header {field!r} missing or "
+                          "invalid")
+    seen_kinds = set()
+    seen_labels = set()
+    previous_t = None
+    num_events = 0
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{path} line {lineno}: invalid JSON: {e}")
+            return
+        if obj.get("type") != "event":
+            errors.append(f"{path} line {lineno}: expected an event line, "
+                          f"got type {obj.get('type')!r}")
+            continue
+        num_events += 1
+        kind = obj.get("kind")
+        if kind not in FLIGHT_KINDS:
+            errors.append(f"{path} line {lineno}: event kind {kind!r} "
+                          "outside the closed taxonomy")
+        else:
+            seen_kinds.add(kind)
+        t_ns = obj.get("t_ns")
+        if not isinstance(t_ns, int) or t_ns < 0:
+            errors.append(f"{path} line {lineno}: event 't_ns' missing or "
+                          "invalid")
+        elif previous_t is not None and t_ns < previous_t:
+            errors.append(f"{path} line {lineno}: events not sorted by t_ns")
+        else:
+            previous_t = t_ns
+        if not isinstance(obj.get("thread"), int) or obj["thread"] < 0:
+            errors.append(f"{path} line {lineno}: event 'thread' missing or "
+                          "invalid")
+        label = obj.get("label")
+        if label is not None:
+            if not isinstance(label, str) or label not in labels:
+                errors.append(f"{path} line {lineno}: event label {label!r} "
+                              "not in the header label table")
+            else:
+                seen_labels.add(label)
+    if num_events != header.get("events"):
+        errors.append(f"{path}: header declares {header.get('events')} "
+                      f"events but {num_events} event lines found")
+    for kind in require_kinds:
+        if kind not in seen_kinds:
+            errors.append(f"{path}: required event kind {kind!r} not present")
+    for label in require_labels:
+        if label not in seen_labels:
+            errors.append(f"{path}: required event label {label!r} not "
+                          "present")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--report", help="run-report JSONL file to validate")
     parser.add_argument("--trace", help="Perfetto trace JSON file to validate")
+    parser.add_argument("--flight", help="dasc-flight/1 dump to validate")
     parser.add_argument("--require-metric", action="append", default=[],
                         help="metric name that must appear in the report "
                              "(repeatable)")
     parser.add_argument("--require-span", action="append", default=[],
                         help="span name that must appear in the trace "
                              "(repeatable)")
+    parser.add_argument("--require-flight-kind", action="append", default=[],
+                        help="event kind that must appear in the flight "
+                             "dump (repeatable)")
+    parser.add_argument("--require-flight-label", action="append", default=[],
+                        help="event label that must appear in the flight "
+                             "dump (repeatable)")
     args = parser.parse_args()
-    if not args.report and not args.trace:
-        parser.error("at least one of --report/--trace is required")
+    if not args.report and not args.trace and not args.flight:
+        parser.error("at least one of --report/--trace/--flight is required")
 
     errors = []
     if args.report:
         check_report(args.report, args.require_metric, errors)
     if args.trace:
         check_trace(args.trace, args.require_span, errors)
+    if args.flight:
+        check_flight(args.flight, args.require_flight_kind,
+                     args.require_flight_label, errors)
     for message in errors:
         print(f"check_run_report: {message}", file=sys.stderr)
     if errors:
         return 1
-    checked = [p for p in (args.report, args.trace) if p]
+    checked = [p for p in (args.report, args.trace, args.flight) if p]
     print(f"check_run_report: OK ({', '.join(checked)})")
     return 0
 

@@ -60,6 +60,7 @@
 #include "sim/metrics.h"
 #include "sim/metrics_timeseries.h"
 #include "sim/run_report.h"
+#include "sim/task_trace.h"
 #include "sim/watchdog.h"
 #include "util/build_info.h"
 #include "util/flags.h"
@@ -332,6 +333,11 @@ int Simulate(int argc, char** argv) {
   sim::StallWatchdog watchdog;
   options.timeseries = &timeseries;
   options.watchdog = &watchdog;
+  // Causal task traces ride along the same way: head/tail/flagged-sampled
+  // per-task traces plus per-batch phase records, serialized as the /5
+  // trace block of the run report (dasc_report trace analyzes them).
+  sim::TaskTracer tracer;
+  options.tracer = &tracer;
   util::MetricsHttpServer::Options server_options;
   server_options.port = static_cast<int>(serve_port);
   util::MetricsHttpServer server(server_options);
@@ -410,6 +416,7 @@ int Simulate(int argc, char** argv) {
     sim::RunReportExtras extras;
     extras.timeseries = &timeseries;
     extras.watchdog = &watchdog;
+    extras.tracer = &tracer;
     sim::WriteRunReportJsonl(out, header, {stats}, util::GlobalMetrics(),
                              extras);
   }

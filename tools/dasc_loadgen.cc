@@ -7,6 +7,8 @@
 //       [--burst-period-s=F] [--burst-duty=F]
 //       [--diurnal-amplitude=F] [--diurnal-periods=F]
 //       [--report-out=load.jsonl] [--serve-metrics=PORT]
+//       [--trace-out=trace.jsonl] [--flight-out=flight.jsonl]
+//       [--watchdog-heartbeat-ms=F]
 //       [--slo-p99-ms=F] [--slo-unserved-budget=F] [--slo-short-window=F]
 //       [--min-batch-gap-ms=F] [--max-batch-gap-ms=F]
 //       [--inject-stall-ms=F]
@@ -41,11 +43,23 @@
 // ingest-queue depth series, and any watchdog anomalies. `dasc_report load`
 // summarizes/diffs/gates on it; tools/check_load_report.py validates it.
 //
+// Causal observability: a sim::TaskTracer rides every run (head/tail/
+// flagged sampling of per-task traces plus per-batch phase records).
+// --trace-out serializes it as a dasc-run-report/5 artifact whose trace
+// block `dasc_report trace` turns into a critical-path breakdown.
+// --flight-out arms the anomaly-triggered black box: the watchdog runs even
+// without --serve-metrics, and its first anomaly dumps the global flight
+// recorder (util/flight_recorder.h) to the given path as dasc-flight/1;
+// every anomaly also pins its batch in the tracer so the affected traces
+// are tail-retained. --watchdog-heartbeat-ms tightens the stall threshold
+// so tests can trip it deterministically with --inject-stall-ms.
+//
 // --inject-stall-ms is a test-only hook (ServiceOptions::
 // inject_batch_delay_ms) that sleeps inside every batch: it
 // deterministically seeds an SLO breach for the WILL_FAIL gate test. Never
 // set it in real runs.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -59,10 +73,13 @@
 #include "io/instance_io.h"
 #include "sim/load_report.h"
 #include "sim/metrics_timeseries.h"
+#include "sim/run_report.h"
 #include "sim/service.h"
+#include "sim/task_trace.h"
 #include "sim/watchdog.h"
 #include "util/build_info.h"
 #include "util/flags.h"
+#include "util/flight_recorder.h"
 #include "util/http_server.h"
 #include "util/json.h"
 #include "util/latency_recorder.h"
@@ -85,6 +102,8 @@ int Usage() {
       "    [--burst-period-s= --burst-duty=]\n"
       "    [--diurnal-amplitude= --diurnal-periods=]\n"
       "    [--report-out=load.jsonl] [--serve-metrics=PORT]\n"
+      "    [--trace-out=trace.jsonl] [--flight-out=flight.jsonl]\n"
+      "    [--watchdog-heartbeat-ms=F]\n"
       "    [--slo-p99-ms= --slo-unserved-budget= --slo-short-window=]\n"
       "    [--min-batch-gap-ms= --max-batch-gap-ms=] [--inject-stall-ms=]\n");
   return 2;
@@ -204,6 +223,9 @@ int Run(int argc, char** argv) {
   double min_batch_gap_ms = 1.0;
   double max_batch_gap_ms = 25.0;
   double inject_stall_ms = 0.0;
+  std::string trace_out;
+  std::string flight_out;
+  double watchdog_heartbeat_ms = 0.0;
   parser.AddString("algo", &algo_name, "allocator under test");
   parser.AddString("instance", &instance_path,
                    "drive this instance file instead of generating one");
@@ -240,6 +262,15 @@ int Run(int argc, char** argv) {
                    "service: idle batch flush interval");
   parser.AddDouble("inject-stall-ms", &inject_stall_ms,
                    "TEST ONLY: sleep inside every service batch");
+  parser.AddString("trace-out", &trace_out,
+                   "write the causal-trace run report (dasc-run-report/5) "
+                   "here; dasc_report trace analyzes it");
+  parser.AddString("flight-out", &flight_out,
+                   "arm the flight recorder: the first watchdog anomaly "
+                   "dumps the black box here as dasc-flight/1");
+  parser.AddDouble("watchdog-heartbeat-ms", &watchdog_heartbeat_ms,
+                   "override the watchdog heartbeat-stall threshold "
+                   "(0 = default 5000 ms)");
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
   const util::Status parsed = parser.Parse(args);
@@ -328,7 +359,30 @@ int Run(int argc, char** argv) {
   // 3. Telemetry plane + optional exposition endpoint.
   util::RegisterBuildInfoMetric();
   sim::MetricsTimeSeries timeseries;
-  sim::StallWatchdog watchdog;
+  sim::WatchdogOptions watchdog_options;
+  if (watchdog_heartbeat_ms > 0.0) {
+    watchdog_options.heartbeat_timeout_ms = watchdog_heartbeat_ms;
+  }
+  sim::StallWatchdog watchdog(watchdog_options);
+  sim::TaskTracer tracer;
+  // Anomaly hook: pin the anomalous batch in the tracer so the traces that
+  // rode through it are retained, and (with --flight-out) dump the black
+  // box exactly once, on the first anomaly — the rings then hold the lead-up
+  // to the first failure rather than the tail of the run.
+  std::atomic<bool> flight_dumped{false};
+  watchdog.SetOnAnomaly([&](const sim::WatchdogAnomaly& a) {
+    tracer.FlagBatch(a.batch_seq);
+    if (!flight_out.empty() && !flight_dumped.exchange(true)) {
+      const util::Status dumped = util::FlightRecorder::Global().DumpToFile(
+          flight_out, "watchdog:" + a.kind);
+      if (dumped.ok()) {
+        std::fprintf(stderr, "flight recorder dumped to %s (anomaly %s)\n",
+                     flight_out.c_str(), a.kind.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", dumped.ToString().c_str());
+      }
+    }
+  });
   util::MetricsHttpServer::Options server_options;
   server_options.port = static_cast<int>(serve_port);
   util::MetricsHttpServer server(server_options);
@@ -342,8 +396,10 @@ int Run(int argc, char** argv) {
     std::fflush(stdout);
     std::fprintf(stderr, "serve_metrics_port=%d\n", server.port());
     std::fflush(stderr);
-    watchdog.Start();
   }
+  // The watchdog poll thread runs whenever anything can observe it: the
+  // exposition endpoint, or the armed flight recorder.
+  if (serve_port >= 0 || !flight_out.empty()) watchdog.Start();
 
   // 4. The service under test.
   sim::ServiceOptions service_options;
@@ -353,6 +409,7 @@ int Run(int argc, char** argv) {
   service_options.inject_batch_delay_ms = inject_stall_ms;
   service_options.timeseries = &timeseries;
   service_options.watchdog = &watchdog;
+  service_options.tracer = &tracer;
   sim::Service service(*instance, **allocator, service_options);
   service.Start();
   for (int w = 0; w < instance->num_workers(); ++w) {
@@ -540,6 +597,38 @@ int Run(int argc, char** argv) {
     }
     sim::WriteLoadReportJsonl(out, report);
     std::printf("load report written to %s\n", report_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    sim::RunReportHeader header;
+    header.kind = "loadgen";
+    header.instance = instance_desc;
+    sim::RunStats run_stats;
+    run_stats.algorithm = report.header.algorithm;
+    run_stats.batches = static_cast<int>(stats.batches);
+    run_stats.nonempty_batches = static_cast<int>(stats.nonempty_batches);
+    run_stats.completed_tasks = static_cast<int>(stats.served);
+    run_stats.score = static_cast<int>(stats.served);
+    run_stats.millis = stats.allocator_seconds * 1e3;
+    run_stats.total_tasks = static_cast<int>(stats.submitted_tasks);
+    sim::RunReportExtras extras;
+    extras.timeseries = &timeseries;
+    extras.watchdog = &watchdog;
+    extras.tracer = &tracer;
+    sim::WriteRunReportJsonl(out, header, {run_stats}, util::GlobalMetrics(),
+                             extras);
+    const sim::TaskTracerStats tstats = tracer.stats();
+    std::printf(
+        "trace report written to %s (%lld traces retained: %lld head, "
+        "%lld tail, %lld flagged)\n",
+        trace_out.c_str(), static_cast<long long>(tstats.traces_retained),
+        static_cast<long long>(tstats.head_retained),
+        static_cast<long long>(tstats.tail_retained),
+        static_cast<long long>(tstats.flagged_retained));
   }
   server.Stop();
   return 0;

@@ -2,6 +2,8 @@
 //
 //   dasc_report summarize <report.jsonl> [--csv]
 //   dasc_report explain <report.jsonl> [--batch-rows=N]
+//   dasc_report trace <report.jsonl> [--top=N] [--reason=all|head|tail|flagged]
+//            [--max-residual=0.10]
 //   dasc_report diff <baseline.jsonl> <candidate.jsonl>
 //            [--score-tol=0.02] [--gap-tol=0.05] [--latency-tol=F]
 //            [--min-gap=F] [--gate]
@@ -44,6 +46,20 @@
 // With --gate the exit code becomes the CI signal: 0 clean, 1 on any
 // regression. Without it diff always exits 0 (informational).
 //
+// trace reads a /5 report's causal-trace block and prints the critical-path
+// breakdown of the retained (head/tail/flagged-sampled) traces: where each
+// slow task's end-to-end latency actually went, decomposed into queue
+// residency before first batch admission, cross-batch dependency wait
+// (gaps between the batches the task stayed open across), and the per-phase
+// self-time of every batch the task rode through (matching, best_response,
+// candidate_build, problem_build, commit, ... plus batch_other for
+// unattributed batch time). The walk telescopes from submit to decision, so
+// the attributed components sum to the e2e latency; the residual per trace
+// is reported and gated (--max-residual, default 10%). Every trace is also
+// cross-checked against the lifecycle ledger when the report carries one
+// (trace id, served/unserved agreement, assignment batch) — a disagreement
+// exits 1.
+//
 // trajectory appends one typed entry per algorithm to a JSON array file —
 // the longitudinal quality record BENCH_trajectory.json, written via a
 // parse-modify-rewrite so the file stays a valid JSON document (unlike a
@@ -66,6 +82,7 @@
 // generator failed to keep up with the offered rate).
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdint>
 #include <cstdlib>
@@ -96,6 +113,8 @@ int Usage() {
       "usage:\n"
       "  dasc_report summarize <report.jsonl> [--csv]\n"
       "  dasc_report explain <report.jsonl> [--batch-rows=]\n"
+      "  dasc_report trace <report.jsonl> [--top= --reason= "
+      "--max-residual=]\n"
       "  dasc_report diff <baseline.jsonl> <candidate.jsonl> [--score-tol= "
       "--gap-tol= --latency-tol= --min-gap= --gate]\n"
       "  dasc_report trajectory <report.jsonl> <trajectory.json> "
@@ -233,6 +252,25 @@ bool ExplainStats(const RunStats& s, int batch_rows) {
     std::printf("every task was served; nothing to explain\n");
   } else {
     reasons.Print(std::cout);
+    // Sample tasks per failure reason with their causal-trace ids: the
+    // trace id on the report's task line is a pure function of the task id
+    // (sim/task_trace.h), so these ids resolve against the same report's
+    // "trace" lines and against /debug/flight dumps from the same run.
+    std::printf("sample unserved tasks (trace ids join the /5 trace block):\n");
+    util::TablePrinter samples;
+    samples.AddRow({"task", "reason", "trace_id"});
+    for (size_t r : order) {
+      int shown = 0;
+      for (const sim::TaskLedgerEntry& e : s.ledger) {
+        if (static_cast<size_t>(e.reason) != r) continue;
+        samples.AddRow(
+            {std::to_string(e.task),
+             sim::UnservedReasonName(static_cast<sim::UnservedReason>(r)),
+             util::FormatTraceId(sim::TaskTraceId(e.task))});
+        if (++shown >= 3) break;
+      }
+    }
+    samples.Print(std::cout);
   }
 
   // Per-batch starvation: for each batch range, how many tasks that were
@@ -360,6 +398,250 @@ int Explain(int argc, char** argv) {
     return 1;
   }
   return consistent ? 0 : 1;
+}
+
+// Critical-path attribution of one retained trace: the telescoping walk
+// from submit to decision over the batch records the task rode through.
+struct TraceAttribution {
+  const sim::TaskTraceRecord* trace = nullptr;
+  double e2e_ms = 0.0;
+  double pre_admission_ms = 0.0;    // submit -> begin of first covered batch
+  double cross_batch_wait_ms = 0.0; // gaps between covered batches
+  std::map<std::string, double> phase_ms;  // per-phase self time + batch_other
+  double attributed_ms = 0.0;
+  double residual_ms = 0.0;  // e2e - attributed (clipped waits, lost records)
+  int covered_batches = 0;
+  int missing_batches = 0;  // in range but evicted from the batch ring
+};
+
+TraceAttribution AttributeTrace(
+    const sim::TaskTraceRecord& t,
+    const std::map<int64_t, const sim::TraceBatchRecord*>& by_seq) {
+  TraceAttribution a;
+  a.trace = &t;
+  a.e2e_ms = t.e2e_ms();
+  const int64_t first =
+      t.first_admit_batch >= 0 ? t.first_admit_batch : t.decide_batch;
+  double cursor = t.submit_wall_s;
+  bool first_hop = true;
+  for (int64_t seq = first; seq >= 0 && seq < t.decide_batch; ++seq) {
+    const auto it = by_seq.find(seq);
+    if (it == by_seq.end()) {
+      ++a.missing_batches;
+      continue;
+    }
+    const sim::TraceBatchRecord& b = *it->second;
+    const double wait_ms = (b.begin_wall_s - cursor) * 1e3;
+    if (wait_ms > 0.0) {
+      (first_hop ? a.pre_admission_ms : a.cross_batch_wait_ms) += wait_ms;
+    }
+    first_hop = false;
+    // The in-batch budget is the batch's wall extent; phase self-times are
+    // scaled down to it when they exceed it (replay-mode reports stamp
+    // batches with model time, where a batch is instantaneous and the
+    // critical path is pure waiting). In service reports the named phases
+    // fit inside the extent and the remainder is batch_other.
+    const double extent_ms = (b.end_wall_s - b.begin_wall_s) * 1e3;
+    double named_ms = 0.0;
+    for (const sim::TraceBatchPhase& p : b.phases) named_ms += p.ms;
+    if (extent_ms > 0.0) {
+      const double scale = named_ms > extent_ms ? extent_ms / named_ms : 1.0;
+      for (const sim::TraceBatchPhase& p : b.phases) {
+        a.phase_ms[p.label] += p.ms * scale;
+      }
+      if (named_ms < extent_ms) {
+        a.phase_ms["batch_other"] += extent_ms - named_ms;
+      }
+    }
+    ++a.covered_batches;
+    cursor = std::max(cursor, b.end_wall_s);
+  }
+  const double final_wait_ms = (t.decide_wall_s - cursor) * 1e3;
+  if (final_wait_ms > 0.0) {
+    (first_hop ? a.pre_admission_ms : a.cross_batch_wait_ms) += final_wait_ms;
+  }
+  a.attributed_ms = a.pre_admission_ms + a.cross_batch_wait_ms;
+  for (const auto& [label, ms] : a.phase_ms) {
+    (void)label;
+    a.attributed_ms += ms;
+  }
+  a.residual_ms = a.e2e_ms - a.attributed_ms;
+  return a;
+}
+
+int TraceCmd(int argc, char** argv) {
+  util::FlagParser parser;
+  int64_t top = 10;
+  std::string reason = "all";
+  double max_residual = 0.10;
+  parser.AddInt("top", &top, "rows in the per-trace table (sorted by e2e)");
+  parser.AddString("reason", &reason,
+                   "analyze only traces retained for this reason "
+                   "(all|head|tail|flagged)");
+  parser.AddDouble("max-residual", &max_residual,
+                   "max tolerated unattributed share of a trace's e2e "
+                   "latency before the exit code turns 1");
+  if (!ParseSubcommand(parser, argc, argv, 1)) return Usage();
+  util::Result<RunReport> report = LoadOrComplain(parser.positional()[0]);
+  if (!report.ok()) return 1;
+
+  if (!report->traces.present) {
+    if (report->schema_version < 5) {
+      std::printf(
+          "%s: schema dasc-run-report/%d predates causal traces; nothing to "
+          "attribute. Re-run with a TaskTracer attached (dasc_cli simulate "
+          "--metrics-out / dasc_loadgen --trace-out) for /5 trace blocks.\n",
+          parser.positional()[0].c_str(), report->schema_version);
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "%s: no trace block (the run had no TaskTracer attached)\n",
+                 parser.positional()[0].c_str());
+    return 1;
+  }
+
+  const sim::TaskTracerStats& sum = report->traces.summary;
+  std::printf(
+      "traces: %lld started, %lld decided, %lld retained "
+      "(%lld head, %lld tail, %lld flagged); %lld batches seen, "
+      "%lld flagged, %lld dropped from the ring; %zu batch records\n",
+      static_cast<long long>(sum.traces_started),
+      static_cast<long long>(sum.traces_decided),
+      static_cast<long long>(sum.traces_retained),
+      static_cast<long long>(sum.head_retained),
+      static_cast<long long>(sum.tail_retained),
+      static_cast<long long>(sum.flagged_retained),
+      static_cast<long long>(sum.batches),
+      static_cast<long long>(sum.flagged_batches),
+      static_cast<long long>(sum.dropped_batches),
+      report->traces.batches.size());
+
+  std::map<int64_t, const sim::TraceBatchRecord*> by_seq;
+  for (const sim::TraceBatchRecord& b : report->traces.batches) {
+    by_seq[b.seq] = &b;
+  }
+
+  // Ledger cross-check: every analyzed trace must agree with the lifecycle
+  // ledger (when the report carries one) on identity and outcome.
+  std::map<int64_t, const sim::TaskLedgerEntry*> ledger_by_task;
+  for (const RunStats& s : report->stats) {
+    for (const sim::TaskLedgerEntry& e : s.ledger) {
+      ledger_by_task[e.task] = &e;
+    }
+  }
+
+  int mismatches = 0;
+  auto complain = [&](const sim::TaskTraceRecord& t,
+                      const std::string& message) {
+    std::fprintf(stderr, "trace %s (task %lld): %s\n",
+                 util::FormatTraceId(t.trace_id).c_str(),
+                 static_cast<long long>(t.task), message.c_str());
+    ++mismatches;
+  };
+
+  std::vector<TraceAttribution> analyzed;
+  for (const sim::TaskTraceRecord& t : report->traces.traces) {
+    if (reason != "all" && t.retained_reason != reason) continue;
+    if (t.trace_id != sim::TaskTraceId(t.task)) {
+      complain(t, "trace_id is not TaskTraceId(task) — corrupt report");
+    }
+    const auto it = ledger_by_task.find(t.task);
+    if (it != ledger_by_task.end()) {
+      const sim::TaskLedgerEntry& e = *it->second;
+      const bool ledger_served = e.reason == sim::UnservedReason::kServed;
+      if (t.served != ledger_served) {
+        complain(t, std::string("trace says ") +
+                        (t.served ? "served" : "unserved") +
+                        " but the ledger says " +
+                        sim::UnservedReasonName(e.reason));
+      }
+      if (t.served && e.assigned_batch >= 0 &&
+          e.assigned_batch != t.decide_batch &&
+          e.assigned_batch != t.camp_batch) {
+        complain(t, "ledger assigned_batch " +
+                        std::to_string(e.assigned_batch) +
+                        " matches neither decide_batch " +
+                        std::to_string(t.decide_batch) + " nor camp_batch " +
+                        std::to_string(t.camp_batch));
+      }
+    }
+    analyzed.push_back(AttributeTrace(t, by_seq));
+  }
+  if (analyzed.empty()) {
+    std::printf("no retained traces match --reason=%s\n", reason.c_str());
+    return mismatches > 0 ? 1 : 0;
+  }
+  std::sort(analyzed.begin(), analyzed.end(),
+            [](const TraceAttribution& a, const TraceAttribution& b) {
+              return a.e2e_ms > b.e2e_ms;
+            });
+
+  int residual_breaches = 0;
+  util::TablePrinter table;
+  table.AddRow({"trace_id", "task", "why", "e2e_ms", "pre_admit", "xbatch",
+                "in_batch", "batches", "lost", "residual"});
+  int rows = 0;
+  for (const TraceAttribution& a : analyzed) {
+    double in_batch = 0.0;
+    for (const auto& [label, ms] : a.phase_ms) {
+      (void)label;
+      in_batch += ms;
+    }
+    const double residual_share =
+        a.e2e_ms > 0.0 ? std::abs(a.residual_ms) / a.e2e_ms : 0.0;
+    if (residual_share > max_residual) ++residual_breaches;
+    if (rows++ < top) {
+      table.AddRow({util::FormatTraceId(a.trace->trace_id),
+                    std::to_string(a.trace->task),
+                    a.trace->retained_reason, Num(a.e2e_ms, 3),
+                    Num(a.pre_admission_ms, 3), Num(a.cross_batch_wait_ms, 3),
+                    Num(in_batch, 3), std::to_string(a.covered_batches),
+                    std::to_string(a.missing_batches),
+                    Num(100.0 * residual_share, 1) + "%"});
+    }
+  }
+  table.Print(std::cout);
+
+  // Aggregate critical path across all analyzed traces: where did the tail
+  // latency go, phase by phase.
+  double total_e2e = 0.0, total_pre = 0.0, total_xbatch = 0.0,
+         total_residual = 0.0;
+  std::map<std::string, double> agg_phase;
+  for (const TraceAttribution& a : analyzed) {
+    total_e2e += a.e2e_ms;
+    total_pre += a.pre_admission_ms;
+    total_xbatch += a.cross_batch_wait_ms;
+    total_residual += std::abs(a.residual_ms);
+    for (const auto& [label, ms] : a.phase_ms) agg_phase[label] += ms;
+  }
+  std::printf("aggregate critical path (%zu traces, %.3f ms total e2e):\n",
+              analyzed.size(), total_e2e);
+  util::TablePrinter agg;
+  agg.AddRow({"component", "ms", "share"});
+  auto agg_row = [&](const std::string& name, double ms) {
+    if (ms <= 0.0) return;
+    const double share = total_e2e > 0.0 ? 100.0 * ms / total_e2e : 0.0;
+    agg.AddRow({name, Num(ms, 3), Num(share, 1) + "%"});
+  };
+  agg_row("pre_admission_wait", total_pre);
+  agg_row("cross_batch_wait", total_xbatch);
+  for (const auto& [label, ms] : agg_phase) agg_row("phase:" + label, ms);
+  agg_row("residual", total_residual);
+  agg.Print(std::cout);
+
+  if (mismatches > 0) {
+    std::fprintf(stderr, "trace: %d ledger cross-check mismatch(es)\n",
+                 mismatches);
+    return 1;
+  }
+  if (residual_breaches > 0) {
+    std::fprintf(stderr,
+                 "trace: %d trace(s) with more than %.0f%% of e2e latency "
+                 "unattributed\n",
+                 residual_breaches, max_residual * 100.0);
+    return 1;
+  }
+  return 0;
 }
 
 // One metric comparison in `diff`: what moved, by how much, and whether the
@@ -904,6 +1186,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "summarize") return Summarize(argc, argv);
   if (command == "explain") return Explain(argc, argv);
+  if (command == "trace") return TraceCmd(argc, argv);
   if (command == "diff") return Diff(argc, argv);
   if (command == "trajectory") return Trajectory(argc, argv);
   if (command == "live") return Live(argc, argv);
