@@ -15,6 +15,12 @@
 //     best-response (game on cached candidates), and total (full G-G);
 //   * the serial-vs-parallel BuildCandidates regression guard at scale 1.0
 //     (paper-size 5000x5000 synthetic) for threads in {1, 2, 4, 8};
+//   * the incremental-candidate comparison on a delta-dominated batch
+//     sequence: candidate_build_scratch (per-batch from-scratch rebuilds)
+//     vs candidate_build_incremental (one persistent
+//     IncrementalCandidateView), acceptance floor >= 3x, plus the
+//     candidate_zero_delta_ms bookkeeping guard budgeted at <= 3% of
+//     sim_batch_ms;
 //   * the observability overhead guard: the same full G-G batch with the
 //     metrics runtime kill switch on (batch_metrics_on) vs off
 //     (batch_metrics_off) — the acceptance budget is <= 3% overhead
@@ -59,6 +65,7 @@
 #include "algo/greedy.h"
 #include "core/assignment.h"
 #include "core/batch.h"
+#include "core/candidate_view.h"
 #include "sim/audit.h"
 #include "sim/ledger.h"
 #include "sim/metrics_timeseries.h"
@@ -349,6 +356,85 @@ std::vector<MicroEntry> CollectMicroEntries(int reps) {
       }));
     }
     util::SetThreads(saved_threads);
+  }
+
+  // Incremental-candidate maintenance vs scratch rebuilds (DESIGN.md §17) on
+  // a delta-dominated batch sequence: staggered arrivals over 100 model time
+  // units with ~70-unit lifetimes, batched at interval 1.0, so each batch
+  // changes a few percent of a market of several hundred live workers and
+  // open tasks — the regime the view is built for. candidate_build_scratch
+  // runs BuildCandidates + BuildCandidateEdges from scratch on every batch
+  // of the sequence; candidate_build_incremental drives one persistent
+  // IncrementalCandidateView through the same sequence (first batch pays the
+  // resync rebuild, every later batch is O(delta) probes + publish). Both
+  // are reported as whole-sequence wall time; the acceptance floor is a
+  // >= 3x ratio.
+  {
+    gen::SyntheticParams params;
+    params.num_workers = 1500;
+    params.num_tasks = 3000;
+    params.num_skills = 50;
+    params.dependency_size = {0, 4};
+    params.worker_skills = {1, 5};
+    params.start_time = {0.0, 100.0};
+    params.wait_time = {60.0, 80.0};
+    auto generated = gen::GenerateSynthetic(params);
+    DASC_CHECK(generated.ok());
+    const core::Instance& instance = *generated;
+    std::vector<core::BatchProblem> sequence;
+    for (double now = 0.0; now <= 180.0; now += 1.0) {
+      core::BatchProblem problem;
+      problem.instance = &instance;
+      problem.now = now;
+      for (const core::Worker& w : instance.workers()) {
+        if (w.start_time <= now && now <= w.Deadline()) {
+          problem.workers.push_back(core::WorkerState::Initial(w));
+        }
+      }
+      for (int t = 0; t < instance.num_tasks(); ++t) {
+        const core::Task& task = instance.task(t);
+        if (task.start_time <= now && now <= task.Expiry()) {
+          problem.open_tasks.push_back(t);
+        }
+      }
+      if (problem.workers.empty() || problem.open_tasks.empty()) continue;
+      problem.assigned_before.assign(
+          static_cast<size_t>(instance.num_tasks()), 0);
+      sequence.push_back(std::move(problem));
+    }
+    entries.push_back(TimeMicro("candidate_build_scratch", reps, [&] {
+      for (const core::BatchProblem& problem : sequence) {
+        benchmark::DoNotOptimize(core::BuildCandidates(problem));
+        benchmark::DoNotOptimize(core::BuildCandidateEdges(problem));
+      }
+    }));
+    entries.push_back(TimeMicro("candidate_build_incremental", reps, [&] {
+      core::IncrementalCandidateView view(instance);
+      for (core::BatchProblem& problem : sequence) {
+        view.Update(problem);
+        benchmark::DoNotOptimize(problem.edges_cache);
+        // The simulator destroys each BatchProblem (and with it the cache
+        // references) at batch end; dropping them here matches that and lets
+        // the view recycle its retired publish buffers.
+        problem.InvalidateCandidates();
+      }
+    }));
+  }
+
+  // Stamp-bookkeeping overhead guard for the incremental view: a zero-delta
+  // Update on the reduced Table V batch (nothing arrived, moved, or
+  // expired) still pays the full diff scan, the generation stamping, and
+  // the publish copy — the per-batch floor the design budgets at <= 3% of
+  // sim_batch_ms (DESIGN.md §17).
+  {
+    const core::Instance instance = MakeBatchInstance(4);
+    core::BatchProblem problem = core::BatchProblem::AllAt(instance, 0.0);
+    core::IncrementalCandidateView view(instance);
+    view.Update(problem);  // resync rebuild, outside the timed region
+    entries.push_back(TimeMicro("candidate_zero_delta_ms", reps, [&] {
+      view.Update(problem);
+      benchmark::DoNotOptimize(problem.edges_cache);
+    }));
   }
 
   // Observability overhead guard: the full G-G batch (reduced Table V, range

@@ -837,10 +837,22 @@ core::Assignment GreedyAllocator::Allocate(const core::BatchProblem& problem) {
     warm_ = std::make_unique<GreedyWarmState>();
   }
   if (options_.warm_start && warm_->prev_edges != nullptr) {
-    // Stamp batch-epoch dirty bits against the previous batch's edges so
-    // WarmCheck can take the snapshot-free fast path on unchanged rows.
-    problem.MarkEdgesUnchangedSince(*warm_->prev_edges,
-                                    warm_->prev_worker_ids);
+    const core::CandidateEdges& cur = problem.Edges();
+    if (cur.publish_seq >= 0 &&
+        (warm_->prev_edges->publish_seq == cur.publish_seq - 1 ||
+         warm_->prev_edges.get() == &cur) &&
+        !cur.row_unchanged.empty()) {
+      // The incremental candidate view prefilled row_unchanged at publish
+      // time, relative to exactly warm_->prev_edges (consecutive
+      // publish_seq — or the very same object re-stamped by the zero-delta
+      // publish-reuse path): the O(edges) compare is already done.
+      DASC_METRIC_COUNTER_INC("matching_epoch_prefill_hits_total");
+    } else {
+      // Stamp batch-epoch dirty bits against the previous batch's edges so
+      // WarmCheck can take the snapshot-free fast path on unchanged rows.
+      problem.MarkEdgesUnchangedSince(*warm_->prev_edges,
+                                      warm_->prev_worker_ids);
+    }
   }
   GreedyRun run(problem, options_, options_.warm_start ? warm_.get() : nullptr);
   core::Assignment assignment = run.Run();

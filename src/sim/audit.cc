@@ -438,4 +438,85 @@ int BatchAuditor::CrossCheckLedger(
   return mismatches;
 }
 
+namespace {
+
+// First divergence between the published candidate caches and a from-scratch
+// rebuild; "" when bit-identical. The rebuild runs on a shallow copy with
+// reset caches, so the incremental view's published objects are untouched.
+std::string CompareCandidatesToScratch(const core::BatchProblem& problem) {
+  const core::CandidateSets& got = problem.Candidates();
+  const core::CandidateEdges& got_edges = problem.Edges();
+
+  core::BatchProblem scratch = problem;
+  scratch.InvalidateCandidates();
+  const core::CandidateSets& want = scratch.Candidates();
+  const core::CandidateEdges& want_edges = scratch.Edges();
+
+  if (got.num_pairs != want.num_pairs) {
+    return "num_pairs " + std::to_string(got.num_pairs) + " != scratch " +
+           std::to_string(want.num_pairs);
+  }
+  if (got.worker_tasks != want.worker_tasks) {
+    for (size_t i = 0; i < want.worker_tasks.size(); ++i) {
+      if (got.worker_tasks[i] != want.worker_tasks[i]) {
+        return "worker_tasks[" + std::to_string(i) + "] (worker " +
+               std::to_string(problem.workers[i].id) + "): " +
+               std::to_string(got.worker_tasks[i].size()) +
+               " tasks != scratch " +
+               std::to_string(want.worker_tasks[i].size());
+      }
+    }
+    return "worker_tasks shape mismatch";
+  }
+  if (got.task_workers != want.task_workers) {
+    for (size_t t = 0; t < want.task_workers.size(); ++t) {
+      if (got.task_workers[t] != want.task_workers[t]) {
+        return "task_workers[" + std::to_string(t) + "]: " +
+               std::to_string(got.task_workers[t].size()) +
+               " workers != scratch " +
+               std::to_string(want.task_workers[t].size());
+      }
+    }
+    return "task_workers shape mismatch";
+  }
+  if (got_edges.num_workers != want_edges.num_workers ||
+      got_edges.row_begin != want_edges.row_begin ||
+      got_edges.workers != want_edges.workers) {
+    return "edge CSR layout diverges from scratch";
+  }
+  // Bit-equal travel times: the whole equivalence argument rests on the
+  // matching step seeing identical cost bits (DESIGN.md §17).
+  for (size_t e = 0; e < want_edges.travel_time.size(); ++e) {
+    if (got_edges.travel_time[e] != want_edges.travel_time[e]) {
+      return "travel_time[" + std::to_string(e) + "] " +
+             std::to_string(got_edges.travel_time[e]) + " != scratch " +
+             std::to_string(want_edges.travel_time[e]);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+bool BatchAuditor::AuditCandidates(const core::BatchProblem& problem,
+                                   int batch_seq) {
+  util::WallTimer timer;
+  const std::string diff = CompareCandidatesToScratch(problem);
+  ++summary_.candidate_checks;
+  DASC_METRIC_COUNTER_INC("audit_candidate_checks_total");
+  DASC_METRIC_HISTOGRAM_OBSERVE("audit_candidate_check_ms",
+                                timer.ElapsedMillis());
+  if (diff.empty()) return true;
+  ++summary_.candidate_mismatches;
+  DASC_METRIC_COUNTER_INC("audit_candidate_mismatches_total");
+  if (summary_.first_candidate_mismatch.empty()) {
+    summary_.first_candidate_mismatch =
+        "batch " + std::to_string(batch_seq) + ": " + diff;
+  }
+  DASC_LOG(WARNING) << "candidate conformance: batch " << batch_seq
+                    << " incremental view diverges from scratch rebuild: "
+                    << diff;
+  return false;
+}
+
 }  // namespace dasc::sim

@@ -17,6 +17,11 @@
 #   1. release build  — dasc_stress --seeds N over all families and oracles
 #   2. UBSan build    — same sweep at N/10 (sanitizer-throttled)
 #   3. ASan build     — same sweep at N/10
+#   4. release build  — incremental-candidates-equivalence focused sweep at N
+#                       on a disjoint seed window (the oracle also runs in
+#                       stages 1-3; this stage buys the differential
+#                       candidate check its own nightly coverage)
+#   5./6. UBSan/ASan  — same focused sweep at N/10
 # Sanitizer stages build into build-stress-{ubsan,asan} via DASC_SANITIZE
 # and are skipped with --skip-sanitizers (or individually when the
 # toolchain lacks the runtime; cmake configuration failure is treated as
@@ -49,18 +54,20 @@ echo "run_stress: date=$date_arg base_seed=$base_seed seeds=$seeds"
 
 failures=0
 
-# run_stage <name> <build_dir> <stage_seeds> [extra cmake args...]
+# run_stage <name> <build_dir> <stage_seeds> <stage_base_seed> <stress_args>
+#           [extra cmake args...]
 run_stage() {
-  local name=$1 build=$2 stage_seeds=$3; shift 3
+  local name=$1 build=$2 stage_seeds=$3 stage_base=$4 stress_args=$5; shift 5
   if ! cmake -B "$build" -S "$root" "$@" >/dev/null 2>&1; then
     echo "run_stress: [$name] cmake configure failed; stage skipped"
     return 0
   fi
   cmake --build "$build" -j --target dasc_stress >/dev/null
-  local repro_dir="$build/stress-repros"
+  local repro_dir="$build/stress-repros-$name"
   rm -rf "$repro_dir"
+  # shellcheck disable=SC2086  # stress_args is intentionally word-split
   if "$build/tools/dasc_stress" --seeds="$stage_seeds" \
-        --base-seed="$base_seed" --repro-dir="$repro_dir"; then
+        --base-seed="$stage_base" --repro-dir="$repro_dir" $stress_args; then
     echo "run_stress: [$name] OK"
   else
     echo "run_stress: [$name] FAILED; collecting repros"
@@ -70,12 +77,28 @@ run_stage() {
   fi
 }
 
-run_stage release "$root/build-stress" "$seeds" -DCMAKE_BUILD_TYPE=Release
+# The focused incremental stages take the second half of the night's seed
+# window so they exercise cases the full sweeps did not.
+inc_seed=$(( base_seed + 50000 ))
+inc_oracle="--oracle=incremental-candidates-equivalence"
+
+run_stage release "$root/build-stress" "$seeds" "$base_seed" "" \
+    -DCMAKE_BUILD_TYPE=Release
+run_stage release-incremental "$root/build-stress" "$seeds" "$inc_seed" \
+    "$inc_oracle" -DCMAKE_BUILD_TYPE=Release
 if [[ $skip_sanitizers -eq 0 ]]; then
   sanitized_seeds=$(( seeds / 10 > 0 ? seeds / 10 : 1 ))
   run_stage ubsan "$root/build-stress-ubsan" "$sanitized_seeds" \
+      "$base_seed" "" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDASC_SANITIZE=undefined
+  run_stage ubsan-incremental "$root/build-stress-ubsan" "$sanitized_seeds" \
+      "$inc_seed" "$inc_oracle" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDASC_SANITIZE=undefined
   run_stage asan "$root/build-stress-asan" "$sanitized_seeds" \
+      "$base_seed" "" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDASC_SANITIZE=address
+  run_stage asan-incremental "$root/build-stress-asan" "$sanitized_seeds" \
+      "$inc_seed" "$inc_oracle" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDASC_SANITIZE=address
 fi
 
